@@ -1,0 +1,70 @@
+// Shared helpers for the table/figure regeneration binaries.
+//
+// Every bench honors:
+//   GNNVAULT_BENCH_FAST=1  -> scaled-down datasets + fewer epochs (smoke)
+//   GNNVAULT_SEED=<u64>    -> experiment seed (default 42)
+//   GNNVAULT_EPOCHS=<n>    -> override training epochs
+//   GNNVAULT_SCALE=<f>     -> dataset scale factor in (0,1]
+// and writes a CSV next to its stdout table into bench_out/.
+#pragma once
+
+#include <string>
+#include <sys/stat.h>
+
+#include "common/env.hpp"
+#include "common/log.hpp"
+#include "common/stopwatch.hpp"
+#include "common/table.hpp"
+#include "core/deployment.hpp"
+#include "core/pipeline.hpp"
+#include "data/catalog.hpp"
+
+namespace gv::bench {
+
+struct BenchSettings {
+  double scale = 1.0;
+  int epochs = 150;
+  std::uint64_t seed = 42;
+};
+
+inline BenchSettings settings() {
+  BenchSettings s;
+  s.seed = experiment_seed();
+  if (bench_fast_mode()) {
+    s.scale = 0.12;
+    s.epochs = 40;
+  }
+  s.scale = env_double("GNNVAULT_SCALE", s.scale);
+  s.epochs = static_cast<int>(env_int("GNNVAULT_EPOCHS", s.epochs));
+  return s;
+}
+
+inline std::string out_dir() {
+  const std::string dir = env_string("GNNVAULT_OUT", "bench_out");
+  ::mkdir(dir.c_str(), 0755);  // best effort; write_csv reports failures
+  return dir;
+}
+
+inline VaultTrainConfig vault_config(DatasetId id, const BenchSettings& s) {
+  VaultTrainConfig cfg;
+  cfg.spec = model_spec_for_dataset(id);
+  cfg.backbone_train.epochs = s.epochs;
+  cfg.rectifier_train.epochs = s.epochs;
+  cfg.seed = s.seed;
+  return cfg;
+}
+
+inline TrainConfig original_config(const BenchSettings& s) {
+  TrainConfig tc;
+  tc.epochs = s.epochs;
+  return tc;
+}
+
+/// Format a parameter count as millions with 3-4 significant digits,
+/// matching the Table II convention (e.g. 0.188, 0.022, 0.0088).
+inline std::string fmt_params_m(std::size_t params) {
+  const double m = static_cast<double>(params) / 1e6;
+  return Table::fmt(m, m < 0.01 ? 4 : 3);
+}
+
+}  // namespace gv::bench

@@ -1,0 +1,69 @@
+// Regenerates Fig. 5: substitute-graph hyper-parameter ablations on Cora
+// and Citeseer — KNN k, cosine-similarity threshold tau, and the random
+// graph's edge budget (% of real edges). Reports p_bb and p_rec per point.
+#include "bench_common.hpp"
+
+using namespace gv;
+using namespace gv::bench;
+
+namespace {
+struct Point {
+  std::string dataset;
+  std::string family;
+  double x;
+  double pbb;
+  double prec;
+};
+}  // namespace
+
+int main() {
+  const auto s = settings();
+  std::vector<Point> points;
+
+  for (const auto id : {DatasetId::kCora, DatasetId::kCiteseer}) {
+    const Dataset ds = load_dataset(id, s.seed, s.scale);
+    GV_LOG_INFO << "Fig. 5: " << ds.name;
+
+    // --- KNN: k in {1, 2, 4, 6, 8, 10}. -------------------------------
+    for (const std::uint32_t k : {1u, 2u, 4u, 6u, 8u, 10u}) {
+      auto cfg = vault_config(id, s);
+      cfg.backbone = BackboneKind::kKnn;
+      cfg.knn_k = k;
+      const TrainedVault tv = train_vault(ds, cfg);
+      points.push_back({ds.name, "knn_k", static_cast<double>(k),
+                        tv.backbone_test_accuracy, tv.rectifier_test_accuracy});
+    }
+    // --- Cosine threshold tau. -----------------------------------------
+    for (const float tau : {0.1f, 0.2f, 0.4f, 0.6f, 0.8f}) {
+      auto cfg = vault_config(id, s);
+      cfg.backbone = BackboneKind::kCosine;
+      cfg.cosine_tau = tau;
+      const TrainedVault tv = train_vault(ds, cfg);
+      points.push_back({ds.name, "cosine_tau", tau, tv.backbone_test_accuracy,
+                        tv.rectifier_test_accuracy});
+    }
+    // --- Random edges as % of real edge count. --------------------------
+    for (const double frac : {0.05, 0.25, 0.5, 1.0, 2.0, 3.0}) {
+      auto cfg = vault_config(id, s);
+      cfg.backbone = BackboneKind::kRandom;
+      cfg.random_edge_fraction = frac;
+      const TrainedVault tv = train_vault(ds, cfg);
+      points.push_back({ds.name, "random_pct", frac * 100.0,
+                        tv.backbone_test_accuracy, tv.rectifier_test_accuracy});
+    }
+  }
+
+  Table t("Fig. 5: impact of substitute-graph hyperparameters");
+  t.set_header({"Dataset", "Family", "x", "p_bb(%)", "p_rec(%)"});
+  for (const auto& p : points) {
+    t.add_row({p.dataset, p.family, Table::fmt(p.x, 2), Table::pct(p.pbb),
+               Table::pct(p.prec)});
+  }
+  t.print();
+  t.write_csv(out_dir() + "/fig5_ablation.csv");
+  std::printf(
+      "\nShapes to compare with the paper: KNN accuracy is stable in k; low\n"
+      "cosine tau (<=0.2) hurts; adding random edges steadily degrades both\n"
+      "p_bb and p_rec (structural noise).\n");
+  return 0;
+}

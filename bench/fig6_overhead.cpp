@@ -1,0 +1,75 @@
+// Regenerates Fig. 6: secure-inference time breakdown (backbone /
+// transfer / rectifier-in-enclave) and enclave memory usage for the three
+// model structures of the paper — M1 (Cora), M2 (CoraFull), M3 (Computer)
+// — under each rectifier design, against the unprotected CPU baseline.
+#include "bench_common.hpp"
+
+using namespace gv;
+using namespace gv::bench;
+
+int main() {
+  const auto s = settings();
+  struct Config {
+    DatasetId id;
+    const char* model;
+  };
+  const Config configs[] = {{DatasetId::kCora, "M1"},
+                            {DatasetId::kCoraFull, "M2"},
+                            {DatasetId::kComputer, "M3"}};
+
+  Table t("Fig. 6 (top): inference time breakdown (ms)");
+  t.set_header({"Model", "Rectifier", "backbone", "transfer", "enclave", "total",
+                "unprotected", "overhead(%)"});
+  Table m("Fig. 6 (bottom): enclave memory usage (MB)");
+  m.set_header({"Model", "Rectifier", "resident", "peak", "EPC(96MB)?",
+                "backbone mem (untrusted)"});
+
+  for (const auto& c : configs) {
+    const Dataset ds = load_dataset(c.id, s.seed, s.scale);
+    GV_LOG_INFO << "Fig. 6: " << ds.name << " / " << c.model;
+
+    double porg = 0.0;
+    auto original =
+        train_original_gnn(ds, model_spec_for_dataset(c.id), original_config(s),
+                           s.seed, &porg);
+    const double unprotected = time_unprotected_inference(*original, ds.features);
+
+    for (const auto kind :
+         {RectifierKind::kParallel, RectifierKind::kCascaded, RectifierKind::kSeries}) {
+      auto cfg = vault_config(c.id, s);
+      cfg.rectifier = kind;
+      TrainedVault tv = train_vault(ds, cfg);
+      VaultDeployment dep(ds, std::move(tv), {});
+      // Warm up once, then measure a clean run.
+      dep.infer_labels(ds.features);
+      dep.reset_meter();
+      dep.infer_labels(ds.features);
+      const CostMeter& meter = dep.meter();
+      const auto& model = dep.cost_model();
+      const double total = meter.total_seconds(model);
+      t.add_row({c.model, rectifier_kind_name(kind),
+                 Table::fmt(meter.untrusted_compute_seconds * 1e3, 2),
+                 Table::fmt(meter.transfer_seconds(model) * 1e3, 3),
+                 Table::fmt(meter.enclave_compute_seconds * 1e3, 2),
+                 Table::fmt(total * 1e3, 2), Table::fmt(unprotected * 1e3, 2),
+                 Table::fmt((total / unprotected - 1.0) * 100.0, 1)});
+      const double mb = 1.0 / (1024.0 * 1024.0);
+      m.add_row({c.model, rectifier_kind_name(kind),
+                 Table::fmt(dep.enclave_current_bytes() * mb, 2),
+                 Table::fmt(dep.enclave_peak_bytes() * mb, 2),
+                 dep.enclave_peak_bytes() <= model.epc_bytes ? "fits" : "EXCEEDS",
+                 Table::fmt(dep.backbone_runtime_bytes(ds.features) * mb, 1)});
+    }
+  }
+  t.print();
+  m.print();
+  t.write_csv(out_dir() + "/fig6_time.csv");
+  m.write_csv(out_dir() + "/fig6_memory.csv");
+  std::printf(
+      "\nShapes to compare with the paper: series has the smallest transfer+\n"
+      "enclave share (paper: ~52-131%% overhead vs unprotected CPU); parallel\n"
+      "and cascaded transfer all intermediate embeddings and cost more; peak\n"
+      "enclave memory stays far below the 96 MB EPC (paper max: 41.6 MB)\n"
+      "while the untrusted backbone working set is far larger.\n");
+  return 0;
+}

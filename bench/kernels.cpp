@@ -1,0 +1,111 @@
+// google-benchmark microbenchmarks for the compute kernels that dominate
+// GNNVault inference, plus the SGX-simulator crypto (sealing path).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "data/synthetic.hpp"
+#include "graph/graph.hpp"
+#include "sgxsim/chacha20poly1305.hpp"
+#include "sgxsim/sha256.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/csr.hpp"
+
+namespace {
+
+using namespace gv;
+
+Matrix random_dense(std::size_t r, std::size_t c, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return m;
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_dense(n, n, 1);
+  const Matrix b = random_dense(n, n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_GemmTallSkinny(benchmark::State& state) {
+  // The GNN shape: n nodes x d features times d x h weights.
+  const Matrix a = random_dense(2708, 1433, 3);
+  const Matrix b = random_dense(1433, 128, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b));
+  }
+}
+BENCHMARK(BM_GemmTallSkinny);
+
+void BM_Spmm(benchmark::State& state) {
+  SyntheticSpec spec;
+  spec.num_nodes = 2708;
+  spec.num_classes = 7;
+  spec.num_undirected_edges = 5278;
+  spec.feature_dim = 64;
+  const Dataset ds = generate_synthetic(spec, 5);
+  const auto adj = ds.graph.gcn_normalized();
+  const Matrix h = random_dense(2708, static_cast<std::size_t>(state.range(0)), 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spmm(adj, h));
+  }
+}
+BENCHMARK(BM_Spmm)->Arg(32)->Arg(128);
+
+void BM_SparseFeatureSpmm(benchmark::State& state) {
+  SyntheticSpec spec;
+  spec.num_nodes = 2708;
+  spec.num_classes = 7;
+  spec.num_undirected_edges = 5278;
+  spec.feature_dim = 1433;
+  spec.features_per_node = 18;
+  const Dataset ds = generate_synthetic(spec, 7);
+  const Matrix w = random_dense(1433, 128, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spmm(ds.features, w));
+  }
+}
+BENCHMARK(BM_SparseFeatureSpmm);
+
+void BM_GcnNormalize(benchmark::State& state) {
+  SyntheticSpec spec;
+  spec.num_nodes = 10000;
+  spec.num_classes = 5;
+  spec.num_undirected_edges = 40000;
+  spec.feature_dim = 64;
+  const Dataset ds = generate_synthetic(spec, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ds.graph.gcn_normalized());
+  }
+}
+BENCHMARK(BM_GcnNormalize);
+
+void BM_Sha256(benchmark::State& state) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(4096)->Arg(1 << 20);
+
+void BM_AeadSeal(benchmark::State& state) {
+  AeadKey key{};
+  AeadNonce nonce{};
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)), 0x5a);
+  AeadTag tag;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aead_encrypt(key, nonce, data, {}, tag));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AeadSeal)->Arg(4096)->Arg(1 << 20);
+
+}  // namespace

@@ -1,0 +1,35 @@
+// Regenerates Table I: dataset statistics and the memory footprint of a
+// dense adjacency matrix (the motivation for COO storage in the enclave
+// and for not putting the whole graph inside the EPC).
+#include "bench_common.hpp"
+
+#include "graph/stats.hpp"
+
+using namespace gv;
+using namespace gv::bench;
+
+int main() {
+  const auto s = settings();
+  Table t("Table I: datasets used in GNNVault validation (synthetic twins)");
+  t.set_header({"Dataset", "#Node", "#Edge", "#Feature", "#Class", "DenseA(MB,f64)",
+                "Homophily", "AvgDeg", "FitsEPC(96MB)?"});
+  for (const auto id : all_dataset_ids()) {
+    const Dataset ds = load_dataset(id, s.seed, s.scale);
+    const auto row = table_one_row(ds);
+    const auto stats = compute_stats(ds.graph);
+    const bool fits = row.dense_adj_mb <= 96.0;
+    t.add_row({row.name, std::to_string(row.nodes), std::to_string(row.directed_edges),
+               std::to_string(row.features), std::to_string(row.classes),
+               Table::fmt(row.dense_adj_mb, 2),
+               Table::fmt(ds.graph.edge_homophily(ds.labels), 3),
+               Table::fmt(stats.avg_degree, 2), fits ? "yes" : "NO"});
+  }
+  t.print();
+  t.write_csv(out_dir() + "/table1_datasets.csv");
+  std::printf(
+      "\nPaper Table I reports dense-A footprints of 167.85 / 253.35 / 8898.01 /\n"
+      "4328.56 / 1339.47 / 8966.74 MB (a ~23 B/cell framework representation);\n"
+      "the float64 column above scales identically (x n^2) and makes the same\n"
+      "point: only the smallest graphs even approach the 96 MB EPC.\n");
+  return 0;
+}

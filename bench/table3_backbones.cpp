@@ -1,0 +1,38 @@
+// Regenerates Table III: backbone design comparison — DNN (feature-only
+// MLP) vs GNN backbones over random / cosine / KNN substitute graphs.
+// Reports p_bb and p_rec (parallel rectifier) for each.
+#include "bench_common.hpp"
+
+using namespace gv;
+using namespace gv::bench;
+
+int main() {
+  const auto s = settings();
+  Table t("Table III: various backbone designs (p_bb / p_rec, %)");
+  t.set_header({"Dataset", "DNN p_bb", "DNN p_rec", "rand p_bb", "rand p_rec",
+                "cos p_bb", "cos p_rec", "KNN p_bb", "KNN p_rec"});
+
+  const BackboneKind kinds[] = {BackboneKind::kDnn, BackboneKind::kRandom,
+                                BackboneKind::kCosine, BackboneKind::kKnn};
+  for (const auto id : all_dataset_ids()) {
+    const Dataset ds = load_dataset(id, s.seed, s.scale);
+    GV_LOG_INFO << "Table III: " << ds.name;
+    std::vector<std::string> row = {ds.name};
+    for (const auto kind : kinds) {
+      auto cfg = vault_config(id, s);
+      cfg.backbone = kind;
+      cfg.cosine_tau = 0.15f;  // density then sampled to the real graph's
+      const TrainedVault tv = train_vault(ds, cfg);
+      row.push_back(Table::pct(tv.backbone_test_accuracy));
+      row.push_back(Table::pct(tv.rectifier_test_accuracy));
+    }
+    t.add_row(row);
+  }
+  t.print();
+  t.write_csv(out_dir() + "/table3_backbones.csv");
+  std::printf(
+      "\nShapes to compare with the paper: random-graph backbones are by far the\n"
+      "worst (structural noise); cosine and KNN are the best; the DNN sits in\n"
+      "between; rectification lifts every backbone.\n");
+  return 0;
+}

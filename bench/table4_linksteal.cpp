@@ -1,0 +1,58 @@
+// Regenerates Table IV: link-stealing ROC-AUC on Cora and Citeseer with
+// six similarity metrics against three observable surfaces:
+//   M_org  - unprotected GNN (all layer embeddings, real adjacency),
+//   M_gv   - GNNVault (public backbone embeddings only),
+//   M_base - feature-only DNN baseline.
+#include "bench_common.hpp"
+
+#include "attack/link_stealing.hpp"
+#include "nn/trainer.hpp"
+
+using namespace gv;
+using namespace gv::bench;
+
+int main() {
+  const auto s = settings();
+  Table t("Table IV: link stealing attack ROC-AUC");
+  t.set_header({"Dataset", "Metric", "M_org", "M_gv", "M_base"});
+
+  for (const auto id : {DatasetId::kCora, DatasetId::kCiteseer}) {
+    const Dataset ds = load_dataset(id, s.seed, s.scale);
+    GV_LOG_INFO << "Table IV: " << ds.name;
+    const ModelSpec spec = model_spec_for_dataset(id);
+
+    // M_org: original GNN embeddings.
+    double porg = 0.0;
+    auto original = train_original_gnn(ds, spec, original_config(s), s.seed, &porg);
+    original->forward(ds.features, false);
+    const auto org_layers = original->layer_outputs();
+
+    // M_gv: GNNVault backbone embeddings (the attacker's whole view).
+    const TrainedVault tv = train_vault(ds, vault_config(id, s));
+    const auto gv_layers = tv.backbone_outputs(ds.features);
+
+    // M_base: feature-only MLP.
+    auto cfg = vault_config(id, s);
+    cfg.backbone = BackboneKind::kDnn;
+    const TrainedVault base = train_vault(ds, cfg);
+    const auto base_layers = base.backbone_outputs(ds.features);
+
+    Rng rng(s.seed ^ 0xa77ac4);
+    const PairSample sample = sample_link_pairs(ds.graph, 4000, rng);
+    const auto auc_org = link_stealing_auc_all_metrics(org_layers, sample);
+    const auto auc_gv = link_stealing_auc_all_metrics(gv_layers, sample);
+    const auto auc_base = link_stealing_auc_all_metrics(base_layers, sample);
+    for (std::size_t i = 0; i < all_similarity_metrics().size(); ++i) {
+      t.add_row({ds.name, metric_name(all_similarity_metrics()[i]),
+                 Table::fmt(auc_org[i], 3), Table::fmt(auc_gv[i], 3),
+                 Table::fmt(auc_base[i], 3)});
+    }
+  }
+  t.print();
+  t.write_csv(out_dir() + "/table4_linksteal.csv");
+  std::printf(
+      "\nShapes to compare with the paper: M_org AUC is high (~0.84-0.99);\n"
+      "GNNVault drops the attack to the feature-only baseline level\n"
+      "(M_gv ~= M_base) on every metric.\n");
+  return 0;
+}

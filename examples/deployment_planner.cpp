@@ -1,0 +1,91 @@
+// Deployment planner: given a dataset and model spec, compare the three
+// rectifier designs on the axes an edge deployment cares about — enclave
+// memory vs the 96 MB EPC, bytes crossing the one-way channel, end-to-end
+// latency vs the unprotected baseline, and accuracy — then print a
+// recommendation. Demonstrates using the library as a decision tool
+// rather than a fixed pipeline.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/deployment.hpp"
+#include "data/catalog.hpp"
+
+using namespace gv;
+
+int main(int argc, char** argv) {
+  // Optional arg: dataset name (Cora, Citeseer, Pubmed, Computer, Photo,
+  // CoraFull). Default: Citeseer.
+  std::string want = argc > 1 ? argv[1] : "Citeseer";
+  DatasetId id = DatasetId::kCiteseer;
+  for (const auto candidate : all_dataset_ids()) {
+    if (dataset_name(candidate) == want) id = candidate;
+  }
+  const Dataset ds = load_dataset(id, 42, /*scale=*/0.3);
+  std::printf("planning deployment for %s (%u nodes, %zu private edges)\n",
+              ds.name.c_str(), ds.num_nodes(), ds.graph.num_edges());
+
+  double p_org = 0.0;
+  TrainConfig tc;
+  tc.epochs = 100;
+  auto original = train_original_gnn(ds, model_spec_for_dataset(id), tc, 42, &p_org);
+  const double unprotected_s = time_unprotected_inference(*original, ds.features);
+
+  struct Candidate {
+    RectifierKind kind;
+    double accuracy;
+    double total_ms;
+    double overhead_pct;
+    double enclave_peak_mb;
+    double transfer_kb;
+  };
+  std::vector<Candidate> candidates;
+
+  for (const auto kind :
+       {RectifierKind::kParallel, RectifierKind::kCascaded, RectifierKind::kSeries}) {
+    VaultTrainConfig cfg;
+    cfg.spec = model_spec_for_dataset(id);
+    cfg.rectifier = kind;
+    cfg.backbone_train.epochs = tc.epochs;
+    cfg.rectifier_train.epochs = tc.epochs;
+    TrainedVault tv = train_vault(ds, cfg);
+    const double acc = tv.rectifier_test_accuracy;
+    VaultDeployment dep(ds, std::move(tv), {});
+    dep.infer_labels(ds.features);  // warm-up
+    dep.reset_meter();
+    dep.infer_labels(ds.features);
+    const double total = dep.meter().total_seconds(dep.cost_model());
+    candidates.push_back({kind, acc, total * 1e3,
+                          (total / unprotected_s - 1.0) * 100.0,
+                          dep.enclave_peak_bytes() / (1024.0 * 1024.0),
+                          dep.bytes_transferred() / 1024.0});
+  }
+
+  std::printf("\nunprotected CPU inference: %.2f ms, accuracy %.1f%%\n",
+              unprotected_s * 1e3, p_org * 100);
+  std::printf("%-10s %9s %10s %10s %12s %12s\n", "design", "acc(%)", "total(ms)",
+              "ovh(%)", "enclave(MB)", "transfer(KB)");
+  for (const auto& c : candidates) {
+    std::printf("%-10s %9.1f %10.2f %10.1f %12.2f %12.1f\n",
+                rectifier_kind_name(c.kind).c_str(), c.accuracy * 100, c.total_ms,
+                c.overhead_pct, c.enclave_peak_mb, c.transfer_kb);
+  }
+
+  // Simple recommendation policy: best accuracy unless another design is
+  // within 1 accuracy point and at least 25% cheaper end-to-end.
+  const Candidate* best = &candidates[0];
+  for (const auto& c : candidates) {
+    if (c.accuracy > best->accuracy) best = &c;
+  }
+  const Candidate* pick = best;
+  for (const auto& c : candidates) {
+    if (best->accuracy - c.accuracy < 0.01 && c.total_ms < pick->total_ms * 0.75) {
+      pick = &c;
+    }
+  }
+  std::printf("\nrecommendation: %s rectifier (accuracy %.1f%%, %.2f ms, "
+              "%.2f MB enclave peak)\n",
+              rectifier_kind_name(pick->kind).c_str(), pick->accuracy * 100,
+              pick->total_ms, pick->enclave_peak_mb);
+  return 0;
+}

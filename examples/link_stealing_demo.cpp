@@ -1,0 +1,61 @@
+// Link-stealing attack demo (paper Sec. V-D / Table IV).
+//
+// Trains three models on the same graph and attacks each with all six
+// similarity metrics, printing a mini Table IV:
+//   M_org  - unprotected GNN: the attacker sees embeddings computed WITH
+//            the private adjacency -> heavy leakage;
+//   M_gv   - GNNVault: the attacker sees only the public backbone's
+//            embeddings (substitute graph) -> leakage drops to...
+//   M_base - ...the feature-only MLP floor.
+#include <cstdio>
+
+#include "attack/link_stealing.hpp"
+#include "core/pipeline.hpp"
+#include "data/catalog.hpp"
+#include "nn/trainer.hpp"
+
+using namespace gv;
+
+int main() {
+  const Dataset ds = load_dataset(DatasetId::kCora, 42, /*scale=*/0.3);
+  const ModelSpec spec = model_spec_m1();
+  TrainConfig tc;
+  tc.epochs = 100;
+
+  std::printf("training M_org (unprotected GNN)...\n");
+  double p_org = 0.0;
+  auto original = train_original_gnn(ds, spec, tc, 42, &p_org);
+  original->forward(ds.features, false);
+  const auto org_layers = original->layer_outputs();
+
+  std::printf("training M_gv (GNNVault)...\n");
+  VaultTrainConfig cfg;
+  cfg.spec = spec;
+  cfg.backbone_train.epochs = tc.epochs;
+  cfg.rectifier_train.epochs = tc.epochs;
+  const TrainedVault vault = train_vault(ds, cfg);
+  const auto gv_layers = vault.backbone_outputs(ds.features);
+
+  std::printf("training M_base (feature-only DNN)...\n");
+  auto base_cfg = cfg;
+  base_cfg.backbone = BackboneKind::kDnn;
+  const TrainedVault base = train_vault(ds, base_cfg);
+  const auto base_layers = base.backbone_outputs(ds.features);
+
+  Rng rng(99);
+  const PairSample pairs = sample_link_pairs(ds.graph, 3000, rng);
+  std::printf("\n%-12s %8s %8s %8s\n", "metric", "M_org", "M_gv", "M_base");
+  for (const auto metric : all_similarity_metrics()) {
+    std::printf("%-12s %8.3f %8.3f %8.3f\n", metric_name(metric).c_str(),
+                link_stealing_auc(org_layers, pairs, metric),
+                link_stealing_auc(gv_layers, pairs, metric),
+                link_stealing_auc(base_layers, pairs, metric));
+  }
+  std::printf("\naccuracies: M_org %.1f%%, GNNVault rectified %.1f%% "
+              "(protection without losing utility)\n",
+              p_org * 100, vault.rectifier_test_accuracy * 100);
+  std::printf("Interpretation: M_gv columns should sit near M_base — the\n"
+              "attacker learns nothing about edges beyond what public\n"
+              "features already reveal.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// The paper's Fig. 1 motivating scenario: Alice ships a product
+// recommender to edge devices.
+//
+// Node = product; features = public attributes (price band, category,
+// review keywords); private edges = "customers who bought X also bought Y"
+// learned from Alice's proprietary user-behavior data. Bob, a curious user
+// with root on the device, wants those co-purchase edges and the accurate
+// model. GNNVault gives Bob only a low-accuracy backbone and feature-
+// derived embeddings; the co-purchase graph stays in the enclave.
+#include <cstdio>
+
+#include "attack/link_stealing.hpp"
+#include "core/deployment.hpp"
+#include "data/synthetic.hpp"
+
+using namespace gv;
+
+int main() {
+  // A product catalog: 1500 products, 8 departments, co-purchase edges are
+  // strongly department-assortative; attributes are noisy department hints.
+  SyntheticSpec catalog;
+  catalog.name = "product-catalog";
+  catalog.num_nodes = 1500;
+  catalog.num_classes = 8;
+  catalog.num_undirected_edges = 6000;
+  catalog.feature_dim = 300;
+  catalog.homophily = 0.85;       // co-purchases cluster within departments
+  catalog.feature_signal = 0.45;  // public attributes are weak predictors
+  catalog.features_per_node = 20;
+  const Dataset products = generate_synthetic(catalog, 2024);
+  std::printf("catalog: %u products, %zu private co-purchase edges\n",
+              products.num_nodes(), products.graph.num_edges());
+
+  // Alice trains GNNVault: the recommendation task here is department-level
+  // product classification (the node-classification stand-in the paper
+  // evaluates; a ranking head would sit on the same embeddings).
+  VaultTrainConfig cfg;
+  cfg.spec = model_spec_m1();
+  cfg.rectifier = RectifierKind::kSeries;  // smallest enclave footprint
+  cfg.backbone_train.epochs = 120;
+  cfg.rectifier_train.epochs = 120;
+  TrainedVault vault = train_vault(products, cfg);
+  std::printf("public backbone accuracy (what Bob can steal): %.1f%%\n",
+              vault.backbone_test_accuracy * 100);
+  std::printf("rectified accuracy (served via enclave):        %.1f%%\n",
+              vault.rectifier_test_accuracy * 100);
+
+  // Bob's attack: infer co-purchase links from everything visible in the
+  // untrusted world.
+  const auto observable = vault.backbone_outputs(products.features);
+  Rng rng(7);
+  const PairSample pairs = sample_link_pairs(products.graph, 3000, rng);
+  const double auc =
+      link_stealing_auc(observable, pairs, SimilarityMetric::kCosine);
+  std::printf("Bob's link-stealing AUC against GNNVault: %.3f "
+              "(features-only floor; 1.0 = full leak)\n", auc);
+
+  // Deploy and serve.
+  VaultDeployment dep(products, std::move(vault), {});
+  const auto recommendations = dep.infer_labels(products.features);
+  std::printf("served %zu label-only predictions; enclave peak %.2f MB; %s\n",
+              recommendations.size(),
+              dep.enclave_peak_bytes() / (1024.0 * 1024.0),
+              dep.meter().summary(dep.cost_model()).c_str());
+  return 0;
+}

@@ -1,0 +1,129 @@
+#include "attack/link_stealing.hpp"
+
+#include "common/error.hpp"
+#include "metrics/auc.hpp"
+#include "tensor/ops.hpp"
+
+namespace gv {
+
+const std::vector<SimilarityMetric>& all_similarity_metrics() {
+  static const std::vector<SimilarityMetric> metrics = {
+      SimilarityMetric::kEuclidean,  SimilarityMetric::kCorrelation,
+      SimilarityMetric::kCosine,     SimilarityMetric::kChebyshev,
+      SimilarityMetric::kBraycurtis, SimilarityMetric::kCanberra};
+  return metrics;
+}
+
+std::string metric_name(SimilarityMetric m) {
+  switch (m) {
+    case SimilarityMetric::kEuclidean: return "Euclidean";
+    case SimilarityMetric::kCorrelation: return "Correlation";
+    case SimilarityMetric::kCosine: return "Cosine";
+    case SimilarityMetric::kChebyshev: return "Chebyshev";
+    case SimilarityMetric::kBraycurtis: return "Braycurtis";
+    case SimilarityMetric::kCanberra: return "Canberra";
+  }
+  throw Error("unknown similarity metric");
+}
+
+std::size_t PairSample::positives() const {
+  std::size_t n = 0;
+  for (const auto e : is_edge) n += (e != 0);
+  return n;
+}
+
+PairSample sample_link_pairs(const Graph& g, std::size_t max_pairs, Rng& rng) {
+  GV_CHECK(g.num_edges() > 0, "graph has no edges to steal");
+  GV_CHECK(max_pairs >= 2, "need at least one positive and one negative pair");
+  PairSample sample;
+  const std::size_t per_class = max_pairs / 2;
+
+  // Positives: all edges, or a shuffled subset.
+  std::vector<Edge> edges = g.edges();
+  if (edges.size() > per_class) {
+    rng.shuffle(edges);
+    edges.resize(per_class);
+  }
+  for (const Edge& e : edges) {
+    sample.pairs.push_back({e.a, e.b});
+    sample.is_edge.push_back(1);
+  }
+
+  // Negatives: uniform non-adjacent pairs, same count as positives.
+  const std::size_t want = sample.pairs.size();
+  std::size_t added = 0, attempts = 0;
+  const std::size_t cap = want * 200 + 1000;
+  while (added < want && attempts < cap) {
+    ++attempts;
+    const auto a = static_cast<std::uint32_t>(rng.uniform_index(g.num_nodes()));
+    const auto b = static_cast<std::uint32_t>(rng.uniform_index(g.num_nodes()));
+    if (a == b || g.has_edge(a, b)) continue;
+    sample.pairs.push_back({a, b});
+    sample.is_edge.push_back(0);
+    ++added;
+  }
+  GV_CHECK(added == want, "could not sample enough non-edges (graph too dense?)");
+  return sample;
+}
+
+float pair_similarity(const Matrix& embeddings, std::uint32_t a, std::uint32_t b,
+                      SimilarityMetric m) {
+  switch (m) {
+    case SimilarityMetric::kEuclidean: return -row_euclidean(embeddings, a, b);
+    case SimilarityMetric::kCorrelation: return row_correlation(embeddings, a, b);
+    case SimilarityMetric::kCosine: return row_cosine(embeddings, a, b);
+    case SimilarityMetric::kChebyshev: return -row_chebyshev(embeddings, a, b);
+    case SimilarityMetric::kBraycurtis: return -row_braycurtis(embeddings, a, b);
+    case SimilarityMetric::kCanberra: return -row_canberra(embeddings, a, b);
+  }
+  throw Error("unknown similarity metric");
+}
+
+Matrix concat_observable_embeddings(const std::vector<Matrix>& layers) {
+  GV_CHECK(!layers.empty(), "no observable embeddings");
+  std::vector<Matrix> normalized;
+  normalized.reserve(layers.size());
+  for (const auto& layer : layers) {
+    if (layer.empty()) continue;
+    Matrix copy = layer;
+    l2_normalize_rows(copy);
+    normalized.push_back(std::move(copy));
+  }
+  GV_CHECK(!normalized.empty(), "all observable embeddings are empty");
+  std::vector<const Matrix*> blocks;
+  blocks.reserve(normalized.size());
+  for (const auto& m : normalized) blocks.push_back(&m);
+  return Matrix::hconcat(std::span<const Matrix* const>(blocks.data(), blocks.size()));
+}
+
+double link_stealing_auc(const std::vector<Matrix>& observable_layers,
+                         const PairSample& sample, SimilarityMetric m) {
+  const Matrix concat = concat_observable_embeddings(observable_layers);
+  std::vector<float> scores(sample.pairs.size());
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(sample.pairs.size()); ++i) {
+    const auto& [a, b] = sample.pairs[i];
+    scores[i] = pair_similarity(concat, a, b, m);
+  }
+  return roc_auc(scores, sample.is_edge);
+}
+
+std::vector<double> link_stealing_auc_all_metrics(
+    const std::vector<Matrix>& observable_layers, const PairSample& sample) {
+  const Matrix concat = concat_observable_embeddings(observable_layers);
+  std::vector<double> aucs;
+  aucs.reserve(all_similarity_metrics().size());
+  for (const auto m : all_similarity_metrics()) {
+    std::vector<float> scores(sample.pairs.size());
+#pragma omp parallel for schedule(static)
+    for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(sample.pairs.size());
+         ++i) {
+      const auto& [a, b] = sample.pairs[i];
+      scores[i] = pair_similarity(concat, a, b, m);
+    }
+    aucs.push_back(roc_auc(scores, sample.is_edge));
+  }
+  return aucs;
+}
+
+}  // namespace gv

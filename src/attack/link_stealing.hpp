@@ -1,0 +1,66 @@
+// Link-stealing attack (He et al., USENIX Security'21; paper Sec. V-D).
+//
+// Threat: an honest-but-curious user observes every intermediate node
+// embedding available in the untrusted world and infers whether two nodes
+// are connected, exploiting that GNN message passing makes connected
+// nodes' embeddings more similar.  The paper scores the attack with
+// ROC-AUC over six similarity/distance metrics (Table IV) on three
+// observable surfaces:
+//   M_org  : all embeddings of the unprotected GNN (real adjacency);
+//   M_gv   : embeddings observable under GNNVault — the public backbone's
+//            only (the rectifier's stay sealed in the enclave);
+//   M_base : embeddings of a feature-only DNN (no graph), the floor any
+//            attacker reaches from public features alone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+#include "tensor/matrix.hpp"
+
+namespace gv {
+
+enum class SimilarityMetric {
+  kEuclidean,
+  kCorrelation,
+  kCosine,
+  kChebyshev,
+  kBraycurtis,
+  kCanberra,
+};
+
+const std::vector<SimilarityMetric>& all_similarity_metrics();
+std::string metric_name(SimilarityMetric m);
+
+/// A balanced evaluation set: existing edges (positives) and uniformly
+/// sampled non-edges (negatives).
+struct PairSample {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  std::vector<std::uint8_t> is_edge;
+  std::size_t positives() const;
+};
+
+/// Sample up to max_pairs/2 edges and an equal number of non-edges.
+PairSample sample_link_pairs(const Graph& g, std::size_t max_pairs, Rng& rng);
+
+/// Similarity of two rows under a metric; HIGHER always means "more likely
+/// connected" (distance metrics are negated).
+float pair_similarity(const Matrix& embeddings, std::uint32_t a, std::uint32_t b,
+                      SimilarityMetric m);
+
+/// Concatenate observable embeddings (each layer L2-row-normalized first so
+/// layers with larger scales do not dominate the distance metrics).
+Matrix concat_observable_embeddings(const std::vector<Matrix>& layers);
+
+/// Attack AUC given the observable embeddings of every layer.
+double link_stealing_auc(const std::vector<Matrix>& observable_layers,
+                         const PairSample& sample, SimilarityMetric m);
+
+/// Convenience: AUC per metric over the same pair sample.
+std::vector<double> link_stealing_auc_all_metrics(
+    const std::vector<Matrix>& observable_layers, const PairSample& sample);
+
+}  // namespace gv

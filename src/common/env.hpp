@@ -1,0 +1,24 @@
+// Environment-variable configuration knobs for the bench harness.
+//
+//   GNNVAULT_BENCH_FAST=1   -> shrink datasets/epochs for smoke runs
+//   GNNVAULT_SEED=<u64>     -> global experiment seed (default 42)
+//   GNNVAULT_EPOCHS=<n>     -> override training epochs
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gv {
+
+/// Read an environment variable, or `fallback` if unset/invalid.
+std::int64_t env_int(const char* name, std::int64_t fallback);
+double env_double(const char* name, double fallback);
+std::string env_string(const char* name, const std::string& fallback);
+
+/// True when GNNVAULT_BENCH_FAST is set to a non-zero value.
+bool bench_fast_mode();
+
+/// Global experiment seed (GNNVAULT_SEED, default 42).
+std::uint64_t experiment_seed();
+
+}  // namespace gv

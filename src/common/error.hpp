@@ -1,0 +1,38 @@
+// Error handling primitives for GNNVault.
+//
+// The library throws `gv::Error` for contract violations that a caller can
+// plausibly recover from (bad shapes, out-of-range arguments, malformed
+// inputs).  Internal invariants use GV_ASSERT which also throws, so unit
+// tests can exercise failure paths without aborting the process.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gv {
+
+/// Exception type thrown by all GNNVault subsystems.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise(const char* file, int line, const std::string& msg) {
+  throw Error(std::string(file) + ":" + std::to_string(line) + ": " + msg);
+}
+}  // namespace detail
+
+}  // namespace gv
+
+/// Check a caller-facing precondition; throws gv::Error when violated.
+#define GV_CHECK(cond, msg)                                   \
+  do {                                                        \
+    if (!(cond)) ::gv::detail::raise(__FILE__, __LINE__, msg); \
+  } while (0)
+
+/// Check an internal invariant; throws gv::Error when violated.
+#define GV_ASSERT(cond, msg)                                  \
+  do {                                                        \
+    if (!(cond)) ::gv::detail::raise(__FILE__, __LINE__, std::string("internal invariant violated: ") + (msg)); \
+  } while (0)

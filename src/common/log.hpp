@@ -1,0 +1,40 @@
+// Minimal leveled logger.  Benches and examples use INFO; tests run at WARN.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace gv {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold (default: Info; override with env GNNVAULT_LOG).
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Emit a single log line (thread-safe).
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, ss_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream ss_;
+};
+}  // namespace detail
+
+}  // namespace gv
+
+#define GV_LOG_DEBUG ::gv::detail::LogStream(::gv::LogLevel::kDebug)
+#define GV_LOG_INFO ::gv::detail::LogStream(::gv::LogLevel::kInfo)
+#define GV_LOG_WARN ::gv::detail::LogStream(::gv::LogLevel::kWarn)
+#define GV_LOG_ERROR ::gv::detail::LogStream(::gv::LogLevel::kError)

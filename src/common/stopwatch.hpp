@@ -1,0 +1,29 @@
+// Wall-clock stopwatch used by the benchmark harness and the SGX cost
+// accounting (for the parts that run natively rather than being modeled).
+#pragma once
+
+#include <chrono>
+
+namespace gv {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last reset.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gv

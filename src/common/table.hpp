@@ -1,0 +1,47 @@
+// ASCII table formatter used by the bench harness to print the paper's
+// tables (Table I-IV) and figure series in a shape directly comparable to
+// the publication.  Also supports CSV export so plots can be regenerated.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gv {
+
+class Table {
+ public:
+  explicit Table(std::string title = "");
+
+  /// Set the header row.
+  void set_header(std::vector<std::string> header);
+
+  /// Append a data row (cells as preformatted strings).
+  void add_row(std::vector<std::string> row);
+
+  /// Number of data rows.
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render as an aligned ASCII table.
+  std::string to_ascii() const;
+
+  /// Render as CSV (header + rows).
+  std::string to_csv() const;
+
+  /// Print ASCII to stdout.
+  void print() const;
+
+  /// Write CSV to `path` (creates/truncates). Throws gv::Error on failure.
+  void write_csv(const std::string& path) const;
+
+  /// Format a double with `prec` digits after the decimal point.
+  static std::string fmt(double v, int prec = 3);
+  /// Format as percentage with one decimal, e.g. 80.4.
+  static std::string pct(double fraction, int prec = 1);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gv

@@ -1,0 +1,117 @@
+#include "core/deployment.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+#include "tensor/ops.hpp"
+
+namespace gv {
+
+VaultDeployment::VaultDeployment(const Dataset& ds, TrainedVault vault,
+                                 DeploymentOptions opts)
+    : vault_(std::move(vault)),
+      opts_(opts),
+      enclave_("gnnvault." + ds.name, opts.cost_model),
+      channel_(enclave_) {
+  GV_CHECK(vault_.rectifier != nullptr, "deployment requires a trained rectifier");
+  provision_enclave(ds);
+}
+
+void VaultDeployment::provision_enclave(const Dataset& ds) {
+  // The private adjacency goes straight to its enclave (COO) form.
+  private_coo_ = ds.graph.to_coo_normalized();
+
+  // Measurement covers the rectifier code identity and the initial data.
+  enclave_.extend_measurement(std::string("gnnvault-rectifier-v1:") +
+                              rectifier_kind_name(vault_.rectifier->config().kind));
+  const auto weights = vault_.rectifier->serialize_weights();
+  enclave_.extend_measurement(weights);
+  enclave_.initialize();
+
+  if (opts_.seal_artifacts) {
+    sealed_weights_ = enclave_.seal(weights);
+    // Round-trip through sealed storage, as a real deployment would on
+    // every enclave launch.
+    const auto restored = enclave_.unseal(sealed_weights_);
+    vault_.rectifier->deserialize_weights(restored);
+  }
+
+  // Enclave-resident allocations (Fig. 6 memory accounting).
+  enclave_.ecall([&] {
+    enclave_.memory().set("rectifier.weights", vault_.rectifier->parameter_bytes());
+    enclave_.memory().set("graph.coo", private_coo_.payload_bytes());
+    // The rectifier multiplies against a CSR view built once at load.
+    private_adj_csr_ = std::make_shared<const CsrMatrix>(
+        Graph::csr_from_coo_normalized(private_coo_));
+    enclave_.memory().set("graph.csr", private_adj_csr_->payload_bytes());
+    vault_.rectifier->set_adjacency(private_adj_csr_);
+  });
+}
+
+std::vector<std::uint32_t> VaultDeployment::infer_labels(const CsrMatrix& features) {
+  // --- 1. Public backbone in the untrusted world. -----------------------
+  Stopwatch bb_watch;
+  const auto outputs = vault_.backbone_outputs(features);
+  enclave_.meter().untrusted_compute_seconds += bb_watch.seconds();
+
+  // --- 2. Only the required embeddings cross the one-way channel. -------
+  const auto required = vault_.rectifier->required_backbone_layers();
+  auto sender = channel_.sender();
+  for (const auto idx : required) {
+    GV_CHECK(idx < outputs.size(), "backbone output index out of range");
+    sender.push(outputs[idx]);
+  }
+
+  // --- 3+4. Rectifier inside the enclave; label-only output. -------------
+  return enclave_.ecall([&] {
+    auto receiver = channel_.receiver();
+    std::vector<Matrix> enclave_inputs(outputs.size());
+    for (const auto idx : required) {
+      enclave_inputs[idx] = receiver.pop();
+      enclave_.memory().set("rect.input." + std::to_string(idx),
+                            enclave_inputs[idx].payload_bytes());
+    }
+    const auto act_bytes = vault_.rectifier->activation_bytes(features.rows());
+    for (std::size_t k = 0; k < act_bytes.size(); ++k) {
+      enclave_.memory().set("rect.act." + std::to_string(k), act_bytes[k]);
+    }
+    const Matrix logits = vault_.rectifier->forward(enclave_inputs, /*training=*/false);
+    // Label-only: argmax happens inside the enclave; logits never leave.
+    std::vector<std::uint32_t> labels = argmax_rows(logits);
+    // Transient buffers are released before the ecall returns.
+    for (const auto idx : required) {
+      enclave_.memory().free("rect.input." + std::to_string(idx));
+    }
+    for (std::size_t k = 0; k < act_bytes.size(); ++k) {
+      enclave_.memory().free("rect.act." + std::to_string(k));
+    }
+    return labels;
+  });
+}
+
+std::size_t VaultDeployment::backbone_runtime_bytes(const CsrMatrix& features) const {
+  const NodeModel& bb = vault_.backbone();
+  std::size_t bytes = 0;
+  bytes += const_cast<NodeModel&>(bb).parameter_count() * sizeof(float);
+  bytes += features.payload_bytes();
+  if (vault_.substitute_adj) bytes += vault_.substitute_adj->payload_bytes();
+  for (const std::size_t dim : bb.layer_dims()) {
+    bytes += static_cast<std::size_t>(features.rows()) * dim * sizeof(float);
+  }
+  return bytes;
+}
+
+double time_unprotected_inference(NodeModel& model, const CsrMatrix& features,
+                                  int repetitions) {
+  GV_CHECK(repetitions > 0, "repetitions must be positive");
+  double best = 1e300;
+  for (int r = 0; r < repetitions; ++r) {
+    Stopwatch sw;
+    model.forward(features, /*training=*/false);
+    best = std::min(best, sw.seconds());
+  }
+  return best;
+}
+
+}  // namespace gv

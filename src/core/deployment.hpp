@@ -1,0 +1,79 @@
+// Step 4 of GNNVault (paper Fig. 2 + Sec. IV-E): secure deployment.
+//
+// The public backbone and the substitute graph live in the untrusted
+// world; the rectifier weights and the REAL adjacency (COO + precomputed
+// degree terms) are sealed and only ever exist in the clear inside the
+// enclave.  At inference time:
+//   1. the backbone runs in the normal world (GPU/CPU — here CPU);
+//   2. only the embeddings the rectifier needs cross the one-way channel;
+//   3. the rectifier runs inside an ecall, with every intermediate kept in
+//      enclave memory;
+//   4. ONLY the predicted class labels leave the enclave (label-only
+//      output: logits carry link/membership signal, Sec. IV-E).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "sgxsim/channel.hpp"
+#include "sgxsim/enclave.hpp"
+
+namespace gv {
+
+struct DeploymentOptions {
+  SgxCostModel cost_model{};
+  /// Seal rectifier weights at rest and unseal on load (default on; can be
+  /// disabled to measure the crypto's share of load time).
+  bool seal_artifacts = true;
+};
+
+class VaultDeployment {
+ public:
+  /// Takes ownership of the trained vault. The private graph is taken from
+  /// `ds` and immediately converted to its enclave (COO) form; the
+  /// deployment never stores the real adjacency in untrusted state.
+  VaultDeployment(const Dataset& ds, TrainedVault vault, DeploymentOptions opts = {});
+
+  /// Secure inference over all nodes; returns ONLY class labels.
+  std::vector<std::uint32_t> infer_labels(const CsrMatrix& features);
+
+  /// Accumulated Fig.-6-style cost breakdown (reset before each batch with
+  /// reset_meter()).
+  const CostMeter& meter() const { return enclave_.meter(); }
+  void reset_meter() { enclave_.meter().reset(); }
+  const SgxCostModel& cost_model() const { return opts_.cost_model; }
+
+  const Enclave& enclave() const { return enclave_; }
+  std::size_t enclave_peak_bytes() const { return enclave_.memory().peak_bytes(); }
+  std::size_t enclave_current_bytes() const { return enclave_.memory().current_bytes(); }
+
+  /// Estimated untrusted-world runtime bytes of the backbone (params +
+  /// activations + substitute adjacency + features); the Fig. 6 argument
+  /// that the full model cannot fit in the EPC.
+  std::size_t backbone_runtime_bytes(const CsrMatrix& features) const;
+
+  /// Bytes that crossed into the enclave so far.
+  std::uint64_t bytes_transferred() const { return channel_.total_bytes_pushed(); }
+
+  const TrainedVault& vault() const { return vault_; }
+
+ private:
+  void provision_enclave(const Dataset& ds);
+
+  TrainedVault vault_;
+  DeploymentOptions opts_;
+  Enclave enclave_;
+  OneWayChannel channel_;
+  // Enclave-held state (only touched inside ecalls).
+  CooAdjacency private_coo_;
+  std::shared_ptr<const CsrMatrix> private_adj_csr_;
+  SealedBlob sealed_weights_;
+};
+
+/// Wall-clock seconds of one unprotected CPU inference of `model` (the
+/// Fig. 6 baseline).
+double time_unprotected_inference(NodeModel& model, const CsrMatrix& features,
+                                  int repetitions = 3);
+
+}  // namespace gv

@@ -1,0 +1,53 @@
+#include "core/model_spec.hpp"
+
+#include "common/error.hpp"
+
+namespace gv {
+
+std::vector<std::size_t> ModelSpec::backbone_channels(std::uint32_t num_classes) const {
+  std::vector<std::size_t> ch = backbone_hidden;
+  ch.push_back(num_classes);
+  return ch;
+}
+
+std::vector<std::size_t> ModelSpec::rectifier_channels(std::uint32_t num_classes) const {
+  std::vector<std::size_t> ch = rectifier_hidden;
+  ch.push_back(num_classes);
+  return ch;
+}
+
+ModelSpec model_spec_m1() {
+  return ModelSpec{"M1", {128, 32}, {128, 32}, 0.5f};
+}
+
+ModelSpec model_spec_m2() {
+  return ModelSpec{"M2", {256, 128}, {128, 64}, 0.5f};
+}
+
+ModelSpec model_spec_m3() {
+  return ModelSpec{"M3", {256, 64, 32, 16}, {64, 32}, 0.5f};
+}
+
+ModelSpec model_spec_by_name(const std::string& name) {
+  if (name == "M1") return model_spec_m1();
+  if (name == "M2") return model_spec_m2();
+  if (name == "M3") return model_spec_m3();
+  throw Error("unknown model spec: " + name);
+}
+
+ModelSpec model_spec_for_dataset(DatasetId id) {
+  switch (id) {
+    case DatasetId::kCora:
+    case DatasetId::kCiteseer:
+    case DatasetId::kPubmed:
+      return model_spec_m1();
+    case DatasetId::kCoraFull:
+      return model_spec_m2();
+    case DatasetId::kComputer:
+    case DatasetId::kPhoto:
+      return model_spec_m3();
+  }
+  throw Error("unknown dataset id");
+}
+
+}  // namespace gv

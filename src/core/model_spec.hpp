@@ -1,0 +1,38 @@
+// Model architecture specs M1/M2/M3 (paper Sec. V-A "Models").
+//
+//   M1: 3-layer GCN backbone (128, 32, C), rectifier hidden (128, 32);
+//       for the smaller citation graphs (Cora, Citeseer, Pubmed).
+//   M2: wider channels for the 70-class CoraFull.
+//   M3: a larger/deeper backbone (256, 64, 32, 16, C) with a compact
+//       (64, 32, C) rectifier; used for Amazon Computer/Photo.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/catalog.hpp"
+
+namespace gv {
+
+struct ModelSpec {
+  std::string name;                          // "M1" / "M2" / "M3"
+  std::vector<std::size_t> backbone_hidden;  // hidden channels (C appended)
+  std::vector<std::size_t> rectifier_hidden; // hidden channels (C appended)
+  float dropout = 0.5f;
+
+  /// Full channel lists including the class dimension.
+  std::vector<std::size_t> backbone_channels(std::uint32_t num_classes) const;
+  std::vector<std::size_t> rectifier_channels(std::uint32_t num_classes) const;
+};
+
+ModelSpec model_spec_m1();
+ModelSpec model_spec_m2();
+ModelSpec model_spec_m3();
+ModelSpec model_spec_by_name(const std::string& name);
+
+/// The paper's dataset -> model assignment (M1 small citation graphs,
+/// M2 CoraFull, M3 Amazon graphs).
+ModelSpec model_spec_for_dataset(DatasetId id);
+
+}  // namespace gv

@@ -1,0 +1,312 @@
+#include "core/package.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace gv {
+
+namespace {
+
+constexpr char kMagic[6] = {'G', 'V', 'P', 'K', '1', '\n'};
+enum Section : std::uint32_t {
+  kMeta = 1,
+  kBackbone = 2,
+  kSubstituteGraph = 3,
+  kRectifier = 4,
+  kPrivateGraph = 5,
+};
+
+class Writer {
+ public:
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void f32(float v) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, 4);
+    u32(bits);
+  }
+  void floats(const float* p, std::size_t count) {
+    const auto* bytes = reinterpret_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), bytes, bytes + count * 4);
+  }
+  void bytes(const std::uint8_t* p, std::size_t count) {
+    buf_.insert(buf_.end(), p, p + count);
+  }
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* p, std::size_t size) : p_(p), size_(size) {}
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t(p_[off_ + i]) << (8 * i);
+    off_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t(p_[off_ + i]) << (8 * i);
+    off_ += 8;
+    return v;
+  }
+  float f32() {
+    const std::uint32_t bits = u32();
+    float v;
+    std::memcpy(&v, &bits, 4);
+    return v;
+  }
+  void floats(float* dst, std::size_t count) {
+    need(count * 4);
+    std::memcpy(dst, p_ + off_, count * 4);
+    off_ += count * 4;
+  }
+  std::vector<std::uint8_t> blob(std::size_t count) {
+    need(count);
+    std::vector<std::uint8_t> out(p_ + off_, p_ + off_ + count);
+    off_ += count;
+    return out;
+  }
+  bool done() const { return off_ == size_; }
+  std::size_t offset() const { return off_; }
+
+ private:
+  void need(std::size_t n) const {
+    GV_CHECK(off_ + n <= size_, "truncated vault package");
+  }
+  const std::uint8_t* p_;
+  std::size_t size_;
+  std::size_t off_ = 0;
+};
+
+void write_graph(Writer& w, const Graph& g) {
+  w.u32(g.num_nodes());
+  w.u64(g.num_edges());
+  for (const Edge& e : g.edges()) {
+    w.u32(e.a);
+    w.u32(e.b);
+  }
+}
+
+Graph read_graph(Reader& r) {
+  const std::uint32_t n = r.u32();
+  const std::uint64_t m = r.u64();
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  pairs.reserve(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    const std::uint32_t a = r.u32();
+    const std::uint32_t b = r.u32();
+    pairs.push_back({a, b});
+  }
+  return Graph::from_pairs(n, pairs);
+}
+
+void write_section(std::vector<std::uint8_t>& out, Section tag, const Writer& w) {
+  Writer head;
+  head.u32(tag);
+  head.u64(w.data().size());
+  out.insert(out.end(), head.data().begin(), head.data().end());
+  out.insert(out.end(), w.data().begin(), w.data().end());
+}
+
+}  // namespace
+
+void save_vault_package(const std::string& path, const TrainedVault& vault,
+                        const Graph& private_graph, const Dataset& ds) {
+  GV_CHECK(vault.rectifier != nullptr, "cannot package an untrained vault");
+  std::vector<std::uint8_t> out(kMagic, kMagic + sizeof(kMagic));
+
+  {
+    Writer w;
+    w.u32(ds.num_classes);
+    w.u64(ds.feature_dim());
+    w.f32(static_cast<float>(vault.backbone_test_accuracy));
+    w.f32(static_cast<float>(vault.rectifier_test_accuracy));
+    write_section(out, kMeta, w);
+  }
+  {
+    Writer w;
+    const bool is_gcn = vault.backbone_gcn != nullptr;
+    w.u32(is_gcn ? 1 : 0);
+    auto& bb = const_cast<TrainedVault&>(vault).backbone();
+    const auto dims = bb.layer_dims();
+    w.u32(static_cast<std::uint32_t>(dims.size()));
+    for (const auto d : dims) w.u32(static_cast<std::uint32_t>(d));
+    // Per-layer W then b.
+    for (std::size_t k = 0; k < dims.size(); ++k) {
+      if (is_gcn) {
+        auto& layer = vault.backbone_gcn->layer(k);
+        w.u32(static_cast<std::uint32_t>(layer.in_dim()));
+        w.floats(layer.weight().value.data(), layer.weight().value.size());
+        w.floats(layer.bias().value.data(), layer.bias().value.size());
+      } else {
+        auto& layer = vault.backbone_mlp->layer(k);
+        w.u32(static_cast<std::uint32_t>(layer.in_dim()));
+        w.floats(layer.weight().value.data(), layer.weight().value.size());
+        w.floats(layer.bias().value.data(), layer.bias().value.size());
+      }
+    }
+    write_section(out, kBackbone, w);
+  }
+  {
+    Writer w;
+    write_graph(w, vault.substitute_graph);
+    write_section(out, kSubstituteGraph, w);
+  }
+  {
+    Writer w;
+    w.u32(static_cast<std::uint32_t>(vault.rectifier->config().kind));
+    w.f32(vault.rectifier->config().dropout);
+    const auto& channels = vault.rectifier->config().channels;
+    w.u32(static_cast<std::uint32_t>(channels.size()));
+    for (const auto c : channels) w.u32(static_cast<std::uint32_t>(c));
+    const auto blob = vault.rectifier->serialize_weights();
+    w.u64(blob.size());
+    w.bytes(blob.data(), blob.size());
+    write_section(out, kRectifier, w);
+  }
+  {
+    Writer w;
+    write_graph(w, private_graph);
+    write_section(out, kPrivateGraph, w);
+  }
+
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  GV_CHECK(f.good(), "cannot open package file for writing: " + path);
+  f.write(reinterpret_cast<const char*>(out.data()),
+          static_cast<std::streamsize>(out.size()));
+  GV_CHECK(f.good(), "failed writing package file: " + path);
+}
+
+LoadedVault load_vault_package(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  GV_CHECK(f.good(), "cannot open package file: " + path);
+  std::vector<std::uint8_t> raw((std::istreambuf_iterator<char>(f)),
+                                std::istreambuf_iterator<char>());
+  GV_CHECK(raw.size() >= sizeof(kMagic) &&
+               std::memcmp(raw.data(), kMagic, sizeof(kMagic)) == 0,
+           "not a GNNVault package: " + path);
+
+  LoadedVault lv;
+  // Parsed-but-deferred state.
+  bool backbone_is_gcn = true;
+  std::vector<std::size_t> backbone_dims;
+  std::vector<std::uint32_t> backbone_in_dims;
+  std::vector<std::vector<float>> backbone_weights, backbone_biases;
+  RectifierConfig rect_cfg;
+  std::vector<std::uint8_t> rect_blob;
+
+  Reader top(raw.data() + sizeof(kMagic), raw.size() - sizeof(kMagic));
+  while (!top.done()) {
+    const std::uint32_t tag = top.u32();
+    const std::uint64_t len = top.u64();
+    const auto payload = top.blob(len);
+    Reader r(payload.data(), payload.size());
+    switch (tag) {
+      case kMeta: {
+        lv.num_classes = r.u32();
+        lv.feature_dim = r.u64();
+        lv.vault.backbone_test_accuracy = r.f32();
+        lv.vault.rectifier_test_accuracy = r.f32();
+        break;
+      }
+      case kBackbone: {
+        backbone_is_gcn = r.u32() == 1;
+        const std::uint32_t layers = r.u32();
+        backbone_dims.clear();
+        for (std::uint32_t k = 0; k < layers; ++k) backbone_dims.push_back(r.u32());
+        for (std::uint32_t k = 0; k < layers; ++k) {
+          const std::uint32_t in = r.u32();
+          backbone_in_dims.push_back(in);
+          std::vector<float> wv(static_cast<std::size_t>(in) * backbone_dims[k]);
+          r.floats(wv.data(), wv.size());
+          std::vector<float> bv(backbone_dims[k]);
+          r.floats(bv.data(), bv.size());
+          backbone_weights.push_back(std::move(wv));
+          backbone_biases.push_back(std::move(bv));
+        }
+        break;
+      }
+      case kSubstituteGraph:
+        lv.vault.substitute_graph = read_graph(r);
+        break;
+      case kRectifier: {
+        rect_cfg.kind = static_cast<RectifierKind>(r.u32());
+        GV_CHECK(rect_cfg.kind == RectifierKind::kParallel ||
+                     rect_cfg.kind == RectifierKind::kCascaded ||
+                     rect_cfg.kind == RectifierKind::kSeries,
+                 "invalid rectifier kind in package");
+        rect_cfg.dropout = r.f32();
+        const std::uint32_t layers = r.u32();
+        for (std::uint32_t k = 0; k < layers; ++k) rect_cfg.channels.push_back(r.u32());
+        rect_blob = r.blob(r.u64());
+        break;
+      }
+      case kPrivateGraph:
+        lv.private_graph = read_graph(r);
+        break;
+      default:
+        throw Error("unknown section tag in vault package");
+    }
+  }
+  GV_CHECK(!backbone_dims.empty(), "package missing backbone section");
+  GV_CHECK(!rect_cfg.channels.empty(), "package missing rectifier section");
+  GV_CHECK(lv.private_graph.num_nodes() > 0, "package missing private graph");
+
+  // Rebuild models; weights are overwritten right after construction.
+  Rng rng(1);
+  if (backbone_is_gcn) {
+    lv.vault.substitute_adj = std::make_shared<const CsrMatrix>(
+        lv.vault.substitute_graph.gcn_normalized());
+    GcnConfig gc;
+    gc.input_dim = lv.feature_dim;
+    gc.channels = backbone_dims;
+    gc.dropout = 0.0f;
+    lv.vault.backbone_gcn =
+        std::make_shared<GcnModel>(gc, lv.vault.substitute_adj, rng);
+    for (std::size_t k = 0; k < backbone_dims.size(); ++k) {
+      auto& layer = lv.vault.backbone_gcn->layer(k);
+      GV_CHECK(layer.in_dim() == backbone_in_dims[k],
+               "backbone layer shape mismatch in package");
+      std::memcpy(layer.weight().value.data(), backbone_weights[k].data(),
+                  backbone_weights[k].size() * sizeof(float));
+      layer.bias().value = backbone_biases[k];
+    }
+  } else {
+    MlpConfig mc;
+    mc.input_dim = lv.feature_dim;
+    mc.channels = backbone_dims;
+    mc.dropout = 0.0f;
+    lv.vault.backbone_mlp = std::make_shared<MlpModel>(mc, rng);
+    for (std::size_t k = 0; k < backbone_dims.size(); ++k) {
+      auto& layer = lv.vault.backbone_mlp->layer(k);
+      GV_CHECK(layer.in_dim() == backbone_in_dims[k],
+               "backbone layer shape mismatch in package");
+      std::memcpy(layer.weight().value.data(), backbone_weights[k].data(),
+                  backbone_weights[k].size() * sizeof(float));
+      layer.bias().value = backbone_biases[k];
+    }
+  }
+  lv.vault.backbone_parameters = lv.vault.backbone().parameter_count();
+
+  lv.vault.real_adj =
+      std::make_shared<const CsrMatrix>(lv.private_graph.gcn_normalized());
+  lv.vault.rectifier = std::make_shared<Rectifier>(rect_cfg, backbone_dims,
+                                                   lv.vault.real_adj, rng);
+  lv.vault.rectifier->deserialize_weights(rect_blob);
+  lv.vault.rectifier_parameters = lv.vault.rectifier->parameter_count();
+  return lv;
+}
+
+}  // namespace gv

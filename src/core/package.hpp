@@ -1,0 +1,40 @@
+// Vault packages: single-file serialization of a trained GNNVault.
+//
+// The model vendor (the paper's Alice) trains on her infrastructure and
+// ships an artifact to the edge device. A package contains:
+//   * the public backbone (architecture + weights) and substitute graph,
+//     destined for the untrusted world;
+//   * the private rectifier (config + weights) and the REAL graph,
+//     destined for the enclave (sealed by the enclave on first load).
+//
+// Binary layout: magic "GVPK1\n", then tagged sections, each
+//   [tag u32][byte-length u64][payload]
+// with little-endian integers and raw float32 weight payloads.
+#pragma once
+
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "data/dataset.hpp"
+
+namespace gv {
+
+/// Serialize a trained vault (plus the private graph it was trained on)
+/// to `path`. Throws gv::Error on I/O failure.
+void save_vault_package(const std::string& path, const TrainedVault& vault,
+                        const Graph& private_graph, const Dataset& ds);
+
+/// Everything reconstructed from a package.
+struct LoadedVault {
+  TrainedVault vault;
+  Graph private_graph;
+  std::uint32_t num_classes = 0;
+  std::size_t feature_dim = 0;
+};
+
+/// Load a package written by save_vault_package. Model weights, graphs,
+/// and configs round-trip bit-exactly. Throws gv::Error on malformed or
+/// truncated input.
+LoadedVault load_vault_package(const std::string& path);
+
+}  // namespace gv

@@ -1,0 +1,90 @@
+// GNNVault end-to-end training pipeline (paper Fig. 2):
+//   1. generate a substitute graph from public node features;
+//   2. train the public GNN backbone on the substitute adjacency;
+//   3. freeze the backbone, train the private rectifier on the REAL
+//      adjacency from the backbone's embeddings;
+// (step 4, deployment, lives in deployment.hpp).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/model_spec.hpp"
+#include "core/rectifier.hpp"
+#include "data/dataset.hpp"
+#include "nn/model.hpp"
+#include "nn/trainer.hpp"
+
+namespace gv {
+
+/// Backbone flavors compared in Table III.
+enum class BackboneKind { kDnn, kRandom, kCosine, kKnn };
+
+std::string backbone_kind_name(BackboneKind kind);
+
+struct VaultTrainConfig {
+  ModelSpec spec = model_spec_m1();
+  BackboneKind backbone = BackboneKind::kKnn;
+  RectifierKind rectifier = RectifierKind::kParallel;
+
+  /// Substitute graph hyper-parameters (Fig. 5 ablation knobs).
+  std::uint32_t knn_k = 2;
+  float cosine_tau = 0.5f;
+  /// Random-graph edge budget as a fraction of the real edge count.
+  double random_edge_fraction = 1.0;
+
+  TrainConfig backbone_train{};   // defaults: 150 epochs, Adam(0.01, wd 5e-4)
+  TrainConfig rectifier_train{};
+
+  std::uint64_t seed = 42;
+};
+
+/// Everything produced by the pipeline that deployment (and the attacks /
+/// benches) need.
+struct TrainedVault {
+  /// Exactly one of these is non-null, depending on BackboneKind.
+  std::shared_ptr<GcnModel> backbone_gcn;
+  std::shared_ptr<MlpModel> backbone_mlp;
+
+  std::shared_ptr<Rectifier> rectifier;
+  std::shared_ptr<const CsrMatrix> substitute_adj;  // null for the DNN backbone
+  std::shared_ptr<const CsrMatrix> real_adj;
+  Graph substitute_graph;  // empty for the DNN backbone
+
+  double backbone_test_accuracy = 0.0;   // p_bb
+  double rectifier_test_accuracy = 0.0;  // p_rec
+  std::size_t backbone_parameters = 0;   // theta_bb
+  std::size_t rectifier_parameters = 0;  // theta_rec
+
+  NodeModel& backbone();
+  const NodeModel& backbone() const;
+
+  /// Inference-mode backbone embeddings (all layers; last = logits).
+  std::vector<Matrix> backbone_outputs(const CsrMatrix& features) const;
+
+  /// Label-only secure prediction path used by tests (the deployment class
+  /// adds the enclave around the same computation).
+  std::vector<std::uint32_t> predict_rectified(const CsrMatrix& features) const;
+};
+
+/// Run pipeline steps 1-3 on a dataset.
+TrainedVault train_vault(const Dataset& ds, const VaultTrainConfig& cfg);
+
+/// Train the ORIGINAL (unprotected) GNN: backbone architecture + real
+/// adjacency. Returns the model and fills `test_accuracy` (p_org).
+std::shared_ptr<GcnModel> train_original_gnn(const Dataset& ds, const ModelSpec& spec,
+                                             const TrainConfig& tc, std::uint64_t seed,
+                                             double* test_accuracy);
+
+/// Train a rectifier against fixed backbone embeddings (exposed separately
+/// for ablations; train_vault calls this internally).
+TrainResult train_rectifier(Rectifier& rectifier,
+                            const std::vector<Matrix>& backbone_outputs,
+                            const std::vector<std::uint32_t>& labels,
+                            const std::vector<std::uint32_t>& train_mask,
+                            const TrainConfig& cfg);
+
+/// Build the substitute graph for a config (exposed for the Fig. 5 bench).
+Graph build_substitute_graph(const Dataset& ds, const VaultTrainConfig& cfg, Rng& rng);
+
+}  // namespace gv

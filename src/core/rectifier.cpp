@@ -1,0 +1,238 @@
+#include "core/rectifier.hpp"
+
+#include <cstring>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace gv {
+
+std::string rectifier_kind_name(RectifierKind kind) {
+  switch (kind) {
+    case RectifierKind::kParallel: return "parallel";
+    case RectifierKind::kCascaded: return "cascaded";
+    case RectifierKind::kSeries: return "series";
+  }
+  throw Error("unknown rectifier kind");
+}
+
+namespace {
+/// Columns [begin, end) of m as a copy.
+Matrix slice_cols(const Matrix& m, std::size_t begin, std::size_t end) {
+  GV_CHECK(begin <= end && end <= m.cols(), "column slice out of range");
+  Matrix out(m.rows(), end - begin);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    std::memcpy(out.data() + r * out.cols(), m.data() + r * m.cols() + begin,
+                (end - begin) * sizeof(float));
+  }
+  return out;
+}
+}  // namespace
+
+Rectifier::Rectifier(RectifierConfig cfg, std::vector<std::size_t> backbone_dims,
+                     std::shared_ptr<const CsrMatrix> adjacency, Rng& rng)
+    : cfg_(std::move(cfg)),
+      backbone_dims_(std::move(backbone_dims)),
+      adj_(std::move(adjacency)),
+      dropout_rng_(rng.split()) {
+  GV_CHECK(!cfg_.channels.empty(), "rectifier needs at least one layer");
+  GV_CHECK(!backbone_dims_.empty(), "backbone must have at least one layer");
+  GV_CHECK(adj_ != nullptr, "rectifier requires the real adjacency");
+  if (cfg_.kind == RectifierKind::kParallel) {
+    GV_CHECK(cfg_.channels.size() <= backbone_dims_.size(),
+             "parallel rectifier cannot be deeper than the backbone");
+  }
+  layers_.reserve(cfg_.channels.size());
+  for (std::size_t k = 0; k < cfg_.channels.size(); ++k) {
+    layers_.emplace_back(layer_input_dim(k), cfg_.channels[k], rng);
+  }
+}
+
+std::size_t Rectifier::layer_input_dim(std::size_t k) const {
+  GV_CHECK(k < cfg_.channels.size(), "layer index out of range");
+  switch (cfg_.kind) {
+    case RectifierKind::kParallel:
+      // Layer k reads backbone layer k's embedding, plus (for k >= 1) the
+      // previous rectifier output.
+      return k == 0 ? backbone_dims_[0] : backbone_dims_[k] + cfg_.channels[k - 1];
+    case RectifierKind::kCascaded:
+      return k == 0 ? std::accumulate(backbone_dims_.begin(), backbone_dims_.end(),
+                                      std::size_t{0})
+                    : cfg_.channels[k - 1];
+    case RectifierKind::kSeries: {
+      const std::size_t penult =
+          backbone_dims_.size() >= 2 ? backbone_dims_[backbone_dims_.size() - 2]
+                                     : backbone_dims_.back();
+      return k == 0 ? penult : cfg_.channels[k - 1];
+    }
+  }
+  throw Error("unknown rectifier kind");
+}
+
+std::vector<std::size_t> Rectifier::required_backbone_layers() const {
+  std::vector<std::size_t> req;
+  switch (cfg_.kind) {
+    case RectifierKind::kParallel:
+      for (std::size_t k = 0; k < cfg_.channels.size(); ++k) req.push_back(k);
+      break;
+    case RectifierKind::kCascaded:
+      for (std::size_t k = 0; k < backbone_dims_.size(); ++k) req.push_back(k);
+      break;
+    case RectifierKind::kSeries:
+      req.push_back(backbone_dims_.size() >= 2 ? backbone_dims_.size() - 2 : 0);
+      break;
+  }
+  return req;
+}
+
+std::size_t Rectifier::parameter_count() const {
+  std::size_t n = 0;
+  for (const auto& l : layers_) n += l.parameter_count();
+  return n;
+}
+
+Matrix Rectifier::build_layer_input(std::size_t k,
+                                    const std::vector<Matrix>& backbone_outputs,
+                                    const Matrix& prev) const {
+  auto bb = [&](std::size_t i) -> const Matrix& {
+    GV_CHECK(i < backbone_outputs.size(), "missing backbone output");
+    GV_CHECK(!backbone_outputs[i].empty(), "required backbone output is empty");
+    GV_CHECK(backbone_outputs[i].cols() == backbone_dims_[i],
+             "backbone output dim mismatch");
+    return backbone_outputs[i];
+  };
+  switch (cfg_.kind) {
+    case RectifierKind::kParallel:
+      return k == 0 ? bb(0) : Matrix::hconcat(bb(k), prev);
+    case RectifierKind::kCascaded: {
+      if (k > 0) return prev;
+      std::vector<const Matrix*> blocks;
+      blocks.reserve(backbone_dims_.size());
+      for (std::size_t i = 0; i < backbone_dims_.size(); ++i) blocks.push_back(&bb(i));
+      return Matrix::hconcat(std::span<const Matrix* const>(blocks.data(), blocks.size()));
+    }
+    case RectifierKind::kSeries:
+      return k == 0 ? bb(backbone_dims_.size() >= 2 ? backbone_dims_.size() - 2 : 0)
+                    : prev;
+  }
+  throw Error("unknown rectifier kind");
+}
+
+Matrix Rectifier::forward(const std::vector<Matrix>& backbone_outputs, bool training) {
+  pre_activations_.clear();
+  post_activations_.clear();
+  masks_.clear();
+  trained_forward_ = training;
+  cached_backbone_outputs_ = &backbone_outputs;
+
+  Matrix h;
+  for (std::size_t k = 0; k < layers_.size(); ++k) {
+    const bool last = (k + 1 == layers_.size());
+    const Matrix input = build_layer_input(k, backbone_outputs, h);
+    Matrix z = layers_[k].forward(*adj_, input, training);
+    if (training) pre_activations_.push_back(z);
+    if (!last) {
+      h = relu(z);
+      if (training && cfg_.dropout > 0.0f) {
+        masks_.push_back(dropout_forward(h, cfg_.dropout, dropout_rng_));
+      }
+    } else {
+      h = z;
+    }
+    post_activations_.push_back(h);
+  }
+  return post_activations_.back();
+}
+
+void Rectifier::backward(const Matrix& dlogits) {
+  GV_CHECK(trained_forward_, "backward() requires a training-mode forward");
+  Matrix d = dlogits;
+  for (std::size_t k = layers_.size(); k-- > 0;) {
+    const bool last = (k + 1 == layers_.size());
+    if (!last) {
+      if (cfg_.dropout > 0.0f) dropout_backward(d, masks_[k]);
+      d = relu_backward(d, pre_activations_[k]);
+    }
+    Matrix dinput = layers_[k].backward(*adj_, d);
+    if (k == 0) break;  // gradient w.r.t. backbone embeddings is discarded
+    switch (cfg_.kind) {
+      case RectifierKind::kParallel:
+        // Input was [backbone_k | prev]; keep only the prev part.
+        d = slice_cols(dinput, backbone_dims_[k], dinput.cols());
+        break;
+      case RectifierKind::kCascaded:
+      case RectifierKind::kSeries:
+        d = std::move(dinput);
+        break;
+    }
+  }
+}
+
+void Rectifier::collect_parameters(ParamRefs& refs) {
+  for (auto& l : layers_) l.collect_parameters(refs);
+}
+
+std::vector<std::size_t> Rectifier::activation_bytes(std::size_t n) const {
+  std::vector<std::size_t> bytes;
+  bytes.reserve(layers_.size());
+  for (const auto ch : cfg_.channels) bytes.push_back(n * ch * sizeof(float));
+  return bytes;
+}
+
+std::size_t Rectifier::parameter_bytes() const { return parameter_count() * sizeof(float); }
+
+std::vector<std::uint8_t> Rectifier::serialize_weights() const {
+  // Layout: [num_layers u32] then per layer [in u32][out u32][W floats][b floats].
+  std::vector<std::uint8_t> out;
+  auto put_u32 = [&](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  auto put_floats = [&](const float* p, std::size_t count) {
+    const auto* bytes = reinterpret_cast<const std::uint8_t*>(p);
+    out.insert(out.end(), bytes, bytes + count * sizeof(float));
+  };
+  put_u32(static_cast<std::uint32_t>(layers_.size()));
+  for (const auto& l : layers_) {
+    put_u32(static_cast<std::uint32_t>(l.in_dim()));
+    put_u32(static_cast<std::uint32_t>(l.out_dim()));
+    put_floats(l.weight().value.data(), l.weight().value.size());
+    put_floats(l.bias().value.data(), l.bias().value.size());
+  }
+  return out;
+}
+
+void Rectifier::deserialize_weights(std::span<const std::uint8_t> bytes) {
+  std::size_t off = 0;
+  auto get_u32 = [&]() -> std::uint32_t {
+    GV_CHECK(off + 4 <= bytes.size(), "truncated rectifier weight blob");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t(bytes[off + i]) << (8 * i);
+    off += 4;
+    return v;
+  };
+  auto get_floats = [&](float* p, std::size_t count) {
+    GV_CHECK(off + count * sizeof(float) <= bytes.size(),
+             "truncated rectifier weight blob");
+    std::memcpy(p, bytes.data() + off, count * sizeof(float));
+    off += count * sizeof(float);
+  };
+  const std::uint32_t n_layers = get_u32();
+  GV_CHECK(n_layers == layers_.size(), "rectifier layer count mismatch");
+  for (auto& l : layers_) {
+    const std::uint32_t in = get_u32();
+    const std::uint32_t outd = get_u32();
+    GV_CHECK(in == l.in_dim() && outd == l.out_dim(),
+             "rectifier layer shape mismatch in weight blob");
+    get_floats(l.weight().value.data(), l.weight().value.size());
+    get_floats(l.bias().value.data(), l.bias().value.size());
+  }
+  GV_CHECK(off == bytes.size(), "trailing bytes in rectifier weight blob");
+}
+
+void Rectifier::set_adjacency(std::shared_ptr<const CsrMatrix> adjacency) {
+  GV_CHECK(adjacency != nullptr, "adjacency must not be null");
+  adj_ = std::move(adjacency);
+}
+
+}  // namespace gv

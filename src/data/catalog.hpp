@@ -1,0 +1,41 @@
+// Catalog of the six dataset twins used throughout the paper's evaluation
+// (Table I).  Node/edge/feature/class counts match the published table;
+// homophily, degree skew, and feature sparsity are set to the published
+// statistics of the original datasets.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "data/synthetic.hpp"
+
+namespace gv {
+
+/// Identifiers of the six Table-I datasets.
+enum class DatasetId { kCora, kCiteseer, kPubmed, kComputer, kPhoto, kCoraFull };
+
+/// All six ids in Table-I order.
+const std::vector<DatasetId>& all_dataset_ids();
+
+/// Paper-facing display name, e.g. "Cora".
+std::string dataset_name(DatasetId id);
+
+/// The generator spec for a dataset twin.
+SyntheticSpec dataset_spec(DatasetId id);
+
+/// Generate the twin. `scale` in (0,1] shrinks it (fast mode); 1.0 = full.
+Dataset load_dataset(DatasetId id, std::uint64_t seed, double scale = 1.0);
+
+/// Table I row data for reporting.
+struct TableOneRow {
+  std::string name;
+  std::uint32_t nodes;
+  std::size_t directed_edges;
+  std::uint32_t features;
+  std::uint32_t classes;
+  double dense_adj_mb;  // float64 dense adjacency
+};
+TableOneRow table_one_row(const Dataset& ds);
+
+}  // namespace gv

@@ -1,0 +1,70 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace gv {
+
+void Dataset::validate() const {
+  GV_CHECK(features.rows() == graph.num_nodes(),
+           "feature rows must match node count");
+  GV_CHECK(labels.size() == graph.num_nodes(), "labels must match node count");
+  GV_CHECK(num_classes > 0, "dataset needs at least one class");
+  for (const auto y : labels) {
+    GV_CHECK(y < num_classes, "label out of range");
+  }
+  auto check_nodes = [&](const std::vector<std::uint32_t>& ns) {
+    for (const auto v : ns) GV_CHECK(v < graph.num_nodes(), "split node out of range");
+  };
+  check_nodes(split.train);
+  check_nodes(split.test);
+  // Train and test must be disjoint.
+  std::vector<std::uint32_t> train_sorted = split.train;
+  std::sort(train_sorted.begin(), train_sorted.end());
+  for (const auto v : split.test) {
+    GV_CHECK(!std::binary_search(train_sorted.begin(), train_sorted.end(), v),
+             "train/test split overlap");
+  }
+}
+
+Split make_semi_supervised_split(const std::vector<std::uint32_t>& labels,
+                                 std::uint32_t num_classes, std::uint32_t per_class,
+                                 Rng& rng) {
+  std::vector<std::vector<std::uint32_t>> by_class(num_classes);
+  for (std::uint32_t v = 0; v < labels.size(); ++v) {
+    GV_CHECK(labels[v] < num_classes, "label out of range");
+    by_class[labels[v]].push_back(v);
+  }
+  Split split;
+  std::vector<std::uint8_t> in_train(labels.size(), 0);
+  for (std::uint32_t c = 0; c < num_classes; ++c) {
+    auto& nodes = by_class[c];
+    rng.shuffle(nodes);
+    const std::size_t take = std::min<std::size_t>(per_class, nodes.size());
+    for (std::size_t i = 0; i < take; ++i) {
+      split.train.push_back(nodes[i]);
+      in_train[nodes[i]] = 1;
+    }
+  }
+  for (std::uint32_t v = 0; v < labels.size(); ++v) {
+    if (!in_train[v]) split.test.push_back(v);
+  }
+  std::sort(split.train.begin(), split.train.end());
+  return split;
+}
+
+double accuracy_on(const std::vector<std::uint32_t>& predictions,
+                   const std::vector<std::uint32_t>& labels,
+                   const std::vector<std::uint32_t>& node_set) {
+  GV_CHECK(predictions.size() == labels.size(), "prediction/label size mismatch");
+  GV_CHECK(!node_set.empty(), "empty evaluation node set");
+  std::size_t correct = 0;
+  for (const auto v : node_set) {
+    GV_CHECK(v < predictions.size(), "node out of range");
+    if (predictions[v] == labels[v]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(node_set.size());
+}
+
+}  // namespace gv

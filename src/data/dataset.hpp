@@ -1,0 +1,50 @@
+// Node-classification dataset: a graph, sparse node features, labels, and
+// a semi-supervised split (the paper's 20-labeled-nodes-per-class setup).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+#include "tensor/csr.hpp"
+#include "tensor/matrix.hpp"
+
+namespace gv {
+
+struct Split {
+  std::vector<std::uint32_t> train;  // 20 per class (paper Sec. V-A)
+  std::vector<std::uint32_t> test;   // all remaining nodes
+};
+
+struct Dataset {
+  std::string name;
+  Graph graph;              // the PRIVATE adjacency
+  CsrMatrix features;       // PUBLIC node features (n x d, sparse)
+  std::vector<std::uint32_t> labels;
+  std::uint32_t num_classes = 0;
+  Split split;
+
+  std::uint32_t num_nodes() const { return graph.num_nodes(); }
+  std::size_t feature_dim() const { return features.cols(); }
+
+  /// Dense feature copy (used only for small matrices / tests).
+  Matrix dense_features() const { return features.to_dense(); }
+
+  /// Validate internal consistency; throws gv::Error when broken.
+  void validate() const;
+};
+
+/// Planetoid-style split: `per_class` labeled train nodes per class, all
+/// remaining nodes form the test set.
+Split make_semi_supervised_split(const std::vector<std::uint32_t>& labels,
+                                 std::uint32_t num_classes, std::uint32_t per_class,
+                                 Rng& rng);
+
+/// Classification accuracy of predictions over the given node set.
+double accuracy_on(const std::vector<std::uint32_t>& predictions,
+                   const std::vector<std::uint32_t>& labels,
+                   const std::vector<std::uint32_t>& node_set);
+
+}  // namespace gv

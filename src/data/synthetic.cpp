@@ -1,0 +1,243 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace gv {
+
+namespace {
+
+/// Weighted sampler over a node subset via prefix sums + binary search.
+class WeightedSampler {
+ public:
+  WeightedSampler(const std::vector<std::uint32_t>& nodes,
+                  const std::vector<double>& weight) {
+    nodes_ = nodes;
+    prefix_.resize(nodes.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      acc += weight[nodes[i]];
+      prefix_[i] = acc;
+    }
+    total_ = acc;
+  }
+
+  double total() const { return total_; }
+  bool empty() const { return nodes_.empty() || total_ <= 0.0; }
+
+  std::uint32_t sample(Rng& rng) const {
+    const double u = rng.uniform() * total_;
+    const auto it = std::lower_bound(prefix_.begin(), prefix_.end(), u);
+    const std::size_t idx = std::min<std::size_t>(
+        static_cast<std::size_t>(it - prefix_.begin()), nodes_.size() - 1);
+    return nodes_[idx];
+  }
+
+ private:
+  std::vector<std::uint32_t> nodes_;
+  std::vector<double> prefix_;
+  double total_ = 0.0;
+};
+
+inline std::uint64_t edge_key(std::uint32_t a, std::uint32_t b) {
+  const std::uint32_t lo = std::min(a, b), hi = std::max(a, b);
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+}  // namespace
+
+Dataset generate_synthetic(const SyntheticSpec& spec, std::uint64_t seed) {
+  GV_CHECK(spec.num_nodes >= 2 * spec.num_classes,
+           "need at least two nodes per class");
+  GV_CHECK(spec.num_classes >= 2, "need at least two classes");
+  GV_CHECK(spec.homophily >= 0.0 && spec.homophily <= 1.0,
+           "homophily must be in [0,1]");
+  Rng rng(seed ^ 0x5eedf00d12345678ull);
+
+  const std::uint32_t n = spec.num_nodes;
+  const std::uint32_t c = spec.num_classes;
+
+  // --- Labels: balanced classes, randomly permuted over nodes. ---
+  std::vector<std::uint32_t> labels(n);
+  for (std::uint32_t v = 0; v < n; ++v) labels[v] = v % c;
+  rng.shuffle(labels);
+
+  std::vector<std::vector<std::uint32_t>> members(c);
+  for (std::uint32_t v = 0; v < n; ++v) members[labels[v]].push_back(v);
+
+  // --- Degree correction: Pareto weights. ---
+  std::vector<double> weight(n);
+  for (auto& w : weight) w = rng.pareto(spec.degree_alpha, spec.degree_cap);
+
+  std::vector<WeightedSampler> class_sampler;
+  class_sampler.reserve(c);
+  std::vector<double> class_weight(c);
+  for (std::uint32_t k = 0; k < c; ++k) {
+    class_sampler.emplace_back(members[k], weight);
+    class_weight[k] = class_sampler.back().total();
+  }
+  // Class-pair sampler for intra edges: class k with prob ~ W_k^2.
+  std::vector<double> intra_prefix(c);
+  {
+    double acc = 0.0;
+    for (std::uint32_t k = 0; k < c; ++k) {
+      acc += class_weight[k] * class_weight[k];
+      intra_prefix[k] = acc;
+    }
+  }
+  auto sample_class_sq = [&](Rng& r) -> std::uint32_t {
+    const double u = r.uniform() * intra_prefix.back();
+    const auto it = std::lower_bound(intra_prefix.begin(), intra_prefix.end(), u);
+    return static_cast<std::uint32_t>(
+        std::min<std::ptrdiff_t>(it - intra_prefix.begin(), c - 1));
+  };
+  std::vector<double> class_prefix(c);
+  {
+    double acc = 0.0;
+    for (std::uint32_t k = 0; k < c; ++k) {
+      acc += class_weight[k];
+      class_prefix[k] = acc;
+    }
+  }
+  auto sample_class = [&](Rng& r) -> std::uint32_t {
+    const double u = r.uniform() * class_prefix.back();
+    const auto it = std::lower_bound(class_prefix.begin(), class_prefix.end(), u);
+    return static_cast<std::uint32_t>(
+        std::min<std::ptrdiff_t>(it - class_prefix.begin(), c - 1));
+  };
+
+  // --- Edges: exactly the target count (if achievable), target homophily. ---
+  const std::size_t target_edges = spec.num_undirected_edges;
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(target_edges * 2);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  pairs.reserve(target_edges);
+  const std::size_t attempt_cap = target_edges * 200 + 10000;
+  std::size_t attempts = 0;
+  while (pairs.size() < target_edges && attempts < attempt_cap) {
+    ++attempts;
+    std::uint32_t a = 0, b = 0;
+    if (rng.bernoulli(spec.homophily)) {
+      const std::uint32_t k = sample_class_sq(rng);
+      a = class_sampler[k].sample(rng);
+      b = class_sampler[k].sample(rng);
+    } else {
+      const std::uint32_t k1 = sample_class(rng);
+      std::uint32_t k2 = sample_class(rng);
+      std::size_t guard = 0;
+      while (k2 == k1 && guard++ < 64) k2 = sample_class(rng);
+      if (k2 == k1) continue;
+      a = class_sampler[k1].sample(rng);
+      b = class_sampler[k2].sample(rng);
+    }
+    if (a == b) continue;
+    if (!seen.insert(edge_key(a, b)).second) continue;
+    pairs.push_back({a, b});
+  }
+
+  Dataset ds;
+  ds.name = spec.name;
+  ds.graph = Graph::from_pairs(n, pairs);
+  ds.labels = std::move(labels);
+  ds.num_classes = c;
+
+  // --- Features: overlapping class prototypes + common "stop words" +
+  // uniform noise, binary sparse. The prototype ring overlap makes
+  // neighboring classes confusable from features alone; the common pool
+  // adds cross-class similarity. Both keep feature-only accuracy (and the
+  // quality of feature-similarity substitute graphs) below the real-graph
+  // ceiling, which is the regime GNNVault's partition targets.
+  std::uint32_t proto = spec.prototype_size;
+  if (proto == 0) {
+    proto = std::max<std::uint32_t>(8, spec.feature_dim / (2 * c));
+  }
+  proto = std::min(proto, spec.feature_dim);
+  std::vector<std::vector<std::uint32_t>> own_dims(c);
+  for (std::uint32_t k = 0; k < c; ++k) {
+    own_dims[k] = rng.sample_without_replacement(spec.feature_dim, proto);
+  }
+  // Effective pool of class k: its own dims plus a slice of the next
+  // class's (ring overlap, controlled by class_confusion).
+  std::vector<std::vector<std::uint32_t>> class_pool(c);
+  const auto shared =
+      static_cast<std::size_t>(static_cast<double>(proto) * spec.class_confusion);
+  for (std::uint32_t k = 0; k < c; ++k) {
+    class_pool[k] = own_dims[k];
+    const auto& next = own_dims[(k + 1) % c];
+    class_pool[k].insert(class_pool[k].end(), next.begin(),
+                         next.begin() + std::min(shared, next.size()));
+  }
+  // Subtopic prototypes: random halves of the class pool. Nodes of the
+  // same class but different subtopics overlap only partially in feature
+  // space (like papers on different themes within one research area).
+  const std::uint32_t subtopics = std::max(1u, spec.subtopics_per_class);
+  std::vector<std::vector<std::vector<std::uint32_t>>> prototypes(c);
+  for (std::uint32_t k = 0; k < c; ++k) {
+    prototypes[k].resize(subtopics);
+    const auto pool_size = static_cast<std::uint32_t>(class_pool[k].size());
+    const auto sub_size = std::max<std::uint32_t>(
+        4, static_cast<std::uint32_t>(pool_size * spec.subtopic_fraction));
+    for (std::uint32_t t = 0; t < subtopics; ++t) {
+      const auto pick = rng.sample_without_replacement(pool_size, sub_size);
+      auto& dst = prototypes[k][t];
+      dst.reserve(sub_size);
+      for (const auto i : pick) dst.push_back(class_pool[k][i]);
+    }
+  }
+  std::vector<std::uint32_t> node_subtopic(n);
+  for (auto& t : node_subtopic) {
+    t = static_cast<std::uint32_t>(rng.uniform_index(subtopics));
+  }
+  const auto common_pool_size = std::max<std::uint32_t>(
+      4, static_cast<std::uint32_t>(spec.feature_dim * spec.common_pool_fraction));
+  const auto common_pool =
+      rng.sample_without_replacement(spec.feature_dim, std::min(common_pool_size,
+                                                                spec.feature_dim));
+  std::vector<CooEntry> feat_entries;
+  feat_entries.reserve(static_cast<std::size_t>(n) * spec.features_per_node);
+  std::unordered_set<std::uint32_t> row_dims;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    row_dims.clear();
+    // nnz per row: uniform in [0.5, 1.5] * mean, at least 3.
+    const auto nnz_target = std::max<std::uint32_t>(
+        3, static_cast<std::uint32_t>(
+               std::lround(spec.features_per_node * rng.uniform(0.5, 1.5))));
+    const auto& my_proto = prototypes[ds.labels[v]][node_subtopic[v]];
+    std::size_t guard = 0;
+    while (row_dims.size() < nnz_target && guard++ < nnz_target * 20u) {
+      std::uint32_t dim = 0;
+      if (rng.bernoulli(spec.feature_signal)) {
+        dim = my_proto[rng.uniform_index(my_proto.size())];
+      } else if (rng.bernoulli(spec.common_token_prob)) {
+        dim = common_pool[rng.uniform_index(common_pool.size())];
+      } else {
+        dim = static_cast<std::uint32_t>(rng.uniform_index(spec.feature_dim));
+      }
+      row_dims.insert(dim);
+    }
+    for (const auto dim : row_dims) feat_entries.push_back({v, dim, 1.0f});
+  }
+  ds.features = CsrMatrix::from_coo(n, spec.feature_dim, std::move(feat_entries));
+
+  ds.split = make_semi_supervised_split(ds.labels, c, spec.train_per_class, rng);
+  ds.validate();
+  return ds;
+}
+
+SyntheticSpec scaled_spec(SyntheticSpec spec, double factor) {
+  GV_CHECK(factor > 0.0 && factor <= 1.0, "scale factor must be in (0,1]");
+  const auto min_nodes = spec.num_classes * 40u;
+  spec.num_nodes = std::max<std::uint32_t>(
+      min_nodes, static_cast<std::uint32_t>(spec.num_nodes * factor));
+  spec.num_undirected_edges = std::max<std::size_t>(
+      spec.num_nodes, static_cast<std::size_t>(spec.num_undirected_edges * factor));
+  spec.feature_dim = std::max<std::uint32_t>(
+      64, static_cast<std::uint32_t>(spec.feature_dim * factor));
+  spec.train_per_class = std::min(spec.train_per_class, 20u);
+  return spec;
+}
+
+}  // namespace gv

@@ -1,0 +1,75 @@
+// Degree-corrected stochastic block model (DC-SBM) dataset generator.
+//
+// The paper evaluates on Cora/Citeseer/Pubmed/Amazon-Computer/Amazon-Photo/
+// CoraFull.  Those raw files are not available in this offline environment,
+// so we generate *synthetic twins*: graphs + class-conditional sparse
+// binary features whose headline statistics (node/edge/feature/class
+// counts, feature sparsity, edge homophily, degree skew) match the
+// originals.  Everything GNNVault claims depends on two structural
+// properties that the generator controls directly:
+//   1. edges are class-assortative (homophily) -> real-adjacency message
+//      passing helps, and link-stealing from embeddings is possible;
+//   2. features are class-correlated but noisy -> feature-similarity
+//      substitute graphs (KNN/cosine) are useful yet lossy, so the public
+//      backbone underperforms until the private rectifier fixes it.
+// See DESIGN.md "Substitutions" for the fidelity argument.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace gv {
+
+struct SyntheticSpec {
+  std::string name = "synthetic";
+  std::uint32_t num_nodes = 1000;
+  std::uint32_t num_classes = 5;
+  std::size_t num_undirected_edges = 3000;
+  std::uint32_t feature_dim = 500;
+
+  /// Target fraction of intra-class edges (citation graphs: ~0.74-0.81).
+  double homophily = 0.80;
+  /// Pareto exponent of the degree corrector (lower = heavier tail).
+  double degree_alpha = 2.2;
+  /// Degree-weight cap (multiples of the minimum weight).
+  double degree_cap = 25.0;
+
+  /// Mean number of active (binary) features per node.
+  std::uint32_t features_per_node = 30;
+  /// Probability that an active feature is drawn from the node's class
+  /// prototype rather than from the common/background pools.
+  double feature_signal = 0.55;
+  /// Number of prototype dimensions per class (0 = auto: d / (2 C), >= 8).
+  std::uint32_t prototype_size = 0;
+  /// Fraction of each class prototype shared with the NEXT class (ring
+  /// overlap). Confusable neighboring classes are what keep feature-only
+  /// models (and feature-similarity substitute graphs) away from the
+  /// graph-based ceiling — the regime GNNVault targets.
+  double class_confusion = 0.5;
+  /// Probability that a non-signal token comes from a small "common word"
+  /// pool shared by every node (stop-word-like dims), vs uniform noise.
+  double common_token_prob = 0.5;
+  /// Size of the common pool as a fraction of feature_dim.
+  double common_pool_fraction = 0.03;
+  /// Subtopics per class: each node draws its signal tokens from one of
+  /// several per-class subtopic prototypes (subsets of the class pool).
+  /// Intra-class feature diversity is what keeps a feature-only MLP below
+  /// a KNN-substitute GNN with only 20 labels per class (Table III).
+  std::uint32_t subtopics_per_class = 3;
+  /// Fraction of the class pool each subtopic prototype samples.
+  double subtopic_fraction = 0.5;
+
+  /// Labeled nodes per class in the train split (paper: 20).
+  std::uint32_t train_per_class = 20;
+};
+
+/// Generate a dataset from the spec; fully deterministic in (spec, seed).
+Dataset generate_synthetic(const SyntheticSpec& spec, std::uint64_t seed);
+
+/// Shrink a spec by `factor` (nodes, edges, feature dim) for smoke tests /
+/// GNNVAULT_BENCH_FAST runs. Keeps class count; keeps >= 40 nodes/class.
+SyntheticSpec scaled_spec(SyntheticSpec spec, double factor);
+
+}  // namespace gv

@@ -1,0 +1,169 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gv {
+
+Graph Graph::from_pairs(
+    std::uint32_t num_nodes,
+    std::span<const std::pair<std::uint32_t, std::uint32_t>> pairs) {
+  Graph g(num_nodes);
+  std::vector<Edge> edges;
+  edges.reserve(pairs.size());
+  for (const auto& [a, b] : pairs) {
+    if (a == b) continue;
+    GV_CHECK(a < num_nodes && b < num_nodes, "edge endpoint out of range");
+    edges.push_back({std::min(a, b), std::max(a, b)});
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  g.edges_ = std::move(edges);
+  return g;
+}
+
+bool Graph::add_edge(std::uint32_t a, std::uint32_t b) {
+  if (a == b || a >= num_nodes_ || b >= num_nodes_) return false;
+  const Edge e{std::min(a, b), std::max(a, b)};
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), e);
+  if (it != edges_.end() && *it == e) return false;
+  edges_.insert(it, e);
+  index_valid_ = false;
+  return true;
+}
+
+bool Graph::has_edge(std::uint32_t a, std::uint32_t b) const {
+  if (a == b || a >= num_nodes_ || b >= num_nodes_) return false;
+  const Edge e{std::min(a, b), std::max(a, b)};
+  return std::binary_search(edges_.begin(), edges_.end(), e);
+}
+
+void Graph::ensure_index() const {
+  if (index_valid_) return;
+  index_ptr_.assign(num_nodes_ + 1, 0);
+  for (const Edge& e : edges_) {
+    index_ptr_[e.a + 1] += 1;
+    index_ptr_[e.b + 1] += 1;
+  }
+  for (std::uint32_t v = 0; v < num_nodes_; ++v) index_ptr_[v + 1] += index_ptr_[v];
+  index_adj_.assign(edges_.size() * 2, 0);
+  std::vector<std::int64_t> cursor(index_ptr_.begin(), index_ptr_.end() - 1);
+  for (const Edge& e : edges_) {
+    index_adj_[cursor[e.a]++] = e.b;
+    index_adj_[cursor[e.b]++] = e.a;
+  }
+  for (std::uint32_t v = 0; v < num_nodes_; ++v) {
+    std::sort(index_adj_.begin() + index_ptr_[v], index_adj_.begin() + index_ptr_[v + 1]);
+  }
+  index_valid_ = true;
+}
+
+std::span<const std::uint32_t> Graph::neighbors(std::uint32_t v) const {
+  GV_CHECK(v < num_nodes_, "node out of range");
+  ensure_index();
+  return {index_adj_.data() + index_ptr_[v],
+          static_cast<std::size_t>(index_ptr_[v + 1] - index_ptr_[v])};
+}
+
+std::vector<std::uint32_t> Graph::degrees() const {
+  std::vector<std::uint32_t> deg(num_nodes_, 0);
+  for (const Edge& e : edges_) {
+    deg[e.a] += 1;
+    deg[e.b] += 1;
+  }
+  return deg;
+}
+
+double Graph::edge_homophily(std::span<const std::uint32_t> labels) const {
+  GV_CHECK(labels.size() == num_nodes_, "labels size mismatch");
+  if (edges_.empty()) return 0.0;
+  std::size_t same = 0;
+  for (const Edge& e : edges_) {
+    if (labels[e.a] == labels[e.b]) ++same;
+  }
+  return static_cast<double>(same) / static_cast<double>(edges_.size());
+}
+
+double Graph::density() const {
+  if (num_nodes_ < 2) return 0.0;
+  return 2.0 * static_cast<double>(edges_.size()) /
+         (static_cast<double>(num_nodes_) * (num_nodes_ - 1));
+}
+
+CsrMatrix Graph::adjacency_csr(bool add_self_loops) const {
+  std::vector<CooEntry> entries;
+  entries.reserve(edges_.size() * 2 + (add_self_loops ? num_nodes_ : 0));
+  for (const Edge& e : edges_) {
+    entries.push_back({e.a, e.b, 1.0f});
+    entries.push_back({e.b, e.a, 1.0f});
+  }
+  if (add_self_loops) {
+    for (std::uint32_t v = 0; v < num_nodes_; ++v) entries.push_back({v, v, 1.0f});
+  }
+  return CsrMatrix::from_coo(num_nodes_, num_nodes_, std::move(entries));
+}
+
+CsrMatrix Graph::gcn_normalized() const {
+  // Â(i,j) = (A+I)(i,j) / sqrt(d̃_i d̃_j)  with d̃ = degree + 1.
+  const auto deg = degrees();
+  std::vector<float> inv_sqrt(num_nodes_);
+  for (std::uint32_t v = 0; v < num_nodes_; ++v) {
+    inv_sqrt[v] = 1.0f / std::sqrt(static_cast<float>(deg[v] + 1));
+  }
+  std::vector<CooEntry> entries;
+  entries.reserve(edges_.size() * 2 + num_nodes_);
+  for (const Edge& e : edges_) {
+    const float w = inv_sqrt[e.a] * inv_sqrt[e.b];
+    entries.push_back({e.a, e.b, w});
+    entries.push_back({e.b, e.a, w});
+  }
+  for (std::uint32_t v = 0; v < num_nodes_; ++v) {
+    entries.push_back({v, v, inv_sqrt[v] * inv_sqrt[v]});
+  }
+  return CsrMatrix::from_coo(num_nodes_, num_nodes_, std::move(entries));
+}
+
+CooAdjacency Graph::to_coo_normalized() const {
+  CooAdjacency coo;
+  coo.num_nodes = num_nodes_;
+  const auto deg = degrees();
+  coo.deg_inv_sqrt.resize(num_nodes_);
+  for (std::uint32_t v = 0; v < num_nodes_; ++v) {
+    coo.deg_inv_sqrt[v] = 1.0f / std::sqrt(static_cast<float>(deg[v] + 1));
+  }
+  coo.src.reserve(edges_.size() * 2 + num_nodes_);
+  coo.dst.reserve(edges_.size() * 2 + num_nodes_);
+  for (const Edge& e : edges_) {
+    coo.src.push_back(e.a);
+    coo.dst.push_back(e.b);
+    coo.src.push_back(e.b);
+    coo.dst.push_back(e.a);
+  }
+  for (std::uint32_t v = 0; v < num_nodes_; ++v) {
+    coo.src.push_back(v);
+    coo.dst.push_back(v);
+  }
+  return coo;
+}
+
+CsrMatrix Graph::csr_from_coo_normalized(const CooAdjacency& coo) {
+  GV_CHECK(coo.src.size() == coo.dst.size(), "COO src/dst size mismatch");
+  GV_CHECK(coo.deg_inv_sqrt.size() == coo.num_nodes, "COO degree vector size mismatch");
+  std::vector<CooEntry> entries;
+  entries.reserve(coo.src.size());
+  for (std::size_t i = 0; i < coo.src.size(); ++i) {
+    const std::uint32_t s = coo.src[i], d = coo.dst[i];
+    GV_CHECK(s < coo.num_nodes && d < coo.num_nodes, "COO index out of range");
+    entries.push_back({s, d, coo.deg_inv_sqrt[s] * coo.deg_inv_sqrt[d]});
+  }
+  return CsrMatrix::from_coo(coo.num_nodes, coo.num_nodes, std::move(entries));
+}
+
+double Graph::dense_adjacency_mb(std::uint32_t num_nodes, std::size_t bytes_per_cell) {
+  return static_cast<double>(num_nodes) * num_nodes *
+         static_cast<double>(bytes_per_cell) / (1024.0 * 1024.0);
+}
+
+}  // namespace gv

@@ -1,0 +1,104 @@
+// Undirected simple graph.
+//
+// Stores the canonical edge list (a < b, unique, no self-loops) plus a CSR
+// neighbor index built lazily.  Edge counts follow the paper's Table I
+// convention of counting *directed* edges (each undirected edge twice).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "tensor/csr.hpp"
+
+namespace gv {
+
+/// An undirected edge with endpoints a < b.
+struct Edge {
+  std::uint32_t a;
+  std::uint32_t b;
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// Private adjacency in the Coordinate format the paper deploys inside the
+/// enclave (Sec. IV-E): directed nonzero coordinates plus the precomputed
+/// D̃^{-1/2} entries so normalization needs no extra pass at inference time.
+struct CooAdjacency {
+  std::uint32_t num_nodes = 0;
+  std::vector<std::uint32_t> src;      // directed, includes both (a,b),(b,a) and self-loops
+  std::vector<std::uint32_t> dst;
+  std::vector<float> deg_inv_sqrt;     // per node, degrees include the self-loop
+  std::size_t payload_bytes() const {
+    return src.size() * sizeof(std::uint32_t) + dst.size() * sizeof(std::uint32_t) +
+           deg_inv_sqrt.size() * sizeof(float);
+  }
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::uint32_t num_nodes) : num_nodes_(num_nodes) {}
+
+  /// Build from an arbitrary pair list: self-loops dropped, duplicates and
+  /// reversed duplicates merged.
+  static Graph from_pairs(std::uint32_t num_nodes,
+                          std::span<const std::pair<std::uint32_t, std::uint32_t>> pairs);
+
+  std::uint32_t num_nodes() const { return num_nodes_; }
+  /// Undirected edge count.
+  std::size_t num_edges() const { return edges_.size(); }
+  /// Directed edge count (Table I convention: 2 * undirected).
+  std::size_t num_directed_edges() const { return edges_.size() * 2; }
+
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Add an undirected edge; returns false if it already exists or is a
+  /// self-loop / out of range.
+  bool add_edge(std::uint32_t a, std::uint32_t b);
+
+  bool has_edge(std::uint32_t a, std::uint32_t b) const;
+
+  /// Sorted neighbor list of v.
+  std::span<const std::uint32_t> neighbors(std::uint32_t v) const;
+
+  /// Degree of every node (self-loops excluded; none are stored).
+  std::vector<std::uint32_t> degrees() const;
+
+  /// Fraction of edges whose endpoints share a label (edge homophily).
+  double edge_homophily(std::span<const std::uint32_t> labels) const;
+
+  /// 2m / (n (n-1)), the undirected density.
+  double density() const;
+
+  /// Binary adjacency as CSR, optionally with self-loops.
+  CsrMatrix adjacency_csr(bool add_self_loops = false) const;
+
+  /// Symmetric GCN propagation matrix Â = D̃^{-1/2} (A + I) D̃^{-1/2}.
+  CsrMatrix gcn_normalized() const;
+
+  /// Enclave deployment form (COO + precomputed D̃^{-1/2}); see CooAdjacency.
+  CooAdjacency to_coo_normalized() const;
+
+  /// Rebuild the Â CSR from the enclave COO form (what the rectifier does
+  /// once inside the TEE).
+  static CsrMatrix csr_from_coo_normalized(const CooAdjacency& coo);
+
+  /// Bytes of a dense float64 adjacency (Table I's DenseA column scale).
+  static double dense_adjacency_mb(std::uint32_t num_nodes,
+                                   std::size_t bytes_per_cell = 8);
+
+ private:
+  void ensure_index() const;
+
+  std::uint32_t num_nodes_ = 0;
+  std::vector<Edge> edges_;
+  // Lazy CSR neighbor index.
+  mutable bool index_valid_ = false;
+  mutable std::vector<std::int64_t> index_ptr_;
+  mutable std::vector<std::uint32_t> index_adj_;
+};
+
+}  // namespace gv

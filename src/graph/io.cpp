@@ -1,0 +1,96 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace gv {
+
+namespace {
+std::ifstream open_in(const std::string& path) {
+  std::ifstream f(path);
+  GV_CHECK(f.good(), "cannot open file for reading: " + path);
+  return f;
+}
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream f(path, std::ios::trunc);
+  GV_CHECK(f.good(), "cannot open file for writing: " + path);
+  return f;
+}
+
+/// Next non-comment, non-empty line; false at EOF.
+bool next_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    const auto pos = line.find_first_not_of(" \t\r");
+    if (pos == std::string::npos || line[pos] == '#') continue;
+    return true;
+  }
+  return false;
+}
+}  // namespace
+
+void save_graph(const Graph& g, const std::string& path) {
+  auto f = open_out(path);
+  f << "graph " << g.num_nodes() << ' ' << g.num_edges() << '\n';
+  for (const Edge& e : g.edges()) f << "e " << e.a << ' ' << e.b << '\n';
+  GV_CHECK(f.good(), "failed writing graph file: " + path);
+}
+
+Graph load_graph(const std::string& path) {
+  auto f = open_in(path);
+  std::string line;
+  GV_CHECK(next_line(f, line), "empty graph file: " + path);
+  std::istringstream head(line);
+  std::string tag;
+  std::uint32_t n = 0;
+  std::size_t m = 0;
+  head >> tag >> n >> m;
+  GV_CHECK(tag == "graph" && !head.fail(), "malformed graph header in " + path);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  pairs.reserve(m);
+  while (next_line(f, line)) {
+    std::istringstream ls(line);
+    std::uint32_t a = 0, b = 0;
+    ls >> tag >> a >> b;
+    GV_CHECK(tag == "e" && !ls.fail(), "malformed edge line in " + path);
+    pairs.push_back({a, b});
+  }
+  GV_CHECK(pairs.size() == m, "edge count mismatch in " + path);
+  return Graph::from_pairs(n, pairs);
+}
+
+void save_csr(const CsrMatrix& m, const std::string& path) {
+  auto f = open_out(path);
+  f << "csr " << m.rows() << ' ' << m.cols() << ' ' << m.nnz() << '\n';
+  for (const auto& e : m.to_coo()) {
+    f << "r " << e.row << ' ' << e.col << ' ' << e.value << '\n';
+  }
+  GV_CHECK(f.good(), "failed writing CSR file: " + path);
+}
+
+CsrMatrix load_csr(const std::string& path) {
+  auto f = open_in(path);
+  std::string line;
+  GV_CHECK(next_line(f, line), "empty CSR file: " + path);
+  std::istringstream head(line);
+  std::string tag;
+  std::size_t rows = 0, cols = 0, nnz = 0;
+  head >> tag >> rows >> cols >> nnz;
+  GV_CHECK(tag == "csr" && !head.fail(), "malformed CSR header in " + path);
+  std::vector<CooEntry> entries;
+  entries.reserve(nnz);
+  while (next_line(f, line)) {
+    std::istringstream ls(line);
+    std::uint32_t r = 0, c = 0;
+    float v = 0.0f;
+    ls >> tag >> r >> c >> v;
+    GV_CHECK(tag == "r" && !ls.fail(), "malformed CSR entry in " + path);
+    entries.push_back({r, c, v});
+  }
+  GV_CHECK(entries.size() == nnz, "nnz mismatch in " + path);
+  return CsrMatrix::from_coo(rows, cols, std::move(entries));
+}
+
+}  // namespace gv

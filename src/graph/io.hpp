@@ -1,0 +1,24 @@
+// Simple text serialization for graphs and sparse feature matrices so that
+// generated datasets can be cached to disk and examples can ship inputs.
+//
+// Format (line oriented, '#' comments allowed):
+//   graph <num_nodes> <num_edges>
+//   e <a> <b>            (one per undirected edge)
+//   csr <rows> <cols> <nnz>
+//   r <row> <col> <value>
+#pragma once
+
+#include <string>
+
+#include "graph/graph.hpp"
+#include "tensor/csr.hpp"
+
+namespace gv {
+
+void save_graph(const Graph& g, const std::string& path);
+Graph load_graph(const std::string& path);
+
+void save_csr(const CsrMatrix& m, const std::string& path);
+CsrMatrix load_csr(const std::string& path);
+
+}  // namespace gv

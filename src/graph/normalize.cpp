@@ -1,0 +1,49 @@
+#include "graph/normalize.hpp"
+
+#include <cmath>
+
+namespace gv {
+
+CsrMatrix row_normalize(const CsrMatrix& a) {
+  auto entries = a.to_coo();
+  std::vector<double> row_sum(a.rows(), 0.0);
+  for (const auto& e : entries) row_sum[e.row] += e.value;
+  for (auto& e : entries) {
+    if (row_sum[e.row] != 0.0) {
+      e.value = static_cast<float>(e.value / row_sum[e.row]);
+    }
+  }
+  return CsrMatrix::from_coo(a.rows(), a.cols(), std::move(entries));
+}
+
+namespace {
+template <typename NormFn>
+void normalize_rows_inplace(CsrMatrix& a, NormFn norm_of_row) {
+  auto& values = a.mutable_values();
+  const auto& rp = a.row_ptr();
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double norm = norm_of_row(values, rp[r], rp[r + 1]);
+    if (norm < 1e-24) continue;
+    const float inv = static_cast<float>(1.0 / norm);
+    for (std::int64_t p = rp[r]; p < rp[r + 1]; ++p) values[p] *= inv;
+  }
+}
+}  // namespace
+
+void l2_normalize_rows_csr(CsrMatrix& a) {
+  normalize_rows_inplace(a, [](const std::vector<float>& v, std::int64_t b, std::int64_t e) {
+    double acc = 0.0;
+    for (std::int64_t p = b; p < e; ++p) acc += static_cast<double>(v[p]) * v[p];
+    return std::sqrt(acc);
+  });
+}
+
+void l1_normalize_rows_csr(CsrMatrix& a) {
+  normalize_rows_inplace(a, [](const std::vector<float>& v, std::int64_t b, std::int64_t e) {
+    double acc = 0.0;
+    for (std::int64_t p = b; p < e; ++p) acc += std::fabs(v[p]);
+    return acc;
+  });
+}
+
+}  // namespace gv

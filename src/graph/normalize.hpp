@@ -1,0 +1,19 @@
+// Normalization helpers for adjacency and feature matrices.
+#pragma once
+
+#include "tensor/csr.hpp"
+
+namespace gv {
+
+/// Row-stochastic normalization D^{-1} A of a sparse matrix (rows with no
+/// nonzeros are left as-is).
+CsrMatrix row_normalize(const CsrMatrix& a);
+
+/// L2-normalize every row of a sparse matrix in place.
+void l2_normalize_rows_csr(CsrMatrix& a);
+
+/// L1-normalize every row of a sparse matrix in place (bag-of-words style,
+/// matching the Planetoid preprocessing of the paper's citation datasets).
+void l1_normalize_rows_csr(CsrMatrix& a);
+
+}  // namespace gv

@@ -1,0 +1,53 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace gv {
+
+GraphStats compute_stats(const Graph& g) {
+  GraphStats s;
+  s.num_nodes = g.num_nodes();
+  s.num_undirected_edges = g.num_edges();
+  s.num_directed_edges = g.num_directed_edges();
+  s.density = g.density();
+  const auto deg = g.degrees();
+  if (!deg.empty()) {
+    s.max_degree = *std::max_element(deg.begin(), deg.end());
+    s.min_degree = *std::min_element(deg.begin(), deg.end());
+    s.avg_degree =
+        std::accumulate(deg.begin(), deg.end(), 0.0) / static_cast<double>(deg.size());
+    s.isolated_nodes = static_cast<std::uint32_t>(
+        std::count(deg.begin(), deg.end(), 0u));
+    // Gini coefficient of degrees (0 = uniform, ->1 = concentrated).
+    std::vector<std::uint32_t> sorted = deg;
+    std::sort(sorted.begin(), sorted.end());
+    double cum = 0.0, weighted = 0.0;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      weighted += static_cast<double>(i + 1) * sorted[i];
+      cum += sorted[i];
+    }
+    if (cum > 0.0) {
+      const double n = static_cast<double>(sorted.size());
+      s.degree_gini = (2.0 * weighted) / (n * cum) - (n + 1.0) / n;
+    }
+  }
+  return s;
+}
+
+LabelStats compute_label_stats(const Graph& g, std::span<const std::uint32_t> labels,
+                               std::uint32_t num_classes) {
+  GV_CHECK(labels.size() == g.num_nodes(), "labels size mismatch");
+  LabelStats s;
+  s.edge_homophily = g.edge_homophily(labels);
+  s.class_counts.assign(num_classes, 0);
+  for (const std::uint32_t y : labels) {
+    GV_CHECK(y < num_classes, "label out of range");
+    s.class_counts[y] += 1;
+  }
+  return s;
+}
+
+}  // namespace gv

@@ -1,0 +1,35 @@
+// Descriptive statistics for graphs; backs Table I and the DC-SBM
+// generator's parameter-matching tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "graph/graph.hpp"
+
+namespace gv {
+
+struct GraphStats {
+  std::uint32_t num_nodes = 0;
+  std::size_t num_undirected_edges = 0;
+  std::size_t num_directed_edges = 0;
+  double density = 0.0;
+  double avg_degree = 0.0;
+  std::uint32_t max_degree = 0;
+  std::uint32_t min_degree = 0;
+  std::uint32_t isolated_nodes = 0;
+  double degree_gini = 0.0;  // inequality of the degree distribution
+};
+
+GraphStats compute_stats(const Graph& g);
+
+/// Edge homophily plus per-class label counts.
+struct LabelStats {
+  double edge_homophily = 0.0;
+  std::vector<std::size_t> class_counts;
+};
+
+LabelStats compute_label_stats(const Graph& g, std::span<const std::uint32_t> labels,
+                               std::uint32_t num_classes);
+
+}  // namespace gv

@@ -1,0 +1,153 @@
+#include "graph/substitute.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "graph/normalize.hpp"
+
+namespace gv {
+
+void scatter_similarities(const CsrMatrix& features, const CsrMatrix& features_t,
+                          std::uint32_t node, std::vector<float>& sims) {
+  GV_CHECK(node < features.rows(), "node out of range");
+  GV_CHECK(features_t.rows() == features.cols() && features_t.cols() == features.rows(),
+           "features_t must be the transpose of features");
+  sims.assign(features.rows(), 0.0f);
+  const auto& rp = features.row_ptr();
+  const auto& ci = features.col_idx();
+  const auto& va = features.values();
+  const auto& trp = features_t.row_ptr();
+  const auto& tci = features_t.col_idx();
+  const auto& tva = features_t.values();
+  for (std::int64_t p = rp[node]; p < rp[node + 1]; ++p) {
+    const std::uint32_t f = ci[p];
+    const float v = va[p];
+    for (std::int64_t q = trp[f]; q < trp[f + 1]; ++q) {
+      sims[tci[q]] += v * tva[q];
+    }
+  }
+}
+
+namespace {
+/// L2-normalized copy of the features plus its transpose, shared by the
+/// KNN and cosine builders.
+struct NormalizedFeatures {
+  CsrMatrix x;
+  CsrMatrix xt;
+};
+
+NormalizedFeatures normalize_features(const CsrMatrix& features) {
+  NormalizedFeatures nf;
+  nf.x = features;
+  l2_normalize_rows_csr(nf.x);
+  nf.xt = nf.x.transposed();
+  return nf;
+}
+}  // namespace
+
+Graph build_knn_graph(const CsrMatrix& features, std::uint32_t k) {
+  GV_CHECK(k > 0, "KNN substitute graph requires k > 0");
+  const std::uint32_t n = static_cast<std::uint32_t>(features.rows());
+  const auto nf = normalize_features(features);
+
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs(
+      static_cast<std::size_t>(n) * k, {0, 0});
+#pragma omp parallel
+  {
+    std::vector<float> sims;
+    std::vector<std::uint32_t> order;
+#pragma omp for schedule(dynamic, 32)
+    for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i) {
+      scatter_similarities(nf.x, nf.xt, static_cast<std::uint32_t>(i), sims);
+      sims[i] = -2.0f;  // exclude self
+      // Partial top-k selection over candidates with positive similarity.
+      order.clear();
+      for (std::uint32_t j = 0; j < n; ++j) {
+        if (sims[j] > 0.0f) order.push_back(j);
+      }
+      const std::size_t take = std::min<std::size_t>(k, order.size());
+      std::partial_sort(order.begin(), order.begin() + take, order.end(),
+                        [&](std::uint32_t a, std::uint32_t b) { return sims[a] > sims[b]; });
+      for (std::size_t t = 0; t < take; ++t) {
+        pairs[static_cast<std::size_t>(i) * k + t] = {static_cast<std::uint32_t>(i), order[t]};
+      }
+      // Unused slots stay as (0,0) self-pairs, dropped by from_pairs.
+      for (std::size_t t = take; t < k; ++t) {
+        pairs[static_cast<std::size_t>(i) * k + t] = {static_cast<std::uint32_t>(i),
+                                                      static_cast<std::uint32_t>(i)};
+      }
+    }
+  }
+  return Graph::from_pairs(n, pairs);
+}
+
+Graph build_cosine_graph(const CsrMatrix& features, float tau,
+                         std::size_t max_edges, Rng& rng) {
+  GV_CHECK(tau > 0.0f, "cosine substitute graph requires tau > 0");
+  const std::uint32_t n = static_cast<std::uint32_t>(features.rows());
+  const auto nf = normalize_features(features);
+
+  // Per-row candidate lists are gathered in parallel, then concatenated in
+  // row order so the result is deterministic regardless of scheduling.
+  std::vector<std::vector<std::uint32_t>> row_hits(n);
+#pragma omp parallel
+  {
+    std::vector<float> sims;
+#pragma omp for schedule(dynamic, 32)
+    for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i) {
+      scatter_similarities(nf.x, nf.xt, static_cast<std::uint32_t>(i), sims);
+      for (std::uint32_t j = static_cast<std::uint32_t>(i) + 1; j < n; ++j) {
+        if (sims[j] >= tau) row_hits[i].push_back(j);
+      }
+    }
+  }
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> hits;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (const auto j : row_hits[i]) hits.push_back({i, j});
+  }
+  const std::size_t cap = max_edges == 0 ? SIZE_MAX : max_edges;
+  if (hits.size() > cap) {
+    // Deterministic subsample (paper: sample down to the real density).
+    rng.shuffle(hits);
+    hits.resize(cap);
+  }
+  return Graph::from_pairs(n, hits);
+}
+
+Graph build_random_graph(std::uint32_t num_nodes, std::size_t num_edges, Rng& rng) {
+  GV_CHECK(num_nodes >= 2, "random graph requires at least 2 nodes");
+  const std::size_t max_possible =
+      static_cast<std::size_t>(num_nodes) * (num_nodes - 1) / 2;
+  const std::size_t target = std::min(num_edges, max_possible);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  pairs.reserve(target + target / 8);
+  // Rejection sampling with a hash of accepted pairs; fine while the target
+  // density stays far below 1 (all our graphs are very sparse).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> accepted;
+  accepted.reserve(target);
+  Graph g(num_nodes);
+  std::size_t added = 0;
+  std::size_t attempts = 0;
+  const std::size_t attempt_cap = target * 64 + 1024;
+  while (added < target && attempts < attempt_cap) {
+    ++attempts;
+    const auto a = static_cast<std::uint32_t>(rng.uniform_index(num_nodes));
+    const auto b = static_cast<std::uint32_t>(rng.uniform_index(num_nodes));
+    if (a == b) continue;
+    pairs.push_back({a, b});
+    ++added;
+  }
+  Graph built = Graph::from_pairs(num_nodes, pairs);
+  // Duplicates may have shrunk the edge set; top up until the target
+  // is met (or we hit the attempt cap).
+  attempts = 0;
+  while (built.num_edges() < target && attempts < attempt_cap) {
+    ++attempts;
+    const auto a = static_cast<std::uint32_t>(rng.uniform_index(num_nodes));
+    const auto b = static_cast<std::uint32_t>(rng.uniform_index(num_nodes));
+    built.add_edge(a, b);
+  }
+  return built;
+}
+
+}  // namespace gv

@@ -1,0 +1,40 @@
+// Substitute-graph construction (paper Sec. IV-C, Eq. 2).
+//
+// The public backbone must not see the private adjacency, so GNNVault
+// fabricates a *substitute* adjacency A' from the public node features:
+//   * KNN    : connect each node to its k most cosine-similar nodes
+//              (paper default, k = 2, chosen in the Fig. 5 ablation);
+//   * cosine : connect pairs whose cosine similarity clears a threshold τ,
+//              sampled down to the real graph's edge budget;
+//   * random : uniformly random edges (the Table III / Fig. 5 strawman).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+#include "tensor/csr.hpp"
+
+namespace gv {
+
+/// KNN substitute graph: for every node, edges to its k most similar nodes
+/// by cosine similarity of (sparse) feature rows; the union is symmetrized.
+Graph build_knn_graph(const CsrMatrix& features, std::uint32_t k);
+
+/// Cosine-threshold substitute graph: all pairs with similarity >= tau,
+/// reservoir-sampled down to at most `max_edges` undirected edges
+/// (0 = keep all). The paper samples to match the real graph's density.
+Graph build_cosine_graph(const CsrMatrix& features, float tau,
+                         std::size_t max_edges, Rng& rng);
+
+/// Random substitute graph with exactly `num_edges` distinct undirected
+/// edges (or the maximum possible if fewer exist).
+Graph build_random_graph(std::uint32_t num_nodes, std::size_t num_edges, Rng& rng);
+
+/// Cosine similarities of one node against all others, via sparse scatter:
+/// sims[j] = <x_i, x_j> for L2-normalized rows. `features_t` must be the
+/// transpose of `features`. Exposed for tests and the attack module.
+void scatter_similarities(const CsrMatrix& features, const CsrMatrix& features_t,
+                          std::uint32_t node, std::vector<float>& sims);
+
+}  // namespace gv

@@ -1,0 +1,41 @@
+#include "metrics/auc.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace gv {
+
+double roc_auc(const std::vector<float>& scores,
+               const std::vector<std::uint8_t>& positives) {
+  GV_CHECK(scores.size() == positives.size(), "scores/labels size mismatch");
+  const std::size_t n = scores.size();
+  std::size_t np = 0;
+  for (const auto p : positives) np += (p != 0);
+  const std::size_t nn = n - np;
+  if (np == 0 || nn == 0) return 0.5;
+
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) { return scores[a] < scores[b]; });
+
+  // Sum of positive ranks with average ranks across tie groups.
+  double rank_sum_pos = 0.0;
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j < n && scores[order[j]] == scores[order[i]]) ++j;
+    // ranks i+1 .. j (1-based); average rank for the tie group:
+    const double avg_rank = 0.5 * static_cast<double>(i + 1 + j);
+    for (std::size_t k = i; k < j; ++k) {
+      if (positives[order[k]]) rank_sum_pos += avg_rank;
+    }
+    i = j;
+  }
+  const double u = rank_sum_pos - 0.5 * static_cast<double>(np) * (np + 1);
+  return u / (static_cast<double>(np) * static_cast<double>(nn));
+}
+
+}  // namespace gv

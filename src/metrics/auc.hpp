@@ -1,0 +1,16 @@
+// ROC-AUC via the rank-statistic (Mann-Whitney U) formulation with average
+// ranks for ties.  Used to score link-stealing attacks (Table IV).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gv {
+
+/// AUC of `scores` against binary `positives` (1 = positive class).
+/// Higher scores should indicate positives; returns 0.5 when one class is
+/// empty or all scores are identical.
+double roc_auc(const std::vector<float>& scores,
+               const std::vector<std::uint8_t>& positives);
+
+}  // namespace gv

@@ -1,0 +1,59 @@
+#include "metrics/silhouette.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace gv {
+
+double silhouette_score(const Matrix& embeddings,
+                        const std::vector<std::uint32_t>& labels,
+                        std::size_t max_samples, std::uint64_t seed) {
+  GV_CHECK(labels.size() == embeddings.rows(), "labels size mismatch");
+  GV_CHECK(embeddings.rows() >= 2, "silhouette needs at least 2 samples");
+
+  // Subsample deterministically when requested.
+  std::vector<std::uint32_t> idx(embeddings.rows());
+  for (std::uint32_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  if (max_samples > 0 && embeddings.rows() > max_samples) {
+    Rng rng(seed);
+    rng.shuffle(idx);
+    idx.resize(max_samples);
+  }
+  const std::size_t n = idx.size();
+
+  std::uint32_t num_classes = 0;
+  for (const auto i : idx) num_classes = std::max(num_classes, labels[i] + 1);
+
+  std::vector<std::size_t> class_size(num_classes, 0);
+  for (const auto i : idx) class_size[labels[i]] += 1;
+
+  double total = 0.0;
+#pragma omp parallel for schedule(dynamic, 16) reduction(+ : total)
+  for (std::ptrdiff_t ii = 0; ii < static_cast<std::ptrdiff_t>(n); ++ii) {
+    const std::uint32_t i = idx[ii];
+    const std::uint32_t ci = labels[i];
+    if (class_size[ci] <= 1) continue;  // convention: silhouette 0
+    std::vector<double> dist_sum(num_classes, 0.0);
+    for (std::size_t jj = 0; jj < n; ++jj) {
+      const std::uint32_t j = idx[jj];
+      if (j == i) continue;
+      dist_sum[labels[j]] += row_euclidean(embeddings, i, j);
+    }
+    const double a = dist_sum[ci] / static_cast<double>(class_size[ci] - 1);
+    double b = std::numeric_limits<double>::infinity();
+    for (std::uint32_t c = 0; c < num_classes; ++c) {
+      if (c == ci || class_size[c] == 0) continue;
+      b = std::min(b, dist_sum[c] / static_cast<double>(class_size[c]));
+    }
+    if (!std::isfinite(b)) continue;  // only one populated class
+    const double denom = std::max(a, b);
+    if (denom > 0.0) total += (b - a) / denom;
+  }
+  return total / static_cast<double>(n);
+}
+
+}  // namespace gv

@@ -1,0 +1,23 @@
+// Silhouette score (Rousseeuw 1987), the clustering-quality metric the
+// paper plots per layer in Fig. 4 to show the rectifier recovering the
+// original model's embedding structure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/matrix.hpp"
+
+namespace gv {
+
+/// Mean silhouette coefficient of `embeddings` rows grouped by `labels`,
+/// using Euclidean distance.  If `max_samples` > 0 and the matrix has more
+/// rows, a deterministic subsample of that size is scored instead (the
+/// standard practice for large n since the metric is O(n^2)).
+/// Returns a value in [-1, 1]; classes with a single member contribute 0.
+double silhouette_score(const Matrix& embeddings,
+                        const std::vector<std::uint32_t>& labels,
+                        std::size_t max_samples = 0, std::uint64_t seed = 7);
+
+}  // namespace gv

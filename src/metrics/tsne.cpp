@@ -1,0 +1,158 @@
+#include "metrics/tsne.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace gv {
+
+namespace {
+
+/// Binary-search the Gaussian bandwidth of row i so the conditional
+/// distribution hits the target perplexity; fills p_row (length n).
+void fit_row_bandwidth(const std::vector<float>& sqdist, std::size_t i,
+                       double perplexity, std::vector<double>& p_row) {
+  const std::size_t n = p_row.size();
+  const double target_entropy = std::log(perplexity);
+  double beta = 1.0, beta_lo = 0.0, beta_hi = std::numeric_limits<double>::infinity();
+  for (int it = 0; it < 64; ++it) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      p_row[j] = (j == i) ? 0.0 : std::exp(-beta * sqdist[j]);
+      sum += p_row[j];
+    }
+    if (sum < 1e-300) {
+      beta /= 2.0;
+      continue;
+    }
+    double entropy = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (p_row[j] > 0.0) {
+        const double pj = p_row[j] / sum;
+        entropy -= pj * std::log(pj);
+        p_row[j] = pj;
+      }
+    }
+    const double diff = entropy - target_entropy;
+    if (std::fabs(diff) < 1e-5) return;
+    if (diff > 0.0) {
+      beta_lo = beta;
+      beta = std::isfinite(beta_hi) ? 0.5 * (beta + beta_hi) : beta * 2.0;
+    } else {
+      beta_hi = beta;
+      beta = 0.5 * (beta + beta_lo);
+    }
+  }
+}
+
+}  // namespace
+
+Matrix tsne_embed(const Matrix& x, const TsneConfig& cfg) {
+  const std::size_t n = x.rows();
+  GV_CHECK(n >= 5, "t-SNE needs at least 5 points");
+  GV_CHECK(cfg.perplexity > 1.0 && cfg.perplexity < static_cast<double>(n),
+           "perplexity out of range");
+
+  // Symmetrized input affinities P.
+  std::vector<double> p(n * n, 0.0);
+#pragma omp parallel
+  {
+    std::vector<float> sqdist(n);
+    std::vector<double> p_row(n);
+#pragma omp for schedule(dynamic, 8)
+    for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const float d = row_euclidean(x, static_cast<std::size_t>(i), j);
+        sqdist[j] = d * d;
+      }
+      fit_row_bandwidth(sqdist, static_cast<std::size_t>(i), cfg.perplexity, p_row);
+      for (std::size_t j = 0; j < n; ++j) p[i * n + j] = p_row[j];
+    }
+  }
+  // Symmetrize and normalize: P = (P + P') / 2n.
+  double psum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double v = 0.5 * (p[i * n + j] + p[j * n + i]);
+      p[i * n + j] = v;
+      p[j * n + i] = v;
+      psum += 2.0 * v;
+    }
+    p[i * n + i] = 0.0;
+  }
+  const double pnorm = std::max(psum, 1e-12);
+  for (auto& v : p) v = std::max(v / pnorm, 1e-12);
+
+  // Initialize Y ~ N(0, 1e-4).
+  Rng rng(cfg.seed);
+  Matrix y(n, 2);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y.data()[i] = static_cast<float>(rng.normal(0.0, 1e-2));
+  }
+  Matrix velocity(n, 2, 0.0f);
+  std::vector<double> q(n * n);
+  Matrix grad(n, 2);
+
+  for (int iter = 0; iter < cfg.iterations; ++iter) {
+    const double exaggeration = iter < cfg.exaggeration_until ? cfg.early_exaggeration : 1.0;
+    // Student-t affinities Q.
+    double qsum = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : qsum)
+    for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (static_cast<std::size_t>(i) == j) {
+          q[i * n + j] = 0.0;
+          continue;
+        }
+        const double dx = y(i, 0) - y(j, 0);
+        const double dy = y(i, 1) - y(j, 1);
+        const double w = 1.0 / (1.0 + dx * dx + dy * dy);
+        q[i * n + j] = w;
+        qsum += w;
+      }
+    }
+    const double qnorm = std::max(qsum, 1e-12);
+    // Gradient: 4 * sum_j (exag*P_ij - Q_ij) * w_ij * (y_i - y_j).
+#pragma omp parallel for schedule(static)
+    for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i) {
+      double gx = 0.0, gy = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (static_cast<std::size_t>(i) == j) continue;
+        const double w = q[i * n + j];
+        const double qij = w / qnorm;
+        const double mult = (exaggeration * p[i * n + j] - qij) * w;
+        gx += mult * (y(i, 0) - y(j, 0));
+        gy += mult * (y(i, 1) - y(j, 1));
+      }
+      grad(i, 0) = static_cast<float>(4.0 * gx);
+      grad(i, 1) = static_cast<float>(4.0 * gy);
+    }
+    const double momentum =
+        iter < cfg.momentum_switch_iter ? cfg.momentum_initial : cfg.momentum_final;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (int d = 0; d < 2; ++d) {
+        velocity(i, d) = static_cast<float>(momentum * velocity(i, d) -
+                                            cfg.learning_rate * grad(i, d));
+        y(i, d) += velocity(i, d);
+      }
+    }
+    // Re-center.
+    double mx = 0.0, my = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      mx += y(i, 0);
+      my += y(i, 1);
+    }
+    mx /= static_cast<double>(n);
+    my /= static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      y(i, 0) -= static_cast<float>(mx);
+      y(i, 1) -= static_cast<float>(my);
+    }
+  }
+  return y;
+}
+
+}  // namespace gv

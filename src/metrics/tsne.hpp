@@ -1,0 +1,29 @@
+// Exact t-SNE (van der Maaten & Hinton 2008), used to regenerate the
+// Fig. 4 embedding visualizations.  O(n^2) per iteration, so callers
+// subsample (the figure uses a qualitative scatter; a few hundred to a
+// thousand points reproduce it).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "tensor/matrix.hpp"
+
+namespace gv {
+
+struct TsneConfig {
+  double perplexity = 30.0;
+  int iterations = 400;
+  double learning_rate = 200.0;
+  double momentum_initial = 0.5;
+  double momentum_final = 0.8;
+  int momentum_switch_iter = 120;
+  double early_exaggeration = 12.0;
+  int exaggeration_until = 100;
+  std::uint64_t seed = 1234;
+};
+
+/// Embed rows of `x` into 2-D. Returns an [n, 2] matrix.
+Matrix tsne_embed(const Matrix& x, const TsneConfig& cfg = {});
+
+}  // namespace gv

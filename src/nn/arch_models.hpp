@@ -1,0 +1,76 @@
+// Node-classification models built from the future-work layer types
+// (paper Sec. VI): GraphSAGE (mean aggregator) and GAT (attention).
+// Both implement the same NodeModel interface as GcnModel/MlpModel, so
+// they drop into the trainer, the attack harness, and ablations.
+#pragma once
+
+#include <memory>
+
+#include "graph/graph.hpp"
+#include "nn/gat_layer.hpp"
+#include "nn/model.hpp"
+#include "nn/sage_layer.hpp"
+
+namespace gv {
+
+/// Build the (P, P^T) mean-aggregation pair for a graph.
+SagePropagation make_sage_propagation(const Graph& g);
+
+class SageModel : public NodeModel {
+ public:
+  struct Config {
+    std::size_t input_dim = 0;
+    std::vector<std::size_t> channels;
+    float dropout = 0.5f;
+  };
+
+  SageModel(Config cfg, SagePropagation prop, Rng& rng);
+
+  Matrix forward(const CsrMatrix& features, bool training) override;
+  void backward(const Matrix& dlogits) override;
+  void collect_parameters(ParamRefs& refs) override;
+  const std::vector<Matrix>& layer_outputs() const override { return outputs_; }
+  std::vector<std::size_t> layer_dims() const override { return cfg_.channels; }
+
+ private:
+  Config cfg_;
+  SagePropagation prop_;
+  std::vector<SageLayer> layers_;
+  Rng dropout_rng_;
+  std::vector<Matrix> pre_activations_;
+  std::vector<Matrix> outputs_;
+  std::vector<DropoutMask> masks_;
+  bool trained_forward_ = false;
+};
+
+class GatModel : public NodeModel {
+ public:
+  struct Config {
+    std::size_t input_dim = 0;
+    std::vector<std::size_t> channels;
+    float dropout = 0.5f;
+    float leaky_slope = 0.2f;
+  };
+
+  /// `adjacency` must include self-loops (use Graph::adjacency_csr(true)).
+  GatModel(Config cfg, std::shared_ptr<const CsrMatrix> adjacency, Rng& rng);
+
+  Matrix forward(const CsrMatrix& features, bool training) override;
+  void backward(const Matrix& dlogits) override;
+  void collect_parameters(ParamRefs& refs) override;
+  const std::vector<Matrix>& layer_outputs() const override { return outputs_; }
+  std::vector<std::size_t> layer_dims() const override { return cfg_.channels; }
+
+ private:
+  Config cfg_;
+  std::shared_ptr<const CsrMatrix> adj_;
+  std::vector<GatLayer> layers_;
+  Rng dropout_rng_;
+  std::vector<Matrix> pre_activations_;
+  std::vector<Matrix> outputs_;
+  std::vector<DropoutMask> masks_;
+  Matrix dense_features_;  // GAT's first layer densifies the sparse input
+  bool trained_forward_ = false;
+};
+
+}  // namespace gv

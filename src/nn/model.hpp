@@ -1,0 +1,115 @@
+// Node-classification models.
+//
+//   GcnModel : stacked GCN layers (Eq. 1) — used for the original
+//              (unprotected) GNN and the public GNN backbone, differing
+//              only in which adjacency they are given (real vs substitute).
+//   MlpModel : stacked dense layers — the "DNN backbone" of Table III and
+//              the link-stealing baseline M_base.
+//
+// Both expose per-layer post-activation embeddings: the rectifier consumes
+// backbone embeddings, and the link-stealing attack measures similarity on
+// every embedding an attacker can observe.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/dense_layer.hpp"
+#include "nn/gcn_layer.hpp"
+#include "tensor/csr.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/ops.hpp"
+
+namespace gv {
+
+/// Abstract full-batch node classifier.
+class NodeModel {
+ public:
+  virtual ~NodeModel() = default;
+
+  /// Forward over all nodes; returns logits [n, C]. When `training`, caches
+  /// state for backward() and applies dropout.
+  virtual Matrix forward(const CsrMatrix& features, bool training) = 0;
+
+  /// Backward from dL/dlogits (training forward must precede).
+  virtual void backward(const Matrix& dlogits) = 0;
+
+  virtual void collect_parameters(ParamRefs& refs) = 0;
+
+  /// Post-activation embedding of every layer from the most recent forward;
+  /// the last entry is the logits.
+  virtual const std::vector<Matrix>& layer_outputs() const = 0;
+
+  /// Output channel size of every layer.
+  virtual std::vector<std::size_t> layer_dims() const = 0;
+
+  std::size_t parameter_count();
+};
+
+struct GcnConfig {
+  std::size_t input_dim = 0;
+  std::vector<std::size_t> channels;  // hidden..., num_classes
+  float dropout = 0.5f;
+};
+
+class GcnModel : public NodeModel {
+ public:
+  /// `adjacency` is the normalized propagation matrix Â the model uses for
+  /// every layer (real graph for the original GNN, substitute for the
+  /// backbone). Held by shared_ptr: deployments share one copy.
+  GcnModel(GcnConfig cfg, std::shared_ptr<const CsrMatrix> adjacency, Rng& rng);
+
+  Matrix forward(const CsrMatrix& features, bool training) override;
+  void backward(const Matrix& dlogits) override;
+  void collect_parameters(ParamRefs& refs) override;
+  const std::vector<Matrix>& layer_outputs() const override { return outputs_; }
+  std::vector<std::size_t> layer_dims() const override;
+
+  std::size_t num_layers() const { return layers_.size(); }
+  GcnLayer& layer(std::size_t i) { return layers_[i]; }
+  const CsrMatrix& adjacency() const { return *adj_; }
+  /// Swap the propagation matrix (used by ablations).
+  void set_adjacency(std::shared_ptr<const CsrMatrix> adjacency);
+
+ private:
+  GcnConfig cfg_;
+  std::shared_ptr<const CsrMatrix> adj_;
+  std::vector<GcnLayer> layers_;
+  Rng dropout_rng_;
+  // Cached training state.
+  std::vector<Matrix> pre_activations_;
+  std::vector<Matrix> outputs_;
+  std::vector<DropoutMask> masks_;
+  bool trained_forward_ = false;
+};
+
+struct MlpConfig {
+  std::size_t input_dim = 0;
+  std::vector<std::size_t> channels;
+  float dropout = 0.5f;
+};
+
+class MlpModel : public NodeModel {
+ public:
+  MlpModel(MlpConfig cfg, Rng& rng);
+
+  Matrix forward(const CsrMatrix& features, bool training) override;
+  void backward(const Matrix& dlogits) override;
+  void collect_parameters(ParamRefs& refs) override;
+  const std::vector<Matrix>& layer_outputs() const override { return outputs_; }
+  std::vector<std::size_t> layer_dims() const override;
+
+  std::size_t num_layers() const { return layers_.size(); }
+  DenseLayer& layer(std::size_t i) { return layers_[i]; }
+
+ private:
+  MlpConfig cfg_;
+  std::vector<DenseLayer> layers_;
+  Rng dropout_rng_;
+  std::vector<Matrix> pre_activations_;
+  std::vector<Matrix> outputs_;
+  std::vector<DropoutMask> masks_;
+  bool trained_forward_ = false;
+};
+
+}  // namespace gv

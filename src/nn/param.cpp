@@ -1,0 +1,90 @@
+#include "nn/param.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gv {
+
+void Parameter::init_zero(std::size_t rows, std::size_t cols) {
+  value = Matrix(rows, cols, 0.0f);
+  grad = Matrix(rows, cols, 0.0f);
+  m = Matrix(rows, cols, 0.0f);
+  v = Matrix(rows, cols, 0.0f);
+}
+
+void Parameter::init_glorot(std::size_t rows, std::size_t cols, Rng& rng) {
+  init_zero(rows, cols);
+  const float limit = std::sqrt(6.0f / static_cast<float>(rows + cols));
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    value.data()[i] = static_cast<float>(rng.uniform(-limit, limit));
+  }
+}
+
+void Parameter::zero_grad() { grad.fill(0.0f); }
+
+void VectorParameter::init_zero(std::size_t n) {
+  value.assign(n, 0.0f);
+  grad.assign(n, 0.0f);
+  m.assign(n, 0.0f);
+  v.assign(n, 0.0f);
+}
+
+void VectorParameter::zero_grad() { std::fill(grad.begin(), grad.end(), 0.0f); }
+
+std::size_t ParamRefs::total_count() const {
+  std::size_t n = 0;
+  for (const auto* p : matrices) n += p->count();
+  for (const auto* p : vectors) n += p->count();
+  return n;
+}
+
+void ParamRefs::zero_grad() {
+  for (auto* p : matrices) p->zero_grad();
+  for (auto* p : vectors) p->zero_grad();
+}
+
+void Adam::step(ParamRefs& params) {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(cfg_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(cfg_.beta2, static_cast<double>(t_));
+  const float lr = static_cast<float>(cfg_.lr);
+  const float b1 = static_cast<float>(cfg_.beta1);
+  const float b2 = static_cast<float>(cfg_.beta2);
+  const float eps = static_cast<float>(cfg_.eps);
+  const float wd = static_cast<float>(cfg_.weight_decay);
+  const float ibc1 = static_cast<float>(1.0 / bc1);
+  const float ibc2 = static_cast<float>(1.0 / bc2);
+
+  for (auto* p : params.matrices) {
+    GV_ASSERT(p->grad.size() == p->value.size(), "parameter grad shape mismatch");
+    float* w = p->value.data();
+    const float* g0 = p->grad.data();
+    float* m = p->m.data();
+    float* v = p->v.data();
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      const float g = g0[i] + wd * w[i];  // L2 regularization
+      m[i] = b1 * m[i] + (1.0f - b1) * g;
+      v[i] = b2 * v[i] + (1.0f - b2) * g * g;
+      const float mh = m[i] * ibc1;
+      const float vh = v[i] * ibc2;
+      w[i] -= lr * mh / (std::sqrt(vh) + eps);
+    }
+  }
+  for (auto* p : params.vectors) {
+    float* w = p->value.data();
+    const float* g0 = p->grad.data();
+    float* m = p->m.data();
+    float* v = p->v.data();
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      const float g = g0[i];  // no decay on biases
+      m[i] = b1 * m[i] + (1.0f - b1) * g;
+      v[i] = b2 * v[i] + (1.0f - b2) * g * g;
+      const float mh = m[i] * ibc1;
+      const float vh = v[i] * ibc2;
+      w[i] -= lr * mh / (std::sqrt(vh) + eps);
+    }
+  }
+}
+
+}  // namespace gv

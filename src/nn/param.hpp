@@ -1,0 +1,80 @@
+// Trainable parameters and the Adam optimizer.
+//
+// GNNVault trains three kinds of models (original GCN, public backbone,
+// private rectifier) with full-batch Adam, matching the paper's standard
+// semi-supervised GCN training recipe.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/matrix.hpp"
+
+namespace gv {
+
+/// A trainable weight matrix with gradient and Adam moment buffers.
+struct Parameter {
+  Matrix value;
+  Matrix grad;
+  Matrix m;  // first moment
+  Matrix v;  // second moment
+
+  void init_zero(std::size_t rows, std::size_t cols);
+  /// Glorot/Xavier uniform initialization.
+  void init_glorot(std::size_t rows, std::size_t cols, Rng& rng);
+  void zero_grad();
+  std::size_t count() const { return value.size(); }
+};
+
+/// A trainable bias vector with gradient and Adam moment buffers.
+struct VectorParameter {
+  std::vector<float> value;
+  std::vector<float> grad;
+  std::vector<float> m;
+  std::vector<float> v;
+
+  void init_zero(std::size_t n);
+  void zero_grad();
+  std::size_t count() const { return value.size(); }
+};
+
+/// References to every parameter of a model, filled by collect_parameters.
+struct ParamRefs {
+  std::vector<Parameter*> matrices;
+  std::vector<VectorParameter*> vectors;
+
+  std::size_t total_count() const;
+  void zero_grad();
+};
+
+/// Adam with decoupled-from-schedule L2 weight decay on matrices only
+/// (biases are not decayed, following common GCN practice).
+class Adam {
+ public:
+  struct Config {
+    double lr = 0.01;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double eps = 1e-8;
+    double weight_decay = 5e-4;
+  };
+
+  Adam();
+  explicit Adam(Config cfg) : cfg_(cfg) {}
+
+  const Config& config() const { return cfg_; }
+
+  /// Apply one update step to all parameters (increments the step counter).
+  void step(ParamRefs& params);
+
+  std::uint64_t steps_taken() const { return t_; }
+
+ private:
+  Config cfg_;
+  std::uint64_t t_ = 0;
+};
+
+inline Adam::Adam() : cfg_(Config{}) {}
+
+}  // namespace gv

@@ -1,0 +1,216 @@
+#include "sgxsim/chacha20poly1305.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace gv {
+
+namespace {
+
+inline std::uint32_t load32(const std::uint8_t* p) {
+  return std::uint32_t(p[0]) | (std::uint32_t(p[1]) << 8) |
+         (std::uint32_t(p[2]) << 16) | (std::uint32_t(p[3]) << 24);
+}
+
+inline void store32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+inline std::uint32_t rotl32(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                          std::uint32_t& d) {
+  a += b; d ^= a; d = rotl32(d, 16);
+  c += d; b ^= c; b = rotl32(b, 12);
+  a += b; d ^= a; d = rotl32(d, 8);
+  c += d; b ^= c; b = rotl32(b, 7);
+}
+
+void chacha20_block(const AeadKey& key, const AeadNonce& nonce,
+                    std::uint32_t counter, std::uint8_t out[64]) {
+  std::uint32_t s[16];
+  s[0] = 0x61707865; s[1] = 0x3320646e; s[2] = 0x79622d32; s[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) s[4 + i] = load32(key.data() + 4 * i);
+  s[12] = counter;
+  for (int i = 0; i < 3; ++i) s[13 + i] = load32(nonce.data() + 4 * i);
+  std::uint32_t w[16];
+  std::memcpy(w, s, sizeof(w));
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(w[0], w[4], w[8], w[12]);
+    quarter_round(w[1], w[5], w[9], w[13]);
+    quarter_round(w[2], w[6], w[10], w[14]);
+    quarter_round(w[3], w[7], w[11], w[15]);
+    quarter_round(w[0], w[5], w[10], w[15]);
+    quarter_round(w[1], w[6], w[11], w[12]);
+    quarter_round(w[2], w[7], w[8], w[13]);
+    quarter_round(w[3], w[4], w[9], w[14]);
+  }
+  for (int i = 0; i < 16; ++i) store32(out + 4 * i, w[i] + s[i]);
+}
+
+}  // namespace
+
+void chacha20_xor(const AeadKey& key, const AeadNonce& nonce,
+                  std::uint32_t counter, std::span<const std::uint8_t> in,
+                  std::uint8_t* out) {
+  std::uint8_t block[64];
+  std::size_t off = 0;
+  while (off < in.size()) {
+    chacha20_block(key, nonce, counter++, block);
+    const std::size_t take = std::min<std::size_t>(64, in.size() - off);
+    for (std::size_t i = 0; i < take; ++i) out[off + i] = in[off + i] ^ block[i];
+    off += take;
+  }
+}
+
+AeadTag poly1305_mac(std::span<const std::uint8_t> msg,
+                     const std::array<std::uint8_t, 32>& key) {
+  // r is clamped per RFC 8439 2.5.
+  std::uint64_t r0 = (std::uint64_t(load32(key.data())) |
+                      (std::uint64_t(load32(key.data() + 4)) << 32)) &
+                     0x0ffffffc0fffffffull;
+  std::uint64_t r1 = (std::uint64_t(load32(key.data() + 8)) |
+                      (std::uint64_t(load32(key.data() + 12)) << 32)) &
+                     0x0ffffffc0ffffffcull;
+  const std::uint64_t s0 = std::uint64_t(load32(key.data() + 16)) |
+                           (std::uint64_t(load32(key.data() + 20)) << 32);
+  const std::uint64_t s1 = std::uint64_t(load32(key.data() + 24)) |
+                           (std::uint64_t(load32(key.data() + 28)) << 32);
+
+  // Accumulator h as 3x 44-bit-ish limbs in 64-bit words (h0,h1 full 64-bit
+  // little pieces, h2 small) using 128-bit arithmetic mod 2^130 - 5.
+  std::uint64_t h0 = 0, h1 = 0, h2 = 0;
+  std::size_t off = 0;
+  while (off < msg.size()) {
+    const std::size_t take = std::min<std::size_t>(16, msg.size() - off);
+    std::uint8_t block[17] = {0};
+    std::memcpy(block, msg.data() + off, take);
+    block[take] = 1;  // append the 0x01 byte
+    const std::uint64_t t0 =
+        std::uint64_t(load32(block)) | (std::uint64_t(load32(block + 4)) << 32);
+    const std::uint64_t t1 =
+        std::uint64_t(load32(block + 8)) | (std::uint64_t(load32(block + 12)) << 32);
+    const std::uint64_t t2 = block[16];
+    // h += t
+    __uint128_t acc = (__uint128_t)h0 + t0;
+    h0 = (std::uint64_t)acc;
+    acc = (__uint128_t)h1 + t1 + (std::uint64_t)(acc >> 64);
+    h1 = (std::uint64_t)acc;
+    h2 = h2 + t2 + (std::uint64_t)(acc >> 64);
+    // h *= r  (mod 2^130 - 5); schoolbook with 128-bit intermediates.
+    const __uint128_t m0 = (__uint128_t)h0 * r0;
+    const __uint128_t m1 = (__uint128_t)h0 * r1 + (__uint128_t)h1 * r0;
+    const __uint128_t m2 = (__uint128_t)h1 * r1 + (__uint128_t)h2 * r0;
+    const __uint128_t m3 = (__uint128_t)h2 * r1;
+    std::uint64_t d0 = (std::uint64_t)m0;
+    __uint128_t carry = (m0 >> 64) + (std::uint64_t)m1;
+    std::uint64_t d1 = (std::uint64_t)carry;
+    carry = (carry >> 64) + (m1 >> 64) + (std::uint64_t)m2;
+    std::uint64_t d2 = (std::uint64_t)carry;
+    carry = (carry >> 64) + (m2 >> 64) + (std::uint64_t)m3;
+    std::uint64_t d3 = (std::uint64_t)carry;
+    // Reduce mod 2^130 - 5: fold bits above 130 down multiplied by 5.
+    std::uint64_t g2 = d2 & 3;  // low 2 bits stay in h2
+    // The part above 2^130: (d2 >> 2) + (d3 << 62)... handle via 128-bit.
+    __uint128_t high = ((__uint128_t)d3 << 62) | (d2 >> 2);
+    __uint128_t fold = high * 5;
+    acc = (__uint128_t)d0 + (std::uint64_t)fold;
+    h0 = (std::uint64_t)acc;
+    acc = (__uint128_t)d1 + (std::uint64_t)(fold >> 64) + (std::uint64_t)(acc >> 64);
+    h1 = (std::uint64_t)acc;
+    h2 = g2 + (std::uint64_t)(acc >> 64);
+    // h2 can still exceed 3; one more small fold.
+    while (h2 >= 4) {
+      const std::uint64_t extra = (h2 >> 2) * 5;
+      h2 &= 3;
+      acc = (__uint128_t)h0 + extra;
+      h0 = (std::uint64_t)acc;
+      acc = (__uint128_t)h1 + (std::uint64_t)(acc >> 64);
+      h1 = (std::uint64_t)acc;
+      h2 += (std::uint64_t)(acc >> 64);
+    }
+    off += take;
+  }
+  // Final reduction: if h >= 2^130 - 5, subtract the modulus.
+  std::uint64_t c0 = h0 + 5;
+  std::uint64_t carry_bit = c0 < 5 ? 1 : 0;
+  std::uint64_t c1 = h1 + carry_bit;
+  carry_bit = (carry_bit && c1 == 0) ? 1 : 0;
+  std::uint64_t c2 = h2 + carry_bit;
+  if (c2 >= 4) {  // h + 5 overflowed 2^130, so h >= 2^130 - 5
+    h0 = c0;
+    h1 = c1;
+  }
+  // tag = (h + s) mod 2^128
+  __uint128_t acc = (__uint128_t)h0 + s0;
+  const std::uint64_t t0 = (std::uint64_t)acc;
+  acc = (__uint128_t)h1 + s1 + (std::uint64_t)(acc >> 64);
+  const std::uint64_t t1 = (std::uint64_t)acc;
+  AeadTag tag;
+  store32(tag.data(), (std::uint32_t)t0);
+  store32(tag.data() + 4, (std::uint32_t)(t0 >> 32));
+  store32(tag.data() + 8, (std::uint32_t)t1);
+  store32(tag.data() + 12, (std::uint32_t)(t1 >> 32));
+  return tag;
+}
+
+namespace {
+AeadTag compute_aead_tag(const AeadKey& key, const AeadNonce& nonce,
+                         std::span<const std::uint8_t> ciphertext,
+                         std::span<const std::uint8_t> aad) {
+  // Poly1305 one-time key = first 32 bytes of keystream block 0.
+  std::uint8_t zeros[64] = {0};
+  std::uint8_t block0[64];
+  chacha20_xor(key, nonce, 0, std::span<const std::uint8_t>(zeros, 64), block0);
+  std::array<std::uint8_t, 32> otk;
+  std::memcpy(otk.data(), block0, 32);
+
+  // MAC input: aad || pad || ct || pad || len(aad) || len(ct).
+  std::vector<std::uint8_t> mac_data;
+  mac_data.reserve(aad.size() + ciphertext.size() + 32);
+  mac_data.insert(mac_data.end(), aad.begin(), aad.end());
+  mac_data.resize((mac_data.size() + 15) / 16 * 16, 0);
+  mac_data.insert(mac_data.end(), ciphertext.begin(), ciphertext.end());
+  mac_data.resize((mac_data.size() + 15) / 16 * 16, 0);
+  std::uint8_t lens[16];
+  const std::uint64_t alen = aad.size(), clen = ciphertext.size();
+  for (int i = 0; i < 8; ++i) {
+    lens[i] = static_cast<std::uint8_t>(alen >> (8 * i));
+    lens[8 + i] = static_cast<std::uint8_t>(clen >> (8 * i));
+  }
+  mac_data.insert(mac_data.end(), lens, lens + 16);
+  return poly1305_mac(mac_data, otk);
+}
+}  // namespace
+
+std::vector<std::uint8_t> aead_encrypt(const AeadKey& key, const AeadNonce& nonce,
+                                       std::span<const std::uint8_t> plaintext,
+                                       std::span<const std::uint8_t> aad,
+                                       AeadTag& tag_out) {
+  std::vector<std::uint8_t> ct(plaintext.size());
+  chacha20_xor(key, nonce, 1, plaintext, ct.data());
+  tag_out = compute_aead_tag(key, nonce, ct, aad);
+  return ct;
+}
+
+std::vector<std::uint8_t> aead_decrypt(const AeadKey& key, const AeadNonce& nonce,
+                                       std::span<const std::uint8_t> ciphertext,
+                                       std::span<const std::uint8_t> aad,
+                                       const AeadTag& tag) {
+  const AeadTag expect = compute_aead_tag(key, nonce, ciphertext, aad);
+  // Constant-time compare.
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < tag.size(); ++i) diff |= expect[i] ^ tag[i];
+  GV_CHECK(diff == 0, "AEAD tag mismatch: sealed blob corrupted or wrong key");
+  std::vector<std::uint8_t> pt(ciphertext.size());
+  chacha20_xor(key, nonce, 1, ciphertext, pt.data());
+  return pt;
+}
+
+}  // namespace gv

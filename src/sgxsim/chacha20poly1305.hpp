@@ -1,0 +1,41 @@
+// ChaCha20-Poly1305 AEAD (RFC 8439).
+//
+// The enclave simulator uses this for sealed storage: rectifier weights and
+// the private adjacency are stored at rest encrypted under a key derived
+// from the enclave measurement, mirroring SGX's sealing against MRENCLAVE.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gv {
+
+using AeadKey = std::array<std::uint8_t, 32>;
+using AeadNonce = std::array<std::uint8_t, 12>;
+using AeadTag = std::array<std::uint8_t, 16>;
+
+/// Raw ChaCha20 block-function keystream encryption with initial counter
+/// (exposed for RFC test vectors).
+void chacha20_xor(const AeadKey& key, const AeadNonce& nonce,
+                  std::uint32_t counter, std::span<const std::uint8_t> in,
+                  std::uint8_t* out);
+
+/// One-shot Poly1305 MAC (exposed for RFC test vectors).
+AeadTag poly1305_mac(std::span<const std::uint8_t> msg,
+                     const std::array<std::uint8_t, 32>& key);
+
+/// AEAD encrypt: returns ciphertext; writes the tag.
+std::vector<std::uint8_t> aead_encrypt(const AeadKey& key, const AeadNonce& nonce,
+                                       std::span<const std::uint8_t> plaintext,
+                                       std::span<const std::uint8_t> aad,
+                                       AeadTag& tag_out);
+
+/// AEAD decrypt: returns plaintext, or throws gv::Error on tag mismatch.
+std::vector<std::uint8_t> aead_decrypt(const AeadKey& key, const AeadNonce& nonce,
+                                       std::span<const std::uint8_t> ciphertext,
+                                       std::span<const std::uint8_t> aad,
+                                       const AeadTag& tag);
+
+}  // namespace gv

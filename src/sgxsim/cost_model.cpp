@@ -1,0 +1,30 @@
+#include "sgxsim/cost_model.hpp"
+
+#include <sstream>
+
+namespace gv {
+
+double CostMeter::transfer_seconds(const SgxCostModel& m) const {
+  const double cycles =
+      static_cast<double>(ecalls) * m.ecall_cycles +
+      static_cast<double>(ocalls) * m.ocall_cycles +
+      static_cast<double>(bytes_in) * m.transfer_cycles_per_byte +
+      static_cast<double>(page_swaps) * m.page_swap_cycles;
+  return m.cycles_to_seconds(cycles);
+}
+
+double CostMeter::total_seconds(const SgxCostModel& m) const {
+  return untrusted_compute_seconds + transfer_seconds(m) + enclave_compute_seconds;
+}
+
+std::string CostMeter::summary(const SgxCostModel& m) const {
+  std::ostringstream out;
+  out << "backbone=" << untrusted_compute_seconds * 1e3 << "ms"
+      << " transfer=" << transfer_seconds(m) * 1e3 << "ms"
+      << " enclave=" << enclave_compute_seconds * 1e3 << "ms"
+      << " (ecalls=" << ecalls << ", bytes_in=" << bytes_in
+      << ", page_swaps=" << page_swaps << ")";
+  return out.str();
+}
+
+}  // namespace gv

@@ -1,0 +1,61 @@
+// SGX performance/capacity model.
+//
+// We do not have SGX hardware in this environment, so the enclave is
+// simulated: real computation runs natively, and the *costs* SGX would add
+// are charged by this model. Constants are calibrated to published
+// microbenchmarks of the paper's platform class (Intel Core i7-7700,
+// SGX1):
+//   * enclave transitions (ECALL/OCALL): ~8,000-14,000 cycles
+//     (Weisse et al., "HotCalls", ISCA'17; Costan & Devadas, "Intel SGX
+//     Explained", 2016) — we use 8,600 / 8,200;
+//   * EPC paging: an EWB+ELDU pair costs ~40,000 cycles per 4 KiB page;
+//   * crossing data is copied + MEE-encrypted: ~2 cycles/byte effective;
+//   * in-enclave compute on memory-bound kernels runs ~1.2x slower due to
+//     the Memory Encryption Engine.
+// Capacity constants come straight from the paper (Sec. III-C): 128 MB PRM
+// of which 96 MB is usable EPC.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace gv {
+
+struct SgxCostModel {
+  double cpu_ghz = 3.6;  // i7-7700 base clock
+
+  std::uint64_t ecall_cycles = 8600;
+  std::uint64_t ocall_cycles = 8200;
+  double transfer_cycles_per_byte = 2.0;
+  std::uint64_t page_swap_cycles = 40000;
+  double enclave_compute_slowdown = 1.2;
+
+  std::size_t page_bytes = 4096;
+  std::size_t epc_bytes = 96ull * 1024 * 1024;
+  std::size_t prm_bytes = 128ull * 1024 * 1024;
+
+  double cycles_to_seconds(double cycles) const { return cycles / (cpu_ghz * 1e9); }
+};
+
+/// Accumulated cost of one deployment's enclave interactions, split the
+/// way the paper's Fig. 6 breaks down inference time.
+struct CostMeter {
+  std::uint64_t ecalls = 0;
+  std::uint64_t ocalls = 0;
+  std::uint64_t bytes_in = 0;       // untrusted -> enclave copies
+  std::uint64_t page_swaps = 0;     // EPC pressure events
+  double enclave_compute_seconds = 0.0;   // native time already scaled by slowdown
+  double untrusted_compute_seconds = 0.0; // backbone time (normal world)
+
+  void reset() { *this = CostMeter{}; }
+
+  /// Transition + copy + paging time implied by the model.
+  double transfer_seconds(const SgxCostModel& m) const;
+  /// Total end-to-end seconds: untrusted + transfer + enclave.
+  double total_seconds(const SgxCostModel& m) const;
+
+  std::string summary(const SgxCostModel& m) const;
+};
+
+}  // namespace gv

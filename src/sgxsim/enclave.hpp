@@ -1,0 +1,151 @@
+// Simulated SGX enclave.
+//
+// Provides the pieces of the SGX programming model that GNNVault's
+// deployment depends on:
+//   * identity: an MRENCLAVE-style SHA-256 measurement of everything loaded
+//     at build time;
+//   * sealed storage: ChaCha20-Poly1305 under a key derived from the
+//     platform sealing key and the measurement (unsealing in an enclave
+//     with a different measurement fails);
+//   * memory accounting: every in-enclave allocation is registered in a
+//     ledger; exceeding the EPC budget charges page-swap costs, mirroring
+//     the paper's Sec. III-C concern;
+//   * ECALL gating: enclave code runs inside `ecall(...)`, which charges
+//     the transition cost and scales measured compute time by the MEE
+//     slowdown factor.
+//
+// What is intentionally NOT provided is any API for untrusted code to read
+// enclave state: the only way data leaves is the explicit return value of
+// an ecall, which GNNVault restricts to label-only outputs (Sec. IV-E).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+#include "sgxsim/chacha20poly1305.hpp"
+#include "sgxsim/cost_model.hpp"
+#include "sgxsim/sha256.hpp"
+
+namespace gv {
+
+/// Tracks live in-enclave allocations by name; reports current/peak usage.
+class MemoryLedger {
+ public:
+  void alloc(const std::string& name, std::size_t bytes);
+  void free(const std::string& name);
+  /// Replace (or create) an allocation with a new size.
+  void set(const std::string& name, std::size_t bytes);
+
+  std::size_t current_bytes() const { return current_; }
+  std::size_t peak_bytes() const { return peak_; }
+  std::size_t live_allocations() const { return live_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::size_t> live_;
+  std::size_t current_ = 0;
+  std::size_t peak_ = 0;
+};
+
+/// A sealed blob: nonce + ciphertext + tag, bound to a measurement via the
+/// key derivation (SGX MRENCLAVE sealing policy).
+struct SealedBlob {
+  AeadNonce nonce{};
+  std::vector<std::uint8_t> ciphertext;
+  AeadTag tag{};
+  std::size_t size_bytes() const { return ciphertext.size() + nonce.size() + tag.size(); }
+};
+
+class Enclave {
+ public:
+  /// `platform_key` models the CPU's fused sealing key: blobs sealed on one
+  /// platform cannot be unsealed on another.
+  Enclave(std::string name, SgxCostModel model,
+          Sha256Digest platform_key = default_platform_key());
+
+  const std::string& name() const { return name_; }
+  const SgxCostModel& cost_model() const { return model_; }
+
+  // --- Build phase: extend the measurement, then finalize. -------------
+  /// Absorb a blob (code or initial data) into the measurement.
+  void extend_measurement(std::span<const std::uint8_t> blob);
+  void extend_measurement(const std::string& tag);
+  /// Finalize; after this the enclave can run ecalls and seal/unseal.
+  void initialize();
+  bool initialized() const { return initialized_; }
+  const Sha256Digest& measurement() const;
+
+  // --- Runtime. ---------------------------------------------------------
+  /// Run `body` inside the enclave: charges one ECALL transition, measures
+  /// wall time, scales it by the MEE slowdown, and charges paging costs for
+  /// the portion of the working set that exceeds the EPC budget.
+  template <typename F>
+  auto ecall(F&& body) -> decltype(body()) {
+    GV_CHECK(initialized_, "ecall into uninitialized enclave");
+    ++meter_.ecalls;
+    Stopwatch sw;
+    if constexpr (std::is_void_v<decltype(body())>) {
+      body();
+      finish_ecall(sw.seconds());
+      return;
+    } else {
+      auto result = body();
+      finish_ecall(sw.seconds());
+      return result;
+    }
+  }
+
+  /// Charge an OCALL (enclave -> untrusted transition), e.g. for paging.
+  void charge_ocall() { ++meter_.ocalls; }
+
+  /// Account a copy of `bytes` from untrusted memory into the enclave.
+  void copy_in(std::size_t bytes) { meter_.bytes_in += bytes; }
+
+  MemoryLedger& memory() { return ledger_; }
+  const MemoryLedger& memory() const { return ledger_; }
+  CostMeter& meter() { return meter_; }
+  const CostMeter& meter() const { return meter_; }
+
+  /// True when the current working set fits the usable EPC.
+  bool fits_in_epc() const { return ledger_.current_bytes() <= model_.epc_bytes; }
+
+  // --- Sealing. ----------------------------------------------------------
+  /// Seal data under key = HMAC(platform_key, measurement). Deterministic
+  /// nonce derivation from a per-enclave counter.
+  SealedBlob seal(std::span<const std::uint8_t> plaintext);
+  /// Unseal; throws gv::Error if the blob was sealed by a different
+  /// enclave identity or platform, or was tampered with.
+  std::vector<std::uint8_t> unseal(const SealedBlob& blob);
+
+  /// A local-attestation style report: MAC over (measurement || user_data).
+  struct Report {
+    Sha256Digest measurement;
+    Sha256Digest user_data_hash;
+    Sha256Digest mac;
+  };
+  Report create_report(std::span<const std::uint8_t> user_data) const;
+  /// Verify a report allegedly produced on the same platform.
+  static bool verify_report(const Report& report, const Sha256Digest& platform_key);
+
+  static Sha256Digest default_platform_key();
+
+ private:
+  void finish_ecall(double wall_seconds);
+  AeadKey sealing_key() const;
+
+  std::string name_;
+  SgxCostModel model_;
+  Sha256Digest platform_key_;
+  Sha256 measurement_hasher_;
+  Sha256Digest measurement_{};
+  bool initialized_ = false;
+  MemoryLedger ledger_;
+  CostMeter meter_;
+  std::uint64_t seal_counter_ = 0;
+};
+
+}  // namespace gv

@@ -1,0 +1,47 @@
+// SHA-256 (FIPS 180-4) and HMAC-SHA256 (RFC 2104).
+//
+// Used by the enclave simulator for MRENCLAVE-style measurements (hash of
+// everything loaded into the enclave at build time) and for MAC'ing local
+// attestation reports, mirroring how SGX derives identity and report keys.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace gv {
+
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256();
+  /// Absorb bytes (may be called repeatedly).
+  void update(std::span<const std::uint8_t> data);
+  void update(const std::string& s);
+  /// Finalize and return the digest; the object must not be reused after.
+  Sha256Digest finish();
+
+  /// One-shot convenience.
+  static Sha256Digest hash(std::span<const std::uint8_t> data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+  bool finished_ = false;
+};
+
+/// HMAC-SHA256 over `data` with `key`.
+Sha256Digest hmac_sha256(std::span<const std::uint8_t> key,
+                         std::span<const std::uint8_t> data);
+
+/// Hex string of a digest (for logs and tests).
+std::string to_hex(const Sha256Digest& d);
+
+}  // namespace gv

@@ -1,0 +1,82 @@
+// Compressed Sparse Row matrix.
+//
+// Two roles in GNNVault:
+//   * the normalized adjacency  used by every GCN layer's message passing
+//     (the paper stores the private adjacency in COO inside the enclave;
+//     we keep a COO view for that and convert to CSR for compute), and
+//   * the sparse node-feature matrix X (citation-network features are
+//     ~1% dense binary vectors), which makes first-layer training cheap.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace gv {
+
+/// One nonzero in coordinate format.
+struct CooEntry {
+  std::uint32_t row;
+  std::uint32_t col;
+  float value;
+};
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Build from unordered COO entries; duplicate (row,col) values are summed.
+  static CsrMatrix from_coo(std::size_t rows, std::size_t cols,
+                            std::vector<CooEntry> entries);
+
+  /// Build from a dense matrix, keeping entries with |v| > eps.
+  static CsrMatrix from_dense(const Matrix& dense, float eps = 0.0f);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return col_idx_.size(); }
+
+  const std::vector<std::int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<std::uint32_t>& col_idx() const { return col_idx_; }
+  const std::vector<float>& values() const { return values_; }
+  std::vector<float>& mutable_values() { return values_; }
+
+  /// Number of nonzeros in row r.
+  std::size_t row_nnz(std::size_t r) const {
+    return static_cast<std::size_t>(row_ptr_[r + 1] - row_ptr_[r]);
+  }
+
+  /// Value at (r, c); zero if not stored. O(log nnz(r)).
+  float at(std::size_t r, std::size_t c) const;
+
+  /// Dense copy (tests / small graphs only).
+  Matrix to_dense() const;
+
+  /// Transposed copy.
+  CsrMatrix transposed() const;
+
+  /// COO view (row-major order).
+  std::vector<CooEntry> to_coo() const;
+
+  /// Payload bytes (row_ptr + col_idx + values) for memory accounting.
+  std::size_t payload_bytes() const;
+
+  /// y = A * x for a dense vector x.
+  std::vector<float> matvec(const std::vector<float>& x) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::int64_t> row_ptr_;   // size rows_+1
+  std::vector<std::uint32_t> col_idx_;  // size nnz
+  std::vector<float> values_;           // size nnz
+};
+
+/// C[n,k] = A[n,m] (sparse) * B[m,k] (dense). OpenMP over rows.
+Matrix spmm(const CsrMatrix& a, const Matrix& b);
+
+/// C[m,k] = A[n,m]^T (sparse) * B[n,k] (dense); per-thread accumulators.
+Matrix spmm_tn(const CsrMatrix& a, const Matrix& b);
+
+}  // namespace gv

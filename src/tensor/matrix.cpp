@@ -1,0 +1,124 @@
+#include "tensor/matrix.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace gv {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, float fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<float>> init) {
+  rows_ = init.size();
+  cols_ = rows_ > 0 ? init.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : init) {
+    GV_CHECK(row.size() == cols_, "ragged initializer list for Matrix");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::zeros(std::size_t rows, std::size_t cols) {
+  return Matrix(rows, cols, 0.0f);
+}
+
+Matrix Matrix::ones(std::size_t rows, std::size_t cols) {
+  return Matrix(rows, cols, 1.0f);
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n, 0.0f);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0f;
+  return m;
+}
+
+float& Matrix::at(std::size_t r, std::size_t c) {
+  GV_CHECK(r < rows_ && c < cols_, "Matrix::at index out of range");
+  return (*this)(r, c);
+}
+
+float Matrix::at(std::size_t r, std::size_t c) const {
+  GV_CHECK(r < rows_ && c < cols_, "Matrix::at index out of range");
+  return (*this)(r, c);
+}
+
+void Matrix::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::gather_rows(std::span<const std::uint32_t> rows) const {
+  Matrix out(rows.size(), cols_);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    GV_CHECK(rows[i] < rows_, "gather_rows index out of range");
+    std::memcpy(out.data() + i * cols_, data_.data() + rows[i] * cols_,
+                cols_ * sizeof(float));
+  }
+  return out;
+}
+
+Matrix Matrix::hconcat(std::span<const Matrix* const> blocks) {
+  GV_CHECK(!blocks.empty(), "hconcat requires at least one block");
+  const std::size_t rows = blocks.front()->rows();
+  std::size_t cols = 0;
+  for (const Matrix* b : blocks) {
+    GV_CHECK(b->rows() == rows, "hconcat blocks must share row count");
+    cols += b->cols();
+  }
+  Matrix out(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* dst = out.data() + r * cols;
+    for (const Matrix* b : blocks) {
+      std::memcpy(dst, b->data() + r * b->cols(), b->cols() * sizeof(float));
+      dst += b->cols();
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::hconcat(const Matrix& a, const Matrix& b) {
+  const Matrix* blocks[] = {&a, &b};
+  return hconcat(std::span<const Matrix* const>(blocks, 2));
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  GV_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+           "Matrix += shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  GV_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+           "Matrix -= shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(float s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+float Matrix::frobenius_norm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+bool Matrix::allclose(const Matrix& other, float tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace gv

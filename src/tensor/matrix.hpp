@@ -1,0 +1,87 @@
+// Dense row-major single-precision matrix.
+//
+// This is the workhorse container for node-feature blocks, layer
+// activations, and weight matrices.  It plays the role Eigen plays in the
+// paper's SGX enclave implementation (the authors use Eigen for the
+// rectifier's matrix ops); we implement the subset of functionality GNN
+// inference/training needs, with OpenMP-parallel kernels in gemm.cpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace gv {
+
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// rows x cols matrix, all elements set to `fill`.
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f);
+
+  /// Build from nested initializer list (for tests): {{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<float>> init);
+
+  static Matrix zeros(std::size_t rows, std::size_t cols);
+  static Matrix ones(std::size_t rows, std::size_t cols);
+  /// Identity matrix of size n.
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  float operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Bounds-checked access (throws gv::Error).
+  float& at(std::size_t r, std::size_t c);
+  float at(std::size_t r, std::size_t c) const;
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  std::span<float> row(std::size_t r) { return {data_.data() + r * cols_, cols_}; }
+  std::span<const float> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// Reset all elements to `v`.
+  void fill(float v);
+
+  /// Transposed copy.
+  Matrix transposed() const;
+
+  /// Extract the sub-matrix of the given rows (gather).
+  Matrix gather_rows(std::span<const std::uint32_t> rows) const;
+
+  /// Horizontal concatenation [A | B | ...]; all blocks must share rows.
+  static Matrix hconcat(std::span<const Matrix* const> blocks);
+  static Matrix hconcat(const Matrix& a, const Matrix& b);
+
+  /// Element-wise in-place operations.
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(float s);
+
+  /// Frobenius norm.
+  float frobenius_norm() const;
+
+  /// True when shapes and all elements match within `tol`.
+  bool allclose(const Matrix& other, float tol = 1e-5f) const;
+
+  /// Bytes occupied by the payload (used by the SGX memory accounting).
+  std::size_t payload_bytes() const { return data_.size() * sizeof(float); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace gv

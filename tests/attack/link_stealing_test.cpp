@@ -1,0 +1,173 @@
+#include "attack/link_stealing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/pipeline.hpp"
+#include "data/synthetic.hpp"
+#include "nn/trainer.hpp"
+
+namespace gv {
+namespace {
+
+Dataset attack_dataset(std::uint64_t seed) {
+  SyntheticSpec spec;
+  spec.num_nodes = 350;
+  spec.num_classes = 3;
+  spec.num_undirected_edges = 1200;
+  spec.feature_dim = 130;
+  spec.homophily = 0.85;
+  // Calibrated "noisy public features" regime (see tools/calibrate): the
+  // graph must carry signal the features lack, or there is nothing for the
+  // attack to steal beyond the feature-similarity floor.
+  spec.feature_signal = 0.30;
+  spec.class_confusion = 0.7;
+  spec.common_token_prob = 0.6;
+  spec.subtopics_per_class = 10;
+  spec.subtopic_fraction = 0.35;
+  spec.prototype_size = 40;
+  return generate_synthetic(spec, seed);
+}
+
+TEST(PairSample, BalancedAndValid) {
+  const Dataset ds = attack_dataset(1);
+  Rng rng(1);
+  const PairSample s = sample_link_pairs(ds.graph, 400, rng);
+  EXPECT_EQ(s.pairs.size(), 400u);
+  EXPECT_EQ(s.positives(), 200u);
+  for (std::size_t i = 0; i < s.pairs.size(); ++i) {
+    const auto& [a, b] = s.pairs[i];
+    EXPECT_NE(a, b);
+    EXPECT_EQ(ds.graph.has_edge(a, b), s.is_edge[i] != 0);
+  }
+}
+
+TEST(PairSample, UsesAllEdgesWhenFewerThanBudget) {
+  Graph g(10);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  Rng rng(2);
+  const PairSample s = sample_link_pairs(g, 1000, rng);
+  EXPECT_EQ(s.positives(), 2u);
+  EXPECT_EQ(s.pairs.size(), 4u);
+}
+
+TEST(PairSample, EmptyGraphThrows) {
+  Graph g(5);
+  Rng rng(3);
+  EXPECT_THROW(sample_link_pairs(g, 10, rng), Error);
+}
+
+TEST(Metrics, AllSixPresentWithNames) {
+  const auto& ms = all_similarity_metrics();
+  ASSERT_EQ(ms.size(), 6u);
+  EXPECT_EQ(metric_name(ms[0]), "Euclidean");
+  EXPECT_EQ(metric_name(ms[5]), "Canberra");
+}
+
+TEST(Metrics, SimilarityHigherForIdenticalRows) {
+  Matrix emb{{1, 2, 3}, {1, 2, 3}, {-3, 0, 9}};
+  for (const auto m : all_similarity_metrics()) {
+    EXPECT_GT(pair_similarity(emb, 0, 1, m), pair_similarity(emb, 0, 2, m))
+        << metric_name(m);
+  }
+}
+
+TEST(ConcatEmbeddings, NormalizesAndJoins) {
+  Matrix a{{3, 4}, {0, 1}};
+  Matrix b{{10, 0, 0}, {0, 10, 0}};
+  const Matrix c = concat_observable_embeddings({a, b});
+  EXPECT_EQ(c.cols(), 5u);
+  EXPECT_NEAR(c(0, 0), 0.6f, 1e-5);  // L2-normalized first block
+  EXPECT_NEAR(c(0, 2), 1.0f, 1e-5);  // L2-normalized second block
+}
+
+TEST(ConcatEmbeddings, SkipsEmptyLayers) {
+  Matrix a{{1, 0}, {0, 1}};
+  const Matrix c = concat_observable_embeddings({Matrix(), a});
+  EXPECT_EQ(c.cols(), 2u);
+}
+
+TEST(ConcatEmbeddings, AllEmptyThrows) {
+  EXPECT_THROW(concat_observable_embeddings({Matrix(), Matrix()}), Error);
+  EXPECT_THROW(concat_observable_embeddings({}), Error);
+}
+
+/// End-to-end attack sanity: embeddings of a GCN trained WITH the real
+/// adjacency leak far more than a feature-only MLP's.
+TEST(LinkStealing, OriginalLeaksMoreThanBaseline) {
+  const Dataset ds = attack_dataset(2);
+  TrainConfig tc;
+  tc.epochs = 60;
+
+  double porg = 0.0;
+  const ModelSpec spec{"T", {16, 8}, {16, 8}, 0.3f};
+  auto original = train_original_gnn(ds, spec, tc, 3, &porg);
+  original->forward(ds.features, false);
+  const auto org_layers = original->layer_outputs();
+
+  Rng rng(4);
+  MlpConfig mc{ds.feature_dim(), {16, 8, ds.num_classes}, 0.3f};
+  MlpModel mlp(mc, rng);
+  train_node_classifier(mlp, ds.features, ds.labels, ds.split.train, tc);
+  mlp.forward(ds.features, false);
+  const auto base_layers = mlp.layer_outputs();
+
+  Rng sample_rng(5);
+  const PairSample sample = sample_link_pairs(ds.graph, 1500, sample_rng);
+  const double auc_org =
+      link_stealing_auc(org_layers, sample, SimilarityMetric::kCosine);
+  const double auc_base =
+      link_stealing_auc(base_layers, sample, SimilarityMetric::kCosine);
+  EXPECT_GT(auc_org, 0.8);
+  EXPECT_GT(auc_org, auc_base + 0.08);
+}
+
+TEST(LinkStealing, GnnVaultObservablesLeakLikeBaseline) {
+  // Table IV claim: attack on GNNVault's untrusted-world embeddings drops
+  // to roughly the feature-only baseline.
+  const Dataset ds = attack_dataset(3);
+  VaultTrainConfig cfg;
+  cfg.spec = ModelSpec{"T", {16, 8}, {16, 8}, 0.3f};
+  cfg.backbone_train.epochs = 60;
+  cfg.rectifier_train.epochs = 60;
+  cfg.seed = 6;
+  const TrainedVault tv = train_vault(ds, cfg);
+  const auto gv_layers = tv.backbone_outputs(ds.features);
+
+  TrainConfig tc;
+  tc.epochs = 60;
+  double porg = 0.0;
+  auto original = train_original_gnn(ds, cfg.spec, tc, 6, &porg);
+  original->forward(ds.features, false);
+  const auto org_layers = original->layer_outputs();
+
+  Rng sample_rng(7);
+  const PairSample sample = sample_link_pairs(ds.graph, 1500, sample_rng);
+  for (const auto metric :
+       {SimilarityMetric::kCosine, SimilarityMetric::kEuclidean}) {
+    const double auc_gv = link_stealing_auc(gv_layers, sample, metric);
+    const double auc_org = link_stealing_auc(org_layers, sample, metric);
+    EXPECT_LT(auc_gv, auc_org - 0.05) << metric_name(metric);
+  }
+}
+
+TEST(LinkStealing, AllMetricsVariantMatchesIndividualCalls) {
+  const Dataset ds = attack_dataset(4);
+  Rng rng(8);
+  MlpConfig mc{ds.feature_dim(), {12, ds.num_classes}, 0.0f};
+  MlpModel mlp(mc, rng);
+  mlp.forward(ds.features, false);
+  const auto layers = mlp.layer_outputs();
+  Rng sample_rng(9);
+  const PairSample sample = sample_link_pairs(ds.graph, 600, sample_rng);
+  const auto all = link_stealing_auc_all_metrics(layers, sample);
+  ASSERT_EQ(all.size(), 6u);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_DOUBLE_EQ(all[i],
+                     link_stealing_auc(layers, sample, all_similarity_metrics()[i]));
+  }
+}
+
+}  // namespace
+}  // namespace gv

@@ -1,0 +1,59 @@
+#include "common/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace gv {
+namespace {
+
+TEST(Env, IntFallsBackWhenUnset) {
+  ::unsetenv("GV_TEST_INT");
+  EXPECT_EQ(env_int("GV_TEST_INT", 42), 42);
+}
+
+TEST(Env, IntParsesValue) {
+  ::setenv("GV_TEST_INT", "-17", 1);
+  EXPECT_EQ(env_int("GV_TEST_INT", 0), -17);
+  ::unsetenv("GV_TEST_INT");
+}
+
+TEST(Env, IntFallsBackOnGarbage) {
+  ::setenv("GV_TEST_INT", "abc", 1);
+  EXPECT_EQ(env_int("GV_TEST_INT", 5), 5);
+  ::unsetenv("GV_TEST_INT");
+}
+
+TEST(Env, DoubleParsesValue) {
+  ::setenv("GV_TEST_DBL", "2.5", 1);
+  EXPECT_DOUBLE_EQ(env_double("GV_TEST_DBL", 0.0), 2.5);
+  ::unsetenv("GV_TEST_DBL");
+}
+
+TEST(Env, StringFallsBackOnEmpty) {
+  ::setenv("GV_TEST_STR", "", 1);
+  EXPECT_EQ(env_string("GV_TEST_STR", "dflt"), "dflt");
+  ::unsetenv("GV_TEST_STR");
+}
+
+TEST(Env, StringReadsValue) {
+  ::setenv("GV_TEST_STR", "hello", 1);
+  EXPECT_EQ(env_string("GV_TEST_STR", "dflt"), "hello");
+  ::unsetenv("GV_TEST_STR");
+}
+
+TEST(Env, SeedDefaultsTo42) {
+  ::unsetenv("GNNVAULT_SEED");
+  EXPECT_EQ(experiment_seed(), 42u);
+}
+
+TEST(Env, FastModeDefaultsOff) {
+  ::unsetenv("GNNVAULT_BENCH_FAST");
+  EXPECT_FALSE(bench_fast_mode());
+  ::setenv("GNNVAULT_BENCH_FAST", "1", 1);
+  EXPECT_TRUE(bench_fast_mode());
+  ::unsetenv("GNNVAULT_BENCH_FAST");
+}
+
+}  // namespace
+}  // namespace gv

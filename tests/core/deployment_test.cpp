@@ -1,0 +1,119 @@
+#include "core/deployment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+
+namespace gv {
+namespace {
+
+Dataset deploy_dataset(std::uint64_t seed) {
+  SyntheticSpec spec;
+  spec.num_nodes = 300;
+  spec.num_classes = 3;
+  spec.num_undirected_edges = 1000;
+  spec.feature_dim = 120;
+  spec.homophily = 0.85;
+  spec.feature_signal = 0.45;
+  return generate_synthetic(spec, seed);
+}
+
+TrainedVault quick_vault(const Dataset& ds, RectifierKind kind) {
+  VaultTrainConfig cfg;
+  cfg.spec = ModelSpec{"T", {24, 12}, {24, 12}, 0.4f};
+  cfg.rectifier = kind;
+  cfg.backbone_train.epochs = 60;
+  cfg.rectifier_train.epochs = 60;
+  cfg.seed = 11;
+  return train_vault(ds, cfg);
+}
+
+TEST(Deployment, SecureInferenceMatchesPlainRectifiedPath) {
+  const Dataset ds = deploy_dataset(1);
+  TrainedVault tv = quick_vault(ds, RectifierKind::kParallel);
+  const auto plain = tv.predict_rectified(ds.features);
+  VaultDeployment dep(ds, std::move(tv), {});
+  const auto secure = dep.infer_labels(ds.features);
+  EXPECT_EQ(secure, plain);
+}
+
+TEST(Deployment, MeterBreakdownPopulated) {
+  const Dataset ds = deploy_dataset(2);
+  VaultDeployment dep(ds, quick_vault(ds, RectifierKind::kParallel), {});
+  dep.reset_meter();
+  dep.infer_labels(ds.features);
+  const CostMeter& m = dep.meter();
+  EXPECT_EQ(m.ecalls, 1u);
+  EXPECT_GT(m.bytes_in, 0u);
+  EXPECT_GT(m.untrusted_compute_seconds, 0.0);
+  EXPECT_GT(m.enclave_compute_seconds, 0.0);
+}
+
+TEST(Deployment, SeriesTransfersFewerBytesThanCascaded) {
+  const Dataset ds = deploy_dataset(3);
+  VaultDeployment series(ds, quick_vault(ds, RectifierKind::kSeries), {});
+  VaultDeployment cascaded(ds, quick_vault(ds, RectifierKind::kCascaded), {});
+  series.infer_labels(ds.features);
+  cascaded.infer_labels(ds.features);
+  EXPECT_LT(series.bytes_transferred(), cascaded.bytes_transferred());
+}
+
+TEST(Deployment, EnclaveMemoryStaysWellUnderEpc) {
+  const Dataset ds = deploy_dataset(4);
+  VaultDeployment dep(ds, quick_vault(ds, RectifierKind::kCascaded), {});
+  dep.infer_labels(ds.features);
+  // Fig. 6's feasibility claim: peak enclave memory far below the 96MB EPC.
+  EXPECT_LT(dep.enclave_peak_bytes(), dep.cost_model().epc_bytes / 4);
+  EXPECT_EQ(dep.meter().page_swaps, 0u);
+}
+
+TEST(Deployment, BackboneMemoryExceedsEnclavePeak) {
+  const Dataset ds = deploy_dataset(5);
+  VaultDeployment dep(ds, quick_vault(ds, RectifierKind::kParallel), {});
+  dep.infer_labels(ds.features);
+  EXPECT_GT(dep.backbone_runtime_bytes(ds.features), dep.enclave_peak_bytes());
+}
+
+TEST(Deployment, SealingRoundTripPreservesAccuracy) {
+  const Dataset ds = deploy_dataset(6);
+  TrainedVault tv = quick_vault(ds, RectifierKind::kParallel);
+  const auto plain = tv.predict_rectified(ds.features);
+  DeploymentOptions opts;
+  opts.seal_artifacts = true;
+  VaultDeployment dep(ds, std::move(tv), opts);
+  EXPECT_EQ(dep.infer_labels(ds.features), plain);
+}
+
+TEST(Deployment, RepeatedInferenceAccumulatesMeter) {
+  const Dataset ds = deploy_dataset(7);
+  VaultDeployment dep(ds, quick_vault(ds, RectifierKind::kSeries), {});
+  dep.reset_meter();
+  dep.infer_labels(ds.features);
+  const auto bytes_once = dep.meter().bytes_in;
+  dep.infer_labels(ds.features);
+  EXPECT_EQ(dep.meter().ecalls, 2u);
+  EXPECT_EQ(dep.meter().bytes_in, bytes_once * 2);
+}
+
+TEST(Deployment, TransientBuffersFreedAfterInference) {
+  const Dataset ds = deploy_dataset(8);
+  VaultDeployment dep(ds, quick_vault(ds, RectifierKind::kParallel), {});
+  const auto resident = dep.enclave_current_bytes();
+  dep.infer_labels(ds.features);
+  // Inputs/activations are transient; only weights+graph stay resident.
+  EXPECT_EQ(dep.enclave_current_bytes(), resident);
+  EXPECT_GT(dep.enclave_peak_bytes(), resident);
+}
+
+TEST(Deployment, UnprotectedTimerIsPositive) {
+  const Dataset ds = deploy_dataset(9);
+  double porg = 0.0;
+  TrainConfig tc;
+  tc.epochs = 30;
+  auto original = train_original_gnn(ds, ModelSpec{"T", {24, 12}, {24, 12}, 0.4f}, tc,
+                                     3, &porg);
+  EXPECT_GT(time_unprotected_inference(*original, ds.features), 0.0);
+}
+
+}  // namespace
+}  // namespace gv

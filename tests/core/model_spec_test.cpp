@@ -1,0 +1,52 @@
+#include "core/model_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace gv {
+namespace {
+
+TEST(ModelSpec, M1ChannelsMatchPaper) {
+  const auto spec = model_spec_m1();
+  EXPECT_EQ(spec.backbone_channels(7), (std::vector<std::size_t>{128, 32, 7}));
+  EXPECT_EQ(spec.rectifier_channels(7), (std::vector<std::size_t>{128, 32, 7}));
+}
+
+TEST(ModelSpec, M3IsDeeper) {
+  const auto spec = model_spec_m3();
+  EXPECT_EQ(spec.backbone_channels(10),
+            (std::vector<std::size_t>{256, 64, 32, 16, 10}));
+  EXPECT_EQ(spec.rectifier_channels(10), (std::vector<std::size_t>{64, 32, 10}));
+}
+
+TEST(ModelSpec, ByNameRoundTrip) {
+  EXPECT_EQ(model_spec_by_name("M1").name, "M1");
+  EXPECT_EQ(model_spec_by_name("M2").name, "M2");
+  EXPECT_EQ(model_spec_by_name("M3").name, "M3");
+  EXPECT_THROW(model_spec_by_name("M9"), Error);
+}
+
+TEST(ModelSpec, DatasetAssignmentFollowsPaper) {
+  EXPECT_EQ(model_spec_for_dataset(DatasetId::kCora).name, "M1");
+  EXPECT_EQ(model_spec_for_dataset(DatasetId::kCiteseer).name, "M1");
+  EXPECT_EQ(model_spec_for_dataset(DatasetId::kPubmed).name, "M1");
+  EXPECT_EQ(model_spec_for_dataset(DatasetId::kCoraFull).name, "M2");
+  EXPECT_EQ(model_spec_for_dataset(DatasetId::kComputer).name, "M3");
+  EXPECT_EQ(model_spec_for_dataset(DatasetId::kPhoto).name, "M3");
+}
+
+TEST(ModelSpec, M1BackboneParamCountMatchesTableTwo) {
+  // Cora: 1433 -> 128 -> 32 -> 7 gives ~0.188 M parameters (Table II).
+  const auto ch = model_spec_m1().backbone_channels(7);
+  std::size_t params = 0;
+  std::size_t in = 1433;
+  for (const auto out : ch) {
+    params += in * out + out;
+    in = out;
+  }
+  EXPECT_NEAR(static_cast<double>(params) / 1e6, 0.188, 0.005);
+}
+
+}  // namespace
+}  // namespace gv

@@ -1,0 +1,133 @@
+#include "core/package.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "core/deployment.hpp"
+#include "data/synthetic.hpp"
+
+namespace gv {
+namespace {
+
+Dataset pkg_dataset() {
+  SyntheticSpec spec;
+  spec.num_nodes = 200;
+  spec.num_classes = 3;
+  spec.num_undirected_edges = 600;
+  spec.feature_dim = 70;
+  spec.homophily = 0.85;
+  return generate_synthetic(spec, 55);
+}
+
+TrainedVault quick_vault(const Dataset& ds, BackboneKind kind,
+                         RectifierKind rect) {
+  VaultTrainConfig cfg;
+  cfg.spec = ModelSpec{"T", {16, 8}, {16, 8}, 0.3f};
+  cfg.backbone = kind;
+  cfg.rectifier = rect;
+  cfg.backbone_train.epochs = 25;
+  cfg.rectifier_train.epochs = 25;
+  return train_vault(ds, cfg);
+}
+
+std::string temp_pkg(const char* name) { return ::testing::TempDir() + name; }
+
+TEST(Package, RoundTripPreservesPredictions) {
+  const Dataset ds = pkg_dataset();
+  const TrainedVault tv =
+      quick_vault(ds, BackboneKind::kKnn, RectifierKind::kParallel);
+  const auto before = tv.predict_rectified(ds.features);
+  const auto path = temp_pkg("gv_pkg_roundtrip.bin");
+  save_vault_package(path, tv, ds.graph, ds);
+  const LoadedVault lv = load_vault_package(path);
+  EXPECT_EQ(lv.vault.predict_rectified(ds.features), before);
+  EXPECT_EQ(lv.num_classes, ds.num_classes);
+  EXPECT_EQ(lv.feature_dim, ds.feature_dim());
+  std::remove(path.c_str());
+}
+
+TEST(Package, RoundTripPreservesGraphs) {
+  const Dataset ds = pkg_dataset();
+  const TrainedVault tv =
+      quick_vault(ds, BackboneKind::kKnn, RectifierKind::kSeries);
+  const auto path = temp_pkg("gv_pkg_graphs.bin");
+  save_vault_package(path, tv, ds.graph, ds);
+  const LoadedVault lv = load_vault_package(path);
+  EXPECT_EQ(lv.private_graph.edges(), ds.graph.edges());
+  EXPECT_EQ(lv.vault.substitute_graph.edges(), tv.substitute_graph.edges());
+  std::remove(path.c_str());
+}
+
+TEST(Package, MlpBackboneRoundTrips) {
+  const Dataset ds = pkg_dataset();
+  const TrainedVault tv =
+      quick_vault(ds, BackboneKind::kDnn, RectifierKind::kCascaded);
+  const auto before = tv.predict_rectified(ds.features);
+  const auto path = temp_pkg("gv_pkg_mlp.bin");
+  save_vault_package(path, tv, ds.graph, ds);
+  const LoadedVault lv = load_vault_package(path);
+  EXPECT_EQ(lv.vault.backbone_gcn, nullptr);
+  ASSERT_NE(lv.vault.backbone_mlp, nullptr);
+  EXPECT_EQ(lv.vault.predict_rectified(ds.features), before);
+  std::remove(path.c_str());
+}
+
+TEST(Package, AllRectifierKindsRoundTrip) {
+  const Dataset ds = pkg_dataset();
+  for (const auto kind :
+       {RectifierKind::kParallel, RectifierKind::kCascaded, RectifierKind::kSeries}) {
+    const TrainedVault tv = quick_vault(ds, BackboneKind::kKnn, kind);
+    const auto path = temp_pkg("gv_pkg_kind.bin");
+    save_vault_package(path, tv, ds.graph, ds);
+    const LoadedVault lv = load_vault_package(path);
+    EXPECT_EQ(lv.vault.rectifier->config().kind, kind);
+    EXPECT_EQ(lv.vault.predict_rectified(ds.features),
+              tv.predict_rectified(ds.features));
+    std::remove(path.c_str());
+  }
+}
+
+TEST(Package, LoadedVaultDeploysIdentically) {
+  const Dataset ds = pkg_dataset();
+  TrainedVault tv = quick_vault(ds, BackboneKind::kKnn, RectifierKind::kParallel);
+  const auto path = temp_pkg("gv_pkg_deploy.bin");
+  save_vault_package(path, tv, ds.graph, ds);
+  LoadedVault lv = load_vault_package(path);
+  VaultDeployment dep(ds, std::move(lv.vault), {});
+  EXPECT_EQ(dep.infer_labels(ds.features), tv.predict_rectified(ds.features));
+  std::remove(path.c_str());
+}
+
+TEST(Package, RejectsWrongMagic) {
+  const auto path = temp_pkg("gv_pkg_magic.bin");
+  std::ofstream(path, std::ios::binary) << "NOTPKG--garbage";
+  EXPECT_THROW(load_vault_package(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(Package, RejectsTruncatedFile) {
+  const Dataset ds = pkg_dataset();
+  const TrainedVault tv =
+      quick_vault(ds, BackboneKind::kKnn, RectifierKind::kParallel);
+  const auto path = temp_pkg("gv_pkg_trunc.bin");
+  save_vault_package(path, tv, ds.graph, ds);
+  // Truncate to 60% and expect a clean error.
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> raw((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream(path, std::ios::binary | std::ios::trunc)
+      .write(raw.data(), static_cast<std::streamsize>(raw.size() * 6 / 10));
+  EXPECT_THROW(load_vault_package(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(Package, RejectsMissingFile) {
+  EXPECT_THROW(load_vault_package("/nonexistent/vault.bin"), Error);
+}
+
+}  // namespace
+}  // namespace gv

@@ -1,0 +1,139 @@
+// Security-invariant tests (DESIGN.md Sec. 5): what an untrusted-world
+// attacker can and cannot observe from a GNNVault deployment.
+#include <gtest/gtest.h>
+
+#include "core/deployment.hpp"
+#include "data/synthetic.hpp"
+#include "sgxsim/channel.hpp"
+
+namespace gv {
+namespace {
+
+Dataset sec_dataset(std::uint64_t seed) {
+  SyntheticSpec spec;
+  spec.num_nodes = 250;
+  spec.num_classes = 3;
+  spec.num_undirected_edges = 800;
+  spec.feature_dim = 100;
+  spec.homophily = 0.88;
+  spec.feature_signal = 0.30;
+  spec.class_confusion = 0.7;
+  spec.common_token_prob = 0.6;
+  spec.subtopics_per_class = 10;
+  spec.subtopic_fraction = 0.35;
+  spec.prototype_size = 40;
+  return generate_synthetic(spec, seed);
+}
+
+TrainedVault quick_vault(const Dataset& ds) {
+  VaultTrainConfig cfg;
+  cfg.spec = ModelSpec{"T", {32, 16}, {32, 16}, 0.3f};
+  cfg.backbone_train.epochs = 80;
+  cfg.rectifier_train.epochs = 80;
+  cfg.seed = 5;
+  return train_vault(ds, cfg);
+}
+
+TEST(Security, OutputIsLabelOnly) {
+  // The deployment's only inference API returns class indices — never
+  // logits. (Logits leak link/membership signal; paper Sec. IV-E.)
+  const Dataset ds = sec_dataset(1);
+  VaultDeployment dep(ds, quick_vault(ds), {});
+  const auto out = dep.infer_labels(ds.features);
+  EXPECT_EQ(out.size(), ds.num_nodes());
+  for (const auto label : out) EXPECT_LT(label, ds.num_classes);
+  // Structural check: the return type carries integers, not scores.
+  static_assert(std::is_same_v<decltype(dep.infer_labels(ds.features)),
+                               std::vector<std::uint32_t>>);
+}
+
+TEST(Security, BackboneNeverSeesRealAdjacency) {
+  // partition-before-training: the backbone's propagation matrix is built
+  // from the substitute graph only. Verify zero overlap beyond chance: the
+  // backbone adjacency must differ from the real one.
+  const Dataset ds = sec_dataset(2);
+  const TrainedVault tv = quick_vault(ds);
+  ASSERT_NE(tv.backbone_gcn, nullptr);
+  const CsrMatrix& bb_adj = tv.backbone_gcn->adjacency();
+  const CsrMatrix real = ds.graph.gcn_normalized();
+  // Count real (off-diagonal) edges present in the backbone's adjacency.
+  std::size_t overlap = 0;
+  for (const Edge& e : ds.graph.edges()) {
+    if (bb_adj.at(e.a, e.b) != 0.0f) ++overlap;
+  }
+  // KNN-from-features reconstructs *some* homophilous edges by accident,
+  // but the overwhelming majority of private edges must be absent.
+  EXPECT_LT(static_cast<double>(overlap) / ds.graph.num_edges(), 0.25);
+}
+
+TEST(Security, SealedWeightsUnreadableByOtherEnclave) {
+  const Dataset ds = sec_dataset(3);
+  TrainedVault tv = quick_vault(ds);
+  const auto weights = tv.rectifier->serialize_weights();
+
+  Enclave good("gnnvault", SgxCostModel{});
+  good.extend_measurement(std::string("rectifier-code"));
+  good.initialize();
+  const auto blob = good.seal(weights);
+
+  Enclave evil("gnnvault", SgxCostModel{});
+  evil.extend_measurement(std::string("attacker-code"));
+  evil.initialize();
+  EXPECT_THROW(evil.unseal(blob), Error);
+}
+
+template <typename T>
+concept CanPop = requires(T t) { t.pop(); };
+template <typename T>
+concept CanPeek = requires(T t) { t.peek(); };
+template <typename T>
+concept ExposesQueue = requires(T t) { t.queue(); };
+
+TEST(Security, ChannelExposesNoReadbackApi) {
+  // Untrusted code holds only an UntrustedSender; there is no method to
+  // observe enclave-side state through the channel.
+  static_assert(!CanPop<UntrustedSender>);
+  static_assert(!CanPeek<UntrustedSender>);
+  static_assert(!ExposesQueue<OneWayChannel>);
+  SUCCEED();
+}
+
+TEST(Security, ObservableEmbeddingsComeFromSubstituteGraphOnly) {
+  // What crosses the channel is a function of (features, substitute adj,
+  // backbone weights) — all public. Re-deriving them outside the enclave
+  // must reproduce the transferred blocks exactly; i.e. the transfer adds
+  // ZERO information about the private adjacency.
+  const Dataset ds = sec_dataset(4);
+  const TrainedVault tv = quick_vault(ds);
+  const auto outputs = tv.backbone_outputs(ds.features);
+  // Attacker reconstruction using only public artifacts:
+  auto& bb = const_cast<GcnModel&>(*tv.backbone_gcn);
+  bb.forward(ds.features, false);
+  const auto reconstructed = bb.layer_outputs();
+  ASSERT_EQ(outputs.size(), reconstructed.size());
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    EXPECT_TRUE(outputs[i].allclose(reconstructed[i], 0.0f)) << "layer " << i;
+  }
+}
+
+TEST(Security, AccuracyGapIsTheProtectedIp) {
+  // The only high-accuracy path requires the enclave: the backbone alone
+  // (everything the attacker can steal) is substantially worse.
+  const Dataset ds = sec_dataset(5);
+  const TrainedVault tv = quick_vault(ds);
+  EXPECT_GT(tv.rectifier_test_accuracy - tv.backbone_test_accuracy, 0.03);
+}
+
+TEST(Security, ReportBindsMeasurementAndUserData) {
+  Enclave e("gnnvault", SgxCostModel{});
+  e.extend_measurement(std::string("rectifier-code"));
+  e.initialize();
+  const std::vector<std::uint8_t> challenge = {1, 2, 3, 4};
+  auto report = e.create_report(challenge);
+  EXPECT_TRUE(Enclave::verify_report(report, Enclave::default_platform_key()));
+  report.user_data_hash[0] ^= 1;  // forged user data
+  EXPECT_FALSE(Enclave::verify_report(report, Enclave::default_platform_key()));
+}
+
+}  // namespace
+}  // namespace gv

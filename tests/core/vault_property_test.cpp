@@ -1,0 +1,132 @@
+// Parameterized end-to-end properties of the vault across every
+// (backbone kind x rectifier kind) combination, on a small dataset so the
+// full product stays fast. These are the "does the partition hold for
+// every configuration" guarantees.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/deployment.hpp"
+#include "data/synthetic.hpp"
+
+namespace gv {
+namespace {
+
+const Dataset& shared_dataset() {
+  static const Dataset ds = [] {
+    SyntheticSpec spec;
+    spec.num_nodes = 220;
+    spec.num_classes = 3;
+    spec.num_undirected_edges = 700;
+    spec.feature_dim = 90;
+    spec.homophily = 0.85;
+    spec.feature_signal = 0.30;
+    spec.class_confusion = 0.7;
+    spec.common_token_prob = 0.6;
+    spec.subtopics_per_class = 6;
+    spec.subtopic_fraction = 0.35;
+    spec.prototype_size = 30;
+    return generate_synthetic(spec, 2025);
+  }();
+  return ds;
+}
+
+using Combo = std::tuple<BackboneKind, RectifierKind>;
+
+class VaultCombo : public ::testing::TestWithParam<Combo> {
+ protected:
+  static VaultTrainConfig config(const Combo& combo) {
+    VaultTrainConfig cfg;
+    cfg.spec = ModelSpec{"T", {24, 12}, {24, 12}, 0.3f};
+    cfg.backbone = std::get<0>(combo);
+    cfg.rectifier = std::get<1>(combo);
+    cfg.backbone_train.epochs = 40;
+    cfg.rectifier_train.epochs = 40;
+    cfg.seed = 9;
+    return cfg;
+  }
+};
+
+TEST_P(VaultCombo, TrainsAndRectifierIsNotWorseThanChance) {
+  const Dataset& ds = shared_dataset();
+  const TrainedVault tv = train_vault(ds, config(GetParam()));
+  EXPECT_GT(tv.rectifier_test_accuracy, 1.0 / ds.num_classes + 0.1);
+  EXPECT_GT(tv.rectifier_parameters, 0u);
+  EXPECT_GT(tv.backbone_parameters, tv.rectifier_parameters);
+}
+
+TEST_P(VaultCombo, EvalForwardIsDeterministic) {
+  const Dataset& ds = shared_dataset();
+  const TrainedVault tv = train_vault(ds, config(GetParam()));
+  EXPECT_EQ(tv.predict_rectified(ds.features), tv.predict_rectified(ds.features));
+}
+
+TEST_P(VaultCombo, DeploymentMatchesPlainPathAndStaysInEpc) {
+  const Dataset& ds = shared_dataset();
+  TrainedVault tv = train_vault(ds, config(GetParam()));
+  const auto plain = tv.predict_rectified(ds.features);
+  VaultDeployment dep(ds, std::move(tv), {});
+  EXPECT_EQ(dep.infer_labels(ds.features), plain);
+  EXPECT_LT(dep.enclave_peak_bytes(), dep.cost_model().epc_bytes);
+  EXPECT_EQ(dep.meter().page_swaps, 0u);
+}
+
+TEST_P(VaultCombo, WeightSerializationRoundTrips) {
+  const Dataset& ds = shared_dataset();
+  const TrainedVault tv = train_vault(ds, config(GetParam()));
+  const auto blob = tv.rectifier->serialize_weights();
+  const auto outputs = tv.backbone_outputs(ds.features);
+  const Matrix before = tv.rectifier->forward(outputs, false);
+  tv.rectifier->deserialize_weights(blob);
+  EXPECT_TRUE(tv.rectifier->forward(outputs, false).allclose(before, 0.0f));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, VaultCombo,
+    ::testing::Combine(::testing::Values(BackboneKind::kDnn, BackboneKind::kRandom,
+                                         BackboneKind::kCosine, BackboneKind::kKnn),
+                       ::testing::Values(RectifierKind::kParallel,
+                                         RectifierKind::kCascaded,
+                                         RectifierKind::kSeries)),
+    [](const ::testing::TestParamInfo<Combo>& info) {
+      return backbone_kind_name(std::get<0>(info.param)) + "_" +
+             rectifier_kind_name(std::get<1>(info.param));
+    });
+
+// --- Failure injection -----------------------------------------------
+
+TEST(VaultFault, TinyEpcForcesPagingButPreservesCorrectness) {
+  const Dataset& ds = shared_dataset();
+  VaultTrainConfig cfg;
+  cfg.spec = ModelSpec{"T", {24, 12}, {24, 12}, 0.3f};
+  cfg.backbone_train.epochs = 30;
+  cfg.rectifier_train.epochs = 30;
+  TrainedVault tv = train_vault(ds, cfg);
+  const auto plain = tv.predict_rectified(ds.features);
+  DeploymentOptions opts;
+  opts.cost_model.epc_bytes = 16 * 1024;  // pathological EPC
+  VaultDeployment dep(ds, std::move(tv), opts);
+  EXPECT_EQ(dep.infer_labels(ds.features), plain);  // slow, not wrong
+  EXPECT_GT(dep.meter().page_swaps, 0u);
+  // Paging must be charged in the transfer time.
+  SgxCostModel no_paging = opts.cost_model;
+  CostMeter stripped = dep.meter();
+  stripped.page_swaps = 0;
+  EXPECT_GT(dep.meter().transfer_seconds(no_paging),
+            stripped.transfer_seconds(no_paging));
+}
+
+TEST(VaultFault, CorruptedWeightBlobRejected) {
+  const Dataset& ds = shared_dataset();
+  VaultTrainConfig cfg;
+  cfg.spec = ModelSpec{"T", {24, 12}, {24, 12}, 0.3f};
+  cfg.backbone_train.epochs = 20;
+  cfg.rectifier_train.epochs = 20;
+  const TrainedVault tv = train_vault(ds, cfg);
+  auto blob = tv.rectifier->serialize_weights();
+  blob[1] ^= 0xff;  // corrupt the layer-count header
+  EXPECT_THROW(tv.rectifier->deserialize_weights(blob), Error);
+}
+
+}  // namespace
+}  // namespace gv

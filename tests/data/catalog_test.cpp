@@ -1,0 +1,72 @@
+#include "data/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace gv {
+namespace {
+
+TEST(Catalog, SixDatasetsInTableOrder) {
+  const auto& ids = all_dataset_ids();
+  ASSERT_EQ(ids.size(), 6u);
+  EXPECT_EQ(dataset_name(ids[0]), "Cora");
+  EXPECT_EQ(dataset_name(ids[5]), "CoraFull");
+}
+
+TEST(Catalog, SpecsMatchTableOne) {
+  // Node / directed-edge / feature / class counts from the paper's Table I.
+  struct Expect {
+    DatasetId id;
+    std::uint32_t nodes, feats, classes;
+    std::size_t directed_edges;
+  };
+  const Expect expect[] = {
+      {DatasetId::kCora, 2708, 1433, 7, 10556},
+      {DatasetId::kCiteseer, 3327, 3703, 6, 9104},
+      {DatasetId::kPubmed, 19717, 500, 3, 88648},
+      {DatasetId::kComputer, 13752, 767, 10, 491722},
+      {DatasetId::kPhoto, 7650, 745, 8, 238162},
+      {DatasetId::kCoraFull, 19793, 8710, 70, 126842},
+  };
+  for (const auto& e : expect) {
+    const auto spec = dataset_spec(e.id);
+    EXPECT_EQ(spec.num_nodes, e.nodes) << dataset_name(e.id);
+    EXPECT_EQ(spec.feature_dim, e.feats) << dataset_name(e.id);
+    EXPECT_EQ(spec.num_classes, e.classes) << dataset_name(e.id);
+    EXPECT_EQ(spec.num_undirected_edges * 2, e.directed_edges) << dataset_name(e.id);
+  }
+}
+
+TEST(Catalog, ScaledLoadIsSmallerButValid) {
+  const Dataset ds = load_dataset(DatasetId::kCora, 42, 0.15);
+  EXPECT_LT(ds.num_nodes(), 2708u);
+  EXPECT_NO_THROW(ds.validate());
+  EXPECT_EQ(ds.num_classes, 7u);
+  EXPECT_EQ(ds.name, "Cora");
+}
+
+TEST(Catalog, FullScaleCoraMatchesCounts) {
+  const Dataset ds = load_dataset(DatasetId::kCora, 42, 1.0);
+  EXPECT_EQ(ds.num_nodes(), 2708u);
+  EXPECT_EQ(ds.graph.num_directed_edges(), 10556u);
+  EXPECT_EQ(ds.feature_dim(), 1433u);
+}
+
+TEST(Catalog, DifferentDatasetsGetDifferentSeeds) {
+  const Dataset cora = load_dataset(DatasetId::kCora, 42, 0.15);
+  const Dataset cite = load_dataset(DatasetId::kCiteseer, 42, 0.12);
+  EXPECT_NE(cora.graph.num_edges(), cite.graph.num_edges());
+}
+
+TEST(Catalog, TableOneRowDenseAdjacencyScale) {
+  const Dataset ds = load_dataset(DatasetId::kCora, 42, 1.0);
+  const auto row = table_one_row(ds);
+  EXPECT_EQ(row.nodes, 2708u);
+  // float64 dense adjacency ~56 MB; already approaching the 96 MB EPC for
+  // the SMALLEST dataset — the Table I memory argument.
+  EXPECT_NEAR(row.dense_adj_mb, 55.9, 0.5);
+}
+
+}  // namespace
+}  // namespace gv

@@ -1,0 +1,118 @@
+#include "data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace gv {
+namespace {
+
+Dataset tiny_dataset() {
+  Dataset ds;
+  ds.name = "tiny";
+  ds.graph = Graph(6);
+  ds.graph.add_edge(0, 1);
+  ds.graph.add_edge(2, 3);
+  ds.graph.add_edge(4, 5);
+  ds.features = CsrMatrix::from_coo(6, 4, {{0, 0, 1}, {1, 1, 1}, {2, 2, 1},
+                                           {3, 3, 1}, {4, 0, 1}, {5, 1, 1}});
+  ds.labels = {0, 0, 1, 1, 0, 1};
+  ds.num_classes = 2;
+  ds.split.train = {0, 2};
+  ds.split.test = {1, 3, 4, 5};
+  return ds;
+}
+
+TEST(Dataset, ValidatePassesOnConsistentData) {
+  EXPECT_NO_THROW(tiny_dataset().validate());
+}
+
+TEST(Dataset, ValidateCatchesFeatureRowMismatch) {
+  auto ds = tiny_dataset();
+  ds.features = CsrMatrix::from_coo(5, 4, {});
+  EXPECT_THROW(ds.validate(), Error);
+}
+
+TEST(Dataset, ValidateCatchesLabelOutOfRange) {
+  auto ds = tiny_dataset();
+  ds.labels[2] = 9;
+  EXPECT_THROW(ds.validate(), Error);
+}
+
+TEST(Dataset, ValidateCatchesSplitOverlap) {
+  auto ds = tiny_dataset();
+  ds.split.test.push_back(0);  // 0 is in train
+  EXPECT_THROW(ds.validate(), Error);
+}
+
+TEST(Dataset, ValidateCatchesSplitOutOfRange) {
+  auto ds = tiny_dataset();
+  ds.split.test.push_back(17);
+  EXPECT_THROW(ds.validate(), Error);
+}
+
+TEST(Split, TwentyPerClassConvention) {
+  std::vector<std::uint32_t> labels(300);
+  for (std::size_t i = 0; i < labels.size(); ++i) labels[i] = i % 3;
+  Rng rng(1);
+  const Split s = make_semi_supervised_split(labels, 3, 20, rng);
+  EXPECT_EQ(s.train.size(), 60u);
+  EXPECT_EQ(s.test.size(), 240u);
+  // Exactly 20 per class.
+  std::vector<int> per_class(3, 0);
+  for (const auto v : s.train) per_class[labels[v]] += 1;
+  for (const auto c : per_class) EXPECT_EQ(c, 20);
+}
+
+TEST(Split, HandlesClassSmallerThanQuota) {
+  std::vector<std::uint32_t> labels = {0, 0, 0, 1};  // class 1 has one node
+  Rng rng(2);
+  const Split s = make_semi_supervised_split(labels, 2, 2, rng);
+  std::vector<int> per_class(2, 0);
+  for (const auto v : s.train) per_class[labels[v]] += 1;
+  EXPECT_EQ(per_class[0], 2);
+  EXPECT_EQ(per_class[1], 1);
+}
+
+TEST(Split, TrainAndTestPartitionAllNodes) {
+  std::vector<std::uint32_t> labels(100);
+  for (std::size_t i = 0; i < labels.size(); ++i) labels[i] = i % 5;
+  Rng rng(3);
+  const Split s = make_semi_supervised_split(labels, 5, 4, rng);
+  EXPECT_EQ(s.train.size() + s.test.size(), 100u);
+  std::vector<std::uint32_t> all;
+  all.insert(all.end(), s.train.begin(), s.train.end());
+  all.insert(all.end(), s.test.begin(), s.test.end());
+  std::sort(all.begin(), all.end());
+  for (std::uint32_t i = 0; i < 100; ++i) EXPECT_EQ(all[i], i);
+}
+
+TEST(Split, DeterministicGivenSeed) {
+  std::vector<std::uint32_t> labels(60);
+  for (std::size_t i = 0; i < labels.size(); ++i) labels[i] = i % 2;
+  Rng a(7), b(7);
+  const Split s1 = make_semi_supervised_split(labels, 2, 10, a);
+  const Split s2 = make_semi_supervised_split(labels, 2, 10, b);
+  EXPECT_EQ(s1.train, s2.train);
+}
+
+TEST(Accuracy, PerfectAndWorst) {
+  const std::vector<std::uint32_t> labels = {0, 1, 2};
+  const std::vector<std::uint32_t> nodes = {0, 1, 2};
+  EXPECT_DOUBLE_EQ(accuracy_on({0, 1, 2}, labels, nodes), 1.0);
+  EXPECT_DOUBLE_EQ(accuracy_on({1, 2, 0}, labels, nodes), 0.0);
+}
+
+TEST(Accuracy, SubsetOnly) {
+  const std::vector<std::uint32_t> labels = {0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(accuracy_on({0, 0, 0, 0}, labels, {0, 1}), 0.5);
+}
+
+TEST(Accuracy, EmptySetThrows) {
+  EXPECT_THROW(accuracy_on({0}, {0}, {}), Error);
+}
+
+}  // namespace
+}  // namespace gv

@@ -1,0 +1,150 @@
+#include "data/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "graph/stats.hpp"
+#include "tensor/ops.hpp"
+
+namespace gv {
+namespace {
+
+SyntheticSpec small_spec() {
+  SyntheticSpec s;
+  s.name = "test";
+  s.num_nodes = 500;
+  s.num_classes = 5;
+  s.num_undirected_edges = 1500;
+  s.feature_dim = 200;
+  s.homophily = 0.8;
+  s.features_per_node = 20;
+  return s;
+}
+
+TEST(Synthetic, MatchesRequestedCounts) {
+  const Dataset ds = generate_synthetic(small_spec(), 1);
+  EXPECT_EQ(ds.num_nodes(), 500u);
+  EXPECT_EQ(ds.graph.num_edges(), 1500u);
+  EXPECT_EQ(ds.feature_dim(), 200u);
+  EXPECT_EQ(ds.num_classes, 5u);
+}
+
+TEST(Synthetic, HomophilyNearTarget) {
+  const Dataset ds = generate_synthetic(small_spec(), 2);
+  const double h = ds.graph.edge_homophily(ds.labels);
+  EXPECT_NEAR(h, 0.8, 0.05);
+}
+
+TEST(Synthetic, LowHomophilySpecRespected) {
+  auto spec = small_spec();
+  spec.homophily = 0.3;
+  const Dataset ds = generate_synthetic(spec, 3);
+  EXPECT_NEAR(ds.graph.edge_homophily(ds.labels), 0.3, 0.06);
+}
+
+TEST(Synthetic, BalancedClasses) {
+  const Dataset ds = generate_synthetic(small_spec(), 4);
+  const auto ls = compute_label_stats(ds.graph, ds.labels, ds.num_classes);
+  for (const auto c : ls.class_counts) EXPECT_EQ(c, 100u);
+}
+
+TEST(Synthetic, DeterministicGivenSeed) {
+  const Dataset a = generate_synthetic(small_spec(), 42);
+  const Dataset b = generate_synthetic(small_spec(), 42);
+  EXPECT_EQ(a.graph.edges(), b.graph.edges());
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.features.nnz(), b.features.nnz());
+  EXPECT_EQ(a.split.train, b.split.train);
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  const Dataset a = generate_synthetic(small_spec(), 1);
+  const Dataset b = generate_synthetic(small_spec(), 2);
+  EXPECT_NE(a.graph.edges(), b.graph.edges());
+}
+
+TEST(Synthetic, FeatureSparsityNearTarget) {
+  const Dataset ds = generate_synthetic(small_spec(), 5);
+  const double avg_nnz =
+      static_cast<double>(ds.features.nnz()) / ds.num_nodes();
+  EXPECT_NEAR(avg_nnz, 20.0, 4.0);
+}
+
+TEST(Synthetic, EveryNodeHasFeatures) {
+  const Dataset ds = generate_synthetic(small_spec(), 6);
+  for (std::size_t r = 0; r < ds.num_nodes(); ++r) {
+    EXPECT_GE(ds.features.row_nnz(r), 3u) << "node " << r;
+  }
+}
+
+TEST(Synthetic, DegreeDistributionIsSkewed) {
+  auto spec = small_spec();
+  spec.degree_alpha = 1.8;
+  const Dataset ds = generate_synthetic(spec, 7);
+  const auto stats = compute_stats(ds.graph);
+  EXPECT_GT(stats.degree_gini, 0.15);  // heavier than uniform
+  EXPECT_GT(stats.max_degree, 3 * static_cast<std::uint32_t>(stats.avg_degree));
+}
+
+TEST(Synthetic, SplitFollowsTrainPerClass) {
+  const Dataset ds = generate_synthetic(small_spec(), 8);
+  EXPECT_EQ(ds.split.train.size(), 5u * 20u);
+  EXPECT_EQ(ds.split.test.size(), 500u - 100u);
+}
+
+TEST(Synthetic, ValidatesInternally) {
+  const Dataset ds = generate_synthetic(small_spec(), 9);
+  EXPECT_NO_THROW(ds.validate());
+}
+
+TEST(Synthetic, RejectsDegenerateSpecs) {
+  auto spec = small_spec();
+  spec.num_classes = 1;
+  EXPECT_THROW(generate_synthetic(spec, 1), Error);
+  spec = small_spec();
+  spec.num_nodes = 5;  // < 2 per class
+  EXPECT_THROW(generate_synthetic(spec, 1), Error);
+  spec = small_spec();
+  spec.homophily = 1.5;
+  EXPECT_THROW(generate_synthetic(spec, 1), Error);
+}
+
+TEST(Synthetic, FeaturesPredictClasses) {
+  // Class-conditional features must make same-class rows more similar;
+  // this is the property the KNN substitute graph exploits.
+  const Dataset ds = generate_synthetic(small_spec(), 10);
+  const Matrix dense = ds.dense_features();
+  double same = 0.0, diff = 0.0;
+  std::size_t n_same = 0, n_diff = 0;
+  Rng rng(11);
+  for (int t = 0; t < 4000; ++t) {
+    const auto a = static_cast<std::uint32_t>(rng.uniform_index(ds.num_nodes()));
+    const auto b = static_cast<std::uint32_t>(rng.uniform_index(ds.num_nodes()));
+    if (a == b) continue;
+    const float cs = row_cosine(dense, a, b);
+    if (ds.labels[a] == ds.labels[b]) {
+      same += cs;
+      ++n_same;
+    } else {
+      diff += cs;
+      ++n_diff;
+    }
+  }
+  EXPECT_GT(same / n_same, diff / n_diff + 0.05);
+}
+
+TEST(ScaledSpec, ShrinksButKeepsClassFloor) {
+  auto spec = small_spec();
+  const auto s = scaled_spec(spec, 0.1);
+  EXPECT_LT(s.num_nodes, spec.num_nodes);
+  EXPECT_GE(s.num_nodes, spec.num_classes * 40u);
+  EXPECT_GE(s.feature_dim, 64u);
+}
+
+TEST(ScaledSpec, RejectsBadFactor) {
+  EXPECT_THROW(scaled_spec(small_spec(), 0.0), Error);
+  EXPECT_THROW(scaled_spec(small_spec(), 1.5), Error);
+}
+
+}  // namespace
+}  // namespace gv

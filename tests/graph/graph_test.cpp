@@ -1,0 +1,184 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gv {
+namespace {
+
+Graph triangle() {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs = {{0, 1}, {1, 2}, {0, 2}};
+  return Graph::from_pairs(3, pairs);
+}
+
+TEST(Graph, FromPairsDedupsAndDropsSelfLoops) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs = {
+      {0, 1}, {1, 0}, {2, 2}, {1, 2}};
+  const Graph g = Graph::from_pairs(3, pairs);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 1));
+  EXPECT_FALSE(g.has_edge(2, 2));
+}
+
+TEST(Graph, FromPairsOutOfRangeThrows) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs = {{0, 5}};
+  EXPECT_THROW(Graph::from_pairs(3, pairs), Error);
+}
+
+TEST(Graph, DirectedEdgeCountIsTwiceUndirected) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.num_directed_edges(), 6u);
+}
+
+TEST(Graph, AddEdgeRejectsDuplicatesAndSelfLoops) {
+  Graph g(3);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_FALSE(g.add_edge(1, 0));
+  EXPECT_FALSE(g.add_edge(1, 1));
+  EXPECT_FALSE(g.add_edge(0, 9));
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Graph, NeighborsAreSortedAndComplete) {
+  Graph g(4);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  g.add_edge(2, 1);
+  const auto nb = g.neighbors(2);
+  ASSERT_EQ(nb.size(), 3u);
+  EXPECT_EQ(nb[0], 0u);
+  EXPECT_EQ(nb[1], 1u);
+  EXPECT_EQ(nb[2], 3u);
+  EXPECT_EQ(g.neighbors(0).size(), 1u);
+}
+
+TEST(Graph, NeighborsIndexInvalidatedByAddEdge) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.neighbors(0).size(), 1u);
+  g.add_edge(0, 2);
+  EXPECT_EQ(g.neighbors(0).size(), 2u);
+}
+
+TEST(Graph, DegreesMatchEdges) {
+  const Graph g = triangle();
+  const auto deg = g.degrees();
+  for (const auto d : deg) EXPECT_EQ(d, 2u);
+}
+
+TEST(Graph, EdgeHomophilyAllSameLabels) {
+  const Graph g = triangle();
+  const std::uint32_t labels[] = {1, 1, 1};
+  EXPECT_DOUBLE_EQ(g.edge_homophily(std::span<const std::uint32_t>(labels, 3)), 1.0);
+}
+
+TEST(Graph, EdgeHomophilyMixedLabels) {
+  const Graph g = triangle();
+  const std::uint32_t labels[] = {0, 0, 1};
+  EXPECT_NEAR(g.edge_homophily(std::span<const std::uint32_t>(labels, 3)), 1.0 / 3.0,
+              1e-12);
+}
+
+TEST(Graph, DensityOfCompleteGraphIsOne) {
+  const Graph g = triangle();
+  EXPECT_DOUBLE_EQ(g.density(), 1.0);
+}
+
+TEST(Graph, AdjacencyCsrSymmetric) {
+  const Graph g = triangle();
+  const auto a = g.adjacency_csr();
+  EXPECT_EQ(a.nnz(), 6u);
+  EXPECT_FLOAT_EQ(a.at(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(a.at(1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(a.at(0, 0), 0.0f);
+}
+
+TEST(Graph, AdjacencyCsrWithSelfLoops) {
+  const Graph g = triangle();
+  const auto a = g.adjacency_csr(/*add_self_loops=*/true);
+  EXPECT_EQ(a.nnz(), 9u);
+  EXPECT_FLOAT_EQ(a.at(1, 1), 1.0f);
+}
+
+TEST(Graph, GcnNormalizedRowsSumProperty) {
+  // For Â = D̃^{-1/2}(A+I)D̃^{-1/2} of a k-regular graph, every row sums to 1.
+  const Graph g = triangle();  // 2-regular
+  const auto norm = g.gcn_normalized();
+  const Matrix dense = norm.to_dense();
+  for (std::size_t r = 0; r < 3; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) sum += dense(r, c);
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(Graph, GcnNormalizedValues) {
+  // Path graph 0-1: degrees+1 are {2, 2}. Â(0,1) = 1/sqrt(2*2) = 0.5.
+  Graph g(2);
+  g.add_edge(0, 1);
+  const auto norm = g.gcn_normalized();
+  EXPECT_NEAR(norm.at(0, 1), 0.5f, 1e-6);
+  EXPECT_NEAR(norm.at(0, 0), 0.5f, 1e-6);
+}
+
+TEST(Graph, GcnNormalizedIsSymmetric) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const auto norm = g.gcn_normalized();
+  const Matrix d = norm.to_dense();
+  EXPECT_TRUE(d.allclose(d.transposed(), 1e-6f));
+}
+
+TEST(Graph, CooNormalizedRoundTripMatchesDirectCsr) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  const auto direct = g.gcn_normalized();
+  const auto coo = g.to_coo_normalized();
+  const auto rebuilt = Graph::csr_from_coo_normalized(coo);
+  EXPECT_TRUE(rebuilt.to_dense().allclose(direct.to_dense(), 1e-6f));
+}
+
+TEST(Graph, CooFormCountsEntries) {
+  const Graph g = triangle();
+  const auto coo = g.to_coo_normalized();
+  // 2 directed per edge + n self loops.
+  EXPECT_EQ(coo.src.size(), 2 * 3 + 3u);
+  EXPECT_EQ(coo.deg_inv_sqrt.size(), 3u);
+  EXPECT_NEAR(coo.deg_inv_sqrt[0], 1.0f / std::sqrt(3.0f), 1e-6);
+}
+
+TEST(Graph, CsrFromCooRejectsBadSizes) {
+  CooAdjacency coo;
+  coo.num_nodes = 2;
+  coo.src = {0};
+  coo.dst = {1, 0};
+  coo.deg_inv_sqrt = {1.0f, 1.0f};
+  EXPECT_THROW(Graph::csr_from_coo_normalized(coo), Error);
+}
+
+TEST(Graph, DenseAdjacencyMb) {
+  // 2708^2 * 8 bytes = ~55.9 MB (float64 cells).
+  EXPECT_NEAR(Graph::dense_adjacency_mb(2708, 8), 55.95, 0.05);
+  EXPECT_GT(Graph::dense_adjacency_mb(19717, 8), 2900.0);  // far beyond EPC
+}
+
+TEST(Graph, EmptyGraphBehaves) {
+  Graph g(3);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_DOUBLE_EQ(g.density(), 0.0);
+  const auto norm = g.gcn_normalized();
+  EXPECT_EQ(norm.nnz(), 3u);  // just self-loops
+  EXPECT_NEAR(norm.at(1, 1), 1.0f, 1e-6);
+}
+
+}  // namespace
+}  // namespace gv

@@ -1,0 +1,76 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace gv {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+TEST(GraphIo, RoundTripPreservesEdges) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(3, 4);
+  g.add_edge(1, 4);
+  const auto path = temp_path("gv_graph_roundtrip.txt");
+  save_graph(g, path);
+  const Graph loaded = load_graph(path);
+  EXPECT_EQ(loaded.num_nodes(), 5u);
+  EXPECT_EQ(loaded.edges(), g.edges());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, LoadMissingFileThrows) {
+  EXPECT_THROW(load_graph("/nonexistent/gv.graph"), Error);
+}
+
+TEST(GraphIo, LoadMalformedHeaderThrows) {
+  const auto path = temp_path("gv_graph_bad.txt");
+  std::ofstream(path) << "not-a-graph 1 2\n";
+  EXPECT_THROW(load_graph(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, LoadEdgeCountMismatchThrows) {
+  const auto path = temp_path("gv_graph_count.txt");
+  std::ofstream(path) << "graph 3 2\ne 0 1\n";
+  EXPECT_THROW(load_graph(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, CommentsAndBlankLinesIgnored) {
+  const auto path = temp_path("gv_graph_comments.txt");
+  std::ofstream(path) << "# header comment\n\ngraph 3 1\n# edge below\ne 0 2\n";
+  const Graph g = load_graph(path);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  std::remove(path.c_str());
+}
+
+TEST(CsrIo, RoundTripPreservesValues) {
+  const auto m =
+      CsrMatrix::from_coo(3, 4, {{0, 1, 1.5f}, {2, 3, -2.25f}, {1, 0, 0.125f}});
+  const auto path = temp_path("gv_csr_roundtrip.txt");
+  save_csr(m, path);
+  const auto loaded = load_csr(path);
+  EXPECT_EQ(loaded.rows(), 3u);
+  EXPECT_EQ(loaded.cols(), 4u);
+  EXPECT_TRUE(loaded.to_dense().allclose(m.to_dense(), 1e-6f));
+  std::remove(path.c_str());
+}
+
+TEST(CsrIo, NnzMismatchThrows) {
+  const auto path = temp_path("gv_csr_bad.txt");
+  std::ofstream(path) << "csr 2 2 2\nr 0 0 1.0\n";
+  EXPECT_THROW(load_csr(path), Error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gv

@@ -1,0 +1,52 @@
+#include "graph/normalize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gv {
+namespace {
+
+TEST(Normalize, RowNormalizeMakesRowsStochastic) {
+  auto m = CsrMatrix::from_coo(2, 3, {{0, 0, 2.0f}, {0, 2, 2.0f}, {1, 1, 5.0f}});
+  const auto n = row_normalize(m);
+  EXPECT_NEAR(n.at(0, 0), 0.5f, 1e-6);
+  EXPECT_NEAR(n.at(0, 2), 0.5f, 1e-6);
+  EXPECT_NEAR(n.at(1, 1), 1.0f, 1e-6);
+}
+
+TEST(Normalize, RowNormalizeLeavesEmptyRows) {
+  auto m = CsrMatrix::from_coo(2, 2, {{0, 0, 3.0f}});
+  const auto n = row_normalize(m);
+  EXPECT_EQ(n.row_nnz(1), 0u);
+}
+
+TEST(Normalize, L2RowsUnitNorm) {
+  auto m = CsrMatrix::from_coo(1, 2, {{0, 0, 3.0f}, {0, 1, 4.0f}});
+  l2_normalize_rows_csr(m);
+  EXPECT_NEAR(m.at(0, 0), 0.6f, 1e-6);
+  EXPECT_NEAR(m.at(0, 1), 0.8f, 1e-6);
+}
+
+TEST(Normalize, L2HandlesZeroRows) {
+  auto m = CsrMatrix::from_coo(2, 2, {{0, 0, 1.0f}});
+  EXPECT_NO_THROW(l2_normalize_rows_csr(m));
+  EXPECT_NEAR(m.at(0, 0), 1.0f, 1e-6);
+}
+
+TEST(Normalize, L1RowsSumToOne) {
+  auto m = CsrMatrix::from_coo(1, 3, {{0, 0, 1.0f}, {0, 1, 1.0f}, {0, 2, 2.0f}});
+  l1_normalize_rows_csr(m);
+  EXPECT_NEAR(m.at(0, 0), 0.25f, 1e-6);
+  EXPECT_NEAR(m.at(0, 2), 0.5f, 1e-6);
+}
+
+TEST(Normalize, L1HandlesNegativeValuesViaAbs) {
+  auto m = CsrMatrix::from_coo(1, 2, {{0, 0, -1.0f}, {0, 1, 3.0f}});
+  l1_normalize_rows_csr(m);
+  EXPECT_NEAR(m.at(0, 0), -0.25f, 1e-6);
+  EXPECT_NEAR(m.at(0, 1), 0.75f, 1e-6);
+}
+
+}  // namespace
+}  // namespace gv

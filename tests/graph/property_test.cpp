@@ -1,0 +1,129 @@
+// Parameterized structural invariants over random graphs of varying size
+// and density.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+#include "graph/substitute.hpp"
+
+namespace gv {
+namespace {
+
+// (nodes, edges, seed)
+using GraphShape = std::tuple<int, int, int>;
+
+class GraphProperty : public ::testing::TestWithParam<GraphShape> {
+ protected:
+  Graph make() const {
+    const auto [n, m, seed] = GetParam();
+    Rng rng(seed);
+    return build_random_graph(n, m, rng);
+  }
+};
+
+TEST_P(GraphProperty, DegreeSumIsTwiceEdgeCount) {
+  const Graph g = make();
+  const auto deg = g.degrees();
+  const auto sum = std::accumulate(deg.begin(), deg.end(), std::size_t{0});
+  EXPECT_EQ(sum, 2 * g.num_edges());
+}
+
+TEST_P(GraphProperty, NeighborListsAreSymmetric) {
+  const Graph g = make();
+  for (std::uint32_t v = 0; v < g.num_nodes(); ++v) {
+    for (const auto u : g.neighbors(v)) {
+      EXPECT_TRUE(g.has_edge(u, v));
+    }
+  }
+}
+
+TEST_P(GraphProperty, GcnNormalizedRowSumBound) {
+  // Each of the d̃_i terms in row i is 1/sqrt(d̃_i d̃_j) <= 1/sqrt(d̃_i),
+  // so the row sum is positive (self-loop) and <= sqrt(d̃_i).
+  const Graph g = make();
+  const auto deg = g.degrees();
+  const auto a = g.gcn_normalized();
+  const Matrix d = a.to_dense();
+  for (std::size_t r = 0; r < d.rows(); ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < d.cols(); ++c) sum += d(r, c);
+    EXPECT_GT(sum, 0.0);
+    EXPECT_LE(sum, std::sqrt(static_cast<double>(deg[r] + 1)) + 1e-4);
+  }
+}
+
+TEST_P(GraphProperty, GcnNormalizedSpectralBound) {
+  // All entries of Â lie in (0, 1].
+  const Graph g = make();
+  for (const auto& e : g.gcn_normalized().to_coo()) {
+    EXPECT_GT(e.value, 0.0f);
+    EXPECT_LE(e.value, 1.0f);
+  }
+}
+
+TEST_P(GraphProperty, CooRoundTripExact) {
+  const Graph g = make();
+  const auto direct = g.gcn_normalized();
+  const auto via_coo = Graph::csr_from_coo_normalized(g.to_coo_normalized());
+  EXPECT_TRUE(via_coo.to_dense().allclose(direct.to_dense(), 1e-6f));
+}
+
+TEST_P(GraphProperty, HomophilyIsAFraction) {
+  const Graph g = make();
+  std::vector<std::uint32_t> labels(g.num_nodes());
+  Rng rng(std::get<2>(GetParam()) + 7);
+  for (auto& l : labels) l = static_cast<std::uint32_t>(rng.uniform_index(4));
+  const double h = g.edge_homophily(labels);
+  EXPECT_GE(h, 0.0);
+  EXPECT_LE(h, 1.0);
+}
+
+TEST_P(GraphProperty, AdjacencyCsrMatchesHasEdge) {
+  const Graph g = make();
+  const auto a = g.adjacency_csr();
+  Rng rng(std::get<2>(GetParam()) + 13);
+  for (int t = 0; t < 200; ++t) {
+    const auto u = static_cast<std::uint32_t>(rng.uniform_index(g.num_nodes()));
+    const auto v = static_cast<std::uint32_t>(rng.uniform_index(g.num_nodes()));
+    EXPECT_EQ(a.at(u, v) != 0.0f, g.has_edge(u, v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GraphProperty,
+                         ::testing::Values(GraphShape{10, 9, 1},
+                                           GraphShape{50, 200, 2},
+                                           GraphShape{100, 99, 3},
+                                           GraphShape{200, 1500, 4},
+                                           GraphShape{33, 33, 5},
+                                           GraphShape{4, 6, 6}));
+
+class KnnProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(KnnProperty, SymmetrizedDegreeBounds) {
+  const int k = GetParam();
+  Rng rng(77);
+  std::vector<CooEntry> fe;
+  for (std::uint32_t v = 0; v < 60; ++v) {
+    for (int t = 0; t < 6; ++t) {
+      fe.push_back({v, static_cast<std::uint32_t>(rng.uniform_index(40)), 1.0f});
+    }
+  }
+  const auto features = CsrMatrix::from_coo(60, 40, std::move(fe));
+  const Graph g = build_knn_graph(features, static_cast<std::uint32_t>(k));
+  // Union-symmetrized kNN: every node picked k partners, so the total edge
+  // count is between n*k/2 (all mutual) and n*k.
+  EXPECT_LE(g.num_edges(), 60u * static_cast<std::size_t>(k));
+  // Each node has at least SOME neighbor (features share dims with others).
+  for (std::uint32_t v = 0; v < 60; ++v) {
+    EXPECT_GE(g.neighbors(v).size(), 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(K, KnnProperty, ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace gv

@@ -1,0 +1,67 @@
+#include "graph/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace gv {
+namespace {
+
+TEST(Stats, StarGraphDegrees) {
+  Graph g(5);
+  for (std::uint32_t v = 1; v < 5; ++v) g.add_edge(0, v);
+  const auto s = compute_stats(g);
+  EXPECT_EQ(s.num_nodes, 5u);
+  EXPECT_EQ(s.num_undirected_edges, 4u);
+  EXPECT_EQ(s.num_directed_edges, 8u);
+  EXPECT_EQ(s.max_degree, 4u);
+  EXPECT_EQ(s.min_degree, 1u);
+  EXPECT_NEAR(s.avg_degree, 8.0 / 5.0, 1e-12);
+  EXPECT_EQ(s.isolated_nodes, 0u);
+}
+
+TEST(Stats, IsolatedNodesCounted) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  const auto s = compute_stats(g);
+  EXPECT_EQ(s.isolated_nodes, 2u);
+}
+
+TEST(Stats, GiniZeroForRegularGraph) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  const auto s = compute_stats(g);
+  EXPECT_NEAR(s.degree_gini, 0.0, 1e-9);
+}
+
+TEST(Stats, GiniPositiveForStar) {
+  Graph g(6);
+  for (std::uint32_t v = 1; v < 6; ++v) g.add_edge(0, v);
+  const auto s = compute_stats(g);
+  EXPECT_GT(s.degree_gini, 0.3);
+}
+
+TEST(LabelStats, CountsAndHomophily) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  g.add_edge(1, 2);
+  const std::uint32_t labels[] = {0, 0, 1, 1};
+  const auto s = compute_label_stats(g, std::span<const std::uint32_t>(labels, 4), 2);
+  EXPECT_EQ(s.class_counts[0], 2u);
+  EXPECT_EQ(s.class_counts[1], 2u);
+  EXPECT_NEAR(s.edge_homophily, 2.0 / 3.0, 1e-12);
+}
+
+TEST(LabelStats, LabelOutOfRangeThrows) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  const std::uint32_t labels[] = {0, 7};
+  EXPECT_THROW(compute_label_stats(g, std::span<const std::uint32_t>(labels, 2), 2),
+               Error);
+}
+
+}  // namespace
+}  // namespace gv

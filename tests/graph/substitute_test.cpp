@@ -1,0 +1,156 @@
+#include "graph/substitute.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "data/synthetic.hpp"
+#include "graph/normalize.hpp"
+
+namespace gv {
+namespace {
+
+/// Features with two obvious clusters: rows 0-2 share dims, rows 3-5 share
+/// other dims.
+CsrMatrix clustered_features() {
+  std::vector<CooEntry> e;
+  for (std::uint32_t r = 0; r < 3; ++r) {
+    e.push_back({r, 0, 1.0f});
+    e.push_back({r, 1, 1.0f});
+    e.push_back({r, 10 + r, 0.2f});  // tiny per-row noise
+  }
+  for (std::uint32_t r = 3; r < 6; ++r) {
+    e.push_back({r, 5, 1.0f});
+    e.push_back({r, 6, 1.0f});
+    e.push_back({r, 20 + r, 0.2f});
+  }
+  return CsrMatrix::from_coo(6, 32, std::move(e));
+}
+
+TEST(ScatterSimilarities, MatchesDenseDotProducts) {
+  auto x = clustered_features();
+  l2_normalize_rows_csr(x);
+  const auto xt = x.transposed();
+  std::vector<float> sims;
+  scatter_similarities(x, xt, 0, sims);
+  const Matrix d = x.to_dense();
+  for (std::size_t j = 0; j < 6; ++j) {
+    float expect = 0.0f;
+    for (std::size_t c = 0; c < 32; ++c) expect += d(0, c) * d(j, c);
+    EXPECT_NEAR(sims[j], expect, 1e-5) << "node " << j;
+  }
+}
+
+TEST(ScatterSimilarities, WrongTransposeThrows) {
+  auto x = clustered_features();
+  std::vector<float> sims;
+  EXPECT_THROW(scatter_similarities(x, x, 0, sims), Error);
+}
+
+TEST(KnnGraph, ConnectsSimilarNodes) {
+  const auto x = clustered_features();
+  const Graph g = build_knn_graph(x, 2);
+  // Within-cluster edges must exist; across-cluster must not.
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(3, 4));
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_FALSE(g.has_edge(2, 5));
+}
+
+TEST(KnnGraph, DegreeAtLeastKWhenSimilarExists) {
+  const auto x = clustered_features();
+  const Graph g = build_knn_graph(x, 2);
+  // Each node has 2 same-cluster partners with positive similarity.
+  for (std::uint32_t v = 0; v < 6; ++v) {
+    EXPECT_GE(g.neighbors(v).size(), 2u) << "node " << v;
+  }
+}
+
+TEST(KnnGraph, KZeroThrows) {
+  const auto x = clustered_features();
+  EXPECT_THROW(build_knn_graph(x, 0), Error);
+}
+
+TEST(KnnGraph, EdgeCountScalesWithK) {
+  SyntheticSpec spec;
+  spec.num_nodes = 300;
+  spec.num_classes = 3;
+  spec.num_undirected_edges = 900;
+  spec.feature_dim = 128;
+  const Dataset ds = generate_synthetic(spec, 99);
+  const Graph g1 = build_knn_graph(ds.features, 1);
+  const Graph g4 = build_knn_graph(ds.features, 4);
+  EXPECT_GT(g4.num_edges(), g1.num_edges());
+  // Symmetrized k-NN: between n*k/2 (fully mutual) and n*k edges.
+  EXPECT_LE(g4.num_edges(), 300u * 4u);
+}
+
+TEST(CosineGraph, ThresholdRespectsTau) {
+  const auto x = clustered_features();
+  Rng rng(5);
+  // tau close to 1: only near-identical rows connect (the clusters).
+  const Graph g = build_cosine_graph(x, 0.9f, 0, rng);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(0, 3));
+}
+
+TEST(CosineGraph, MaxEdgesCapsSize) {
+  SyntheticSpec spec;
+  spec.num_nodes = 200;
+  spec.num_classes = 2;
+  spec.num_undirected_edges = 400;
+  spec.feature_dim = 64;
+  const Dataset ds = generate_synthetic(spec, 17);
+  Rng rng(6);
+  const Graph capped = build_cosine_graph(ds.features, 0.1f, 100, rng);
+  EXPECT_LE(capped.num_edges(), 100u);
+  EXPECT_GT(capped.num_edges(), 0u);
+}
+
+TEST(CosineGraph, InvalidTauThrows) {
+  const auto x = clustered_features();
+  Rng rng(7);
+  EXPECT_THROW(build_cosine_graph(x, 0.0f, 0, rng), Error);
+}
+
+TEST(RandomGraph, ExactEdgeCount) {
+  Rng rng(8);
+  const Graph g = build_random_graph(100, 250, rng);
+  EXPECT_EQ(g.num_edges(), 250u);
+  EXPECT_EQ(g.num_nodes(), 100u);
+}
+
+TEST(RandomGraph, CapsAtCompleteGraph) {
+  Rng rng(9);
+  const Graph g = build_random_graph(5, 1000, rng);
+  EXPECT_EQ(g.num_edges(), 10u);  // C(5,2)
+}
+
+TEST(RandomGraph, TooFewNodesThrows) {
+  Rng rng(10);
+  EXPECT_THROW(build_random_graph(1, 5, rng), Error);
+}
+
+TEST(RandomGraph, DeterministicGivenSeed) {
+  Rng a(11), b(11);
+  const Graph g1 = build_random_graph(50, 80, a);
+  const Graph g2 = build_random_graph(50, 80, b);
+  EXPECT_EQ(g1.edges(), g2.edges());
+}
+
+TEST(KnnGraph, SubstituteHomophilyTracksFeatures) {
+  // On a synthetic dataset with class-correlated features, the KNN
+  // substitute graph should be label-assortative — the property that makes
+  // the public backbone useful at all.
+  SyntheticSpec spec;
+  spec.num_nodes = 400;
+  spec.num_classes = 4;
+  spec.num_undirected_edges = 1200;
+  spec.feature_dim = 256;
+  spec.feature_signal = 0.6;
+  const Dataset ds = generate_synthetic(spec, 31);
+  const Graph knn = build_knn_graph(ds.features, 2);
+  EXPECT_GT(knn.edge_homophily(ds.labels), 0.5);
+}
+
+}  // namespace
+}  // namespace gv

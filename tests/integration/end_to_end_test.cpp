@@ -1,0 +1,100 @@
+// Full-system integration: generate a Table-I twin (scaled), run the whole
+// GNNVault pipeline (all four steps of Fig. 2) plus the attack, and check
+// every paper-level claim end to end.
+#include <gtest/gtest.h>
+
+#include "attack/link_stealing.hpp"
+#include "core/deployment.hpp"
+#include "data/catalog.hpp"
+#include "metrics/silhouette.hpp"
+
+namespace gv {
+namespace {
+
+class EndToEnd : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ds_ = new Dataset(load_dataset(DatasetId::kCora, 42, /*scale=*/0.25));
+    VaultTrainConfig cfg;
+    cfg.spec = model_spec_m1();
+    cfg.backbone_train.epochs = 100;
+    cfg.rectifier_train.epochs = 100;
+    cfg.seed = 42;
+    vault_ = new TrainedVault(train_vault(*ds_, cfg));
+    TrainConfig tc;
+    tc.epochs = 100;
+    original_accuracy_ = 0.0;
+    original_ = train_original_gnn(*ds_, cfg.spec, tc, 42, &original_accuracy_);
+  }
+
+  static void TearDownTestSuite() {
+    delete ds_;
+    delete vault_;
+    original_.reset();
+  }
+
+  static Dataset* ds_;
+  static TrainedVault* vault_;
+  static std::shared_ptr<GcnModel> original_;
+  static double original_accuracy_;
+};
+
+Dataset* EndToEnd::ds_ = nullptr;
+TrainedVault* EndToEnd::vault_ = nullptr;
+std::shared_ptr<GcnModel> EndToEnd::original_;
+double EndToEnd::original_accuracy_ = 0.0;
+
+TEST_F(EndToEnd, ProtectionOrderingHolds) {
+  // p_bb < p_rec <= ~p_org: the paper's central accuracy relationship.
+  EXPECT_GT(vault_->rectifier_test_accuracy, vault_->backbone_test_accuracy + 0.02);
+  EXPECT_GT(original_accuracy_, vault_->backbone_test_accuracy);
+  // Accuracy degradation p_org - p_rec below a loose bound (paper: <2% at
+  // full scale; scaled twins get a wider margin).
+  EXPECT_LT(original_accuracy_ - vault_->rectifier_test_accuracy, 0.12);
+}
+
+TEST_F(EndToEnd, SecureDeploymentPreservesPredictions) {
+  TrainedVault copy = *vault_;
+  const auto plain = copy.predict_rectified(ds_->features);
+  VaultDeployment dep(*ds_, std::move(copy), {});
+  EXPECT_EQ(dep.infer_labels(ds_->features), plain);
+  EXPECT_LT(dep.enclave_peak_bytes(), dep.cost_model().epc_bytes);
+}
+
+TEST_F(EndToEnd, LinkStealingDefeated) {
+  original_->forward(ds_->features, false);
+  const auto org_layers = original_->layer_outputs();
+  const auto gv_layers = vault_->backbone_outputs(ds_->features);
+  Rng rng(11);
+  const PairSample sample = sample_link_pairs(ds_->graph, 1200, rng);
+  int wins = 0;
+  for (const auto metric : all_similarity_metrics()) {
+    const double auc_org = link_stealing_auc(org_layers, sample, metric);
+    const double auc_gv = link_stealing_auc(gv_layers, sample, metric);
+    if (auc_gv < auc_org - 0.03) ++wins;
+  }
+  // GNNVault must reduce leakage on (at least) five of the six metrics.
+  EXPECT_GE(wins, 5);
+}
+
+TEST_F(EndToEnd, RectifierRestoresClusterStructure) {
+  // Fig. 4: the rectified embedding clusters like the original model's,
+  // while the backbone's stays poor.
+  const auto bb_layers = vault_->backbone_outputs(ds_->features);
+  const Matrix rect_logits = vault_->rectifier->forward(bb_layers, false);
+  original_->forward(ds_->features, false);
+  const Matrix org_logits = original_->layer_outputs().back();
+
+  const double s_bb = silhouette_score(bb_layers.back(), ds_->labels, 400);
+  const double s_rect = silhouette_score(rect_logits, ds_->labels, 400);
+  const double s_org = silhouette_score(org_logits, ds_->labels, 400);
+  EXPECT_GT(s_rect, s_bb);
+  EXPECT_GT(s_org, s_bb);
+}
+
+TEST_F(EndToEnd, ThetaRecIsSmallFractionOfThetaBb) {
+  EXPECT_LT(vault_->rectifier_parameters * 2, vault_->backbone_parameters);
+}
+
+}  // namespace
+}  // namespace gv

@@ -1,0 +1,68 @@
+#include "metrics/auc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace gv {
+namespace {
+
+TEST(Auc, PerfectSeparation) {
+  EXPECT_DOUBLE_EQ(roc_auc({0.1f, 0.2f, 0.8f, 0.9f}, {0, 0, 1, 1}), 1.0);
+}
+
+TEST(Auc, PerfectlyInverted) {
+  EXPECT_DOUBLE_EQ(roc_auc({0.9f, 0.8f, 0.2f, 0.1f}, {0, 0, 1, 1}), 0.0);
+}
+
+TEST(Auc, AllTiedScoresGiveHalf) {
+  EXPECT_DOUBLE_EQ(roc_auc({0.5f, 0.5f, 0.5f, 0.5f}, {0, 1, 0, 1}), 0.5);
+}
+
+TEST(Auc, SingleClassGivesHalf) {
+  EXPECT_DOUBLE_EQ(roc_auc({0.1f, 0.9f}, {1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(roc_auc({0.1f, 0.9f}, {0, 0}), 0.5);
+}
+
+TEST(Auc, KnownMixedCase) {
+  // scores: pos {0.8, 0.4}, neg {0.6, 0.2}.
+  // Pairs: (0.8>0.6), (0.8>0.2), (0.4<0.6), (0.4>0.2) -> 3/4.
+  EXPECT_DOUBLE_EQ(roc_auc({0.8f, 0.4f, 0.6f, 0.2f}, {1, 1, 0, 0}), 0.75);
+}
+
+TEST(Auc, TieBetweenClassesCountsHalf) {
+  // pos {0.5}, neg {0.5, 0.1}: pairs -> tie (0.5) + win (1.0) = 0.75.
+  EXPECT_DOUBLE_EQ(roc_auc({0.5f, 0.5f, 0.1f}, {1, 0, 0}), 0.75);
+}
+
+TEST(Auc, SizeMismatchThrows) {
+  EXPECT_THROW(roc_auc({0.5f}, {0, 1}), Error);
+}
+
+TEST(Auc, RandomScoresApproachHalf) {
+  Rng rng(42);
+  std::vector<float> scores(20000);
+  std::vector<std::uint8_t> labels(20000);
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    scores[i] = static_cast<float>(rng.uniform());
+    labels[i] = rng.bernoulli(0.5) ? 1 : 0;
+  }
+  EXPECT_NEAR(roc_auc(scores, labels), 0.5, 0.02);
+}
+
+TEST(Auc, MonotoneTransformInvariant) {
+  Rng rng(7);
+  std::vector<float> scores(500);
+  std::vector<std::uint8_t> labels(500);
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    labels[i] = rng.bernoulli(0.4) ? 1 : 0;
+    scores[i] = static_cast<float>(rng.normal(labels[i] ? 1.0 : 0.0, 1.0));
+  }
+  std::vector<float> transformed = scores;
+  for (auto& s : transformed) s = 3.0f * s + 11.0f;  // strictly increasing
+  EXPECT_NEAR(roc_auc(scores, labels), roc_auc(transformed, labels), 1e-9);
+}
+
+}  // namespace
+}  // namespace gv

@@ -1,0 +1,82 @@
+#include "metrics/silhouette.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace gv {
+namespace {
+
+/// Two tight, well-separated clusters.
+Matrix separated_clusters() {
+  Matrix x(8, 2);
+  for (int i = 0; i < 4; ++i) {
+    x(i, 0) = 0.0f + 0.01f * i;
+    x(i, 1) = 0.0f;
+    x(4 + i, 0) = 10.0f + 0.01f * i;
+    x(4 + i, 1) = 10.0f;
+  }
+  return x;
+}
+
+TEST(Silhouette, NearOneForSeparatedClusters) {
+  const std::vector<std::uint32_t> labels = {0, 0, 0, 0, 1, 1, 1, 1};
+  EXPECT_GT(silhouette_score(separated_clusters(), labels), 0.95);
+}
+
+TEST(Silhouette, NegativeForSwappedLabels) {
+  const std::vector<std::uint32_t> labels = {0, 0, 1, 1, 1, 1, 0, 0};
+  EXPECT_LT(silhouette_score(separated_clusters(), labels), 0.0);
+}
+
+TEST(Silhouette, NearZeroForRandomLabelsOnUniformData) {
+  Rng rng(1);
+  Matrix x(100, 3);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x.data()[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  std::vector<std::uint32_t> labels(100);
+  for (auto& l : labels) l = static_cast<std::uint32_t>(rng.uniform_index(4));
+  const double s = silhouette_score(x, labels);
+  EXPECT_NEAR(s, 0.0, 0.1);
+}
+
+TEST(Silhouette, SubsampleApproximatesFull) {
+  Rng rng(2);
+  Matrix x(400, 2);
+  std::vector<std::uint32_t> labels(400);
+  for (std::size_t i = 0; i < 400; ++i) {
+    labels[i] = static_cast<std::uint32_t>(i % 2);
+    x(i, 0) = static_cast<float>(labels[i] * 5.0 + rng.normal(0.0, 0.5));
+    x(i, 1) = static_cast<float>(rng.normal(0.0, 0.5));
+  }
+  const double full = silhouette_score(x, labels);
+  const double sub = silhouette_score(x, labels, 150);
+  EXPECT_NEAR(full, sub, 0.08);
+}
+
+TEST(Silhouette, SubsampleIsDeterministic) {
+  Rng rng(3);
+  Matrix x(200, 2);
+  std::vector<std::uint32_t> labels(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    labels[i] = static_cast<std::uint32_t>(i % 3);
+    x(i, 0) = static_cast<float>(rng.uniform(-1, 1));
+    x(i, 1) = static_cast<float>(rng.uniform(-1, 1));
+  }
+  EXPECT_DOUBLE_EQ(silhouette_score(x, labels, 50, 9),
+                   silhouette_score(x, labels, 50, 9));
+}
+
+TEST(Silhouette, MismatchedLabelsThrow) {
+  Matrix x(4, 2);
+  EXPECT_THROW(silhouette_score(x, {0, 1}), Error);
+}
+
+TEST(Silhouette, SinglePointThrows) {
+  Matrix x(1, 2);
+  EXPECT_THROW(silhouette_score(x, {0}), Error);
+}
+
+}  // namespace
+}  // namespace gv

@@ -1,0 +1,93 @@
+#include "metrics/tsne.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "metrics/silhouette.hpp"
+
+namespace gv {
+namespace {
+
+/// Three Gaussian blobs in 10-D.
+Matrix blobs(std::size_t per_cluster, std::vector<std::uint32_t>& labels, Rng& rng) {
+  Matrix x(3 * per_cluster, 10);
+  labels.clear();
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t i = 0; i < per_cluster; ++i) {
+      const std::size_t r = c * per_cluster + i;
+      labels.push_back(static_cast<std::uint32_t>(c));
+      for (std::size_t d = 0; d < 10; ++d) {
+        x(r, d) = static_cast<float>(rng.normal(c == d % 3 ? 4.0 : 0.0, 0.5));
+      }
+    }
+  }
+  return x;
+}
+
+TEST(Tsne, OutputShapeIsNx2) {
+  Rng rng(1);
+  std::vector<std::uint32_t> labels;
+  const Matrix x = blobs(15, labels, rng);
+  TsneConfig cfg;
+  cfg.iterations = 50;
+  cfg.perplexity = 10.0;
+  const Matrix y = tsne_embed(x, cfg);
+  EXPECT_EQ(y.rows(), x.rows());
+  EXPECT_EQ(y.cols(), 2u);
+}
+
+TEST(Tsne, PreservesClusterStructure) {
+  Rng rng(2);
+  std::vector<std::uint32_t> labels;
+  const Matrix x = blobs(25, labels, rng);
+  TsneConfig cfg;
+  cfg.iterations = 250;
+  cfg.perplexity = 15.0;
+  const Matrix y = tsne_embed(x, cfg);
+  // Clusters separated in input space must stay separated in 2-D.
+  EXPECT_GT(silhouette_score(y, labels), 0.25);
+}
+
+TEST(Tsne, DeterministicGivenSeed) {
+  Rng rng(3);
+  std::vector<std::uint32_t> labels;
+  const Matrix x = blobs(10, labels, rng);
+  TsneConfig cfg;
+  cfg.iterations = 40;
+  cfg.perplexity = 8.0;
+  const Matrix y1 = tsne_embed(x, cfg);
+  const Matrix y2 = tsne_embed(x, cfg);
+  EXPECT_TRUE(y1.allclose(y2, 1e-5f));
+}
+
+TEST(Tsne, OutputIsCentered) {
+  Rng rng(4);
+  std::vector<std::uint32_t> labels;
+  const Matrix x = blobs(10, labels, rng);
+  TsneConfig cfg;
+  cfg.iterations = 30;
+  cfg.perplexity = 8.0;
+  const Matrix y = tsne_embed(x, cfg);
+  double mx = 0.0, my = 0.0;
+  for (std::size_t i = 0; i < y.rows(); ++i) {
+    mx += y(i, 0);
+    my += y(i, 1);
+  }
+  EXPECT_NEAR(mx / y.rows(), 0.0, 1e-3);
+  EXPECT_NEAR(my / y.rows(), 0.0, 1e-3);
+}
+
+TEST(Tsne, TooFewPointsThrows) {
+  Matrix x(3, 4);
+  EXPECT_THROW(tsne_embed(x), Error);
+}
+
+TEST(Tsne, PerplexityOutOfRangeThrows) {
+  Matrix x(10, 4, 1.0f);
+  TsneConfig cfg;
+  cfg.perplexity = 50.0;  // >= n
+  EXPECT_THROW(tsne_embed(x, cfg), Error);
+}
+
+}  // namespace
+}  // namespace gv

@@ -1,0 +1,145 @@
+// Numerical gradient checks: the backward passes of every layer and of the
+// full models are compared against central finite differences of the
+// masked NLL loss. These are the strongest correctness guarantees in the
+// nn substrate — if these pass, training optimizes the right objective.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "graph/graph.hpp"
+#include "nn/model.hpp"
+#include "nn/trainer.hpp"
+#include "tensor/ops.hpp"
+
+namespace gv {
+namespace {
+
+struct Problem {
+  CsrMatrix features;
+  CsrMatrix adj;
+  std::vector<std::uint32_t> labels;
+  std::vector<std::uint32_t> mask;
+};
+
+Problem make_problem(std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t n = 12, d = 6;
+  std::vector<CooEntry> fe;
+  for (std::uint32_t r = 0; r < n; ++r) {
+    for (std::uint32_t c = 0; c < d; ++c) {
+      if (rng.bernoulli(0.4)) {
+        fe.push_back({r, c, static_cast<float>(rng.uniform(-1.0, 1.0))});
+      }
+    }
+    fe.push_back({r, r % static_cast<std::uint32_t>(d), 1.0f});  // no empty rows
+  }
+  Problem p;
+  p.features = CsrMatrix::from_coo(n, d, std::move(fe));
+  Graph g(n);
+  for (std::uint32_t v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  g.add_edge(0, 5);
+  g.add_edge(3, 9);
+  p.adj = g.gcn_normalized();
+  for (std::uint32_t v = 0; v < n; ++v) p.labels.push_back(v % 3);
+  p.mask = {0, 2, 4, 6, 8, 10};
+  return p;
+}
+
+double model_loss(NodeModel& model, const Problem& p) {
+  // Training-mode forward with dropout disabled (configs use dropout 0).
+  const Matrix logits = model.forward(p.features, /*training=*/true);
+  const Matrix logp = log_softmax_rows(logits);
+  Matrix dlogp;
+  return nll_loss_masked(logp, p.labels, p.mask, dlogp);
+}
+
+void backprop_once(NodeModel& model, const Problem& p) {
+  ParamRefs refs;
+  model.collect_parameters(refs);
+  refs.zero_grad();
+  const Matrix logits = model.forward(p.features, /*training=*/true);
+  const Matrix logp = log_softmax_rows(logits);
+  Matrix dlogp;
+  nll_loss_masked(logp, p.labels, p.mask, dlogp);
+  model.backward(log_softmax_backward(dlogp, logp));
+}
+
+/// Compare analytic vs numeric gradient on a subset of coordinates.
+void check_gradients(NodeModel& model, const Problem& p, double tol) {
+  backprop_once(model, p);
+  ParamRefs refs;
+  model.collect_parameters(refs);
+  const float eps = 1e-3f;
+  for (auto* param : refs.matrices) {
+    // Probe a deterministic spread of coordinates (all would be slow).
+    const std::size_t stride = std::max<std::size_t>(1, param->value.size() / 7);
+    for (std::size_t i = 0; i < param->value.size(); i += stride) {
+      const float orig = param->value.data()[i];
+      param->value.data()[i] = orig + eps;
+      const double lp = model_loss(model, p);
+      param->value.data()[i] = orig - eps;
+      const double lm = model_loss(model, p);
+      param->value.data()[i] = orig;
+      const double numeric = (lp - lm) / (2.0 * eps);
+      EXPECT_NEAR(param->grad.data()[i], numeric, tol)
+          << "matrix param coordinate " << i;
+    }
+  }
+  for (auto* param : refs.vectors) {
+    for (std::size_t i = 0; i < param->value.size();
+         i += std::max<std::size_t>(1, param->value.size() / 5)) {
+      const float orig = param->value[i];
+      param->value[i] = orig + eps;
+      const double lp = model_loss(model, p);
+      param->value[i] = orig - eps;
+      const double lm = model_loss(model, p);
+      param->value[i] = orig;
+      const double numeric = (lp - lm) / (2.0 * eps);
+      EXPECT_NEAR(param->grad[i], numeric, tol) << "bias coordinate " << i;
+    }
+  }
+}
+
+TEST(GradCheck, SingleLayerGcn) {
+  const Problem p = make_problem(1);
+  Rng rng(100);
+  GcnConfig cfg{/*input_dim=*/6, /*channels=*/{3}, /*dropout=*/0.0f};
+  GcnModel model(cfg, std::make_shared<const CsrMatrix>(p.adj), rng);
+  check_gradients(model, p, 2e-3);
+}
+
+TEST(GradCheck, TwoLayerGcn) {
+  const Problem p = make_problem(2);
+  Rng rng(101);
+  GcnConfig cfg{6, {5, 3}, 0.0f};
+  GcnModel model(cfg, std::make_shared<const CsrMatrix>(p.adj), rng);
+  check_gradients(model, p, 2e-3);
+}
+
+TEST(GradCheck, ThreeLayerGcnWithWiderHidden) {
+  const Problem p = make_problem(3);
+  Rng rng(102);
+  GcnConfig cfg{6, {8, 4, 3}, 0.0f};
+  GcnModel model(cfg, std::make_shared<const CsrMatrix>(p.adj), rng);
+  check_gradients(model, p, 2e-3);
+}
+
+TEST(GradCheck, TwoLayerMlp) {
+  const Problem p = make_problem(4);
+  Rng rng(103);
+  MlpConfig cfg{6, {5, 3}, 0.0f};
+  MlpModel model(cfg, rng);
+  check_gradients(model, p, 2e-3);
+}
+
+TEST(GradCheck, ThreeLayerMlp) {
+  const Problem p = make_problem(5);
+  Rng rng(104);
+  MlpConfig cfg{6, {7, 4, 3}, 0.0f};
+  MlpModel model(cfg, rng);
+  check_gradients(model, p, 2e-3);
+}
+
+}  // namespace
+}  // namespace gv

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "nn/dense_layer.hpp"
+#include "nn/gcn_layer.hpp"
+#include "tensor/gemm.hpp"
+
+namespace gv {
+namespace {
+
+CsrMatrix identity_adj(std::size_t n) {
+  std::vector<CooEntry> e;
+  for (std::uint32_t i = 0; i < n; ++i) e.push_back({i, i, 1.0f});
+  return CsrMatrix::from_coo(n, n, std::move(e));
+}
+
+TEST(GcnLayer, ForwardWithIdentityAdjIsLinear) {
+  Rng rng(1);
+  GcnLayer layer(3, 2, rng);
+  const auto adj = identity_adj(4);
+  Matrix x(4, 3, 1.0f);
+  const Matrix y = layer.forward(adj, x, /*training=*/false);
+  const Matrix expect = matmul(x, layer.weight().value);
+  EXPECT_TRUE(y.allclose(expect, 1e-5f));  // bias initialized to zero
+}
+
+TEST(GcnLayer, ForwardAggregatesNeighbors) {
+  Rng rng(2);
+  GcnLayer layer(1, 1, rng);
+  layer.weight().value(0, 0) = 1.0f;
+  // adj row 0 averages nodes 0 and 1.
+  auto adj = CsrMatrix::from_coo(2, 2, {{0, 0, 0.5f}, {0, 1, 0.5f}, {1, 1, 1.0f}});
+  Matrix x{{2.0f}, {4.0f}};
+  const Matrix y = layer.forward(adj, x, false);
+  EXPECT_NEAR(y(0, 0), 3.0f, 1e-5);
+  EXPECT_NEAR(y(1, 0), 4.0f, 1e-5);
+}
+
+TEST(GcnLayer, SparseForwardMatchesDenseForward) {
+  Rng rng(3);
+  GcnLayer layer(5, 3, rng);
+  const auto adj = identity_adj(6);
+  auto xs = CsrMatrix::from_coo(
+      6, 5, {{0, 0, 1.0f}, {1, 2, 2.0f}, {3, 4, -1.0f}, {5, 1, 0.5f}});
+  const Matrix xd = xs.to_dense();
+  const Matrix y_sparse = layer.forward(adj, xs, false);
+  const Matrix y_dense = layer.forward(adj, xd, false);
+  EXPECT_TRUE(y_sparse.allclose(y_dense, 1e-5f));
+}
+
+TEST(GcnLayer, InputDimMismatchThrows) {
+  Rng rng(4);
+  GcnLayer layer(3, 2, rng);
+  const auto adj = identity_adj(4);
+  Matrix x(4, 7);
+  EXPECT_THROW(layer.forward(adj, x, false), Error);
+}
+
+TEST(GcnLayer, AdjacencyShapeMismatchThrows) {
+  Rng rng(5);
+  GcnLayer layer(3, 2, rng);
+  const auto adj = identity_adj(9);
+  Matrix x(4, 3);
+  EXPECT_THROW(layer.forward(adj, x, false), Error);
+}
+
+TEST(GcnLayer, BackwardWithoutTrainingForwardThrows) {
+  Rng rng(6);
+  GcnLayer layer(3, 2, rng);
+  const auto adj = identity_adj(4);
+  Matrix dy(4, 2, 1.0f);
+  EXPECT_THROW(layer.backward(adj, dy), Error);
+}
+
+TEST(GcnLayer, ParameterCountIncludesBias) {
+  Rng rng(7);
+  GcnLayer layer(10, 4, rng);
+  EXPECT_EQ(layer.parameter_count(), 10u * 4u + 4u);
+}
+
+TEST(GcnLayer, BiasGradientIsColumnSum) {
+  Rng rng(8);
+  GcnLayer layer(2, 2, rng);
+  const auto adj = identity_adj(3);
+  Matrix x(3, 2, 1.0f);
+  layer.forward(adj, x, /*training=*/true);
+  Matrix dy(3, 2, 0.0f);
+  dy(0, 0) = 1.0f;
+  dy(1, 0) = 2.0f;
+  dy(2, 1) = 4.0f;
+  layer.backward(adj, dy);
+  EXPECT_NEAR(layer.bias().grad[0], 3.0f, 1e-5);
+  EXPECT_NEAR(layer.bias().grad[1], 4.0f, 1e-5);
+}
+
+TEST(DenseLayer, ForwardIsAffine) {
+  Rng rng(9);
+  DenseLayer layer(3, 2, rng);
+  layer.bias().value = {1.0f, -1.0f};
+  Matrix x(2, 3, 0.0f);
+  const Matrix y = layer.forward(x, false);
+  EXPECT_NEAR(y(0, 0), 1.0f, 1e-6);
+  EXPECT_NEAR(y(1, 1), -1.0f, 1e-6);
+}
+
+TEST(DenseLayer, SparseForwardMatchesDense) {
+  Rng rng(10);
+  DenseLayer layer(4, 3, rng);
+  auto xs = CsrMatrix::from_coo(5, 4, {{0, 1, 1.0f}, {2, 3, -2.0f}, {4, 0, 0.5f}});
+  EXPECT_TRUE(layer.forward(xs, false).allclose(layer.forward(xs.to_dense(), false),
+                                                1e-5f));
+}
+
+TEST(DenseLayer, BackwardComputesInputGradient) {
+  Rng rng(11);
+  DenseLayer layer(2, 2, rng);
+  Matrix x{{1.0f, 2.0f}};
+  layer.forward(x, /*training=*/true);
+  Matrix dy{{1.0f, 0.0f}};
+  const Matrix dx = layer.backward(dy);
+  // dx = dy W'; with dy selecting first output column, dx = W[:,0]'.
+  EXPECT_NEAR(dx(0, 0), layer.weight().value(0, 0), 1e-6);
+  EXPECT_NEAR(dx(0, 1), layer.weight().value(1, 0), 1e-6);
+}
+
+TEST(DenseLayer, SparseBackwardAfterDenseForwardThrows) {
+  Rng rng(12);
+  DenseLayer layer(2, 2, rng);
+  Matrix x(1, 2);
+  layer.forward(x, true);
+  Matrix dy(1, 2);
+  EXPECT_THROW(layer.backward_sparse_input(dy), Error);
+}
+
+}  // namespace
+}  // namespace gv

@@ -1,0 +1,151 @@
+#include "nn/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "graph/graph.hpp"
+
+namespace gv {
+namespace {
+
+CsrMatrix small_features() {
+  return CsrMatrix::from_coo(5, 4, {{0, 0, 1.0f},
+                                    {1, 1, 1.0f},
+                                    {2, 2, 1.0f},
+                                    {3, 3, 1.0f},
+                                    {4, 0, 0.5f}});
+}
+
+std::shared_ptr<const CsrMatrix> small_adj() {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  return std::make_shared<const CsrMatrix>(g.gcn_normalized());
+}
+
+TEST(GcnModel, ForwardShapes) {
+  Rng rng(1);
+  GcnConfig cfg{4, {8, 3}, 0.5f};
+  GcnModel m(cfg, small_adj(), rng);
+  const auto x = small_features();
+  const Matrix logits = m.forward(x, false);
+  EXPECT_EQ(logits.rows(), 5u);
+  EXPECT_EQ(logits.cols(), 3u);
+}
+
+TEST(GcnModel, LayerOutputsExposeAllEmbeddings) {
+  Rng rng(2);
+  GcnConfig cfg{4, {8, 6, 3}, 0.5f};
+  GcnModel m(cfg, small_adj(), rng);
+  m.forward(small_features(), false);
+  const auto& outs = m.layer_outputs();
+  ASSERT_EQ(outs.size(), 3u);
+  EXPECT_EQ(outs[0].cols(), 8u);
+  EXPECT_EQ(outs[1].cols(), 6u);
+  EXPECT_EQ(outs[2].cols(), 3u);
+}
+
+TEST(GcnModel, HiddenOutputsAreReluNonNegative) {
+  Rng rng(3);
+  GcnConfig cfg{4, {8, 3}, 0.5f};
+  GcnModel m(cfg, small_adj(), rng);
+  m.forward(small_features(), false);
+  const Matrix& h = m.layer_outputs()[0];
+  for (std::size_t i = 0; i < h.size(); ++i) EXPECT_GE(h.data()[i], 0.0f);
+}
+
+TEST(GcnModel, EvalForwardIsDeterministic) {
+  Rng rng(4);
+  GcnConfig cfg{4, {8, 3}, 0.5f};
+  GcnModel m(cfg, small_adj(), rng);
+  const auto x = small_features();
+  const Matrix a = m.forward(x, false);
+  const Matrix b = m.forward(x, false);
+  EXPECT_TRUE(a.allclose(b, 0.0f));
+}
+
+TEST(GcnModel, TrainingForwardAppliesDropout) {
+  Rng rng(5);
+  GcnConfig cfg{4, {64, 3}, 0.5f};
+  GcnModel m(cfg, small_adj(), rng);
+  const auto x = small_features();
+  m.forward(x, true);
+  const Matrix h_train = m.layer_outputs()[0];
+  m.forward(x, false);
+  const Matrix h_eval = m.layer_outputs()[0];
+  // Dropout must have zeroed some units that are nonzero in eval mode.
+  std::size_t zeroed = 0;
+  for (std::size_t i = 0; i < h_train.size(); ++i) {
+    if (h_eval.data()[i] > 0.0f && h_train.data()[i] == 0.0f) ++zeroed;
+  }
+  EXPECT_GT(zeroed, 0u);
+}
+
+TEST(GcnModel, BackwardWithoutTrainingForwardThrows) {
+  Rng rng(6);
+  GcnConfig cfg{4, {3}, 0.0f};
+  GcnModel m(cfg, small_adj(), rng);
+  m.forward(small_features(), false);
+  Matrix d(5, 3, 1.0f);
+  EXPECT_THROW(m.backward(d), Error);
+}
+
+TEST(GcnModel, ParameterCountMatchesArchitecture) {
+  Rng rng(7);
+  GcnConfig cfg{4, {8, 3}, 0.0f};
+  GcnModel m(cfg, small_adj(), rng);
+  EXPECT_EQ(m.parameter_count(), 4u * 8 + 8 + 8u * 3 + 3);
+}
+
+TEST(GcnModel, SetAdjacencyChangesPropagation) {
+  Rng rng(8);
+  GcnConfig cfg{4, {3}, 0.0f};
+  GcnModel m(cfg, small_adj(), rng);
+  const auto x = small_features();
+  const Matrix before = m.forward(x, false);
+  Graph g2(5);
+  g2.add_edge(0, 4);
+  m.set_adjacency(std::make_shared<const CsrMatrix>(g2.gcn_normalized()));
+  const Matrix after = m.forward(x, false);
+  EXPECT_FALSE(before.allclose(after, 1e-6f));
+}
+
+TEST(GcnModel, RejectsEmptyConfig) {
+  Rng rng(9);
+  GcnConfig cfg{0, {3}, 0.0f};
+  EXPECT_THROW(GcnModel(cfg, small_adj(), rng), Error);
+  GcnConfig cfg2{4, {}, 0.0f};
+  EXPECT_THROW(GcnModel(cfg2, small_adj(), rng), Error);
+  GcnConfig cfg3{4, {3}, 0.0f};
+  EXPECT_THROW(GcnModel(cfg3, nullptr, rng), Error);
+}
+
+TEST(MlpModel, ForwardShapesAndLayerDims) {
+  Rng rng(10);
+  MlpConfig cfg{4, {6, 3}, 0.0f};
+  MlpModel m(cfg, rng);
+  const Matrix logits = m.forward(small_features(), false);
+  EXPECT_EQ(logits.cols(), 3u);
+  EXPECT_EQ(m.layer_dims(), (std::vector<std::size_t>{6, 3}));
+}
+
+TEST(MlpModel, IgnoresGraphStructureByDesign) {
+  // An MLP's output for node v depends only on x_v: permuting other rows
+  // must not change row v. (This is what makes it the DNN baseline.)
+  Rng rng(11);
+  MlpConfig cfg{4, {6, 3}, 0.0f};
+  MlpModel m(cfg, rng);
+  const Matrix a = m.forward(small_features(), false);
+  auto perturbed = CsrMatrix::from_coo(
+      5, 4, {{0, 0, 1.0f}, {1, 3, 9.0f}, {2, 2, 1.0f}, {3, 3, 1.0f}, {4, 0, 0.5f}});
+  const Matrix b = m.forward(perturbed, false);
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR(a(0, c), b(0, c), 1e-6);
+    EXPECT_NEAR(a(2, c), b(2, c), 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace gv

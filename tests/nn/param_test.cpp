@@ -1,0 +1,126 @@
+#include "nn/param.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gv {
+namespace {
+
+TEST(Parameter, GlorotInitWithinLimit) {
+  Rng rng(1);
+  Parameter p;
+  p.init_glorot(50, 30, rng);
+  const float limit = std::sqrt(6.0f / 80.0f);
+  for (std::size_t i = 0; i < p.value.size(); ++i) {
+    EXPECT_LE(std::fabs(p.value.data()[i]), limit);
+  }
+  EXPECT_FLOAT_EQ(p.grad.frobenius_norm(), 0.0f);
+}
+
+TEST(Parameter, GlorotIsNotDegenerate) {
+  Rng rng(2);
+  Parameter p;
+  p.init_glorot(20, 20, rng);
+  EXPECT_GT(p.value.frobenius_norm(), 0.1f);
+}
+
+TEST(Parameter, ZeroGradClears) {
+  Rng rng(3);
+  Parameter p;
+  p.init_glorot(4, 4, rng);
+  p.grad.fill(1.0f);
+  p.zero_grad();
+  EXPECT_FLOAT_EQ(p.grad.frobenius_norm(), 0.0f);
+}
+
+TEST(ParamRefs, TotalCountSumsMatricesAndVectors) {
+  Rng rng(4);
+  Parameter w;
+  w.init_glorot(3, 5, rng);
+  VectorParameter b;
+  b.init_zero(5);
+  ParamRefs refs;
+  refs.matrices.push_back(&w);
+  refs.vectors.push_back(&b);
+  EXPECT_EQ(refs.total_count(), 20u);
+}
+
+TEST(Adam, StepMovesAgainstGradient) {
+  Rng rng(5);
+  Parameter w;
+  w.init_zero(1, 1);
+  w.value(0, 0) = 1.0f;
+  w.grad(0, 0) = 1.0f;  // positive gradient -> value must decrease
+  ParamRefs refs;
+  refs.matrices.push_back(&w);
+  Adam::Config cfg;
+  cfg.lr = 0.1;
+  cfg.weight_decay = 0.0;
+  Adam opt(cfg);
+  opt.step(refs);
+  EXPECT_LT(w.value(0, 0), 1.0f);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // Minimize f(w) = (w - 3)^2 / 2; grad = w - 3.
+  Parameter w;
+  w.init_zero(1, 1);
+  ParamRefs refs;
+  refs.matrices.push_back(&w);
+  Adam::Config cfg;
+  cfg.lr = 0.1;
+  cfg.weight_decay = 0.0;
+  Adam opt(cfg);
+  for (int i = 0; i < 500; ++i) {
+    w.grad(0, 0) = w.value(0, 0) - 3.0f;
+    opt.step(refs);
+  }
+  EXPECT_NEAR(w.value(0, 0), 3.0f, 0.05);
+}
+
+TEST(Adam, WeightDecayShrinksWeightsWithZeroGrad) {
+  Parameter w;
+  w.init_zero(1, 1);
+  w.value(0, 0) = 5.0f;
+  ParamRefs refs;
+  refs.matrices.push_back(&w);
+  Adam::Config cfg;
+  cfg.lr = 0.05;
+  cfg.weight_decay = 1e-2;
+  Adam opt(cfg);
+  for (int i = 0; i < 100; ++i) {
+    w.zero_grad();
+    opt.step(refs);
+  }
+  EXPECT_LT(w.value(0, 0), 5.0f);
+}
+
+TEST(Adam, BiasesAreNotDecayed) {
+  VectorParameter b;
+  b.init_zero(1);
+  b.value[0] = 5.0f;
+  ParamRefs refs;
+  refs.vectors.push_back(&b);
+  Adam::Config cfg;
+  cfg.lr = 0.05;
+  cfg.weight_decay = 1e-2;
+  Adam opt(cfg);
+  for (int i = 0; i < 100; ++i) {
+    b.zero_grad();
+    opt.step(refs);
+  }
+  EXPECT_FLOAT_EQ(b.value[0], 5.0f);
+}
+
+TEST(Adam, StepCounterIncrements) {
+  Adam opt;
+  ParamRefs refs;
+  EXPECT_EQ(opt.steps_taken(), 0u);
+  opt.step(refs);
+  opt.step(refs);
+  EXPECT_EQ(opt.steps_taken(), 2u);
+}
+
+}  // namespace
+}  // namespace gv

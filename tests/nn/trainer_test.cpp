@@ -1,0 +1,124 @@
+#include "nn/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "data/synthetic.hpp"
+
+namespace gv {
+namespace {
+
+Dataset small_dataset(std::uint64_t seed) {
+  SyntheticSpec spec;
+  spec.num_nodes = 300;
+  spec.num_classes = 3;
+  spec.num_undirected_edges = 900;
+  spec.feature_dim = 100;
+  spec.homophily = 0.85;
+  spec.feature_signal = 0.6;
+  spec.features_per_node = 15;
+  return generate_synthetic(spec, seed);
+}
+
+TEST(Trainer, LossDecreasesOnGcn) {
+  const Dataset ds = small_dataset(1);
+  Rng rng(1);
+  GcnConfig cfg{ds.feature_dim(), {16, ds.num_classes}, 0.3f};
+  GcnModel model(cfg, std::make_shared<const CsrMatrix>(ds.graph.gcn_normalized()),
+                 rng);
+  TrainConfig tc;
+  tc.epochs = 60;
+  const auto result =
+      train_node_classifier(model, ds.features, ds.labels, ds.split.train, tc);
+  EXPECT_EQ(result.loss_history.size(), 60u);
+  EXPECT_LT(result.final_loss, result.loss_history.front() * 0.5);
+}
+
+TEST(Trainer, GcnBeatsChanceOnHomophilousGraph) {
+  const Dataset ds = small_dataset(2);
+  Rng rng(2);
+  GcnConfig cfg{ds.feature_dim(), {16, ds.num_classes}, 0.3f};
+  GcnModel model(cfg, std::make_shared<const CsrMatrix>(ds.graph.gcn_normalized()),
+                 rng);
+  TrainConfig tc;
+  tc.epochs = 100;
+  train_node_classifier(model, ds.features, ds.labels, ds.split.train, tc);
+  const double acc = evaluate_accuracy(model, ds.features, ds.labels, ds.split.test);
+  EXPECT_GT(acc, 0.55);  // chance is 1/3
+}
+
+TEST(Trainer, TrainAccuracyHighAfterFit) {
+  const Dataset ds = small_dataset(3);
+  Rng rng(3);
+  GcnConfig cfg{ds.feature_dim(), {16, ds.num_classes}, 0.0f};
+  GcnModel model(cfg, std::make_shared<const CsrMatrix>(ds.graph.gcn_normalized()),
+                 rng);
+  TrainConfig tc;
+  tc.epochs = 120;
+  const auto result =
+      train_node_classifier(model, ds.features, ds.labels, ds.split.train, tc);
+  EXPECT_GT(result.train_accuracy, 0.9);
+}
+
+TEST(Trainer, MlpTrainsToo) {
+  const Dataset ds = small_dataset(4);
+  Rng rng(4);
+  MlpConfig cfg{ds.feature_dim(), {16, ds.num_classes}, 0.3f};
+  MlpModel model(cfg, rng);
+  TrainConfig tc;
+  tc.epochs = 100;
+  train_node_classifier(model, ds.features, ds.labels, ds.split.train, tc);
+  const double acc = evaluate_accuracy(model, ds.features, ds.labels, ds.split.test);
+  EXPECT_GT(acc, 0.4);
+}
+
+TEST(Trainer, EmptyMaskThrows) {
+  const Dataset ds = small_dataset(5);
+  Rng rng(5);
+  GcnConfig cfg{ds.feature_dim(), {ds.num_classes}, 0.0f};
+  GcnModel model(cfg, std::make_shared<const CsrMatrix>(ds.graph.gcn_normalized()),
+                 rng);
+  TrainConfig tc;
+  EXPECT_THROW(train_node_classifier(model, ds.features, ds.labels, {}, tc), Error);
+}
+
+TEST(Trainer, ZeroEpochsThrows) {
+  const Dataset ds = small_dataset(6);
+  Rng rng(6);
+  GcnConfig cfg{ds.feature_dim(), {ds.num_classes}, 0.0f};
+  GcnModel model(cfg, std::make_shared<const CsrMatrix>(ds.graph.gcn_normalized()),
+                 rng);
+  TrainConfig tc;
+  tc.epochs = 0;
+  EXPECT_THROW(train_node_classifier(model, ds.features, ds.labels, ds.split.train, tc),
+               Error);
+}
+
+TEST(Trainer, PredictReturnsLabelPerNode) {
+  const Dataset ds = small_dataset(7);
+  Rng rng(7);
+  GcnConfig cfg{ds.feature_dim(), {8, ds.num_classes}, 0.0f};
+  GcnModel model(cfg, std::make_shared<const CsrMatrix>(ds.graph.gcn_normalized()),
+                 rng);
+  const auto preds = predict(model, ds.features);
+  EXPECT_EQ(preds.size(), ds.num_nodes());
+  for (const auto p : preds) EXPECT_LT(p, ds.num_classes);
+}
+
+TEST(Trainer, DeterministicGivenSeeds) {
+  const Dataset ds = small_dataset(8);
+  auto run = [&] {
+    Rng rng(99);
+    GcnConfig cfg{ds.feature_dim(), {8, ds.num_classes}, 0.5f};
+    GcnModel model(cfg, std::make_shared<const CsrMatrix>(ds.graph.gcn_normalized()),
+                   rng);
+    TrainConfig tc;
+    tc.epochs = 30;
+    train_node_classifier(model, ds.features, ds.labels, ds.split.train, tc);
+    return predict(model, ds.features);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace gv

@@ -1,0 +1,142 @@
+#include "sgxsim/chacha20poly1305.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace gv {
+namespace {
+
+std::string hex(std::span<const std::uint8_t> data) {
+  static const char* h = "0123456789abcdef";
+  std::string s;
+  for (const auto b : data) {
+    s += h[b >> 4];
+    s += h[b & 0xf];
+  }
+  return s;
+}
+
+// RFC 8439 Sec. 2.4.2 ChaCha20 encryption test vector.
+TEST(ChaCha20, Rfc8439EncryptionVector) {
+  AeadKey key;
+  for (int i = 0; i < 32; ++i) key[i] = static_cast<std::uint8_t>(i);
+  AeadNonce nonce = {0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0};
+  const std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.";
+  std::vector<std::uint8_t> ct(plaintext.size());
+  chacha20_xor(key, nonce, 1,
+               {reinterpret_cast<const std::uint8_t*>(plaintext.data()),
+                plaintext.size()},
+               ct.data());
+  EXPECT_EQ(hex(std::span<const std::uint8_t>(ct.data(), 16)),
+            "6e2e359a2568f98041ba0728dd0d6981");
+  EXPECT_EQ(hex(std::span<const std::uint8_t>(ct.data() + ct.size() - 16, 16)),
+            "0bbf74a35be6b40b8eedf2785e42874d");
+}
+
+TEST(ChaCha20, XorIsItsOwnInverse) {
+  AeadKey key{};
+  key[0] = 0x42;
+  AeadNonce nonce{};
+  std::vector<std::uint8_t> pt(301);
+  for (std::size_t i = 0; i < pt.size(); ++i) pt[i] = static_cast<std::uint8_t>(i);
+  std::vector<std::uint8_t> ct(pt.size()), rt(pt.size());
+  chacha20_xor(key, nonce, 7, pt, ct.data());
+  chacha20_xor(key, nonce, 7, ct, rt.data());
+  EXPECT_EQ(pt, rt);
+}
+
+// RFC 8439 Sec. 2.5.2 Poly1305 test vector.
+TEST(Poly1305, Rfc8439MacVector) {
+  std::array<std::uint8_t, 32> key = {
+      0x85, 0xd6, 0xbe, 0x78, 0x57, 0x55, 0x6d, 0x33, 0x7f, 0x44, 0x52,
+      0xfe, 0x42, 0xd5, 0x06, 0xa8, 0x01, 0x03, 0x80, 0x8a, 0xfb, 0x0d,
+      0xb2, 0xfd, 0x4a, 0xbf, 0xf6, 0xaf, 0x41, 0x49, 0xf5, 0x1b};
+  const std::string msg = "Cryptographic Forum Research Group";
+  const AeadTag tag = poly1305_mac(
+      {reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size()}, key);
+  EXPECT_EQ(hex(tag), "a8061dc1305136c6c22b8baf0c0127a9");
+}
+
+// RFC 8439 Sec. 2.8.2 AEAD test vector.
+TEST(Aead, Rfc8439SealVector) {
+  AeadKey key;
+  for (int i = 0; i < 32; ++i) key[i] = static_cast<std::uint8_t>(0x80 + i);
+  AeadNonce nonce = {0x07, 0, 0, 0, 0x40, 0x41, 0x42, 0x43, 0x44, 0x45, 0x46, 0x47};
+  const std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.";
+  const std::uint8_t aad[] = {0x50, 0x51, 0x52, 0x53, 0xc0, 0xc1,
+                              0xc2, 0xc3, 0xc4, 0xc5, 0xc6, 0xc7};
+  AeadTag tag;
+  const auto ct = aead_encrypt(
+      key, nonce,
+      {reinterpret_cast<const std::uint8_t*>(plaintext.data()), plaintext.size()},
+      aad, tag);
+  EXPECT_EQ(hex(std::span<const std::uint8_t>(ct.data(), 16)),
+            "d31a8d34648e60db7b86afbc53ef7ec2");
+  EXPECT_EQ(hex(tag), "1ae10b594f09e26a7e902ecbd0600691");
+}
+
+TEST(Aead, RoundTripRestoresPlaintext) {
+  AeadKey key{};
+  key[5] = 9;
+  AeadNonce nonce{};
+  nonce[0] = 1;
+  std::vector<std::uint8_t> pt = {1, 2, 3, 4, 5, 200, 250};
+  AeadTag tag;
+  const auto ct = aead_encrypt(key, nonce, pt, {}, tag);
+  EXPECT_EQ(aead_decrypt(key, nonce, ct, {}, tag), pt);
+}
+
+TEST(Aead, TamperedCiphertextRejected) {
+  AeadKey key{};
+  AeadNonce nonce{};
+  std::vector<std::uint8_t> pt(64, 7);
+  AeadTag tag;
+  auto ct = aead_encrypt(key, nonce, pt, {}, tag);
+  ct[10] ^= 1;
+  EXPECT_THROW(aead_decrypt(key, nonce, ct, {}, tag), Error);
+}
+
+TEST(Aead, TamperedTagRejected) {
+  AeadKey key{};
+  AeadNonce nonce{};
+  std::vector<std::uint8_t> pt(16, 3);
+  AeadTag tag;
+  const auto ct = aead_encrypt(key, nonce, pt, {}, tag);
+  AeadTag bad = tag;
+  bad[0] ^= 0x80;
+  EXPECT_THROW(aead_decrypt(key, nonce, ct, {}, bad), Error);
+}
+
+TEST(Aead, WrongAadRejected) {
+  AeadKey key{};
+  AeadNonce nonce{};
+  std::vector<std::uint8_t> pt(16, 3);
+  const std::uint8_t aad1[] = {1, 2, 3};
+  const std::uint8_t aad2[] = {1, 2, 4};
+  AeadTag tag;
+  const auto ct = aead_encrypt(key, nonce, pt, aad1, tag);
+  EXPECT_THROW(aead_decrypt(key, nonce, ct, aad2, tag), Error);
+}
+
+TEST(Aead, EmptyPlaintextStillAuthenticated) {
+  AeadKey key{};
+  AeadNonce nonce{};
+  AeadTag tag;
+  const auto ct = aead_encrypt(key, nonce, {}, {}, tag);
+  EXPECT_TRUE(ct.empty());
+  EXPECT_NO_THROW(aead_decrypt(key, nonce, ct, {}, tag));
+  AeadTag bad = tag;
+  bad[3] ^= 2;
+  EXPECT_THROW(aead_decrypt(key, nonce, ct, {}, bad), Error);
+}
+
+}  // namespace
+}  // namespace gv

@@ -1,0 +1,81 @@
+#include "sgxsim/channel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gv {
+namespace {
+
+TEST(Channel, PushPopFifoOrder) {
+  Enclave e("ch", SgxCostModel{});
+  e.initialize();
+  OneWayChannel ch(e);
+  auto tx = ch.sender();
+  auto rx = ch.receiver();
+  tx.push(Matrix(1, 1, 1.0f));
+  tx.push(Matrix(1, 1, 2.0f));
+  EXPECT_EQ(rx.pending(), 2u);
+  EXPECT_FLOAT_EQ(rx.pop()(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(rx.pop()(0, 0), 2.0f);
+  EXPECT_TRUE(rx.empty());
+}
+
+TEST(Channel, PopEmptyThrows) {
+  Enclave e("ch", SgxCostModel{});
+  e.initialize();
+  OneWayChannel ch(e);
+  auto rx = ch.receiver();
+  EXPECT_THROW(rx.pop(), Error);
+}
+
+TEST(Channel, CountsBytesAndBlocks) {
+  Enclave e("ch", SgxCostModel{});
+  e.initialize();
+  OneWayChannel ch(e);
+  auto tx = ch.sender();
+  tx.push(Matrix(10, 10));  // 400 bytes
+  tx.push(Matrix(5, 2));    // 40 bytes
+  EXPECT_EQ(ch.total_blocks_pushed(), 2u);
+  EXPECT_EQ(ch.total_bytes_pushed(), 440u);
+  EXPECT_EQ(e.meter().bytes_in, 440u);
+}
+
+TEST(Channel, StagingMemoryTrackedInLedger) {
+  Enclave e("ch", SgxCostModel{});
+  e.initialize();
+  OneWayChannel ch(e);
+  auto tx = ch.sender();
+  auto rx = ch.receiver();
+  tx.push(Matrix(100, 10));  // 4000 bytes staged
+  EXPECT_EQ(e.memory().current_bytes(), 4000u);
+  rx.pop();
+  EXPECT_EQ(e.memory().current_bytes(), 0u);
+  EXPECT_EQ(e.memory().peak_bytes(), 4000u);
+}
+
+TEST(Channel, MultipleStagedBlocksSumInLedger) {
+  Enclave e("ch", SgxCostModel{});
+  e.initialize();
+  OneWayChannel ch(e);
+  auto tx = ch.sender();
+  tx.push(Matrix(10, 10));  // 400
+  tx.push(Matrix(20, 10));  // 800
+  EXPECT_EQ(e.memory().current_bytes(), 1200u);
+}
+
+// The one-way property is structural: TrustedReceiver has no push API and
+// UntrustedSender has no pop API. This test documents the surface.
+template <typename T>
+concept CanPush = requires(T t, Matrix m) { t.push(m); };
+template <typename T>
+concept CanPop = requires(T t) { t.pop(); };
+
+TEST(Channel, EndpointsAreDirectional) {
+  static_assert(CanPush<UntrustedSender>);
+  static_assert(CanPop<TrustedReceiver>);
+  static_assert(!CanPush<TrustedReceiver>);
+  static_assert(!CanPop<UntrustedSender>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace gv

@@ -1,0 +1,67 @@
+#include "sgxsim/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gv {
+namespace {
+
+TEST(CostModel, CyclesToSeconds) {
+  SgxCostModel m;
+  m.cpu_ghz = 2.0;
+  EXPECT_DOUBLE_EQ(m.cycles_to_seconds(2e9), 1.0);
+}
+
+TEST(CostModel, DefaultsMatchPaperPlatform) {
+  SgxCostModel m;
+  EXPECT_DOUBLE_EQ(m.cpu_ghz, 3.6);  // i7-7700
+  EXPECT_EQ(m.epc_bytes, 96ull * 1024 * 1024);
+  EXPECT_EQ(m.prm_bytes, 128ull * 1024 * 1024);
+  EXPECT_GT(m.enclave_compute_slowdown, 1.0);
+}
+
+TEST(CostMeter, TransferSecondsSumsComponents) {
+  SgxCostModel m;
+  m.cpu_ghz = 1.0;  // 1 cycle = 1 ns
+  m.ecall_cycles = 1000;
+  m.ocall_cycles = 500;
+  m.transfer_cycles_per_byte = 2.0;
+  m.page_swap_cycles = 10000;
+  CostMeter meter;
+  meter.ecalls = 2;
+  meter.ocalls = 1;
+  meter.bytes_in = 100;
+  meter.page_swaps = 3;
+  const double expect = (2 * 1000 + 1 * 500 + 100 * 2.0 + 3 * 10000) / 1e9;
+  EXPECT_DOUBLE_EQ(meter.transfer_seconds(m), expect);
+}
+
+TEST(CostMeter, TotalIncludesComputePhases) {
+  SgxCostModel m;
+  CostMeter meter;
+  meter.untrusted_compute_seconds = 0.5;
+  meter.enclave_compute_seconds = 0.25;
+  EXPECT_NEAR(meter.total_seconds(m), 0.75, 1e-12);
+}
+
+TEST(CostMeter, ResetClearsEverything) {
+  CostMeter meter;
+  meter.ecalls = 5;
+  meter.bytes_in = 100;
+  meter.enclave_compute_seconds = 1.0;
+  meter.reset();
+  EXPECT_EQ(meter.ecalls, 0u);
+  EXPECT_EQ(meter.bytes_in, 0u);
+  EXPECT_DOUBLE_EQ(meter.enclave_compute_seconds, 0.0);
+}
+
+TEST(CostMeter, SummaryMentionsComponents) {
+  SgxCostModel m;
+  CostMeter meter;
+  meter.ecalls = 7;
+  const auto s = meter.summary(m);
+  EXPECT_NE(s.find("ecalls=7"), std::string::npos);
+  EXPECT_NE(s.find("backbone="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gv

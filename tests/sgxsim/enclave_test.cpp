@@ -1,0 +1,181 @@
+#include "sgxsim/enclave.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gv {
+namespace {
+
+Enclave make_initialized(const std::string& name = "test",
+                         SgxCostModel model = {}) {
+  Enclave e(name, model);
+  e.extend_measurement(std::string("code-v1"));
+  e.initialize();
+  return e;
+}
+
+TEST(MemoryLedger, TracksCurrentAndPeak) {
+  MemoryLedger ledger;
+  ledger.alloc("a", 100);
+  ledger.alloc("b", 50);
+  EXPECT_EQ(ledger.current_bytes(), 150u);
+  ledger.free("a");
+  EXPECT_EQ(ledger.current_bytes(), 50u);
+  EXPECT_EQ(ledger.peak_bytes(), 150u);
+}
+
+TEST(MemoryLedger, DoubleAllocThrows) {
+  MemoryLedger ledger;
+  ledger.alloc("a", 1);
+  EXPECT_THROW(ledger.alloc("a", 2), Error);
+}
+
+TEST(MemoryLedger, FreeUnknownThrows) {
+  MemoryLedger ledger;
+  EXPECT_THROW(ledger.free("ghost"), Error);
+}
+
+TEST(MemoryLedger, SetReplacesSize) {
+  MemoryLedger ledger;
+  ledger.set("buf", 100);
+  ledger.set("buf", 40);
+  EXPECT_EQ(ledger.current_bytes(), 40u);
+  EXPECT_EQ(ledger.peak_bytes(), 100u);
+  EXPECT_EQ(ledger.live_allocations(), 1u);
+}
+
+TEST(Enclave, MeasurementOnlyAfterInitialize) {
+  Enclave e("m", SgxCostModel{});
+  EXPECT_THROW(e.measurement(), Error);
+  e.initialize();
+  EXPECT_NO_THROW(e.measurement());
+}
+
+TEST(Enclave, MeasurementDependsOnLoadedBlobs) {
+  Enclave a("same", SgxCostModel{});
+  a.extend_measurement(std::string("blob1"));
+  a.initialize();
+  Enclave b("same", SgxCostModel{});
+  b.extend_measurement(std::string("blob2"));
+  b.initialize();
+  EXPECT_NE(to_hex(a.measurement()), to_hex(b.measurement()));
+}
+
+TEST(Enclave, ExtendAfterInitThrows) {
+  auto e = make_initialized();
+  EXPECT_THROW(e.extend_measurement(std::string("late")), Error);
+}
+
+TEST(Enclave, EcallBeforeInitThrows) {
+  Enclave e("x", SgxCostModel{});
+  EXPECT_THROW(e.ecall([] {}), Error);
+}
+
+TEST(Enclave, EcallCountsTransitionsAndReturnsValue) {
+  auto e = make_initialized();
+  const int v = e.ecall([] { return 41 + 1; });
+  EXPECT_EQ(v, 42);
+  e.ecall([] {});
+  EXPECT_EQ(e.meter().ecalls, 2u);
+}
+
+TEST(Enclave, EcallAccumulatesComputeTime) {
+  auto e = make_initialized();
+  e.ecall([] {
+    volatile double x = 0.0;
+    for (int i = 0; i < 100000; ++i) x += i;
+  });
+  EXPECT_GT(e.meter().enclave_compute_seconds, 0.0);
+}
+
+TEST(Enclave, PagingChargedWhenWorkingSetExceedsEpc) {
+  SgxCostModel model;
+  model.epc_bytes = 1024;  // tiny EPC for the test
+  Enclave e("paging", model);
+  e.initialize();
+  e.memory().set("big", 1024 + 4096 * 3);
+  e.ecall([] {});
+  // 3 overflowing pages, swapped in and out.
+  EXPECT_EQ(e.meter().page_swaps, 6u);
+  EXPECT_FALSE(e.fits_in_epc());
+}
+
+TEST(Enclave, NoPagingUnderEpc) {
+  auto e = make_initialized();
+  e.memory().set("small", 1 << 20);
+  e.ecall([] {});
+  EXPECT_EQ(e.meter().page_swaps, 0u);
+  EXPECT_TRUE(e.fits_in_epc());
+}
+
+TEST(Enclave, SealUnsealRoundTrip) {
+  auto e = make_initialized();
+  std::vector<std::uint8_t> secret = {9, 8, 7, 6};
+  const auto blob = e.seal(secret);
+  EXPECT_EQ(e.unseal(blob), secret);
+}
+
+TEST(Enclave, SealedBlobsUseDistinctNonces) {
+  auto e = make_initialized();
+  std::vector<std::uint8_t> secret = {1, 2, 3};
+  const auto b1 = e.seal(secret);
+  const auto b2 = e.seal(secret);
+  EXPECT_NE(b1.nonce, b2.nonce);
+  EXPECT_NE(b1.ciphertext, b2.ciphertext);
+}
+
+TEST(Enclave, UnsealByDifferentIdentityFails) {
+  Enclave a("ident", SgxCostModel{});
+  a.extend_measurement(std::string("codeA"));
+  a.initialize();
+  Enclave b("ident", SgxCostModel{});
+  b.extend_measurement(std::string("codeB"));
+  b.initialize();
+  const auto blob = a.seal(std::vector<std::uint8_t>{5, 5, 5});
+  EXPECT_THROW(b.unseal(blob), Error);
+}
+
+TEST(Enclave, UnsealOnDifferentPlatformFails) {
+  Sha256 h;
+  h.update(std::string("other-cpu"));
+  const auto other_key = h.finish();
+  Enclave a("p", SgxCostModel{});
+  a.extend_measurement(std::string("code"));
+  a.initialize();
+  Enclave b("p", SgxCostModel{}, other_key);
+  b.extend_measurement(std::string("code"));
+  b.initialize();
+  const auto blob = a.seal(std::vector<std::uint8_t>{1});
+  EXPECT_THROW(b.unseal(blob), Error);
+}
+
+TEST(Enclave, TamperedSealedBlobFails) {
+  auto e = make_initialized();
+  auto blob = e.seal(std::vector<std::uint8_t>(100, 0xab));
+  blob.ciphertext[50] ^= 1;
+  EXPECT_THROW(e.unseal(blob), Error);
+}
+
+TEST(Enclave, ReportVerifiesOnSamePlatform) {
+  auto e = make_initialized();
+  const std::vector<std::uint8_t> user_data = {1, 2, 3};
+  const auto report = e.create_report(user_data);
+  EXPECT_TRUE(Enclave::verify_report(report, Enclave::default_platform_key()));
+}
+
+TEST(Enclave, ReportRejectsForgedMeasurement) {
+  auto e = make_initialized();
+  auto report = e.create_report(std::vector<std::uint8_t>{1});
+  report.measurement[0] ^= 0xff;
+  EXPECT_FALSE(Enclave::verify_report(report, Enclave::default_platform_key()));
+}
+
+TEST(Enclave, ReportRejectsWrongPlatformKey) {
+  auto e = make_initialized();
+  const auto report = e.create_report(std::vector<std::uint8_t>{1});
+  Sha256 h;
+  h.update(std::string("not-the-platform"));
+  EXPECT_FALSE(Enclave::verify_report(report, h.finish()));
+}
+
+}  // namespace
+}  // namespace gv

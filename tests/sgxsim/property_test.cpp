@@ -1,0 +1,129 @@
+// Parameterized properties of the enclave simulator: sealing round-trips
+// at many sizes, ledger accounting against a reference model, paging cost
+// monotonicity, and fault injection on sealed blobs.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "sgxsim/enclave.hpp"
+
+namespace gv {
+namespace {
+
+class SealProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SealProperty, RoundTripAtSize) {
+  Enclave e("seal", SgxCostModel{});
+  e.extend_measurement(std::string("code"));
+  e.initialize();
+  Rng rng(GetParam());
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(GetParam()));
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform_index(256));
+  const auto blob = e.seal(data);
+  EXPECT_EQ(e.unseal(blob), data);
+}
+
+TEST_P(SealProperty, SingleBitFlipAnywhereIsDetected) {
+  Enclave e("seal", SgxCostModel{});
+  e.extend_measurement(std::string("code"));
+  e.initialize();
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(GetParam()), 0x77);
+  auto blob = e.seal(data);
+  if (blob.ciphertext.empty()) return;
+  Rng rng(GetParam() + 1);
+  // Flip a random bit in the ciphertext and a random bit in the tag.
+  const auto byte = rng.uniform_index(blob.ciphertext.size());
+  blob.ciphertext[byte] ^= static_cast<std::uint8_t>(1u << rng.uniform_index(8));
+  EXPECT_THROW(e.unseal(blob), Error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SealProperty,
+                         ::testing::Values(1, 15, 16, 17, 63, 64, 65, 255, 4096,
+                                           100001));
+
+TEST(LedgerProperty, RandomOpsMatchReferenceModel) {
+  MemoryLedger ledger;
+  std::map<std::string, std::size_t> reference;
+  std::size_t ref_current = 0, ref_peak = 0;
+  Rng rng(321);
+  for (int op = 0; op < 2000; ++op) {
+    const std::string name = "buf" + std::to_string(rng.uniform_index(20));
+    const auto choice = rng.uniform_index(3);
+    if (choice == 0) {  // set
+      const std::size_t bytes = rng.uniform_index(1 << 16);
+      const auto it = reference.find(name);
+      if (it != reference.end()) ref_current -= it->second;
+      reference[name] = bytes;
+      ref_current += bytes;
+      ref_peak = std::max(ref_peak, ref_current);
+      ledger.set(name, bytes);
+    } else if (choice == 1) {  // alloc fresh only
+      if (reference.count(name)) continue;
+      const std::size_t bytes = rng.uniform_index(1 << 12);
+      reference[name] = bytes;
+      ref_current += bytes;
+      ref_peak = std::max(ref_peak, ref_current);
+      ledger.alloc(name, bytes);
+    } else {  // free if live
+      const auto it = reference.find(name);
+      if (it == reference.end()) continue;
+      ref_current -= it->second;
+      reference.erase(it);
+      ledger.free(name);
+    }
+    ASSERT_EQ(ledger.current_bytes(), ref_current);
+    ASSERT_EQ(ledger.peak_bytes(), ref_peak);
+    ASSERT_EQ(ledger.live_allocations(), reference.size());
+  }
+}
+
+class PagingProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PagingProperty, SwapCountScalesWithOverflowPages) {
+  SgxCostModel model;
+  model.epc_bytes = 64 * 1024;
+  Enclave e("paging", model);
+  e.initialize();
+  const int overflow_pages = GetParam();
+  e.memory().set("ws", model.epc_bytes +
+                           static_cast<std::size_t>(overflow_pages) * model.page_bytes);
+  e.ecall([] {});
+  EXPECT_EQ(e.meter().page_swaps, static_cast<std::uint64_t>(2 * overflow_pages));
+}
+
+INSTANTIATE_TEST_SUITE_P(Pages, PagingProperty, ::testing::Values(1, 2, 7, 64, 1000));
+
+TEST(CostProperty, TransferTimeMonotoneInEveryCounter) {
+  SgxCostModel m;
+  CostMeter base;
+  base.ecalls = 3;
+  base.bytes_in = 1000;
+  base.page_swaps = 2;
+  const double t0 = base.transfer_seconds(m);
+  for (int field = 0; field < 4; ++field) {
+    CostMeter more = base;
+    switch (field) {
+      case 0: more.ecalls += 1; break;
+      case 1: more.ocalls += 1; break;
+      case 2: more.bytes_in += 1024; break;
+      case 3: more.page_swaps += 1; break;
+    }
+    EXPECT_GT(more.transfer_seconds(m), t0) << "field " << field;
+  }
+}
+
+TEST(MeasurementProperty, OrderOfBlobsMatters) {
+  Enclave a("m", SgxCostModel{});
+  a.extend_measurement(std::string("one"));
+  a.extend_measurement(std::string("two"));
+  a.initialize();
+  Enclave b("m", SgxCostModel{});
+  b.extend_measurement(std::string("two"));
+  b.extend_measurement(std::string("one"));
+  b.initialize();
+  EXPECT_NE(to_hex(a.measurement()), to_hex(b.measurement()));
+}
+
+}  // namespace
+}  // namespace gv

@@ -1,0 +1,97 @@
+#include "sgxsim/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace gv {
+namespace {
+
+std::span<const std::uint8_t> bytes_of(const char* s) {
+  return {reinterpret_cast<const std::uint8_t*>(s), std::strlen(s)};
+}
+
+// FIPS 180-4 / NIST test vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(to_hex(Sha256::hash({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(to_hex(Sha256::hash(bytes_of("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(to_hex(Sha256::hash(bytes_of(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  std::vector<std::uint8_t> chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  Sha256 h;
+  h.update(bytes_of("ab"));
+  h.update(bytes_of("c"));
+  EXPECT_EQ(to_hex(h.finish()), to_hex(Sha256::hash(bytes_of("abc"))));
+}
+
+TEST(Sha256, SplitAtBlockBoundary) {
+  std::vector<std::uint8_t> data(130, 0x5a);
+  Sha256 a;
+  a.update(std::span<const std::uint8_t>(data.data(), 64));
+  a.update(std::span<const std::uint8_t>(data.data() + 64, 66));
+  Sha256 b;
+  b.update(data);
+  EXPECT_EQ(to_hex(a.finish()), to_hex(b.finish()));
+}
+
+TEST(Sha256, ReuseAfterFinishThrows) {
+  Sha256 h;
+  h.update(bytes_of("x"));
+  h.finish();
+  EXPECT_THROW(h.update(bytes_of("y")), Error);
+  EXPECT_THROW(h.finish(), Error);
+}
+
+// RFC 4231 HMAC-SHA256 test case 2.
+TEST(HmacSha256, Rfc4231Case2) {
+  const auto mac = hmac_sha256(bytes_of("Jefe"), bytes_of("what do ya want for nothing?"));
+  EXPECT_EQ(to_hex(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 1 (20-byte 0x0b key).
+TEST(HmacSha256, Rfc4231Case1) {
+  std::vector<std::uint8_t> key(20, 0x0b);
+  const auto mac = hmac_sha256(key, bytes_of("Hi There"));
+  EXPECT_EQ(to_hex(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231 test case 6: key longer than the block size (hashed first).
+TEST(HmacSha256, LongKeyIsHashed) {
+  std::vector<std::uint8_t> key(131, 0xaa);
+  const auto mac = hmac_sha256(
+      key, bytes_of("Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(to_hex(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, DifferentKeysDifferentMacs) {
+  const auto m1 = hmac_sha256(bytes_of("k1"), bytes_of("data"));
+  const auto m2 = hmac_sha256(bytes_of("k2"), bytes_of("data"));
+  EXPECT_NE(to_hex(m1), to_hex(m2));
+}
+
+}  // namespace
+}  // namespace gv

@@ -1,0 +1,140 @@
+#include "tensor/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "tensor/gemm.hpp"
+
+namespace gv {
+namespace {
+
+CsrMatrix random_sparse(std::size_t rows, std::size_t cols, double density, Rng& rng) {
+  std::vector<CooEntry> entries;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (rng.bernoulli(density)) {
+        entries.push_back({static_cast<std::uint32_t>(r), static_cast<std::uint32_t>(c),
+                           static_cast<float>(rng.uniform(-1.0, 1.0))});
+      }
+    }
+  }
+  return CsrMatrix::from_coo(rows, cols, std::move(entries));
+}
+
+TEST(Csr, FromCooBasicLookup) {
+  auto m = CsrMatrix::from_coo(3, 3, {{0, 1, 2.0f}, {2, 0, -1.0f}});
+  EXPECT_EQ(m.nnz(), 2u);
+  EXPECT_FLOAT_EQ(m.at(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(m.at(2, 0), -1.0f);
+  EXPECT_FLOAT_EQ(m.at(1, 1), 0.0f);
+}
+
+TEST(Csr, FromCooSumsDuplicates) {
+  auto m = CsrMatrix::from_coo(2, 2, {{0, 0, 1.0f}, {0, 0, 2.5f}});
+  EXPECT_EQ(m.nnz(), 1u);
+  EXPECT_FLOAT_EQ(m.at(0, 0), 3.5f);
+}
+
+TEST(Csr, FromCooOutOfBoundsThrows) {
+  EXPECT_THROW(CsrMatrix::from_coo(2, 2, {{2, 0, 1.0f}}), Error);
+}
+
+TEST(Csr, FromDenseRoundTrip) {
+  Matrix d{{0, 1, 0}, {2, 0, 3}};
+  const auto m = CsrMatrix::from_dense(d);
+  EXPECT_EQ(m.nnz(), 3u);
+  EXPECT_TRUE(m.to_dense().allclose(d));
+}
+
+TEST(Csr, RowNnzCountsPerRow) {
+  auto m = CsrMatrix::from_coo(3, 4, {{0, 0, 1}, {0, 3, 1}, {2, 1, 1}});
+  EXPECT_EQ(m.row_nnz(0), 2u);
+  EXPECT_EQ(m.row_nnz(1), 0u);
+  EXPECT_EQ(m.row_nnz(2), 1u);
+}
+
+TEST(Csr, TransposedMatchesDenseTranspose) {
+  Rng rng(10);
+  const auto m = random_sparse(20, 13, 0.2, rng);
+  EXPECT_TRUE(m.transposed().to_dense().allclose(m.to_dense().transposed()));
+}
+
+TEST(Csr, CooViewIsSortedRowMajor) {
+  auto m = CsrMatrix::from_coo(3, 3, {{2, 2, 1}, {0, 1, 1}, {2, 0, 1}});
+  const auto coo = m.to_coo();
+  ASSERT_EQ(coo.size(), 3u);
+  EXPECT_EQ(coo[0].row, 0u);
+  EXPECT_EQ(coo[1].row, 2u);
+  EXPECT_EQ(coo[1].col, 0u);
+  EXPECT_EQ(coo[2].col, 2u);
+}
+
+TEST(Csr, MatvecMatchesDense) {
+  Rng rng(11);
+  const auto m = random_sparse(15, 10, 0.3, rng);
+  std::vector<float> x(10);
+  for (auto& v : x) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  const auto y = m.matvec(x);
+  const Matrix d = m.to_dense();
+  for (std::size_t r = 0; r < 15; ++r) {
+    float expect = 0.0f;
+    for (std::size_t c = 0; c < 10; ++c) expect += d(r, c) * x[c];
+    EXPECT_NEAR(y[r], expect, 1e-5);
+  }
+}
+
+TEST(Csr, MatvecShapeMismatchThrows) {
+  auto m = CsrMatrix::from_coo(2, 3, {});
+  std::vector<float> x(2);
+  EXPECT_THROW(m.matvec(x), Error);
+}
+
+TEST(Spmm, MatchesDenseProduct) {
+  Rng rng(12);
+  const auto a = random_sparse(30, 25, 0.15, rng);
+  Matrix b(25, 8);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b.data()[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  EXPECT_TRUE(spmm(a, b).allclose(matmul(a.to_dense(), b), 1e-4f));
+}
+
+TEST(Spmm, ShapeMismatchThrows) {
+  auto a = CsrMatrix::from_coo(3, 4, {});
+  Matrix b(5, 2);
+  EXPECT_THROW(spmm(a, b), Error);
+}
+
+TEST(SpmmTn, MatchesDenseTransposeProduct) {
+  Rng rng(13);
+  const auto a = random_sparse(40, 12, 0.2, rng);
+  Matrix b(40, 6);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b.data()[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  EXPECT_TRUE(spmm_tn(a, b).allclose(matmul(a.to_dense().transposed(), b), 1e-4f));
+}
+
+TEST(SpmmTn, ShapeMismatchThrows) {
+  auto a = CsrMatrix::from_coo(3, 4, {});
+  Matrix b(4, 2);
+  EXPECT_THROW(spmm_tn(a, b), Error);
+}
+
+TEST(Csr, EmptyMatrixBehaves) {
+  auto m = CsrMatrix::from_coo(4, 4, {});
+  EXPECT_EQ(m.nnz(), 0u);
+  Matrix b(4, 3, 1.0f);
+  const Matrix c = spmm(m, b);
+  EXPECT_FLOAT_EQ(c.frobenius_norm(), 0.0f);
+}
+
+TEST(Csr, PayloadBytesAccountsAllArrays) {
+  auto m = CsrMatrix::from_coo(2, 2, {{0, 0, 1.0f}});
+  // row_ptr: 3*8, col_idx: 1*4, values: 1*4.
+  EXPECT_EQ(m.payload_bytes(), 3 * 8 + 4 + 4u);
+}
+
+}  // namespace
+}  // namespace gv

@@ -1,0 +1,118 @@
+#include "tensor/gemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace gv {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return m;
+}
+
+/// Reference triple-loop multiply.
+Matrix naive_matmul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols(), 0.0f);
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t k = 0; k < a.cols(); ++k)
+      for (std::size_t j = 0; j < b.cols(); ++j) c(i, j) += a(i, k) * b(k, j);
+  return c;
+}
+
+TEST(Gemm, SmallKnownProduct) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  const Matrix c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(c(1, 0), 43.0f);
+  EXPECT_FLOAT_EQ(c(1, 1), 50.0f);
+}
+
+TEST(Gemm, IdentityIsNeutral) {
+  Rng rng(1);
+  const Matrix a = random_matrix(7, 7, rng);
+  EXPECT_TRUE(matmul(a, Matrix::identity(7)).allclose(a, 1e-5f));
+  EXPECT_TRUE(matmul(Matrix::identity(7), a).allclose(a, 1e-5f));
+}
+
+TEST(Gemm, MatchesNaiveOnRandomShapes) {
+  Rng rng(2);
+  for (const auto& [m, k, n] :
+       {std::tuple<int, int, int>{3, 5, 4}, {17, 9, 23}, {64, 33, 17}, {1, 128, 1}}) {
+    const Matrix a = random_matrix(m, k, rng);
+    const Matrix b = random_matrix(k, n, rng);
+    EXPECT_TRUE(matmul(a, b).allclose(naive_matmul(a, b), 1e-4f))
+        << "shape " << m << "x" << k << "x" << n;
+  }
+}
+
+TEST(Gemm, ShapeMismatchThrows) {
+  Matrix a(2, 3), b(4, 2);
+  EXPECT_THROW(matmul(a, b), Error);
+}
+
+TEST(Gemm, TnMatchesExplicitTranspose) {
+  Rng rng(3);
+  const Matrix a = random_matrix(20, 6, rng);
+  const Matrix b = random_matrix(20, 9, rng);
+  EXPECT_TRUE(matmul_tn(a, b).allclose(matmul(a.transposed(), b), 1e-4f));
+}
+
+TEST(Gemm, NtMatchesExplicitTranspose) {
+  Rng rng(4);
+  const Matrix a = random_matrix(12, 8, rng);
+  const Matrix b = random_matrix(15, 8, rng);
+  EXPECT_TRUE(matmul_nt(a, b).allclose(matmul(a, b.transposed()), 1e-4f));
+}
+
+TEST(Gemm, TnShapeMismatchThrows) {
+  Matrix a(3, 2), b(4, 2);
+  EXPECT_THROW(matmul_tn(a, b), Error);
+}
+
+TEST(Gemm, NtShapeMismatchThrows) {
+  Matrix a(3, 2), b(4, 3);
+  EXPECT_THROW(matmul_nt(a, b), Error);
+}
+
+TEST(Gemm, AccumulateAddsToExisting) {
+  Matrix a{{1, 0}, {0, 1}};
+  Matrix b{{2, 3}, {4, 5}};
+  Matrix c(2, 2, 1.0f);
+  matmul_acc(a, b, c);
+  EXPECT_FLOAT_EQ(c(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(c(1, 1), 6.0f);
+}
+
+TEST(Gemm, AccumulateShapeMismatchThrows) {
+  Matrix a(2, 2), b(2, 2), c(3, 2);
+  EXPECT_THROW(matmul_acc(a, b, c), Error);
+}
+
+TEST(Gemm, ZeroShortcutSkipsCorrectly) {
+  // The kernel skips zero A entries; verify results are still exact.
+  Matrix a{{0, 2}, {3, 0}};
+  Matrix b{{1, 1}, {1, 1}};
+  const Matrix c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(c(1, 0), 3.0f);
+}
+
+TEST(Gemm, LargeParallelConsistency) {
+  Rng rng(5);
+  const Matrix a = random_matrix(300, 200, rng);
+  const Matrix b = random_matrix(200, 150, rng);
+  const Matrix c1 = matmul(a, b);
+  const Matrix c2 = matmul(a, b);
+  EXPECT_TRUE(c1.allclose(c2, 0.0f));  // deterministic across runs
+}
+
+}  // namespace
+}  // namespace gv

@@ -1,0 +1,137 @@
+#include "tensor/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace gv {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, FillConstructor) {
+  Matrix m(2, 3, 1.5f);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_FLOAT_EQ(m(r, c), 1.5f);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1, 2}, {3, 4}};
+  EXPECT_FLOAT_EQ(m(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(m(1, 0), 3.0f);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), Error);
+}
+
+TEST(Matrix, IdentityHasOnesOnDiagonal) {
+  const Matrix i = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      EXPECT_FLOAT_EQ(i(r, c), r == c ? 1.0f : 0.0f);
+}
+
+TEST(Matrix, AtBoundsChecked) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), Error);
+  EXPECT_THROW(m.at(0, 2), Error);
+  EXPECT_NO_THROW(m.at(1, 1));
+}
+
+TEST(Matrix, TransposedSwapsIndices) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_FLOAT_EQ(t(2, 1), 6.0f);
+  EXPECT_FLOAT_EQ(t(0, 0), 1.0f);
+}
+
+TEST(Matrix, TransposeTwiceIsIdentityOp) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_TRUE(m.transposed().transposed().allclose(m));
+}
+
+TEST(Matrix, GatherRowsSelectsInOrder) {
+  Matrix m{{1, 1}, {2, 2}, {3, 3}};
+  const std::uint32_t idx[] = {2, 0};
+  const Matrix g = m.gather_rows(std::span<const std::uint32_t>(idx, 2));
+  EXPECT_EQ(g.rows(), 2u);
+  EXPECT_FLOAT_EQ(g(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(g(1, 0), 1.0f);
+}
+
+TEST(Matrix, GatherRowsOutOfRangeThrows) {
+  Matrix m(2, 2);
+  const std::uint32_t idx[] = {5};
+  EXPECT_THROW(m.gather_rows(std::span<const std::uint32_t>(idx, 1)), Error);
+}
+
+TEST(Matrix, HconcatJoinsColumns) {
+  Matrix a{{1}, {2}};
+  Matrix b{{3, 4}, {5, 6}};
+  const Matrix c = Matrix::hconcat(a, b);
+  EXPECT_EQ(c.cols(), 3u);
+  EXPECT_FLOAT_EQ(c(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(c(0, 2), 4.0f);
+  EXPECT_FLOAT_EQ(c(1, 1), 5.0f);
+}
+
+TEST(Matrix, HconcatRowMismatchThrows) {
+  Matrix a(2, 1);
+  Matrix b(3, 1);
+  EXPECT_THROW(Matrix::hconcat(a, b), Error);
+}
+
+TEST(Matrix, PlusEqualsAddsElementwise) {
+  Matrix a{{1, 2}};
+  Matrix b{{10, 20}};
+  a += b;
+  EXPECT_FLOAT_EQ(a(0, 1), 22.0f);
+}
+
+TEST(Matrix, MinusEqualsShapeMismatchThrows) {
+  Matrix a(1, 2), b(2, 1);
+  EXPECT_THROW(a -= b, Error);
+}
+
+TEST(Matrix, ScaleInPlace) {
+  Matrix a{{2, -4}};
+  a *= 0.5f;
+  EXPECT_FLOAT_EQ(a(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(a(0, 1), -2.0f);
+}
+
+TEST(Matrix, FrobeniusNorm) {
+  Matrix a{{3, 4}};
+  EXPECT_NEAR(a.frobenius_norm(), 5.0f, 1e-6);
+}
+
+TEST(Matrix, AllcloseRespectsTolerance) {
+  Matrix a{{1.0f}};
+  Matrix b{{1.0001f}};
+  EXPECT_TRUE(a.allclose(b, 1e-3f));
+  EXPECT_FALSE(a.allclose(b, 1e-6f));
+}
+
+TEST(Matrix, PayloadBytes) {
+  Matrix a(10, 10);
+  EXPECT_EQ(a.payload_bytes(), 400u);
+}
+
+TEST(Matrix, FillResetsAllElements) {
+  Matrix a(3, 3, 7.0f);
+  a.fill(0.0f);
+  EXPECT_FLOAT_EQ(a.frobenius_norm(), 0.0f);
+}
+
+}  // namespace
+}  // namespace gv

@@ -1,0 +1,152 @@
+// Parameterized algebraic property tests over random shapes/densities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "tensor/csr.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+
+namespace gv {
+namespace {
+
+Matrix random_dense(std::size_t r, std::size_t c, Rng& rng) {
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.uniform(-2.0, 2.0));
+  }
+  return m;
+}
+
+CsrMatrix random_sparse(std::size_t r, std::size_t c, double density, Rng& rng) {
+  std::vector<CooEntry> e;
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) {
+      if (rng.bernoulli(density)) {
+        e.push_back({static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j),
+                     static_cast<float>(rng.uniform(-1.0, 1.0))});
+      }
+    }
+  }
+  return CsrMatrix::from_coo(r, c, std::move(e));
+}
+
+// (m, k, n, seed)
+using Shape = std::tuple<int, int, int, int>;
+
+class GemmProperty : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(GemmProperty, TransposeOfProductIsReversedProductOfTransposes) {
+  const auto [m, k, n, seed] = GetParam();
+  Rng rng(seed);
+  const Matrix a = random_dense(m, k, rng);
+  const Matrix b = random_dense(k, n, rng);
+  const Matrix left = matmul(a, b).transposed();
+  const Matrix right = matmul(b.transposed(), a.transposed());
+  EXPECT_TRUE(left.allclose(right, 1e-3f));
+}
+
+TEST_P(GemmProperty, DistributesOverAddition) {
+  const auto [m, k, n, seed] = GetParam();
+  Rng rng(seed + 1000);
+  const Matrix a = random_dense(m, k, rng);
+  Matrix b1 = random_dense(k, n, rng);
+  const Matrix b2 = random_dense(k, n, rng);
+  Matrix sum = b1;
+  sum += b2;
+  Matrix lhs = matmul(a, sum);
+  Matrix rhs = matmul(a, b1);
+  rhs += matmul(a, b2);
+  EXPECT_TRUE(lhs.allclose(rhs, 1e-3f));
+}
+
+TEST_P(GemmProperty, TnAndNtAgreeWithExplicitTransposes) {
+  const auto [m, k, n, seed] = GetParam();
+  Rng rng(seed + 2000);
+  const Matrix at = random_dense(k, m, rng);  // stores A'
+  const Matrix b = random_dense(k, n, rng);
+  EXPECT_TRUE(matmul_tn(at, b).allclose(matmul(at.transposed(), b), 1e-3f));
+  const Matrix a2 = random_dense(m, k, rng);
+  const Matrix bt = random_dense(n, k, rng);
+  EXPECT_TRUE(matmul_nt(a2, bt).allclose(matmul(a2, bt.transposed()), 1e-3f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GemmProperty,
+                         ::testing::Values(Shape{1, 1, 1, 1}, Shape{2, 7, 3, 2},
+                                           Shape{16, 16, 16, 3}, Shape{31, 5, 17, 4},
+                                           Shape{64, 128, 1, 5}, Shape{1, 64, 64, 6},
+                                           Shape{100, 33, 27, 7}));
+
+// (rows, cols, density-permille, seed)
+using SparseShape = std::tuple<int, int, int, int>;
+
+class CsrProperty : public ::testing::TestWithParam<SparseShape> {};
+
+TEST_P(CsrProperty, DenseRoundTrip) {
+  const auto [r, c, dens, seed] = GetParam();
+  Rng rng(seed);
+  const auto m = random_sparse(r, c, dens / 1000.0, rng);
+  EXPECT_TRUE(CsrMatrix::from_dense(m.to_dense()).to_dense().allclose(m.to_dense()));
+}
+
+TEST_P(CsrProperty, TransposeIsInvolution) {
+  const auto [r, c, dens, seed] = GetParam();
+  Rng rng(seed + 10);
+  const auto m = random_sparse(r, c, dens / 1000.0, rng);
+  EXPECT_TRUE(m.transposed().transposed().to_dense().allclose(m.to_dense()));
+}
+
+TEST_P(CsrProperty, SpmmAgreesWithDense) {
+  const auto [r, c, dens, seed] = GetParam();
+  Rng rng(seed + 20);
+  const auto a = random_sparse(r, c, dens / 1000.0, rng);
+  const Matrix b = random_dense(c, 9, rng);
+  EXPECT_TRUE(spmm(a, b).allclose(matmul(a.to_dense(), b), 1e-3f));
+  const Matrix b2 = random_dense(r, 5, rng);
+  EXPECT_TRUE(spmm_tn(a, b2).allclose(matmul(a.to_dense().transposed(), b2), 1e-3f));
+}
+
+TEST_P(CsrProperty, NnzConsistentWithRowNnz) {
+  const auto [r, c, dens, seed] = GetParam();
+  Rng rng(seed + 30);
+  const auto m = random_sparse(r, c, dens / 1000.0, rng);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < m.rows(); ++i) total += m.row_nnz(i);
+  EXPECT_EQ(total, m.nnz());
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, CsrProperty,
+                         ::testing::Values(SparseShape{5, 5, 0, 1},
+                                           SparseShape{20, 13, 100, 2},
+                                           SparseShape{40, 40, 50, 3},
+                                           SparseShape{7, 80, 300, 4},
+                                           SparseShape{64, 3, 500, 5}));
+
+class SoftmaxProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SoftmaxProperty, RowsAreDistributions) {
+  Rng rng(GetParam());
+  const Matrix x = random_dense(17, 1 + GetParam() % 9, rng);
+  const Matrix s = softmax_rows(x);
+  for (std::size_t r = 0; r < s.rows(); ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < s.cols(); ++c) {
+      EXPECT_GE(s(r, c), 0.0f);
+      sum += s(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-4);
+  }
+}
+
+TEST_P(SoftmaxProperty, ArgmaxInvariantUnderLogSoftmax) {
+  Rng rng(GetParam() + 100);
+  const Matrix x = random_dense(23, 2 + GetParam() % 7, rng);
+  EXPECT_EQ(argmax_rows(x), argmax_rows(log_softmax_rows(x)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoftmaxProperty, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace gv
