@@ -1,0 +1,85 @@
+// Serving throughput: batched vs. unbatched ecalls.
+//
+// Sweeps the micro-batch size and reports modeled requests/sec (the SGX
+// cost model charges ECALL transitions, MEE-encrypted copies, and paging as
+// modeled seconds, so that is the time batching actually removes; wall time
+// is reported alongside).  batch=1 is the unbatched baseline: every request
+// pays a full embedding push plus one enclave transition.  A final row runs
+// the end-to-end VaultServer (queue + ThreadPool workers + LRU cache).
+//
+// Honors the usual knobs (GNNVAULT_BENCH_FAST, GNNVAULT_SEED,
+// GNNVAULT_SCALE) plus GNNVAULT_SERVE_REQUESTS (default 512).
+#include "bench_common.hpp"
+
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "serve/vault_server.hpp"
+
+using namespace gv;
+using namespace gv::bench;
+
+int main() {
+  const BenchSettings s = settings();
+  const double scale = bench_fast_mode() ? s.scale : (s.scale < 1.0 ? s.scale : 0.5);
+  const Dataset ds = load_dataset(DatasetId::kCora, s.seed, scale);
+  GV_LOG_INFO << "serve_throughput: " << ds.name << " n=" << ds.num_nodes();
+
+  VaultTrainConfig cfg = vault_config(DatasetId::kCora, s);
+  TrainedVault vault = train_vault(ds, cfg);
+
+  const auto requests = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, env_int("GNNVAULT_SERVE_REQUESTS", 512)));
+  Rng rng(s.seed ^ 0x5e7e5e7eull);
+  std::vector<std::uint32_t> workload(requests);
+  for (auto& v : workload) {
+    v = static_cast<std::uint32_t>(rng.uniform_index(ds.num_nodes()));
+  }
+
+  VaultDeployment dep(ds, std::move(vault), {});
+  const auto outputs = dep.run_backbone(ds.features);
+
+  Table table("Serving throughput vs. micro-batch size (batch=1 = unbatched)");
+  table.set_header({"batch", "ecalls", "MB in", "modeled s", "wall s",
+                    "req/s (modeled)", "speedup"});
+
+  double baseline_rps = 0.0;
+  for (const std::size_t batch : {1, 2, 4, 8, 16, 32, 64}) {
+    dep.reset_meter();
+    Stopwatch wall;
+    for (std::size_t off = 0; off < workload.size(); off += batch) {
+      const std::size_t take = std::min(batch, workload.size() - off);
+      dep.infer_labels_batched(
+          outputs, std::span<const std::uint32_t>(workload.data() + off, take));
+    }
+    const double wall_s = wall.seconds();
+    const CostMeter& m = dep.meter();
+    const double modeled_s = m.total_seconds(dep.cost_model());
+    const double rps = static_cast<double>(requests) / modeled_s;
+    if (batch == 1) baseline_rps = rps;
+    table.add_row({std::to_string(batch), std::to_string(m.ecalls),
+                   Table::fmt(m.bytes_in / (1024.0 * 1024.0), 1),
+                   Table::fmt(modeled_s, 4), Table::fmt(wall_s, 3),
+                   Table::fmt(rps, 0), Table::fmt(rps / baseline_rps, 2) + "x"});
+  }
+  table.print();
+  table.write_csv(out_dir() + "/serve_throughput.csv");
+
+  // End-to-end server: queue + deadline + workers + cache, same workload.
+  {
+    TrainedVault vault2 = train_vault(ds, cfg);
+    ServerConfig scfg;
+    scfg.max_batch = 32;
+    scfg.max_wait = std::chrono::microseconds(500);
+    scfg.worker_threads = 2;
+    VaultServer server(ds, std::move(vault2), {}, scfg);
+    Stopwatch wall;
+    auto futs = server.submit_many(workload);
+    server.flush();
+    for (auto& f : futs) f.get();
+    const auto snap = server.stats();
+    GV_LOG_INFO << "VaultServer end-to-end (" << wall.seconds() << " s wall): "
+                << snap.summary();
+  }
+  return 0;
+}

@@ -58,7 +58,18 @@ void ThreadPool::parallel_for(std::size_t n,
       }
     }));
   }
-  for (auto& f : futs) f.get();  // propagate exceptions
+  // Drain every future before rethrowing: the task lambdas capture `next`,
+  // `fn`, and `n` by reference, so no worker may still be running when this
+  // frame unwinds. Only the first exception is propagated.
+  std::exception_ptr first_error;
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace gv

@@ -12,7 +12,8 @@ VaultDeployment::VaultDeployment(const Dataset& ds, TrainedVault vault,
                                  DeploymentOptions opts)
     : vault_(std::move(vault)),
       opts_(opts),
-      enclave_("gnnvault." + ds.name, opts.cost_model),
+      enclave_(opts.enclave_name.empty() ? "gnnvault." + ds.name : opts.enclave_name,
+               opts.cost_model),
       channel_(enclave_) {
   GV_CHECK(vault_.rectifier != nullptr, "deployment requires a trained rectifier");
   provision_enclave(ds);
@@ -49,13 +50,40 @@ void VaultDeployment::provision_enclave(const Dataset& ds) {
   });
 }
 
+std::vector<Matrix> VaultDeployment::run_backbone(const CsrMatrix& features) {
+  Stopwatch bb_watch;
+  auto outputs = vault_.backbone_outputs(features);
+  enclave_.add_untrusted_seconds(bb_watch.seconds());
+  return outputs;
+}
+
 std::vector<std::uint32_t> VaultDeployment::infer_labels(const CsrMatrix& features) {
   // --- 1. Public backbone in the untrusted world. -----------------------
-  Stopwatch bb_watch;
-  const auto outputs = vault_.backbone_outputs(features);
-  enclave_.meter().untrusted_compute_seconds += bb_watch.seconds();
+  const auto outputs = run_backbone(features);
+  return secure_infer(outputs, nullptr);
+}
 
-  // --- 2. Only the required embeddings cross the one-way channel. -------
+std::vector<std::uint32_t> VaultDeployment::infer_labels_subset(
+    const CsrMatrix& features, std::span<const std::uint32_t> nodes) {
+  const auto outputs = run_backbone(features);
+  return secure_infer(outputs, &nodes);
+}
+
+std::vector<std::uint32_t> VaultDeployment::infer_labels_batched(
+    const std::vector<Matrix>& backbone_outputs,
+    std::span<const std::uint32_t> nodes) {
+  return secure_infer(backbone_outputs, &nodes);
+}
+
+std::vector<std::uint32_t> VaultDeployment::secure_infer(
+    const std::vector<Matrix>& outputs, const std::span<const std::uint32_t>* nodes) {
+  if (nodes != nullptr && nodes->empty()) return {};
+  std::lock_guard<std::mutex> infer_lock(*infer_mu_);
+
+  // --- 2. Only the required embeddings cross the one-way channel. The FULL
+  // matrices cross even for subset queries: restricting the transfer to the
+  // queries' neighbourhood would require the untrusted side to know the
+  // private adjacency, which is exactly what GNNVault hides. -------------
   const auto required = vault_.rectifier->required_backbone_layers();
   auto sender = channel_.sender();
   for (const auto idx : required) {
@@ -72,18 +100,37 @@ std::vector<std::uint32_t> VaultDeployment::infer_labels(const CsrMatrix& featur
       enclave_.memory().set("rect.input." + std::to_string(idx),
                             enclave_inputs[idx].payload_bytes());
     }
-    const auto act_bytes = vault_.rectifier->activation_bytes(features.rows());
-    for (std::size_t k = 0; k < act_bytes.size(); ++k) {
-      enclave_.memory().set("rect.act." + std::to_string(k), act_bytes[k]);
+    std::vector<std::uint32_t> labels;
+    std::size_t act_entries = 0;
+    if (nodes == nullptr) {
+      const std::size_t n = enclave_inputs[required.front()].rows();
+      const auto act_bytes = vault_.rectifier->activation_bytes(n);
+      for (std::size_t k = 0; k < act_bytes.size(); ++k) {
+        enclave_.memory().set("rect.act." + std::to_string(k), act_bytes[k]);
+      }
+      act_entries = act_bytes.size();
+      const Matrix logits =
+          vault_.rectifier->forward(enclave_inputs, /*training=*/false);
+      // Label-only: argmax happens inside the enclave; logits never leave.
+      labels = argmax_rows(logits);
+    } else {
+      // Subset path: only the queries' multi-hop frontier is computed.
+      std::vector<std::size_t> layer_rows;
+      const Matrix logits =
+          vault_.rectifier->forward_subset(enclave_inputs, *nodes, &layer_rows);
+      const auto& channels = vault_.rectifier->config().channels;
+      for (std::size_t k = 0; k < layer_rows.size(); ++k) {
+        enclave_.memory().set("rect.act." + std::to_string(k),
+                              layer_rows[k] * channels[k] * sizeof(float));
+      }
+      act_entries = layer_rows.size();
+      labels = argmax_rows(logits);
     }
-    const Matrix logits = vault_.rectifier->forward(enclave_inputs, /*training=*/false);
-    // Label-only: argmax happens inside the enclave; logits never leave.
-    std::vector<std::uint32_t> labels = argmax_rows(logits);
     // Transient buffers are released before the ecall returns.
     for (const auto idx : required) {
       enclave_.memory().free("rect.input." + std::to_string(idx));
     }
-    for (std::size_t k = 0; k < act_bytes.size(); ++k) {
+    for (std::size_t k = 0; k < act_entries; ++k) {
       enclave_.memory().free("rect.act." + std::to_string(k));
     }
     return labels;

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/pipeline.hpp"
@@ -26,6 +27,10 @@ struct DeploymentOptions {
   /// Seal rectifier weights at rest and unseal on load (default on; can be
   /// disabled to measure the crypto's share of load time).
   bool seal_artifacts = true;
+  /// Override the enclave name (and thereby its identity prefix). Empty ->
+  /// "gnnvault.<dataset>". The multi-tenant registry sets this per tenant so
+  /// tenants sharing a dataset still get distinct enclave identities.
+  std::string enclave_name;
 };
 
 class VaultDeployment {
@@ -38,6 +43,23 @@ class VaultDeployment {
   /// Secure inference over all nodes; returns ONLY class labels.
   std::vector<std::uint32_t> infer_labels(const CsrMatrix& features);
 
+  /// Secure inference for a subset of nodes; labels in query order. The full
+  /// required embedding matrices still cross the channel — selecting rows by
+  /// the queries' private neighbourhood untrusted-side would leak the real
+  /// adjacency — but the rectifier computes only the queries' multi-hop
+  /// frontier inside the enclave.
+  std::vector<std::uint32_t> infer_labels_subset(const CsrMatrix& features,
+                                                 std::span<const std::uint32_t> nodes);
+
+  /// Serving path: one ecall for a whole batch of node queries, reusing
+  /// backbone outputs the caller computed (and may cache across batches).
+  std::vector<std::uint32_t> infer_labels_batched(
+      const std::vector<Matrix>& backbone_outputs,
+      std::span<const std::uint32_t> nodes);
+
+  /// Run the public backbone in the untrusted world, metering its time.
+  std::vector<Matrix> run_backbone(const CsrMatrix& features);
+
   /// Accumulated Fig.-6-style cost breakdown (reset before each batch with
   /// reset_meter()).
   const CostMeter& meter() const { return enclave_.meter(); }
@@ -45,6 +67,10 @@ class VaultDeployment {
   const SgxCostModel& cost_model() const { return opts_.cost_model; }
 
   const Enclave& enclave() const { return enclave_; }
+  Enclave& enclave() { return enclave_; }
+  /// The sealed rectifier weights (empty unless seal_artifacts); exposed so
+  /// multi-tenant tests can prove cross-tenant unsealing fails.
+  const SealedBlob& sealed_weights() const { return sealed_weights_; }
   std::size_t enclave_peak_bytes() const { return enclave_.memory().peak_bytes(); }
   std::size_t enclave_current_bytes() const { return enclave_.memory().current_bytes(); }
 
@@ -60,11 +86,18 @@ class VaultDeployment {
 
  private:
   void provision_enclave(const Dataset& ds);
+  /// Shared secure path: push required embeddings, one ecall, label-only
+  /// output. `nodes` == nullptr -> all rows.
+  std::vector<std::uint32_t> secure_infer(const std::vector<Matrix>& backbone_outputs,
+                                          const std::span<const std::uint32_t>* nodes);
 
   TrainedVault vault_;
   DeploymentOptions opts_;
   Enclave enclave_;
   OneWayChannel channel_;
+  /// Serializes the push-then-ecall pair so concurrent server workers cannot
+  /// interleave their staged blocks (owned via pointer to stay movable).
+  std::unique_ptr<std::mutex> infer_mu_ = std::make_unique<std::mutex>();
   // Enclave-held state (only touched inside ecalls).
   CooAdjacency private_coo_;
   std::shared_ptr<const CsrMatrix> private_adj_csr_;

@@ -40,6 +40,13 @@ std::vector<std::uint32_t> TrainedVault::predict_rectified(
   return argmax_rows(logits);
 }
 
+std::vector<std::uint32_t> TrainedVault::predict_rectified_subset(
+    const CsrMatrix& features, std::span<const std::uint32_t> nodes) const {
+  const auto outputs = backbone_outputs(features);
+  const Matrix logits = rectifier->forward_subset(outputs, nodes);
+  return argmax_rows(logits);
+}
+
 Graph build_substitute_graph(const Dataset& ds, const VaultTrainConfig& cfg, Rng& rng) {
   switch (cfg.backbone) {
     case BackboneKind::kKnn:

@@ -65,6 +65,11 @@ struct TrainedVault {
   /// Label-only secure prediction path used by tests (the deployment class
   /// adds the enclave around the same computation).
   std::vector<std::uint32_t> predict_rectified(const CsrMatrix& features) const;
+
+  /// Node-subset variant of predict_rectified: labels for `nodes` only, in
+  /// query order (the plain-world ground truth for batched serving).
+  std::vector<std::uint32_t> predict_rectified_subset(
+      const CsrMatrix& features, std::span<const std::uint32_t> nodes) const;
 };
 
 /// Run pipeline steps 1-3 on a dataset.

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <numeric>
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "tensor/ops.hpp"
 
@@ -29,6 +31,58 @@ Matrix slice_cols(const Matrix& m, std::size_t begin, std::size_t end) {
   return out;
 }
 }  // namespace
+
+/// Sorted union of `rows` and every adjacency column reachable from them
+/// (the one-hop closure; Â carries self-loops, but the union keeps isolated
+/// nodes in the frontier too). Uses the epoch-stamped scratch buffer so no
+/// O(n) clear is paid per call.
+std::vector<std::uint32_t> Rectifier::expand_frontier(
+    const std::vector<std::uint32_t>& rows) {
+  const CsrMatrix& adj = *adj_;
+  if (frontier_mark_.size() < adj.cols()) frontier_mark_.assign(adj.cols(), 0);
+  if (++frontier_epoch_ == 0) {  // epoch wrapped: stale stamps could collide
+    std::fill(frontier_mark_.begin(), frontier_mark_.end(), 0u);
+    frontier_epoch_ = 1;
+  }
+  const std::uint32_t epoch = frontier_epoch_;
+  std::vector<std::uint32_t> out;
+  out.reserve(rows.size() * 4);
+  auto add = [&](std::uint32_t v) {
+    if (frontier_mark_[v] != epoch) {
+      frontier_mark_[v] = epoch;
+      out.push_back(v);
+    }
+  };
+  const auto& row_ptr = adj.row_ptr();
+  const auto& col_idx = adj.col_idx();
+  for (const std::uint32_t r : rows) {
+    add(r);
+    for (std::int64_t i = row_ptr[r]; i < row_ptr[r + 1]; ++i) add(col_idx[i]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// The |rows| x |cols| view of the adjacency with global indices remapped to
+/// local frontier positions. `cols` must contain every column reachable from
+/// `rows` (guaranteed by expand_frontier); both must be sorted. The local
+/// index scratch needs no clearing: every entry read is written first.
+CsrMatrix Rectifier::gather_sub_adjacency(const std::vector<std::uint32_t>& rows,
+                                          const std::vector<std::uint32_t>& cols) {
+  const CsrMatrix& adj = *adj_;
+  if (local_index_.size() < adj.cols()) local_index_.resize(adj.cols());
+  for (std::uint32_t j = 0; j < cols.size(); ++j) local_index_[cols[j]] = j;
+  std::vector<CooEntry> entries;
+  const auto& row_ptr = adj.row_ptr();
+  const auto& col_idx = adj.col_idx();
+  const auto& values = adj.values();
+  for (std::uint32_t i = 0; i < rows.size(); ++i) {
+    for (std::int64_t k = row_ptr[rows[i]]; k < row_ptr[rows[i] + 1]; ++k) {
+      entries.push_back({i, local_index_[col_idx[k]], values[k]});
+    }
+  }
+  return CsrMatrix::from_coo(rows.size(), cols.size(), std::move(entries));
+}
 
 Rectifier::Rectifier(RectifierConfig cfg, std::vector<std::size_t> backbone_dims,
                      std::shared_ptr<const CsrMatrix> adjacency, Rng& rng)
@@ -143,6 +197,88 @@ Matrix Rectifier::forward(const std::vector<Matrix>& backbone_outputs, bool trai
     post_activations_.push_back(h);
   }
   return post_activations_.back();
+}
+
+Matrix Rectifier::forward_subset(const std::vector<Matrix>& backbone_outputs,
+                                 std::span<const std::uint32_t> nodes,
+                                 std::vector<std::size_t>* layer_rows) {
+  const std::size_t n = adj_->rows();
+  if (layer_rows) layer_rows->clear();
+  if (nodes.empty()) return Matrix();
+  for (const auto v : nodes) GV_CHECK(v < n, "query node out of range");
+  auto bb = [&](std::size_t i) -> const Matrix& {
+    GV_CHECK(i < backbone_outputs.size(), "missing backbone output");
+    GV_CHECK(!backbone_outputs[i].empty(), "required backbone output is empty");
+    GV_CHECK(backbone_outputs[i].cols() == backbone_dims_[i],
+             "backbone output dim mismatch");
+    GV_CHECK(backbone_outputs[i].rows() == n,
+             "backbone output covers a different node count");
+    return backbone_outputs[i];
+  };
+
+  // Frontier sets, last layer first: the output rows of layer k are the
+  // input rows of layer k+1, and each layer's input frontier is the one-hop
+  // closure of its output frontier (an L-layer GCN reads the L-hop
+  // neighbourhood of the query set).
+  const std::size_t L = layers_.size();
+  std::vector<std::vector<std::uint32_t>> out_sets(L), in_sets(L);
+  out_sets[L - 1].assign(nodes.begin(), nodes.end());
+  std::sort(out_sets[L - 1].begin(), out_sets[L - 1].end());
+  out_sets[L - 1].erase(
+      std::unique(out_sets[L - 1].begin(), out_sets[L - 1].end()),
+      out_sets[L - 1].end());
+  for (std::size_t k = L; k-- > 0;) {
+    in_sets[k] = expand_frontier(out_sets[k]);
+    if (k > 0) out_sets[k - 1] = in_sets[k];
+  }
+
+  Matrix h;
+  for (std::size_t k = 0; k < L; ++k) {
+    const bool last = (k + 1 == L);
+    Matrix input;
+    switch (cfg_.kind) {
+      case RectifierKind::kParallel:
+        input = k == 0 ? bb(0).gather_rows(in_sets[0])
+                       : Matrix::hconcat(bb(k).gather_rows(in_sets[k]), h);
+        break;
+      case RectifierKind::kCascaded:
+        if (k == 0) {
+          std::vector<Matrix> gathered;
+          gathered.reserve(backbone_dims_.size());
+          for (std::size_t i = 0; i < backbone_dims_.size(); ++i) {
+            gathered.push_back(bb(i).gather_rows(in_sets[0]));
+          }
+          std::vector<const Matrix*> blocks;
+          blocks.reserve(gathered.size());
+          for (const auto& g : gathered) blocks.push_back(&g);
+          input = Matrix::hconcat(
+              std::span<const Matrix* const>(blocks.data(), blocks.size()));
+        } else {
+          input = std::move(h);
+        }
+        break;
+      case RectifierKind::kSeries:
+        input = k == 0 ? bb(backbone_dims_.size() >= 2 ? backbone_dims_.size() - 2
+                                                       : 0)
+                             .gather_rows(in_sets[0])
+                       : std::move(h);
+        break;
+    }
+    const CsrMatrix sub_adj = gather_sub_adjacency(out_sets[k], in_sets[k]);
+    Matrix z = layers_[k].forward_subgraph(sub_adj, input);
+    h = last ? std::move(z) : relu(z);
+    if (layer_rows) layer_rows->push_back(out_sets[k].size());
+  }
+
+  // h rows follow the sorted unique query set; map back to query order.
+  const auto& sorted = out_sets[L - 1];
+  std::vector<std::uint32_t> positions;
+  positions.reserve(nodes.size());
+  for (const auto v : nodes) {
+    const auto it = std::lower_bound(sorted.begin(), sorted.end(), v);
+    positions.push_back(static_cast<std::uint32_t>(it - sorted.begin()));
+  }
+  return h.gather_rows(positions);
 }
 
 void Rectifier::backward(const Matrix& dlogits) {

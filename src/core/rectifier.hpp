@@ -60,6 +60,16 @@ class Rectifier {
   /// empty). Returns logits [n, C].
   Matrix forward(const std::vector<Matrix>& backbone_outputs, bool training);
 
+  /// Node-subset inference (the serving path): computes logits ONLY for
+  /// `nodes`, restricting every layer to the multi-hop frontier of the query
+  /// set instead of running over all n nodes. Returns logits in query order
+  /// (duplicates allowed). Inference-only; the training cache is untouched.
+  /// `layer_rows`, when non-null, receives the number of frontier rows
+  /// computed at each layer (enclave activation-memory accounting).
+  Matrix forward_subset(const std::vector<Matrix>& backbone_outputs,
+                        std::span<const std::uint32_t> nodes,
+                        std::vector<std::size_t>* layer_rows = nullptr);
+
   /// Backward from dL/dlogits. Gradients flow only into rectifier
   /// parameters; the backbone is frozen by construction (its embedding
   /// gradient is computed internally where needed and discarded).
@@ -87,6 +97,9 @@ class Rectifier {
   Matrix build_layer_input(std::size_t k,
                            const std::vector<Matrix>& backbone_outputs,
                            const Matrix& prev) const;
+  std::vector<std::uint32_t> expand_frontier(const std::vector<std::uint32_t>& rows);
+  CsrMatrix gather_sub_adjacency(const std::vector<std::uint32_t>& rows,
+                                 const std::vector<std::uint32_t>& cols);
 
   RectifierConfig cfg_;
   std::vector<std::size_t> backbone_dims_;
@@ -100,6 +113,13 @@ class Rectifier {
   std::vector<DropoutMask> masks_;
   const std::vector<Matrix>* cached_backbone_outputs_ = nullptr;
   bool trained_forward_ = false;
+
+  // Reusable O(n) scratch for subset inference, so per-query cost tracks the
+  // frontier instead of re-zeroing node-sized buffers every layer (callers
+  // serialize subset queries; the deployment holds its infer lock here).
+  std::vector<std::uint32_t> frontier_mark_;   // epoch-stamped membership
+  std::uint32_t frontier_epoch_ = 0;
+  std::vector<std::uint32_t> local_index_;     // global -> frontier position
 };
 
 }  // namespace gv

@@ -41,6 +41,15 @@ Matrix GcnLayer::forward(const CsrMatrix& adj, const CsrMatrix& x, bool training
   return y;
 }
 
+Matrix GcnLayer::forward_subgraph(const CsrMatrix& sub_adj, const Matrix& x) const {
+  GV_CHECK(x.cols() == in_dim(), "GcnLayer dense input dim mismatch");
+  GV_CHECK(sub_adj.cols() == x.rows(), "GcnLayer sub-adjacency shape mismatch");
+  Matrix xw = matmul(x, w_.value);
+  Matrix y = spmm(sub_adj, xw);
+  add_bias_rows(y, b_.value);
+  return y;
+}
+
 Matrix GcnLayer::backward(const CsrMatrix& adj, const Matrix& dy) {
   GV_CHECK(!cached_sparse_, "backward() called after sparse-input forward");
   GV_CHECK(!cached_dense_input_.empty(),

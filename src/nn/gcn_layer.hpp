@@ -34,6 +34,11 @@ class GcnLayer {
   /// Forward with sparse input (first layer over raw features).
   Matrix forward(const CsrMatrix& adj, const CsrMatrix& x, bool training);
 
+  /// Inference-only forward against a rectangular sub-adjacency whose rows
+  /// are an output frontier and whose columns index the rows of `x` (the
+  /// input frontier). Used by batched node-subset serving; never caches.
+  Matrix forward_subgraph(const CsrMatrix& sub_adj, const Matrix& x) const;
+
   /// Backward: given dL/d(output), accumulates dW, db and returns dL/d(input).
   /// For the sparse-input variant the input gradient is not needed (features
   /// are not trainable), so `backward_sparse_input` skips computing it.

@@ -1,0 +1,55 @@
+// LRU cache of served labels.
+//
+// A GNN label depends on the node's (private) multi-hop neighbourhood, not
+// just its own feature row, so the node id must be part of the key.  Each
+// entry additionally stores a SHA-256 digest of the node's feature row: a
+// lookup whose digest no longer matches is treated as a miss and evicted,
+// so cached labels can never survive a feature update.  Thread-safe — the
+// server's worker threads fill it while request threads probe it.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "sgxsim/sha256.hpp"
+#include "tensor/csr.hpp"
+
+namespace gv {
+
+/// Digest of row `row` of a sparse feature matrix (column indices + values).
+Sha256Digest feature_row_digest(const CsrMatrix& features, std::uint32_t row);
+
+class LabelCache {
+ public:
+  /// `capacity` = maximum resident entries; 0 disables the cache entirely.
+  explicit LabelCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Look up a node's label; moves the entry to the front on a hit.
+  /// A digest mismatch (stale features) evicts the entry and misses.
+  std::optional<std::uint32_t> get(std::uint32_t node, const Sha256Digest& digest);
+
+  /// Insert/refresh an entry, evicting the least recently used if full.
+  void put(std::uint32_t node, const Sha256Digest& digest, std::uint32_t label);
+
+  void clear();
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  bool enabled() const { return capacity_ > 0; }
+
+ private:
+  struct Entry {
+    std::uint32_t node;
+    Sha256Digest digest;
+    std::uint32_t label;
+  };
+
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::uint32_t, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace gv

@@ -1,0 +1,170 @@
+#include "serve/registry.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace gv {
+
+VaultRegistry::VaultRegistry(RegistryConfig cfg) : cfg_(cfg) {
+  GV_CHECK(cfg_.epc_budget_fraction > 0.0 && cfg_.epc_budget_fraction <= 1.0,
+           "epc_budget_fraction must be in (0, 1]");
+  budget_bytes_ = static_cast<std::size_t>(
+      static_cast<double>(cfg_.cost_model.epc_bytes) * cfg_.epc_budget_fraction);
+}
+
+std::size_t VaultRegistry::estimate_enclave_bytes(const TrainedVault& vault,
+                                                  const Dataset& ds) {
+  GV_CHECK(vault.rectifier != nullptr, "estimate requires a trained rectifier");
+  std::size_t bytes = vault.rectifier->parameter_bytes();
+  // Private adjacency, in both its sealed-at-rest COO form and the CSR view
+  // the rectifier multiplies against. Sized arithmetically (the normalized
+  // COO holds both edge directions plus self-loops) — materializing the
+  // conversion here would duplicate the O(E) work provisioning does anyway.
+  const std::size_t n = ds.num_nodes();
+  const std::size_t coo_nnz = ds.graph.num_directed_edges() + n;
+  bytes += coo_nnz * 2 * sizeof(std::uint32_t) + n * sizeof(float);  // COO
+  bytes += vault.real_adj
+               ? vault.real_adj->payload_bytes()
+               : (n + 1) * sizeof(std::int64_t) +
+                     coo_nnz * (sizeof(std::uint32_t) + sizeof(float));  // CSR
+  // Channel staging: the required embedding matrices cross in full (the
+  // staged blocks drain into the rectifier inputs of the same size).
+  const auto dims = vault.backbone().layer_dims();
+  for (const auto idx : vault.rectifier->required_backbone_layers()) {
+    GV_CHECK(idx < dims.size(), "required backbone layer out of range");
+    bytes += n * dims[idx] * sizeof(float);
+  }
+  // Worst-case (all-nodes) rectifier activations.
+  for (const auto act : vault.rectifier->activation_bytes(n)) bytes += act;
+  return bytes;
+}
+
+AdmissionResult VaultRegistry::admit(const std::string& tenant, const Dataset& ds,
+                                     TrainedVault vault, ServerConfig server_cfg) {
+  GV_CHECK(!tenant.empty(), "tenant name must not be empty");
+  GV_CHECK(vault.rectifier != nullptr, "admission requires a trained rectifier");
+  AdmissionResult result;
+  result.estimated_bytes = estimate_enclave_bytes(vault, ds);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool name_taken =
+      servers_.count(tenant) > 0 ||
+      std::any_of(waiting_.begin(), waiting_.end(),
+                  [&](const Waiting& w) { return w.tenant == tenant; });
+  if (name_taken) {
+    result.decision = AdmissionDecision::kRejected;
+    result.reason = "tenant name already registered";
+    return result;
+  }
+  if (result.estimated_bytes > budget_bytes_) {
+    result.decision = AdmissionDecision::kRejected;
+    result.reason = "working set exceeds the platform EPC budget outright";
+    return result;
+  }
+  if (in_use_bytes_ + result.estimated_bytes > budget_bytes_) {
+    if (!cfg_.queue_when_full) {
+      result.decision = AdmissionDecision::kRejected;
+      result.reason = "EPC budget exhausted";
+      return result;
+    }
+    waiting_.push_back(Waiting{tenant, ds, std::move(vault), server_cfg,
+                               result.estimated_bytes});
+    result.decision = AdmissionDecision::kQueued;
+    result.reason = "EPC budget exhausted; queued until capacity frees";
+    return result;
+  }
+  launch(tenant, ds, std::move(vault), server_cfg, result.estimated_bytes);
+  result.decision = AdmissionDecision::kAdmitted;
+  result.reason = "fits the EPC budget";
+  return result;
+}
+
+void VaultRegistry::launch(const std::string& tenant, const Dataset& ds,
+                           TrainedVault vault, const ServerConfig& server_cfg,
+                           std::size_t estimated_bytes) {
+  DeploymentOptions dopts;
+  dopts.cost_model = cfg_.cost_model;
+  // Distinct enclave identity per tenant, even when tenants share a dataset:
+  // the name seeds the measurement, so sealing keys never collide.
+  dopts.enclave_name = "gnnvault.tenant." + tenant;
+  servers_[tenant] =
+      std::make_shared<VaultServer>(ds, std::move(vault), dopts, server_cfg);
+  reserved_bytes_[tenant] = estimated_bytes;
+  in_use_bytes_ += estimated_bytes;
+}
+
+void VaultRegistry::admit_from_queue() {
+  // FIFO without skipping: a large tenant at the head is not starved by
+  // smaller tenants jumping the queue behind it.
+  while (!waiting_.empty() &&
+         in_use_bytes_ + waiting_.front().estimated_bytes <= budget_bytes_) {
+    Waiting w = std::move(waiting_.front());
+    waiting_.pop_front();
+    launch(w.tenant, w.ds, std::move(w.vault), w.server_cfg, w.estimated_bytes);
+  }
+}
+
+bool VaultRegistry::has(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return servers_.count(tenant) > 0;
+}
+
+std::shared_ptr<VaultServer> VaultRegistry::server(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = servers_.find(tenant);
+  GV_CHECK(it != servers_.end(), "unknown or not-yet-admitted tenant: " + tenant);
+  return it->second;
+}
+
+bool VaultRegistry::remove(const std::string& tenant) {
+  // The victim's destructor drains in-flight batches; run it outside the
+  // registry lock so one tenant's teardown cannot stall every other
+  // tenant's server() lookups.
+  std::shared_ptr<VaultServer> victim;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = servers_.find(tenant);
+    if (it != servers_.end()) {
+      victim = std::move(it->second);
+      servers_.erase(it);
+      in_use_bytes_ -= reserved_bytes_[tenant];
+      reserved_bytes_.erase(tenant);
+      admit_from_queue();
+    } else {
+      const auto wit =
+          std::find_if(waiting_.begin(), waiting_.end(),
+                       [&](const Waiting& w) { return w.tenant == tenant; });
+      if (wit == waiting_.end()) return false;
+      waiting_.erase(wit);
+      return true;
+    }
+  }
+  victim.reset();  // may outlive this call if other threads hold the handle
+  return true;
+}
+
+std::vector<std::string> VaultRegistry::tenants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(servers_.size());
+  for (const auto& [name, server] : servers_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> VaultRegistry::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(waiting_.size());
+  for (const auto& w : waiting_) names.push_back(w.tenant);
+  return names;
+}
+
+std::size_t VaultRegistry::epc_in_use() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_use_bytes_;
+}
+
+std::size_t VaultRegistry::epc_budget() const { return budget_bytes_; }
+
+}  // namespace gv

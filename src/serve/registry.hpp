@@ -1,0 +1,105 @@
+// VaultRegistry: multi-tenant serving with EPC-aware admission control.
+//
+// Several model vendors can deploy vaults on one SGX platform; each tenant
+// gets its OWN enclave (own measurement, own sealing identity — tenant A's
+// enclave cannot unseal tenant B's rectifier weights), but they all share
+// the platform's 96 MB usable EPC.  Admitting a tenant whose resident set
+// does not fit would push every ecall through the EWB/ELDU page-swap path
+// (the paper's Sec. III-C overhead, ~40k cycles per 4 KiB page), degrading
+// ALL tenants.  The registry therefore estimates each tenant's enclave
+// working set up front and only admits while the total stays inside the EPC
+// budget; the rest are queued (admitted as capacity frees) or rejected.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/vault_server.hpp"
+
+namespace gv {
+
+struct RegistryConfig {
+  /// Platform cost model shared by every tenant enclave.
+  SgxCostModel cost_model{};
+  /// Fraction of usable EPC handed out before refusing admission (headroom
+  /// for ecall transients).
+  double epc_budget_fraction = 0.9;
+  /// Queue tenants that do not fit right now instead of rejecting them.
+  bool queue_when_full = true;
+};
+
+enum class AdmissionDecision { kAdmitted, kQueued, kRejected };
+
+struct AdmissionResult {
+  AdmissionDecision decision = AdmissionDecision::kRejected;
+  /// Estimated enclave working set of the tenant (weights + private graph +
+  /// channel staging + activations).
+  std::size_t estimated_bytes = 0;
+  std::string reason;
+};
+
+class VaultRegistry {
+ public:
+  explicit VaultRegistry(RegistryConfig cfg = {});
+  ~VaultRegistry() = default;
+
+  VaultRegistry(const VaultRegistry&) = delete;
+  VaultRegistry& operator=(const VaultRegistry&) = delete;
+
+  /// Deploy `vault` for `tenant` (unique name). On kAdmitted the server is
+  /// live; kQueued parks the vault until capacity frees; kRejected drops it
+  /// (working set larger than the whole budget, duplicate name, or
+  /// queue_when_full=false).
+  AdmissionResult admit(const std::string& tenant, const Dataset& ds,
+                        TrainedVault vault, ServerConfig server_cfg = {});
+
+  bool has(const std::string& tenant) const;
+  /// Live server for an admitted tenant; throws gv::Error if absent. The
+  /// shared handle keeps the server alive across a concurrent remove() —
+  /// callers holding it never race its destruction.
+  std::shared_ptr<VaultServer> server(const std::string& tenant);
+
+  /// Tear down a tenant (live or queued). Freed capacity admits queued
+  /// tenants in arrival order. Returns false if the name is unknown.
+  bool remove(const std::string& tenant);
+
+  std::vector<std::string> tenants() const;
+  std::vector<std::string> queued() const;
+  std::size_t epc_in_use() const;
+  std::size_t epc_budget() const;
+
+  /// Working-set estimate used for admission: rectifier weights, the private
+  /// adjacency in COO + CSR form, channel staging for the required embedding
+  /// matrices, and per-layer activations at full node count.
+  static std::size_t estimate_enclave_bytes(const TrainedVault& vault,
+                                            const Dataset& ds);
+
+ private:
+  struct Waiting {
+    std::string tenant;
+    Dataset ds;
+    TrainedVault vault;
+    ServerConfig server_cfg;
+    std::size_t estimated_bytes = 0;
+  };
+
+  /// Launch a server for an admitted tenant (registry lock held).
+  void launch(const std::string& tenant, const Dataset& ds, TrainedVault vault,
+              const ServerConfig& server_cfg, std::size_t estimated_bytes);
+  void admit_from_queue();
+
+  RegistryConfig cfg_;
+  std::size_t budget_bytes_ = 0;
+  mutable std::mutex mu_;
+  std::size_t in_use_bytes_ = 0;
+  std::map<std::string, std::shared_ptr<VaultServer>> servers_;
+  std::map<std::string, std::size_t> reserved_bytes_;
+  std::deque<Waiting> waiting_;
+};
+
+}  // namespace gv

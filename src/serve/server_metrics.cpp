@@ -1,0 +1,91 @@
+#include "serve/server_metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace gv {
+
+namespace {
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(p * (sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+}  // namespace
+
+std::string MetricsSnapshot::summary() const {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "%llu req (%llu batches, mean %.1f/batch) | %.0f req/s modeled | "
+                "cache %.0f%% | p50 %.3f ms p95 %.3f ms p99 %.3f ms | "
+                "%llu ecalls, %.2f MB in",
+                static_cast<unsigned long long>(requests),
+                static_cast<unsigned long long>(batches), mean_batch_size,
+                requests_per_second, cache_hit_rate * 100.0, p50_latency_ms,
+                p95_latency_ms, p99_latency_ms,
+                static_cast<unsigned long long>(ecalls),
+                bytes_in / (1024.0 * 1024.0));
+  return buf;
+}
+
+void ServerMetrics::record_request() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++requests_;
+}
+
+void ServerMetrics::record_cache_hit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++cache_hits_;
+}
+
+void ServerMetrics::record_cache_miss() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++cache_misses_;
+}
+
+void ServerMetrics::record_batch(std::size_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++batches_;
+  completed_ += size;
+}
+
+void ServerMetrics::record_latency_ms(double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (latencies_ms_.size() < kLatencyWindow) {
+    latencies_ms_.push_back(ms);
+  } else {
+    latencies_ms_[latency_samples_ % kLatencyWindow] = ms;
+  }
+  ++latency_samples_;
+}
+
+MetricsSnapshot ServerMetrics::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot s;
+  s.requests = requests_;
+  s.completed = completed_;
+  s.batches = batches_;
+  s.cache_hits = cache_hits_;
+  s.cache_misses = cache_misses_;
+  const auto probes = cache_hits_ + cache_misses_;
+  s.cache_hit_rate = probes ? static_cast<double>(cache_hits_) / probes : 0.0;
+  s.mean_batch_size = batches_ ? static_cast<double>(completed_) / batches_ : 0.0;
+  s.wall_seconds = since_.seconds();
+  std::vector<double> sorted = latencies_ms_;
+  std::sort(sorted.begin(), sorted.end());
+  s.p50_latency_ms = percentile(sorted, 0.50);
+  s.p95_latency_ms = percentile(sorted, 0.95);
+  s.p99_latency_ms = percentile(sorted, 0.99);
+  s.max_latency_ms = sorted.empty() ? 0.0 : sorted.back();
+  return s;
+}
+
+void ServerMetrics::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  requests_ = completed_ = batches_ = cache_hits_ = cache_misses_ = 0;
+  latencies_ms_.clear();
+  latency_samples_ = 0;
+  since_.reset();
+}
+
+}  // namespace gv

@@ -1,0 +1,72 @@
+// Serving-side observability: request/batch/cache counters plus a latency
+// reservoir from which the snapshot computes p50/p95/p99.
+//
+// The SGX cost model charges modeled time (ecall transitions, MEE-encrypted
+// copies, paging) rather than sleeping, so the snapshot reports both wall
+// seconds and modeled seconds; requests/sec is computed against the modeled
+// serving time, which is what batching actually improves.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.hpp"
+
+namespace gv {
+
+struct MetricsSnapshot {
+  std::uint64_t requests = 0;        // submitted (cache hits included)
+  std::uint64_t completed = 0;       // resolved through a batch
+  std::uint64_t batches = 0;         // flushed batches == batched ecalls
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t ecalls = 0;          // enclave transitions (from the meter)
+  std::uint64_t bytes_in = 0;        // untrusted -> enclave copies
+  double cache_hit_rate = 0.0;       // hits / (hits + misses)
+  double mean_batch_size = 0.0;
+  double wall_seconds = 0.0;         // since server start / metrics reset
+  double modeled_seconds = 0.0;      // meter total under the cost model
+  double requests_per_second = 0.0;  // completed+hits over modeled seconds
+  double p50_latency_ms = 0.0;       // queue-to-completion, wall clock, over
+                                     // the most recent kLatencyWindow samples
+  double p95_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  double max_latency_ms = 0.0;
+
+  std::string summary() const;
+};
+
+class ServerMetrics {
+ public:
+  /// Latency samples kept for percentile computation: a sliding window so a
+  /// long-running server neither grows without bound nor sorts its entire
+  /// history on every stats() poll.
+  static constexpr std::size_t kLatencyWindow = 8192;
+
+  void record_request();
+  void record_cache_hit();
+  void record_cache_miss();
+  /// One flushed batch of `size` requests.
+  void record_batch(std::size_t size);
+  /// Queue-to-completion latency of one request.
+  void record_latency_ms(double ms);
+
+  /// Counters + percentiles; the caller merges in meter-derived fields.
+  MetricsSnapshot snapshot() const;
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  Stopwatch since_;
+  std::uint64_t requests_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+  std::vector<double> latencies_ms_;  // ring buffer of the last kLatencyWindow
+  std::uint64_t latency_samples_ = 0;  // lifetime count; ring head = % window
+};
+
+}  // namespace gv

@@ -1,0 +1,177 @@
+#include "serve/vault_server.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace gv {
+
+VaultServer::VaultServer(const Dataset& ds, TrainedVault vault,
+                         DeploymentOptions dopts, ServerConfig cfg)
+    : features_(ds.features),
+      cfg_(cfg),
+      deployment_(ds, std::move(vault), dopts),
+      cache_(cfg.cache_capacity),
+      pool_(std::max<std::size_t>(1, cfg.worker_threads)) {
+  cfg_.max_batch = std::max<std::size_t>(1, cfg_.max_batch);
+  cfg_.worker_threads = pool_.size();
+  workers_.reserve(pool_.size());
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    workers_.push_back(pool_.submit([this] { worker_loop(); }));
+  }
+}
+
+VaultServer::~VaultServer() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    try {
+      w.get();
+    } catch (...) {
+      // Worker loops only throw on catastrophic failure; shutdown proceeds.
+    }
+  }
+}
+
+std::future<std::uint32_t> VaultServer::submit(std::uint32_t node) {
+  GV_CHECK(node < features_.rows(), "query node out of range");
+  metrics_.record_request();
+  Sha256Digest digest{};  // only computed (and consulted) when caching is on
+  if (cache_.enabled()) {
+    digest = feature_row_digest(features_, node);
+    if (const auto hit = cache_.get(node, digest)) {
+      metrics_.record_cache_hit();
+      metrics_.record_latency_ms(0.0);
+      std::promise<std::uint32_t> ready;
+      ready.set_value(*hit);
+      return ready.get_future();
+    }
+    metrics_.record_cache_miss();
+  }
+  Pending req;
+  req.node = node;
+  req.digest = digest;
+  req.enqueued = std::chrono::steady_clock::now();
+  std::future<std::uint32_t> fut = req.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    GV_CHECK(!stopping_, "VaultServer is shutting down");
+    queue_.push_back(std::move(req));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+std::vector<std::future<std::uint32_t>> VaultServer::submit_many(
+    std::span<const std::uint32_t> nodes) {
+  std::vector<std::future<std::uint32_t>> futs;
+  futs.reserve(nodes.size());
+  for (const auto node : nodes) futs.push_back(submit(node));
+  return futs;
+}
+
+std::uint32_t VaultServer::query(std::uint32_t node) { return submit(node).get(); }
+
+void VaultServer::flush() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return;
+    flush_requested_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t VaultServer::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+MetricsSnapshot VaultServer::stats() const {
+  MetricsSnapshot s = metrics_.snapshot();
+  const CostMeter m = deployment_.enclave().meter_snapshot();
+  s.ecalls = m.ecalls;
+  s.bytes_in = m.bytes_in;
+  s.modeled_seconds = m.total_seconds(deployment_.cost_model());
+  const auto served = s.completed + s.cache_hits;
+  s.requests_per_second =
+      s.modeled_seconds > 0.0 ? static_cast<double>(served) / s.modeled_seconds : 0.0;
+  return s;
+}
+
+void VaultServer::reset_stats() {
+  metrics_.reset();
+  deployment_.reset_meter();
+}
+
+const std::vector<Matrix>& VaultServer::backbone_outputs() {
+  // The backbone is untrusted-world state over a fixed feature snapshot:
+  // run it once and serve every batch from the cached embeddings.
+  std::call_once(backbone_once_,
+                 [&] { backbone_outputs_ = deployment_.run_backbone(features_); });
+  return backbone_outputs_;
+}
+
+void VaultServer::worker_loop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      // Dynamic micro-batching: grow the batch until it is full, the oldest
+      // request's deadline passes, or a flush/shutdown short-circuits it.
+      const auto deadline = queue_.front().enqueued + cfg_.max_wait;
+      while (queue_.size() < cfg_.max_batch && !stopping_ && !flush_requested_) {
+        if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+        if (queue_.empty()) break;  // another worker drained it
+      }
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      const std::size_t take = std::min(queue_.size(), cfg_.max_batch);
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      if (queue_.empty()) flush_requested_ = false;
+    }
+    execute_batch(std::move(batch));
+  }
+}
+
+void VaultServer::execute_batch(std::vector<Pending> batch) {
+  std::vector<std::uint32_t> nodes;
+  nodes.reserve(batch.size());
+  for (const auto& p : batch) nodes.push_back(p.node);
+  try {
+    const auto& outputs = backbone_outputs();
+    // The whole batch rides ONE ecall; only its labels come back.
+    const auto labels = deployment_.infer_labels_batched(outputs, nodes);
+    const auto done = std::chrono::steady_clock::now();
+    // Account the batch before resolving any promise, so a caller observing
+    // its future completed also observes the batch in stats().
+    metrics_.record_batch(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      cache_.put(batch[i].node, batch[i].digest, labels[i]);
+      metrics_.record_latency_ms(
+          std::chrono::duration<double, std::milli>(done - batch[i].enqueued)
+              .count());
+    }
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      batch[i].promise.set_value(labels[i]);
+    }
+  } catch (...) {
+    const auto err = std::current_exception();
+    for (auto& p : batch) p.promise.set_exception(err);
+  }
+}
+
+}  // namespace gv

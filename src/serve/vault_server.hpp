@@ -1,0 +1,117 @@
+// VaultServer: concurrent, batched secure-inference serving.
+//
+// `VaultDeployment::infer_labels` answers one whole-graph query per ecall;
+// at serving scale (the ROADMAP's millions of users asking for individual
+// node labels) each request would pay the full ECALL transition plus a full
+// embedding transfer.  The server coalesces requests instead:
+//
+//   caller threads --> submit(node) --> [dynamic micro-batch queue]
+//                                             |  flush on max_batch
+//                                             |  or max-wait deadline
+//                                     ThreadPool worker loop
+//                                             |  ONE ecall per batch
+//                                     VaultDeployment::infer_labels_batched
+//                                             |
+//                       futures resolve with label-only results
+//
+// The public backbone runs ONCE per feature snapshot (untrusted-side cache
+// of its embeddings); each flushed batch then costs one embedding push plus
+// one ecall, so the fixed SGX costs amortize across the batch (the paper's
+// Sec. III-C overhead analysis is exactly the cost this removes).  A small
+// LRU label cache short-circuits repeat queries before they ever enqueue.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/deployment.hpp"
+#include "serve/label_cache.hpp"
+#include "serve/server_metrics.hpp"
+
+namespace gv {
+
+struct ServerConfig {
+  /// Flush a batch as soon as this many requests are pending.
+  std::size_t max_batch = 32;
+  /// ... or when the oldest pending request has waited this long.
+  std::chrono::microseconds max_wait{2000};
+  /// Worker threads draining the queue (each batch is one serialized ecall;
+  /// extra workers overlap untrusted-side work with enclave execution).
+  std::size_t worker_threads = 1;
+  /// LRU label-cache entries; 0 disables caching.
+  std::size_t cache_capacity = 1024;
+};
+
+class VaultServer {
+ public:
+  /// Deploys `vault` into its own enclave and starts the worker loop.
+  /// `ds` provides the private graph (sealed into the enclave) and the
+  /// feature snapshot served until shutdown.
+  VaultServer(const Dataset& ds, TrainedVault vault, DeploymentOptions dopts = {},
+              ServerConfig cfg = {});
+  /// Drains pending requests, then stops the workers.
+  ~VaultServer();
+
+  VaultServer(const VaultServer&) = delete;
+  VaultServer& operator=(const VaultServer&) = delete;
+
+  /// Asynchronous per-node label query.
+  std::future<std::uint32_t> submit(std::uint32_t node);
+  /// Node-subset query: one future per node, preserving order.
+  std::vector<std::future<std::uint32_t>> submit_many(
+      std::span<const std::uint32_t> nodes);
+  /// Convenience blocking query.
+  std::uint32_t query(std::uint32_t node);
+
+  /// Force-flush pending requests without waiting for the deadline.
+  void flush();
+  /// Pending (queued, unflushed) requests.
+  std::size_t pending() const;
+
+  /// Counters, percentiles, and meter-derived fields, merged.
+  MetricsSnapshot stats() const;
+  void reset_stats();
+
+  VaultDeployment& deployment() { return deployment_; }
+  const VaultDeployment& deployment() const { return deployment_; }
+  const ServerConfig& config() const { return cfg_; }
+  const CsrMatrix& features() const { return features_; }
+
+ private:
+  struct Pending {
+    std::uint32_t node;
+    Sha256Digest digest;
+    std::promise<std::uint32_t> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void worker_loop();
+  void execute_batch(std::vector<Pending> batch);
+  const std::vector<Matrix>& backbone_outputs();
+
+  CsrMatrix features_;
+  ServerConfig cfg_;
+  VaultDeployment deployment_;
+  LabelCache cache_;
+  ServerMetrics metrics_;
+
+  std::once_flag backbone_once_;
+  std::vector<Matrix> backbone_outputs_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool stopping_ = false;
+  bool flush_requested_ = false;
+
+  ThreadPool pool_;
+  std::vector<std::future<void>> workers_;
+};
+
+}  // namespace gv

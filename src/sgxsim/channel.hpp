@@ -8,8 +8,10 @@
 // enclave-written data back to the sender.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <memory>
+#include <mutex>
 
 #include "common/error.hpp"
 #include "sgxsim/enclave.hpp"
@@ -44,6 +46,10 @@ class TrustedReceiver {
 };
 
 /// The channel itself lives with the deployment; both endpoints refer to it.
+/// Thread-safe: multiple untrusted senders may push concurrently (the serving
+/// subsystem runs several worker threads against one deployment), and a
+/// receiver inside an ecall may pop while another thread stages the next
+/// batch.
 class OneWayChannel {
  public:
   explicit OneWayChannel(Enclave& enclave) : enclave_(&enclave) {}
@@ -51,15 +57,23 @@ class OneWayChannel {
   UntrustedSender sender() { return UntrustedSender(*this); }
   TrustedReceiver receiver() { return TrustedReceiver(*this); }
 
-  std::uint64_t total_blocks_pushed() const { return pushed_; }
-  std::uint64_t total_bytes_pushed() const { return bytes_; }
+  std::uint64_t total_blocks_pushed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pushed_;
+  }
+  std::uint64_t total_bytes_pushed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_;
+  }
 
  private:
   friend class UntrustedSender;
   friend class TrustedReceiver;
 
   Enclave* enclave_;
+  mutable std::mutex mu_;  // guards queue_, staged_bytes_, and the counters
   std::deque<Matrix> queue_;
+  std::size_t staged_bytes_ = 0;
   std::uint64_t pushed_ = 0;
   std::uint64_t bytes_ = 0;
 };

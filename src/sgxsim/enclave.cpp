@@ -5,6 +5,7 @@
 namespace gv {
 
 void MemoryLedger::alloc(const std::string& name, std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(*mu_);
   GV_CHECK(live_.find(name) == live_.end(),
            "enclave allocation already exists: " + name);
   live_[name] = bytes;
@@ -13,6 +14,7 @@ void MemoryLedger::alloc(const std::string& name, std::size_t bytes) {
 }
 
 void MemoryLedger::free(const std::string& name) {
+  std::lock_guard<std::mutex> lock(*mu_);
   const auto it = live_.find(name);
   GV_CHECK(it != live_.end(), "freeing unknown enclave allocation: " + name);
   current_ -= it->second;
@@ -20,6 +22,7 @@ void MemoryLedger::free(const std::string& name) {
 }
 
 void MemoryLedger::set(const std::string& name, std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(*mu_);
   const auto it = live_.find(name);
   if (it != live_.end()) {
     current_ -= it->second;
@@ -64,11 +67,13 @@ const Sha256Digest& Enclave::measurement() const {
 }
 
 void Enclave::finish_ecall(double wall_seconds) {
+  const std::size_t working_set = ledger_.current_bytes();
+  std::lock_guard<std::mutex> m(*meter_mu_);
   meter_.enclave_compute_seconds += wall_seconds * model_.enclave_compute_slowdown;
   // EPC pressure: the portion of the working set beyond the usable EPC is
   // assumed to be swapped in and out once per ecall that touches it.
-  if (ledger_.current_bytes() > model_.epc_bytes) {
-    const std::size_t overflow = ledger_.current_bytes() - model_.epc_bytes;
+  if (working_set > model_.epc_bytes) {
+    const std::size_t overflow = working_set - model_.epc_bytes;
     meter_.page_swaps += 2 * ((overflow + model_.page_bytes - 1) / model_.page_bytes);
   }
 }

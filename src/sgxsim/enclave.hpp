@@ -21,6 +21,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -34,18 +36,34 @@
 namespace gv {
 
 /// Tracks live in-enclave allocations by name; reports current/peak usage.
+/// Thread-safe: untrusted senders account channel staging concurrently with
+/// ledger updates made inside ecalls.
 class MemoryLedger {
  public:
+  MemoryLedger() : mu_(std::make_unique<std::mutex>()) {}
+
   void alloc(const std::string& name, std::size_t bytes);
   void free(const std::string& name);
   /// Replace (or create) an allocation with a new size.
   void set(const std::string& name, std::size_t bytes);
 
-  std::size_t current_bytes() const { return current_; }
-  std::size_t peak_bytes() const { return peak_; }
-  std::size_t live_allocations() const { return live_.size(); }
+  std::size_t current_bytes() const {
+    std::lock_guard<std::mutex> lock(*mu_);
+    return current_;
+  }
+  std::size_t peak_bytes() const {
+    std::lock_guard<std::mutex> lock(*mu_);
+    return peak_;
+  }
+  std::size_t live_allocations() const {
+    std::lock_guard<std::mutex> lock(*mu_);
+    return live_.size();
+  }
 
  private:
+  // Owned via pointer so the ledger (and the enclave holding it) stays
+  // movable.
+  mutable std::unique_ptr<std::mutex> mu_;
   std::unordered_map<std::string, std::size_t> live_;
   std::size_t current_ = 0;
   std::size_t peak_ = 0;
@@ -83,10 +101,19 @@ class Enclave {
   /// Run `body` inside the enclave: charges one ECALL transition, measures
   /// wall time, scales it by the MEE slowdown, and charges paging costs for
   /// the portion of the working set that exceeds the EPC budget.
+  ///
+  /// Concurrent entry from several untrusted threads is serialized (real SGX
+  /// enclaves multiplex a fixed TCS pool; this simulated one has a single
+  /// logical TCS) so the meter/ledger accounting stays consistent under the
+  /// serving subsystem's worker threads.
   template <typename F>
   auto ecall(F&& body) -> decltype(body()) {
     GV_CHECK(initialized_, "ecall into uninitialized enclave");
-    ++meter_.ecalls;
+    std::lock_guard<std::mutex> entry(*entry_mu_);
+    {
+      std::lock_guard<std::mutex> m(*meter_mu_);
+      ++meter_.ecalls;
+    }
     Stopwatch sw;
     if constexpr (std::is_void_v<decltype(body())>) {
       body();
@@ -100,15 +127,34 @@ class Enclave {
   }
 
   /// Charge an OCALL (enclave -> untrusted transition), e.g. for paging.
-  void charge_ocall() { ++meter_.ocalls; }
+  void charge_ocall() {
+    std::lock_guard<std::mutex> m(*meter_mu_);
+    ++meter_.ocalls;
+  }
 
   /// Account a copy of `bytes` from untrusted memory into the enclave.
-  void copy_in(std::size_t bytes) { meter_.bytes_in += bytes; }
+  void copy_in(std::size_t bytes) {
+    std::lock_guard<std::mutex> m(*meter_mu_);
+    meter_.bytes_in += bytes;
+  }
+
+  /// Account normal-world compute (e.g. a backbone pass) on the meter from
+  /// any untrusted thread.
+  void add_untrusted_seconds(double seconds) {
+    std::lock_guard<std::mutex> m(*meter_mu_);
+    meter_.untrusted_compute_seconds += seconds;
+  }
 
   MemoryLedger& memory() { return ledger_; }
   const MemoryLedger& memory() const { return ledger_; }
   CostMeter& meter() { return meter_; }
   const CostMeter& meter() const { return meter_; }
+  /// Locked copy of the meter for monitoring threads that poll while other
+  /// threads are mid-ecall (the raw meter() references are unsynchronized).
+  CostMeter meter_snapshot() const {
+    std::lock_guard<std::mutex> m(*meter_mu_);
+    return meter_;
+  }
 
   /// True when the current working set fits the usable EPC.
   bool fits_in_epc() const { return ledger_.current_bytes() <= model_.epc_bytes; }
@@ -146,6 +192,11 @@ class Enclave {
   MemoryLedger ledger_;
   CostMeter meter_;
   std::uint64_t seal_counter_ = 0;
+  // Owned via pointers so the enclave stays movable. `entry_mu_` serializes
+  // ecall entry; `meter_mu_` guards meter mutations that may come from
+  // untrusted threads while another thread is inside an ecall.
+  std::unique_ptr<std::mutex> entry_mu_ = std::make_unique<std::mutex>();
+  std::unique_ptr<std::mutex> meter_mu_ = std::make_unique<std::mutex>();
 };
 
 }  // namespace gv

@@ -1,0 +1,160 @@
+// Multi-tenant registry: EPC-aware admission, per-tenant enclave identity,
+// and sealed-artifact isolation between tenants.
+#include "serve/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "serve_test_util.hpp"
+
+namespace gv {
+namespace {
+
+ServerConfig tiny_server_config() {
+  ServerConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_wait = std::chrono::microseconds(500);
+  return cfg;
+}
+
+TEST(VaultRegistry, AdmitsTenantsAndServesThemIndependently) {
+  const Dataset ds_a = serve_dataset(41);
+  const Dataset ds_b = serve_dataset(42, /*nodes=*/220);
+  TrainedVault tv_a = serve_vault(ds_a, RectifierKind::kParallel, 1);
+  TrainedVault tv_b = serve_vault(ds_b, RectifierKind::kSeries, 2);
+  const auto truth_a = tv_a.predict_rectified(ds_a.features);
+  const auto truth_b = tv_b.predict_rectified(ds_b.features);
+
+  VaultRegistry registry;
+  EXPECT_EQ(registry.admit("alice", ds_a, std::move(tv_a), tiny_server_config())
+                .decision,
+            AdmissionDecision::kAdmitted);
+  EXPECT_EQ(registry.admit("bob", ds_b, std::move(tv_b), tiny_server_config())
+                .decision,
+            AdmissionDecision::kAdmitted);
+  ASSERT_TRUE(registry.has("alice"));
+  ASSERT_TRUE(registry.has("bob"));
+
+  EXPECT_EQ(registry.server("alice")->query(10), truth_a[10]);
+  EXPECT_EQ(registry.server("bob")->query(10), truth_b[10]);
+  EXPECT_EQ(registry.server("alice")->query(77), truth_a[77]);
+
+  // Distinct enclave identities even though both run the same code base.
+  const auto& enc_a = registry.server("alice")->deployment().enclave();
+  const auto& enc_b = registry.server("bob")->deployment().enclave();
+  EXPECT_NE(to_hex(enc_a.measurement()), to_hex(enc_b.measurement()));
+}
+
+TEST(VaultRegistry, TenantsSharingADatasetGetDistinctIdentities) {
+  const Dataset ds = serve_dataset(43);
+  VaultRegistry registry;
+  registry.admit("t1", ds, serve_vault(ds, RectifierKind::kParallel, 1),
+                 tiny_server_config());
+  registry.admit("t2", ds, serve_vault(ds, RectifierKind::kParallel, 1),
+                 tiny_server_config());
+  EXPECT_NE(to_hex(registry.server("t1")->deployment().enclave().measurement()),
+            to_hex(registry.server("t2")->deployment().enclave().measurement()));
+}
+
+TEST(VaultRegistry, RejectsDuplicateTenantNames) {
+  const Dataset ds = serve_dataset(44);
+  VaultRegistry registry;
+  registry.admit("dup", ds, serve_vault(ds), tiny_server_config());
+  const auto r = registry.admit("dup", ds, serve_vault(ds), tiny_server_config());
+  EXPECT_EQ(r.decision, AdmissionDecision::kRejected);
+}
+
+TEST(VaultRegistry, QueuesTenantsBeyondEpcBudgetAndPromotesOnRemove) {
+  const Dataset ds = serve_dataset(45);
+  TrainedVault probe = serve_vault(ds);
+  const std::size_t per_tenant = VaultRegistry::estimate_enclave_bytes(probe, ds);
+
+  RegistryConfig rcfg;
+  rcfg.epc_budget_fraction = 1.0;
+  // Room for one tenant, not two.
+  rcfg.cost_model.epc_bytes = per_tenant + per_tenant / 2;
+  VaultRegistry registry(rcfg);
+
+  EXPECT_EQ(registry.admit("first", ds, std::move(probe), tiny_server_config())
+                .decision,
+            AdmissionDecision::kAdmitted);
+  const auto queued =
+      registry.admit("second", ds, serve_vault(ds), tiny_server_config());
+  EXPECT_EQ(queued.decision, AdmissionDecision::kQueued);
+  EXPECT_FALSE(registry.has("second"));
+  ASSERT_EQ(registry.queued().size(), 1u);
+  EXPECT_EQ(registry.queued()[0], "second");
+
+  // Evicting the live tenant promotes the queued one.
+  EXPECT_TRUE(registry.remove("first"));
+  EXPECT_TRUE(registry.has("second"));
+  EXPECT_TRUE(registry.queued().empty());
+  // And the promoted tenant actually serves.
+  const auto truth = registry.server("second")->deployment().vault()
+                         .predict_rectified(ds.features);
+  EXPECT_EQ(registry.server("second")->query(5), truth[5]);
+}
+
+TEST(VaultRegistry, RejectsWhenQueueingDisabled) {
+  const Dataset ds = serve_dataset(46);
+  TrainedVault probe = serve_vault(ds);
+  RegistryConfig rcfg;
+  rcfg.epc_budget_fraction = 1.0;
+  rcfg.cost_model.epc_bytes =
+      VaultRegistry::estimate_enclave_bytes(probe, ds) + 1024;
+  rcfg.queue_when_full = false;
+  VaultRegistry registry(rcfg);
+  registry.admit("only", ds, std::move(probe), tiny_server_config());
+  EXPECT_EQ(registry.admit("extra", ds, serve_vault(ds), tiny_server_config())
+                .decision,
+            AdmissionDecision::kRejected);
+}
+
+TEST(VaultRegistry, RejectsTenantLargerThanWholeBudget) {
+  const Dataset ds = serve_dataset(47);
+  TrainedVault tv = serve_vault(ds);
+  RegistryConfig rcfg;
+  rcfg.cost_model.epc_bytes = 1024;  // absurdly small platform
+  VaultRegistry registry(rcfg);
+  const auto r = registry.admit("huge", ds, std::move(tv), tiny_server_config());
+  EXPECT_EQ(r.decision, AdmissionDecision::kRejected);
+  EXPECT_GT(r.estimated_bytes, registry.epc_budget());
+}
+
+TEST(VaultRegistry, CrossTenantUnsealFails) {
+  const Dataset ds = serve_dataset(48);
+  VaultRegistry registry;
+  registry.admit("alice", ds, serve_vault(ds, RectifierKind::kParallel, 1),
+                 tiny_server_config());
+  registry.admit("bob", ds, serve_vault(ds, RectifierKind::kParallel, 2),
+                 tiny_server_config());
+
+  auto& alice = registry.server("alice")->deployment();
+  auto& bob = registry.server("bob")->deployment();
+  ASSERT_FALSE(alice.sealed_weights().ciphertext.empty());
+  // Alice's enclave can unseal its own rectifier weights...
+  EXPECT_NO_THROW(alice.enclave().unseal(alice.sealed_weights()));
+  // ...but Bob's enclave must reject them (different measurement => different
+  // sealing key), and vice versa.
+  EXPECT_THROW(bob.enclave().unseal(alice.sealed_weights()), Error);
+  EXPECT_THROW(alice.enclave().unseal(bob.sealed_weights()), Error);
+}
+
+TEST(VaultRegistry, TamperedSealedWeightsAreRejected) {
+  const Dataset ds = serve_dataset(49);
+  VaultRegistry registry;
+  registry.admit("alice", ds, serve_vault(ds), tiny_server_config());
+  auto& dep = registry.server("alice")->deployment();
+  SealedBlob tampered = dep.sealed_weights();
+  ASSERT_FALSE(tampered.ciphertext.empty());
+  tampered.ciphertext[tampered.ciphertext.size() / 2] ^= 0x01;
+  EXPECT_THROW(dep.enclave().unseal(tampered), Error);
+}
+
+TEST(VaultRegistry, RemoveUnknownTenantReturnsFalse) {
+  VaultRegistry registry;
+  EXPECT_FALSE(registry.remove("ghost"));
+  EXPECT_THROW(registry.server("ghost"), Error);
+}
+
+}  // namespace
+}  // namespace gv

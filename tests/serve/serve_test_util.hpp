@@ -1,0 +1,33 @@
+// Shared fixtures for the serving-subsystem tests: a small synthetic
+// dataset and a quickly trained vault (mirrors tests/core/deployment_test).
+#pragma once
+
+#include "core/pipeline.hpp"
+#include "data/synthetic.hpp"
+
+namespace gv {
+
+inline Dataset serve_dataset(std::uint64_t seed, std::uint32_t nodes = 260) {
+  SyntheticSpec spec;
+  spec.num_nodes = nodes;
+  spec.num_classes = 3;
+  spec.num_undirected_edges = nodes * 3;
+  spec.feature_dim = 100;
+  spec.homophily = 0.85;
+  spec.feature_signal = 0.45;
+  return generate_synthetic(spec, seed);
+}
+
+inline TrainedVault serve_vault(const Dataset& ds,
+                                RectifierKind kind = RectifierKind::kParallel,
+                                std::uint64_t seed = 11) {
+  VaultTrainConfig cfg;
+  cfg.spec = ModelSpec{"T", {24, 12}, {24, 12}, 0.4f};
+  cfg.rectifier = kind;
+  cfg.backbone_train.epochs = 50;
+  cfg.rectifier_train.epochs = 50;
+  cfg.seed = seed;
+  return train_vault(ds, cfg);
+}
+
+}  // namespace gv

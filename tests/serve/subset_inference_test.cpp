@@ -1,0 +1,114 @@
+// Node-subset batched inference: the serving path must produce exactly the
+// labels the all-nodes path produces, for every rectifier communication
+// scheme, while charging fewer modeled SGX costs per request when batched.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/deployment.hpp"
+#include "serve_test_util.hpp"
+
+namespace gv {
+namespace {
+
+std::vector<std::uint32_t> gather(const std::vector<std::uint32_t>& all,
+                                  const std::vector<std::uint32_t>& nodes) {
+  std::vector<std::uint32_t> out;
+  out.reserve(nodes.size());
+  for (const auto v : nodes) out.push_back(all[v]);
+  return out;
+}
+
+class SubsetForwardTest : public ::testing::TestWithParam<RectifierKind> {};
+
+TEST_P(SubsetForwardTest, MatchesFullForwardOnEveryScheme) {
+  const Dataset ds = serve_dataset(21);
+  TrainedVault tv = serve_vault(ds, GetParam());
+  const auto outputs = tv.backbone_outputs(ds.features);
+  const Matrix full = tv.rectifier->forward(outputs, /*training=*/false);
+
+  const std::vector<std::uint32_t> nodes = {0, 3, 17, 42, 3, 199};  // dup + unsorted
+  std::vector<std::size_t> layer_rows;
+  const Matrix sub = tv.rectifier->forward_subset(outputs, nodes, &layer_rows);
+
+  ASSERT_EQ(sub.rows(), nodes.size());
+  ASSERT_EQ(sub.cols(), full.cols());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t c = 0; c < full.cols(); ++c) {
+      EXPECT_NEAR(sub(i, c), full(nodes[i], c), 1e-4f)
+          << "node " << nodes[i] << " col " << c;
+    }
+  }
+  // The frontier grows towards the input layer and never exceeds n.
+  ASSERT_EQ(layer_rows.size(), tv.rectifier->num_layers());
+  EXPECT_EQ(layer_rows.back(), 5u);  // unique queries
+  for (std::size_t k = 0; k + 1 < layer_rows.size(); ++k) {
+    EXPECT_GE(layer_rows[k], layer_rows[k + 1]);
+    EXPECT_LE(layer_rows[k], ds.num_nodes());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, SubsetForwardTest,
+                         ::testing::Values(RectifierKind::kParallel,
+                                           RectifierKind::kCascaded,
+                                           RectifierKind::kSeries));
+
+TEST(SubsetInference, PredictRectifiedSubsetMatchesFullPrediction) {
+  const Dataset ds = serve_dataset(22);
+  TrainedVault tv = serve_vault(ds);
+  const auto full = tv.predict_rectified(ds.features);
+  std::vector<std::uint32_t> nodes(ds.num_nodes());
+  std::iota(nodes.begin(), nodes.end(), 0u);
+  EXPECT_EQ(tv.predict_rectified_subset(ds.features, nodes), full);
+}
+
+TEST(SubsetInference, DeploymentSubsetMatchesPlainPath) {
+  const Dataset ds = serve_dataset(23);
+  TrainedVault tv = serve_vault(ds, RectifierKind::kSeries);
+  const auto plain = tv.predict_rectified(ds.features);
+  VaultDeployment dep(ds, std::move(tv), {});
+  const std::vector<std::uint32_t> nodes = {5, 0, 88, 120};
+  EXPECT_EQ(dep.infer_labels_subset(ds.features, nodes), gather(plain, nodes));
+}
+
+TEST(SubsetInference, EmptySubsetIsFreeAndEmpty) {
+  const Dataset ds = serve_dataset(24);
+  VaultDeployment dep(ds, serve_vault(ds), {});
+  dep.reset_meter();
+  EXPECT_TRUE(dep.infer_labels_batched(dep.run_backbone(ds.features), {}).empty());
+  EXPECT_EQ(dep.meter().ecalls, 0u);
+}
+
+TEST(SubsetInference, BatchedEcallsChargeLessThanUnbatched) {
+  const Dataset ds = serve_dataset(25);
+  TrainedVault tv = serve_vault(ds);
+  VaultDeployment dep(ds, std::move(tv), {});
+  const auto outputs = dep.run_backbone(ds.features);
+
+  const std::vector<std::uint32_t> nodes = {1, 9, 33, 57, 90, 121, 160, 201};
+  // Unbatched: one ecall (and one embedding push) per request.
+  dep.reset_meter();
+  std::vector<std::uint32_t> unbatched;
+  for (const auto v : nodes) {
+    const std::vector<std::uint32_t> one = {v};
+    unbatched.push_back(dep.infer_labels_batched(outputs, one)[0]);
+  }
+  const std::uint64_t unbatched_ecalls = dep.meter().ecalls;
+  const std::uint64_t unbatched_bytes = dep.meter().bytes_in;
+  const double unbatched_transfer =
+      dep.meter().transfer_seconds(dep.cost_model());
+
+  // Batched: ONE ecall for the whole batch.
+  dep.reset_meter();
+  const auto batched = dep.infer_labels_batched(outputs, nodes);
+  EXPECT_EQ(batched, unbatched);
+  EXPECT_EQ(dep.meter().ecalls, 1u);
+  EXPECT_EQ(unbatched_ecalls, nodes.size());
+  EXPECT_EQ(dep.meter().bytes_in * nodes.size(), unbatched_bytes);
+  // The modeled transition+copy time is the Sec. III-C cost batching removes.
+  EXPECT_LT(dep.meter().transfer_seconds(dep.cost_model()),
+            unbatched_transfer / 4.0);
+}
+
+}  // namespace
+}  // namespace gv

@@ -1,0 +1,159 @@
+#include "serve/vault_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+
+#include "serve_test_util.hpp"
+
+namespace gv {
+namespace {
+
+ServerConfig quick_config(std::size_t max_batch, std::size_t cache = 0) {
+  ServerConfig cfg;
+  cfg.max_batch = max_batch;
+  cfg.max_wait = std::chrono::microseconds(500);
+  cfg.cache_capacity = cache;
+  return cfg;
+}
+
+TEST(VaultServer, BatchedLabelsMatchPerNodeInference) {
+  const Dataset ds = serve_dataset(31);
+  TrainedVault tv = serve_vault(ds);
+  const auto truth = tv.predict_rectified(ds.features);
+
+  VaultServer server(ds, std::move(tv), {}, quick_config(16));
+  std::vector<std::uint32_t> nodes(ds.num_nodes());
+  std::iota(nodes.begin(), nodes.end(), 0u);
+  auto futs = server.submit_many(nodes);
+  server.flush();
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    EXPECT_EQ(futs[i].get(), truth[i]) << "node " << i;
+  }
+  const auto s = server.stats();
+  EXPECT_EQ(s.requests, static_cast<std::uint64_t>(ds.num_nodes()));
+  EXPECT_EQ(s.completed, static_cast<std::uint64_t>(ds.num_nodes()));
+  EXPECT_GT(s.batches, 0u);
+  EXPECT_GT(s.ecalls, 0u);
+  EXPECT_GT(s.requests_per_second, 0.0);
+}
+
+TEST(VaultServer, DeadlineFlushesPartialBatch) {
+  const Dataset ds = serve_dataset(32);
+  TrainedVault tv = serve_vault(ds);
+  const auto truth = tv.predict_rectified(ds.features);
+  // max_batch far above what we submit: only the deadline can flush.
+  ServerConfig cfg;
+  cfg.max_batch = 1024;
+  cfg.max_wait = std::chrono::microseconds(2000);
+  cfg.cache_capacity = 0;
+  VaultServer server(ds, std::move(tv), {}, cfg);
+
+  auto fut = server.submit(42);
+  EXPECT_EQ(fut.wait_for(std::chrono::seconds(10)), std::future_status::ready);
+  EXPECT_EQ(fut.get(), truth[42]);
+  EXPECT_EQ(server.stats().batches, 1u);
+}
+
+TEST(VaultServer, MaxBatchFlushesWithoutDeadline) {
+  const Dataset ds = serve_dataset(33);
+  TrainedVault tv = serve_vault(ds);
+  ServerConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_wait = std::chrono::seconds(30);  // deadline effectively never fires
+  cfg.cache_capacity = 0;
+  VaultServer server(ds, std::move(tv), {}, cfg);
+
+  const std::vector<std::uint32_t> nodes = {1, 2, 3, 4};
+  auto futs = server.submit_many(nodes);
+  for (auto& f : futs) {
+    EXPECT_EQ(f.wait_for(std::chrono::seconds(10)), std::future_status::ready);
+    f.get();
+  }
+  const auto s = server.stats();
+  EXPECT_EQ(s.batches, 1u);
+  EXPECT_DOUBLE_EQ(s.mean_batch_size, 4.0);
+}
+
+TEST(VaultServer, CacheShortCircuitsRepeatQueries) {
+  const Dataset ds = serve_dataset(34);
+  VaultServer server(ds, serve_vault(ds), {}, quick_config(8, /*cache=*/64));
+
+  const std::uint32_t label = server.query(7);
+  const auto ecalls_after_first = server.stats().ecalls;
+  EXPECT_EQ(server.query(7), label);
+  EXPECT_EQ(server.query(7), label);
+  const auto s = server.stats();
+  EXPECT_EQ(s.cache_hits, 2u);
+  EXPECT_EQ(s.cache_misses, 1u);
+  EXPECT_NEAR(s.cache_hit_rate, 2.0 / 3.0, 1e-9);
+  // Hits never reach the enclave.
+  EXPECT_EQ(s.ecalls, ecalls_after_first);
+}
+
+TEST(VaultServer, LruEvictionBoundsCacheSize) {
+  const Dataset ds = serve_dataset(35);
+  VaultServer server(ds, serve_vault(ds), {}, quick_config(8, /*cache=*/2));
+  server.query(1);
+  server.query(2);
+  server.query(3);  // evicts node 1
+  const auto misses_before = server.stats().cache_misses;
+  server.query(1);  // must miss again
+  EXPECT_EQ(server.stats().cache_misses, misses_before + 1);
+}
+
+TEST(VaultServer, ConcurrentSubmittersGetConsistentLabels) {
+  const Dataset ds = serve_dataset(36);
+  TrainedVault tv = serve_vault(ds);
+  const auto truth = tv.predict_rectified(ds.features);
+  ServerConfig cfg = quick_config(8, /*cache=*/128);
+  cfg.worker_threads = 2;
+  VaultServer server(ds, std::move(tv), {}, cfg);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 40;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const auto node =
+            static_cast<std::uint32_t>((t * 71 + i * 13) % ds.num_nodes());
+        if (server.query(node) != truth[node]) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  const auto s = server.stats();
+  EXPECT_EQ(s.requests, static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_GE(s.p95_latency_ms, s.p50_latency_ms);
+  EXPECT_GE(s.p99_latency_ms, s.p95_latency_ms);
+}
+
+TEST(VaultServer, DestructorDrainsPendingRequests) {
+  const Dataset ds = serve_dataset(37);
+  TrainedVault tv = serve_vault(ds);
+  const auto truth = tv.predict_rectified(ds.features);
+  std::future<std::uint32_t> fut;
+  {
+    ServerConfig cfg;
+    cfg.max_batch = 1024;
+    cfg.max_wait = std::chrono::seconds(30);
+    VaultServer server(ds, std::move(tv), {}, cfg);
+    fut = server.submit(3);
+    // Server goes out of scope with the request still queued.
+  }
+  EXPECT_EQ(fut.get(), truth[3]);
+}
+
+TEST(VaultServer, RejectsOutOfRangeNode) {
+  const Dataset ds = serve_dataset(38);
+  VaultServer server(ds, serve_vault(ds), {}, quick_config(4));
+  EXPECT_THROW(server.submit(ds.num_nodes()), Error);
+}
+
+}  // namespace
+}  // namespace gv
