@@ -309,4 +309,69 @@ LoadedVault load_vault_package(const std::string& path) {
   return lv;
 }
 
+std::size_t ShardPayload::payload_bytes() const {
+  std::size_t halo = 0;
+  for (const auto& h : halo_out) halo += h.size() * sizeof(std::uint32_t);
+  return owned.size() * sizeof(std::uint32_t) +
+         closure.size() * sizeof(std::uint32_t) +
+         adj_row.size() * sizeof(std::uint32_t) +
+         adj_col.size() * sizeof(std::uint32_t) + adj_val.size() * sizeof(float) +
+         halo + rectifier_weights.size();
+}
+
+std::vector<std::uint8_t> serialize_shard_payload(const ShardPayload& p) {
+  GV_CHECK(p.adj_row.size() == p.adj_col.size() &&
+               p.adj_row.size() == p.adj_val.size(),
+           "shard payload adjacency arrays must align");
+  Writer w;
+  w.u32(p.shard_index);
+  w.u32(p.num_shards);
+  auto put_vec = [&](const std::vector<std::uint32_t>& v) {
+    w.u64(v.size());
+    for (const auto x : v) w.u32(x);
+  };
+  put_vec(p.owned);
+  put_vec(p.closure);
+  put_vec(p.adj_row);
+  put_vec(p.adj_col);
+  w.u64(p.adj_val.size());
+  w.floats(p.adj_val.data(), p.adj_val.size());
+  w.u32(static_cast<std::uint32_t>(p.halo_out.size()));
+  for (const auto& h : p.halo_out) put_vec(h);
+  w.u64(p.rectifier_weights.size());
+  w.bytes(p.rectifier_weights.data(), p.rectifier_weights.size());
+  return w.data();
+}
+
+ShardPayload deserialize_shard_payload(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes.data(), bytes.size());
+  ShardPayload p;
+  p.shard_index = r.u32();
+  p.num_shards = r.u32();
+  auto get_vec = [&]() {
+    const std::uint64_t n = r.u64();
+    std::vector<std::uint32_t> v;
+    v.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) v.push_back(r.u32());
+    return v;
+  };
+  p.owned = get_vec();
+  p.closure = get_vec();
+  p.adj_row = get_vec();
+  p.adj_col = get_vec();
+  const std::uint64_t nval = r.u64();
+  p.adj_val.resize(nval);
+  r.floats(p.adj_val.data(), nval);
+  const std::uint32_t peers = r.u32();
+  p.halo_out.resize(peers);
+  for (std::uint32_t t = 0; t < peers; ++t) p.halo_out[t] = get_vec();
+  const std::uint64_t wlen = r.u64();
+  p.rectifier_weights = r.blob(wlen);
+  GV_CHECK(r.done(), "trailing bytes in shard payload");
+  GV_CHECK(p.adj_row.size() == p.adj_col.size() &&
+               p.adj_row.size() == p.adj_val.size(),
+           "shard payload adjacency arrays must align");
+  return p;
+}
+
 }  // namespace gv

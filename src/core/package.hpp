@@ -12,6 +12,7 @@
 // with little-endian integers and raw float32 weight payloads.
 #pragma once
 
+#include <span>
 #include <string>
 
 #include "core/pipeline.hpp"
@@ -36,5 +37,40 @@ struct LoadedVault {
 /// and configs round-trip bit-exactly. Throws gv::Error on malformed or
 /// truncated input.
 LoadedVault load_vault_package(const std::string& path);
+
+// --- Shard packages (ShardVault multi-enclave deployment). ------------------
+//
+// When one tenant spans several enclaves, each shard enclave is provisioned
+// with its own package: the (replicated) rectifier weights, the shard's rows
+// of the globally normalized private adjacency, and the halo routing lists
+// derived from the cut edges.  Every field except `owned` is adjacency-
+// derived and therefore only ever exists sealed at rest or in the clear
+// inside an enclave; serialization lives here so the sealed blob layout is
+// versioned alongside the vendor package format.
+
+struct ShardPayload {
+  std::uint32_t shard_index = 0;
+  std::uint32_t num_shards = 0;
+  /// Global ids of the nodes this shard owns (sorted).
+  std::vector<std::uint32_t> owned;
+  /// Sorted one-hop closure of `owned` (owned plus halo nodes).
+  std::vector<std::uint32_t> closure;
+  /// Rectangular sub-adjacency: rows index `owned`, cols index `closure`,
+  /// values are the GLOBAL Â = D̃^{-1/2}(A+I)D̃^{-1/2} entries, so sharded
+  /// message passing reproduces the unsharded computation bit-exactly.
+  std::vector<std::uint32_t> adj_row;
+  std::vector<std::uint32_t> adj_col;
+  std::vector<float> adj_val;
+  /// halo_out[t] = owned node ids whose embeddings shard t needs each layer
+  /// (empty for t == shard_index and non-adjacent shards).
+  std::vector<std::vector<std::uint32_t>> halo_out;
+  /// Rectifier weight blob (Rectifier::serialize_weights layout).
+  std::vector<std::uint8_t> rectifier_weights;
+
+  std::size_t payload_bytes() const;
+};
+
+std::vector<std::uint8_t> serialize_shard_payload(const ShardPayload& p);
+ShardPayload deserialize_shard_payload(std::span<const std::uint8_t> bytes);
 
 }  // namespace gv

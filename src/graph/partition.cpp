@@ -1,0 +1,114 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace gv {
+
+PartitionResult greedy_edge_cut_partition(const Graph& g, std::uint32_t num_parts,
+                                          std::span<const double> node_weights,
+                                          double slack) {
+  const std::uint32_t n = g.num_nodes();
+  GV_CHECK(num_parts >= 1, "need at least one part");
+  GV_CHECK(slack >= 1.0, "slack must be >= 1");
+  GV_CHECK(node_weights.empty() || node_weights.size() == n,
+           "node_weights must be empty or one per node");
+
+  PartitionResult res;
+  res.num_parts = num_parts;
+  res.part_weight.assign(num_parts, 0.0);
+  res.owner.assign(n, 0);
+  if (n == 0) return res;
+
+  auto weight = [&](std::uint32_t v) {
+    return node_weights.empty() ? 1.0 : node_weights[v];
+  };
+  const double total =
+      node_weights.empty()
+          ? static_cast<double>(n)
+          : std::accumulate(node_weights.begin(), node_weights.end(), 0.0);
+  // Capacity per part; the max() keeps a single huge node placeable.
+  double cap = slack * total / num_parts;
+  for (std::uint32_t v = 0; v < n; ++v) cap = std::max(cap, weight(v));
+
+  if (num_parts == 1) {
+    res.part_weight[0] = total;
+    return res;
+  }
+
+  // BFS order from the highest-degree unvisited seed: neighbors are placed
+  // soon after each other, which is what lets the greedy score see them.
+  const auto deg = g.degrees();
+  std::vector<std::uint32_t> order;
+  order.reserve(n);
+  std::vector<char> visited(n, 0);
+  std::vector<std::uint32_t> by_degree(n);
+  std::iota(by_degree.begin(), by_degree.end(), 0u);
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&](std::uint32_t a, std::uint32_t b) { return deg[a] > deg[b]; });
+  std::queue<std::uint32_t> bfs;
+  for (const std::uint32_t seed : by_degree) {
+    if (visited[seed]) continue;
+    visited[seed] = 1;
+    bfs.push(seed);
+    while (!bfs.empty()) {
+      const std::uint32_t v = bfs.front();
+      bfs.pop();
+      order.push_back(v);
+      for (const std::uint32_t u : g.neighbors(v)) {
+        if (!visited[u]) {
+          visited[u] = 1;
+          bfs.push(u);
+        }
+      }
+    }
+  }
+
+  // LDG assignment: score(part) = (placed neighbors in part) * load headroom.
+  std::vector<char> assigned(n, 0);
+  std::vector<double> nbr_in_part(num_parts, 0.0);
+  for (const std::uint32_t v : order) {
+    std::fill(nbr_in_part.begin(), nbr_in_part.end(), 0.0);
+    for (const std::uint32_t u : g.neighbors(v)) {
+      if (assigned[u]) nbr_in_part[res.owner[u]] += 1.0;
+    }
+    std::uint32_t best = num_parts;
+    double best_score = -1.0;
+    for (std::uint32_t p = 0; p < num_parts; ++p) {
+      if (res.part_weight[p] + weight(v) > cap) continue;
+      const double headroom = 1.0 - res.part_weight[p] / cap;
+      const double score = (nbr_in_part[p] + 1e-3) * headroom;
+      if (score > best_score) {
+        best_score = score;
+        best = p;
+      }
+    }
+    if (best == num_parts) {
+      // Every part is at capacity (possible under tight slack): fall back to
+      // the lightest part so the assignment always completes.
+      best = static_cast<std::uint32_t>(
+          std::min_element(res.part_weight.begin(), res.part_weight.end()) -
+          res.part_weight.begin());
+    }
+    res.owner[v] = best;
+    res.part_weight[best] += weight(v);
+    assigned[v] = 1;
+  }
+
+  res.cut_edges = count_cut_edges(g, res.owner);
+  return res;
+}
+
+std::size_t count_cut_edges(const Graph& g, std::span<const std::uint32_t> owner) {
+  GV_CHECK(owner.size() == g.num_nodes(), "owner assignment size mismatch");
+  std::size_t cut = 0;
+  for (const Edge& e : g.edges()) {
+    if (owner[e.a] != owner[e.b]) ++cut;
+  }
+  return cut;
+}
+
+}  // namespace gv

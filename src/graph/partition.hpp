@@ -1,0 +1,43 @@
+// Greedy edge-cut graph partitioning for multi-enclave sharding.
+//
+// ShardVault splits one tenant's private adjacency across several enclaves;
+// every cut edge later costs a boundary-embedding transfer over an attested
+// enclave-to-enclave channel at every rectifier layer, so the partitioner
+// minimizes the edge cut while keeping the per-part working set balanced.
+// The algorithm is a deterministic BFS-ordered streaming greedy (LDG-style):
+// nodes are visited in breadth-first order from high-degree seeds and each
+// is assigned to the part with the most already-placed neighbors, damped by
+// a load penalty so no part exceeds its weight capacity.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace gv {
+
+struct PartitionResult {
+  /// Part id per node, in [0, num_parts).
+  std::vector<std::uint32_t> owner;
+  std::uint32_t num_parts = 0;
+  /// Undirected edges whose endpoints land in different parts.
+  std::size_t cut_edges = 0;
+  /// Per-part total node weight (unit weights when none are supplied).
+  std::vector<double> part_weight;
+};
+
+/// Partition `g` into `num_parts` parts.  `node_weights`, when non-empty,
+/// must have one entry per node (e.g. estimated enclave bytes per node);
+/// parts are balanced by total weight.  `slack` > 1 loosens the per-part
+/// capacity, trading balance for a smaller cut.  Deterministic in its
+/// inputs.  Throws gv::Error on bad arguments.
+PartitionResult greedy_edge_cut_partition(const Graph& g, std::uint32_t num_parts,
+                                          std::span<const double> node_weights = {},
+                                          double slack = 1.1);
+
+/// Number of undirected edges of `g` cut by an owner assignment.
+std::size_t count_cut_edges(const Graph& g, std::span<const std::uint32_t> owner);
+
+}  // namespace gv

@@ -1,0 +1,97 @@
+#include "serve/batch_queue.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace gv {
+
+MicroBatchQueue::MicroBatchQueue(std::size_t max_batch,
+                                 std::chrono::microseconds max_wait)
+    : max_batch_(std::max<std::size_t>(1, max_batch)), max_wait_(max_wait) {}
+
+bool MicroBatchQueue::submit(std::uint32_t node, const Sha256Digest& digest,
+                             std::promise<std::uint32_t> waiter) {
+  bool coalesced = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    GV_CHECK(!stopping_, "queue is shutting down");
+    const auto it = index_.find(node);
+    if (it != index_.end() && it->second->digest == digest) {
+      // Same node, same feature snapshot: ride the existing slot.
+      it->second->waiters.push_back(std::move(waiter));
+      coalesced = true;
+    } else {
+      Entry e;
+      e.node = node;
+      e.digest = digest;
+      e.waiters.push_back(std::move(waiter));
+      e.enqueued = std::chrono::steady_clock::now();
+      queue_.push_back(std::move(e));
+      // Point the index at the newest entry for this node (a digest
+      // mismatch means the features changed between the two submissions;
+      // the stale entry simply stops coalescing).
+      index_[node] = std::prev(queue_.end());
+    }
+  }
+  cv_.notify_one();
+  return coalesced;
+}
+
+std::vector<MicroBatchQueue::Entry> MicroBatchQueue::next_batch() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return {};
+      continue;
+    }
+    // Dynamic micro-batching: grow the batch until it is full, the oldest
+    // entry's deadline passes, or a flush/shutdown short-circuits it.
+    const auto deadline = queue_.front().enqueued + max_wait_;
+    while (queue_.size() < max_batch_ && !stopping_ && !flush_requested_) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+      if (queue_.empty()) break;  // another worker drained it
+    }
+    if (queue_.empty()) {
+      if (stopping_) return {};
+      continue;
+    }
+    const std::size_t take = std::min(queue_.size(), max_batch_);
+    std::vector<Entry> batch;
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      const auto it = queue_.begin();
+      const auto idx = index_.find(it->node);
+      if (idx != index_.end() && idx->second == it) index_.erase(idx);
+      batch.push_back(std::move(*it));
+      queue_.erase(it);
+    }
+    if (queue_.empty()) flush_requested_ = false;
+    return batch;
+  }
+}
+
+void MicroBatchQueue::flush() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return;
+    flush_requested_ = true;
+  }
+  cv_.notify_all();
+}
+
+void MicroBatchQueue::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t MicroBatchQueue::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace gv

@@ -1,0 +1,71 @@
+// MicroBatchQueue: the dynamic micro-batching queue shared by VaultServer
+// and ShardedVaultServer.
+//
+// Requests accumulate until the batch is full or the oldest request's
+// deadline passes (or a flush/shutdown short-circuits the wait).  Duplicate
+// in-flight queries for the SAME node (and feature digest) coalesce onto
+// one entry: the node occupies one slot in the flushed batch — one share of
+// one ecall — and the result fans out to every waiting future.  Hot nodes
+// (the celebrity-profile lookup every feed is rendering) therefore cost one
+// enclave computation per flush instead of one per caller.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "sgxsim/sha256.hpp"
+
+namespace gv {
+
+class MicroBatchQueue {
+ public:
+  struct Entry {
+    std::uint32_t node = 0;
+    Sha256Digest digest{};
+    /// All futures waiting on this node (>= 1; > 1 when coalesced).
+    std::vector<std::promise<std::uint32_t>> waiters;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  MicroBatchQueue(std::size_t max_batch, std::chrono::microseconds max_wait);
+
+  /// Enqueue a waiter.  Returns true when it coalesced onto an already
+  /// queued entry for the same (node, digest).  Throws gv::Error after
+  /// stop().
+  bool submit(std::uint32_t node, const Sha256Digest& digest,
+              std::promise<std::uint32_t> waiter);
+
+  /// Block until a batch is ready and pop it (at most max_batch entries).
+  /// Returns an empty vector only when the queue is stopped and drained —
+  /// the worker-loop exit condition.
+  std::vector<Entry> next_batch();
+
+  /// Flush pending entries without waiting for the deadline.
+  void flush();
+  /// Reject new submissions; wakes every waiting worker.  Queued entries
+  /// still drain through next_batch().
+  void stop();
+
+  /// Queued (unflushed) entries; coalesced duplicates count once.
+  std::size_t pending() const;
+
+ private:
+  const std::size_t max_batch_;
+  const std::chrono::microseconds max_wait_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::list<Entry> queue_;
+  /// node -> its newest queued entry (coalescing index).
+  std::unordered_map<std::uint32_t, std::list<Entry>::iterator> index_;
+  bool stopping_ = false;
+  bool flush_requested_ = false;
+};
+
+}  // namespace gv

@@ -54,6 +54,24 @@ void LabelCache::put(std::uint32_t node, const Sha256Digest& digest,
   index_[node] = lru_.begin();
 }
 
+std::size_t LabelCache::invalidate_stale(const CsrMatrix& features) {
+  if (capacity_ == 0) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t evicted = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    const bool gone = it->node >= features.rows() ||
+                      feature_row_digest(features, it->node) != it->digest;
+    if (gone) {
+      index_.erase(it->node);
+      it = lru_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
 void LabelCache::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();

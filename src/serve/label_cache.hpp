@@ -34,6 +34,14 @@ class LabelCache {
   /// Insert/refresh an entry, evicting the least recently used if full.
   void put(std::uint32_t node, const Sha256Digest& digest, std::uint32_t label);
 
+  /// Feature-update sweep: evict every entry whose stored digest no longer
+  /// matches its node's row in `features`.  Entries for untouched rows stay
+  /// resident — the deliberate locality approximation of the digest scheme
+  /// (a label also depends on the multi-hop neighbourhood's features; a
+  /// caller that changed many rows and wants strict freshness should
+  /// clear() instead).  Returns the number of evicted entries.
+  std::size_t invalidate_stale(const CsrMatrix& features);
+
   void clear();
   std::size_t size() const;
   std::size_t capacity() const { return capacity_; }

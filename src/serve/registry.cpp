@@ -3,14 +3,25 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "shard/shard_planner.hpp"
 
 namespace gv {
 
 VaultRegistry::VaultRegistry(RegistryConfig cfg) : cfg_(cfg) {
   GV_CHECK(cfg_.epc_budget_fraction > 0.0 && cfg_.epc_budget_fraction <= 1.0,
            "epc_budget_fraction must be in (0, 1]");
-  budget_bytes_ = static_cast<std::size_t>(
+  GV_CHECK(cfg_.num_platforms >= 1, "fleet needs at least one platform");
+  platform_budget_bytes_ = static_cast<std::size_t>(
       static_cast<double>(cfg_.cost_model.epc_bytes) * cfg_.epc_budget_fraction);
+  platform_in_use_.assign(cfg_.num_platforms, 0);
+}
+
+Sha256Digest VaultRegistry::platform_key(std::uint32_t idx) {
+  if (idx == 0) return Enclave::default_platform_key();
+  Sha256 h;
+  h.update(std::string("gnnvault-simulated-fleet-platform-fuse-key-v1:") +
+           std::to_string(idx));
+  return h.finish();
 }
 
 std::size_t VaultRegistry::estimate_enclave_bytes(const TrainedVault& vault,
@@ -40,49 +51,94 @@ std::size_t VaultRegistry::estimate_enclave_bytes(const TrainedVault& vault,
   return bytes;
 }
 
+std::size_t VaultRegistry::platform_free(std::uint32_t p) const {
+  return platform_budget_bytes_ > platform_in_use_[p]
+             ? platform_budget_bytes_ - platform_in_use_[p]
+             : 0;
+}
+
 AdmissionResult VaultRegistry::admit(const std::string& tenant, const Dataset& ds,
                                      TrainedVault vault, ServerConfig server_cfg) {
   GV_CHECK(!tenant.empty(), "tenant name must not be empty");
   GV_CHECK(vault.rectifier != nullptr, "admission requires a trained rectifier");
-  AdmissionResult result;
-  result.estimated_bytes = estimate_enclave_bytes(vault, ds);
-
   std::lock_guard<std::mutex> lock(mu_);
   const bool name_taken =
-      servers_.count(tenant) > 0 ||
+      servers_.count(tenant) > 0 || sharded_.count(tenant) > 0 ||
       std::any_of(waiting_.begin(), waiting_.end(),
                   [&](const Waiting& w) { return w.tenant == tenant; });
   if (name_taken) {
+    AdmissionResult result;
+    result.estimated_bytes = estimate_enclave_bytes(vault, ds);
     result.decision = AdmissionDecision::kRejected;
     result.reason = "tenant name already registered";
     return result;
   }
-  if (result.estimated_bytes > budget_bytes_) {
-    result.decision = AdmissionDecision::kRejected;
-    result.reason = "working set exceeds the platform EPC budget outright";
-    return result;
-  }
-  if (in_use_bytes_ + result.estimated_bytes > budget_bytes_) {
-    if (!cfg_.queue_when_full) {
-      result.decision = AdmissionDecision::kRejected;
-      result.reason = "EPC budget exhausted";
+  return try_admit(tenant, ds, std::move(vault), server_cfg,
+                   cfg_.queue_when_full);
+}
+
+AdmissionResult VaultRegistry::try_admit(const std::string& tenant,
+                                         const Dataset& ds, TrainedVault&& vault,
+                                         const ServerConfig& server_cfg,
+                                         bool allow_queue) {
+  AdmissionResult result;
+  result.estimated_bytes = estimate_enclave_bytes(vault, ds);
+
+  if (result.estimated_bytes <= platform_budget_bytes_) {
+    // Fits one platform: place on the least-loaded platform with room.
+    std::uint32_t best = cfg_.num_platforms;
+    for (std::uint32_t p = 0; p < cfg_.num_platforms; ++p) {
+      if (platform_free(p) < result.estimated_bytes) continue;
+      if (best == cfg_.num_platforms ||
+          platform_in_use_[p] < platform_in_use_[best]) {
+        best = p;
+      }
+    }
+    if (best < cfg_.num_platforms) {
+      launch(tenant, ds, std::move(vault), server_cfg, best,
+             result.estimated_bytes);
+      result.decision = AdmissionDecision::kAdmitted;
+      result.reason = "fits the EPC budget of platform " + std::to_string(best);
       return result;
     }
-    waiting_.push_back(Waiting{tenant, ds, std::move(vault), server_cfg,
-                               result.estimated_bytes});
-    result.decision = AdmissionDecision::kQueued;
-    result.reason = "EPC budget exhausted; queued until capacity frees";
+  } else {
+    // Bigger than any single platform: the pre-ShardVault registry rejected
+    // this outright.  Try to admit as K shard enclaves across the fleet.
+    bool feasible_on_empty_fleet = false;
+    if (cfg_.shard_oversized &&
+        launch_sharded(tenant, ds, std::move(vault), server_cfg, result,
+                       &feasible_on_empty_fleet)) {
+      return result;
+    }
+    // launch_sharded left `vault` intact when it could not place the tenant.
+    if (!feasible_on_empty_fleet) {
+      // No shard plan fits a platform budget at max_shards, or the plan's
+      // shards would not fit even an EMPTY fleet (or sharding is disabled):
+      // capacity freeing up can never help, so queueing would only
+      // head-of-line-block every later tenant.
+      result.decision = AdmissionDecision::kRejected;
+      result.reason = "working set exceeds the platform EPC budget outright";
+      return result;
+    }
+  }
+
+  if (!allow_queue) {
+    result.decision = AdmissionDecision::kRejected;
+    result.reason = result.estimated_bytes > platform_budget_bytes_
+                        ? "fleet lacks capacity for the tenant's shards"
+                        : "EPC budget exhausted";
     return result;
   }
-  launch(tenant, ds, std::move(vault), server_cfg, result.estimated_bytes);
-  result.decision = AdmissionDecision::kAdmitted;
-  result.reason = "fits the EPC budget";
+  waiting_.push_back(
+      Waiting{tenant, ds, std::move(vault), server_cfg, result.estimated_bytes});
+  result.decision = AdmissionDecision::kQueued;
+  result.reason = "EPC budget exhausted; queued until capacity frees";
   return result;
 }
 
 void VaultRegistry::launch(const std::string& tenant, const Dataset& ds,
                            TrainedVault vault, const ServerConfig& server_cfg,
-                           std::size_t estimated_bytes) {
+                           std::uint32_t platform, std::size_t estimated_bytes) {
   DeploymentOptions dopts;
   dopts.cost_model = cfg_.cost_model;
   // Distinct enclave identity per tenant, even when tenants share a dataset:
@@ -90,24 +146,117 @@ void VaultRegistry::launch(const std::string& tenant, const Dataset& ds,
   dopts.enclave_name = "gnnvault.tenant." + tenant;
   servers_[tenant] =
       std::make_shared<VaultServer>(ds, std::move(vault), dopts, server_cfg);
-  reserved_bytes_[tenant] = estimated_bytes;
-  in_use_bytes_ += estimated_bytes;
+  reservations_[tenant] = {{platform, estimated_bytes}};
+  platform_in_use_[platform] += estimated_bytes;
+}
+
+bool VaultRegistry::launch_sharded(const std::string& tenant, const Dataset& ds,
+                                   TrainedVault&& vault,
+                                   const ServerConfig& server_cfg,
+                                   AdmissionResult& result,
+                                   bool* feasible_on_empty_fleet) {
+  ShardPlan plan;
+  try {
+    plan = ShardPlanner::plan_for_budget(ds, vault, platform_budget_bytes_,
+                                         cfg_.max_shards);
+  } catch (const Error&) {
+    return false;  // no plan fits even at max_shards
+  }
+  // Worst-fit-decreasing placement of shards onto platforms.
+  std::vector<std::uint32_t> by_size(plan.num_shards);
+  for (std::uint32_t s = 0; s < plan.num_shards; ++s) by_size[s] = s;
+  std::stable_sort(by_size.begin(), by_size.end(), [&](std::uint32_t a,
+                                                       std::uint32_t b) {
+    return plan.shards[a].estimated_bytes > plan.shards[b].estimated_bytes;
+  });
+  const auto place = [&](std::vector<std::size_t> free,
+                         std::vector<std::uint32_t>* placement) {
+    for (const std::uint32_t s : by_size) {
+      std::uint32_t best = cfg_.num_platforms;
+      for (std::uint32_t p = 0; p < cfg_.num_platforms; ++p) {
+        if (free[p] < plan.shards[s].estimated_bytes) continue;
+        if (best == cfg_.num_platforms || free[p] > free[best]) best = p;
+      }
+      if (best == cfg_.num_platforms) return false;
+      if (placement != nullptr) (*placement)[s] = best;
+      free[best] -= plan.shards[s].estimated_bytes;
+    }
+    return true;
+  };
+  // Feasibility against an EMPTY fleet decides queue vs reject: a tenant
+  // whose shards cannot fit even with everyone else gone must be rejected,
+  // not parked at the head of the queue forever.
+  *feasible_on_empty_fleet =
+      place(std::vector<std::size_t>(cfg_.num_platforms, platform_budget_bytes_),
+            nullptr);
+  if (!*feasible_on_empty_fleet) return false;
+
+  std::vector<std::size_t> free(cfg_.num_platforms);
+  for (std::uint32_t p = 0; p < cfg_.num_platforms; ++p) free[p] = platform_free(p);
+  std::vector<std::uint32_t> placement(plan.num_shards, cfg_.num_platforms);
+  if (!place(std::move(free), &placement)) return false;  // no room right now
+
+  ShardedDeploymentOptions dopts;
+  dopts.cost_model = cfg_.cost_model;
+  dopts.enclave_name = "gnnvault.tenant." + tenant;
+  dopts.platform_keys.reserve(plan.num_shards);
+  for (std::uint32_t s = 0; s < plan.num_shards; ++s) {
+    dopts.platform_keys.push_back(platform_key(placement[s]));
+  }
+  ShardedServerConfig scfg;
+  scfg.server = server_cfg;
+  scfg.replicate = cfg_.replicate_shards;
+
+  result.estimated_bytes = plan.total_bytes();
+  result.num_shards = plan.num_shards;
+  std::vector<std::size_t> shard_bytes;
+  shard_bytes.reserve(plan.num_shards);
+  for (const auto& s : plan.shards) shard_bytes.push_back(s.estimated_bytes);
+  // Build the server before committing reservations, so a provisioning
+  // failure leaves the registry's accounting untouched.
+  auto server = std::make_shared<ShardedVaultServer>(
+      ds, std::move(vault), std::move(plan), std::move(dopts), scfg);
+  auto& reservation = reservations_[tenant];
+  for (std::uint32_t s = 0; s < shard_bytes.size(); ++s) {
+    reservation.push_back({placement[s], shard_bytes[s]});
+    platform_in_use_[placement[s]] += shard_bytes[s];
+  }
+  sharded_[tenant] = std::move(server);
+  result.decision = AdmissionDecision::kAdmittedSharded;
+  result.reason = "exceeds one platform's EPC budget; admitted as " +
+                  std::to_string(result.num_shards) + " shards";
+  return true;
 }
 
 void VaultRegistry::admit_from_queue() {
   // FIFO without skipping: a large tenant at the head is not starved by
   // smaller tenants jumping the queue behind it.
-  while (!waiting_.empty() &&
-         in_use_bytes_ + waiting_.front().estimated_bytes <= budget_bytes_) {
-    Waiting w = std::move(waiting_.front());
+  while (!waiting_.empty()) {
+    Waiting& head = waiting_.front();
+    // Probe without dequeuing: re-run admission with queueing disabled.
+    Waiting w = std::move(head);
     waiting_.pop_front();
-    launch(w.tenant, w.ds, std::move(w.vault), w.server_cfg, w.estimated_bytes);
+    AdmissionResult r =
+        try_admit(w.tenant, w.ds, std::move(w.vault), w.server_cfg,
+                  /*allow_queue=*/false);
+    if (r.decision == AdmissionDecision::kAdmitted ||
+        r.decision == AdmissionDecision::kAdmittedSharded) {
+      continue;  // promoted; try the next waiter
+    }
+    // Still no room: put it back at the head and stop.
+    waiting_.push_front(std::move(w));
+    break;
   }
 }
 
 bool VaultRegistry::has(const std::string& tenant) const {
   std::lock_guard<std::mutex> lock(mu_);
-  return servers_.count(tenant) > 0;
+  return servers_.count(tenant) > 0 || sharded_.count(tenant) > 0;
+}
+
+bool VaultRegistry::is_sharded(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sharded_.count(tenant) > 0;
 }
 
 std::shared_ptr<VaultServer> VaultRegistry::server(const std::string& tenant) {
@@ -117,19 +266,37 @@ std::shared_ptr<VaultServer> VaultRegistry::server(const std::string& tenant) {
   return it->second;
 }
 
+std::shared_ptr<ShardedVaultServer> VaultRegistry::sharded_server(
+    const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sharded_.find(tenant);
+  GV_CHECK(it != sharded_.end(),
+           "unknown or not-sharded tenant: " + tenant);
+  return it->second;
+}
+
 bool VaultRegistry::remove(const std::string& tenant) {
   // The victim's destructor drains in-flight batches; run it outside the
   // registry lock so one tenant's teardown cannot stall every other
   // tenant's server() lookups.
   std::shared_ptr<VaultServer> victim;
+  std::shared_ptr<ShardedVaultServer> sharded_victim;
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = servers_.find(tenant);
-    if (it != servers_.end()) {
-      victim = std::move(it->second);
-      servers_.erase(it);
-      in_use_bytes_ -= reserved_bytes_[tenant];
-      reserved_bytes_.erase(tenant);
+    const auto sit = sharded_.find(tenant);
+    if (it != servers_.end() || sit != sharded_.end()) {
+      if (it != servers_.end()) {
+        victim = std::move(it->second);
+        servers_.erase(it);
+      } else {
+        sharded_victim = std::move(sit->second);
+        sharded_.erase(sit);
+      }
+      for (const auto& [platform, bytes] : reservations_[tenant]) {
+        platform_in_use_[platform] -= bytes;
+      }
+      reservations_.erase(tenant);
       admit_from_queue();
     } else {
       const auto wit =
@@ -141,14 +308,17 @@ bool VaultRegistry::remove(const std::string& tenant) {
     }
   }
   victim.reset();  // may outlive this call if other threads hold the handle
+  sharded_victim.reset();
   return true;
 }
 
 std::vector<std::string> VaultRegistry::tenants() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
-  names.reserve(servers_.size());
+  names.reserve(servers_.size() + sharded_.size());
   for (const auto& [name, server] : servers_) names.push_back(name);
+  for (const auto& [name, server] : sharded_) names.push_back(name);
+  std::sort(names.begin(), names.end());
   return names;
 }
 
@@ -162,9 +332,18 @@ std::vector<std::string> VaultRegistry::queued() const {
 
 std::size_t VaultRegistry::epc_in_use() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return in_use_bytes_;
+  std::size_t sum = 0;
+  for (const auto b : platform_in_use_) sum += b;
+  return sum;
 }
 
-std::size_t VaultRegistry::epc_budget() const { return budget_bytes_; }
+std::size_t VaultRegistry::epc_budget() const {
+  return platform_budget_bytes_ * cfg_.num_platforms;
+}
+
+std::vector<std::size_t> VaultRegistry::platform_in_use() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return platform_in_use_;
+}
 
 }  // namespace gv

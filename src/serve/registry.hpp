@@ -1,14 +1,21 @@
 // VaultRegistry: multi-tenant serving with EPC-aware admission control.
 //
-// Several model vendors can deploy vaults on one SGX platform; each tenant
-// gets its OWN enclave (own measurement, own sealing identity — tenant A's
-// enclave cannot unseal tenant B's rectifier weights), but they all share
-// the platform's 96 MB usable EPC.  Admitting a tenant whose resident set
-// does not fit would push every ecall through the EWB/ELDU page-swap path
-// (the paper's Sec. III-C overhead, ~40k cycles per 4 KiB page), degrading
-// ALL tenants.  The registry therefore estimates each tenant's enclave
-// working set up front and only admits while the total stays inside the EPC
-// budget; the rest are queued (admitted as capacity frees) or rejected.
+// Several model vendors can deploy vaults on one fleet of SGX platforms;
+// each tenant gets its OWN enclave (own measurement, own sealing identity —
+// tenant A's enclave cannot unseal tenant B's rectifier weights), but every
+// enclave on a platform shares that platform's 96 MB usable EPC.  Admitting
+// a tenant whose resident set does not fit would push every ecall through
+// the EWB/ELDU page-swap path (the paper's Sec. III-C overhead, ~40k cycles
+// per 4 KiB page), degrading ALL tenants.  The registry therefore estimates
+// each tenant's enclave working set up front and places it on a platform
+// with room; the rest are queued (admitted as capacity frees) or rejected.
+//
+// Sharded admission (ShardVault): a tenant whose working set exceeds ONE
+// platform's budget — previously an outright rejection — is admitted as K
+// shard enclaves spread across the fleet, provided a shard plan exists
+// whose largest shard fits a platform budget and the fleet has room for
+// all K.  Each platform has its own fuse key, so shard packages seal
+// per-platform and halo traffic runs over attested channels.
 #pragma once
 
 #include <cstdint>
@@ -20,26 +27,38 @@
 #include <vector>
 
 #include "serve/vault_server.hpp"
+#include "shard/sharded_server.hpp"
 
 namespace gv {
 
 struct RegistryConfig {
-  /// Platform cost model shared by every tenant enclave.
+  /// Platform cost model shared by every platform in the fleet.
   SgxCostModel cost_model{};
-  /// Fraction of usable EPC handed out before refusing admission (headroom
-  /// for ecall transients).
+  /// Fraction of usable EPC handed out per platform before refusing
+  /// admission (headroom for ecall transients).
   double epc_budget_fraction = 0.9;
   /// Queue tenants that do not fit right now instead of rejecting them.
   bool queue_when_full = true;
+  /// Identical SGX machines in the fleet (each contributes one EPC budget
+  /// and has its own platform fuse key).
+  std::uint32_t num_platforms = 1;
+  /// Admit tenants larger than one platform's budget as K shards.
+  bool shard_oversized = true;
+  std::uint32_t max_shards = 8;
+  /// Warm standby replicas for sharded tenants.
+  bool replicate_shards = false;
 };
 
-enum class AdmissionDecision { kAdmitted, kQueued, kRejected };
+enum class AdmissionDecision { kAdmitted, kAdmittedSharded, kQueued, kRejected };
 
 struct AdmissionResult {
   AdmissionDecision decision = AdmissionDecision::kRejected;
   /// Estimated enclave working set of the tenant (weights + private graph +
-  /// channel staging + activations).
+  /// channel staging + activations); for sharded admission, the sum of the
+  /// per-shard estimates.
   std::size_t estimated_bytes = 0;
+  /// 1 for unsharded tenants; K for kAdmittedSharded.
+  std::uint32_t num_shards = 1;
   std::string reason;
 };
 
@@ -52,26 +71,37 @@ class VaultRegistry {
   VaultRegistry& operator=(const VaultRegistry&) = delete;
 
   /// Deploy `vault` for `tenant` (unique name). On kAdmitted the server is
-  /// live; kQueued parks the vault until capacity frees; kRejected drops it
-  /// (working set larger than the whole budget, duplicate name, or
-  /// queue_when_full=false).
+  /// live; kAdmittedSharded means the tenant exceeded one platform's budget
+  /// and now spans several shard enclaves (query via sharded_server());
+  /// kQueued parks the vault until capacity frees; kRejected drops it.
   AdmissionResult admit(const std::string& tenant, const Dataset& ds,
                         TrainedVault vault, ServerConfig server_cfg = {});
 
   bool has(const std::string& tenant) const;
-  /// Live server for an admitted tenant; throws gv::Error if absent. The
-  /// shared handle keeps the server alive across a concurrent remove() —
-  /// callers holding it never race its destruction.
+  bool is_sharded(const std::string& tenant) const;
+  /// Live server for an unsharded admitted tenant; throws gv::Error if
+  /// absent (or sharded). The shared handle keeps the server alive across a
+  /// concurrent remove().
   std::shared_ptr<VaultServer> server(const std::string& tenant);
+  /// Live server for a sharded tenant; throws gv::Error if absent.
+  std::shared_ptr<ShardedVaultServer> sharded_server(const std::string& tenant);
 
-  /// Tear down a tenant (live or queued). Freed capacity admits queued
-  /// tenants in arrival order. Returns false if the name is unknown.
+  /// Tear down a tenant (live, sharded, or queued). Freed capacity admits
+  /// queued tenants in arrival order. Returns false if the name is unknown.
   bool remove(const std::string& tenant);
 
   std::vector<std::string> tenants() const;
   std::vector<std::string> queued() const;
+  /// Sum of reserved bytes across all platforms.
   std::size_t epc_in_use() const;
+  /// Fleet-wide budget (per-platform budget x num_platforms).
   std::size_t epc_budget() const;
+  std::size_t platform_budget() const { return platform_budget_bytes_; }
+  std::vector<std::size_t> platform_in_use() const;
+
+  /// Fuse key of fleet platform `idx` (platform 0 is the default key, so a
+  /// single-platform registry behaves exactly like the pre-fleet one).
+  static Sha256Digest platform_key(std::uint32_t idx);
 
   /// Working-set estimate used for admission: rectifier weights, the private
   /// adjacency in COO + CSR form, channel staging for the required embedding
@@ -88,17 +118,28 @@ class VaultRegistry {
     std::size_t estimated_bytes = 0;
   };
 
-  /// Launch a server for an admitted tenant (registry lock held).
+  /// Registry lock held for all of these.
+  AdmissionResult try_admit(const std::string& tenant, const Dataset& ds,
+                            TrainedVault&& vault, const ServerConfig& server_cfg,
+                            bool allow_queue);
   void launch(const std::string& tenant, const Dataset& ds, TrainedVault vault,
-              const ServerConfig& server_cfg, std::size_t estimated_bytes);
+              const ServerConfig& server_cfg, std::uint32_t platform,
+              std::size_t estimated_bytes);
+  bool launch_sharded(const std::string& tenant, const Dataset& ds,
+                      TrainedVault&& vault, const ServerConfig& server_cfg,
+                      AdmissionResult& result, bool* feasible_on_empty_fleet);
   void admit_from_queue();
+  std::size_t platform_free(std::uint32_t p) const;
 
   RegistryConfig cfg_;
-  std::size_t budget_bytes_ = 0;
+  std::size_t platform_budget_bytes_ = 0;
   mutable std::mutex mu_;
-  std::size_t in_use_bytes_ = 0;
+  std::vector<std::size_t> platform_in_use_;
   std::map<std::string, std::shared_ptr<VaultServer>> servers_;
-  std::map<std::string, std::size_t> reserved_bytes_;
+  std::map<std::string, std::shared_ptr<ShardedVaultServer>> sharded_;
+  /// tenant -> per-(platform, bytes) reservations (one entry per shard).
+  std::map<std::string, std::vector<std::pair<std::uint32_t, std::size_t>>>
+      reservations_;
   std::deque<Waiting> waiting_;
 };
 

@@ -49,6 +49,16 @@ void ServerMetrics::record_batch(std::size_t size) {
   completed_ += size;
 }
 
+void ServerMetrics::record_coalesced() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++coalesced_;
+}
+
+void ServerMetrics::record_feature_update() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++feature_updates_;
+}
+
 void ServerMetrics::record_latency_ms(double ms) {
   std::lock_guard<std::mutex> lock(mu_);
   if (latencies_ms_.size() < kLatencyWindow) {
@@ -65,6 +75,8 @@ MetricsSnapshot ServerMetrics::snapshot() const {
   s.requests = requests_;
   s.completed = completed_;
   s.batches = batches_;
+  s.coalesced = coalesced_;
+  s.feature_updates = feature_updates_;
   s.cache_hits = cache_hits_;
   s.cache_misses = cache_misses_;
   const auto probes = cache_hits_ + cache_misses_;
@@ -83,6 +95,7 @@ MetricsSnapshot ServerMetrics::snapshot() const {
 void ServerMetrics::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   requests_ = completed_ = batches_ = cache_hits_ = cache_misses_ = 0;
+  coalesced_ = feature_updates_ = 0;
   latencies_ms_.clear();
   latency_samples_ = 0;
   since_.reset();

@@ -20,6 +20,11 @@ struct MetricsSnapshot {
   std::uint64_t requests = 0;        // submitted (cache hits included)
   std::uint64_t completed = 0;       // resolved through a batch
   std::uint64_t batches = 0;         // flushed batches == batched ecalls
+  std::uint64_t coalesced = 0;       // duplicate in-flight queries that rode
+                                     // an already queued node's slot
+  std::uint64_t failovers = 0;       // shard batches served by a replica
+                                     // (spliced in from the ShardRouter)
+  std::uint64_t feature_updates = 0; // backbone snapshot refreshes
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t ecalls = 0;          // enclave transitions (from the meter)
@@ -48,8 +53,12 @@ class ServerMetrics {
   void record_request();
   void record_cache_hit();
   void record_cache_miss();
-  /// One flushed batch of `size` requests.
+  /// One flushed batch resolving `size` requests (coalesced waiters count).
   void record_batch(std::size_t size);
+  /// A duplicate in-flight query coalesced onto a queued node's slot.
+  void record_coalesced();
+  /// A feature-snapshot refresh (update_features).
+  void record_feature_update();
   /// Queue-to-completion latency of one request.
   void record_latency_ms(double ms);
 
@@ -63,6 +72,8 @@ class ServerMetrics {
   std::uint64_t requests_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t batches_ = 0;
+  std::uint64_t coalesced_ = 0;
+  std::uint64_t feature_updates_ = 0;
   std::uint64_t cache_hits_ = 0;
   std::uint64_t cache_misses_ = 0;
   std::vector<double> latencies_ms_;  // ring buffer of the last kLatencyWindow

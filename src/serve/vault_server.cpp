@@ -8,13 +8,16 @@ namespace gv {
 
 VaultServer::VaultServer(const Dataset& ds, TrainedVault vault,
                          DeploymentOptions dopts, ServerConfig cfg)
-    : features_(ds.features),
-      cfg_(cfg),
+    : cfg_(cfg),
       deployment_(ds, std::move(vault), dopts),
       cache_(cfg.cache_capacity),
+      num_nodes_(ds.features.rows()),
+      queue_(cfg.max_batch, cfg.max_wait),
       pool_(std::max<std::size_t>(1, cfg.worker_threads)) {
   cfg_.max_batch = std::max<std::size_t>(1, cfg_.max_batch);
   cfg_.worker_threads = pool_.size();
+  snap_ = std::make_shared<Snapshot>();
+  snap_->features = ds.features;
   workers_.reserve(pool_.size());
   for (std::size_t i = 0; i < pool_.size(); ++i) {
     workers_.push_back(pool_.submit([this] { worker_loop(); }));
@@ -22,11 +25,7 @@ VaultServer::VaultServer(const Dataset& ds, TrainedVault vault,
 }
 
 VaultServer::~VaultServer() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stopping_ = true;
-  }
-  cv_.notify_all();
+  queue_.stop();
   for (auto& w : workers_) {
     try {
       w.get();
@@ -36,12 +35,23 @@ VaultServer::~VaultServer() {
   }
 }
 
+std::shared_ptr<VaultServer::Snapshot> VaultServer::current_snapshot() const {
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  return snap_;
+}
+
+const CsrMatrix& VaultServer::features() const {
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  return snap_->features;
+}
+
 std::future<std::uint32_t> VaultServer::submit(std::uint32_t node) {
-  GV_CHECK(node < features_.rows(), "query node out of range");
+  GV_CHECK(node < num_nodes_, "query node out of range");
   metrics_.record_request();
   Sha256Digest digest{};  // only computed (and consulted) when caching is on
   if (cache_.enabled()) {
-    digest = feature_row_digest(features_, node);
+    const auto snap = current_snapshot();
+    digest = feature_row_digest(snap->features, node);
     if (const auto hit = cache_.get(node, digest)) {
       metrics_.record_cache_hit();
       metrics_.record_latency_ms(0.0);
@@ -51,17 +61,11 @@ std::future<std::uint32_t> VaultServer::submit(std::uint32_t node) {
     }
     metrics_.record_cache_miss();
   }
-  Pending req;
-  req.node = node;
-  req.digest = digest;
-  req.enqueued = std::chrono::steady_clock::now();
-  std::future<std::uint32_t> fut = req.promise.get_future();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    GV_CHECK(!stopping_, "VaultServer is shutting down");
-    queue_.push_back(std::move(req));
+  std::promise<std::uint32_t> promise;
+  std::future<std::uint32_t> fut = promise.get_future();
+  if (queue_.submit(node, digest, std::move(promise))) {
+    metrics_.record_coalesced();
   }
-  cv_.notify_one();
   return fut;
 }
 
@@ -75,19 +79,27 @@ std::vector<std::future<std::uint32_t>> VaultServer::submit_many(
 
 std::uint32_t VaultServer::query(std::uint32_t node) { return submit(node).get(); }
 
-void VaultServer::flush() {
+void VaultServer::update_features(const CsrMatrix& new_features) {
+  GV_CHECK(new_features.rows() == num_nodes_,
+           "feature update must keep the node set");
+  auto fresh = std::make_shared<Snapshot>();
+  fresh->features = new_features;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (queue_.empty()) return;
-    flush_requested_ = true;
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    GV_CHECK(new_features.cols() == snap_->features.cols(),
+             "feature update must keep the feature dimension");
+    snap_ = std::move(fresh);
   }
-  cv_.notify_all();
+  // Digest-based invalidation: entries for rows that actually changed are
+  // evicted; untouched rows keep their labels (see LabelCache docs for the
+  // locality approximation this accepts).
+  cache_.invalidate_stale(new_features);
+  metrics_.record_feature_update();
 }
 
-std::size_t VaultServer::pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
-}
+void VaultServer::flush() { queue_.flush(); }
+
+std::size_t VaultServer::pending() const { return queue_.pending(); }
 
 MetricsSnapshot VaultServer::stats() const {
   MetricsSnapshot s = metrics_.snapshot();
@@ -106,71 +118,59 @@ void VaultServer::reset_stats() {
   deployment_.reset_meter();
 }
 
-const std::vector<Matrix>& VaultServer::backbone_outputs() {
-  // The backbone is untrusted-world state over a fixed feature snapshot:
-  // run it once and serve every batch from the cached embeddings.
-  std::call_once(backbone_once_,
-                 [&] { backbone_outputs_ = deployment_.run_backbone(features_); });
-  return backbone_outputs_;
-}
-
 void VaultServer::worker_loop() {
   for (;;) {
-    std::vector<Pending> batch;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (stopping_) return;
-        continue;
-      }
-      // Dynamic micro-batching: grow the batch until it is full, the oldest
-      // request's deadline passes, or a flush/shutdown short-circuits it.
-      const auto deadline = queue_.front().enqueued + cfg_.max_wait;
-      while (queue_.size() < cfg_.max_batch && !stopping_ && !flush_requested_) {
-        if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
-        if (queue_.empty()) break;  // another worker drained it
-      }
-      if (queue_.empty()) {
-        if (stopping_) return;
-        continue;
-      }
-      const std::size_t take = std::min(queue_.size(), cfg_.max_batch);
-      batch.reserve(take);
-      for (std::size_t i = 0; i < take; ++i) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
-      }
-      if (queue_.empty()) flush_requested_ = false;
-    }
+    auto batch = queue_.next_batch();
+    if (batch.empty()) return;  // stopped and drained
     execute_batch(std::move(batch));
   }
 }
 
-void VaultServer::execute_batch(std::vector<Pending> batch) {
+void VaultServer::execute_batch(std::vector<MicroBatchQueue::Entry> batch) {
   std::vector<std::uint32_t> nodes;
   nodes.reserve(batch.size());
-  for (const auto& p : batch) nodes.push_back(p.node);
+  std::size_t waiters = 0;
+  for (const auto& e : batch) {
+    nodes.push_back(e.node);
+    waiters += e.waiters.size();
+  }
   try {
-    const auto& outputs = backbone_outputs();
+    // Pin the snapshot this batch computes against; a concurrent
+    // update_features swaps the server's pointer but cannot mutate ours.
+    const auto snap = current_snapshot();
+    std::call_once(snap->backbone_once, [&] {
+      // The backbone is untrusted-world state over a fixed feature
+      // snapshot: run it once and serve every batch from the embeddings.
+      snap->outputs = deployment_.run_backbone(snap->features);
+    });
     // The whole batch rides ONE ecall; only its labels come back.
-    const auto labels = deployment_.infer_labels_batched(outputs, nodes);
+    const auto labels = deployment_.infer_labels_batched(snap->outputs, nodes);
     const auto done = std::chrono::steady_clock::now();
     // Account the batch before resolving any promise, so a caller observing
     // its future completed also observes the batch in stats().
-    metrics_.record_batch(batch.size());
+    metrics_.record_batch(waiters);
     for (std::size_t i = 0; i < batch.size(); ++i) {
-      cache_.put(batch[i].node, batch[i].digest, labels[i]);
-      metrics_.record_latency_ms(
+      if (cache_.enabled()) {
+        // Re-derive the digest from the snapshot the label was computed
+        // against (the submit-time digest may predate a feature update).
+        cache_.put(batch[i].node, feature_row_digest(snap->features, batch[i].node),
+                   labels[i]);
+      }
+      const double ms =
           std::chrono::duration<double, std::milli>(done - batch[i].enqueued)
-              .count());
+              .count();
+      for (std::size_t w = 0; w < batch[i].waiters.size(); ++w) {
+        metrics_.record_latency_ms(ms);
+      }
     }
     for (std::size_t i = 0; i < batch.size(); ++i) {
-      batch[i].promise.set_value(labels[i]);
+      for (auto& waiter : batch[i].waiters) waiter.set_value(labels[i]);
     }
   } catch (...) {
     const auto err = std::current_exception();
-    for (auto& p : batch) p.promise.set_exception(err);
+    for (auto& e : batch) {
+      for (auto& waiter : e.waiters) waiter.set_exception(err);
+    }
   }
 }
 

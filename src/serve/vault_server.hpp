@@ -6,6 +6,7 @@
 // embedding transfer.  The server coalesces requests instead:
 //
 //   caller threads --> submit(node) --> [dynamic micro-batch queue]
+//                                             |  duplicate nodes coalesce
 //                                             |  flush on max_batch
 //                                             |  or max-wait deadline
 //                                     ThreadPool worker loop
@@ -18,19 +19,23 @@
 // of its embeddings); each flushed batch then costs one embedding push plus
 // one ecall, so the fixed SGX costs amortize across the batch (the paper's
 // Sec. III-C overhead analysis is exactly the cost this removes).  A small
-// LRU label cache short-circuits repeat queries before they ever enqueue.
+// LRU label cache short-circuits repeat queries before they ever enqueue;
+// duplicate queries already in flight share one batch slot and fan the
+// result out to every waiting future.  update_features() swaps in a new
+// snapshot for a live graph: the backbone recomputes lazily and cached
+// labels are invalidated by feature-row digest.
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <vector>
 
 #include "common/thread_pool.hpp"
 #include "core/deployment.hpp"
+#include "serve/batch_queue.hpp"
 #include "serve/label_cache.hpp"
 #include "serve/server_metrics.hpp"
 
@@ -52,7 +57,7 @@ class VaultServer {
  public:
   /// Deploys `vault` into its own enclave and starts the worker loop.
   /// `ds` provides the private graph (sealed into the enclave) and the
-  /// feature snapshot served until shutdown.
+  /// initial feature snapshot.
   VaultServer(const Dataset& ds, TrainedVault vault, DeploymentOptions dopts = {},
               ServerConfig cfg = {});
   /// Drains pending requests, then stops the workers.
@@ -69,9 +74,15 @@ class VaultServer {
   /// Convenience blocking query.
   std::uint32_t query(std::uint32_t node);
 
+  /// Swap in a new feature snapshot (same node set and feature dim): the
+  /// backbone embeddings recompute lazily on the next batch, and cached
+  /// labels whose feature-row digest changed are evicted.  Requests already
+  /// queued resolve against the NEW snapshot.
+  void update_features(const CsrMatrix& new_features);
+
   /// Force-flush pending requests without waiting for the deadline.
   void flush();
-  /// Pending (queued, unflushed) requests.
+  /// Pending (queued, unflushed) requests; coalesced duplicates count once.
   std::size_t pending() const;
 
   /// Counters, percentiles, and meter-derived fields, merged.
@@ -81,35 +92,33 @@ class VaultServer {
   VaultDeployment& deployment() { return deployment_; }
   const VaultDeployment& deployment() const { return deployment_; }
   const ServerConfig& config() const { return cfg_; }
-  const CsrMatrix& features() const { return features_; }
+  /// Current feature snapshot (stable reference only between updates).
+  const CsrMatrix& features() const;
 
  private:
-  struct Pending {
-    std::uint32_t node;
-    Sha256Digest digest;
-    std::promise<std::uint32_t> promise;
-    std::chrono::steady_clock::time_point enqueued;
+  /// One immutable feature snapshot plus its lazily computed backbone
+  /// embeddings; batches pin the snapshot they were executed against, so
+  /// update_features never races an in-flight batch.
+  struct Snapshot {
+    CsrMatrix features;
+    std::once_flag backbone_once;
+    std::vector<Matrix> outputs;
   };
 
+  std::shared_ptr<Snapshot> current_snapshot() const;
   void worker_loop();
-  void execute_batch(std::vector<Pending> batch);
-  const std::vector<Matrix>& backbone_outputs();
+  void execute_batch(std::vector<MicroBatchQueue::Entry> batch);
 
-  CsrMatrix features_;
   ServerConfig cfg_;
   VaultDeployment deployment_;
   LabelCache cache_;
   ServerMetrics metrics_;
+  const std::size_t num_nodes_;
 
-  std::once_flag backbone_once_;
-  std::vector<Matrix> backbone_outputs_;
+  mutable std::mutex snap_mu_;
+  std::shared_ptr<Snapshot> snap_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Pending> queue_;
-  bool stopping_ = false;
-  bool flush_requested_ = false;
-
+  MicroBatchQueue queue_;
   ThreadPool pool_;
   std::vector<std::future<void>> workers_;
 };

@@ -1,0 +1,233 @@
+#include "sgxsim/attested_channel.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace gv {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t& off) {
+  GV_CHECK(off + 4 <= in.size(), "truncated attested-channel payload");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t(in[off + i]) << (8 * i);
+  off += 4;
+  return v;
+}
+
+}  // namespace
+
+AttestedChannel::AttestedChannel(Enclave& a, Enclave& b, const Sha256Digest& key_a,
+                                 const Sha256Digest& key_b)
+    : a_(&a), b_(&b) {
+  GV_CHECK(&a != &b, "attested channel needs two distinct enclaves");
+  // Each side contributes a key share bound to its report; a real deployment
+  // would run a DH exchange — the simulation derives the shares from the
+  // enclave identities, which is enough to make the session key depend on
+  // both attested parties.
+  std::vector<std::uint8_t> share_a(a.measurement().begin(), a.measurement().end());
+  share_a.push_back(0xA5);
+  std::vector<std::uint8_t> share_b(b.measurement().begin(), b.measurement().end());
+  share_b.push_back(0x5A);
+  const Enclave::Report report_a = a.create_report(share_a);
+  const Enclave::Report report_b = b.create_report(share_b);
+  GV_CHECK(Enclave::verify_report(report_a, key_a),
+           "attestation failed: endpoint A's report does not verify");
+  GV_CHECK(Enclave::verify_report(report_b, key_b),
+           "attestation failed: endpoint B's report does not verify");
+  // All shards of one tenant run the same rectifier code image; a peer with
+  // a different measurement is not a shard of this tenant.
+  GV_CHECK(report_a.measurement == report_b.measurement,
+           "attestation failed: peer enclave runs different code");
+
+  Sha256 kdf;
+  kdf.update(std::string("gnnvault-attested-channel-v1"));
+  kdf.update(std::span<const std::uint8_t>(report_a.measurement.data(),
+                                           report_a.measurement.size()));
+  kdf.update(share_a);
+  kdf.update(share_b);
+  const Sha256Digest k = kdf.finish();
+  std::memcpy(session_key_.data(), k.data(), session_key_.size());
+}
+
+AttestedChannel::AttestedChannel(Enclave& a, Enclave& b)
+    : AttestedChannel(a, b, Enclave::default_platform_key(),
+                      Enclave::default_platform_key()) {}
+
+int AttestedChannel::endpoint_index(const Enclave& e) const {
+  if (&e == a_) return 0;
+  if (&e == b_) return 1;
+  throw Error("enclave is not an endpoint of this attested channel");
+}
+
+AttestedChannel::Sealed AttestedChannel::encrypt(
+    const Enclave& from, std::span<const std::uint8_t> plaintext) {
+  Sealed blob;
+  const std::uint64_t ctr = ++nonce_counter_;
+  for (int i = 0; i < 8; ++i) blob.nonce[i] = static_cast<std::uint8_t>(ctr >> (8 * i));
+  blob.nonce[8] = static_cast<std::uint8_t>(endpoint_index(from));
+  blob.ciphertext = aead_encrypt(session_key_, blob.nonce, plaintext, {}, blob.tag);
+  return blob;
+}
+
+std::vector<std::uint8_t> AttestedChannel::decrypt(const Enclave& to,
+                                                   const Sealed& blob) {
+  // Direction check: a block must have been sealed by the OTHER endpoint.
+  GV_CHECK(blob.nonce[8] != endpoint_index(to),
+           "attested-channel block addressed to its own sender");
+  return aead_decrypt(session_key_, blob.nonce, blob.ciphertext, {}, blob.tag);
+}
+
+void AttestedChannel::send_embeddings(const Enclave& from,
+                                      std::vector<std::uint32_t> nodes,
+                                      Matrix rows) {
+  GV_CHECK(nodes.size() == rows.rows(), "one node id per embedding row");
+  std::vector<std::uint8_t> payload;
+  payload.reserve(8 + nodes.size() * 4 + rows.payload_bytes());
+  put_u32(payload, static_cast<std::uint32_t>(nodes.size()));
+  put_u32(payload, static_cast<std::uint32_t>(rows.cols()));
+  for (const auto v : nodes) put_u32(payload, v);
+  const auto* fp = reinterpret_cast<const std::uint8_t*>(rows.data());
+  payload.insert(payload.end(), fp, fp + rows.payload_bytes());
+
+  const int to = 1 - endpoint_index(from);
+  Sealed blob = encrypt(from, payload);
+  // Leaving the sender is an OCALL-shaped transition; entering the receiver
+  // is an MEE-encrypted copy (charged now; the recv pop is in-enclave work).
+  const_cast<Enclave&>(from).charge_ocall();
+  (to == 0 ? a_ : b_)->copy_in(payload.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  embeddings_to_[to].push_back(std::move(blob));
+  embedding_bytes_ += payload.size();
+  ++blocks_;
+}
+
+AttestedChannel::EmbeddingBlock AttestedChannel::recv_embeddings(const Enclave& to) {
+  Sealed blob;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& q = embeddings_to_[endpoint_index(to)];
+    GV_CHECK(!q.empty(), "no pending embedding block on attested channel");
+    blob = std::move(q.front());
+    q.pop_front();
+  }
+  const auto payload = decrypt(to, blob);
+  std::size_t off = 0;
+  EmbeddingBlock out;
+  const std::uint32_t count = get_u32(payload, off);
+  const std::uint32_t cols = get_u32(payload, off);
+  out.nodes.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) out.nodes.push_back(get_u32(payload, off));
+  out.rows = Matrix(count, cols);
+  GV_CHECK(off + out.rows.payload_bytes() == payload.size(),
+           "embedding block size mismatch");
+  std::memcpy(out.rows.data(), payload.data() + off, out.rows.payload_bytes());
+  return out;
+}
+
+bool AttestedChannel::has_embeddings(const Enclave& to) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !embeddings_to_[endpoint_index(to)].empty();
+}
+
+void AttestedChannel::send_labels(const Enclave& from,
+                                  std::vector<std::uint32_t> nodes,
+                                  std::vector<std::uint32_t> labels) {
+  GV_CHECK(nodes.size() == labels.size(), "one node id per label");
+  std::vector<std::uint8_t> payload;
+  payload.reserve(4 + nodes.size() * 8);
+  put_u32(payload, static_cast<std::uint32_t>(nodes.size()));
+  for (const auto v : nodes) put_u32(payload, v);
+  for (const auto l : labels) put_u32(payload, l);
+
+  const int to = 1 - endpoint_index(from);
+  Sealed blob = encrypt(from, payload);
+  const_cast<Enclave&>(from).charge_ocall();
+  (to == 0 ? a_ : b_)->copy_in(payload.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  labels_to_[to].push_back(std::move(blob));
+  label_bytes_ += payload.size();
+  ++blocks_;
+}
+
+AttestedChannel::LabelBlock AttestedChannel::recv_labels(const Enclave& to) {
+  Sealed blob;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& q = labels_to_[endpoint_index(to)];
+    GV_CHECK(!q.empty(), "no pending label block on attested channel");
+    blob = std::move(q.front());
+    q.pop_front();
+  }
+  const auto payload = decrypt(to, blob);
+  std::size_t off = 0;
+  LabelBlock out;
+  const std::uint32_t count = get_u32(payload, off);
+  out.nodes.reserve(count);
+  out.labels.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) out.nodes.push_back(get_u32(payload, off));
+  for (std::uint32_t i = 0; i < count; ++i) out.labels.push_back(get_u32(payload, off));
+  GV_CHECK(off == payload.size(), "label block size mismatch");
+  return out;
+}
+
+bool AttestedChannel::has_labels(const Enclave& to) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !labels_to_[endpoint_index(to)].empty();
+}
+
+void AttestedChannel::send_package(const Enclave& from,
+                                   std::vector<std::uint8_t> payload) {
+  const int to = 1 - endpoint_index(from);
+  Sealed blob = encrypt(from, payload);
+  const_cast<Enclave&>(from).charge_ocall();
+  (to == 0 ? a_ : b_)->copy_in(payload.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  packages_to_[to].push_back(std::move(blob));
+  package_bytes_ += payload.size();
+  ++blocks_;
+}
+
+std::vector<std::uint8_t> AttestedChannel::recv_package(const Enclave& to) {
+  Sealed blob;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& q = packages_to_[endpoint_index(to)];
+    GV_CHECK(!q.empty(), "no pending package on attested channel");
+    blob = std::move(q.front());
+    q.pop_front();
+  }
+  return decrypt(to, blob);
+}
+
+std::uint64_t AttestedChannel::embedding_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return embedding_bytes_;
+}
+
+std::uint64_t AttestedChannel::label_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return label_bytes_;
+}
+
+std::uint64_t AttestedChannel::package_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return package_bytes_;
+}
+
+std::uint64_t AttestedChannel::total_payload_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return embedding_bytes_ + label_bytes_ + package_bytes_;
+}
+
+std::uint64_t AttestedChannel::blocks_sent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return blocks_;
+}
+
+}  // namespace gv

@@ -1,0 +1,112 @@
+// Mutually attested enclave-to-enclave channel.
+//
+// ShardVault runs one tenant across several enclaves (possibly on several
+// SGX platforms); at every rectifier layer, boundary-node embeddings must
+// move from the shard that computed them to the shards whose nodes border
+// them.  That traffic crosses untrusted memory, so it must be protected and
+// the peers must prove their identity first:
+//
+//   handshake: each side produces a local-attestation report over its key
+//   share (Enclave::create_report); the verifier checks the MAC with the
+//   peer platform's key — the stand-in for the quoting/IAS step of remote
+//   attestation when the peer is another machine — and requires the peer's
+//   MEASUREMENT to match its own (all shards of one tenant run identical
+//   rectifier code).  The session key is derived from both measurements and
+//   both key shares, and every payload is ChaCha20-Poly1305-sealed under it.
+//
+// The API is deliberately narrow: embeddings, labels, and (for the replica
+// channel only) whole sealed shard packages.  There is no way to put raw
+// adjacency on an inter-shard channel, and per-kind byte counters let tests
+// audit exactly that invariant.  The untrusted world that relays the
+// ciphertext learns only block sizes, never edges.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "sgxsim/enclave.hpp"
+#include "tensor/matrix.hpp"
+
+namespace gv {
+
+class AttestedChannel {
+ public:
+  /// Handshake between `a` and `b`.  `key_a` / `key_b` are the platform
+  /// keys the verifier trusts for each side (same-platform peers pass the
+  /// same key twice).  Throws gv::Error when a report fails verification or
+  /// the measurements differ.
+  AttestedChannel(Enclave& a, Enclave& b, const Sha256Digest& key_a,
+                  const Sha256Digest& key_b);
+  /// Same-platform convenience (both enclaves under the default key).
+  AttestedChannel(Enclave& a, Enclave& b);
+
+  AttestedChannel(const AttestedChannel&) = delete;
+  AttestedChannel& operator=(const AttestedChannel&) = delete;
+
+  struct EmbeddingBlock {
+    std::vector<std::uint32_t> nodes;  // global node ids of the rows
+    Matrix rows;
+  };
+  struct LabelBlock {
+    std::vector<std::uint32_t> nodes;
+    std::vector<std::uint32_t> labels;
+  };
+
+  /// Send boundary-node embedding rows from `from` to the other endpoint.
+  /// Must be called with one of the two handshaked enclaves.
+  void send_embeddings(const Enclave& from, std::vector<std::uint32_t> nodes,
+                       Matrix rows);
+  /// Pop the oldest embedding block addressed to `to` (FIFO); throws when
+  /// none is pending or the AEAD tag fails.
+  EmbeddingBlock recv_embeddings(const Enclave& to);
+  bool has_embeddings(const Enclave& to) const;
+
+  void send_labels(const Enclave& from, std::vector<std::uint32_t> nodes,
+                   std::vector<std::uint32_t> labels);
+  LabelBlock recv_labels(const Enclave& to);
+  bool has_labels(const Enclave& to) const;
+
+  /// Replication path: ship an opaque package payload (e.g. a serialized
+  /// shard package) to the peer, which re-seals it under its own platform
+  /// key.  Inter-shard inference channels never call this.
+  void send_package(const Enclave& from, std::vector<std::uint8_t> payload);
+  std::vector<std::uint8_t> recv_package(const Enclave& to);
+
+  // --- Audit counters (plaintext payload bytes by kind). -----------------
+  std::uint64_t embedding_bytes() const;
+  std::uint64_t label_bytes() const;
+  std::uint64_t package_bytes() const;
+  std::uint64_t total_payload_bytes() const;
+  std::uint64_t blocks_sent() const;
+
+ private:
+  struct Sealed {
+    AeadNonce nonce{};
+    std::vector<std::uint8_t> ciphertext;
+    AeadTag tag{};
+  };
+
+  int endpoint_index(const Enclave& e) const;
+  Sealed encrypt(const Enclave& from, std::span<const std::uint8_t> plaintext);
+  std::vector<std::uint8_t> decrypt(const Enclave& to, const Sealed& blob);
+
+  Enclave* a_;
+  Enclave* b_;
+  AeadKey session_key_{};
+  std::atomic<std::uint64_t> nonce_counter_{0};
+
+  mutable std::mutex mu_;
+  // queue_to_[i] holds blocks addressed to endpoint i (0 = a, 1 = b).
+  std::deque<Sealed> embeddings_to_[2];
+  std::deque<Sealed> labels_to_[2];
+  std::deque<Sealed> packages_to_[2];
+  std::uint64_t embedding_bytes_ = 0;
+  std::uint64_t label_bytes_ = 0;
+  std::uint64_t package_bytes_ = 0;
+  std::uint64_t blocks_ = 0;
+};
+
+}  // namespace gv

@@ -1,0 +1,157 @@
+#include "shard/replica_manager.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace gv {
+
+Sha256Digest ReplicaConfig::standby_platform_default_key() {
+  Sha256 h;
+  h.update(std::string("gnnvault-simulated-standby-cpu-fuse-key-v1"));
+  return h.finish();
+}
+
+ReplicaManager::ReplicaManager(ShardedVaultDeployment& primary, ReplicaConfig cfg)
+    : primary_(&primary), cfg_(cfg) {
+  replicas_.reserve(primary.num_shards());
+  for (std::uint32_t s = 0; s < primary.num_shards(); ++s) {
+    auto rep = std::make_unique<Replica>();
+    rep->enclave = primary.make_peer_enclave(s, cfg_.standby_platform_key);
+    // Handshake now: the primary attests the standby (and vice versa)
+    // before any package bytes move.
+    rep->channel = std::make_unique<AttestedChannel>(
+        primary.shard_enclave(s), *rep->enclave, primary.shard_platform_key(s),
+        cfg_.standby_platform_key);
+    replicas_.push_back(std::move(rep));
+  }
+}
+
+ReplicaManager::~ReplicaManager() {
+  if (pending_.valid()) {
+    try {
+      pending_.get();
+    } catch (...) {
+      // Replication failure at teardown has nobody left to report to.
+    }
+  }
+}
+
+void ReplicaManager::replicate_one(std::uint32_t shard) {
+  Replica& rep = *replicas_[shard];
+  // Primary side: package (and labels when available) leave the primary
+  // enclave only through the attested channel.
+  primary_->send_payload(shard, *rep.channel);
+  const bool with_labels = primary_->refreshed();
+  if (with_labels) primary_->send_labels(shard, *rep.channel);
+
+  // Standby side: receive, RE-SEAL under the standby platform key, and keep
+  // the label store warm.
+  rep.enclave->ecall([&] {
+    const auto bytes = rep.channel->recv_package(*rep.enclave);
+    rep.payload = deserialize_shard_payload(bytes);
+    rep.sealed = rep.enclave->seal(bytes);
+    auto& mem = rep.enclave->memory();
+    mem.set("replica.package", rep.payload.payload_bytes());
+    if (with_labels) {
+      auto block = rep.channel->recv_labels(*rep.enclave);
+      GV_CHECK(block.nodes == rep.payload.owned,
+               "replicated label store does not cover the shard's nodes");
+      rep.labels = std::move(block.labels);
+      mem.set("labels.store", rep.labels.size() * sizeof(std::uint32_t));
+    }
+  });
+  rep.ready.store(true);
+}
+
+void ReplicaManager::replicate_all() {
+  std::lock_guard<std::mutex> lock(replicate_mu_);
+  for (std::uint32_t s = 0; s < replicas_.size(); ++s) replicate_one(s);
+}
+
+void ReplicaManager::replicate_async() {
+  wait_ready();  // one async replication at a time
+  pending_ = std::async(std::launch::async, [this] { replicate_all(); });
+}
+
+void ReplicaManager::wait_ready() {
+  if (pending_.valid()) pending_.get();
+}
+
+bool ReplicaManager::ready(std::uint32_t shard) const {
+  GV_CHECK(shard < replicas_.size(), "shard index out of range");
+  return replicas_[shard]->ready.load();
+}
+
+void ReplicaManager::sync_labels() {
+  std::lock_guard<std::mutex> lock(replicate_mu_);
+  for (std::uint32_t s = 0; s < replicas_.size(); ++s) {
+    Replica& rep = *replicas_[s];
+    if (!rep.ready.load() || !primary_->shard_alive(s)) continue;
+    primary_->send_labels(s, *rep.channel);
+    rep.enclave->ecall([&] {
+      auto block = rep.channel->recv_labels(*rep.enclave);
+      GV_CHECK(block.nodes == rep.payload.owned,
+               "replicated label store does not cover the shard's nodes");
+      rep.labels = std::move(block.labels);
+      rep.enclave->memory().set("labels.store",
+                                rep.labels.size() * sizeof(std::uint32_t));
+    });
+  }
+}
+
+std::vector<std::uint32_t> ReplicaManager::lookup(std::uint32_t shard,
+                                                  std::span<const std::uint32_t> nodes,
+                                                  double* modeled_delta) {
+  GV_CHECK(shard < replicas_.size(), "shard index out of range");
+  Replica& rep = *replicas_[shard];
+  GV_CHECK(rep.ready.load(), "replica not yet replicated");
+  const double before =
+      rep.enclave->meter_snapshot().total_seconds(primary_->cost_model());
+  auto labels = rep.enclave->ecall([&] {
+    // Label-store state is read only here, inside the ecall, so the enclave
+    // entry mutex serializes lookups against a concurrent sync_labels.
+    GV_CHECK(!rep.labels.empty() || rep.payload.owned.empty(),
+             "replica has no label store yet");
+    std::vector<std::uint32_t> out;
+    out.reserve(nodes.size());
+    for (const auto v : nodes) {
+      const auto it =
+          std::lower_bound(rep.payload.owned.begin(), rep.payload.owned.end(), v);
+      GV_CHECK(it != rep.payload.owned.end() && *it == v,
+               "node not owned by this shard");
+      out.push_back(
+          rep.labels[static_cast<std::size_t>(it - rep.payload.owned.begin())]);
+    }
+    return out;
+  });
+  if (modeled_delta != nullptr) {
+    *modeled_delta =
+        rep.enclave->meter_snapshot().total_seconds(primary_->cost_model()) - before;
+  }
+  return labels;
+}
+
+Enclave& ReplicaManager::replica_enclave(std::uint32_t shard) {
+  GV_CHECK(shard < replicas_.size(), "shard index out of range");
+  return *replicas_[shard]->enclave;
+}
+
+const SealedBlob& ReplicaManager::sealed_payload(std::uint32_t shard) const {
+  GV_CHECK(shard < replicas_.size(), "shard index out of range");
+  return replicas_[shard]->sealed;
+}
+
+std::uint64_t ReplicaManager::package_bytes() const {
+  std::uint64_t sum = 0;
+  for (const auto& r : replicas_) sum += r->channel->package_bytes();
+  return sum;
+}
+
+std::uint64_t ReplicaManager::label_bytes() const {
+  std::uint64_t sum = 0;
+  for (const auto& r : replicas_) sum += r->channel->label_bytes();
+  return sum;
+}
+
+}  // namespace gv

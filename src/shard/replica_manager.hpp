@@ -1,0 +1,95 @@
+// ReplicaManager: warm-standby failover for sharded vaults.
+//
+// A shard enclave can die (machine reboot, enclave teardown, EPC pressure
+// eviction); without a standby, every query for its nodes fails until the
+// vendor re-provisions.  The manager keeps one replica enclave per shard on
+// a STANDBY platform:
+//
+//   * package replication — the primary shard ships its package (weights +
+//     sub-adjacency + halo routing) over a mutually attested channel; the
+//     standby re-seals it under ITS platform key, so the replica can
+//     relaunch from local sealed storage without the vendor in the loop.
+//     Sealed blobs never move across platforms directly (they cannot: the
+//     sealing key binds to the platform fuse key) — re-sealing after an
+//     attested transfer is the only sound path.
+//   * label-store replication — after every refresh the primary streams its
+//     owned labels (labels may cross enclave-to-enclave channels), so
+//     failover is warm: the replica answers lookups immediately.
+//
+// Replication runs asynchronously off the serving path; ShardRouter fails
+// a query batch over to the replica when the primary shard is dead.
+#pragma once
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "shard/sharded_deployment.hpp"
+
+namespace gv {
+
+struct ReplicaConfig {
+  /// Platform fuse key of the standby machine hosting the replicas.
+  Sha256Digest standby_platform_key = standby_platform_default_key();
+
+  static Sha256Digest standby_platform_default_key();
+};
+
+class ReplicaManager {
+ public:
+  ReplicaManager(ShardedVaultDeployment& primary, ReplicaConfig cfg = {});
+  /// Joins any in-flight async replication.
+  ~ReplicaManager();
+
+  ReplicaManager(const ReplicaManager&) = delete;
+  ReplicaManager& operator=(const ReplicaManager&) = delete;
+
+  /// Replicate every shard's package (and label store, if the primary has
+  /// refreshed) in a background thread.
+  void replicate_async();
+  /// Synchronous variant.
+  void replicate_all();
+  /// Block until the last replicate_async finishes.
+  void wait_ready();
+  bool ready(std::uint32_t shard) const;
+
+  /// Re-ship every live primary shard's label store (after a feature
+  /// refresh).  Dead primaries keep their last replicated labels.
+  void sync_labels();
+
+  /// Label-only lookup served by the replica enclave.
+  std::vector<std::uint32_t> lookup(std::uint32_t shard,
+                                    std::span<const std::uint32_t> nodes,
+                                    double* modeled_delta = nullptr);
+
+  Enclave& replica_enclave(std::uint32_t shard);
+  /// The shard package re-sealed under the STANDBY platform key.
+  const SealedBlob& sealed_payload(std::uint32_t shard) const;
+  /// Plaintext bytes shipped over the replication channels, by kind.
+  std::uint64_t package_bytes() const;
+  std::uint64_t label_bytes() const;
+
+ private:
+  struct Replica {
+    std::unique_ptr<Enclave> enclave;
+    std::unique_ptr<AttestedChannel> channel;  // primary <-> standby
+    std::atomic<bool> ready{false};
+    // Enclave-held state (only touched inside ecalls):
+    ShardPayload payload;
+    std::vector<std::uint32_t> labels;
+    SealedBlob sealed;
+  };
+
+  void replicate_one(std::uint32_t shard);
+
+  ShardedVaultDeployment* primary_;
+  ReplicaConfig cfg_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  std::future<void> pending_;
+  std::mutex replicate_mu_;  // serializes replicate_all / sync_labels
+};
+
+}  // namespace gv

@@ -1,0 +1,226 @@
+#include "shard/shard_planner.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "graph/partition.hpp"
+
+namespace gv {
+
+std::size_t ShardPlan::max_shard_bytes() const {
+  std::size_t mx = 0;
+  for (const auto& s : shards) mx = std::max(mx, s.estimated_bytes);
+  return mx;
+}
+
+std::size_t ShardPlan::total_bytes() const {
+  std::size_t sum = 0;
+  for (const auto& s : shards) sum += s.estimated_bytes;
+  return sum;
+}
+
+namespace {
+
+/// Sum of the embedding widths a node's rows occupy in enclave memory: the
+/// required backbone layers (kept closure rows) plus every rectifier layer's
+/// output channels.
+std::size_t per_node_embedding_floats(const TrainedVault& vault) {
+  const auto dims = vault.backbone().layer_dims();
+  std::size_t floats = 0;
+  for (const auto idx : vault.rectifier->required_backbone_layers()) {
+    floats += dims[idx];
+  }
+  for (const auto ch : vault.rectifier->config().channels) floats += ch;
+  return floats;
+}
+
+}  // namespace
+
+std::size_t ShardPlanner::estimate_shard_bytes(const TrainedVault& vault,
+                                               std::size_t total_nodes,
+                                               std::size_t owned_nodes,
+                                               std::size_t closure_nodes,
+                                               std::size_t adj_nnz) {
+  GV_CHECK(vault.rectifier != nullptr, "estimate requires a trained rectifier");
+  // Replicated rectifier weights.
+  std::size_t bytes = vault.rectifier->parameter_bytes();
+  // Sub-adjacency: COO triples (sealed form kept resident) + the CSR view
+  // the shard multiplies against.
+  bytes += adj_nnz * (2 * sizeof(std::uint32_t) + sizeof(float));
+  bytes += (owned_nodes + 1) * sizeof(std::int64_t) +
+           adj_nnz * (sizeof(std::uint32_t) + sizeof(float));
+  const auto dims = vault.backbone().layer_dims();
+  std::size_t max_required_dim = 0;
+  // Kept closure rows of every required backbone embedding.
+  for (const auto idx : vault.rectifier->required_backbone_layers()) {
+    bytes += closure_nodes * dims[idx] * sizeof(float);
+    max_required_dim = std::max(max_required_dim, dims[idx]);
+  }
+  // Streaming chunk staged while filtering the full public matrices.
+  bytes += std::min(total_nodes, kStreamChunkRows) * max_required_dim * sizeof(float);
+  // Per-layer activations: assembled closure input + owned output.
+  for (const auto ch : vault.rectifier->config().channels) {
+    bytes += (closure_nodes + owned_nodes) * ch * sizeof(float);
+  }
+  // Enclave-resident label store.
+  bytes += owned_nodes * sizeof(std::uint32_t);
+  return bytes;
+}
+
+ShardPlan ShardPlanner::plan(const Dataset& ds, const TrainedVault& vault,
+                             std::uint32_t num_shards, double balance_slack) {
+  GV_CHECK(vault.rectifier != nullptr, "planning requires a trained rectifier");
+  GV_CHECK(num_shards >= 1, "need at least one shard");
+  const Graph& g = ds.graph;
+  const std::uint32_t n = g.num_nodes();
+  GV_CHECK(num_shards <= std::max(1u, n), "more shards than nodes");
+
+  // Per-node working-set weight: the node's Â row (COO + CSR share) plus
+  // its rows of every enclave-resident embedding.
+  const std::size_t emb_floats = per_node_embedding_floats(vault);
+  const auto deg = g.degrees();
+  std::vector<double> weights(n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const double nnz_v = static_cast<double>(deg[v]) + 1.0;  // + self-loop
+    weights[v] = nnz_v * (3 * sizeof(std::uint32_t) + sizeof(float)) +
+                 static_cast<double>(emb_floats) * sizeof(float);
+  }
+
+  const PartitionResult part =
+      greedy_edge_cut_partition(g, num_shards, weights, balance_slack);
+
+  ShardPlan plan;
+  plan.num_shards = num_shards;
+  plan.owner = part.owner;
+  plan.cut_edges = part.cut_edges;
+  plan.shards.resize(num_shards);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    plan.shards[plan.owner[v]].nodes.push_back(v);  // ascending v => sorted
+  }
+  // Closure/nnz per shard via a shared epoch-stamped mark.
+  std::vector<std::uint32_t> mark(n, UINT32_MAX);
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    ShardInfo& info = plan.shards[s];
+    std::size_t closure = 0;
+    std::size_t nnz = 0;
+    auto touch = [&](std::uint32_t v) {
+      if (mark[v] != s) {
+        mark[v] = s;
+        ++closure;
+      }
+    };
+    for (const std::uint32_t v : info.nodes) {
+      touch(v);
+      nnz += deg[v] + 1;
+      for (const std::uint32_t u : g.neighbors(v)) touch(u);
+    }
+    info.closure_nodes = closure;
+    info.adj_nnz = nnz;
+    info.estimated_bytes =
+        estimate_shard_bytes(vault, n, info.nodes.size(), closure, nnz);
+  }
+  return plan;
+}
+
+ShardPlan ShardPlanner::plan_for_budget(const Dataset& ds, const TrainedVault& vault,
+                                        std::size_t shard_budget_bytes,
+                                        std::uint32_t max_shards) {
+  GV_CHECK(shard_budget_bytes > 0, "shard budget must be positive");
+  GV_CHECK(max_shards >= 1, "max_shards must be positive");
+  // First candidate: assume perfect splitting of the single-shard estimate,
+  // then walk upward (halo replication makes shards superlinear, so the
+  // first candidate can undershoot).
+  const ShardPlan single = plan(ds, vault, 1);
+  std::uint32_t k = static_cast<std::uint32_t>(std::min<std::size_t>(
+      max_shards,
+      std::max<std::size_t>(
+          1, (single.max_shard_bytes() + shard_budget_bytes - 1) /
+                 shard_budget_bytes)));
+  if (k == 1 && single.max_shard_bytes() <= shard_budget_bytes) return single;
+  for (; k <= max_shards; ++k) {
+    ShardPlan candidate = k == 1 ? single : plan(ds, vault, k);
+    if (candidate.max_shard_bytes() <= shard_budget_bytes) return candidate;
+  }
+  throw Error("tenant does not fit the per-shard budget even at max_shards");
+}
+
+std::vector<ShardPayload> ShardPlanner::build_payloads(const Dataset& ds,
+                                                       const TrainedVault& vault,
+                                                       const ShardPlan& plan) {
+  GV_CHECK(plan.num_shards >= 1 && plan.shards.size() == plan.num_shards,
+           "malformed shard plan");
+  GV_CHECK(plan.owner.size() == ds.num_nodes(), "plan covers a different graph");
+  // The shard sub-adjacencies carry the GLOBAL enclave-form values (the same
+  // construction VaultDeployment seals), so each owned row's neighbor sum
+  // runs over identical floats in identical (ascending-column) order and the
+  // sharded forward is bit-exact against the single-enclave one.
+  const CsrMatrix global_adj =
+      Graph::csr_from_coo_normalized(ds.graph.to_coo_normalized());
+  const auto weights = vault.rectifier->serialize_weights();
+
+  const std::uint32_t n = ds.num_nodes();
+  std::vector<ShardPayload> payloads(plan.num_shards);
+  std::vector<std::uint32_t> local_col(n, 0);
+  std::vector<std::uint32_t> mark(n, UINT32_MAX);
+  for (std::uint32_t s = 0; s < plan.num_shards; ++s) {
+    ShardPayload& p = payloads[s];
+    p.shard_index = s;
+    p.num_shards = plan.num_shards;
+    p.owned = plan.shards[s].nodes;
+    p.rectifier_weights = weights;
+    p.halo_out.resize(plan.num_shards);
+
+    // Closure = sorted union of owned rows' columns (includes owned via the
+    // self-loops Â carries).
+    const auto& row_ptr = global_adj.row_ptr();
+    const auto& col_idx = global_adj.col_idx();
+    const auto& values = global_adj.values();
+    for (const std::uint32_t v : p.owned) {
+      for (std::int64_t i = row_ptr[v]; i < row_ptr[v + 1]; ++i) {
+        const std::uint32_t u = col_idx[i];
+        if (mark[u] != s) {
+          mark[u] = s;
+          p.closure.push_back(u);
+        }
+      }
+      if (mark[v] != s) {  // isolated node guard (Â always has the loop)
+        mark[v] = s;
+        p.closure.push_back(v);
+      }
+    }
+    std::sort(p.closure.begin(), p.closure.end());
+    for (std::uint32_t j = 0; j < p.closure.size(); ++j) {
+      local_col[p.closure[j]] = j;
+    }
+
+    // Rows in owned order, columns remapped to closure positions; ascending
+    // global column order is preserved because the remap is monotone.
+    p.adj_row.reserve(plan.shards[s].adj_nnz);
+    p.adj_col.reserve(plan.shards[s].adj_nnz);
+    p.adj_val.reserve(plan.shards[s].adj_nnz);
+    for (std::uint32_t i = 0; i < p.owned.size(); ++i) {
+      const std::uint32_t v = p.owned[i];
+      for (std::int64_t k = row_ptr[v]; k < row_ptr[v + 1]; ++k) {
+        p.adj_row.push_back(i);
+        p.adj_col.push_back(local_col[col_idx[k]]);
+        p.adj_val.push_back(values[k]);
+      }
+    }
+  }
+
+  // Halo routing: shard owner(u) must send u's embeddings to every shard s
+  // whose closure contains u but does not own it.
+  for (std::uint32_t s = 0; s < plan.num_shards; ++s) {
+    for (const std::uint32_t u : payloads[s].closure) {
+      const std::uint32_t t = plan.owner[u];
+      if (t != s) payloads[t].halo_out[s].push_back(u);
+    }
+  }
+  for (auto& p : payloads) {
+    for (auto& h : p.halo_out) std::sort(h.begin(), h.end());
+  }
+  return payloads;
+}
+
+}  // namespace gv

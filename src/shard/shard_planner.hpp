@@ -1,0 +1,84 @@
+// ShardPlanner: partition one tenant's private graph across N enclaves.
+//
+// GNNVault's registry must reject (or queue) any tenant whose enclave
+// working set exceeds the usable EPC, because Sec. III-C paging costs make
+// oversubscription toxic for every co-tenant.  ShardVault's answer is to
+// split the tenant: a greedy edge-cut partition of the private adjacency
+// (balanced by estimated per-shard working set) assigns every node to one
+// shard enclave, so each shard's rectifier weights + subgraph + staging fit
+// the EPC slice it is granted.  Cut edges become halo traffic: at every
+// rectifier layer the boundary nodes' embeddings cross attested
+// enclave-to-enclave channels, so the planner minimizes the cut.
+//
+// The plan's owner map is serving metadata (the router needs it); the
+// per-shard subgraphs and halo routing lists derive from the private edges
+// and live only in sealed shard packages (core/package.hpp ShardPayload).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/package.hpp"
+#include "core/pipeline.hpp"
+#include "data/dataset.hpp"
+
+namespace gv {
+
+struct ShardInfo {
+  /// Owned nodes (sorted global ids).
+  std::vector<std::uint32_t> nodes;
+  /// |owned ∪ one-hop halo|.
+  std::size_t closure_nodes = 0;
+  /// Nonzeros of the shard's rows of the global Â (internal + cut + loops).
+  std::size_t adj_nnz = 0;
+  /// Estimated enclave working set of this shard.
+  std::size_t estimated_bytes = 0;
+};
+
+struct ShardPlan {
+  std::uint32_t num_shards = 0;
+  /// Node -> shard id.
+  std::vector<std::uint32_t> owner;
+  std::vector<ShardInfo> shards;
+  /// Undirected private edges crossing shards (each becomes halo traffic).
+  std::size_t cut_edges = 0;
+
+  std::size_t max_shard_bytes() const;
+  std::size_t total_bytes() const;
+};
+
+class ShardPlanner {
+ public:
+  /// Rows per streamed backbone chunk: untrusted code pushes the FULL public
+  /// embedding matrices in fixed-size chunks and each enclave keeps only its
+  /// closure rows, so the access pattern reveals nothing while staging stays
+  /// O(chunk + closure) instead of O(n).
+  static constexpr std::size_t kStreamChunkRows = 512;
+
+  /// Partition into exactly `num_shards` shards.
+  static ShardPlan plan(const Dataset& ds, const TrainedVault& vault,
+                        std::uint32_t num_shards, double balance_slack = 1.1);
+
+  /// Smallest shard count (<= max_shards) whose largest shard fits
+  /// `shard_budget_bytes`; throws gv::Error when even max_shards does not.
+  static ShardPlan plan_for_budget(const Dataset& ds, const TrainedVault& vault,
+                                   std::size_t shard_budget_bytes,
+                                   std::uint32_t max_shards = 16);
+
+  /// Materialize the per-shard sealed-package payloads (sub-adjacency in
+  /// GLOBAL normalized values, halo routing lists, replicated weights).
+  static std::vector<ShardPayload> build_payloads(const Dataset& ds,
+                                                  const TrainedVault& vault,
+                                                  const ShardPlan& plan);
+
+  /// Working-set estimate for one shard (exposed for registry admission).
+  /// `total_nodes` bounds the streamed chunk (a graph smaller than one
+  /// chunk stages at most its own row count).
+  static std::size_t estimate_shard_bytes(const TrainedVault& vault,
+                                          std::size_t total_nodes,
+                                          std::size_t owned_nodes,
+                                          std::size_t closure_nodes,
+                                          std::size_t adj_nnz);
+};
+
+}  // namespace gv

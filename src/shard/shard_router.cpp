@@ -1,0 +1,66 @@
+#include "shard/shard_router.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace gv {
+
+ShardRouter::ShardRouter(ShardedVaultDeployment& deployment,
+                         ReplicaManager* replicas)
+    : deployment_(&deployment),
+      replicas_(replicas),
+      per_shard_batches_(deployment.num_shards(), 0) {}
+
+std::vector<std::uint32_t> ShardRouter::route(
+    std::span<const std::uint32_t> nodes) {
+  const std::uint32_t num_shards = deployment_->num_shards();
+  // Split by ownership, remembering each node's position in the request.
+  std::vector<std::vector<std::uint32_t>> shard_nodes(num_shards);
+  std::vector<std::vector<std::size_t>> shard_positions(num_shards);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const std::uint32_t s = deployment_->owner(nodes[i]);
+    shard_nodes[s].push_back(nodes[i]);
+    shard_positions[s].push_back(i);
+  }
+
+  std::vector<std::uint32_t> out(nodes.size(), 0);
+  double slowest = 0.0;
+  std::vector<std::uint32_t> touched;
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    if (shard_nodes[s].empty()) continue;
+    touched.push_back(s);
+    double delta = 0.0;
+    std::vector<std::uint32_t> labels;
+    if (deployment_->shard_alive(s)) {
+      labels = deployment_->lookup(s, shard_nodes[s], &delta);
+    } else {
+      GV_CHECK(replicas_ != nullptr && replicas_->ready(s),
+               "shard enclave is down and no replica is ready");
+      labels = replicas_->lookup(s, shard_nodes[s], &delta);
+      failovers_.fetch_add(1);
+    }
+    slowest = std::max(slowest, delta);
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      out[shard_positions[s][i]] = labels[i];
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    modeled_seconds_ += slowest;
+    for (const auto s : touched) ++per_shard_batches_[s];
+  }
+  return out;
+}
+
+double ShardRouter::modeled_seconds() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return modeled_seconds_;
+}
+
+std::vector<std::uint64_t> ShardRouter::per_shard_batches() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return per_shard_batches_;
+}
+
+}  // namespace gv

@@ -1,0 +1,49 @@
+// ShardRouter: splits a micro-batch by shard ownership, fans label lookups
+// out to the owner enclaves (or their replicas on failover), and merges the
+// results back into request order.
+//
+// Ownership (node -> shard) is serving metadata: the router must see it to
+// route.  What it never sees is WHY two nodes share a shard — the cut
+// edges, sub-adjacencies, and halo lists stay inside enclaves.  Distinct
+// shards serve their sub-batches on distinct enclaves (typically distinct
+// platforms), so one routed batch's modeled time is the slowest touched
+// shard, not the sum.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "shard/replica_manager.hpp"
+#include "shard/sharded_deployment.hpp"
+
+namespace gv {
+
+class ShardRouter {
+ public:
+  /// `replicas` may be null (no failover: a dead shard's queries throw).
+  ShardRouter(ShardedVaultDeployment& deployment, ReplicaManager* replicas = nullptr);
+
+  /// Labels for `nodes` in request order.  Sub-batches for dead shards fail
+  /// over to ready replicas; throws gv::Error when neither can answer.
+  std::vector<std::uint32_t> route(std::span<const std::uint32_t> nodes);
+
+  /// Routed sub-batches answered by a replica.
+  std::uint64_t failovers() const { return failovers_.load(); }
+  /// Modeled seconds of all routed batches (max across shards per batch).
+  double modeled_seconds() const;
+  /// Sub-batches dispatched to each shard so far (load-balance telemetry).
+  std::vector<std::uint64_t> per_shard_batches() const;
+
+ private:
+  ShardedVaultDeployment* deployment_;
+  ReplicaManager* replicas_;
+  std::atomic<std::uint64_t> failovers_{0};
+  mutable std::mutex stats_mu_;
+  double modeled_seconds_ = 0.0;
+  std::vector<std::uint64_t> per_shard_batches_;
+};
+
+}  // namespace gv

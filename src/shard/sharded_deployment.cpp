@@ -1,0 +1,477 @@
+#include "shard/sharded_deployment.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+#include "tensor/ops.hpp"
+
+namespace gv {
+
+namespace {
+
+constexpr const char* kCodeTagPrefix = "shardvault-rectifier-v1:";
+
+/// Position of `v` in sorted `ids`; throws when absent.
+std::uint32_t position_of(const std::vector<std::uint32_t>& ids, std::uint32_t v,
+                          const char* what) {
+  const auto it = std::lower_bound(ids.begin(), ids.end(), v);
+  GV_CHECK(it != ids.end() && *it == v, what);
+  return static_cast<std::uint32_t>(it - ids.begin());
+}
+
+}  // namespace
+
+ShardedVaultDeployment::ShardedVaultDeployment(const Dataset& ds, TrainedVault vault,
+                                               ShardPlan plan,
+                                               ShardedDeploymentOptions opts)
+    : vault_(std::move(vault)), plan_(std::move(plan)), opts_(std::move(opts)) {
+  GV_CHECK(vault_.rectifier != nullptr, "deployment requires a trained rectifier");
+  GV_CHECK(plan_.num_shards >= 1 && plan_.shards.size() == plan_.num_shards,
+           "malformed shard plan");
+  GV_CHECK(plan_.owner.size() == ds.num_nodes(), "plan covers a different graph");
+  if (opts_.enclave_name.empty()) opts_.enclave_name = "shardvault." + ds.name;
+  if (opts_.platform_keys.empty()) {
+    opts_.platform_keys.assign(plan_.num_shards, Enclave::default_platform_key());
+  }
+  GV_CHECK(opts_.platform_keys.size() == plan_.num_shards,
+           "need one platform key per shard");
+  required_layers_ = vault_.rectifier->required_backbone_layers();
+
+  auto payloads = ShardPlanner::build_payloads(ds, vault_, plan_);
+  shards_.reserve(plan_.num_shards);
+  for (std::uint32_t s = 0; s < plan_.num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+    provision_shard(*shards_[s], std::move(payloads[s]));
+  }
+
+  // Attested channels for shard pairs with halo overlap (in either
+  // direction); the handshake runs now, at provisioning time.
+  channels_.resize(static_cast<std::size_t>(plan_.num_shards) * plan_.num_shards);
+  for (std::uint32_t s = 0; s < plan_.num_shards; ++s) {
+    for (std::uint32_t t = s + 1; t < plan_.num_shards; ++t) {
+      const bool overlap = !shards_[s]->payload.halo_out[t].empty() ||
+                           !shards_[t]->payload.halo_out[s].empty();
+      if (!overlap) continue;
+      channels_[static_cast<std::size_t>(s) * plan_.num_shards + t] =
+          std::make_unique<AttestedChannel>(*shards_[s]->enclave,
+                                            *shards_[t]->enclave,
+                                            opts_.platform_keys[s],
+                                            opts_.platform_keys[t]);
+    }
+  }
+}
+
+void ShardedVaultDeployment::provision_shard(Shard& shard, ShardPayload payload) {
+  // IDENTICAL measurement across shards (and replicas): name + code tag +
+  // replicated weights.  The per-shard package is NOT measured — it is what
+  // gets sealed — so every enclave of this tenant attests as the same code
+  // image, which is what the channel handshake requires.
+  shard.enclave = std::make_unique<Enclave>(
+      opts_.enclave_name, opts_.cost_model, opts_.platform_keys[payload.shard_index]);
+  shard.enclave->extend_measurement(
+      kCodeTagPrefix + rectifier_kind_name(vault_.rectifier->config().kind));
+  shard.enclave->extend_measurement(payload.rectifier_weights);
+  shard.enclave->initialize();
+  shard.stream = std::make_unique<OneWayChannel>(*shard.enclave);
+
+  const auto bytes = serialize_shard_payload(payload);
+  if (opts_.seal_artifacts) {
+    shard.sealed = shard.enclave->seal(bytes);
+    // Round-trip through sealed storage, as every enclave launch would.
+    shard.payload = deserialize_shard_payload(shard.enclave->unseal(shard.sealed));
+  } else {
+    shard.payload = std::move(payload);
+  }
+
+  shard.enclave->ecall([&] {
+    const ShardPayload& p = shard.payload;
+    std::vector<CooEntry> entries;
+    entries.reserve(p.adj_row.size());
+    for (std::size_t i = 0; i < p.adj_row.size(); ++i) {
+      entries.push_back({p.adj_row[i], p.adj_col[i], p.adj_val[i]});
+    }
+    shard.sub_adj = std::make_shared<const CsrMatrix>(CsrMatrix::from_coo(
+        p.owned.size(), p.closure.size(), std::move(entries)));
+    Rng rng(0x5eed + p.shard_index);
+    shard.rectifier = std::make_unique<Rectifier>(
+        vault_.rectifier->config(), vault_.backbone().layer_dims(), shard.sub_adj,
+        rng);
+    shard.rectifier->deserialize_weights(p.rectifier_weights);
+    shard.bb_rows.resize(vault_.backbone().layer_dims().size());
+
+    auto& mem = shard.enclave->memory();
+    mem.set("rectifier.weights", shard.rectifier->parameter_bytes());
+    mem.set("shard.adj.coo", p.adj_row.size() * (2 * sizeof(std::uint32_t) +
+                                                 sizeof(float)));
+    mem.set("shard.adj.csr", shard.sub_adj->payload_bytes());
+    mem.set("shard.routing", p.owned.size() * sizeof(std::uint32_t) +
+                                 p.closure.size() * sizeof(std::uint32_t));
+  });
+}
+
+AttestedChannel* ShardedVaultDeployment::channel(std::uint32_t s, std::uint32_t t) {
+  GV_CHECK(s != t && s < plan_.num_shards && t < plan_.num_shards,
+           "bad shard pair");
+  if (s > t) std::swap(s, t);
+  return channels_[static_cast<std::size_t>(s) * plan_.num_shards + t].get();
+}
+
+double ShardedVaultDeployment::meter_seconds(const Shard& s) const {
+  return s.enclave->meter_snapshot().total_seconds(opts_.cost_model);
+}
+
+template <typename F>
+void ShardedVaultDeployment::parallel_phase(F&& body) {
+  // Shards are independent enclaves (typically on independent platforms);
+  // between the layer barriers they run concurrently, so the modeled time
+  // of a phase is the SLOWEST shard's meter delta, not the sum.
+  std::vector<double> before(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) before[s] = meter_seconds(*shards_[s]);
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) body(s);
+  double slowest = 0.0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    slowest = std::max(slowest, meter_seconds(*shards_[s]) - before[s]);
+  }
+  parallel_seconds_.fetch_add(slowest);
+}
+
+void ShardedVaultDeployment::stream_backbone_rows(const std::vector<Matrix>& outputs) {
+  const std::size_t n = plan_.owner.size();
+  parallel_phase([&](std::uint32_t s) {
+    Shard& sh = *shards_[s];
+    for (const std::size_t idx : required_layers_) {
+      GV_CHECK(idx < outputs.size() && !outputs[idx].empty(),
+               "required backbone output missing");
+      const Matrix& full = outputs[idx];
+      GV_CHECK(full.rows() == n, "backbone output covers a different node count");
+      const std::size_t dim = full.cols();
+      sh.enclave->ecall([&] {
+        sh.bb_rows[idx] = Matrix(sh.payload.closure.size(), dim);
+      });
+      // The untrusted side pushes the FULL matrix in fixed-size chunks —
+      // the same stream for every shard, so the access pattern carries no
+      // information about shard neighbourhoods; the enclave keeps only its
+      // closure rows and drops the rest.
+      for (std::size_t r0 = 0; r0 < n; r0 += ShardPlanner::kStreamChunkRows) {
+        const std::size_t rows = std::min(ShardPlanner::kStreamChunkRows, n - r0);
+        Matrix chunk(rows, dim);
+        std::memcpy(chunk.data(), full.data() + r0 * dim,
+                    rows * dim * sizeof(float));
+        sh.stream->sender().push(chunk);
+        sh.enclave->ecall([&] {
+          const Matrix block = sh.stream->receiver().pop();
+          const auto& closure = sh.payload.closure;
+          auto it = std::lower_bound(closure.begin(), closure.end(),
+                                     static_cast<std::uint32_t>(r0));
+          for (; it != closure.end() && *it < r0 + rows; ++it) {
+            const std::size_t local = static_cast<std::size_t>(it - closure.begin());
+            std::memcpy(sh.bb_rows[idx].data() + local * dim,
+                        block.data() + (*it - r0) * dim, dim * sizeof(float));
+          }
+        });
+      }
+      sh.enclave->memory().set("bb.rows." + std::to_string(idx),
+                               sh.bb_rows[idx].payload_bytes());
+    }
+  });
+}
+
+void ShardedVaultDeployment::refresh(const CsrMatrix& features) {
+  std::lock_guard<std::mutex> lock(*infer_mu_);
+  for (const auto& sh : shards_) {
+    GV_CHECK(sh->alive, "refresh requires every shard enclave alive");
+  }
+  GV_CHECK(features.rows() == plan_.owner.size(),
+           "features cover a different node count");
+
+  Stopwatch bb_watch;
+  const auto outputs = vault_.backbone_outputs(features);
+  untrusted_seconds_.fetch_add(bb_watch.seconds());
+
+  stream_backbone_rows(outputs);
+
+  const auto& cfg = vault_.rectifier->config();
+  const std::size_t L = cfg.channels.size();
+  const auto dims = vault_.backbone().layer_dims();
+  const std::size_t penult = dims.size() >= 2 ? dims.size() - 2 : 0;
+
+  for (std::size_t k = 0; k < L; ++k) {
+    const bool last = (k + 1 == L);
+    // --- Compute: every shard advances its owned rows one layer. ---------
+    parallel_phase([&](std::uint32_t s) {
+      Shard& sh = *shards_[s];
+      sh.enclave->ecall([&] {
+        Matrix input;
+        switch (cfg.kind) {
+          case RectifierKind::kParallel:
+            input = k == 0 ? sh.bb_rows[0]
+                           : Matrix::hconcat(sh.bb_rows[k], sh.h_closure);
+            break;
+          case RectifierKind::kCascaded:
+            if (k == 0) {
+              std::vector<const Matrix*> blocks;
+              blocks.reserve(dims.size());
+              for (std::size_t i = 0; i < dims.size(); ++i) {
+                blocks.push_back(&sh.bb_rows[i]);
+              }
+              input = Matrix::hconcat(
+                  std::span<const Matrix* const>(blocks.data(), blocks.size()));
+            } else {
+              input = std::move(sh.h_closure);
+            }
+            break;
+          case RectifierKind::kSeries:
+            input = k == 0 ? sh.bb_rows[penult] : std::move(sh.h_closure);
+            break;
+        }
+        Matrix z = sh.rectifier->layer(k).forward_subgraph(*sh.sub_adj, input);
+        sh.h_owned = last ? std::move(z) : relu(z);
+        sh.enclave->memory().set("rect.act." + std::to_string(k),
+                                 sh.h_owned.payload_bytes());
+        if (last) {
+          // Label-only store: argmax inside the enclave; logits never leave.
+          sh.labels = argmax_rows(sh.h_owned);
+          sh.enclave->memory().set("labels.store",
+                                   sh.labels.size() * sizeof(std::uint32_t));
+        }
+      });
+    });
+    if (last) break;
+
+    // --- Halo exchange: boundary embeddings cross attested channels. ------
+    parallel_phase([&](std::uint32_t s) {
+      Shard& sh = *shards_[s];
+      sh.enclave->ecall([&] {
+        for (std::uint32_t t = 0; t < plan_.num_shards; ++t) {
+          const auto& out_nodes = sh.payload.halo_out[t];
+          if (out_nodes.empty()) continue;
+          std::vector<std::uint32_t> positions;
+          positions.reserve(out_nodes.size());
+          for (const auto v : out_nodes) {
+            positions.push_back(
+                position_of(sh.payload.owned, v, "halo node not owned"));
+          }
+          channel(s, t)->send_embeddings(*sh.enclave, out_nodes,
+                                         sh.h_owned.gather_rows(positions));
+        }
+      });
+    });
+    // --- Assemble the next layer's closure input (own + received rows). ---
+    parallel_phase([&](std::uint32_t s) {
+      Shard& sh = *shards_[s];
+      sh.enclave->ecall([&] {
+        const auto& closure = sh.payload.closure;
+        const std::size_t ch_cols = sh.h_owned.cols();
+        sh.h_closure = Matrix(closure.size(), ch_cols);
+        std::size_t filled = 0;
+        for (std::size_t i = 0; i < sh.payload.owned.size(); ++i) {
+          const std::uint32_t local =
+              position_of(closure, sh.payload.owned[i], "owned not in closure");
+          std::memcpy(sh.h_closure.data() + local * ch_cols,
+                      sh.h_owned.data() + i * ch_cols, ch_cols * sizeof(float));
+          ++filled;
+        }
+        for (std::uint32_t t = 0; t < plan_.num_shards; ++t) {
+          if (t == s) continue;
+          AttestedChannel* ch = t > s ? channels_[std::size_t(s) * plan_.num_shards + t].get()
+                                      : channels_[std::size_t(t) * plan_.num_shards + s].get();
+          if (ch == nullptr) continue;
+          while (ch->has_embeddings(*sh.enclave)) {
+            const auto block = ch->recv_embeddings(*sh.enclave);
+            GV_CHECK(block.rows.cols() == ch_cols, "halo embedding dim mismatch");
+            for (std::size_t i = 0; i < block.nodes.size(); ++i) {
+              const std::uint32_t local = position_of(
+                  closure, block.nodes[i], "halo node outside closure");
+              std::memcpy(sh.h_closure.data() + local * ch_cols,
+                          block.rows.data() + i * ch_cols,
+                          ch_cols * sizeof(float));
+              ++filled;
+            }
+          }
+        }
+        GV_CHECK(filled == closure.size(), "halo exchange left closure rows unfilled");
+        sh.enclave->memory().set("halo.h_closure", sh.h_closure.payload_bytes());
+      });
+    });
+  }
+
+  // Release the forward pass's transient state: labels are materialized, so
+  // steady-state shard residency is weights + adjacency + label store and
+  // lookup ecalls never feel EPC pressure (the refresh peak is what the
+  // planner budgeted for).
+  parallel_phase([&](std::uint32_t s) {
+    Shard& sh = *shards_[s];
+    sh.enclave->ecall([&] {
+      auto& mem = sh.enclave->memory();
+      for (const std::size_t idx : required_layers_) {
+        sh.bb_rows[idx] = Matrix();
+        mem.free("bb.rows." + std::to_string(idx));
+      }
+      sh.h_owned = Matrix();
+      sh.h_closure = Matrix();
+      for (std::size_t k = 0; k < L; ++k) mem.free("rect.act." + std::to_string(k));
+      if (L > 1) mem.free("halo.h_closure");
+    });
+  });
+  refreshed_ = true;
+}
+
+std::vector<std::uint32_t> ShardedVaultDeployment::infer_labels(
+    const CsrMatrix& features) {
+  refresh(features);
+  std::vector<std::uint32_t> out(plan_.owner.size());
+  double slowest = 0.0;
+  for (std::uint32_t s = 0; s < plan_.num_shards; ++s) {
+    double delta = 0.0;
+    const auto labels = lookup(s, shards_[s]->payload.owned, &delta);
+    slowest = std::max(slowest, delta);
+    const auto& owned = shards_[s]->payload.owned;
+    for (std::size_t i = 0; i < owned.size(); ++i) out[owned[i]] = labels[i];
+  }
+  parallel_seconds_.fetch_add(slowest);
+  return out;
+}
+
+std::vector<std::uint32_t> ShardedVaultDeployment::lookup(
+    std::uint32_t shard, std::span<const std::uint32_t> nodes,
+    double* modeled_delta) {
+  GV_CHECK(shard < plan_.num_shards, "shard index out of range");
+  Shard& sh = *shards_[shard];
+  GV_CHECK(sh.alive, "shard enclave is down");
+  GV_CHECK(refreshed_, "lookup before the first refresh");
+  const double before = meter_seconds(sh);
+  auto labels = sh.enclave->ecall([&] {
+    std::vector<std::uint32_t> out;
+    out.reserve(nodes.size());
+    for (const auto v : nodes) {
+      out.push_back(
+          sh.labels[position_of(sh.payload.owned, v, "node not owned by shard")]);
+    }
+    return out;
+  });
+  if (modeled_delta != nullptr) *modeled_delta = meter_seconds(sh) - before;
+  return labels;
+}
+
+std::uint32_t ShardedVaultDeployment::owner(std::uint32_t node) const {
+  GV_CHECK(node < plan_.owner.size(), "node out of range");
+  return plan_.owner[node];
+}
+
+void ShardedVaultDeployment::kill_shard(std::uint32_t shard) {
+  GV_CHECK(shard < plan_.num_shards, "shard index out of range");
+  shards_[shard]->alive = false;
+}
+
+bool ShardedVaultDeployment::shard_alive(std::uint32_t shard) const {
+  GV_CHECK(shard < plan_.num_shards, "shard index out of range");
+  return shards_[shard]->alive;
+}
+
+Enclave& ShardedVaultDeployment::shard_enclave(std::uint32_t shard) {
+  GV_CHECK(shard < plan_.num_shards, "shard index out of range");
+  return *shards_[shard]->enclave;
+}
+
+const Enclave& ShardedVaultDeployment::shard_enclave(std::uint32_t shard) const {
+  GV_CHECK(shard < plan_.num_shards, "shard index out of range");
+  return *shards_[shard]->enclave;
+}
+
+const Sha256Digest& ShardedVaultDeployment::shard_platform_key(
+    std::uint32_t shard) const {
+  GV_CHECK(shard < opts_.platform_keys.size(), "shard index out of range");
+  return opts_.platform_keys[shard];
+}
+
+const SealedBlob& ShardedVaultDeployment::sealed_payload(std::uint32_t shard) const {
+  GV_CHECK(shard < plan_.num_shards, "shard index out of range");
+  return shards_[shard]->sealed;
+}
+
+std::unique_ptr<Enclave> ShardedVaultDeployment::make_peer_enclave(
+    std::uint32_t shard, const Sha256Digest& platform_key) const {
+  GV_CHECK(shard < plan_.num_shards, "shard index out of range");
+  // Peer enclaves repeat the exact build recipe (same name, same extends):
+  // identical measurement is what lets the attested channel handshake and
+  // what scopes sealing to {code identity} x {platform key}.
+  auto peer = std::make_unique<Enclave>(opts_.enclave_name, opts_.cost_model,
+                                        platform_key);
+  peer->extend_measurement(
+      kCodeTagPrefix + rectifier_kind_name(vault_.rectifier->config().kind));
+  peer->extend_measurement(shards_[shard]->payload.rectifier_weights);
+  peer->initialize();
+  return peer;
+}
+
+void ShardedVaultDeployment::send_payload(std::uint32_t shard, AttestedChannel& ch) {
+  GV_CHECK(shard < plan_.num_shards, "shard index out of range");
+  Shard& sh = *shards_[shard];
+  GV_CHECK(sh.alive, "shard enclave is down");
+  sh.enclave->ecall(
+      [&] { ch.send_package(*sh.enclave, serialize_shard_payload(sh.payload)); });
+}
+
+void ShardedVaultDeployment::send_labels(std::uint32_t shard, AttestedChannel& ch) {
+  GV_CHECK(shard < plan_.num_shards, "shard index out of range");
+  Shard& sh = *shards_[shard];
+  GV_CHECK(sh.alive, "shard enclave is down");
+  GV_CHECK(refreshed_, "no label store to replicate before the first refresh");
+  sh.enclave->ecall(
+      [&] { ch.send_labels(*sh.enclave, sh.payload.owned, sh.labels); });
+}
+
+std::uint64_t ShardedVaultDeployment::halo_embedding_bytes() const {
+  std::uint64_t sum = 0;
+  for (const auto& ch : channels_) {
+    if (ch) sum += ch->embedding_bytes();
+  }
+  return sum;
+}
+
+std::uint64_t ShardedVaultDeployment::halo_label_bytes() const {
+  std::uint64_t sum = 0;
+  for (const auto& ch : channels_) {
+    if (ch) sum += ch->label_bytes();
+  }
+  return sum;
+}
+
+std::uint64_t ShardedVaultDeployment::halo_package_bytes() const {
+  std::uint64_t sum = 0;
+  for (const auto& ch : channels_) {
+    if (ch) sum += ch->package_bytes();
+  }
+  return sum;
+}
+
+double ShardedVaultDeployment::modeled_seconds() const {
+  return untrusted_seconds_.load() + parallel_seconds_.load();
+}
+
+CostMeter ShardedVaultDeployment::aggregate_meter() const {
+  CostMeter total;
+  for (const auto& sh : shards_) {
+    const CostMeter m = sh->enclave->meter_snapshot();
+    total.ecalls += m.ecalls;
+    total.ocalls += m.ocalls;
+    total.bytes_in += m.bytes_in;
+    total.page_swaps += m.page_swaps;
+    total.enclave_compute_seconds += m.enclave_compute_seconds;
+    total.untrusted_compute_seconds += m.untrusted_compute_seconds;
+  }
+  total.untrusted_compute_seconds += untrusted_seconds_.load();
+  return total;
+}
+
+std::size_t ShardedVaultDeployment::max_shard_peak_bytes() const {
+  std::size_t mx = 0;
+  for (const auto& sh : shards_) {
+    mx = std::max(mx, sh->enclave->memory().peak_bytes());
+  }
+  return mx;
+}
+
+}  // namespace gv

@@ -1,0 +1,163 @@
+// ShardedVaultDeployment: one tenant's rectifier across N shard enclaves.
+//
+// Each shard is its own Enclave (own sealed shard package, possibly its own
+// SGX platform) holding: the replicated rectifier weights, the shard's rows
+// of the GLOBAL normalized private adjacency (columns spanning the one-hop
+// closure), and the halo routing lists derived from the cut edges.  A
+// refresh runs the public backbone once in the untrusted world, then a
+// layer-synchronous sharded rectifier forward:
+//
+//   stream   the full public embedding matrices are pushed to every shard
+//            in fixed-size chunks; each enclave keeps only its closure rows
+//            (the untrusted side's access pattern is the full matrix, so it
+//            learns nothing about shard neighbourhoods);
+//   compute  layer k: every shard multiplies its owned rows of Â against
+//            its closure input rows — bit-exact against the unsharded
+//            forward because values and column order match the global CSR;
+//   exchange boundary-node embeddings cross mutually attested
+//            enclave-to-enclave channels (sgxsim/attested_channel.hpp) to
+//            become the halo part of the next layer's closure input.  ONLY
+//            embeddings and labels ride these channels; the cut edges and
+//            sub-adjacencies never leave any enclave.
+//
+// The final layer's argmax lands in an enclave-resident label store per
+// shard; serving is then a label-only lookup ecall into the owner shard
+// (one per routed micro-batch), and the paper's label-only output invariant
+// (Sec. IV-E) holds shard-locally and globally.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "shard/shard_planner.hpp"
+#include "sgxsim/attested_channel.hpp"
+#include "sgxsim/channel.hpp"
+#include "sgxsim/enclave.hpp"
+
+namespace gv {
+
+struct ShardedDeploymentOptions {
+  SgxCostModel cost_model{};
+  /// Enclave name prefix; empty -> "shardvault.<dataset>".  Shard i becomes
+  /// "<prefix>.shard<i>".
+  std::string enclave_name;
+  /// Platform sealing key per shard (one entry per shard, or empty for the
+  /// default platform everywhere).  Distinct keys model shards placed on
+  /// distinct SGX machines.
+  std::vector<Sha256Digest> platform_keys;
+  /// Seal shard packages at rest and unseal on load.
+  bool seal_artifacts = true;
+};
+
+class ShardedVaultDeployment {
+ public:
+  ShardedVaultDeployment(const Dataset& ds, TrainedVault vault, ShardPlan plan,
+                         ShardedDeploymentOptions opts = {});
+
+  /// Backbone + layer-synchronous sharded forward; fills every live shard's
+  /// label store.  Requires all shards alive (replicas cover reads, not
+  /// refreshes).  Serialized against itself and infer_labels.
+  void refresh(const CsrMatrix& features);
+  bool refreshed() const { return refreshed_; }
+
+  /// refresh() + gather every shard's owned labels (label-only exits).
+  std::vector<std::uint32_t> infer_labels(const CsrMatrix& features);
+
+  /// Label-only lookup into one shard's enclave label store. `nodes` must
+  /// all be owned by `shard`.  `modeled_delta`, when non-null, receives the
+  /// modeled seconds this lookup added to the shard's meter (the router
+  /// takes a max across shards touched by one batch — distinct shard
+  /// enclaves serve in parallel).
+  std::vector<std::uint32_t> lookup(std::uint32_t shard,
+                                    std::span<const std::uint32_t> nodes,
+                                    double* modeled_delta = nullptr);
+
+  std::uint32_t num_shards() const { return plan_.num_shards; }
+  std::uint32_t owner(std::uint32_t node) const;
+  const ShardPlan& plan() const { return plan_; }
+  const TrainedVault& vault() const { return vault_; }
+
+  /// Simulate a shard enclave crash: subsequent lookups throw until a
+  /// replica takes over (shard/replica_manager.hpp).
+  void kill_shard(std::uint32_t shard);
+  bool shard_alive(std::uint32_t shard) const;
+
+  Enclave& shard_enclave(std::uint32_t shard);
+  const Enclave& shard_enclave(std::uint32_t shard) const;
+  const Sha256Digest& shard_platform_key(std::uint32_t shard) const;
+  /// The shard package sealed under the shard's own platform key (empty
+  /// unless seal_artifacts).
+  const SealedBlob& sealed_payload(std::uint32_t shard) const;
+
+  // --- Replication hooks (used by ReplicaManager). -----------------------
+  /// Build an enclave with the SAME measurement as the shards (identical
+  /// code identity => attestation succeeds, sealing keys differ by
+  /// platform), e.g. a standby replica on another platform.
+  std::unique_ptr<Enclave> make_peer_enclave(std::uint32_t shard,
+                                             const Sha256Digest& platform_key) const;
+  /// From inside shard's enclave, ship its package / label store to the
+  /// peer endpoint of `ch` (encrypted under the attested session key).
+  void send_payload(std::uint32_t shard, AttestedChannel& ch);
+  void send_labels(std::uint32_t shard, AttestedChannel& ch);
+
+  // --- Audit + cost accounting. ------------------------------------------
+  /// Plaintext bytes that crossed INTER-SHARD channels, by payload kind.
+  /// Tests assert package_bytes == 0 and label_bytes == 0 on these: halo
+  /// traffic is embeddings only, and no adjacency API even exists.
+  std::uint64_t halo_embedding_bytes() const;
+  std::uint64_t halo_label_bytes() const;
+  std::uint64_t halo_package_bytes() const;
+
+  /// Modeled seconds so far: untrusted backbone + the critical path of the
+  /// sharded forward (per phase, the slowest shard — shards run on separate
+  /// enclaves/platforms and proceed in parallel between barriers).
+  double modeled_seconds() const;
+  /// Sum of every shard's meter (total work, not critical path).
+  CostMeter aggregate_meter() const;
+  const SgxCostModel& cost_model() const { return opts_.cost_model; }
+  std::size_t max_shard_peak_bytes() const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<Enclave> enclave;
+    std::unique_ptr<OneWayChannel> stream;  // untrusted -> enclave staging
+    std::atomic<bool> alive{true};
+    // Enclave-held state (only touched inside ecalls):
+    ShardPayload payload;
+    std::shared_ptr<const CsrMatrix> sub_adj;  // owned x closure
+    std::unique_ptr<Rectifier> rectifier;
+    std::vector<Matrix> bb_rows;    // closure rows per backbone layer index
+    Matrix h_owned;                 // current layer output (owned rows)
+    Matrix h_closure;               // assembled next-layer input (closure rows)
+    std::vector<std::uint32_t> labels;  // label store
+    SealedBlob sealed;
+  };
+
+  void provision_shard(Shard& shard, ShardPayload payload);
+  AttestedChannel* channel(std::uint32_t s, std::uint32_t t);
+  void stream_backbone_rows(const std::vector<Matrix>& outputs);
+  /// Run `body(s)` for every shard; adds the slowest shard's meter delta to
+  /// the parallel-time accumulator (one synchronized phase).
+  template <typename F>
+  void parallel_phase(F&& body);
+  double meter_seconds(const Shard& s) const;
+
+  TrainedVault vault_;
+  ShardPlan plan_;
+  ShardedDeploymentOptions opts_;
+  std::vector<std::size_t> required_layers_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// channels_[s * K + t] for s < t; null when no halo overlap either way.
+  std::vector<std::unique_ptr<AttestedChannel>> channels_;
+  std::unique_ptr<std::mutex> infer_mu_ = std::make_unique<std::mutex>();
+  std::atomic<bool> refreshed_{false};
+  // Atomics: stats() readers poll while refresh/infer_labels accumulate.
+  std::atomic<double> untrusted_seconds_{0.0};
+  std::atomic<double> parallel_seconds_{0.0};
+};
+
+}  // namespace gv

@@ -1,0 +1,190 @@
+#include "shard/sharded_server.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace gv {
+
+ShardedVaultServer::ShardedVaultServer(const Dataset& ds, TrainedVault vault,
+                                       ShardPlan plan,
+                                       ShardedDeploymentOptions dopts,
+                                       ShardedServerConfig cfg)
+    : cfg_(cfg),
+      deployment_(ds, std::move(vault), std::move(plan), std::move(dopts)),
+      cache_(cfg.server.cache_capacity),
+      num_nodes_(ds.features.rows()),
+      features_(std::make_shared<const CsrMatrix>(ds.features)),
+      queue_(cfg.server.max_batch, cfg.server.max_wait),
+      pool_(std::max<std::size_t>(1, cfg.server.worker_threads)) {
+  // Labels are materialized up front: the sharded forward is the expensive,
+  // EPC-bounded part, and it amortizes over every query until the next
+  // feature update.
+  deployment_.refresh(*features_);
+  if (cfg_.replicate) {
+    ReplicaConfig rcfg;
+    rcfg.standby_platform_key = cfg_.standby_platform_key;
+    replicas_ = std::make_unique<ReplicaManager>(deployment_, rcfg);
+    replicas_->replicate_async();
+  }
+  router_ = std::make_unique<ShardRouter>(deployment_, replicas_.get());
+  workers_.reserve(pool_.size());
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    workers_.push_back(pool_.submit([this] { worker_loop(); }));
+  }
+}
+
+ShardedVaultServer::~ShardedVaultServer() {
+  queue_.stop();
+  for (auto& w : workers_) {
+    try {
+      w.get();
+    } catch (...) {
+      // Shutdown proceeds regardless.
+    }
+  }
+}
+
+std::shared_ptr<const CsrMatrix> ShardedVaultServer::features() const {
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  return features_;
+}
+
+std::future<std::uint32_t> ShardedVaultServer::submit(std::uint32_t node) {
+  GV_CHECK(node < num_nodes_, "query node out of range");
+  metrics_.record_request();
+  Sha256Digest digest{};
+  if (cache_.enabled()) {
+    std::shared_ptr<const CsrMatrix> snap;
+    {
+      std::lock_guard<std::mutex> lock(snap_mu_);
+      snap = features_;
+    }
+    digest = feature_row_digest(*snap, node);
+    if (const auto hit = cache_.get(node, digest)) {
+      metrics_.record_cache_hit();
+      metrics_.record_latency_ms(0.0);
+      std::promise<std::uint32_t> ready;
+      ready.set_value(*hit);
+      return ready.get_future();
+    }
+    metrics_.record_cache_miss();
+  }
+  std::promise<std::uint32_t> promise;
+  std::future<std::uint32_t> fut = promise.get_future();
+  if (queue_.submit(node, digest, std::move(promise))) {
+    metrics_.record_coalesced();
+  }
+  return fut;
+}
+
+std::vector<std::future<std::uint32_t>> ShardedVaultServer::submit_many(
+    std::span<const std::uint32_t> nodes) {
+  std::vector<std::future<std::uint32_t>> futs;
+  futs.reserve(nodes.size());
+  for (const auto node : nodes) futs.push_back(submit(node));
+  return futs;
+}
+
+std::uint32_t ShardedVaultServer::query(std::uint32_t node) {
+  return submit(node).get();
+}
+
+void ShardedVaultServer::update_features(const CsrMatrix& new_features) {
+  GV_CHECK(new_features.rows() == num_nodes_,
+           "feature update must keep the node set");
+  auto fresh = std::make_shared<const CsrMatrix>(new_features);
+  // The sharded forward rebuilds every shard's label store in place
+  // (serialized against itself; lookups between shard updates see a mix of
+  // old and new labels, the usual eventual-consistency window of a rolling
+  // refresh).
+  deployment_.refresh(*fresh);
+  {
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    features_ = std::move(fresh);
+  }
+  if (replicas_ != nullptr) {
+    replicas_->wait_ready();
+    replicas_->sync_labels();
+  }
+  cache_.invalidate_stale(new_features);
+  metrics_.record_feature_update();
+}
+
+void ShardedVaultServer::kill_shard(std::uint32_t shard) {
+  if (replicas_ != nullptr) replicas_->wait_ready();
+  deployment_.kill_shard(shard);
+}
+
+void ShardedVaultServer::flush() { queue_.flush(); }
+
+std::size_t ShardedVaultServer::pending() const { return queue_.pending(); }
+
+MetricsSnapshot ShardedVaultServer::stats() const {
+  MetricsSnapshot s = metrics_.snapshot();
+  s.failovers = router_->failovers();
+  const CostMeter m = deployment_.aggregate_meter();
+  s.ecalls = m.ecalls;
+  s.bytes_in = m.bytes_in;
+  // Critical-path time: refresh phases + the slowest shard of every routed
+  // batch (distinct shard enclaves answer in parallel).
+  s.modeled_seconds = deployment_.modeled_seconds() + router_->modeled_seconds();
+  const auto served = s.completed + s.cache_hits;
+  s.requests_per_second =
+      s.modeled_seconds > 0.0 ? static_cast<double>(served) / s.modeled_seconds : 0.0;
+  return s;
+}
+
+void ShardedVaultServer::worker_loop() {
+  for (;;) {
+    auto batch = queue_.next_batch();
+    if (batch.empty()) return;  // stopped and drained
+    execute_batch(std::move(batch));
+  }
+}
+
+void ShardedVaultServer::execute_batch(std::vector<MicroBatchQueue::Entry> batch) {
+  std::vector<std::uint32_t> nodes;
+  nodes.reserve(batch.size());
+  std::size_t waiters = 0;
+  for (const auto& e : batch) {
+    nodes.push_back(e.node);
+    waiters += e.waiters.size();
+  }
+  try {
+    // Pin the snapshot BEFORE the lookups: if update_features lands while
+    // this batch is in flight, the labels we fetched pair with the OLD
+    // digest and the cache entries self-evict on their next probe, instead
+    // of stale labels being filed under the new digest.
+    std::shared_ptr<const CsrMatrix> snap;
+    if (cache_.enabled()) {
+      std::lock_guard<std::mutex> lock(snap_mu_);
+      snap = features_;
+    }
+    const auto labels = router_->route(nodes);
+    const auto done = std::chrono::steady_clock::now();
+    metrics_.record_batch(waiters);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (cache_.enabled()) {
+        cache_.put(batch[i].node, feature_row_digest(*snap, batch[i].node),
+                   labels[i]);
+      }
+      const double ms =
+          std::chrono::duration<double, std::milli>(done - batch[i].enqueued)
+              .count();
+      for (std::size_t w = 0; w < batch[i].waiters.size(); ++w) {
+        metrics_.record_latency_ms(ms);
+      }
+    }
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      for (auto& waiter : batch[i].waiters) waiter.set_value(labels[i]);
+    }
+  } catch (...) {
+    const auto err = std::current_exception();
+    for (auto& e : batch) {
+      for (auto& waiter : e.waiters) waiter.set_exception(err);
+    }
+  }
+}
+
+}  // namespace gv

@@ -1,0 +1,95 @@
+// ShardedVaultServer: VaultServer semantics for a tenant that spans N
+// shard enclaves.
+//
+// The serving front is the same dynamic micro-batch queue VaultServer uses
+// (serve/batch_queue.hpp), including duplicate-query coalescing and the LRU
+// label cache.  The back end differs: a refresh materializes every node's
+// label via the layer-synchronous sharded forward (halo exchange over
+// attested channels), and each flushed batch then becomes one label-only
+// lookup ecall per touched shard, merged by the ShardRouter.  With
+// replication enabled, a killed shard's queries transparently fail over to
+// its warm replica and the failover is recorded in the metrics.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "serve/batch_queue.hpp"
+#include "serve/label_cache.hpp"
+#include "serve/server_metrics.hpp"
+#include "serve/vault_server.hpp"
+#include "shard/replica_manager.hpp"
+#include "shard/shard_router.hpp"
+#include "shard/sharded_deployment.hpp"
+
+namespace gv {
+
+struct ShardedServerConfig {
+  ServerConfig server{};
+  /// Keep a warm replica of every shard on the standby platform.
+  bool replicate = false;
+  Sha256Digest standby_platform_key = ReplicaConfig::standby_platform_default_key();
+};
+
+class ShardedVaultServer {
+ public:
+  /// Provisions one enclave per plan shard, runs the initial refresh over
+  /// `ds.features`, kicks off async replication (when configured), and
+  /// starts the worker loop.
+  ShardedVaultServer(const Dataset& ds, TrainedVault vault, ShardPlan plan,
+                     ShardedDeploymentOptions dopts = {},
+                     ShardedServerConfig cfg = {});
+  ~ShardedVaultServer();
+
+  ShardedVaultServer(const ShardedVaultServer&) = delete;
+  ShardedVaultServer& operator=(const ShardedVaultServer&) = delete;
+
+  std::future<std::uint32_t> submit(std::uint32_t node);
+  std::vector<std::future<std::uint32_t>> submit_many(
+      std::span<const std::uint32_t> nodes);
+  std::uint32_t query(std::uint32_t node);
+
+  /// New feature snapshot: re-runs the sharded forward (all shards must be
+  /// alive), re-ships replica label stores, and evicts cache entries whose
+  /// feature-row digest changed.
+  void update_features(const CsrMatrix& new_features);
+
+  /// Kill a shard's primary enclave; with replication, queries fail over.
+  void kill_shard(std::uint32_t shard);
+
+  void flush();
+  std::size_t pending() const;
+
+  MetricsSnapshot stats() const;
+
+  ShardedVaultDeployment& deployment() { return deployment_; }
+  const ShardedVaultDeployment& deployment() const { return deployment_; }
+  ShardRouter& router() { return *router_; }
+  ReplicaManager* replicas() { return replicas_.get(); }
+  const ShardedServerConfig& config() const { return cfg_; }
+  /// Current feature snapshot (shared handle: stays valid across a
+  /// concurrent update_features).
+  std::shared_ptr<const CsrMatrix> features() const;
+
+ private:
+  void worker_loop();
+  void execute_batch(std::vector<MicroBatchQueue::Entry> batch);
+
+  ShardedServerConfig cfg_;
+  ShardedVaultDeployment deployment_;
+  std::unique_ptr<ReplicaManager> replicas_;
+  std::unique_ptr<ShardRouter> router_;
+  LabelCache cache_;
+  ServerMetrics metrics_;
+  const std::size_t num_nodes_;
+
+  mutable std::mutex snap_mu_;
+  std::shared_ptr<const CsrMatrix> features_;
+
+  MicroBatchQueue queue_;
+  ThreadPool pool_;
+  std::vector<std::future<void>> workers_;
+};
+
+}  // namespace gv

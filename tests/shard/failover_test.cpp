@@ -1,0 +1,121 @@
+// Replicated failover: shard packages re-sealed under the standby platform
+// key, warm label stores, router failover when a shard enclave dies, and
+// the channel-audit invariants that keep adjacency inside enclaves.
+#include <gtest/gtest.h>
+
+#include "shard/replica_manager.hpp"
+#include "shard/shard_router.hpp"
+#include "shard/sharded_server.hpp"
+#include "../serve/serve_test_util.hpp"
+
+namespace gv {
+namespace {
+
+TrainedVault quick_vault(const Dataset& ds) {
+  VaultTrainConfig cfg;
+  cfg.spec = ModelSpec{"T", {16, 8}, {16, 8}, 0.4f};
+  cfg.backbone_train.epochs = 25;
+  cfg.rectifier_train.epochs = 25;
+  cfg.seed = 23;
+  return train_vault(ds, cfg);
+}
+
+TEST(ReplicaManager, ResealsUnderStandbyPlatformKey) {
+  const Dataset ds = serve_dataset(81);
+  TrainedVault tv = quick_vault(ds);
+  ShardedVaultDeployment dep(ds, tv, ShardPlanner::plan(ds, tv, 2));
+  dep.refresh(ds.features);
+
+  ReplicaManager replicas(dep);
+  replicas.replicate_all();
+  ASSERT_TRUE(replicas.ready(0) && replicas.ready(1));
+
+  for (std::uint32_t s = 0; s < 2; ++s) {
+    // The replica's sealed package opens ONLY on the standby platform: the
+    // primary enclave (same measurement, different fuse key) must fail.
+    const SealedBlob& standby_sealed = replicas.sealed_payload(s);
+    ASSERT_FALSE(standby_sealed.ciphertext.empty());
+    EXPECT_NO_THROW(replicas.replica_enclave(s).unseal(standby_sealed));
+    EXPECT_THROW(dep.shard_enclave(s).unseal(standby_sealed), Error);
+    // ...and vice versa for the primary's own sealed package.
+    EXPECT_THROW(replicas.replica_enclave(s).unseal(dep.sealed_payload(s)), Error);
+    // The replicated package round-trips to the exact shard payload.
+    const auto bytes = replicas.replica_enclave(s).unseal(standby_sealed);
+    const ShardPayload p = deserialize_shard_payload(bytes);
+    EXPECT_EQ(p.shard_index, s);
+  }
+  // Package + label bytes crossed the REPLICATION channels...
+  EXPECT_GT(replicas.package_bytes(), 0u);
+  EXPECT_GT(replicas.label_bytes(), 0u);
+  // ...and still none on the inter-shard inference channels.
+  EXPECT_EQ(dep.halo_package_bytes(), 0u);
+  EXPECT_EQ(dep.halo_label_bytes(), 0u);
+}
+
+TEST(ShardRouter, FailsOverToReplicaWhenShardDies) {
+  const Dataset ds = serve_dataset(82);
+  TrainedVault tv = quick_vault(ds);
+  ShardedVaultDeployment dep(ds, tv, ShardPlanner::plan(ds, tv, 3));
+  const auto truth = dep.infer_labels(ds.features);
+
+  ReplicaManager replicas(dep);
+  replicas.replicate_all();
+  ShardRouter router(dep, &replicas);
+
+  std::vector<std::uint32_t> nodes = {0, 7, 19, 42, 63, 7};
+  EXPECT_EQ(router.route(nodes),
+            (std::vector<std::uint32_t>{truth[0], truth[7], truth[19], truth[42],
+                                        truth[63], truth[7]}));
+  EXPECT_EQ(router.failovers(), 0u);
+
+  const std::uint32_t victim = dep.owner(7);
+  dep.kill_shard(victim);
+  EXPECT_FALSE(dep.shard_alive(victim));
+  // Same query set, same answers — now via the replica.
+  EXPECT_EQ(router.route(nodes),
+            (std::vector<std::uint32_t>{truth[0], truth[7], truth[19], truth[42],
+                                        truth[63], truth[7]}));
+  EXPECT_GE(router.failovers(), 1u);
+}
+
+TEST(ShardRouter, DeadShardWithoutReplicaThrows) {
+  const Dataset ds = serve_dataset(83);
+  TrainedVault tv = quick_vault(ds);
+  ShardedVaultDeployment dep(ds, tv, ShardPlanner::plan(ds, tv, 2));
+  dep.refresh(ds.features);
+  ShardRouter router(dep, nullptr);
+  dep.kill_shard(0);
+  const auto& victim_nodes = dep.plan().shards[0].nodes;
+  ASSERT_FALSE(victim_nodes.empty());
+  EXPECT_THROW(router.route(std::vector<std::uint32_t>{victim_nodes[0]}), Error);
+}
+
+TEST(ShardedVaultServer, ServesThroughKillWithMetricsRecordingFailover) {
+  const Dataset ds = serve_dataset(84);
+  TrainedVault tv = quick_vault(ds);
+  const ShardPlan plan = ShardPlanner::plan(ds, tv, 3);
+
+  ShardedServerConfig scfg;
+  scfg.server.max_batch = 8;
+  scfg.server.max_wait = std::chrono::microseconds(500);
+  scfg.server.cache_capacity = 0;  // every query reaches a shard enclave
+  scfg.replicate = true;
+  ShardedVaultServer server(ds, tv, plan, {}, scfg);
+  const auto truth = ShardedVaultDeployment(ds, tv, plan).infer_labels(ds.features);
+
+  for (std::uint32_t v = 0; v < 20; ++v) {
+    EXPECT_EQ(server.query(v), truth[v]) << "node " << v;
+  }
+  const std::uint32_t victim = server.deployment().owner(3);
+  server.kill_shard(victim);  // waits for replication internally
+  for (std::uint32_t v = 0; v < 20; ++v) {
+    EXPECT_EQ(server.query(v), truth[v]) << "after failover, node " << v;
+  }
+  const auto s = server.stats();
+  EXPECT_GE(s.failovers, 1u);
+  EXPECT_EQ(s.requests, 40u);
+  EXPECT_GT(s.requests_per_second, 0.0);
+}
+
+}  // namespace
+}  // namespace gv

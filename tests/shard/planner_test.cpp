@@ -1,0 +1,123 @@
+// ShardPlanner: budget-driven shard counts, coverage, and payload
+// construction invariants (closure, halo routing, global values).
+#include "shard/shard_planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "../serve/serve_test_util.hpp"
+#include "shard_test_util.hpp"
+
+namespace gv {
+namespace {
+
+TEST(ShardPlanner, PlanCoversAllNodesExactlyOnce) {
+  const Dataset ds = serve_dataset(61);
+  const TrainedVault tv = serve_vault(ds);
+  const ShardPlan plan = ShardPlanner::plan(ds, tv, 3);
+  ASSERT_EQ(plan.num_shards, 3u);
+  ASSERT_EQ(plan.owner.size(), ds.num_nodes());
+  std::size_t covered = 0;
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    for (const auto v : plan.shards[s].nodes) {
+      EXPECT_EQ(plan.owner[v], s);
+    }
+    covered += plan.shards[s].nodes.size();
+  }
+  EXPECT_EQ(covered, ds.num_nodes());
+}
+
+TEST(ShardPlanner, MoreShardsMeanSmallerLargestShard) {
+  const Dataset ds = serve_dataset(62, /*nodes=*/400);
+  const TrainedVault tv = serve_vault(ds);
+  const ShardPlan one = ShardPlanner::plan(ds, tv, 1);
+  const ShardPlan four = ShardPlanner::plan(ds, tv, 4);
+  EXPECT_LT(four.max_shard_bytes(), one.max_shard_bytes());
+  // Halo replication makes the sum superlinear, but not absurdly so.
+  EXPECT_GE(four.total_bytes(), one.total_bytes());
+}
+
+TEST(ShardPlanner, PlanForBudgetPicksSmallestFittingShardCount) {
+  const Dataset ds = shard_dataset(63);
+  const TrainedVault tv = shard_vault(ds);
+  const ShardPlan single = ShardPlanner::plan(ds, tv, 1);
+  // A budget of ~half the single-shard estimate forces K >= 2.
+  const std::size_t budget = single.max_shard_bytes() / 2 + 1;
+  const ShardPlan plan = ShardPlanner::plan_for_budget(ds, tv, budget, 16);
+  EXPECT_GE(plan.num_shards, 2u);
+  EXPECT_LE(plan.max_shard_bytes(), budget);
+  if (plan.num_shards > 2) {
+    // Minimality: one fewer shard must NOT fit (when we went above 2).
+    const ShardPlan smaller = ShardPlanner::plan(ds, tv, plan.num_shards - 1);
+    EXPECT_GT(smaller.max_shard_bytes(), budget);
+  }
+}
+
+TEST(ShardPlanner, PlanForBudgetThrowsWhenImpossible) {
+  const Dataset ds = serve_dataset(64);
+  const TrainedVault tv = serve_vault(ds);
+  // Smaller than the replicated rectifier weights: no K can ever fit.
+  EXPECT_THROW(ShardPlanner::plan_for_budget(ds, tv, 64, 8), Error);
+}
+
+TEST(ShardPlanner, PayloadsCarryClosureHaloAndGlobalValues) {
+  const Dataset ds = serve_dataset(65);
+  const TrainedVault tv = serve_vault(ds);
+  const ShardPlan plan = ShardPlanner::plan(ds, tv, 3);
+  const auto payloads = ShardPlanner::build_payloads(ds, tv, plan);
+  ASSERT_EQ(payloads.size(), 3u);
+
+  const CsrMatrix global =
+      Graph::csr_from_coo_normalized(ds.graph.to_coo_normalized());
+  for (const auto& p : payloads) {
+    // Owned ⊆ closure, both sorted.
+    EXPECT_TRUE(std::is_sorted(p.owned.begin(), p.owned.end()));
+    EXPECT_TRUE(std::is_sorted(p.closure.begin(), p.closure.end()));
+    EXPECT_TRUE(std::includes(p.closure.begin(), p.closure.end(),
+                              p.owned.begin(), p.owned.end()));
+    // Every sub-adjacency value equals the global Â entry it maps to.
+    for (std::size_t i = 0; i < p.adj_row.size(); ++i) {
+      const std::uint32_t gr = p.owned[p.adj_row[i]];
+      const std::uint32_t gc = p.closure[p.adj_col[i]];
+      EXPECT_FLOAT_EQ(p.adj_val[i], global.at(gr, gc));
+    }
+    // Halo routing: every listed node is owned by the sender and sits in
+    // the receiver's closure but not its owned set.
+    for (std::uint32_t t = 0; t < payloads.size(); ++t) {
+      for (const auto v : p.halo_out[t]) {
+        EXPECT_EQ(plan.owner[v], p.shard_index);
+        const auto& rc = payloads[t].closure;
+        EXPECT_TRUE(std::binary_search(rc.begin(), rc.end(), v));
+        const auto& ro = payloads[t].owned;
+        EXPECT_FALSE(std::binary_search(ro.begin(), ro.end(), v));
+      }
+    }
+  }
+}
+
+TEST(ShardPlanner, ShardPayloadSerializationRoundTrips) {
+  const Dataset ds = serve_dataset(66);
+  const TrainedVault tv = serve_vault(ds);
+  const ShardPlan plan = ShardPlanner::plan(ds, tv, 2);
+  const auto payloads = ShardPlanner::build_payloads(ds, tv, plan);
+  const auto bytes = serialize_shard_payload(payloads[1]);
+  const ShardPayload back = deserialize_shard_payload(bytes);
+  EXPECT_EQ(back.shard_index, payloads[1].shard_index);
+  EXPECT_EQ(back.num_shards, payloads[1].num_shards);
+  EXPECT_EQ(back.owned, payloads[1].owned);
+  EXPECT_EQ(back.closure, payloads[1].closure);
+  EXPECT_EQ(back.adj_row, payloads[1].adj_row);
+  EXPECT_EQ(back.adj_col, payloads[1].adj_col);
+  EXPECT_EQ(back.adj_val, payloads[1].adj_val);
+  EXPECT_EQ(back.halo_out, payloads[1].halo_out);
+  EXPECT_EQ(back.rectifier_weights, payloads[1].rectifier_weights);
+
+  auto corrupt = bytes;
+  corrupt.pop_back();
+  EXPECT_THROW(deserialize_shard_payload(corrupt), Error);
+}
+
+}  // namespace
+}  // namespace gv

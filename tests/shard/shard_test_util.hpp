@@ -1,0 +1,33 @@
+// Shared fixtures for the ShardVault tests: a sparse synthetic dataset
+// (low degree, so per-shard closures actually shrink with the shard count —
+// the regime sharding targets) and a quickly trained vault.
+#pragma once
+
+#include "core/pipeline.hpp"
+#include "data/synthetic.hpp"
+
+namespace gv {
+
+inline Dataset shard_dataset(std::uint64_t seed, std::uint32_t nodes = 800) {
+  SyntheticSpec spec;
+  spec.num_nodes = nodes;
+  spec.num_classes = 3;
+  spec.num_undirected_edges = nodes * 3 / 2;  // avg degree 3
+  spec.feature_dim = 80;
+  spec.homophily = 0.85;
+  spec.feature_signal = 0.45;
+  return generate_synthetic(spec, seed);
+}
+
+inline TrainedVault shard_vault(const Dataset& ds, std::uint64_t seed = 17,
+                                RectifierKind kind = RectifierKind::kParallel) {
+  VaultTrainConfig cfg;
+  cfg.spec = ModelSpec{"T", {16, 8}, {16, 8}, 0.4f};
+  cfg.rectifier = kind;
+  cfg.backbone_train.epochs = 25;
+  cfg.rectifier_train.epochs = 25;
+  cfg.seed = seed;
+  return train_vault(ds, cfg);
+}
+
+}  // namespace gv

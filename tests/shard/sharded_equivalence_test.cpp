@@ -1,0 +1,105 @@
+// Acceptance gate for ShardVault: sharded inference must return labels
+// IDENTICAL to single-enclave inference — the sub-adjacencies carry the
+// global Â values with ascending-column order preserved, so every owned
+// row's message-passing sum runs over the same floats in the same order and
+// the equality is bit-exact, not approximate.
+//
+// Covered across all six Table-I dataset twins (scaled down for test time)
+// and across all three rectifier communication schemes.
+#include <gtest/gtest.h>
+
+#include "core/deployment.hpp"
+#include "data/catalog.hpp"
+#include "shard/sharded_deployment.hpp"
+#include "../serve/serve_test_util.hpp"
+
+namespace gv {
+namespace {
+
+TrainedVault quick_vault(const Dataset& ds, RectifierKind kind = RectifierKind::kParallel) {
+  VaultTrainConfig cfg;
+  cfg.spec = ModelSpec{"T", {16, 8}, {16, 8}, 0.4f};
+  cfg.rectifier = kind;
+  cfg.backbone_train.epochs = 25;
+  cfg.rectifier_train.epochs = 25;
+  cfg.seed = 17;
+  return train_vault(ds, cfg);
+}
+
+TEST(ShardedEquivalence, AllSixTableOneDatasetsMatchSingleEnclave) {
+  for (const DatasetId id : all_dataset_ids()) {
+    const Dataset ds = load_dataset(id, /*seed=*/7, /*scale=*/0.06);
+    TrainedVault tv = quick_vault(ds);
+
+    const ShardPlan plan = ShardPlanner::plan(ds, tv, 3);
+    ShardedVaultDeployment sharded(ds, tv, plan);
+    VaultDeployment single(ds, tv);
+
+    const auto sharded_labels = sharded.infer_labels(ds.features);
+    const auto single_labels = single.infer_labels(ds.features);
+    ASSERT_EQ(sharded_labels.size(), single_labels.size()) << dataset_name(id);
+    EXPECT_EQ(sharded_labels, single_labels)
+        << "sharded labels diverge on " << dataset_name(id);
+
+    // The inter-shard channels carried embeddings only: no package (and
+    // in particular no adjacency) bytes, no labels.
+    if (plan.cut_edges > 0) {
+      EXPECT_GT(sharded.halo_embedding_bytes(), 0u) << dataset_name(id);
+    }
+    EXPECT_EQ(sharded.halo_package_bytes(), 0u) << dataset_name(id);
+    EXPECT_EQ(sharded.halo_label_bytes(), 0u) << dataset_name(id);
+  }
+}
+
+TEST(ShardedEquivalence, AllRectifierKindsMatch) {
+  const Dataset ds = serve_dataset(71, /*nodes=*/300);
+  for (const RectifierKind kind :
+       {RectifierKind::kParallel, RectifierKind::kCascaded, RectifierKind::kSeries}) {
+    TrainedVault tv = quick_vault(ds, kind);
+    ShardedVaultDeployment sharded(ds, tv, ShardPlanner::plan(ds, tv, 4));
+    VaultDeployment single(ds, tv);
+    EXPECT_EQ(sharded.infer_labels(ds.features), single.infer_labels(ds.features))
+        << rectifier_kind_name(kind);
+  }
+}
+
+TEST(ShardedEquivalence, SingleShardDegenerateCaseMatches) {
+  const Dataset ds = serve_dataset(72);
+  TrainedVault tv = quick_vault(ds);
+  ShardedVaultDeployment sharded(ds, tv, ShardPlanner::plan(ds, tv, 1));
+  VaultDeployment single(ds, tv);
+  EXPECT_EQ(sharded.infer_labels(ds.features), single.infer_labels(ds.features));
+  EXPECT_EQ(sharded.halo_embedding_bytes(), 0u);
+}
+
+TEST(ShardedEquivalence, LookupMatchesPlanOwnership) {
+  const Dataset ds = serve_dataset(73);
+  TrainedVault tv = quick_vault(ds);
+  const ShardPlan plan = ShardPlanner::plan(ds, tv, 3);
+  ShardedVaultDeployment sharded(ds, tv, plan);
+  const auto all = sharded.infer_labels(ds.features);
+
+  // Per-shard lookups agree with the assembled vector; lookups for nodes a
+  // shard does not own throw.
+  const std::uint32_t node = 5;
+  const std::uint32_t home = sharded.owner(node);
+  const auto got = sharded.lookup(home, std::vector<std::uint32_t>{node});
+  EXPECT_EQ(got[0], all[node]);
+  const std::uint32_t wrong = (home + 1) % plan.num_shards;
+  EXPECT_THROW(sharded.lookup(wrong, std::vector<std::uint32_t>{node}), Error);
+}
+
+TEST(ShardedEquivalence, RefreshTracksFeatureUpdates) {
+  const Dataset ds = serve_dataset(74);
+  TrainedVault tv = quick_vault(ds);
+  ShardedVaultDeployment sharded(ds, tv, ShardPlanner::plan(ds, tv, 3));
+  VaultDeployment single(ds, tv);
+
+  // Perturb the features and re-run both paths: still identical.
+  CsrMatrix mutated = ds.features;
+  for (auto& v : mutated.mutable_values()) v *= 0.5f;
+  EXPECT_EQ(sharded.infer_labels(mutated), single.infer_labels(mutated));
+}
+
+}  // namespace
+}  // namespace gv

@@ -1,0 +1,195 @@
+// ShardedVaultServer + registry sharded admission: micro-batches split by
+// ownership, coalescing/caching on the sharded path, feature updates, and
+// the headline admission behavior — a tenant too big for one platform is
+// admitted as K shards across the fleet and actually serves.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "serve/registry.hpp"
+#include "../serve/serve_test_util.hpp"
+#include "shard_test_util.hpp"
+
+namespace gv {
+namespace {
+
+TrainedVault quick_vault(const Dataset& ds, std::uint64_t seed = 29) {
+  VaultTrainConfig cfg;
+  cfg.spec = ModelSpec{"T", {16, 8}, {16, 8}, 0.4f};
+  cfg.backbone_train.epochs = 25;
+  cfg.rectifier_train.epochs = 25;
+  cfg.seed = seed;
+  return train_vault(ds, cfg);
+}
+
+ShardedServerConfig quick_config(std::size_t max_batch, std::size_t cache = 0) {
+  ShardedServerConfig cfg;
+  cfg.server.max_batch = max_batch;
+  cfg.server.max_wait = std::chrono::microseconds(500);
+  cfg.server.cache_capacity = cache;
+  return cfg;
+}
+
+TEST(ShardedVaultServer, BatchedQueriesMatchUnshardedTruth) {
+  const Dataset ds = serve_dataset(91);
+  TrainedVault tv = quick_vault(ds);
+  const ShardPlan plan = ShardPlanner::plan(ds, tv, 3);
+  const auto truth = ShardedVaultDeployment(ds, tv, plan).infer_labels(ds.features);
+
+  ShardedVaultServer server(ds, std::move(tv), plan, {}, quick_config(16));
+  std::vector<std::uint32_t> nodes(ds.num_nodes());
+  std::iota(nodes.begin(), nodes.end(), 0u);
+  auto futs = server.submit_many(nodes);
+  server.flush();
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    EXPECT_EQ(futs[i].get(), truth[i]) << "node " << i;
+  }
+  const auto s = server.stats();
+  EXPECT_EQ(s.completed, static_cast<std::uint64_t>(ds.num_nodes()));
+  EXPECT_GT(s.batches, 0u);
+  // Batches touched several shards; the router balanced across them.
+  const auto per_shard = server.router().per_shard_batches();
+  std::size_t active = 0;
+  for (const auto b : per_shard) active += b > 0 ? 1 : 0;
+  EXPECT_GE(active, 2u);
+}
+
+TEST(ShardedVaultServer, CoalescesDuplicateInFlightQueries) {
+  const Dataset ds = serve_dataset(92);
+  TrainedVault tv = quick_vault(ds);
+  ShardedServerConfig cfg = quick_config(1024);
+  cfg.server.max_wait = std::chrono::seconds(30);  // only flush() releases
+  ShardedVaultServer server(ds, std::move(tv), ShardPlanner::plan(ds, tv, 2), {},
+                            cfg);
+  auto f1 = server.submit(5);
+  auto f2 = server.submit(5);
+  auto f3 = server.submit(5);
+  EXPECT_EQ(server.pending(), 1u);  // one slot, three waiters
+  server.flush();
+  const auto l = f1.get();
+  EXPECT_EQ(f2.get(), l);
+  EXPECT_EQ(f3.get(), l);
+  const auto s = server.stats();
+  EXPECT_EQ(s.coalesced, 2u);
+  EXPECT_EQ(s.completed, 3u);
+  EXPECT_EQ(s.batches, 1u);
+}
+
+TEST(ShardedVaultServer, UpdateFeaturesRefreshesLabels) {
+  const Dataset ds = serve_dataset(93);
+  TrainedVault tv = quick_vault(ds);
+  const ShardPlan plan = ShardPlanner::plan(ds, tv, 2);
+  ShardedVaultServer server(ds, tv, plan, {}, quick_config(8, /*cache=*/64));
+
+  CsrMatrix mutated = ds.features;
+  for (auto& v : mutated.mutable_values()) v *= 0.5f;
+  const auto new_truth = ShardedVaultDeployment(ds, tv, plan).infer_labels(mutated);
+
+  server.query(11);  // warm the cache against the old snapshot
+  server.update_features(mutated);
+  for (std::uint32_t v = 10; v < 14; ++v) {
+    EXPECT_EQ(server.query(v), new_truth[v]) << "node " << v;
+  }
+  EXPECT_EQ(server.stats().feature_updates, 1u);
+}
+
+TEST(VaultRegistry, OversizedTenantAdmittedShardedAndServes) {
+  const Dataset ds = shard_dataset(94);
+  TrainedVault tv = shard_vault(ds);
+  const std::size_t single_bytes = VaultRegistry::estimate_enclave_bytes(tv, ds);
+  const auto truth =
+      ShardedVaultDeployment(ds, tv, ShardPlanner::plan(ds, tv, 1))
+          .infer_labels(ds.features);
+
+  RegistryConfig rcfg;
+  rcfg.epc_budget_fraction = 1.0;
+  // Each platform holds ~85% of the tenant: unsharded admission is
+  // impossible, a few-shard plan fits the fleet one shard per platform.
+  rcfg.cost_model.epc_bytes = single_bytes * 17 / 20;
+  rcfg.num_platforms = 4;
+  rcfg.max_shards = 8;
+  VaultRegistry registry(rcfg);
+
+  ServerConfig scfg;
+  scfg.max_batch = 8;
+  scfg.max_wait = std::chrono::microseconds(500);
+  const auto r = registry.admit("whale", ds, tv, scfg);
+  ASSERT_EQ(r.decision, AdmissionDecision::kAdmittedSharded) << r.reason;
+  EXPECT_GE(r.num_shards, 2u);
+  EXPECT_TRUE(registry.has("whale"));
+  EXPECT_TRUE(registry.is_sharded("whale"));
+  EXPECT_THROW(registry.server("whale"), Error);  // not an unsharded tenant
+
+  auto server = registry.sharded_server("whale");
+  EXPECT_EQ(server->deployment().num_shards(), r.num_shards);
+  for (std::uint32_t v = 100; v < 120; ++v) {
+    EXPECT_EQ(server->query(v), truth[v]) << "node " << v;
+  }
+  // Shards were spread across platforms (no single platform can hold all).
+  const auto in_use = registry.platform_in_use();
+  std::size_t loaded = 0;
+  for (const auto b : in_use) loaded += b > 0 ? 1 : 0;
+  EXPECT_GE(loaded, 2u);
+
+  EXPECT_TRUE(registry.remove("whale"));
+  EXPECT_FALSE(registry.has("whale"));
+  EXPECT_EQ(registry.epc_in_use(), 0u);
+}
+
+TEST(VaultRegistry, OversizedTenantStillRejectedWhenShardingDisabled) {
+  const Dataset ds = shard_dataset(95);
+  TrainedVault tv = shard_vault(ds);
+  RegistryConfig rcfg;
+  rcfg.epc_budget_fraction = 1.0;
+  rcfg.cost_model.epc_bytes =
+      VaultRegistry::estimate_enclave_bytes(tv, ds) * 17 / 20;
+  rcfg.num_platforms = 4;
+  rcfg.shard_oversized = false;
+  VaultRegistry registry(rcfg);
+  EXPECT_EQ(registry.admit("whale", ds, std::move(tv)).decision,
+            AdmissionDecision::kRejected);
+}
+
+TEST(VaultRegistry, TenantTooBigForWholeFleetIsRejectedNotQueued) {
+  // A shard plan EXISTS (each shard fits one platform's budget), but the
+  // single-platform fleet can never hold all shards at once: queueing would
+  // head-of-line-block every later tenant forever, so this must reject.
+  const Dataset ds = shard_dataset(98);
+  TrainedVault tv = shard_vault(ds);
+  RegistryConfig rcfg;
+  rcfg.epc_budget_fraction = 1.0;
+  rcfg.cost_model.epc_bytes =
+      VaultRegistry::estimate_enclave_bytes(tv, ds) * 17 / 20;
+  rcfg.num_platforms = 1;
+  rcfg.queue_when_full = true;
+  VaultRegistry registry(rcfg);
+  const auto r = registry.admit("leviathan", ds, std::move(tv));
+  EXPECT_EQ(r.decision, AdmissionDecision::kRejected);
+  EXPECT_TRUE(registry.queued().empty());
+}
+
+TEST(VaultRegistry, ShardedTenantCoexistsWithUnshardedTenants) {
+  const Dataset big = shard_dataset(96);
+  const Dataset small = serve_dataset(97, /*nodes=*/120);
+  TrainedVault big_tv = shard_vault(big, 1);
+  TrainedVault small_tv = quick_vault(small, 2);
+  const auto small_truth = small_tv.predict_rectified(small.features);
+
+  RegistryConfig rcfg;
+  rcfg.epc_budget_fraction = 1.0;
+  rcfg.cost_model.epc_bytes =
+      VaultRegistry::estimate_enclave_bytes(big_tv, big) * 17 / 20;
+  // One platform more than the whale needs, so the minnow has a home.
+  rcfg.num_platforms = 5;
+  VaultRegistry registry(rcfg);
+
+  ASSERT_EQ(registry.admit("whale", big, std::move(big_tv)).decision,
+            AdmissionDecision::kAdmittedSharded);
+  const auto r = registry.admit("minnow", small, std::move(small_tv));
+  ASSERT_EQ(r.decision, AdmissionDecision::kAdmitted) << r.reason;
+  EXPECT_EQ(registry.server("minnow")->query(9), small_truth[9]);
+  EXPECT_EQ(registry.tenants().size(), 2u);
+}
+
+}  // namespace
+}  // namespace gv
