@@ -4,8 +4,9 @@
 //   2. deploy: one enclave per shard (distinct platforms), sealed shard
 //      packages, attested inter-shard channels;
 //   3. serve through the sharded server (micro-batches split by ownership);
-//   4. replicate to a standby platform, kill a shard, and watch queries
-//      fail over to the warm replica;
+//   4. replicate to a standby platform, kill a shard, and watch the standby
+//      get PROMOTED to PRIMARY (rebuilt from its re-sealed package,
+//      re-handshaked, re-materialized) while queries wait on the fence;
 //   5. audit: only embeddings crossed inter-shard channels — never edges.
 //
 // Build: cmake --build build --target shard_demo && ./build/shard_demo
@@ -62,17 +63,27 @@ int main() {
   std::printf("query node 555 (owner shard %u): label %u\n",
               server.deployment().owner(555), server.query(555));
 
-  // --- 4. Kill a shard; the replica keeps answering. ---------------------
+  // --- 4. Kill a shard; the standby is promoted to PRIMARY. --------------
   const std::uint32_t victim = server.deployment().owner(17);
-  server.kill_shard(victim);
+  server.kill_shard(victim);  // fences the shard, promotes in the background
   std::printf("killed shard %u; node 17 still answers: label %u\n", victim,
+              server.query(17));
+  // A feature update AFTER the kill: only possible because the promoted
+  // PRIMARY rejoined the halo exchange (a warm standby alone would be
+  // serving a stale snapshot from here on).
+  CsrMatrix drifted = ds.features;
+  for (auto& v : drifted.mutable_values()) v *= 0.9f;
+  server.update_features(drifted);
+  std::printf("post-kill feature update ok; node 17 now: label %u\n",
               server.query(17));
 
   const auto stats = server.stats();
-  std::printf("served %llu requests, %llu failovers, %.0f req/s modeled\n",
+  std::printf("served %llu requests, %llu failovers, %llu promotion "
+              "(%.1f ms), %.0f req/s modeled\n",
               static_cast<unsigned long long>(stats.requests),
               static_cast<unsigned long long>(stats.failovers),
-              stats.requests_per_second);
+              static_cast<unsigned long long>(stats.promotions),
+              stats.mean_promotion_ms, stats.requests_per_second);
 
   // --- 5. Channel audit: the one-way/no-adjacency-leak invariant. --------
   const auto& dep = server.deployment();

@@ -46,11 +46,16 @@ std::vector<MicroBatchQueue::Entry> MicroBatchQueue::next_batch() {
       if (stopping_) return {};
       continue;
     }
-    // Dynamic micro-batching: grow the batch until it is full, the oldest
-    // entry's deadline passes, or a flush/shutdown short-circuits it.
-    const auto deadline = queue_.front().enqueued + max_wait_;
+    // Dynamic micro-batching: grow the batch until it is full, the OLDEST
+    // entry's deadline passes, or a flush/shutdown short-circuits it.  The
+    // deadline is recomputed from the current front on every wake-up:
+    // another worker may have drained the queue while we waited, and the
+    // fresh entries that arrived since deserve their own full wait — a
+    // batch must never flush early on a drained batch's leftover deadline.
     while (queue_.size() < max_batch_ && !stopping_ && !flush_requested_) {
-      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+      const auto deadline = queue_.front().enqueued + max_wait_;
+      if (std::chrono::steady_clock::now() >= deadline) break;
+      cv_.wait_until(lock, deadline);
       if (queue_.empty()) break;  // another worker drained it
     }
     if (queue_.empty()) {
@@ -82,11 +87,21 @@ void MicroBatchQueue::flush() {
 }
 
 void MicroBatchQueue::stop() {
+  std::list<Entry> orphans;
   {
     std::lock_guard<std::mutex> lock(mu_);
     stopping_ = true;
+    orphans.swap(queue_);
+    index_.clear();
   }
   cv_.notify_all();
+  // Entries that never made it into a batch must not die as broken_promise
+  // when the queue is destroyed: fail their waiters with an explicit
+  // shutdown error they can report.
+  const auto err = std::make_exception_ptr(Error("server shutting down"));
+  for (auto& e : orphans) {
+    for (auto& waiter : e.waiters) waiter.set_exception(err);
+  }
 }
 
 std::size_t MicroBatchQueue::pending() const {

@@ -42,14 +42,15 @@ class MicroBatchQueue {
               std::promise<std::uint32_t> waiter);
 
   /// Block until a batch is ready and pop it (at most max_batch entries).
-  /// Returns an empty vector only when the queue is stopped and drained —
-  /// the worker-loop exit condition.
+  /// Returns an empty vector only when the queue is stopped — the
+  /// worker-loop exit condition.
   std::vector<Entry> next_batch();
 
   /// Flush pending entries without waiting for the deadline.
   void flush();
-  /// Reject new submissions; wakes every waiting worker.  Queued entries
-  /// still drain through next_batch().
+  /// Reject new submissions and wake every waiting worker.  Entries still
+  /// queued (never popped into a batch) have their waiters failed with an
+  /// explicit "server shutting down" gv::Error — never a broken_promise.
   void stop();
 
   /// Queued (unflushed) entries; coalesced duplicates count once.

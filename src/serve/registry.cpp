@@ -294,7 +294,11 @@ bool VaultRegistry::remove(const std::string& tenant) {
         sharded_.erase(sit);
       }
       for (const auto& [platform, bytes] : reservations_[tenant]) {
-        platform_in_use_[platform] -= bytes;
+        if (platform == kStandbyPlatform) {
+          standby_in_use_ -= bytes;
+        } else {
+          platform_in_use_[platform] -= bytes;
+        }
       }
       reservations_.erase(tenant);
       admit_from_queue();
@@ -310,6 +314,52 @@ bool VaultRegistry::remove(const std::string& tenant) {
   victim.reset();  // may outlive this call if other threads hold the handle
   sharded_victim.reset();
   return true;
+}
+
+void VaultRegistry::fail_shard(const std::string& tenant, std::uint32_t shard) {
+  std::shared_ptr<ShardedVaultServer> server;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sharded_.find(tenant);
+    GV_CHECK(it != sharded_.end(), "unknown or not-sharded tenant: " + tenant);
+    server = it->second;
+    GV_CHECK(server->replicas() != nullptr,
+             "fail_shard requires the tenant admitted with replicate_shards");
+    const auto& reservation = reservations_[tenant];
+    GV_CHECK(shard < reservation.size(), "shard index out of range");
+    GV_CHECK(reservation[shard].first != kStandbyPlatform,
+             "shard already failed over to the standby platform");
+  }
+  // Kill + fence + async promotion outside the registry lock: promotion
+  // re-runs a full sharded refresh and must not stall other tenants'
+  // server() lookups.  This can throw (e.g. the standby is not promotable);
+  // accounting moves only after the kill actually fenced the shard, so a
+  // failed kill leaves the registry's books untouched.
+  server->kill_shard(shard);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // The tenant may have been removed (and even re-admitted under the same
+    // name), or another fail_shard may have won the race, while the kill
+    // ran.  Commit the accounting only against the SAME server we killed —
+    // a fresh namesake's healthy reservation must not be touched.
+    const auto sit = sharded_.find(tenant);
+    if (sit == sharded_.end() || sit->second != server) return;
+    const auto rit = reservations_.find(tenant);
+    if (rit == reservations_.end() || shard >= rit->second.size()) return;
+    auto& [platform, bytes] = rit->second[shard];
+    if (platform == kStandbyPlatform) return;
+    platform_in_use_[platform] -= bytes;
+    standby_in_use_ += bytes;
+    platform = kStandbyPlatform;
+    // The dead enclave's capacity is free NOW — the promotion runs on the
+    // standby platform — so queued tenants need not wait for it to land.
+    admit_from_queue();
+  }
+}
+
+std::size_t VaultRegistry::standby_in_use() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return standby_in_use_;
 }
 
 std::vector<std::string> VaultRegistry::tenants() const {

@@ -90,6 +90,21 @@ class VaultRegistry {
   /// queued tenants in arrival order. Returns false if the name is unknown.
   bool remove(const std::string& tenant);
 
+  /// Reservation platform index for shards serving from the standby
+  /// platform after a failover promotion.
+  static constexpr std::uint32_t kStandbyPlatform =
+      static_cast<std::uint32_t>(-1);
+
+  /// Shard `shard` of sharded tenant `tenant` dies: its standby replica is
+  /// fenced and promoted to PRIMARY (ShardedVaultServer::kill_shard), the
+  /// failed platform's reservation is released — the freed capacity admits
+  /// queued tenants immediately — and the promoted shard's bytes move to
+  /// the standby-platform account.  Requires the tenant admitted with
+  /// `replicate_shards`.
+  void fail_shard(const std::string& tenant, std::uint32_t shard);
+  /// Bytes serving from the standby platform after failover promotions.
+  std::size_t standby_in_use() const;
+
   std::vector<std::string> tenants() const;
   std::vector<std::string> queued() const;
   /// Sum of reserved bytes across all platforms.
@@ -135,6 +150,7 @@ class VaultRegistry {
   std::size_t platform_budget_bytes_ = 0;
   mutable std::mutex mu_;
   std::vector<std::size_t> platform_in_use_;
+  std::size_t standby_in_use_ = 0;
   std::map<std::string, std::shared_ptr<VaultServer>> servers_;
   std::map<std::string, std::shared_ptr<ShardedVaultServer>> sharded_;
   /// tenant -> per-(platform, bytes) reservations (one entry per shard).

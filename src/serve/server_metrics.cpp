@@ -59,6 +59,13 @@ void ServerMetrics::record_feature_update() {
   ++feature_updates_;
 }
 
+void ServerMetrics::record_promotion_ms(double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++promotions_;
+  promotion_ms_total_ += ms;
+  promotion_ms_max_ = std::max(promotion_ms_max_, ms);
+}
+
 void ServerMetrics::record_latency_ms(double ms) {
   std::lock_guard<std::mutex> lock(mu_);
   if (latencies_ms_.size() < kLatencyWindow) {
@@ -77,6 +84,10 @@ MetricsSnapshot ServerMetrics::snapshot() const {
   s.batches = batches_;
   s.coalesced = coalesced_;
   s.feature_updates = feature_updates_;
+  s.promotions = promotions_;
+  s.mean_promotion_ms =
+      promotions_ ? promotion_ms_total_ / static_cast<double>(promotions_) : 0.0;
+  s.max_promotion_ms = promotion_ms_max_;
   s.cache_hits = cache_hits_;
   s.cache_misses = cache_misses_;
   const auto probes = cache_hits_ + cache_misses_;
@@ -95,7 +106,8 @@ MetricsSnapshot ServerMetrics::snapshot() const {
 void ServerMetrics::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   requests_ = completed_ = batches_ = cache_hits_ = cache_misses_ = 0;
-  coalesced_ = feature_updates_ = 0;
+  coalesced_ = feature_updates_ = promotions_ = 0;
+  promotion_ms_total_ = promotion_ms_max_ = 0.0;
   latencies_ms_.clear();
   latency_samples_ = 0;
   since_.reset();

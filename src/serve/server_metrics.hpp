@@ -22,8 +22,12 @@ struct MetricsSnapshot {
   std::uint64_t batches = 0;         // flushed batches == batched ecalls
   std::uint64_t coalesced = 0;       // duplicate in-flight queries that rode
                                      // an already queued node's slot
-  std::uint64_t failovers = 0;       // shard batches served by a replica
-                                     // (spliced in from the ShardRouter)
+  std::uint64_t failovers = 0;       // shard batches served by a replica or
+                                     // a just-promoted PRIMARY (spliced in
+                                     // from the ShardRouter)
+  std::uint64_t fenced_batches = 0;  // shard batches that waited out a
+                                     // promotion fence (from the router)
+  std::uint64_t promotions = 0;      // replicas promoted to PRIMARY
   std::uint64_t feature_updates = 0; // backbone snapshot refreshes
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
@@ -39,6 +43,9 @@ struct MetricsSnapshot {
   double p95_latency_ms = 0.0;
   double p99_latency_ms = 0.0;
   double max_latency_ms = 0.0;
+  double mean_promotion_ms = 0.0;    // wall time from kill to the promoted
+                                     // PRIMARY serving again
+  double max_promotion_ms = 0.0;
 
   std::string summary() const;
 };
@@ -59,6 +66,8 @@ class ServerMetrics {
   void record_coalesced();
   /// A feature-snapshot refresh (update_features).
   void record_feature_update();
+  /// One replica promotion to PRIMARY and its kill-to-serving wall latency.
+  void record_promotion_ms(double ms);
   /// Queue-to-completion latency of one request.
   void record_latency_ms(double ms);
 
@@ -74,6 +83,9 @@ class ServerMetrics {
   std::uint64_t batches_ = 0;
   std::uint64_t coalesced_ = 0;
   std::uint64_t feature_updates_ = 0;
+  std::uint64_t promotions_ = 0;
+  double promotion_ms_total_ = 0.0;
+  double promotion_ms_max_ = 0.0;
   std::uint64_t cache_hits_ = 0;
   std::uint64_t cache_misses_ = 0;
   std::vector<double> latencies_ms_;  // ring buffer of the last kLatencyWindow

@@ -24,21 +24,25 @@ std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t& off) {
 
 AttestedChannel::AttestedChannel(Enclave& a, Enclave& b, const Sha256Digest& key_a,
                                  const Sha256Digest& key_b)
-    : a_(&a), b_(&b) {
+    : a_(&a), b_(&b), key_a_(key_a), key_b_(key_b) {
   GV_CHECK(&a != &b, "attested channel needs two distinct enclaves");
+  handshake();
+}
+
+void AttestedChannel::handshake() {
   // Each side contributes a key share bound to its report; a real deployment
   // would run a DH exchange — the simulation derives the shares from the
   // enclave identities, which is enough to make the session key depend on
   // both attested parties.
-  std::vector<std::uint8_t> share_a(a.measurement().begin(), a.measurement().end());
+  std::vector<std::uint8_t> share_a(a_->measurement().begin(), a_->measurement().end());
   share_a.push_back(0xA5);
-  std::vector<std::uint8_t> share_b(b.measurement().begin(), b.measurement().end());
+  std::vector<std::uint8_t> share_b(b_->measurement().begin(), b_->measurement().end());
   share_b.push_back(0x5A);
-  const Enclave::Report report_a = a.create_report(share_a);
-  const Enclave::Report report_b = b.create_report(share_b);
-  GV_CHECK(Enclave::verify_report(report_a, key_a),
+  const Enclave::Report report_a = a_->create_report(share_a);
+  const Enclave::Report report_b = b_->create_report(share_b);
+  GV_CHECK(Enclave::verify_report(report_a, key_a_),
            "attestation failed: endpoint A's report does not verify");
-  GV_CHECK(Enclave::verify_report(report_b, key_b),
+  GV_CHECK(Enclave::verify_report(report_b, key_b_),
            "attestation failed: endpoint B's report does not verify");
   // All shards of one tenant run the same rectifier code image; a peer with
   // a different measurement is not a shard of this tenant.
@@ -51,6 +55,16 @@ AttestedChannel::AttestedChannel(Enclave& a, Enclave& b, const Sha256Digest& key
                                            report_a.measurement.size()));
   kdf.update(share_a);
   kdf.update(share_b);
+  // Per-handshake freshness: identical measurements would otherwise derive
+  // the SAME key after a rebind (the shares above are measurement-derived
+  // in this simulation), and a ciphertext captured from the retired session
+  // must not authenticate under the new one.  A real deployment gets this
+  // from the ephemeral DH exchange; the generation counter stands in.
+  std::vector<std::uint8_t> fresh(8);
+  for (int i = 0; i < 8; ++i) {
+    fresh[i] = static_cast<std::uint8_t>(handshake_generation_ >> (8 * i));
+  }
+  kdf.update(fresh);
   const Sha256Digest k = kdf.finish();
   std::memcpy(session_key_.data(), k.data(), session_key_.size());
 }
@@ -58,6 +72,28 @@ AttestedChannel::AttestedChannel(Enclave& a, Enclave& b, const Sha256Digest& key
 AttestedChannel::AttestedChannel(Enclave& a, Enclave& b)
     : AttestedChannel(a, b, Enclave::default_platform_key(),
                       Enclave::default_platform_key()) {}
+
+void AttestedChannel::rebind(const Enclave& dead, Enclave& fresh,
+                             const Sha256Digest& fresh_key) {
+  GV_CHECK(&fresh != a_ && &fresh != b_,
+           "fresh enclave is already an endpoint of this channel");
+  const int idx = endpoint_index(dead);
+  if (idx == 0) {
+    a_ = &fresh;
+    key_a_ = fresh_key;
+  } else {
+    b_ = &fresh;
+    key_b_ = fresh_key;
+  }
+  ++handshake_generation_;  // genuinely retires the old session key
+  handshake();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int i = 0; i < 2; ++i) {
+    embeddings_to_[i].clear();
+    labels_to_[i].clear();
+    packages_to_[i].clear();
+  }
+}
 
 int AttestedChannel::endpoint_index(const Enclave& e) const {
   if (&e == a_) return 0;

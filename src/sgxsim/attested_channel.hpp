@@ -46,6 +46,16 @@ class AttestedChannel {
   AttestedChannel(const AttestedChannel&) = delete;
   AttestedChannel& operator=(const AttestedChannel&) = delete;
 
+  /// Rejoin handshake: replace the endpoint currently occupied by `dead`
+  /// (e.g. a crashed shard enclave) with `fresh` — a promoted replica with
+  /// the SAME measurement — trusted under `fresh_key`, and re-run the mutual
+  /// attestation handshake.  The session key is re-derived from the new key
+  /// shares; any blocks still queued in either direction are dropped, since
+  /// they were sealed under the retired session key and their sender or
+  /// addressee no longer exists.  Byte/block audit counters are cumulative
+  /// across rebinds.
+  void rebind(const Enclave& dead, Enclave& fresh, const Sha256Digest& fresh_key);
+
   struct EmbeddingBlock {
     std::vector<std::uint32_t> nodes;  // global node ids of the rows
     Matrix rows;
@@ -92,9 +102,16 @@ class AttestedChannel {
   int endpoint_index(const Enclave& e) const;
   Sealed encrypt(const Enclave& from, std::span<const std::uint8_t> plaintext);
   std::vector<std::uint8_t> decrypt(const Enclave& to, const Sealed& blob);
+  /// Mutual attestation + session-key derivation over the current endpoints.
+  void handshake();
 
   Enclave* a_;
   Enclave* b_;
+  Sha256Digest key_a_{};
+  Sha256Digest key_b_{};
+  /// Bumped on every rebind and mixed into the KDF, so the rebound session
+  /// key differs even though the peer measurement is identical.
+  std::uint64_t handshake_generation_ = 0;
   AeadKey session_key_{};
   std::atomic<std::uint64_t> nonce_counter_{0};
 

@@ -1,10 +1,21 @@
 #include "shard/replica_manager.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "common/error.hpp"
+#include "common/stopwatch.hpp"
 
 namespace gv {
+
+const char* replica_state_name(ReplicaState s) {
+  switch (s) {
+    case ReplicaState::kStandby: return "STANDBY";
+    case ReplicaState::kPromoting: return "PROMOTING";
+    case ReplicaState::kPrimary: return "PRIMARY";
+  }
+  return "?";
+}
 
 Sha256Digest ReplicaConfig::standby_platform_default_key() {
   Sha256 h;
@@ -17,6 +28,7 @@ ReplicaManager::ReplicaManager(ShardedVaultDeployment& primary, ReplicaConfig cf
   replicas_.reserve(primary.num_shards());
   for (std::uint32_t s = 0; s < primary.num_shards(); ++s) {
     auto rep = std::make_unique<Replica>();
+    rep->platform_key = cfg_.standby_platform_key;
     rep->enclave = primary.make_peer_enclave(s, cfg_.standby_platform_key);
     // Handshake now: the primary attests the standby (and vice versa)
     // before any package bytes move.
@@ -39,8 +51,19 @@ ReplicaManager::~ReplicaManager() {
 
 void ReplicaManager::replicate_one(std::uint32_t shard) {
   Replica& rep = *replicas_[shard];
+  // A promoted replica IS the shard's primary now — there is no standby to
+  // replicate into until restaff() provisions one.  (A promotion that
+  // failed after consuming the slot also leaves it empty until restaffed.)
+  if (rep.state.load() != ReplicaState::kStandby || rep.enclave == nullptr ||
+      rep.channel == nullptr) {
+    return;
+  }
+  std::lock_guard<std::mutex> slot(rep.mu);
   // Primary side: package (and labels when available) leave the primary
-  // enclave only through the attested channel.
+  // enclave only through the attested channel.  Capture the epoch BEFORE
+  // the send: if a refresh lands mid-replication the store is stamped with
+  // the older epoch and reads fail safe (stale), never the other way.
+  const std::uint64_t epoch = primary_->refresh_epoch();
   primary_->send_payload(shard, *rep.channel);
   const bool with_labels = primary_->refreshed();
   if (with_labels) primary_->send_labels(shard, *rep.channel);
@@ -61,6 +84,7 @@ void ReplicaManager::replicate_one(std::uint32_t shard) {
       mem.set("labels.store", rep.labels.size() * sizeof(std::uint32_t));
     }
   });
+  if (with_labels) rep.synced_epoch.store(epoch);
   rep.ready.store(true);
 }
 
@@ -85,9 +109,18 @@ bool ReplicaManager::ready(std::uint32_t shard) const {
 
 void ReplicaManager::sync_labels() {
   std::lock_guard<std::mutex> lock(replicate_mu_);
+  sync_labels_locked();
+}
+
+void ReplicaManager::sync_labels_locked() {
   for (std::uint32_t s = 0; s < replicas_.size(); ++s) {
     Replica& rep = *replicas_[s];
+    if (rep.state.load() != ReplicaState::kStandby || rep.channel == nullptr) {
+      continue;
+    }
     if (!rep.ready.load() || !primary_->shard_alive(s)) continue;
+    std::lock_guard<std::mutex> slot(rep.mu);
+    const std::uint64_t epoch = primary_->refresh_epoch();
     primary_->send_labels(s, *rep.channel);
     rep.enclave->ecall([&] {
       auto block = rep.channel->recv_labels(*rep.enclave);
@@ -97,6 +130,127 @@ void ReplicaManager::sync_labels() {
       rep.enclave->memory().set("labels.store",
                                 rep.labels.size() * sizeof(std::uint32_t));
     });
+    rep.synced_epoch.store(epoch);
+  }
+}
+
+ReplicaState ReplicaManager::state(std::uint32_t shard) const {
+  GV_CHECK(shard < replicas_.size(), "shard index out of range");
+  return replicas_[shard]->state.load();
+}
+
+void ReplicaManager::begin_promotion(std::uint32_t shard) {
+  GV_CHECK(shard < replicas_.size(), "shard index out of range");
+  Replica& rep = *replicas_[shard];
+  GV_CHECK(rep.ready.load(), "cannot promote an unreplicated standby");
+  GV_CHECK(!primary_->shard_alive(shard),
+           "cannot promote while the primary shard is alive");
+  ReplicaState expected = ReplicaState::kStandby;
+  GV_CHECK(rep.state.compare_exchange_strong(expected, ReplicaState::kPromoting),
+           std::string("replica is ") + replica_state_name(expected) +
+               ", expected STANDBY");
+}
+
+double ReplicaManager::promote(std::uint32_t shard,
+                               const std::function<void()>& rematerialize) {
+  GV_CHECK(shard < replicas_.size(), "shard index out of range");
+  Replica& rep = *replicas_[shard];
+  if (rep.state.load() != ReplicaState::kPromoting) begin_promotion(shard);
+  Stopwatch watch;
+  // Promotion must not race replication traffic into the same enclave.
+  std::lock_guard<std::mutex> lock(replicate_mu_);
+  try {
+    {
+      // Exclude any lookup that slipped past the PROMOTING fence before it
+      // went up: the slot's enclave/labels must not be consumed under a
+      // reader.  Released before the (long) re-materialization.
+      std::lock_guard<std::mutex> slot(rep.mu);
+      // Relaunch from the RE-SEALED package: the blob opens only inside
+      // this standby enclave (sealing binds to the standby platform fuse
+      // key), so this is exactly the restart-from-local-sealed-storage
+      // path a real standby machine would take — no vendor, no dead
+      // platform in the loop.
+      ShardPayload payload;
+      rep.enclave->ecall([&] {
+        payload = deserialize_shard_payload(rep.enclave->unseal(rep.sealed));
+      });
+      // adopt_shard consumes the slot only once every precondition passed;
+      // a rejected adoption (throw) leaves a fully functional warm standby.
+      primary_->adopt_shard(shard, rep.enclave, payload, rep.sealed,
+                            rep.platform_key);
+      // Now the donation is committed: drop the replication channel (its
+      // dead-primary endpoint is retired, its standby endpoint donated).
+      rep.channel.reset();
+      rep.ready.store(false);
+      rep.labels.clear();
+      rep.payload = ShardPayload{};
+      rep.synced_epoch.store(0);
+    }
+    // Label stores re-materialize from the CURRENT feature snapshot while
+    // the router fence is still up — no query ever sees a pre-promotion
+    // (or empty) store.
+    rematerialize();
+    // The re-materialization bumped the refresh epoch without changing the
+    // snapshot; re-stamp the OTHER shards' standbys before the fence lifts
+    // so their (bit-identical) stores do not read as stale.
+    sync_labels_locked();
+  } catch (...) {
+    // Failed promotion: drop back to STANDBY so fenced routers unblock
+    // instead of hanging forever.  A rejected adoption left the slot a
+    // warm standby (ready stays true); a slot consumed before the failure
+    // refuses lookups (ready=false) and waits for restaff().
+    rep.ready.store(rep.enclave != nullptr);
+    {
+      std::lock_guard<std::mutex> state_lock(promote_mu_);
+      rep.state.store(ReplicaState::kStandby);
+    }
+    promote_cv_.notify_all();
+    throw;
+  }
+  {
+    std::lock_guard<std::mutex> state_lock(promote_mu_);
+    rep.state.store(ReplicaState::kPrimary);
+  }
+  promote_cv_.notify_all();
+  return watch.seconds() * 1e3;
+}
+
+bool ReplicaManager::await_promotion(std::uint32_t shard,
+                                     std::chrono::milliseconds timeout) const {
+  GV_CHECK(shard < replicas_.size(), "shard index out of range");
+  const Replica& rep = *replicas_[shard];
+  std::unique_lock<std::mutex> lock(promote_mu_);
+  return promote_cv_.wait_for(lock, timeout, [&] {
+    return rep.state.load() != ReplicaState::kPromoting;
+  });
+}
+
+void ReplicaManager::restaff(std::uint32_t shard, const Sha256Digest& platform_key) {
+  GV_CHECK(shard < replicas_.size(), "shard index out of range");
+  std::lock_guard<std::mutex> lock(replicate_mu_);
+  Replica& rep = *replicas_[shard];
+  // Restaffable slots: a completed promotion (PRIMARY), or a STANDBY slot
+  // whose enclave was consumed by a promotion that failed after adoption.
+  // A live standby is not restaffed from under its own feet.
+  GV_CHECK(rep.state.load() == ReplicaState::kPrimary || rep.enclave == nullptr,
+           "only an empty (promoted or failed-promotion) replica slot can be "
+           "restaffed");
+  GV_CHECK(primary_->shard_alive(shard),
+           "restaff requires the shard's primary to be alive");
+  std::lock_guard<std::mutex> slot(rep.mu);
+  rep.platform_key = platform_key;
+  rep.enclave = primary_->make_peer_enclave(shard, platform_key);
+  rep.channel = std::make_unique<AttestedChannel>(
+      primary_->shard_enclave(shard), *rep.enclave,
+      primary_->shard_platform_key(shard), platform_key);
+  rep.payload = ShardPayload{};
+  rep.labels.clear();
+  rep.sealed = SealedBlob{};
+  rep.synced_epoch.store(0);
+  rep.ready.store(false);
+  {
+    std::lock_guard<std::mutex> state_lock(promote_mu_);
+    rep.state.store(ReplicaState::kStandby);
   }
 }
 
@@ -105,7 +259,19 @@ std::vector<std::uint32_t> ReplicaManager::lookup(std::uint32_t shard,
                                                   double* modeled_delta) {
   GV_CHECK(shard < replicas_.size(), "shard index out of range");
   Replica& rep = *replicas_[shard];
+  // Slot lock: a promotion that won the race must not consume the enclave
+  // or label store from under this reader.
+  std::lock_guard<std::mutex> slot(rep.mu);
+  GV_CHECK(rep.state.load() == ReplicaState::kStandby,
+           std::string("replica is ") + replica_state_name(rep.state.load()) +
+               "; lookups are served by the shard enclave");
   GV_CHECK(rep.ready.load(), "replica not yet replicated");
+  // Never serve a snapshot the primary has since replaced: a standby that
+  // missed a feature refresh must be promoted (re-materializing from the
+  // current snapshot), not read.
+  GV_CHECK(rep.synced_epoch.load() == primary_->refresh_epoch(),
+           "replica label store is stale (missed a feature refresh); "
+           "promotion required");
   const double before =
       rep.enclave->meter_snapshot().total_seconds(primary_->cost_model());
   auto labels = rep.enclave->ecall([&] {
@@ -134,6 +300,8 @@ std::vector<std::uint32_t> ReplicaManager::lookup(std::uint32_t shard,
 
 Enclave& ReplicaManager::replica_enclave(std::uint32_t shard) {
   GV_CHECK(shard < replicas_.size(), "shard index out of range");
+  GV_CHECK(replicas_[shard]->enclave != nullptr,
+           "replica enclave was promoted into the deployment");
   return *replicas_[shard]->enclave;
 }
 
@@ -144,13 +312,17 @@ const SealedBlob& ReplicaManager::sealed_payload(std::uint32_t shard) const {
 
 std::uint64_t ReplicaManager::package_bytes() const {
   std::uint64_t sum = 0;
-  for (const auto& r : replicas_) sum += r->channel->package_bytes();
+  for (const auto& r : replicas_) {
+    if (r->channel != nullptr) sum += r->channel->package_bytes();
+  }
   return sum;
 }
 
 std::uint64_t ReplicaManager::label_bytes() const {
   std::uint64_t sum = 0;
-  for (const auto& r : replicas_) sum += r->channel->label_bytes();
+  for (const auto& r : replicas_) {
+    if (r->channel != nullptr) sum += r->channel->label_bytes();
+  }
   return sum;
 }
 

@@ -1,4 +1,5 @@
-// ReplicaManager: warm-standby failover for sharded vaults.
+// ReplicaManager: warm-standby failover AND full promotion for sharded
+// vaults.
 //
 // A shard enclave can die (machine reboot, enclave teardown, EPC pressure
 // eviction); without a standby, every query for its nodes fails until the
@@ -16,11 +17,31 @@
 //     owned labels (labels may cross enclave-to-enclave channels), so
 //     failover is warm: the replica answers lookups immediately.
 //
+// Each replica runs a small state machine:
+//
+//   STANDBY    warm copy; may answer label-only lookups, but ONLY while its
+//              store matches the deployment's current refresh epoch — a
+//              standby that missed a feature update refuses to serve stale
+//              labels.
+//   PROMOTING  the primary died and promotion is in flight: the standby
+//              unseals its re-sealed package, the deployment adopts its
+//              enclave (rebuilding rectifier + sub-adjacency and re-running
+//              the attested handshake with the surviving shards), and the
+//              label store is re-materialized from the CURRENT feature
+//              snapshot.  Routers fence queries for the shard until this
+//              completes (shard/shard_router.hpp).
+//   PRIMARY    promotion landed: the former standby IS the shard's enclave
+//              now; the replica slot is empty until restaff() provisions a
+//              fresh standby, after which a second failover can follow.
+//
 // Replication runs asynchronously off the serving path; ShardRouter fails
 // a query batch over to the replica when the primary shard is dead.
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -30,6 +51,11 @@
 #include "shard/sharded_deployment.hpp"
 
 namespace gv {
+
+/// Role of the standby replica provisioned for one shard.
+enum class ReplicaState { kStandby, kPromoting, kPrimary };
+
+const char* replica_state_name(ReplicaState s);
 
 struct ReplicaConfig {
   /// Platform fuse key of the standby machine hosting the replicas.
@@ -60,7 +86,36 @@ class ReplicaManager {
   /// refresh).  Dead primaries keep their last replicated labels.
   void sync_labels();
 
-  /// Label-only lookup served by the replica enclave.
+  // --- Promotion to PRIMARY. ---------------------------------------------
+  ReplicaState state(std::uint32_t shard) const;
+  /// Fence the shard for promotion: STANDBY -> PROMOTING.  Call the moment
+  /// the primary is observed dead; from here routers block (or fail fast)
+  /// instead of reading the standby's store, and promote() finishes the
+  /// takeover.  Throws when the replica is unreplicated, already promoting
+  /// or promoted, or the primary is still alive.
+  void begin_promotion(std::uint32_t shard);
+  /// Full promotion (synchronous; enters PROMOTING itself if
+  /// begin_promotion was not called first).  The standby enclave unseals
+  /// its re-sealed package, the deployment adopts it — rebuilding the
+  /// rectifier and sub-adjacency and re-running the attested-channel
+  /// handshake with every surviving shard — and `rematerialize` (typically
+  /// a full refresh from the CURRENT feature snapshot) rebuilds the label
+  /// stores.  Only then does the state flip to PRIMARY and fenced queries
+  /// unblock.  Returns the promotion latency in wall milliseconds.
+  double promote(std::uint32_t shard, const std::function<void()>& rematerialize);
+  /// Block until `shard` leaves PROMOTING; false on timeout.
+  bool await_promotion(std::uint32_t shard,
+                       std::chrono::milliseconds timeout) const;
+  /// Provision a fresh standby in an empty replica slot — after a
+  /// completed promotion (PRIMARY -> STANDBY, unreplicated) or after a
+  /// failed one consumed the standby enclave — under `platform_key`, so
+  /// another failover can follow.  Requires the shard's primary alive;
+  /// replicate afterwards to warm it.
+  void restaff(std::uint32_t shard, const Sha256Digest& platform_key);
+
+  /// Label-only lookup served by the replica enclave.  Refuses to serve
+  /// when the store is stale (the primary refreshed after the last label
+  /// sync) or the replica was already promoted.
   std::vector<std::uint32_t> lookup(std::uint32_t shard,
                                     std::span<const std::uint32_t> nodes,
                                     double* modeled_delta = nullptr);
@@ -74,9 +129,17 @@ class ReplicaManager {
 
  private:
   struct Replica {
+    /// Guards the slot's non-atomic state (enclave, channel, payload,
+    /// labels, sealed) against a lookup racing the promotion that consumes
+    /// them; never held across rematerialize.
+    std::mutex mu;
     std::unique_ptr<Enclave> enclave;
     std::unique_ptr<AttestedChannel> channel;  // primary <-> standby
     std::atomic<bool> ready{false};
+    std::atomic<ReplicaState> state{ReplicaState::kStandby};
+    /// Refresh epoch of the primary when the label store was last synced.
+    std::atomic<std::uint64_t> synced_epoch{0};
+    Sha256Digest platform_key{};
     // Enclave-held state (only touched inside ecalls):
     ShardPayload payload;
     std::vector<std::uint32_t> labels;
@@ -84,12 +147,16 @@ class ReplicaManager {
   };
 
   void replicate_one(std::uint32_t shard);
+  /// sync_labels body; caller holds replicate_mu_.
+  void sync_labels_locked();
 
   ShardedVaultDeployment* primary_;
   ReplicaConfig cfg_;
   std::vector<std::unique_ptr<Replica>> replicas_;
   std::future<void> pending_;
-  std::mutex replicate_mu_;  // serializes replicate_all / sync_labels
+  std::mutex replicate_mu_;  // serializes replicate_all / sync_labels / promote
+  mutable std::mutex promote_mu_;
+  mutable std::condition_variable promote_cv_;
 };
 
 }  // namespace gv

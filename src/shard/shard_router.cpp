@@ -32,13 +32,48 @@ std::vector<std::uint32_t> ShardRouter::route(
     touched.push_back(s);
     double delta = 0.0;
     std::vector<std::uint32_t> labels;
-    if (deployment_->shard_alive(s)) {
-      labels = deployment_->lookup(s, shard_nodes[s], &delta);
-    } else {
-      GV_CHECK(replicas_ != nullptr && replicas_->ready(s),
-               "shard enclave is down and no replica is ready");
-      labels = replicas_->lookup(s, shard_nodes[s], &delta);
-      failovers_.fetch_add(1);
+    // The kill -> fence transition is not atomic (kill_shard kills the
+    // primary, THEN flips the replica to PROMOTING), so a state observed
+    // here can be fenced by the time the lookup runs; one retry through the
+    // fence covers every interleaving.
+    for (bool retried = false;; retried = true) {
+      if (replicas_ != nullptr &&
+          replicas_->state(s) == ReplicaState::kPromoting) {
+        // Promotion fence: the shard has no trustworthy label store right
+        // now (the primary is dead, the standby is mid-rebuild).  Wait for
+        // the promotion to land rather than EVER returning a pre-promotion
+        // label.
+        GV_CHECK(replicas_->await_promotion(s, fence_timeout_),
+                 "shard promotion did not complete within the fence timeout");
+        fenced_.fetch_add(1);
+        GV_CHECK(deployment_->shard_alive(s), "shard promotion failed");
+        labels = deployment_->lookup(s, shard_nodes[s], &delta);
+        // Served by the freshly promoted PRIMARY: a failover from the
+        // router's point of view.
+        failovers_.fetch_add(1);
+        break;
+      }
+      try {
+        if (deployment_->shard_alive(s)) {
+          labels = deployment_->lookup(s, shard_nodes[s], &delta);
+          break;
+        }
+        GV_CHECK(replicas_ != nullptr,
+                 "shard enclave is down and no replica is ready");
+        labels = replicas_->lookup(s, shard_nodes[s], &delta);
+        failovers_.fetch_add(1);
+        break;
+      } catch (const Error&) {
+        // A kill (and its fence) may have landed between our checks and the
+        // lookup — on either branch: the primary died under us, or the
+        // standby got fenced (kill_shard -> begin_promotion).  Go around
+        // once and wait on the fence properly.  Anything else — or a
+        // second failure — is real.
+        if (retried || replicas_ == nullptr ||
+            replicas_->state(s) == ReplicaState::kStandby) {
+          throw;
+        }
+      }
     }
     slowest = std::max(slowest, delta);
     for (std::size_t i = 0; i < labels.size(); ++i) {

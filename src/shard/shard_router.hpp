@@ -8,9 +8,16 @@
 // shards serve their sub-batches on distinct enclaves (typically distinct
 // platforms), so one routed batch's modeled time is the slowest touched
 // shard, not the sum.
+//
+// Promotion fencing: while a shard is PROMOTING (its primary died and the
+// standby is rebuilding + re-materializing; shard/replica_manager.hpp), the
+// router holds that shard's sub-batches on the fence until the promotion
+// lands — or fails fast after `fence_timeout` — and NEVER reads the
+// standby's pre-promotion label store.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <span>
@@ -26,12 +33,21 @@ class ShardRouter {
   /// `replicas` may be null (no failover: a dead shard's queries throw).
   ShardRouter(ShardedVaultDeployment& deployment, ReplicaManager* replicas = nullptr);
 
-  /// Labels for `nodes` in request order.  Sub-batches for dead shards fail
-  /// over to ready replicas; throws gv::Error when neither can answer.
+  /// Labels for `nodes` in request order.  Sub-batches for a PROMOTING
+  /// shard block on the fence until the promoted PRIMARY serves them;
+  /// sub-batches for dead shards fail over to ready (and epoch-fresh)
+  /// replicas; throws gv::Error when nobody can answer.
   std::vector<std::uint32_t> route(std::span<const std::uint32_t> nodes);
 
-  /// Routed sub-batches answered by a replica.
+  /// Routed sub-batches answered by a replica or a just-promoted PRIMARY.
   std::uint64_t failovers() const { return failovers_.load(); }
+  /// Routed sub-batches that waited out a promotion fence.
+  std::uint64_t fenced() const { return fenced_.load(); }
+  /// Fencing policy for a PROMOTING shard: block up to this long for the
+  /// promotion to land, then fail fast.  Zero = always fail fast.
+  void set_fence_timeout(std::chrono::milliseconds timeout) {
+    fence_timeout_ = timeout;
+  }
   /// Modeled seconds of all routed batches (max across shards per batch).
   double modeled_seconds() const;
   /// Sub-batches dispatched to each shard so far (load-balance telemetry).
@@ -40,7 +56,9 @@ class ShardRouter {
  private:
   ShardedVaultDeployment* deployment_;
   ReplicaManager* replicas_;
+  std::chrono::milliseconds fence_timeout_{30000};
   std::atomic<std::uint64_t> failovers_{0};
+  std::atomic<std::uint64_t> fenced_{0};
   mutable std::mutex stats_mu_;
   double modeled_seconds_ = 0.0;
   std::vector<std::uint64_t> per_shard_batches_;

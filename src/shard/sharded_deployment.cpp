@@ -85,6 +85,10 @@ void ShardedVaultDeployment::provision_shard(Shard& shard, ShardPayload payload)
     shard.payload = std::move(payload);
   }
 
+  install_payload(shard);
+}
+
+void ShardedVaultDeployment::install_payload(Shard& shard) {
   shard.enclave->ecall([&] {
     const ShardPayload& p = shard.payload;
     std::vector<CooEntry> entries;
@@ -99,7 +103,7 @@ void ShardedVaultDeployment::provision_shard(Shard& shard, ShardPayload payload)
         vault_.rectifier->config(), vault_.backbone().layer_dims(), shard.sub_adj,
         rng);
     shard.rectifier->deserialize_weights(p.rectifier_weights);
-    shard.bb_rows.resize(vault_.backbone().layer_dims().size());
+    shard.bb_rows.assign(vault_.backbone().layer_dims().size(), Matrix());
 
     auto& mem = shard.enclave->memory();
     mem.set("rectifier.weights", shard.rectifier->parameter_bytes());
@@ -109,6 +113,54 @@ void ShardedVaultDeployment::provision_shard(Shard& shard, ShardPayload payload)
     mem.set("shard.routing", p.owned.size() * sizeof(std::uint32_t) +
                                  p.closure.size() * sizeof(std::uint32_t));
   });
+}
+
+void ShardedVaultDeployment::adopt_shard(std::uint32_t shard,
+                                         std::unique_ptr<Enclave>& enclave,
+                                         ShardPayload& payload, SealedBlob& sealed,
+                                         const Sha256Digest& platform_key) {
+  GV_CHECK(shard < plan_.num_shards, "shard index out of range");
+  GV_CHECK(enclave != nullptr && enclave->initialized(),
+           "adoption requires a live, initialized enclave");
+  GV_CHECK(payload.shard_index == shard, "payload belongs to a different shard");
+  std::lock_guard<std::mutex> lock(*infer_mu_);  // exclude a concurrent refresh
+  Shard& sh = *shards_[shard];
+  GV_CHECK(!sh.alive.load(), "only a dead shard can adopt a promoted replica");
+  GV_CHECK(enclave->measurement() == sh.enclave->measurement(),
+           "promoted enclave runs different code than the shard it replaces");
+  // Every precondition — including neighbor liveness — is checked before
+  // anything is mutated or moved from, so a rejected adoption leaves both
+  // the deployment and the caller's standby slot untouched.
+  for (std::uint32_t t = 0; t < plan_.num_shards; ++t) {
+    if (t == shard || channel(shard, t) == nullptr) continue;
+    GV_CHECK(shards_[t]->alive.load(),
+             "halo neighbor died before the promotion handshake");
+  }
+  // Rejoin handshake with every surviving halo neighbor BEFORE the dead
+  // enclave is torn down: the channel objects stay in place (send/recv sides
+  // address them by shard pair), only the dead endpoint and the session key
+  // are replaced; blocks queued under the retired key are dropped.
+  for (std::uint32_t t = 0; t < plan_.num_shards; ++t) {
+    if (t == shard) continue;
+    AttestedChannel* ch = channel(shard, t);
+    if (ch == nullptr) continue;
+    ch->rebind(*sh.enclave, *enclave, platform_key);
+  }
+  // Retire (never destroy) the dead enclave: a lookup that raced the kill
+  // may still be draining inside its entry mutex; the object must outlive
+  // it.  Every new lookup has seen alive=false (and the router's PROMOTING
+  // fence) since well before promotion reached this point.
+  retired_enclaves_.push_back(std::move(sh.enclave));
+  sh.enclave = std::move(enclave);
+  sh.stream = std::make_unique<OneWayChannel>(*sh.enclave);
+  sh.payload = std::move(payload);
+  sh.sealed = std::move(sealed);  // the blob re-sealed under the standby key
+  sh.labels.clear();              // empty until the next refresh materializes
+  sh.rectifier.reset();
+  sh.sub_adj.reset();
+  opts_.platform_keys[shard] = platform_key;
+  install_payload(sh);
+  sh.alive.store(true);
 }
 
 AttestedChannel* ShardedVaultDeployment::channel(std::uint32_t s, std::uint32_t t) {
@@ -316,6 +368,7 @@ void ShardedVaultDeployment::refresh(const CsrMatrix& features) {
     });
   });
   refreshed_ = true;
+  epoch_.fetch_add(1);
 }
 
 std::vector<std::uint32_t> ShardedVaultDeployment::infer_labels(
@@ -343,6 +396,11 @@ std::vector<std::uint32_t> ShardedVaultDeployment::lookup(
   GV_CHECK(refreshed_, "lookup before the first refresh");
   const double before = meter_seconds(sh);
   auto labels = sh.enclave->ecall([&] {
+    // An adopted (promoted) shard has no label store until the next refresh
+    // re-materializes it; the router's promotion fence keeps queries away,
+    // and this check keeps the invariant even for direct callers.
+    GV_CHECK(!sh.labels.empty() || sh.payload.owned.empty(),
+             "shard label store not materialized (promotion in progress?)");
     std::vector<std::uint32_t> out;
     out.reserve(nodes.size());
     for (const auto v : nodes) {

@@ -64,6 +64,11 @@ class ShardedVaultDeployment {
   void refresh(const CsrMatrix& features);
   bool refreshed() const { return refreshed_; }
 
+  /// Number of completed refreshes.  Label stores (and replica copies) are
+  /// stamped with the epoch they were materialized under, which is how a
+  /// standby's store is detected as stale after a feature update it missed.
+  std::uint64_t refresh_epoch() const { return epoch_.load(); }
+
   /// refresh() + gather every shard's owned labels (label-only exits).
   std::vector<std::uint32_t> infer_labels(const CsrMatrix& features);
 
@@ -104,6 +109,22 @@ class ShardedVaultDeployment {
   void send_payload(std::uint32_t shard, AttestedChannel& ch);
   void send_labels(std::uint32_t shard, AttestedChannel& ch);
 
+  /// Adopt a promoted replica as the new PRIMARY of a dead shard: install
+  /// its enclave (same measurement, standby platform key), rebuild the
+  /// rectifier and sub-adjacency from `payload` (unsealed from the
+  /// re-sealed blob INSIDE the promoted enclave by the caller), and re-run
+  /// the attested-channel handshake with every surviving halo neighbor so
+  /// the shard rejoins the layer-synchronous exchange.  Arguments are
+  /// consumed (moved from) ONLY once every precondition has passed — a
+  /// rejected adoption leaves the caller's standby slot fully intact.  The
+  /// adopted shard's label store is EMPTY afterwards — callers must
+  /// re-materialize via refresh() before routing a lookup to it
+  /// (ReplicaManager::promote drives exactly that sequence under the
+  /// router's promotion fence).
+  void adopt_shard(std::uint32_t shard, std::unique_ptr<Enclave>& enclave,
+                   ShardPayload& payload, SealedBlob& sealed,
+                   const Sha256Digest& platform_key);
+
   // --- Audit + cost accounting. ------------------------------------------
   /// Plaintext bytes that crossed INTER-SHARD channels, by payload kind.
   /// Tests assert package_bytes == 0 and label_bytes == 0 on these: halo
@@ -138,6 +159,10 @@ class ShardedVaultDeployment {
   };
 
   void provision_shard(Shard& shard, ShardPayload payload);
+  /// Rebuild the enclave-held state (sub-adjacency CSR, rectifier, memory
+  /// ledger) from `shard.payload` inside `shard.enclave` — shared by initial
+  /// provisioning and replica adoption.
+  void install_payload(Shard& shard);
   AttestedChannel* channel(std::uint32_t s, std::uint32_t t);
   void stream_backbone_rows(const std::vector<Matrix>& outputs);
   /// Run `body(s)` for every shard; adds the slowest shard's meter delta to
@@ -151,10 +176,14 @@ class ShardedVaultDeployment {
   ShardedDeploymentOptions opts_;
   std::vector<std::size_t> required_layers_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Dead enclaves replaced by promoted replicas, kept alive so stragglers
+  /// mid-ecall at adoption time never dangle.
+  std::vector<std::unique_ptr<Enclave>> retired_enclaves_;
   /// channels_[s * K + t] for s < t; null when no halo overlap either way.
   std::vector<std::unique_ptr<AttestedChannel>> channels_;
   std::unique_ptr<std::mutex> infer_mu_ = std::make_unique<std::mutex>();
   std::atomic<bool> refreshed_{false};
+  std::atomic<std::uint64_t> epoch_{0};  // completed refreshes
   // Atomics: stats() readers poll while refresh/infer_labels accumulate.
   std::atomic<double> untrusted_seconds_{0.0};
   std::atomic<double> parallel_seconds_{0.0};

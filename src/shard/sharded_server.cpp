@@ -35,6 +35,11 @@ ShardedVaultServer::ShardedVaultServer(const Dataset& ds, TrainedVault vault,
 }
 
 ShardedVaultServer::~ShardedVaultServer() {
+  try {
+    join_promotion();
+  } catch (...) {
+    // A promotion that failed at teardown has nobody left to report to.
+  }
   queue_.stop();
   for (auto& w : workers_) {
     try {
@@ -43,6 +48,13 @@ ShardedVaultServer::~ShardedVaultServer() {
       // Shutdown proceeds regardless.
     }
   }
+}
+
+void ShardedVaultServer::join_promotion() {
+  // Held across the get(): concurrent joiners must all observe the
+  // promotion retired, not race valid()/get() on one shared state.
+  std::lock_guard<std::mutex> lock(promotion_mu_);
+  if (promotion_.valid()) promotion_.get();
 }
 
 std::shared_ptr<const CsrMatrix> ShardedVaultServer::features() const {
@@ -93,6 +105,12 @@ std::uint32_t ShardedVaultServer::query(std::uint32_t node) {
 void ShardedVaultServer::update_features(const CsrMatrix& new_features) {
   GV_CHECK(new_features.rows() == num_nodes_,
            "feature update must keep the node set");
+  // Control-plane exclusion, held for the whole update: a mid-flight
+  // promotion refreshes against the snapshot it pinned, so it must land
+  // first — and no NEW kill/promotion may start under our refresh (it
+  // would see the shard dead and throw).
+  std::lock_guard<std::mutex> control(promotion_mu_);
+  if (promotion_.valid()) promotion_.get();
   auto fresh = std::make_shared<const CsrMatrix>(new_features);
   // The sharded forward rebuilds every shard's label store in place
   // (serialized against itself; lookups between shard updates see a mix of
@@ -112,8 +130,31 @@ void ShardedVaultServer::update_features(const CsrMatrix& new_features) {
 }
 
 void ShardedVaultServer::kill_shard(std::uint32_t shard) {
+  std::lock_guard<std::mutex> lock(promotion_mu_);
+  // Under the control-plane lock: wait_ready() joins ReplicaManager's
+  // replication future, which is not safe to get() from two threads.
   if (replicas_ != nullptr) replicas_->wait_ready();
+  if (promotion_.valid()) promotion_.get();  // one promotion at a time
+  // Refuse to kill a shard whose replica slot cannot take over (already
+  // promoted and not restaffed): killing first and failing later would
+  // leave the shard dead with nobody to promote.
+  GV_CHECK(replicas_ == nullptr ||
+               (replicas_->state(shard) == ReplicaState::kStandby &&
+                replicas_->ready(shard)),
+           "shard has no promotable standby (already promoted? restaff and "
+           "replicate first)");
   deployment_.kill_shard(shard);
+  if (replicas_ == nullptr) return;
+  // Fence BEFORE returning: from this point no query can read the standby's
+  // (soon to be stale) store — the router blocks on the PROMOTING state
+  // until the replica has rebuilt from its re-sealed package, re-handshaked
+  // with the survivors, and re-materialized from the current snapshot.
+  replicas_->begin_promotion(shard);
+  promotion_ = std::async(std::launch::async, [this, shard] {
+    const double ms = replicas_->promote(
+        shard, [this] { deployment_.refresh(*features()); });
+    metrics_.record_promotion_ms(ms);
+  });
 }
 
 void ShardedVaultServer::flush() { queue_.flush(); }
@@ -123,6 +164,7 @@ std::size_t ShardedVaultServer::pending() const { return queue_.pending(); }
 MetricsSnapshot ShardedVaultServer::stats() const {
   MetricsSnapshot s = metrics_.snapshot();
   s.failovers = router_->failovers();
+  s.fenced_batches = router_->fenced();
   const CostMeter m = deployment_.aggregate_meter();
   s.ecalls = m.ecalls;
   s.bytes_in = m.bytes_in;

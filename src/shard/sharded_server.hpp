@@ -50,12 +50,19 @@ class ShardedVaultServer {
       std::span<const std::uint32_t> nodes);
   std::uint32_t query(std::uint32_t node);
 
-  /// New feature snapshot: re-runs the sharded forward (all shards must be
-  /// alive), re-ships replica label stores, and evicts cache entries whose
-  /// feature-row digest changed.
+  /// New feature snapshot: joins any in-flight promotion, re-runs the
+  /// sharded forward (all shards must be alive), re-ships replica label
+  /// stores, and evicts cache entries whose feature-row digest changed.
   void update_features(const CsrMatrix& new_features);
 
-  /// Kill a shard's primary enclave; with replication, queries fail over.
+  /// Kill a shard's primary enclave.  With replication, the standby is
+  /// fenced (PROMOTING) before this returns and promoted asynchronously:
+  /// it rebuilds the rectifier and sub-adjacency from its re-sealed
+  /// package, re-runs the attested handshake with the surviving shards,
+  /// rejoins the halo exchange, and re-materializes the label stores from
+  /// the CURRENT feature snapshot; queries for the shard block on the
+  /// router fence until the promotion lands, then hit the new PRIMARY.
+  /// Without replication, queries for the shard throw until re-provisioned.
   void kill_shard(std::uint32_t shard);
 
   void flush();
@@ -75,6 +82,8 @@ class ShardedVaultServer {
  private:
   void worker_loop();
   void execute_batch(std::vector<MicroBatchQueue::Entry> batch);
+  /// Join the in-flight async promotion, if any (rethrows its failure).
+  void join_promotion();
 
   ShardedServerConfig cfg_;
   ShardedVaultDeployment deployment_;
@@ -90,6 +99,12 @@ class ShardedVaultServer {
   MicroBatchQueue queue_;
   ThreadPool pool_;
   std::vector<std::future<void>> workers_;
+  /// Control-plane mutex: serializes kill_shard / update_features /
+  /// shutdown against each other and guards promotion_ (std::future is not
+  /// thread-safe for concurrent get/assign).  Never taken by the data
+  /// plane (workers, router) or the promotion thread itself.
+  std::mutex promotion_mu_;
+  std::future<void> promotion_;  // in-flight replica promotion
 };
 
 }  // namespace gv

@@ -1,0 +1,103 @@
+// MicroBatchQueue contract tests: deadline handling under multi-worker
+// draining and the shutdown path for still-queued waiters.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "serve/batch_queue.hpp"
+
+namespace gv {
+namespace {
+
+TEST(MicroBatchQueue, StopFailsPendingWaitersWithShutdownError) {
+  MicroBatchQueue q(8, std::chrono::seconds(30));
+  std::promise<std::uint32_t> p;
+  auto fut = p.get_future();
+  q.submit(1, Sha256Digest{}, std::move(p));
+  q.stop();
+  // The waiter sees an explicit shutdown error, never a broken_promise.
+  try {
+    fut.get();
+    FAIL() << "expected a shutdown error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("shutting down"), std::string::npos)
+        << e.what();
+  }
+  // New submissions are refused, and workers wake up and exit.
+  std::promise<std::uint32_t> p2;
+  EXPECT_THROW(q.submit(2, Sha256Digest{}, std::move(p2)), Error);
+  EXPECT_TRUE(q.next_batch().empty());
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(MicroBatchQueue, StopWakesBlockedWorkers) {
+  MicroBatchQueue q(8, std::chrono::seconds(30));
+  std::thread worker([&] { EXPECT_TRUE(q.next_batch().empty()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.stop();
+  worker.join();
+}
+
+// Deadline-drift regression: a worker parked on entry A's deadline must not
+// flush a FRESH entry B early after another worker drained A (full batch)
+// — the wait deadline is recomputed from the current oldest entry, so a
+// fresh batch always gets its own full max_wait.
+TEST(MicroBatchQueue, FreshBatchGetsItsOwnDeadlineAfterAnotherWorkerDrains) {
+  constexpr auto kWait = std::chrono::milliseconds(200);
+  constexpr std::size_t kMaxBatch = 4;
+  MicroBatchQueue q(kMaxBatch, kWait);
+
+  std::atomic<bool> stopping{false};
+  std::atomic<int> early{0};
+  std::atomic<int> popped{0};
+  auto worker = [&] {
+    for (;;) {
+      auto batch = q.next_batch();
+      if (batch.empty()) return;
+      const auto now = std::chrono::steady_clock::now();
+      // A batch below max_batch may flush only once its OLDEST entry has
+      // waited out max_wait (stop() short-circuits are exempt).
+      if (!stopping.load() && batch.size() < kMaxBatch &&
+          now - batch.front().enqueued < kWait / 2) {
+        ++early;
+      }
+      popped.fetch_add(static_cast<int>(batch.size()));
+    }
+  };
+  std::thread w1(worker), w2(worker);
+
+  int submitted = 0;
+  const auto submit = [&](std::uint32_t node) {
+    std::promise<std::uint32_t> p;
+    p.get_future();  // waiter outcome is irrelevant here
+    q.submit(node, Sha256Digest{}, std::move(p));
+    ++submitted;
+  };
+  for (int round = 0; round < 8; ++round) {
+    // A full burst: one worker pops it immediately; the other may be left
+    // parked inside its wait with the burst's (now stale) deadline.
+    for (std::uint32_t i = 0; i < kMaxBatch; ++i) {
+      submit(static_cast<std::uint32_t>(round * 100 + i));
+    }
+    // A fresh entry arriving well before the stale deadline expires: the
+    // parked worker must give it a full max_wait, not the leftover.
+    std::this_thread::sleep_for(kWait * 3 / 5);
+    submit(static_cast<std::uint32_t>(round * 100 + 50));
+    while (popped.load() < submitted) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  stopping.store(true);
+  q.stop();
+  w1.join();
+  w2.join();
+  EXPECT_EQ(early.load(), 0);
+}
+
+}  // namespace
+}  // namespace gv

@@ -1,0 +1,160 @@
+// VaultRegistry placement + failover accounting.
+//
+// Pins the oversized-tenant placement policy the code actually implements —
+// WORST-FIT-DECREASING (largest shard first, each onto the platform with
+// the most free budget) — so the docs and the code cannot drift apart
+// again.  Also covers fail_shard: a failover promotion releases the dead
+// platform's reservation (admitting queued tenants) and moves the bytes to
+// the standby-platform account.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "serve/registry.hpp"
+#include "shard/shard_planner.hpp"
+#include "../shard/shard_test_util.hpp"
+#include "serve_test_util.hpp"
+
+namespace gv {
+namespace {
+
+ServerConfig quick_server_config() {
+  ServerConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_wait = std::chrono::microseconds(500);
+  return cfg;
+}
+
+TEST(VaultRegistry, OversizedPlacementIsWorstFitDecreasing) {
+  const Dataset big = shard_dataset(111);
+  const Dataset small = serve_dataset(112, /*nodes=*/120);
+  TrainedVault big_tv = shard_vault(big, 3);
+  TrainedVault small_tv = serve_vault(small, RectifierKind::kParallel, 4);
+  const std::size_t whale_bytes = VaultRegistry::estimate_enclave_bytes(big_tv, big);
+  const std::size_t minnow_bytes =
+      VaultRegistry::estimate_enclave_bytes(small_tv, small);
+
+  RegistryConfig rcfg;
+  rcfg.epc_budget_fraction = 1.0;
+  rcfg.cost_model.epc_bytes = whale_bytes * 17 / 20;
+  rcfg.num_platforms = 4;
+  rcfg.max_shards = 8;
+  VaultRegistry registry(rcfg);
+  const std::size_t budget = registry.platform_budget();
+  ASSERT_LT(minnow_bytes, budget);
+
+  // The minnow lands first and seeds asymmetric free space: every platform
+  // is empty, so least-loaded placement picks platform 0.
+  ASSERT_EQ(registry.admit("minnow", small, std::move(small_tv),
+                           quick_server_config())
+                .decision,
+            AdmissionDecision::kAdmitted);
+  ASSERT_EQ(registry.platform_in_use()[0], minnow_bytes);
+
+  // Reproduce the plan the registry will compute, then simulate
+  // worst-fit-decreasing by hand: shards sorted by estimated bytes
+  // descending (stable), each placed on the platform with the MOST free
+  // budget.  First-fit(-decreasing) would dump the largest shard on
+  // platform 0 despite the minnow — the policies genuinely diverge here.
+  const ShardPlan plan =
+      ShardPlanner::plan_for_budget(big, big_tv, budget, rcfg.max_shards);
+  ASSERT_GE(plan.num_shards, 2u);
+  std::vector<std::uint32_t> by_size(plan.num_shards);
+  for (std::uint32_t s = 0; s < plan.num_shards; ++s) by_size[s] = s;
+  std::stable_sort(by_size.begin(), by_size.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return plan.shards[a].estimated_bytes >
+                            plan.shards[b].estimated_bytes;
+                   });
+  std::vector<std::size_t> expected(rcfg.num_platforms, 0);
+  expected[0] = minnow_bytes;
+  for (const std::uint32_t s : by_size) {
+    std::size_t best = rcfg.num_platforms;
+    for (std::size_t p = 0; p < rcfg.num_platforms; ++p) {
+      if (budget - expected[p] < plan.shards[s].estimated_bytes) continue;
+      if (best == rcfg.num_platforms ||
+          budget - expected[p] > budget - expected[best]) {
+        best = p;
+      }
+    }
+    ASSERT_LT(best, rcfg.num_platforms) << "expected placement must fit";
+    expected[best] += plan.shards[s].estimated_bytes;
+  }
+
+  const auto r =
+      registry.admit("whale", big, std::move(big_tv), quick_server_config());
+  ASSERT_EQ(r.decision, AdmissionDecision::kAdmittedSharded) << r.reason;
+  EXPECT_EQ(r.num_shards, plan.num_shards);
+  EXPECT_EQ(registry.platform_in_use(), expected);
+}
+
+TEST(VaultRegistry, FailShardFreesPrimaryCapacityAndAdmitsQueued) {
+  const Dataset ds = shard_dataset(113);
+  TrainedVault tv = shard_vault(ds, 5);
+  // A distinct vault for the second whale: TrainedVault copies SHARE the
+  // backbone model, and whale's async promotion refresh must not run the
+  // same mutable GcnModel as whale2's admission refresh.  Same spec + same
+  // dataset => identical working-set estimate and shard plan.
+  TrainedVault tv2 = shard_vault(ds, 6);
+  const std::size_t single_bytes = VaultRegistry::estimate_enclave_bytes(tv, ds);
+  ASSERT_EQ(single_bytes, VaultRegistry::estimate_enclave_bytes(tv2, ds));
+  const auto truth = ShardedVaultDeployment(ds, tv, ShardPlanner::plan(ds, tv, 1))
+                         .infer_labels(ds.features);
+  const auto truth2 =
+      ShardedVaultDeployment(ds, tv2, ShardPlanner::plan(ds, tv2, 1))
+          .infer_labels(ds.features);
+
+  RegistryConfig rcfg;
+  rcfg.epc_budget_fraction = 1.0;
+  rcfg.cost_model.epc_bytes = single_bytes * 17 / 20;
+  // This dataset/budget plans to 4 shards whose pairwise sums all exceed one
+  // platform budget, so the whale occupies one shard per platform and a
+  // second identical whale can only be QUEUED until capacity frees.
+  rcfg.num_platforms = 4;
+  rcfg.queue_when_full = true;
+  rcfg.replicate_shards = true;
+  VaultRegistry registry(rcfg);
+
+  const auto first =
+      registry.admit("whale", ds, std::move(tv), quick_server_config());
+  ASSERT_EQ(first.decision, AdmissionDecision::kAdmittedSharded) << first.reason;
+  const std::uint32_t num_shards = first.num_shards;
+  // The fleet is now too full for a second whale of the same size: queued.
+  ASSERT_EQ(registry.admit("whale2", ds, std::move(tv2), quick_server_config())
+                .decision,
+            AdmissionDecision::kQueued);
+
+  // Fail every shard of the first whale over to the standby platform.  Each
+  // fail_shard releases that shard's primary reservation immediately.
+  const std::size_t in_use_before = registry.epc_in_use();
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    registry.fail_shard("whale", s);
+    EXPECT_THROW(registry.fail_shard("whale", s), Error);  // already failed
+  }
+  EXPECT_EQ(registry.standby_in_use(), in_use_before);
+
+  // The freed capacity admitted the queued whale...
+  EXPECT_TRUE(registry.queued().empty());
+  ASSERT_TRUE(registry.has("whale2"));
+  EXPECT_TRUE(registry.is_sharded("whale2"));
+  // ...and the failed-over whale still serves bit-exact labels from its
+  // promoted PRIMARYs.
+  auto server = registry.sharded_server("whale");
+  for (std::uint32_t v = 40; v < 60; ++v) {
+    EXPECT_EQ(server->query(v), truth[v]) << "node " << v;
+  }
+  auto server2 = registry.sharded_server("whale2");
+  for (std::uint32_t v = 40; v < 44; ++v) {
+    EXPECT_EQ(server2->query(v), truth2[v]) << "node " << v;
+  }
+
+  // Removing the failed-over tenant returns the standby bytes too.
+  EXPECT_TRUE(registry.remove("whale"));
+  EXPECT_EQ(registry.standby_in_use(), 0u);
+  EXPECT_TRUE(registry.remove("whale2"));
+  EXPECT_EQ(registry.epc_in_use(), 0u);
+}
+
+}  // namespace
+}  // namespace gv

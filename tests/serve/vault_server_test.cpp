@@ -133,10 +133,9 @@ TEST(VaultServer, ConcurrentSubmittersGetConsistentLabels) {
   EXPECT_GE(s.p99_latency_ms, s.p95_latency_ms);
 }
 
-TEST(VaultServer, DestructorDrainsPendingRequests) {
+TEST(VaultServer, DestructorFailsPendingRequestsWithShutdownError) {
   const Dataset ds = serve_dataset(37);
   TrainedVault tv = serve_vault(ds);
-  const auto truth = tv.predict_rectified(ds.features);
   std::future<std::uint32_t> fut;
   {
     ServerConfig cfg;
@@ -144,9 +143,17 @@ TEST(VaultServer, DestructorDrainsPendingRequests) {
     cfg.max_wait = std::chrono::seconds(30);
     VaultServer server(ds, std::move(tv), {}, cfg);
     fut = server.submit(3);
-    // Server goes out of scope with the request still queued.
+    // Server goes out of scope with the request still queued: the waiter
+    // gets an explicit shutdown error — never a broken_promise, and never a
+    // silent drain through enclave ecalls mid-teardown.
   }
-  EXPECT_EQ(fut.get(), truth[3]);
+  try {
+    fut.get();
+    FAIL() << "expected a shutdown error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("shutting down"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(VaultServer, RejectsOutOfRangeNode) {

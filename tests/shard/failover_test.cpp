@@ -3,6 +3,9 @@
 // the channel-audit invariants that keep adjacency inside enclaves.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "shard/replica_manager.hpp"
 #include "shard/shard_router.hpp"
 #include "shard/sharded_server.hpp"
@@ -10,6 +13,14 @@
 
 namespace gv {
 namespace {
+
+/// The promotion-latency metric lands when the async promotion thread
+/// retires, an instant after the fence lifts; poll for it.
+void wait_for_promotions(const ShardedVaultServer& server, std::uint64_t n) {
+  for (int i = 0; i < 1000 && server.stats().promotions < n; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
 
 TrainedVault quick_vault(const Dataset& ds) {
   VaultTrainConfig cfg;
@@ -107,14 +118,22 @@ TEST(ShardedVaultServer, ServesThroughKillWithMetricsRecordingFailover) {
     EXPECT_EQ(server.query(v), truth[v]) << "node " << v;
   }
   const std::uint32_t victim = server.deployment().owner(3);
-  server.kill_shard(victim);  // waits for replication internally
+  // Waits for replication internally, fences the shard, and promotes the
+  // standby to PRIMARY in the background; queries keep being bit-exact
+  // throughout (blocked on the fence, never served from a stale store).
+  server.kill_shard(victim);
   for (std::uint32_t v = 0; v < 20; ++v) {
     EXPECT_EQ(server.query(v), truth[v]) << "after failover, node " << v;
   }
+  wait_for_promotions(server, 1);
   const auto s = server.stats();
-  EXPECT_GE(s.failovers, 1u);
+  EXPECT_EQ(s.promotions, 1u);
+  EXPECT_GT(s.mean_promotion_ms, 0.0);
   EXPECT_EQ(s.requests, 40u);
   EXPECT_GT(s.requests_per_second, 0.0);
+  // The promoted PRIMARY is the shard enclave now.
+  EXPECT_TRUE(server.deployment().shard_alive(victim));
+  EXPECT_EQ(server.replicas()->state(victim), ReplicaState::kPrimary);
 }
 
 }  // namespace
