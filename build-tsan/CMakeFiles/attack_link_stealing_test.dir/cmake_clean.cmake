@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_link_stealing_test.dir/tests/attack/link_stealing_test.cpp.o"
+  "CMakeFiles/attack_link_stealing_test.dir/tests/attack/link_stealing_test.cpp.o.d"
+  "attack_link_stealing_test"
+  "attack_link_stealing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_link_stealing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

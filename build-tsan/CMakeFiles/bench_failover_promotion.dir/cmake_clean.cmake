@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_failover_promotion.dir/bench/failover_promotion.cpp.o"
+  "CMakeFiles/bench_failover_promotion.dir/bench/failover_promotion.cpp.o.d"
+  "bench_failover_promotion"
+  "bench_failover_promotion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_failover_promotion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_failover_promotion.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_failover_promotion.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_embeddings.dir/bench/fig4_embeddings.cpp.o"
+  "CMakeFiles/bench_fig4_embeddings.dir/bench/fig4_embeddings.cpp.o.d"
+  "bench_fig4_embeddings"
+  "bench_fig4_embeddings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_embeddings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_gnnvault.dir/bench/table2_gnnvault.cpp.o"
+  "CMakeFiles/bench_table2_gnnvault.dir/bench/table2_gnnvault.cpp.o.d"
+  "bench_table2_gnnvault"
+  "bench_table2_gnnvault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_gnnvault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

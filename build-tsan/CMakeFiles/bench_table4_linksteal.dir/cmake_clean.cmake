@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_linksteal.dir/bench/table4_linksteal.cpp.o"
+  "CMakeFiles/bench_table4_linksteal.dir/bench/table4_linksteal.cpp.o.d"
+  "bench_table4_linksteal"
+  "bench_table4_linksteal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_linksteal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_deployment_test.dir/tests/core/deployment_test.cpp.o"
+  "CMakeFiles/core_deployment_test.dir/tests/core/deployment_test.cpp.o.d"
+  "core_deployment_test"
+  "core_deployment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_deployment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_model_spec_test.dir/tests/core/model_spec_test.cpp.o"
+  "CMakeFiles/core_model_spec_test.dir/tests/core/model_spec_test.cpp.o.d"
+  "core_model_spec_test"
+  "core_model_spec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_model_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_package_test.dir/tests/core/package_test.cpp.o"
+  "CMakeFiles/core_package_test.dir/tests/core/package_test.cpp.o.d"
+  "core_package_test"
+  "core_package_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_package_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_rectifier_test.dir/tests/core/rectifier_test.cpp.o"
+  "CMakeFiles/core_rectifier_test.dir/tests/core/rectifier_test.cpp.o.d"
+  "core_rectifier_test"
+  "core_rectifier_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_rectifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_security_test.dir/tests/core/security_test.cpp.o"
+  "CMakeFiles/core_security_test.dir/tests/core/security_test.cpp.o.d"
+  "core_security_test"
+  "core_security_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_security_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

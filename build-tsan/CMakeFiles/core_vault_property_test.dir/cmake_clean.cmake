@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_vault_property_test.dir/tests/core/vault_property_test.cpp.o"
+  "CMakeFiles/core_vault_property_test.dir/tests/core/vault_property_test.cpp.o.d"
+  "core_vault_property_test"
+  "core_vault_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_vault_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_catalog_test.dir/tests/data/catalog_test.cpp.o"
+  "CMakeFiles/data_catalog_test.dir/tests/data/catalog_test.cpp.o.d"
+  "data_catalog_test"
+  "data_catalog_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

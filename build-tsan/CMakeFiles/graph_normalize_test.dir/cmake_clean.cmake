@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_normalize_test.dir/tests/graph/normalize_test.cpp.o"
+  "CMakeFiles/graph_normalize_test.dir/tests/graph/normalize_test.cpp.o.d"
+  "graph_normalize_test"
+  "graph_normalize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_normalize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

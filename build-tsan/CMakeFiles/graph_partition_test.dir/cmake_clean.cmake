@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_partition_test.dir/tests/graph/partition_test.cpp.o"
+  "CMakeFiles/graph_partition_test.dir/tests/graph/partition_test.cpp.o.d"
+  "graph_partition_test"
+  "graph_partition_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_stats_test.dir/tests/graph/stats_test.cpp.o"
+  "CMakeFiles/graph_stats_test.dir/tests/graph/stats_test.cpp.o.d"
+  "graph_stats_test"
+  "graph_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/link_stealing.cpp" "CMakeFiles/gv.dir/src/attack/link_stealing.cpp.o" "gcc" "CMakeFiles/gv.dir/src/attack/link_stealing.cpp.o.d"
+  "/root/repo/src/common/env.cpp" "CMakeFiles/gv.dir/src/common/env.cpp.o" "gcc" "CMakeFiles/gv.dir/src/common/env.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "CMakeFiles/gv.dir/src/common/log.cpp.o" "gcc" "CMakeFiles/gv.dir/src/common/log.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "CMakeFiles/gv.dir/src/common/rng.cpp.o" "gcc" "CMakeFiles/gv.dir/src/common/rng.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "CMakeFiles/gv.dir/src/common/table.cpp.o" "gcc" "CMakeFiles/gv.dir/src/common/table.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "CMakeFiles/gv.dir/src/common/thread_pool.cpp.o" "gcc" "CMakeFiles/gv.dir/src/common/thread_pool.cpp.o.d"
+  "/root/repo/src/core/deployment.cpp" "CMakeFiles/gv.dir/src/core/deployment.cpp.o" "gcc" "CMakeFiles/gv.dir/src/core/deployment.cpp.o.d"
+  "/root/repo/src/core/model_spec.cpp" "CMakeFiles/gv.dir/src/core/model_spec.cpp.o" "gcc" "CMakeFiles/gv.dir/src/core/model_spec.cpp.o.d"
+  "/root/repo/src/core/package.cpp" "CMakeFiles/gv.dir/src/core/package.cpp.o" "gcc" "CMakeFiles/gv.dir/src/core/package.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "CMakeFiles/gv.dir/src/core/pipeline.cpp.o" "gcc" "CMakeFiles/gv.dir/src/core/pipeline.cpp.o.d"
+  "/root/repo/src/core/rectifier.cpp" "CMakeFiles/gv.dir/src/core/rectifier.cpp.o" "gcc" "CMakeFiles/gv.dir/src/core/rectifier.cpp.o.d"
+  "/root/repo/src/data/catalog.cpp" "CMakeFiles/gv.dir/src/data/catalog.cpp.o" "gcc" "CMakeFiles/gv.dir/src/data/catalog.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "CMakeFiles/gv.dir/src/data/dataset.cpp.o" "gcc" "CMakeFiles/gv.dir/src/data/dataset.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "CMakeFiles/gv.dir/src/data/synthetic.cpp.o" "gcc" "CMakeFiles/gv.dir/src/data/synthetic.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "CMakeFiles/gv.dir/src/graph/graph.cpp.o" "gcc" "CMakeFiles/gv.dir/src/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "CMakeFiles/gv.dir/src/graph/io.cpp.o" "gcc" "CMakeFiles/gv.dir/src/graph/io.cpp.o.d"
+  "/root/repo/src/graph/normalize.cpp" "CMakeFiles/gv.dir/src/graph/normalize.cpp.o" "gcc" "CMakeFiles/gv.dir/src/graph/normalize.cpp.o.d"
+  "/root/repo/src/graph/partition.cpp" "CMakeFiles/gv.dir/src/graph/partition.cpp.o" "gcc" "CMakeFiles/gv.dir/src/graph/partition.cpp.o.d"
+  "/root/repo/src/graph/stats.cpp" "CMakeFiles/gv.dir/src/graph/stats.cpp.o" "gcc" "CMakeFiles/gv.dir/src/graph/stats.cpp.o.d"
+  "/root/repo/src/graph/substitute.cpp" "CMakeFiles/gv.dir/src/graph/substitute.cpp.o" "gcc" "CMakeFiles/gv.dir/src/graph/substitute.cpp.o.d"
+  "/root/repo/src/metrics/auc.cpp" "CMakeFiles/gv.dir/src/metrics/auc.cpp.o" "gcc" "CMakeFiles/gv.dir/src/metrics/auc.cpp.o.d"
+  "/root/repo/src/metrics/silhouette.cpp" "CMakeFiles/gv.dir/src/metrics/silhouette.cpp.o" "gcc" "CMakeFiles/gv.dir/src/metrics/silhouette.cpp.o.d"
+  "/root/repo/src/metrics/tsne.cpp" "CMakeFiles/gv.dir/src/metrics/tsne.cpp.o" "gcc" "CMakeFiles/gv.dir/src/metrics/tsne.cpp.o.d"
+  "/root/repo/src/nn/arch_models.cpp" "CMakeFiles/gv.dir/src/nn/arch_models.cpp.o" "gcc" "CMakeFiles/gv.dir/src/nn/arch_models.cpp.o.d"
+  "/root/repo/src/nn/dense_layer.cpp" "CMakeFiles/gv.dir/src/nn/dense_layer.cpp.o" "gcc" "CMakeFiles/gv.dir/src/nn/dense_layer.cpp.o.d"
+  "/root/repo/src/nn/gat_layer.cpp" "CMakeFiles/gv.dir/src/nn/gat_layer.cpp.o" "gcc" "CMakeFiles/gv.dir/src/nn/gat_layer.cpp.o.d"
+  "/root/repo/src/nn/gcn_layer.cpp" "CMakeFiles/gv.dir/src/nn/gcn_layer.cpp.o" "gcc" "CMakeFiles/gv.dir/src/nn/gcn_layer.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "CMakeFiles/gv.dir/src/nn/model.cpp.o" "gcc" "CMakeFiles/gv.dir/src/nn/model.cpp.o.d"
+  "/root/repo/src/nn/param.cpp" "CMakeFiles/gv.dir/src/nn/param.cpp.o" "gcc" "CMakeFiles/gv.dir/src/nn/param.cpp.o.d"
+  "/root/repo/src/nn/sage_layer.cpp" "CMakeFiles/gv.dir/src/nn/sage_layer.cpp.o" "gcc" "CMakeFiles/gv.dir/src/nn/sage_layer.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "CMakeFiles/gv.dir/src/nn/trainer.cpp.o" "gcc" "CMakeFiles/gv.dir/src/nn/trainer.cpp.o.d"
+  "/root/repo/src/serve/batch_queue.cpp" "CMakeFiles/gv.dir/src/serve/batch_queue.cpp.o" "gcc" "CMakeFiles/gv.dir/src/serve/batch_queue.cpp.o.d"
+  "/root/repo/src/serve/label_cache.cpp" "CMakeFiles/gv.dir/src/serve/label_cache.cpp.o" "gcc" "CMakeFiles/gv.dir/src/serve/label_cache.cpp.o.d"
+  "/root/repo/src/serve/registry.cpp" "CMakeFiles/gv.dir/src/serve/registry.cpp.o" "gcc" "CMakeFiles/gv.dir/src/serve/registry.cpp.o.d"
+  "/root/repo/src/serve/server_metrics.cpp" "CMakeFiles/gv.dir/src/serve/server_metrics.cpp.o" "gcc" "CMakeFiles/gv.dir/src/serve/server_metrics.cpp.o.d"
+  "/root/repo/src/serve/vault_server.cpp" "CMakeFiles/gv.dir/src/serve/vault_server.cpp.o" "gcc" "CMakeFiles/gv.dir/src/serve/vault_server.cpp.o.d"
+  "/root/repo/src/sgxsim/attested_channel.cpp" "CMakeFiles/gv.dir/src/sgxsim/attested_channel.cpp.o" "gcc" "CMakeFiles/gv.dir/src/sgxsim/attested_channel.cpp.o.d"
+  "/root/repo/src/sgxsim/chacha20poly1305.cpp" "CMakeFiles/gv.dir/src/sgxsim/chacha20poly1305.cpp.o" "gcc" "CMakeFiles/gv.dir/src/sgxsim/chacha20poly1305.cpp.o.d"
+  "/root/repo/src/sgxsim/channel.cpp" "CMakeFiles/gv.dir/src/sgxsim/channel.cpp.o" "gcc" "CMakeFiles/gv.dir/src/sgxsim/channel.cpp.o.d"
+  "/root/repo/src/sgxsim/cost_model.cpp" "CMakeFiles/gv.dir/src/sgxsim/cost_model.cpp.o" "gcc" "CMakeFiles/gv.dir/src/sgxsim/cost_model.cpp.o.d"
+  "/root/repo/src/sgxsim/enclave.cpp" "CMakeFiles/gv.dir/src/sgxsim/enclave.cpp.o" "gcc" "CMakeFiles/gv.dir/src/sgxsim/enclave.cpp.o.d"
+  "/root/repo/src/sgxsim/sha256.cpp" "CMakeFiles/gv.dir/src/sgxsim/sha256.cpp.o" "gcc" "CMakeFiles/gv.dir/src/sgxsim/sha256.cpp.o.d"
+  "/root/repo/src/shard/replica_manager.cpp" "CMakeFiles/gv.dir/src/shard/replica_manager.cpp.o" "gcc" "CMakeFiles/gv.dir/src/shard/replica_manager.cpp.o.d"
+  "/root/repo/src/shard/shard_planner.cpp" "CMakeFiles/gv.dir/src/shard/shard_planner.cpp.o" "gcc" "CMakeFiles/gv.dir/src/shard/shard_planner.cpp.o.d"
+  "/root/repo/src/shard/shard_router.cpp" "CMakeFiles/gv.dir/src/shard/shard_router.cpp.o" "gcc" "CMakeFiles/gv.dir/src/shard/shard_router.cpp.o.d"
+  "/root/repo/src/shard/sharded_deployment.cpp" "CMakeFiles/gv.dir/src/shard/sharded_deployment.cpp.o" "gcc" "CMakeFiles/gv.dir/src/shard/sharded_deployment.cpp.o.d"
+  "/root/repo/src/shard/sharded_server.cpp" "CMakeFiles/gv.dir/src/shard/sharded_server.cpp.o" "gcc" "CMakeFiles/gv.dir/src/shard/sharded_server.cpp.o.d"
+  "/root/repo/src/tensor/csr.cpp" "CMakeFiles/gv.dir/src/tensor/csr.cpp.o" "gcc" "CMakeFiles/gv.dir/src/tensor/csr.cpp.o.d"
+  "/root/repo/src/tensor/gemm.cpp" "CMakeFiles/gv.dir/src/tensor/gemm.cpp.o" "gcc" "CMakeFiles/gv.dir/src/tensor/gemm.cpp.o.d"
+  "/root/repo/src/tensor/matrix.cpp" "CMakeFiles/gv.dir/src/tensor/matrix.cpp.o" "gcc" "CMakeFiles/gv.dir/src/tensor/matrix.cpp.o.d"
+  "/root/repo/src/tensor/ops.cpp" "CMakeFiles/gv.dir/src/tensor/ops.cpp.o" "gcc" "CMakeFiles/gv.dir/src/tensor/ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_stealing_demo.dir/examples/link_stealing_demo.cpp.o"
+  "CMakeFiles/link_stealing_demo.dir/examples/link_stealing_demo.cpp.o.d"
+  "link_stealing_demo"
+  "link_stealing_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_stealing_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

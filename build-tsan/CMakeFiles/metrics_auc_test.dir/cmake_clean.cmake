@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_auc_test.dir/tests/metrics/auc_test.cpp.o"
+  "CMakeFiles/metrics_auc_test.dir/tests/metrics/auc_test.cpp.o.d"
+  "metrics_auc_test"
+  "metrics_auc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_auc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

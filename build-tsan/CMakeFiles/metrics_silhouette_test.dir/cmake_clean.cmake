@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_silhouette_test.dir/tests/metrics/silhouette_test.cpp.o"
+  "CMakeFiles/metrics_silhouette_test.dir/tests/metrics/silhouette_test.cpp.o.d"
+  "metrics_silhouette_test"
+  "metrics_silhouette_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_silhouette_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_tsne_test.dir/tests/metrics/tsne_test.cpp.o"
+  "CMakeFiles/metrics_tsne_test.dir/tests/metrics/tsne_test.cpp.o.d"
+  "metrics_tsne_test"
+  "metrics_tsne_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_tsne_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_param_test.dir/tests/nn/param_test.cpp.o"
+  "CMakeFiles/nn_param_test.dir/tests/nn/param_test.cpp.o.d"
+  "nn_param_test"
+  "nn_param_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_batch_queue_test.dir/tests/serve/batch_queue_test.cpp.o"
+  "CMakeFiles/serve_batch_queue_test.dir/tests/serve/batch_queue_test.cpp.o.d"
+  "serve_batch_queue_test"
+  "serve_batch_queue_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_batch_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

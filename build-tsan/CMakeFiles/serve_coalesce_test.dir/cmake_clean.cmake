@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_coalesce_test.dir/tests/serve/coalesce_test.cpp.o"
+  "CMakeFiles/serve_coalesce_test.dir/tests/serve/coalesce_test.cpp.o.d"
+  "serve_coalesce_test"
+  "serve_coalesce_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_coalesce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_label_cache_test.dir/tests/serve/label_cache_test.cpp.o"
+  "CMakeFiles/serve_label_cache_test.dir/tests/serve/label_cache_test.cpp.o.d"
+  "serve_label_cache_test"
+  "serve_label_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_label_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

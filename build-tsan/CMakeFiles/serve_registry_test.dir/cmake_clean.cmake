@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_registry_test.dir/tests/serve/registry_test.cpp.o"
+  "CMakeFiles/serve_registry_test.dir/tests/serve/registry_test.cpp.o.d"
+  "serve_registry_test"
+  "serve_registry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_subset_inference_test.dir/tests/serve/subset_inference_test.cpp.o"
+  "CMakeFiles/serve_subset_inference_test.dir/tests/serve/subset_inference_test.cpp.o.d"
+  "serve_subset_inference_test"
+  "serve_subset_inference_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_subset_inference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

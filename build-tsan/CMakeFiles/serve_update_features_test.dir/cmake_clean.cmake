@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_update_features_test.dir/tests/serve/update_features_test.cpp.o"
+  "CMakeFiles/serve_update_features_test.dir/tests/serve/update_features_test.cpp.o.d"
+  "serve_update_features_test"
+  "serve_update_features_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_update_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_vault_server_test.dir/tests/serve/vault_server_test.cpp.o"
+  "CMakeFiles/serve_vault_server_test.dir/tests/serve/vault_server_test.cpp.o.d"
+  "serve_vault_server_test"
+  "serve_vault_server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_vault_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxsim_attested_channel_test.dir/tests/sgxsim/attested_channel_test.cpp.o"
+  "CMakeFiles/sgxsim_attested_channel_test.dir/tests/sgxsim/attested_channel_test.cpp.o.d"
+  "sgxsim_attested_channel_test"
+  "sgxsim_attested_channel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxsim_attested_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

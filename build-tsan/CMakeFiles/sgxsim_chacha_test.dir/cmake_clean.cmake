@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxsim_chacha_test.dir/tests/sgxsim/chacha_test.cpp.o"
+  "CMakeFiles/sgxsim_chacha_test.dir/tests/sgxsim/chacha_test.cpp.o.d"
+  "sgxsim_chacha_test"
+  "sgxsim_chacha_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxsim_chacha_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

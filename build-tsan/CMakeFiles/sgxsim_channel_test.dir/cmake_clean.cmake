@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxsim_channel_test.dir/tests/sgxsim/channel_test.cpp.o"
+  "CMakeFiles/sgxsim_channel_test.dir/tests/sgxsim/channel_test.cpp.o.d"
+  "sgxsim_channel_test"
+  "sgxsim_channel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxsim_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

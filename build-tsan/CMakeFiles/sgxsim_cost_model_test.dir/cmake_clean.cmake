@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxsim_cost_model_test.dir/tests/sgxsim/cost_model_test.cpp.o"
+  "CMakeFiles/sgxsim_cost_model_test.dir/tests/sgxsim/cost_model_test.cpp.o.d"
+  "sgxsim_cost_model_test"
+  "sgxsim_cost_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxsim_cost_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxsim_enclave_test.dir/tests/sgxsim/enclave_test.cpp.o"
+  "CMakeFiles/sgxsim_enclave_test.dir/tests/sgxsim/enclave_test.cpp.o.d"
+  "sgxsim_enclave_test"
+  "sgxsim_enclave_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxsim_enclave_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

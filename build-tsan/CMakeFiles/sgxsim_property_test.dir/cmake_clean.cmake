@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxsim_property_test.dir/tests/sgxsim/property_test.cpp.o"
+  "CMakeFiles/sgxsim_property_test.dir/tests/sgxsim/property_test.cpp.o.d"
+  "sgxsim_property_test"
+  "sgxsim_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxsim_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxsim_sha256_test.dir/tests/sgxsim/sha256_test.cpp.o"
+  "CMakeFiles/sgxsim_sha256_test.dir/tests/sgxsim/sha256_test.cpp.o.d"
+  "sgxsim_sha256_test"
+  "sgxsim_sha256_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxsim_sha256_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shard_demo.dir/examples/shard_demo.cpp.o"
+  "CMakeFiles/shard_demo.dir/examples/shard_demo.cpp.o.d"
+  "shard_demo"
+  "shard_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shard_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

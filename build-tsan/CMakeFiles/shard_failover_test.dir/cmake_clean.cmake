@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shard_failover_test.dir/tests/shard/failover_test.cpp.o"
+  "CMakeFiles/shard_failover_test.dir/tests/shard/failover_test.cpp.o.d"
+  "shard_failover_test"
+  "shard_failover_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shard_failover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shard_planner_test.dir/tests/shard/planner_test.cpp.o"
+  "CMakeFiles/shard_planner_test.dir/tests/shard/planner_test.cpp.o.d"
+  "shard_planner_test"
+  "shard_planner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shard_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

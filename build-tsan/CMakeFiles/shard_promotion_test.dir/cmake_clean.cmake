@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shard_promotion_test.dir/tests/shard/promotion_test.cpp.o"
+  "CMakeFiles/shard_promotion_test.dir/tests/shard/promotion_test.cpp.o.d"
+  "shard_promotion_test"
+  "shard_promotion_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shard_promotion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shard_sharded_equivalence_test.dir/tests/shard/sharded_equivalence_test.cpp.o"
+  "CMakeFiles/shard_sharded_equivalence_test.dir/tests/shard/sharded_equivalence_test.cpp.o.d"
+  "shard_sharded_equivalence_test"
+  "shard_sharded_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shard_sharded_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

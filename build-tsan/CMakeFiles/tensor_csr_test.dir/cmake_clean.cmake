@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_csr_test.dir/tests/tensor/csr_test.cpp.o"
+  "CMakeFiles/tensor_csr_test.dir/tests/tensor/csr_test.cpp.o.d"
+  "tensor_csr_test"
+  "tensor_csr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_csr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

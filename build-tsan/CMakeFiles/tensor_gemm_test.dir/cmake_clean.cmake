@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_gemm_test.dir/tests/tensor/gemm_test.cpp.o"
+  "CMakeFiles/tensor_gemm_test.dir/tests/tensor/gemm_test.cpp.o.d"
+  "tensor_gemm_test"
+  "tensor_gemm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_gemm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_matrix_test.dir/tests/tensor/matrix_test.cpp.o"
+  "CMakeFiles/tensor_matrix_test.dir/tests/tensor/matrix_test.cpp.o.d"
+  "tensor_matrix_test"
+  "tensor_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_property_test.dir/tests/tensor/property_test.cpp.o"
+  "CMakeFiles/tensor_property_test.dir/tests/tensor/property_test.cpp.o.d"
+  "tensor_property_test"
+  "tensor_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
