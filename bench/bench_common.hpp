@@ -6,12 +6,22 @@
 //   GNNVAULT_EPOCHS=<n>    -> override training epochs
 //   GNNVAULT_SCALE=<f>     -> dataset scale factor in (0,1]
 // and writes a CSV next to its stdout table into bench_out/.
+//
+// CI trajectory: a bench invoked with `--json <path>` additionally writes a
+// machine-readable artifact (title/header/rows of every table plus named
+// headline scalars) so perf claims in later PRs are backed by recorded
+// numbers instead of log archaeology.
 #pragma once
 
+#include <cstdlib>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 #include <sys/stat.h>
 
 #include "common/env.hpp"
+#include "common/error.hpp"
 #include "common/log.hpp"
 #include "common/stopwatch.hpp"
 #include "common/table.hpp"
@@ -43,6 +53,55 @@ inline std::string out_dir() {
   const std::string dir = env_string("GNNVAULT_OUT", "bench_out");
   ::mkdir(dir.c_str(), 0755);  // best effort; write_csv reports failures
   return dir;
+}
+
+// --- Machine-readable bench artifacts (--json <path>). ----------------------
+
+struct BenchArgs {
+  /// Destination of the JSON artifact; empty = not requested.
+  std::string json_path;
+};
+
+/// Parse the harness command line.  Only `--json <path>` is recognized;
+/// anything else aborts with a usage error so a typo cannot silently drop
+/// the artifact a CI step depends on.
+inline BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json" && i + 1 < argc) {
+      args.json_path = argv[++i];
+    } else {
+      GV_LOG_ERROR << "usage: " << argv[0] << " [--json <path>]";
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+/// Write the bench's tables (and optional named headline scalars) as one
+/// JSON document.  No-op when `args.json_path` is empty.
+inline void write_json(
+    const BenchArgs& args, const std::string& bench, const BenchSettings& s,
+    const std::vector<const Table*>& tables,
+    const std::vector<std::pair<std::string, double>>& scalars = {}) {
+  if (args.json_path.empty()) return;
+  std::ofstream f(args.json_path, std::ios::trunc);
+  GV_CHECK(f.good(), "cannot open JSON output file: " + args.json_path);
+  f << "{\"bench\": \"" << bench << "\", \"fast_mode\": "
+    << (bench_fast_mode() ? "true" : "false") << ", \"seed\": " << s.seed
+    << ", \"scale\": " << s.scale << ", \"epochs\": " << s.epochs;
+  for (const auto& [name, value] : scalars) {
+    f << ", \"" << name << "\": " << value;
+  }
+  f << ", \"tables\": [";
+  for (std::size_t i = 0; i < tables.size(); ++i) {
+    if (i) f << ", ";
+    f << tables[i]->to_json();
+  }
+  f << "]}\n";
+  GV_CHECK(f.good(), "failed writing JSON output file: " + args.json_path);
+  GV_LOG_INFO << bench << ": wrote " << args.json_path;
 }
 
 inline VaultTrainConfig vault_config(DatasetId id, const BenchSettings& s) {

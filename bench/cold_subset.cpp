@@ -1,0 +1,106 @@
+// Cold cross-shard subset inference: what does a demand-driven query cost,
+// and how much of the fleet does it touch?
+//
+// For each shard count K the bench issues random query batches through
+// ShardedVaultDeployment::infer_labels_subset_cold in two fleet states:
+//
+//   warm        the fleet refreshed once, so halo pulls are answered from
+//               the surviving shards' retained boundary activations — a
+//               cold query computes ONLY inside the owner shards of its
+//               query nodes and touches just its frontier's shards;
+//   cold-start  no refresh ever ran (no label stores, no retained
+//               activations): the frontier walk recurses across
+//               boundaries and peers compute their boundary rows live.
+//
+// Either way the labels must be BIT-EXACT against the single-enclave
+// oracle (TrainedVault::predict_rectified_subset).  Reported per row: mean
+// shards computed/touched (vs the whole fleet K), frontier rows, halo
+// request/embedding traffic, and modeled ms per query; the headline scalar
+// is the worst-case fraction of the fleet a warm single-node query touched.
+//
+// Honors GNNVAULT_BENCH_FAST, GNNVAULT_SEED, GNNVAULT_SCALE; `--json
+// <path>` writes the machine-readable artifact CI uploads.
+#include "bench_common.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "shard/sharded_deployment.hpp"
+
+using namespace gv;
+using namespace gv::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_args(argc, argv);
+  const BenchSettings s = settings();
+  const double scale = bench_fast_mode() ? s.scale : (s.scale < 1.0 ? s.scale : 0.35);
+  const Dataset ds = load_dataset(DatasetId::kPubmed, s.seed, scale);
+  GV_LOG_INFO << "cold_subset: " << ds.name << " n=" << ds.num_nodes()
+              << " e=" << ds.graph.num_directed_edges();
+
+  VaultTrainConfig cfg = vault_config(DatasetId::kPubmed, s);
+  TrainedVault vault = train_vault(ds, cfg);
+
+  Table table("Cold cross-shard subset inference (frontier shards, not the fleet)");
+  table.set_header({"shards", "fleet", "batch", "queries", "shards computed",
+                    "shards touched", "frontier rows/q", "halo KB/q",
+                    "modeled ms/q", "bit-exact"});
+
+  Rng rng(s.seed ^ 0xc01d5b5eull);
+  constexpr std::size_t kBatches = 8;
+  double worst_warm_single_fraction = 0.0;
+  bool all_exact = true;
+
+  for (const std::uint32_t K : {2u, 4u, 8u}) {
+    for (const bool warm : {true, false}) {
+      ShardedVaultDeployment dep(ds, vault, ShardPlanner::plan(ds, vault, K));
+      if (warm) dep.refresh(ds.features);
+
+      for (const std::size_t batch : warm ? std::vector<std::size_t>{1, 8, 32}
+                                          : std::vector<std::size_t>{32}) {
+        double computed = 0.0, touched = 0.0, frontier = 0.0, halo_kb = 0.0;
+        double modeled_ms = 0.0;
+        bool exact = true;
+        for (std::size_t b = 0; b < kBatches; ++b) {
+          std::vector<std::uint32_t> nodes(batch);
+          for (auto& v : nodes) {
+            v = static_cast<std::uint32_t>(rng.uniform_index(ds.num_nodes()));
+          }
+          ColdSubsetStats st;
+          const auto got = dep.infer_labels_subset_cold(ds.features, nodes, &st);
+          const auto oracle = vault.predict_rectified_subset(ds.features, nodes);
+          exact = exact && std::equal(got.begin(), got.end(), oracle.begin());
+          computed += static_cast<double>(st.shards_computed);
+          touched += static_cast<double>(st.shards_touched);
+          frontier += static_cast<double>(st.frontier_rows);
+          halo_kb += (st.halo_request_bytes + st.halo_embedding_bytes) / 1024.0;
+          modeled_ms += st.modeled_seconds * 1e3;
+        }
+        computed /= kBatches;
+        touched /= kBatches;
+        all_exact = all_exact && exact;
+        if (warm && batch == 1) {
+          worst_warm_single_fraction =
+              std::max(worst_warm_single_fraction, touched / K);
+        }
+        table.add_row({std::to_string(K), warm ? "warm" : "cold-start",
+                       std::to_string(batch), std::to_string(kBatches * batch),
+                       Table::fmt(computed, 1), Table::fmt(touched, 1),
+                       Table::fmt(frontier / kBatches, 0),
+                       Table::fmt(halo_kb / kBatches, 2),
+                       Table::fmt(modeled_ms / kBatches, 3),
+                       exact ? "yes" : "NO"});
+      }
+    }
+  }
+
+  table.print();
+  GV_LOG_INFO << "worst warm single-query fleet fraction touched: "
+              << Table::fmt(worst_warm_single_fraction, 2) << " (1.0 = whole fleet)"
+              << (all_exact ? "" : "  [BIT-EXACTNESS FAILED]");
+  table.write_csv(out_dir() + "/cold_subset.csv");
+  write_json(args, "cold_subset", s, {&table},
+             {{"worst_warm_single_fleet_fraction", worst_warm_single_fraction},
+              {"all_bit_exact", all_exact ? 1.0 : 0.0}});
+  return 0;
+}

@@ -1,19 +1,37 @@
 // Failover promotion latency: how long is a shard fenced after its primary
-// enclave dies?
+// enclave dies — and how much of that window does incremental promotion
+// re-materialization remove?
 //
-// For each shard count K, the bench kills one shard and times the full
-// promotion — the standby unseals its RE-SEALED package, the deployment
-// adopts its enclave (rebuilding rectifier + sub-adjacency and re-running
-// the attested-channel handshake with the surviving shards), and the label
-// stores re-materialize from the current feature snapshot — then verifies
-// the promoted PRIMARY answers BIT-EXACTLY, including after a post-kill
+// For each shard count K the bench runs the same kill three times, on three
+// identically planned deployments:
+//
+//   full refresh   the PR-3 path: after adoption the label stores
+//                  re-materialize by re-running the WHOLE fleet's refresh
+//                  (backbone + streaming + every shard's forward + replica
+//                  label re-ship) — ~98% of the fencing window.  Measured
+//                  with a stale standby and a dropped backbone cache so it
+//                  reproduces that path exactly.
+//   shard-local    rematerialize_shard: only the adopted shard's store is
+//                  rebuilt, via a shard-local cold forward whose halo
+//                  inputs are pulled from the surviving shards' retained
+//                  boundary activations over the attested channels (also
+//                  forced by a stale standby — the case that NEEDS a
+//                  recompute).
+//   warm adopt     the default promote() path when the standby's store was
+//                  synced at the current epoch: the replicated labels are
+//                  bit-identical to a recompute and already inside the
+//                  adopted enclave, so the fence pays no forward at all.
+//
+// Every path then must answer BIT-EXACTLY, including after a post-kill
 // feature update (the case a warm standby alone cannot serve: its store
 // goes stale the moment the snapshot moves).
 //
-// Reported: replication warm-up, promotion wall ms (the fencing window),
-// the share of it spent re-materializing, and post-promotion lookup cost.
+// Reported per K: replication warm-up, the three promotion walls (fencing
+// windows) and their reductions vs full refresh; headline = the mean
+// fencing-window reduction of the default promote() path across K.
 //
-// Honors GNNVAULT_BENCH_FAST, GNNVAULT_SEED, GNNVAULT_SCALE.
+// Honors GNNVAULT_BENCH_FAST, GNNVAULT_SEED, GNNVAULT_SCALE; `--json
+// <path>` writes the machine-readable artifact CI uploads.
 #include "bench_common.hpp"
 
 #include <algorithm>
@@ -26,7 +44,81 @@
 using namespace gv;
 using namespace gv::bench;
 
-int main() {
+namespace {
+
+struct PromotionRun {
+  double replicate_ms = 0.0;
+  double promote_ms = 0.0;
+  bool exact = true;
+  bool update_exact = true;
+};
+
+enum class Path { kFullRefresh, kShardLocal, kWarmAdopt };
+
+/// Kill `victim` on a fresh deployment and promote along `path`; verify the
+/// promoted PRIMARY (and a post-kill feature update) bit-exact.
+PromotionRun run_promotion(const Dataset& ds, const TrainedVault& vault,
+                           std::uint32_t K, std::uint32_t victim,
+                           const CsrMatrix& mutated, std::uint64_t seed,
+                           Path path) {
+  PromotionRun out;
+  ShardedVaultDeployment dep(ds, vault, ShardPlanner::plan(ds, vault, K));
+  const auto truth = dep.infer_labels(ds.features);
+
+  Stopwatch rep_watch;
+  ReplicaManager replicas(dep);
+  replicas.replicate_all();
+  out.replicate_ms = rep_watch.seconds() * 1e3;
+
+  if (path != Path::kWarmAdopt) {
+    // Stale-ify the standbys: a refresh they never see (same snapshot, next
+    // epoch) forces promote() onto the re-materialization callback instead
+    // of the warm-adopt fast path.
+    dep.refresh(ds.features);
+  }
+  if (path == Path::kFullRefresh) {
+    // The PR-3 promotion path had no backbone-output cache either: its
+    // fencing window re-ran the backbone inside the fence.
+    dep.drop_backbone_cache();
+  }
+
+  ShardRouter router(dep, &replicas);
+  dep.kill_shard(victim);
+  out.promote_ms = replicas.promote(victim, [&] {
+    if (path == Path::kShardLocal) {
+      dep.rematerialize_shard(victim, ds.features);
+    } else {
+      dep.refresh(ds.features);
+    }
+  });
+
+  // Promoted-PRIMARY lookups over a random workload.
+  Rng rng(seed ^ 0xfa110feull);
+  constexpr std::size_t kBatch = 32;
+  for (std::size_t off = 0; off + kBatch <= 512; off += kBatch) {
+    std::vector<std::uint32_t> nodes(kBatch);
+    for (auto& v : nodes) {
+      v = static_cast<std::uint32_t>(rng.uniform_index(ds.num_nodes()));
+    }
+    const auto got = router.route(nodes);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      out.exact = out.exact && got[i] == truth[nodes[i]];
+    }
+  }
+
+  // Post-kill feature update: only possible because the promoted PRIMARY
+  // rejoined the halo exchange; a warm standby would be stale here.
+  const auto new_truth = dep.infer_labels(mutated);
+  const auto single_truth = vault.predict_rectified(mutated);
+  out.update_exact =
+      std::equal(new_truth.begin(), new_truth.end(), single_truth.begin());
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_args(argc, argv);
   const BenchSettings s = settings();
   const double scale = bench_fast_mode() ? s.scale : (s.scale < 1.0 ? s.scale : 0.35);
   const Dataset ds = load_dataset(DatasetId::kPubmed, s.seed, scale);
@@ -40,66 +132,57 @@ int main() {
   for (auto& v : mutated.mutable_values()) v *= 0.5f;
 
   Table table("Replica promotion: kill -> PRIMARY serving again");
-  table.set_header({"shards", "replicate ms", "promote ms", "rematerialize %",
-                    "lookup ms/batch", "bit-exact", "post-update exact"});
+  table.set_header({"shards", "replicate ms", "full-refresh ms",
+                    "shard-local ms", "warm-adopt ms", "local speedup",
+                    "warm speedup", "bit-exact", "post-update exact"});
 
   Rng rng(s.seed ^ 0xfa110feull);
-  constexpr std::size_t kBatch = 32;
+  double local_speedup_sum = 0.0, warm_speedup_sum = 0.0;
+  std::size_t rows = 0;
 
   for (const std::uint32_t K : {2u, 4u, 8u}) {
-    ShardedVaultDeployment dep(ds, vault, ShardPlanner::plan(ds, vault, K));
-    const auto truth = dep.infer_labels(ds.features);
+    // Same victim for every path: the plan is deterministic in (ds, vault,
+    // K), so the three deployments shard identically.
+    const std::uint32_t victim =
+        ShardPlanner::plan(ds, vault, K).owner[rng.uniform_index(ds.num_nodes())];
 
-    Stopwatch rep_watch;
-    ReplicaManager replicas(dep);
-    replicas.replicate_all();
-    const double replicate_ms = rep_watch.seconds() * 1e3;
+    const PromotionRun full = run_promotion(ds, vault, K, victim, mutated,
+                                            s.seed, Path::kFullRefresh);
+    const PromotionRun local = run_promotion(ds, vault, K, victim, mutated,
+                                             s.seed, Path::kShardLocal);
+    const PromotionRun warm = run_promotion(ds, vault, K, victim, mutated,
+                                            s.seed, Path::kWarmAdopt);
 
-    ShardRouter router(dep, &replicas);
-    const std::uint32_t victim = dep.owner(
-        static_cast<std::uint32_t>(rng.uniform_index(ds.num_nodes())));
-    dep.kill_shard(victim);
+    const double local_speedup =
+        full.promote_ms / std::max(local.promote_ms, 1e-9);
+    const double warm_speedup =
+        full.promote_ms / std::max(warm.promote_ms, 1e-9);
+    local_speedup_sum += local_speedup;
+    warm_speedup_sum += warm_speedup;
+    ++rows;
 
-    double rematerialize_s = 0.0;
-    const double promote_ms = replicas.promote(victim, [&] {
-      Stopwatch w;
-      dep.refresh(ds.features);
-      rematerialize_s = w.seconds();
-    });
-
-    // Promoted-PRIMARY lookups over a random workload.
-    bool exact = true;
-    Stopwatch lookup_watch;
-    std::size_t batches = 0;
-    for (std::size_t off = 0; off + kBatch <= 512; off += kBatch, ++batches) {
-      std::vector<std::uint32_t> nodes(kBatch);
-      for (auto& v : nodes) {
-        v = static_cast<std::uint32_t>(rng.uniform_index(ds.num_nodes()));
-      }
-      const auto got = router.route(nodes);
-      for (std::size_t i = 0; i < nodes.size(); ++i) {
-        exact = exact && got[i] == truth[nodes[i]];
-      }
-    }
-    const double lookup_ms =
-        lookup_watch.seconds() * 1e3 / std::max<std::size_t>(1, batches);
-
-    // Post-kill feature update: only possible because the promoted PRIMARY
-    // rejoined the halo exchange; a warm standby would be stale here.
-    const auto new_truth = dep.infer_labels(mutated);
-    const auto single_truth = vault.predict_rectified(mutated);
+    const bool exact = full.exact && local.exact && warm.exact;
     const bool update_exact =
-        std::equal(new_truth.begin(), new_truth.end(), single_truth.begin());
-
-    table.add_row({std::to_string(K), Table::fmt(replicate_ms, 1),
-                   Table::fmt(promote_ms, 1),
-                   Table::fmt(100.0 * rematerialize_s * 1e3 /
-                                  std::max(promote_ms, 1e-9),
-                              0),
-                   Table::fmt(lookup_ms, 3), exact ? "yes" : "NO",
+        full.update_exact && local.update_exact && warm.update_exact;
+    table.add_row({std::to_string(K), Table::fmt(warm.replicate_ms, 1),
+                   Table::fmt(full.promote_ms, 1),
+                   Table::fmt(local.promote_ms, 1),
+                   Table::fmt(warm.promote_ms, 1),
+                   Table::fmt(local_speedup, 1) + "x",
+                   Table::fmt(warm_speedup, 1) + "x", exact ? "yes" : "NO",
                    update_exact ? "yes" : "NO"});
   }
+
+  const double mean_local = local_speedup_sum / std::max<std::size_t>(1, rows);
+  const double mean_warm = warm_speedup_sum / std::max<std::size_t>(1, rows);
   table.print();
+  GV_LOG_INFO << "mean fencing-window reduction vs full refresh: "
+              << Table::fmt(mean_warm, 1) << "x (default warm-adopt path), "
+              << Table::fmt(mean_local, 1) << "x (stale standby, shard-local "
+              << "forward with halo pulls)";
   table.write_csv(out_dir() + "/failover_promotion.csv");
+  write_json(args, "failover_promotion", s, {&table},
+             {{"mean_fencing_speedup", mean_warm},
+              {"mean_shard_local_speedup", mean_local}});
   return 0;
 }

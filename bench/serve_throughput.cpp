@@ -19,7 +19,8 @@
 using namespace gv;
 using namespace gv::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_args(argc, argv);
   const BenchSettings s = settings();
   const double scale = bench_fast_mode() ? s.scale : (s.scale < 1.0 ? s.scale : 0.5);
   const Dataset ds = load_dataset(DatasetId::kCora, s.seed, scale);
@@ -81,5 +82,6 @@ int main() {
     GV_LOG_INFO << "VaultServer end-to-end (" << wall.seconds() << " s wall): "
                 << snap.summary();
   }
+  write_json(args, "serve_throughput", s, {&table});
   return 0;
 }

@@ -27,7 +27,8 @@
 using namespace gv;
 using namespace gv::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_args(argc, argv);
   const BenchSettings s = settings();
   const double scale = bench_fast_mode() ? s.scale : (s.scale < 1.0 ? s.scale : 0.35);
   const Dataset ds = load_dataset(DatasetId::kPubmed, s.seed, scale);
@@ -133,5 +134,6 @@ int main() {
                 << Table::fmt(static_cast<double>(requests) / modeled_s, 0)
                 << " req/s, " << m.page_swaps << " page swaps";
   }
+  write_json(args, "shard_scaling", s, {&table});
   return 0;
 }

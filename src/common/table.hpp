@@ -27,6 +27,12 @@ class Table {
   /// Render as CSV (header + rows).
   std::string to_csv() const;
 
+  /// Render as a JSON object: {"title": ..., "header": [...], "rows":
+  /// [{header[c]: cell, ...}, ...]}.  Cells that parse as finite numbers
+  /// are emitted as JSON numbers, everything else as strings — the
+  /// machine-readable form the CI bench artifacts are built from.
+  std::string to_json() const;
+
   /// Print ASCII to stdout.
   void print() const;
 

@@ -69,6 +69,38 @@ std::vector<std::uint32_t> Rectifier::expand_frontier(
 /// index scratch needs no clearing: every entry read is written first.
 CsrMatrix Rectifier::gather_sub_adjacency(const std::vector<std::uint32_t>& rows,
                                           const std::vector<std::uint32_t>& cols) {
+  return frontier_slice(rows, cols);
+}
+
+std::vector<std::uint32_t> Rectifier::frontier_columns(
+    std::span<const std::uint32_t> rows) {
+  const CsrMatrix& adj = *adj_;
+  if (frontier_mark_.size() < adj.cols()) frontier_mark_.assign(adj.cols(), 0);
+  if (++frontier_epoch_ == 0) {  // epoch wrapped: stale stamps could collide
+    std::fill(frontier_mark_.begin(), frontier_mark_.end(), 0u);
+    frontier_epoch_ = 1;
+  }
+  const std::uint32_t epoch = frontier_epoch_;
+  std::vector<std::uint32_t> out;
+  out.reserve(rows.size() * 4);
+  const auto& row_ptr = adj.row_ptr();
+  const auto& col_idx = adj.col_idx();
+  for (const std::uint32_t r : rows) {
+    GV_CHECK(r < adj.rows(), "frontier row out of range");
+    for (std::int64_t i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+      const std::uint32_t c = col_idx[i];
+      if (frontier_mark_[c] != epoch) {
+        frontier_mark_[c] = epoch;
+        out.push_back(c);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+CsrMatrix Rectifier::frontier_slice(std::span<const std::uint32_t> rows,
+                                    const std::vector<std::uint32_t>& cols) {
   const CsrMatrix& adj = *adj_;
   if (local_index_.size() < adj.cols()) local_index_.resize(adj.cols());
   for (std::uint32_t j = 0; j < cols.size(); ++j) local_index_[cols[j]] = j;

@@ -90,6 +90,26 @@ class Rectifier {
   const CsrMatrix& adjacency() const { return *adj_; }
   void set_adjacency(std::shared_ptr<const CsrMatrix> adjacency);
 
+  // --- Cross-boundary frontier restriction (ShardVault cold path). --------
+  // A shard's rectifier holds the RECTANGULAR owned x closure slice of the
+  // global adjacency, so its row and column index spaces differ; these two
+  // helpers let the sharded deployment walk a query's L-hop frontier one
+  // shard-local hop at a time, stopping at the shard boundary (columns owned
+  // by a peer become halo pulls over the attested channel, not local rows).
+
+  /// Sorted unique column indices with a nonzero in any of `rows`: the
+  /// one-hop input frontier of an output row set.  Unlike the square-only
+  /// subset path, row indices are NOT injected into the result — for a
+  /// rectangular shard adjacency they live in a different index space (each
+  /// owned row still reaches its own closure column via its self-loop).
+  std::vector<std::uint32_t> frontier_columns(std::span<const std::uint32_t> rows);
+
+  /// The |rows| x |cols| slice of the adjacency with column ids remapped to
+  /// positions in `cols`; `cols` must cover every column reachable from
+  /// `rows` (frontier_columns guarantees it) and both must be sorted.
+  CsrMatrix frontier_slice(std::span<const std::uint32_t> rows,
+                           const std::vector<std::uint32_t>& cols);
+
   /// Input dim of rectifier layer k under this config (exposed for tests).
   std::size_t layer_input_dim(std::size_t k) const;
 

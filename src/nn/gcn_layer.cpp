@@ -44,6 +44,9 @@ Matrix GcnLayer::forward(const CsrMatrix& adj, const CsrMatrix& x, bool training
 Matrix GcnLayer::forward_subgraph(const CsrMatrix& sub_adj, const Matrix& x) const {
   GV_CHECK(x.cols() == in_dim(), "GcnLayer dense input dim mismatch");
   GV_CHECK(sub_adj.cols() == x.rows(), "GcnLayer sub-adjacency shape mismatch");
+  // Empty output frontier (a shard touched only as a halo provider): skip
+  // the x·W GEMM entirely instead of multiplying rows nobody aggregates.
+  if (sub_adj.rows() == 0) return Matrix(0, out_dim());
   Matrix xw = matmul(x, w_.value);
   Matrix y = spmm(sub_adj, xw);
   add_bias_rows(y, b_.value);

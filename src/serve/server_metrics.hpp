@@ -27,6 +27,9 @@ struct MetricsSnapshot {
                                      // from the ShardRouter)
   std::uint64_t fenced_batches = 0;  // shard batches that waited out a
                                      // promotion fence (from the router)
+  std::uint64_t cold_batches = 0;    // shard batches served demand-driven
+                                     // through the cold cross-shard path
+                                     // (un-materialized label store)
   std::uint64_t promotions = 0;      // replicas promoted to PRIMARY
   std::uint64_t feature_updates = 0; // backbone snapshot refreshes
   std::uint64_t cache_hits = 0;

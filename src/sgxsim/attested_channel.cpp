@@ -92,6 +92,7 @@ void AttestedChannel::rebind(const Enclave& dead, Enclave& fresh,
     embeddings_to_[i].clear();
     labels_to_[i].clear();
     packages_to_[i].clear();
+    requests_to_[i].clear();
   }
 }
 
@@ -217,6 +218,47 @@ bool AttestedChannel::has_labels(const Enclave& to) const {
   return !labels_to_[endpoint_index(to)].empty();
 }
 
+void AttestedChannel::send_request(const Enclave& from,
+                                   std::vector<std::uint32_t> nodes) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(4 + nodes.size() * 4);
+  put_u32(payload, static_cast<std::uint32_t>(nodes.size()));
+  for (const auto v : nodes) put_u32(payload, v);
+
+  const int to = 1 - endpoint_index(from);
+  Sealed blob = encrypt(from, payload);
+  const_cast<Enclave&>(from).charge_ocall();
+  (to == 0 ? a_ : b_)->copy_in(payload.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  requests_to_[to].push_back(std::move(blob));
+  request_bytes_ += payload.size();
+  ++blocks_;
+}
+
+std::vector<std::uint32_t> AttestedChannel::recv_request(const Enclave& to) {
+  Sealed blob;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& q = requests_to_[endpoint_index(to)];
+    GV_CHECK(!q.empty(), "no pending halo request on attested channel");
+    blob = std::move(q.front());
+    q.pop_front();
+  }
+  const auto payload = decrypt(to, blob);
+  std::size_t off = 0;
+  const std::uint32_t count = get_u32(payload, off);
+  std::vector<std::uint32_t> nodes;
+  nodes.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) nodes.push_back(get_u32(payload, off));
+  GV_CHECK(off == payload.size(), "halo request size mismatch");
+  return nodes;
+}
+
+bool AttestedChannel::has_request(const Enclave& to) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !requests_to_[endpoint_index(to)].empty();
+}
+
 void AttestedChannel::send_package(const Enclave& from,
                                    std::vector<std::uint8_t> payload) {
   const int to = 1 - endpoint_index(from);
@@ -256,9 +298,24 @@ std::uint64_t AttestedChannel::package_bytes() const {
   return package_bytes_;
 }
 
+void AttestedChannel::drop_pending() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int i = 0; i < 2; ++i) {
+    embeddings_to_[i].clear();
+    labels_to_[i].clear();
+    packages_to_[i].clear();
+    requests_to_[i].clear();
+  }
+}
+
+std::uint64_t AttestedChannel::request_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return request_bytes_;
+}
+
 std::uint64_t AttestedChannel::total_payload_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return embedding_bytes_ + label_bytes_ + package_bytes_;
+  return embedding_bytes_ + label_bytes_ + package_bytes_ + request_bytes_;
 }
 
 std::uint64_t AttestedChannel::blocks_sent() const {

@@ -14,11 +14,15 @@
 //   rectifier code).  The session key is derived from both measurements and
 //   both key shares, and every payload is ChaCha20-Poly1305-sealed under it.
 //
-// The API is deliberately narrow: embeddings, labels, and (for the replica
-// channel only) whole sealed shard packages.  There is no way to put raw
-// adjacency on an inter-shard channel, and per-kind byte counters let tests
-// audit exactly that invariant.  The untrusted world that relays the
-// ciphertext learns only block sizes, never edges.
+// The API is deliberately narrow: embeddings, labels, halo-pull requests
+// (node-id lists the cold cross-shard path uses to ask a peer for specific
+// boundary embeddings), and (for the replica channel only) whole sealed
+// shard packages.  There is no way to put raw adjacency on an inter-shard
+// channel, and per-kind byte counters let tests audit exactly that
+// invariant.  The untrusted world that relays the ciphertext learns only
+// block sizes, never edges — in particular a halo request's node ids (which
+// would reveal a query's private frontier) are only ever plaintext inside
+// the two attested enclaves.
 #pragma once
 
 #include <atomic>
@@ -79,16 +83,31 @@ class AttestedChannel {
   LabelBlock recv_labels(const Enclave& to);
   bool has_labels(const Enclave& to) const;
 
+  /// Cold-path halo pull: ask the peer for specific nodes' embeddings (it
+  /// answers with send_embeddings).  The request is a bare node-id list —
+  /// frontier metadata, never adjacency — and is sealed like every other
+  /// payload, so the relaying untrusted world learns only its size.
+  void send_request(const Enclave& from, std::vector<std::uint32_t> nodes);
+  std::vector<std::uint32_t> recv_request(const Enclave& to);
+  bool has_request(const Enclave& to) const;
+
   /// Replication path: ship an opaque package payload (e.g. a serialized
   /// shard package) to the peer, which re-seals it under its own platform
   /// key.  Inter-shard inference channels never call this.
   void send_package(const Enclave& from, std::vector<std::uint8_t> payload);
   std::vector<std::uint8_t> recv_package(const Enclave& to);
 
+  /// Drop every queued block (all kinds, both directions).  Failure
+  /// cleanup: a cold cross-shard walk aborted mid-exchange must not leave
+  /// sealed blocks behind for a later exchange to pop.  Audit counters are
+  /// NOT rolled back — the bytes did cross.
+  void drop_pending();
+
   // --- Audit counters (plaintext payload bytes by kind). -----------------
   std::uint64_t embedding_bytes() const;
   std::uint64_t label_bytes() const;
   std::uint64_t package_bytes() const;
+  std::uint64_t request_bytes() const;
   std::uint64_t total_payload_bytes() const;
   std::uint64_t blocks_sent() const;
 
@@ -120,9 +139,11 @@ class AttestedChannel {
   std::deque<Sealed> embeddings_to_[2];
   std::deque<Sealed> labels_to_[2];
   std::deque<Sealed> packages_to_[2];
+  std::deque<Sealed> requests_to_[2];
   std::uint64_t embedding_bytes_ = 0;
   std::uint64_t label_bytes_ = 0;
   std::uint64_t package_bytes_ = 0;
+  std::uint64_t request_bytes_ = 0;
   std::uint64_t blocks_ = 0;
 };
 

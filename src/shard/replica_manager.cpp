@@ -160,10 +160,18 @@ double ReplicaManager::promote(std::uint32_t shard,
   // Promotion must not race replication traffic into the same enclave.
   std::lock_guard<std::mutex> lock(replicate_mu_);
   try {
+    // Warm-adoption fast path: when the standby's replicated label store
+    // was synced at the CURRENT refresh epoch, it is bit-identical to what
+    // any re-materialization would compute — and it already lives inside
+    // the enclave being adopted.  Promotion then needs no forward at all;
+    // `rematerialize` is the fallback for a store that missed a refresh.
+    bool warm = primary_->refreshed() &&
+                rep.synced_epoch.load() == primary_->refresh_epoch();
+    std::vector<std::uint32_t> warm_labels;
     {
       // Exclude any lookup that slipped past the PROMOTING fence before it
       // went up: the slot's enclave/labels must not be consumed under a
-      // reader.  Released before the (long) re-materialization.
+      // reader.  Released before the (possibly long) re-materialization.
       std::lock_guard<std::mutex> slot(rep.mu);
       // Relaunch from the RE-SEALED package: the blob opens only inside
       // this standby enclave (sealing binds to the standby platform fuse
@@ -175,25 +183,37 @@ double ReplicaManager::promote(std::uint32_t shard,
         payload = deserialize_shard_payload(rep.enclave->unseal(rep.sealed));
       });
       // adopt_shard consumes the slot only once every precondition passed;
-      // a rejected adoption (throw) leaves a fully functional warm standby.
+      // a rejected adoption (throw) leaves a fully functional warm standby —
+      // which is why the warm labels are taken only AFTER it succeeds.
       primary_->adopt_shard(shard, rep.enclave, payload, rep.sealed,
                             rep.platform_key);
-      // Now the donation is committed: drop the replication channel (its
-      // dead-primary endpoint is retired, its standby endpoint donated).
+      // Now the donation is committed: take the warm store (it stays inside
+      // the same, now-adopted enclave; install_labels re-registers it there)
+      // and drop the replication channel (its dead-primary endpoint is
+      // retired, its standby endpoint donated).
+      if (warm) warm_labels = std::move(rep.labels);
       rep.channel.reset();
       rep.ready.store(false);
       rep.labels.clear();
       rep.payload = ShardPayload{};
       rep.synced_epoch.store(0);
     }
-    // Label stores re-materialize from the CURRENT feature snapshot while
+    // Label stores (re)materialize from the CURRENT feature snapshot while
     // the router fence is still up — no query ever sees a pre-promotion
     // (or empty) store.
-    rematerialize();
-    // The re-materialization bumped the refresh epoch without changing the
-    // snapshot; re-stamp the OTHER shards' standbys before the fence lifts
-    // so their (bit-identical) stores do not read as stale.
-    sync_labels_locked();
+    const std::uint64_t epoch_before = primary_->refresh_epoch();
+    if (warm) {
+      primary_->install_labels(shard, std::move(warm_labels));
+    } else {
+      rematerialize();
+    }
+    // A full-refresh re-materialization bumps the refresh epoch without
+    // changing the snapshot; re-stamp the OTHER shards' standbys before the
+    // fence lifts so their (bit-identical) stores do not read as stale.
+    // The warm-adopt and shard-local (rematerialize_shard) paths leave the
+    // epoch alone, so the standbys are already fresh and the fencing window
+    // skips the fleet-wide label re-ship.
+    if (primary_->refresh_epoch() != epoch_before) sync_labels_locked();
   } catch (...) {
     // Failed promotion: drop back to STANDBY so fenced routers unblock
     // instead of hanging forever.  A rejected adoption left the slot a

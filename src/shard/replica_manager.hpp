@@ -96,12 +96,21 @@ class ReplicaManager {
   void begin_promotion(std::uint32_t shard);
   /// Full promotion (synchronous; enters PROMOTING itself if
   /// begin_promotion was not called first).  The standby enclave unseals
-  /// its re-sealed package, the deployment adopts it — rebuilding the
+  /// its re-sealed package and the deployment adopts it — rebuilding the
   /// rectifier and sub-adjacency and re-running the attested-channel
-  /// handshake with every surviving shard — and `rematerialize` (typically
-  /// a full refresh from the CURRENT feature snapshot) rebuilds the label
-  /// stores.  Only then does the state flip to PRIMARY and fenced queries
-  /// unblock.  Returns the promotion latency in wall milliseconds.
+  /// handshake with every surviving shard.  The label store then comes from
+  /// one of two places: when the standby's replicated store was synced at
+  /// the CURRENT refresh epoch (the common case), it is adopted as-is —
+  /// bit-identical to a recompute and already inside the promoted enclave,
+  /// so the fencing window pays no forward at all; otherwise
+  /// `rematerialize` rebuilds it from the current snapshot.  Prefer
+  /// ShardedVaultDeployment::rematerialize_shard for that callback
+  /// (shard-local cold forward with halo pulls from the survivors'
+  /// retained boundary stores; no epoch bump, no fleet-wide label re-ship)
+  /// over a full refresh, which re-runs every shard's forward and
+  /// dominates the fencing window.  Only after the store is in place does
+  /// the state flip to PRIMARY and fenced queries unblock.  Returns the
+  /// promotion latency in wall milliseconds.
   double promote(std::uint32_t shard, const std::function<void()>& rematerialize);
   /// Block until `shard` leaves PROMOTING; false on timeout.
   bool await_promotion(std::uint32_t shard,

@@ -37,25 +37,38 @@ std::vector<std::uint32_t> ShardRouter::route(
     // here can be fenced by the time the lookup runs; one retry through the
     // fence covers every interleaving.
     for (bool retried = false;; retried = true) {
+      bool after_fence = false;
       if (replicas_ != nullptr &&
           replicas_->state(s) == ReplicaState::kPromoting) {
         // Promotion fence: the shard has no trustworthy label store right
         // now (the primary is dead, the standby is mid-rebuild).  Wait for
         // the promotion to land rather than EVER returning a pre-promotion
-        // label.
+        // label, then serve through the normal path below (so a cold walk
+        // after the fence still enjoys the frontier-fence retry).
         GV_CHECK(replicas_->await_promotion(s, fence_timeout_),
                  "shard promotion did not complete within the fence timeout");
         fenced_.fetch_add(1);
         GV_CHECK(deployment_->shard_alive(s), "shard promotion failed");
-        labels = deployment_->lookup(s, shard_nodes[s], &delta);
-        // Served by the freshly promoted PRIMARY: a failover from the
-        // router's point of view.
-        failovers_.fetch_add(1);
-        break;
+        after_fence = true;
       }
+      bool used_cold = false;
       try {
         if (deployment_->shard_alive(s)) {
-          labels = deployment_->lookup(s, shard_nodes[s], &delta);
+          if (!deployment_->store_materialized(s) && cold_path_ != nullptr) {
+            // Un-materialized store on a live shard (never refreshed, or a
+            // cold-start fleet's freshly promoted PRIMARY): the store is
+            // only a cache — serve demand-driven through the cold
+            // cross-shard path.  Its modeled time lands on the
+            // deployment's meter, not on this batch's lookup delta.
+            used_cold = true;
+            labels = cold_path_(shard_nodes[s]);
+            cold_batches_.fetch_add(1);
+          } else {
+            labels = deployment_->lookup(s, shard_nodes[s], &delta);
+          }
+          // Served by a freshly promoted PRIMARY: a failover from the
+          // router's point of view.
+          if (after_fence) failovers_.fetch_add(1);
           break;
         }
         GV_CHECK(replicas_ != nullptr,
@@ -65,11 +78,24 @@ std::vector<std::uint32_t> ShardRouter::route(
         break;
       } catch (const Error&) {
         // A kill (and its fence) may have landed between our checks and the
-        // lookup — on either branch: the primary died under us, or the
-        // standby got fenced (kill_shard -> begin_promotion).  Go around
-        // once and wait on the fence properly.  Anything else — or a
-        // second failure — is real.
-        if (retried || replicas_ == nullptr ||
+        // lookup — the primary died under us, the standby got fenced
+        // (kill_shard -> begin_promotion), or a cold walk hit a FRONTIER
+        // shard mid-promotion.  Wait the fences out and go around once.
+        // Anything else — or a second failure — is real.
+        if (retried || replicas_ == nullptr) throw;
+        bool frontier_fenced = false;
+        for (std::uint32_t t = 0; t < num_shards; ++t) {
+          if (t == s || replicas_->state(t) != ReplicaState::kPromoting) continue;
+          GV_CHECK(replicas_->await_promotion(t, fence_timeout_),
+                   "frontier shard promotion did not complete within the "
+                   "fence timeout");
+          fenced_.fetch_add(1);
+          frontier_fenced = true;
+        }
+        // A cold walk's failed frontier shard may have finished promoting
+        // between the throw and the state scan above — a cold attempt is
+        // idempotent, so it always earns its one retry.
+        if (!frontier_fenced && !used_cold &&
             replicas_->state(s) == ReplicaState::kStandby) {
           throw;
         }

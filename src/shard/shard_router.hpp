@@ -14,11 +14,18 @@
 // router holds that shard's sub-batches on the fence until the promotion
 // lands — or fails fast after `fence_timeout` — and NEVER reads the
 // standby's pre-promotion label store.
+//
+// Cold misses: a live shard whose label store is NOT materialized (never
+// refreshed, or just adopted) is not an error — the router sends those
+// sub-batches down the cold cross-shard path (set_cold_path), treating the
+// materialized stores as a cache over demand-driven inference rather than
+// the only source of truth.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <span>
 #include <vector>
@@ -35,12 +42,22 @@ class ShardRouter {
 
   /// Labels for `nodes` in request order.  Sub-batches for a PROMOTING
   /// shard block on the fence until the promoted PRIMARY serves them;
-  /// sub-batches for dead shards fail over to ready (and epoch-fresh)
-  /// replicas; throws gv::Error when nobody can answer.
+  /// sub-batches for a live shard with an un-materialized store go down the
+  /// cold path; sub-batches for dead shards fail over to ready (and
+  /// epoch-fresh) replicas; throws gv::Error when nobody can answer.
   std::vector<std::uint32_t> route(std::span<const std::uint32_t> nodes);
+
+  /// Demand-driven fallback for un-materialized label stores (typically
+  /// ShardedVaultDeployment::infer_labels_subset_cold under the server's
+  /// current feature snapshot).  The callee accounts its own modeled time.
+  using ColdPathFn =
+      std::function<std::vector<std::uint32_t>(std::span<const std::uint32_t>)>;
+  void set_cold_path(ColdPathFn fn) { cold_path_ = std::move(fn); }
 
   /// Routed sub-batches answered by a replica or a just-promoted PRIMARY.
   std::uint64_t failovers() const { return failovers_.load(); }
+  /// Routed sub-batches served through the cold cross-shard path.
+  std::uint64_t cold_batches() const { return cold_batches_.load(); }
   /// Routed sub-batches that waited out a promotion fence.
   std::uint64_t fenced() const { return fenced_.load(); }
   /// Fencing policy for a PROMOTING shard: block up to this long for the
@@ -56,9 +73,11 @@ class ShardRouter {
  private:
   ShardedVaultDeployment* deployment_;
   ReplicaManager* replicas_;
+  ColdPathFn cold_path_;
   std::chrono::milliseconds fence_timeout_{30000};
   std::atomic<std::uint64_t> failovers_{0};
   std::atomic<std::uint64_t> fenced_{0};
+  std::atomic<std::uint64_t> cold_batches_{0};
   mutable std::mutex stats_mu_;
   double modeled_seconds_ = 0.0;
   std::vector<std::uint64_t> per_shard_batches_;

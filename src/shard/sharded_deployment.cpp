@@ -13,6 +13,9 @@ namespace {
 
 constexpr const char* kCodeTagPrefix = "shardvault-rectifier-v1:";
 
+/// Sentinel for cold_forward: no shard's stores are being (re)materialized.
+constexpr std::uint32_t kNoRetain = 0xffffffffu;
+
 /// Position of `v` in sorted `ids`; throws when absent.
 std::uint32_t position_of(const std::vector<std::uint32_t>& ids, std::uint32_t v,
                           const char* what) {
@@ -105,6 +108,23 @@ void ShardedVaultDeployment::install_payload(Shard& shard) {
     shard.rectifier->deserialize_weights(p.rectifier_weights);
     shard.bb_rows.assign(vault_.backbone().layer_dims().size(), Matrix());
 
+    // Boundary rows (owned-local, sorted): the union of every peer's halo
+    // list — the only rows whose activations a cold cross-shard pull can
+    // ever ask this shard for.
+    shard.boundary_rows.clear();
+    for (const auto& out_nodes : p.halo_out) {
+      for (const auto v : out_nodes) {
+        shard.boundary_rows.push_back(
+            position_of(p.owned, v, "halo node not owned"));
+      }
+    }
+    std::sort(shard.boundary_rows.begin(), shard.boundary_rows.end());
+    shard.boundary_rows.erase(
+        std::unique(shard.boundary_rows.begin(), shard.boundary_rows.end()),
+        shard.boundary_rows.end());
+    const std::size_t L = vault_.rectifier->config().channels.size();
+    shard.retained.assign(L >= 1 ? L - 1 : 0, Matrix());
+
     auto& mem = shard.enclave->memory();
     mem.set("rectifier.weights", shard.rectifier->parameter_bytes());
     mem.set("shard.adj.coo", p.adj_row.size() * (2 * sizeof(std::uint32_t) +
@@ -155,7 +175,9 @@ void ShardedVaultDeployment::adopt_shard(std::uint32_t shard,
   sh.stream = std::make_unique<OneWayChannel>(*sh.enclave);
   sh.payload = std::move(payload);
   sh.sealed = std::move(sealed);  // the blob re-sealed under the standby key
-  sh.labels.clear();              // empty until the next refresh materializes
+  sh.labels.clear();              // empty until re-materialized
+  sh.store_ready.store(false);
+  sh.retained_valid.store(false);  // the fresh enclave has no activations
   sh.rectifier.reset();
   sh.sub_adj.reset();
   opts_.platform_keys[shard] = platform_key;
@@ -189,6 +211,27 @@ void ShardedVaultDeployment::parallel_phase(F&& body) {
   parallel_seconds_.fetch_add(slowest);
 }
 
+template <typename Scatter>
+void ShardedVaultDeployment::stream_full_matrix(Shard& sh, const Matrix& full,
+                                                Scatter&& scatter) {
+  const std::size_t n = full.rows();
+  const std::size_t dim = full.cols();
+  // The untrusted side pushes the FULL matrix in fixed-size chunks — the
+  // same stream regardless of which rows are wanted, so the access pattern
+  // carries no information about shard neighbourhoods or query frontiers;
+  // the enclave-side `scatter` keeps only the rows it needs.
+  for (std::size_t r0 = 0; r0 < n; r0 += ShardPlanner::kStreamChunkRows) {
+    const std::size_t rows = std::min(ShardPlanner::kStreamChunkRows, n - r0);
+    Matrix chunk(rows, dim);
+    std::memcpy(chunk.data(), full.data() + r0 * dim, rows * dim * sizeof(float));
+    sh.stream->sender().push(chunk);
+    sh.enclave->ecall([&] {
+      const Matrix block = sh.stream->receiver().pop();
+      scatter(block, r0);
+    });
+  }
+}
+
 void ShardedVaultDeployment::stream_backbone_rows(const std::vector<Matrix>& outputs) {
   const std::size_t n = plan_.owner.size();
   parallel_phase([&](std::uint32_t s) {
@@ -202,28 +245,16 @@ void ShardedVaultDeployment::stream_backbone_rows(const std::vector<Matrix>& out
       sh.enclave->ecall([&] {
         sh.bb_rows[idx] = Matrix(sh.payload.closure.size(), dim);
       });
-      // The untrusted side pushes the FULL matrix in fixed-size chunks —
-      // the same stream for every shard, so the access pattern carries no
-      // information about shard neighbourhoods; the enclave keeps only its
-      // closure rows and drops the rest.
-      for (std::size_t r0 = 0; r0 < n; r0 += ShardPlanner::kStreamChunkRows) {
-        const std::size_t rows = std::min(ShardPlanner::kStreamChunkRows, n - r0);
-        Matrix chunk(rows, dim);
-        std::memcpy(chunk.data(), full.data() + r0 * dim,
-                    rows * dim * sizeof(float));
-        sh.stream->sender().push(chunk);
-        sh.enclave->ecall([&] {
-          const Matrix block = sh.stream->receiver().pop();
-          const auto& closure = sh.payload.closure;
-          auto it = std::lower_bound(closure.begin(), closure.end(),
-                                     static_cast<std::uint32_t>(r0));
-          for (; it != closure.end() && *it < r0 + rows; ++it) {
-            const std::size_t local = static_cast<std::size_t>(it - closure.begin());
-            std::memcpy(sh.bb_rows[idx].data() + local * dim,
-                        block.data() + (*it - r0) * dim, dim * sizeof(float));
-          }
-        });
-      }
+      stream_full_matrix(sh, full, [&](const Matrix& block, std::size_t r0) {
+        const auto& closure = sh.payload.closure;
+        auto it = std::lower_bound(closure.begin(), closure.end(),
+                                   static_cast<std::uint32_t>(r0));
+        for (; it != closure.end() && *it < r0 + block.rows(); ++it) {
+          const std::size_t local = static_cast<std::size_t>(it - closure.begin());
+          std::memcpy(sh.bb_rows[idx].data() + local * dim,
+                      block.data() + (*it - r0) * dim, dim * sizeof(float));
+        }
+      });
       sh.enclave->memory().set("bb.rows." + std::to_string(idx),
                                sh.bb_rows[idx].payload_bytes());
     }
@@ -238,9 +269,13 @@ void ShardedVaultDeployment::refresh(const CsrMatrix& features) {
   GV_CHECK(features.rows() == plan_.owner.size(),
            "features cover a different node count");
 
-  Stopwatch bb_watch;
-  const auto outputs = vault_.backbone_outputs(features);
-  untrusted_seconds_.fetch_add(bb_watch.seconds());
+  // Whatever happens below, the previously retained boundary activations no
+  // longer match the stores a completed refresh would leave behind.
+  for (const auto& sh : shards_) sh->retained_valid.store(false);
+
+  const std::uint64_t fingerprint = features_fingerprint(features);
+  bool bb_cache_hit = false;
+  const auto& outputs = backbone_for(features, fingerprint, &bb_cache_hit);
 
   stream_backbone_rows(outputs);
 
@@ -287,6 +322,11 @@ void ShardedVaultDeployment::refresh(const CsrMatrix& features) {
           sh.labels = argmax_rows(sh.h_owned);
           sh.enclave->memory().set("labels.store",
                                    sh.labels.size() * sizeof(std::uint32_t));
+        } else {
+          // Retain the boundary rows' activations: they answer cold
+          // cross-shard halo pulls (and incremental promotion
+          // re-materialization) without recomputing this layer.
+          sh.retained[k] = sh.h_owned.gather_rows(sh.boundary_rows);
         }
       });
     });
@@ -365,8 +405,17 @@ void ShardedVaultDeployment::refresh(const CsrMatrix& features) {
       sh.h_closure = Matrix();
       for (std::size_t k = 0; k < L; ++k) mem.free("rect.act." + std::to_string(k));
       if (L > 1) mem.free("halo.h_closure");
+      std::size_t retained_bytes = 0;
+      for (const auto& m : sh.retained) retained_bytes += m.payload_bytes();
+      mem.set("halo.retained", retained_bytes);
     });
   });
+  for (const auto& sh : shards_) {
+    sh->store_ready.store(true);
+    sh->retained_valid.store(true);
+  }
+  store_fingerprint_ = fingerprint;
+  have_store_fingerprint_ = true;
   refreshed_ = true;
   epoch_.fetch_add(1);
 }
@@ -411,6 +460,584 @@ std::vector<std::uint32_t> ShardedVaultDeployment::lookup(
   });
   if (modeled_delta != nullptr) *modeled_delta = meter_seconds(sh) - before;
   return labels;
+}
+
+std::uint64_t ShardedVaultDeployment::features_fingerprint(
+    const CsrMatrix& features) {
+  // Word-folded FNV-style content hash: cheap enough to run per cold query
+  // (a SHA-256 over the matrix would rival the forward it is meant to
+  // spare), collision-safe enough for its job — keying caches over public,
+  // non-adversarial inputs.
+  auto fold = [](std::uint64_t h, const void* p, std::size_t nbytes) {
+    const auto* bytes = static_cast<const std::uint8_t*>(p);
+    std::size_t i = 0;
+    for (; i + 8 <= nbytes; i += 8) {
+      std::uint64_t w;
+      std::memcpy(&w, bytes + i, 8);
+      h = (h ^ w) * 0x100000001b3ull;
+      h ^= h >> 29;
+    }
+    if (i < nbytes) {
+      std::uint64_t w = 0;
+      std::memcpy(&w, bytes + i, nbytes - i);
+      h = (h ^ w) * 0x100000001b3ull;
+      h ^= h >> 29;
+    }
+    return h;
+  };
+  const auto& rp = features.row_ptr();
+  const auto& ci = features.col_idx();
+  const auto& va = features.values();
+  std::uint64_t h = 0xcbf29ce484222325ull ^ (features.rows() * 0x9e3779b97f4a7c15ull);
+  h = fold(h, rp.data(), rp.size() * sizeof(rp[0]));
+  h = fold(h, ci.data(), ci.size() * sizeof(ci[0]));
+  h = fold(h, va.data(), va.size() * sizeof(va[0]));
+  return h;
+}
+
+const std::vector<Matrix>& ShardedVaultDeployment::backbone_for(
+    const CsrMatrix& features, std::uint64_t fingerprint, bool* cache_hit) {
+  // The backbone runs (and its outputs live) entirely in the untrusted
+  // world — they are public embeddings, so caching them across refreshes
+  // and cold queries of one snapshot leaks nothing and spares the repeat
+  // forward that would otherwise dominate a shard-local re-materialization.
+  if (have_bb_cache_ && fingerprint == bb_fingerprint_) {
+    if (cache_hit != nullptr) *cache_hit = true;
+    return bb_cache_;
+  }
+  Stopwatch bb_watch;
+  bb_cache_ = vault_.backbone_outputs(features);
+  untrusted_seconds_.fetch_add(bb_watch.seconds());
+  bb_fingerprint_ = fingerprint;
+  have_bb_cache_ = true;
+  if (cache_hit != nullptr) *cache_hit = false;
+  return bb_cache_;
+}
+
+bool ShardedVaultDeployment::store_materialized(std::uint32_t shard) const {
+  GV_CHECK(shard < plan_.num_shards, "shard index out of range");
+  const Shard& sh = *shards_[shard];
+  return sh.alive.load() && sh.store_ready.load();
+}
+
+void ShardedVaultDeployment::install_labels(std::uint32_t shard,
+                                            std::vector<std::uint32_t> labels) {
+  GV_CHECK(shard < plan_.num_shards, "shard index out of range");
+  std::lock_guard<std::mutex> lock(*infer_mu_);
+  Shard& sh = *shards_[shard];
+  GV_CHECK(sh.alive.load(), "cannot install labels into a dead shard");
+  sh.enclave->ecall([&] {
+    GV_CHECK(labels.size() == sh.payload.owned.size(),
+             "label store does not cover the shard's nodes");
+    sh.labels = std::move(labels);
+    sh.enclave->memory().set("labels.store",
+                             sh.labels.size() * sizeof(std::uint32_t));
+  });
+  sh.store_ready.store(true);
+}
+
+void ShardedVaultDeployment::drop_backbone_cache() {
+  std::lock_guard<std::mutex> lock(*infer_mu_);
+  bb_cache_.clear();
+  have_bb_cache_ = false;
+}
+
+std::vector<std::uint32_t> ShardedVaultDeployment::infer_labels_subset_cold(
+    const CsrMatrix& features, std::span<const std::uint32_t> nodes,
+    ColdSubsetStats* stats) {
+  return infer_labels_subset_cold(features, features_fingerprint(features),
+                                  nodes, stats);
+}
+
+std::vector<std::uint32_t> ShardedVaultDeployment::infer_labels_subset_cold(
+    const CsrMatrix& features, std::uint64_t fingerprint,
+    std::span<const std::uint32_t> nodes, ColdSubsetStats* stats) {
+  std::lock_guard<std::mutex> lock(*infer_mu_);
+  ColdSubsetStats local;
+  return cold_forward(features, fingerprint, nodes,
+                      stats != nullptr ? stats : &local, kNoRetain);
+}
+
+void ShardedVaultDeployment::rematerialize_shard(std::uint32_t shard,
+                                                 const CsrMatrix& features) {
+  GV_CHECK(shard < plan_.num_shards, "shard index out of range");
+  std::lock_guard<std::mutex> lock(*infer_mu_);
+  Shard& sh = *shards_[shard];
+  GV_CHECK(sh.alive.load(), "cannot re-materialize a dead shard");
+  GV_CHECK(refreshed_.load(),
+           "incremental re-materialization requires a completed refresh");
+  const std::uint64_t fingerprint = features_fingerprint(features);
+  GV_CHECK(have_store_fingerprint_ && fingerprint == store_fingerprint_,
+           "incremental re-materialization requires the current refresh "
+           "snapshot (a feature change must go through refresh())");
+  ColdSubsetStats stats;
+  cold_forward(features, fingerprint, plan_.shards[shard].nodes, &stats, shard);
+  sh.store_ready.store(true);
+  sh.retained_valid.store(true);
+}
+
+std::vector<std::uint32_t> ShardedVaultDeployment::cold_forward(
+    const CsrMatrix& features, std::uint64_t fingerprint,
+    std::span<const std::uint32_t> nodes, ColdSubsetStats* stats,
+    std::uint32_t retain_shard) {
+  const std::size_t n = plan_.owner.size();
+  GV_CHECK(features.rows() == n, "features cover a different node count");
+  if (nodes.empty()) return {};
+  for (const auto v : nodes) GV_CHECK(v < n, "query node out of range");
+
+  const auto& cfg = vault_.rectifier->config();
+  const std::size_t L = cfg.channels.size();
+  const auto dims = vault_.backbone().layer_dims();
+  const std::size_t penult = dims.size() >= 2 ? dims.size() - 2 : 0;
+  const std::uint32_t K = plan_.num_shards;
+
+  // Retained boundary stores may serve halo pulls only when they were
+  // materialized from THIS feature snapshot.
+  const bool stores_fresh = refreshed_.load() && have_store_fingerprint_ &&
+                            fingerprint == store_fingerprint_;
+
+  const double parallel_before = parallel_seconds_.load();
+  const double untrusted_before = untrusted_seconds_.load();
+  std::uint64_t req_bytes_before = 0, emb_bytes_before = 0;
+  for (const auto& ch : channels_) {
+    if (ch) {
+      req_bytes_before += ch->request_bytes();
+      emb_bytes_before += ch->embedding_bytes();
+    }
+  }
+
+  // Query nodes grouped by owner shard (sorted unique — owned[] is sorted,
+  // so these align 1:1 with the owned-local out rows of the last layer).
+  std::vector<std::vector<std::uint32_t>> qnodes(K);
+  for (const auto v : nodes) qnodes[plan_.owner[v]].push_back(v);
+  for (auto& q : qnodes) {
+    std::sort(q.begin(), q.end());
+    q.erase(std::unique(q.begin(), q.end()), q.end());
+  }
+
+  // Untrusted-side orchestration state.  The coordinator only ever learns
+  // SHARD-level facts (who computes, who serves) — it must, to schedule
+  // ecalls and streams — while the node-level frontier stays inside the
+  // enclaves and the sealed channel blocks.
+  std::vector<char> involved(K, 0);
+  std::vector<std::vector<char>> computes(L, std::vector<char>(K, 0));
+
+  auto ensure_cold = [&](std::uint32_t s) {
+    if (involved[s]) return;
+    Shard& sh = *shards_[s];
+    GV_CHECK(sh.alive.load(), "shard enclave is down (cold frontier)");
+    sh.enclave->ecall([&] {
+      auto& cq = sh.cold;
+      cq.out_rows.assign(L, {});
+      cq.in_cols.assign(L, {});
+      cq.serve_live.assign(L, std::vector<std::vector<std::uint32_t>>(K));
+      cq.serve_store.assign(L, std::vector<std::vector<std::uint32_t>>(K));
+      cq.bb.assign(dims.size(), Matrix());
+      cq.bb_need.assign(dims.size(), {});
+      cq.h = Matrix();
+      auto& mem = sh.enclave->memory();
+      mem.set("cold.bb", 0);
+      mem.set("cold.h", 0);
+    });
+    involved[s] = 1;
+  };
+
+  try {
+    // --- Frontier walk, last layer first.  Each shard expands ONE hop over
+    // its own rectangular sub-adjacency inside its enclave; columns owned by
+    // a peer become halo-pull requests over the attested channel, and the
+    // peer either answers from its retained boundary store (no expansion —
+    // the walk stops at the boundary) or joins the computation.
+    for (std::uint32_t s = 0; s < K; ++s) {
+      if (qnodes[s].empty()) continue;
+      ensure_cold(s);
+      Shard& sh = *shards_[s];
+      sh.enclave->ecall([&] {
+        auto& rows = sh.cold.out_rows[L - 1];
+        rows.reserve(qnodes[s].size());
+        for (const auto v : qnodes[s]) {
+          rows.push_back(position_of(sh.payload.owned, v, "query node not owned"));
+        }
+      });
+      computes[L - 1][s] = 1;
+    }
+
+    for (std::size_t k = L; k-- > 0;) {
+      std::vector<std::vector<std::uint32_t>> requesters(K);  // t -> [s...]
+      for (std::uint32_t s = 0; s < K; ++s) {
+        if (!computes[k][s]) continue;
+        Shard& sh = *shards_[s];
+        std::vector<std::uint32_t> peers;
+        std::size_t frontier_rows = 0;
+        sh.enclave->ecall([&] {
+          auto& cq = sh.cold;
+          auto& rows = cq.out_rows[k];
+          std::sort(rows.begin(), rows.end());
+          rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+          frontier_rows = rows.size();
+          cq.in_cols[k] = sh.rectifier->frontier_columns(rows);
+          std::vector<std::vector<std::uint32_t>> want(K);
+          for (const auto c : cq.in_cols[k]) {
+            const std::uint32_t g = sh.payload.closure[c];
+            const std::uint32_t t = plan_.owner[g];
+            if (t == s) {
+              if (k > 0) {
+                cq.out_rows[k - 1].push_back(
+                    position_of(sh.payload.owned, g, "closure col not owned"));
+              }
+            } else if (k > 0) {
+              // Layer 0's halo columns are fed from the public backbone
+              // stream, not from a peer; only k > 0 pulls embeddings.
+              want[t].push_back(g);
+            }
+          }
+          if (k > 0) {
+            for (std::uint32_t t = 0; t < K; ++t) {
+              if (want[t].empty()) continue;
+              AttestedChannel* ch = channel(s, t);
+              GV_CHECK(ch != nullptr, "halo pull without an attested channel");
+              ch->send_request(*sh.enclave, std::move(want[t]));
+              peers.push_back(t);
+            }
+          }
+        });
+        stats->frontier_rows += frontier_rows;
+        if (k > 0) computes[k - 1][s] = 1;
+        for (const auto t : peers) requesters[t].push_back(s);
+      }
+      if (k == 0) break;
+
+      for (std::uint32_t t = 0; t < K; ++t) {
+        if (requesters[t].empty()) continue;
+        ensure_cold(t);
+        Shard& sh = *shards_[t];
+        const bool from_store = stores_fresh && sh.retained_valid.load();
+        bool live = false;
+        sh.enclave->ecall([&] {
+          auto& cq = sh.cold;
+          for (const auto s : requesters[t]) {
+            auto want = channel(s, t)->recv_request(*sh.enclave);
+            std::vector<std::uint32_t> rows;
+            rows.reserve(want.size());
+            for (const auto g : want) {
+              rows.push_back(
+                  position_of(sh.payload.owned, g, "halo pull for unowned node"));
+            }
+            if (from_store) {
+              cq.serve_store[k - 1][s] = std::move(rows);
+            } else {
+              cq.out_rows[k - 1].insert(cq.out_rows[k - 1].end(), rows.begin(),
+                                        rows.end());
+              cq.serve_live[k - 1][s] = std::move(rows);
+              live = true;
+            }
+          }
+        });
+        if (live) computes[k - 1][t] = 1;
+      }
+    }
+
+    // --- Backbone staging: full-matrix oblivious stream to every COMPUTING
+    // shard (the enclave keeps only the rows its frontier needs).  Shards
+    // that only serve from retained stores stage nothing.
+    bool bb_cache_hit = false;
+    const auto& outputs = backbone_for(features, fingerprint, &bb_cache_hit);
+    stats->backbone_cache_hit = bb_cache_hit;
+
+    parallel_phase([&](std::uint32_t s) {
+      if (!involved[s] || !computes[0][s]) return;
+      Shard& sh = *shards_[s];
+      sh.enclave->ecall([&] {
+        auto& cq = sh.cold;
+        switch (cfg.kind) {
+          case RectifierKind::kParallel:
+            for (std::size_t kk = 0; kk < L; ++kk) {
+              if (computes[kk][s]) cq.bb_need[kk] = cq.in_cols[kk];
+            }
+            break;
+          case RectifierKind::kCascaded:
+            for (const std::size_t idx : required_layers_) {
+              cq.bb_need[idx] = cq.in_cols[0];
+            }
+            break;
+          case RectifierKind::kSeries:
+            cq.bb_need[penult] = cq.in_cols[0];
+            break;
+        }
+      });
+      for (const std::size_t idx : required_layers_) {
+        bool needed = false;
+        std::size_t need_rows = 0;
+        sh.enclave->ecall([&] {
+          needed = !sh.cold.bb_need[idx].empty();
+          need_rows = sh.cold.bb_need[idx].size();
+        });
+        if (!needed) continue;
+        GV_CHECK(idx < outputs.size() && !outputs[idx].empty(),
+                 "required backbone output missing");
+        const Matrix& full = outputs[idx];
+        GV_CHECK(full.rows() == n, "backbone output covers a different node count");
+        const std::size_t dim = full.cols();
+        sh.enclave->ecall([&] { sh.cold.bb[idx] = Matrix(need_rows, dim); });
+        stream_full_matrix(sh, full, [&](const Matrix& block, std::size_t r0) {
+          const auto& closure = sh.payload.closure;
+          const auto& need = sh.cold.bb_need[idx];
+          auto it = std::lower_bound(
+              need.begin(), need.end(), r0,
+              [&](std::uint32_t c, std::size_t v) { return closure[c] < v; });
+          for (; it != need.end() && closure[*it] < r0 + block.rows(); ++it) {
+            const std::size_t local = static_cast<std::size_t>(it - need.begin());
+            std::memcpy(sh.cold.bb[idx].data() + local * dim,
+                        block.data() + (closure[*it] - r0) * dim,
+                        dim * sizeof(float));
+          }
+        });
+      }
+      sh.enclave->ecall([&] {
+        std::size_t bytes = 0;
+        for (const auto& m : sh.cold.bb) bytes += m.payload_bytes();
+        sh.enclave->memory().set("cold.bb", bytes);
+      });
+    });
+
+    // --- Layer-synchronous cold compute.  Before layer k, every provider
+    // ships the layer k-1 rows its peers requested (from the retained store
+    // or the freshly computed frontier); then the computing shards assemble
+    // their inputs, slice their sub-adjacency to the frontier, and advance.
+    for (std::size_t k = 0; k < L; ++k) {
+      const bool last = (k + 1 == L);
+      if (k >= 1) {
+        parallel_phase([&](std::uint32_t t) {
+          if (!involved[t]) return;
+          Shard& sh = *shards_[t];
+          sh.enclave->ecall([&] {
+            auto& cq = sh.cold;
+            for (std::uint32_t s2 = 0; s2 < K; ++s2) {
+              const auto& store_rows = cq.serve_store[k - 1][s2];
+              if (!store_rows.empty()) {
+                std::vector<std::uint32_t> globals, pos;
+                globals.reserve(store_rows.size());
+                pos.reserve(store_rows.size());
+                for (const auto r : store_rows) {
+                  globals.push_back(sh.payload.owned[r]);
+                  const auto it = std::lower_bound(sh.boundary_rows.begin(),
+                                                   sh.boundary_rows.end(), r);
+                  GV_CHECK(it != sh.boundary_rows.end() && *it == r,
+                           "cold pull for a non-boundary row");
+                  pos.push_back(
+                      static_cast<std::uint32_t>(it - sh.boundary_rows.begin()));
+                }
+                channel(t, s2)->send_embeddings(
+                    *sh.enclave, std::move(globals),
+                    sh.retained[k - 1].gather_rows(pos));
+              }
+              const auto& live_rows = cq.serve_live[k - 1][s2];
+              if (!live_rows.empty()) {
+                std::vector<std::uint32_t> globals, pos;
+                globals.reserve(live_rows.size());
+                pos.reserve(live_rows.size());
+                const auto& prev_rows = cq.out_rows[k - 1];
+                for (const auto r : live_rows) {
+                  globals.push_back(sh.payload.owned[r]);
+                  const auto it =
+                      std::lower_bound(prev_rows.begin(), prev_rows.end(), r);
+                  GV_CHECK(it != prev_rows.end() && *it == r,
+                           "live halo row missing from the computed frontier");
+                  pos.push_back(static_cast<std::uint32_t>(it - prev_rows.begin()));
+                }
+                channel(t, s2)->send_embeddings(*sh.enclave, std::move(globals),
+                                                cq.h.gather_rows(pos));
+              }
+            }
+          });
+        });
+      }
+
+      parallel_phase([&](std::uint32_t s) {
+        if (!computes[k][s]) return;
+        Shard& sh = *shards_[s];
+        sh.enclave->ecall([&] {
+          auto& cq = sh.cold;
+          const auto& in_cols = cq.in_cols[k];
+
+          // Previous-layer rows of the input frontier: own rows from the
+          // local frontier, halo rows drained from the attested channels.
+          auto assemble_prev = [&]() -> Matrix {
+            const std::size_t chp = cfg.channels[k - 1];
+            Matrix prev(in_cols.size(), chp);
+            std::size_t filled = 0;
+            const auto& prev_rows = cq.out_rows[k - 1];
+            for (std::size_t i = 0; i < in_cols.size(); ++i) {
+              const std::uint32_t g = sh.payload.closure[in_cols[i]];
+              if (plan_.owner[g] != s) continue;
+              const std::uint32_t r =
+                  position_of(sh.payload.owned, g, "closure col not owned");
+              const auto it =
+                  std::lower_bound(prev_rows.begin(), prev_rows.end(), r);
+              GV_CHECK(it != prev_rows.end() && *it == r,
+                       "own frontier row missing at assembly");
+              std::memcpy(prev.data() + i * chp,
+                          cq.h.data() +
+                              static_cast<std::size_t>(it - prev_rows.begin()) * chp,
+                          chp * sizeof(float));
+              ++filled;
+            }
+            for (std::uint32_t t = 0; t < K; ++t) {
+              if (t == s) continue;
+              AttestedChannel* ch = channel(s, t);
+              if (ch == nullptr) continue;
+              while (ch->has_embeddings(*sh.enclave)) {
+                const auto block = ch->recv_embeddings(*sh.enclave);
+                GV_CHECK(block.rows.cols() == chp, "cold halo dim mismatch");
+                for (std::size_t i = 0; i < block.nodes.size(); ++i) {
+                  const std::uint32_t c = position_of(
+                      sh.payload.closure, block.nodes[i], "halo outside closure");
+                  const auto it =
+                      std::lower_bound(in_cols.begin(), in_cols.end(), c);
+                  GV_CHECK(it != in_cols.end() && *it == c,
+                           "halo row outside the input frontier");
+                  std::memcpy(
+                      prev.data() +
+                          static_cast<std::size_t>(it - in_cols.begin()) * chp,
+                      block.rows.data() + i * chp, chp * sizeof(float));
+                  ++filled;
+                }
+              }
+            }
+            GV_CHECK(filled == in_cols.size(),
+                     "cold halo pulls left input rows unfilled");
+            return prev;
+          };
+
+          Matrix input;
+          switch (cfg.kind) {
+            case RectifierKind::kParallel:
+              input = k == 0 ? std::move(cq.bb[0])
+                             : Matrix::hconcat(cq.bb[k], assemble_prev());
+              break;
+            case RectifierKind::kCascaded:
+              if (k == 0) {
+                std::vector<const Matrix*> blocks;
+                blocks.reserve(dims.size());
+                for (std::size_t i = 0; i < dims.size(); ++i) {
+                  blocks.push_back(&cq.bb[i]);
+                }
+                input = Matrix::hconcat(
+                    std::span<const Matrix* const>(blocks.data(), blocks.size()));
+              } else {
+                input = assemble_prev();
+              }
+              break;
+            case RectifierKind::kSeries:
+              input = k == 0 ? std::move(cq.bb[penult]) : assemble_prev();
+              break;
+          }
+
+          const CsrMatrix slice =
+              sh.rectifier->frontier_slice(cq.out_rows[k], in_cols);
+          Matrix z = sh.rectifier->layer(k).forward_subgraph(slice, input);
+          cq.h = last ? std::move(z) : relu(z);
+          sh.enclave->memory().set("cold.h",
+                                   input.payload_bytes() + cq.h.payload_bytes());
+
+          if (retain_shard == s) {
+            // Re-materialization pass: reinstall this shard's durable stores
+            // from the freshly computed (full-owned) frontier.
+            if (last) {
+              GV_CHECK(cq.out_rows[k].size() == sh.payload.owned.size(),
+                       "re-materialization must cover every owned node");
+              sh.labels = argmax_rows(cq.h);
+              sh.enclave->memory().set(
+                  "labels.store", sh.labels.size() * sizeof(std::uint32_t));
+            } else {
+              std::vector<std::uint32_t> pos;
+              pos.reserve(sh.boundary_rows.size());
+              const auto& rows = cq.out_rows[k];
+              for (const auto r : sh.boundary_rows) {
+                const auto it = std::lower_bound(rows.begin(), rows.end(), r);
+                GV_CHECK(it != rows.end() && *it == r,
+                         "boundary row missing from re-materialization");
+                pos.push_back(static_cast<std::uint32_t>(it - rows.begin()));
+              }
+              sh.retained[k] = cq.h.gather_rows(pos);
+            }
+          }
+        });
+      });
+    }
+
+    // --- Label-only exits, merged back into query order. -------------------
+    std::vector<std::uint32_t> out(nodes.size(), 0);
+    std::vector<std::vector<std::uint32_t>> labels_by_shard(K);
+    for (std::uint32_t s = 0; s < K; ++s) {
+      if (qnodes[s].empty()) continue;
+      Shard& sh = *shards_[s];
+      labels_by_shard[s] = sh.enclave->ecall([&] {
+        auto& cq = sh.cold;
+        GV_CHECK(cq.h.rows() == cq.out_rows[L - 1].size(),
+                 "cold forward produced a malformed frontier");
+        std::vector<std::uint32_t> all = argmax_rows(cq.h);
+        // out_rows[L-1] ⊇ the query rows (a re-materialization computes the
+        // whole owned set); project onto the query positions.
+        std::vector<std::uint32_t> res;
+        res.reserve(qnodes[s].size());
+        const auto& rows = cq.out_rows[L - 1];
+        for (const auto v : qnodes[s]) {
+          const std::uint32_t r =
+              position_of(sh.payload.owned, v, "query node not owned");
+          const auto it = std::lower_bound(rows.begin(), rows.end(), r);
+          GV_CHECK(it != rows.end() && *it == r, "query row missing");
+          res.push_back(all[static_cast<std::size_t>(it - rows.begin())]);
+        }
+        return res;
+      });
+    }
+    for (std::size_t j = 0; j < nodes.size(); ++j) {
+      const std::uint32_t s = plan_.owner[nodes[j]];
+      const auto& q = qnodes[s];
+      const auto it = std::lower_bound(q.begin(), q.end(), nodes[j]);
+      out[j] = labels_by_shard[s][static_cast<std::size_t>(it - q.begin())];
+    }
+
+    // --- Release transients + telemetry. -----------------------------------
+    parallel_phase([&](std::uint32_t s) {
+      if (!involved[s]) return;
+      Shard& sh = *shards_[s];
+      sh.enclave->ecall([&] {
+        sh.cold = Shard::Cold{};
+        auto& mem = sh.enclave->memory();
+        mem.free("cold.bb");
+        mem.free("cold.h");
+      });
+    });
+
+    std::size_t touched = 0, computed = 0;
+    for (std::uint32_t s = 0; s < K; ++s) {
+      if (involved[s]) ++touched;
+      if (computes[0][s]) ++computed;
+    }
+    stats->shards_touched = touched;
+    stats->shards_computed = computed;
+    std::uint64_t req_after = 0, emb_after = 0;
+    for (const auto& ch : channels_) {
+      if (ch) {
+        req_after += ch->request_bytes();
+        emb_after += ch->embedding_bytes();
+      }
+    }
+    stats->halo_request_bytes = req_after - req_bytes_before;
+    stats->halo_embedding_bytes = emb_after - emb_bytes_before;
+    stats->modeled_seconds = (parallel_seconds_.load() - parallel_before) +
+                             (untrusted_seconds_.load() - untrusted_before);
+    return out;
+  } catch (...) {
+    // A walk aborted mid-exchange (dead frontier shard, malformed query)
+    // must not leave sealed blocks queued for a later exchange to pop.
+    for (const auto& ch : channels_) {
+      if (ch) ch->drop_pending();
+    }
+    throw;
+  }
 }
 
 std::uint32_t ShardedVaultDeployment::owner(std::uint32_t node) const {

@@ -24,6 +24,19 @@
 // shard; serving is then a label-only lookup ecall into the owner shard
 // (one per routed micro-batch), and the paper's label-only output invariant
 // (Sec. IV-E) holds shard-locally and globally.
+//
+// COLD PATH (demand-driven).  Materialized label stores are a CACHE, not
+// the only source of truth: infer_labels_subset_cold computes labels for an
+// arbitrary node subset by walking the query's L-hop frontier ACROSS shard
+// boundaries — each shard expands one hop inside its own enclave (the
+// adjacency never leaves), boundary columns become halo-pull requests over
+// the attested channels, and only the frontier's shards do any work.  When
+// the fleet is warm, a shard's boundary-row activations retained at the
+// last refresh answer pulls without recompute, so a cold query touches its
+// owner shards plus store-serving neighbors instead of the whole fleet.
+// The same machinery gives promotions an incremental re-materialization
+// (rematerialize_shard): only the adopted shard's store is rebuilt, via a
+// shard-local forward with halo pulls from the survivors.
 #pragma once
 
 #include <atomic>
@@ -39,6 +52,27 @@
 #include "sgxsim/enclave.hpp"
 
 namespace gv {
+
+/// Telemetry of one cold cross-shard subset query.
+struct ColdSubsetStats {
+  /// Shards that ran rectifier layers for this query.
+  std::size_t shards_computed = 0;
+  /// shards_computed plus shards that only served halo pulls from their
+  /// retained boundary stores.
+  std::size_t shards_touched = 0;
+  /// Total output-frontier rows computed, summed over layers and shards.
+  std::size_t frontier_rows = 0;
+  /// Plaintext bytes of halo-pull requests / pulled embeddings that crossed
+  /// inter-shard attested channels for this query.
+  std::uint64_t halo_request_bytes = 0;
+  std::uint64_t halo_embedding_bytes = 0;
+  /// Modeled seconds added by this query (critical path across shards,
+  /// untrusted backbone included unless it was a cache hit).
+  double modeled_seconds = 0.0;
+  /// The untrusted backbone outputs were reused from the last forward over
+  /// an identical feature snapshot.
+  bool backbone_cache_hit = false;
+};
 
 struct ShardedDeploymentOptions {
   SgxCostModel cost_model{};
@@ -71,6 +105,60 @@ class ShardedVaultDeployment {
 
   /// refresh() + gather every shard's owned labels (label-only exits).
   std::vector<std::uint32_t> infer_labels(const CsrMatrix& features);
+
+  /// Cold cross-shard subset inference: labels for `nodes` (query order,
+  /// duplicates allowed) computed on demand by walking the L-hop frontier
+  /// across shard boundaries — no refresh, no label stores required.  Every
+  /// frontier shard must be alive; shards outside the frontier are never
+  /// touched.  Halo embeddings are pulled over the attested channels
+  /// (store-served from boundary activations retained at the last refresh
+  /// when the snapshot matches, recomputed shard-locally otherwise); the
+  /// public backbone matrices are still streamed in full to each computing
+  /// shard, exactly like a refresh, so the untrusted access pattern carries
+  /// no frontier information.  Bit-exact against the single-enclave oracle.
+  std::vector<std::uint32_t> infer_labels_subset_cold(
+      const CsrMatrix& features, std::span<const std::uint32_t> nodes,
+      ColdSubsetStats* stats = nullptr);
+  /// Overload taking a precomputed features_fingerprint(features): callers
+  /// serving many cold queries off one pinned snapshot (the server) hash it
+  /// once instead of per query.
+  std::vector<std::uint32_t> infer_labels_subset_cold(
+      const CsrMatrix& features, std::uint64_t fingerprint,
+      std::span<const std::uint32_t> nodes, ColdSubsetStats* stats = nullptr);
+
+  /// Fast 64-bit content fingerprint of a feature snapshot (word-folded,
+  /// NOT cryptographic — it keys the untrusted backbone cache and the
+  /// stores-fresh check, both correctness caches over public inputs, and
+  /// must stay cheap enough to pay per snapshot).
+  static std::uint64_t features_fingerprint(const CsrMatrix& features);
+
+  /// Incremental promotion re-materialization: rebuild ONLY `shard`'s label
+  /// store (and retained boundary activations) via a shard-local cold
+  /// forward with halo pulls from the surviving shards' retained stores,
+  /// instead of re-running the whole fleet's refresh.  Requires a completed
+  /// refresh and `features` to be the snapshot of that refresh (otherwise
+  /// the surviving stores would be inconsistent with the new one — use
+  /// refresh() for a snapshot change).  Does not bump the refresh epoch:
+  /// the snapshot did not move, so standby label stores stay fresh.
+  void rematerialize_shard(std::uint32_t shard, const CsrMatrix& features);
+
+  /// True when `shard` is alive and its enclave label store is materialized
+  /// (false for a just-adopted shard until rematerialize_shard/refresh, and
+  /// for every shard before the first refresh) — the router sends lookups
+  /// for un-materialized stores down the cold path instead of failing.
+  bool store_materialized(std::uint32_t shard) const;
+
+  /// Install a label store into an adopted shard without any forward —
+  /// used by ReplicaManager::promote when the standby's replicated store is
+  /// provably fresh (synced at the current refresh epoch): those labels are
+  /// bit-identical to what a re-materialization would compute, and they
+  /// already live inside the very enclave that was adopted.  `labels` must
+  /// cover the shard's owned nodes in owned order.
+  void install_labels(std::uint32_t shard, std::vector<std::uint32_t> labels);
+
+  /// Release the untrusted backbone-output cache (it holds full embedding
+  /// matrices in host RAM; the next refresh or cold query recomputes).
+  void drop_backbone_cache();
 
   /// Label-only lookup into one shard's enclave label store. `nodes` must
   /// all be owned by `shard`.  `modeled_delta`, when non-null, receives the
@@ -147,6 +235,12 @@ class ShardedVaultDeployment {
     std::unique_ptr<Enclave> enclave;
     std::unique_ptr<OneWayChannel> stream;  // untrusted -> enclave staging
     std::atomic<bool> alive{true};
+    /// Label store materialized (refresh or rematerialize_shard) and not
+    /// since invalidated by an adoption.
+    std::atomic<bool> store_ready{false};
+    /// Retained boundary activations correspond to the last refresh
+    /// snapshot (cleared by adoption; restored by rematerialize_shard).
+    std::atomic<bool> retained_valid{false};
     // Enclave-held state (only touched inside ecalls):
     ShardPayload payload;
     std::shared_ptr<const CsrMatrix> sub_adj;  // owned x closure
@@ -156,6 +250,25 @@ class ShardedVaultDeployment {
     Matrix h_closure;               // assembled next-layer input (closure rows)
     std::vector<std::uint32_t> labels;  // label store
     SealedBlob sealed;
+    /// Union of halo_out[*] as owned-local row indices (sorted): the rows
+    /// whose activations any peer can ever pull cold.
+    std::vector<std::uint32_t> boundary_rows;
+    /// Boundary-row activations per rectifier layer 0..L-2, retained at
+    /// refresh so cold halo pulls need no recompute (rows ~ boundary_rows).
+    std::vector<Matrix> retained;
+    /// Transient cold-query state (reset per query, inside ecalls).
+    struct Cold {
+      std::vector<std::vector<std::uint32_t>> out_rows;  // [layer] owned-local
+      std::vector<std::vector<std::uint32_t>> in_cols;   // [layer] closure-local
+      /// serve_live[k][t]: owned-local rows of layer k's output shard t
+      /// asked for, answered from the freshly computed frontier;
+      /// serve_store[k][t]: same, answered from the retained store.
+      std::vector<std::vector<std::vector<std::uint32_t>>> serve_live;
+      std::vector<std::vector<std::vector<std::uint32_t>>> serve_store;
+      std::vector<Matrix> bb;                            // staged rows per backbone idx
+      std::vector<std::vector<std::uint32_t>> bb_need;   // closure-local per backbone idx
+      Matrix h;  // latest computed layer output (rows ~ out_rows[k])
+    } cold;
   };
 
   void provision_shard(Shard& shard, ShardPayload payload);
@@ -165,6 +278,28 @@ class ShardedVaultDeployment {
   void install_payload(Shard& shard);
   AttestedChannel* channel(std::uint32_t s, std::uint32_t t);
   void stream_backbone_rows(const std::vector<Matrix>& outputs);
+  /// The oblivious streaming protocol shared by refresh and the cold path:
+  /// push the FULL matrix to `sh` in fixed-size chunks (the untrusted
+  /// access pattern carries no row-selection information) and run
+  /// `scatter(block, r0)` inside a per-chunk ecall — the enclave-side
+  /// selection of which rows to keep stays inside the enclave.
+  template <typename Scatter>
+  void stream_full_matrix(Shard& sh, const Matrix& full, Scatter&& scatter);
+  /// Shared cold forward (caller holds infer_mu_; `fingerprint` is
+  /// features_fingerprint(features), hashed once per entry point).  When
+  /// `retain_shard` is a shard index, `nodes` must be exactly that shard's
+  /// owned set and the computed stores (labels + boundary activations) are
+  /// installed there.
+  std::vector<std::uint32_t> cold_forward(const CsrMatrix& features,
+                                          std::uint64_t fingerprint,
+                                          std::span<const std::uint32_t> nodes,
+                                          ColdSubsetStats* stats,
+                                          std::uint32_t retain_shard);
+  /// Backbone outputs for `features`, reusing the cache when the
+  /// fingerprint matches the last forward (caller holds infer_mu_).
+  const std::vector<Matrix>& backbone_for(const CsrMatrix& features,
+                                          std::uint64_t fingerprint,
+                                          bool* cache_hit);
   /// Run `body(s)` for every shard; adds the slowest shard's meter delta to
   /// the parallel-time accumulator (one synchronized phase).
   template <typename F>
@@ -184,6 +319,15 @@ class ShardedVaultDeployment {
   std::unique_ptr<std::mutex> infer_mu_ = std::make_unique<std::mutex>();
   std::atomic<bool> refreshed_{false};
   std::atomic<std::uint64_t> epoch_{0};  // completed refreshes
+  // Untrusted-world backbone output cache (the embeddings are public; only
+  // the fingerprint comparison decides reuse).  Guarded by infer_mu_.
+  std::vector<Matrix> bb_cache_;
+  std::uint64_t bb_fingerprint_ = 0;
+  bool have_bb_cache_ = false;
+  /// Snapshot fingerprint the materialized label stores + retained boundary
+  /// activations correspond to (set at the end of refresh).
+  std::uint64_t store_fingerprint_ = 0;
+  bool have_store_fingerprint_ = false;
   // Atomics: stats() readers poll while refresh/infer_labels accumulate.
   std::atomic<double> untrusted_seconds_{0.0};
   std::atomic<double> parallel_seconds_{0.0};

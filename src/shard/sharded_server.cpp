@@ -17,17 +17,29 @@ ShardedVaultServer::ShardedVaultServer(const Dataset& ds, TrainedVault vault,
       features_(std::make_shared<const CsrMatrix>(ds.features)),
       queue_(cfg.server.max_batch, cfg.server.max_wait),
       pool_(std::max<std::size_t>(1, cfg.server.worker_threads)) {
-  // Labels are materialized up front: the sharded forward is the expensive,
-  // EPC-bounded part, and it amortizes over every query until the next
-  // feature update.
-  deployment_.refresh(*features_);
+  // Labels are usually materialized up front: the sharded forward is the
+  // expensive, EPC-bounded part, and it amortizes over every query until
+  // the next feature update.  A cold start skips it — the router serves
+  // misses through the demand-driven cross-shard path instead.
+  if (cfg_.materialize_on_start) deployment_.refresh(*features_);
   if (cfg_.replicate) {
     ReplicaConfig rcfg;
     rcfg.standby_platform_key = cfg_.standby_platform_key;
     replicas_ = std::make_unique<ReplicaManager>(deployment_, rcfg);
     replicas_->replicate_async();
   }
+  features_fp_ = ShardedVaultDeployment::features_fingerprint(*features_);
   router_ = std::make_unique<ShardRouter>(deployment_, replicas_.get());
+  router_->set_cold_path([this](std::span<const std::uint32_t> nodes) {
+    std::shared_ptr<const CsrMatrix> snap;
+    std::uint64_t fp;
+    {
+      std::lock_guard<std::mutex> lock(snap_mu_);
+      snap = features_;
+      fp = features_fp_;
+    }
+    return deployment_.infer_labels_subset_cold(*snap, fp, nodes);
+  });
   workers_.reserve(pool_.size());
   for (std::size_t i = 0; i < pool_.size(); ++i) {
     workers_.push_back(pool_.submit([this] { worker_loop(); }));
@@ -112,6 +124,8 @@ void ShardedVaultServer::update_features(const CsrMatrix& new_features) {
   std::lock_guard<std::mutex> control(promotion_mu_);
   if (promotion_.valid()) promotion_.get();
   auto fresh = std::make_shared<const CsrMatrix>(new_features);
+  const std::uint64_t fresh_fp =
+      ShardedVaultDeployment::features_fingerprint(*fresh);
   // The sharded forward rebuilds every shard's label store in place
   // (serialized against itself; lookups between shard updates see a mix of
   // old and new labels, the usual eventual-consistency window of a rolling
@@ -120,6 +134,7 @@ void ShardedVaultServer::update_features(const CsrMatrix& new_features) {
   {
     std::lock_guard<std::mutex> lock(snap_mu_);
     features_ = std::move(fresh);
+    features_fp_ = fresh_fp;
   }
   if (replicas_ != nullptr) {
     replicas_->wait_ready();
@@ -151,8 +166,17 @@ void ShardedVaultServer::kill_shard(std::uint32_t shard) {
   // with the survivors, and re-materialized from the current snapshot.
   replicas_->begin_promotion(shard);
   promotion_ = std::async(std::launch::async, [this, shard] {
-    const double ms = replicas_->promote(
-        shard, [this] { deployment_.refresh(*features()); });
+    // Incremental re-materialization: only the adopted shard's store is
+    // rebuilt (shard-local cold forward, halo pulls from the survivors'
+    // retained boundary stores) — the fencing window no longer pays a
+    // full-fleet refresh.  A cold-start fleet (no refresh yet) has no
+    // stores at all: the adopted shard serves demand-driven like everyone
+    // else, so there is nothing to re-materialize.
+    const double ms = replicas_->promote(shard, [this, shard] {
+      if (deployment_.refreshed()) {
+        deployment_.rematerialize_shard(shard, *features());
+      }
+    });
     metrics_.record_promotion_ms(ms);
   });
 }
@@ -165,6 +189,7 @@ MetricsSnapshot ShardedVaultServer::stats() const {
   MetricsSnapshot s = metrics_.snapshot();
   s.failovers = router_->failovers();
   s.fenced_batches = router_->fenced();
+  s.cold_batches = router_->cold_batches();
   const CostMeter m = deployment_.aggregate_meter();
   s.ecalls = m.ecalls;
   s.bytes_in = m.bytes_in;

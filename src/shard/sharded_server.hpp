@@ -30,6 +30,13 @@ struct ShardedServerConfig {
   /// Keep a warm replica of every shard on the standby platform.
   bool replicate = false;
   Sha256Digest standby_platform_key = ReplicaConfig::standby_platform_default_key();
+  /// Run the full-fleet refresh at construction (label stores warm before
+  /// the first query).  When false the server starts COLD: queries are
+  /// served demand-driven through the cross-shard cold path until the
+  /// first update_features materializes the stores — the store hierarchy
+  /// is LabelCache -> shard stores -> cold cross-shard forward, and the
+  /// first two are caches over the third.
+  bool materialize_on_start = true;
 };
 
 class ShardedVaultServer {
@@ -59,10 +66,13 @@ class ShardedVaultServer {
   /// fenced (PROMOTING) before this returns and promoted asynchronously:
   /// it rebuilds the rectifier and sub-adjacency from its re-sealed
   /// package, re-runs the attested handshake with the surviving shards,
-  /// rejoins the halo exchange, and re-materializes the label stores from
-  /// the CURRENT feature snapshot; queries for the shard block on the
-  /// router fence until the promotion lands, then hit the new PRIMARY.
-  /// Without replication, queries for the shard throw until re-provisioned.
+  /// rejoins the halo exchange, and INCREMENTALLY re-materializes only the
+  /// adopted shard's label store from the CURRENT feature snapshot (a
+  /// shard-local cold forward with halo pulls from the survivors' retained
+  /// boundary stores — not a full-fleet refresh); queries for the shard
+  /// block on the router fence until the promotion lands, then hit the new
+  /// PRIMARY.  Without replication, queries for the shard throw until
+  /// re-provisioned.
   void kill_shard(std::uint32_t shard);
 
   void flush();
@@ -95,6 +105,9 @@ class ShardedVaultServer {
 
   mutable std::mutex snap_mu_;
   std::shared_ptr<const CsrMatrix> features_;
+  /// features_fingerprint(*features_), hashed once per snapshot so cold
+  /// batches do not pay an O(nnz) scan per query.  Guarded by snap_mu_.
+  std::uint64_t features_fp_ = 0;
 
   MicroBatchQueue queue_;
   ThreadPool pool_;

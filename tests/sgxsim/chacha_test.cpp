@@ -39,6 +39,29 @@ TEST(ChaCha20, Rfc8439EncryptionVector) {
             "0bbf74a35be6b40b8eedf2785e42874d");
 }
 
+// The >=256-byte lane-interleaved fast path must produce the SAME keystream
+// as the scalar path: a 5-block message keystream (wide path for the first
+// 4 blocks + scalar tail) must equal five single-block calls with counters
+// c..c+4 (each too short to enter the wide path).  A per-lane counter or
+// offset bug would pass round-trip tests while silently diverging from RFC
+// ChaCha20.
+TEST(ChaCha20, WideAndScalarPathsProduceTheSameKeystream) {
+  AeadKey key;
+  for (int i = 0; i < 32; ++i) key[i] = static_cast<std::uint8_t>(0xa0 + i);
+  AeadNonce nonce = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  const std::uint32_t counter = 7;
+  std::vector<std::uint8_t> zeros(320, 0);
+  std::vector<std::uint8_t> wide(zeros.size());
+  chacha20_xor(key, nonce, counter, zeros, wide.data());
+  for (std::uint32_t b = 0; b < 5; ++b) {
+    std::vector<std::uint8_t> zero_block(64, 0), scalar(64);
+    chacha20_xor(key, nonce, counter + b, zero_block, scalar.data());
+    EXPECT_EQ(hex(std::span<const std::uint8_t>(wide.data() + b * 64, 64)),
+              hex(scalar))
+        << "block " << b;
+  }
+}
+
 TEST(ChaCha20, XorIsItsOwnInverse) {
   AeadKey key{};
   key[0] = 0x42;

@@ -203,6 +203,32 @@ TEST(ReplicaPromotion, StaleStandbyRefusesToServe) {
       replicas.lookup(1, std::vector<std::uint32_t>{owned1.front()}));
 }
 
+// A promotion rejected BEFORE adoption (here: a halo neighbor died too)
+// must leave the slot a fully functional warm standby — including its
+// replicated label store, which the warm-adopt fast path must not have
+// consumed on the way in.
+TEST(ReplicaPromotion, RejectedAdoptionKeepsWarmStandbyLabels) {
+  const Dataset ds = serve_dataset(106);
+  TrainedVault tv = quick_vault(ds);
+  ShardedVaultDeployment dep(ds, tv, ShardPlanner::plan(ds, tv, 2));
+  const auto truth = dep.infer_labels(ds.features);
+
+  ReplicaManager replicas(dep);
+  replicas.replicate_all();
+  dep.kill_shard(0);
+  dep.kill_shard(1);  // the halo neighbor: adoption preconditions now fail
+  EXPECT_THROW(replicas.promote(0, [] {}), Error);
+  EXPECT_EQ(replicas.state(0), ReplicaState::kStandby);
+  ASSERT_TRUE(replicas.ready(0));
+
+  // The warm standby still serves its (epoch-fresh) replicated labels.
+  const auto& owned = dep.plan().shards[0].nodes;
+  ASSERT_FALSE(owned.empty());
+  const auto got =
+      replicas.lookup(0, std::vector<std::uint32_t>{owned.front()});
+  EXPECT_EQ(got, (std::vector<std::uint32_t>{truth[owned.front()]}));
+}
+
 // After a promotion the empty replica slot can be restaffed with a fresh
 // standby on a new platform, and a SECOND failover of the same shard works.
 TEST(ReplicaPromotion, SecondFailoverAfterRestaff) {
