@@ -1,0 +1,163 @@
+// GraphDrift plan-diff migration vs full re-provision.
+//
+// A live private graph drifts: edges churn, nodes join, and the LDG plan's
+// edge-cut and load balance rot.  The pre-GraphDrift remedy was a full
+// re-provision — rebuild + re-seal + re-attest K enclaves from fresh
+// payloads and run a full-fleet refresh, with the tenant dark for the whole
+// window.  GraphDrift instead applies the deltas in place (update_graph),
+// asks ShardPlanner::plan_diff for the minimal move-set over the
+// drift-touched nodes, and lets MigrationExecutor move exactly those nodes
+// between live shards over the attested channels, fencing one node at a
+// time.
+//
+// For each shard count K this bench drifts the graph (edge churn + node
+// adds), then measures both remedies on the same mutated dataset:
+//
+//   bytes     sealed node-transfer payloads moved by the migration vs the
+//             serialized shard packages a re-provision ships to K enclaves;
+//   fencing   the per-move router fence (max across moves) vs the full
+//             provision+refresh window during which a re-provisioned tenant
+//             cannot serve at all;
+//   truth     labels after update_graph + migration must match a
+//             single-enclave oracle REBUILT on the mutated graph (and the
+//             re-provisioned fleet) bit for bit.
+//
+// Headlines: migration bytes as a fraction of re-provision bytes (the
+// acceptance bar is <= 25%) and the two fencing windows in ms.
+//
+// Honors GNNVAULT_BENCH_FAST, GNNVAULT_SEED, GNNVAULT_SCALE; `--json
+// <path>` writes the machine-readable artifact CI uploads.
+#include "bench_common.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "shard/graph_drift.hpp"
+#include "shard/migration.hpp"
+#include "shard/shard_router.hpp"
+#include "shard/sharded_deployment.hpp"
+
+using namespace gv;
+using namespace gv::bench;
+
+namespace {
+
+GraphDelta drift_burst(const Dataset& ds, Rng& rng, double churn_frac,
+                       std::size_t adds) {
+  GraphDelta d;
+  const std::size_t churn = std::max<std::size_t>(
+      8, static_cast<std::size_t>(ds.graph.num_edges() * churn_frac));
+  const std::uint32_t n_after = ds.num_nodes() + static_cast<std::uint32_t>(adds);
+  const auto& edges = ds.graph.edges();
+  for (std::size_t i = 0; i < churn && !edges.empty(); ++i) {
+    const Edge& e = edges[rng.uniform_index(edges.size())];
+    d.edge_deletes.push_back({e.a, e.b});
+  }
+  for (std::size_t i = 0; i < churn; ++i) {
+    d.edge_inserts.push_back(
+        {static_cast<std::uint32_t>(rng.uniform_index(n_after)),
+         static_cast<std::uint32_t>(rng.uniform_index(n_after))});
+  }
+  for (std::size_t i = 0; i < adds; ++i) {
+    d.node_adds.push_back(
+        {{static_cast<std::uint32_t>(rng.uniform_index(ds.features.cols())),
+          1.0f}});
+  }
+  return d;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_args(argc, argv);
+  const BenchSettings s = settings();
+  const double scale = bench_fast_mode() ? s.scale : (s.scale < 1.0 ? s.scale : 0.3);
+  const Dataset base = load_dataset(DatasetId::kPubmed, s.seed, scale);
+  GV_LOG_INFO << "migration: " << base.name << " n=" << base.num_nodes()
+              << " e=" << base.graph.num_directed_edges();
+
+  VaultTrainConfig cfg = vault_config(DatasetId::kPubmed, s);
+  TrainedVault vault = train_vault(base, cfg);
+
+  Table table("GraphDrift: plan-diff migration vs full re-provision");
+  table.set_header({"shards", "drift nodes", "moves", "migrate KB",
+                    "reprovision KB", "bytes %", "move fence ms (max)",
+                    "reprovision window ms", "bit-exact"});
+
+  double worst_ratio = 0.0;
+  double worst_fence_ms = 0.0;
+  double mean_window_ms = 0.0;
+  std::size_t rows = 0;
+  bool all_exact = true;
+
+  for (const std::uint32_t K : {2u, 4u, 8u}) {
+    Dataset mds = base;  // the drifted dataset this K's run converges to
+    ShardedVaultDeployment dep(mds, vault, ShardPlanner::plan(mds, vault, K));
+    dep.refresh(mds.features);
+    DriftTracker tracker(dep.plan());
+
+    Rng rng(s.seed ^ (0xd21f7u + K));
+    const GraphDelta delta = drift_burst(mds, rng, /*churn_frac=*/0.02,
+                                         /*adds=*/4);
+    apply_delta(mds, delta);
+    tracker.record(dep.update_graph(delta, &mds.features));
+
+    const PlanDiff pd = ShardPlanner::plan_diff(mds, vault, dep.plan(),
+                                                tracker.drift_nodes());
+    MigrationExecutor exec(dep);
+    const MigrationStats mig = exec.execute(pd.moves);
+
+    // Full re-provision baseline on the SAME mutated graph + plan: the
+    // vendor re-vaults on the mutated dataset, ships K fresh sealed
+    // payloads to K fresh enclaves, and runs a full refresh — the tenant
+    // is dark for the whole window.
+    const TrainedVault oracle = revault_on(vault, mds);
+    const auto payloads = ShardPlanner::build_payloads(mds, oracle, pd.plan);
+    std::uint64_t reprovision_bytes = 0;
+    for (const auto& p : payloads) {
+      reprovision_bytes += serialize_shard_payload(p).size();
+    }
+    Stopwatch window;
+    ShardedVaultDeployment fresh(mds, oracle, pd.plan);
+    fresh.refresh(mds.features);
+    const double window_ms = window.seconds() * 1e3;
+    const auto truth = oracle.predict_rectified(mds.features);
+    const auto migrated = dep.infer_labels(mds.features);
+    const auto rebuilt = fresh.infer_labels(mds.features);
+    const bool exact = std::equal(truth.begin(), truth.end(), migrated.begin()) &&
+                       std::equal(truth.begin(), truth.end(), rebuilt.begin());
+    all_exact = all_exact && exact;
+
+    const double ratio =
+        reprovision_bytes > 0
+            ? static_cast<double>(mig.wire_bytes) / reprovision_bytes
+            : 0.0;
+    worst_ratio = std::max(worst_ratio, ratio);
+    worst_fence_ms = std::max(worst_fence_ms, mig.max_fence_ms);
+    mean_window_ms += window_ms;
+    ++rows;
+
+    table.add_row({std::to_string(K), std::to_string(tracker.drift_nodes().size()),
+                   std::to_string(mig.moves_executed),
+                   Table::fmt(mig.wire_bytes / 1024.0, 1),
+                   Table::fmt(reprovision_bytes / 1024.0, 1),
+                   Table::fmt(ratio * 100.0, 2) + "%",
+                   Table::fmt(mig.max_fence_ms, 3), Table::fmt(window_ms, 1),
+                   exact ? "yes" : "NO"});
+  }
+  mean_window_ms /= std::max<std::size_t>(1, rows);
+
+  table.print();
+  GV_LOG_INFO << "plan-diff migration moved " << Table::fmt(worst_ratio * 100.0, 2)
+              << "% of full re-provision bytes (worst K) with a per-move "
+              << "fence of " << Table::fmt(worst_fence_ms, 3) << " ms vs a "
+              << Table::fmt(mean_window_ms, 1)
+              << " ms re-provision dark window";
+  table.write_csv(out_dir() + "/migration.csv");
+  write_json(args, "migration", s, {&table},
+             {{"migration_byte_fraction", worst_ratio},
+              {"max_move_fence_ms", worst_fence_ms},
+              {"mean_reprovision_window_ms", mean_window_ms},
+              {"bit_exact", all_exact ? 1.0 : 0.0}});
+  return all_exact && worst_ratio <= 0.25 ? 0 : 1;
+}

@@ -314,6 +314,7 @@ std::size_t ShardPayload::payload_bytes() const {
   for (const auto& h : halo_out) halo += h.size() * sizeof(std::uint32_t);
   return owned.size() * sizeof(std::uint32_t) +
          closure.size() * sizeof(std::uint32_t) +
+         closure_deg.size() * sizeof(std::uint32_t) +
          adj_row.size() * sizeof(std::uint32_t) +
          adj_col.size() * sizeof(std::uint32_t) + adj_val.size() * sizeof(float) +
          halo + rectifier_weights.size();
@@ -332,6 +333,7 @@ std::vector<std::uint8_t> serialize_shard_payload(const ShardPayload& p) {
   };
   put_vec(p.owned);
   put_vec(p.closure);
+  put_vec(p.closure_deg);
   put_vec(p.adj_row);
   put_vec(p.adj_col);
   w.u64(p.adj_val.size());
@@ -357,6 +359,7 @@ ShardPayload deserialize_shard_payload(std::span<const std::uint8_t> bytes) {
   };
   p.owned = get_vec();
   p.closure = get_vec();
+  p.closure_deg = get_vec();
   p.adj_row = get_vec();
   p.adj_col = get_vec();
   const std::uint64_t nval = r.u64();
@@ -371,6 +374,8 @@ ShardPayload deserialize_shard_payload(std::span<const std::uint8_t> bytes) {
   GV_CHECK(p.adj_row.size() == p.adj_col.size() &&
                p.adj_row.size() == p.adj_val.size(),
            "shard payload adjacency arrays must align");
+  GV_CHECK(p.closure_deg.size() == p.closure.size(),
+           "shard payload degree vector must cover the closure");
   return p;
 }
 

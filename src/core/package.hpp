@@ -55,6 +55,13 @@ struct ShardPayload {
   std::vector<std::uint32_t> owned;
   /// Sorted one-hop closure of `owned` (owned plus halo nodes).
   std::vector<std::uint32_t> closure;
+  /// Private-graph degree (self-loop excluded) of every closure node, in
+  /// closure order.  GraphDrift needs it: an edge insert/delete changes the
+  /// endpoints' D̃^{-1/2}, and every shard holding a touched node in its
+  /// closure must renormalize its rows from the SAME degree the global
+  /// normalization would use — bit-exactness demands recomputing
+  /// 1/sqrt(deg+1) from the integer degree, not nudging stored floats.
+  std::vector<std::uint32_t> closure_deg;
   /// Rectangular sub-adjacency: rows index `owned`, cols index `closure`,
   /// values are the GLOBAL Â = D̃^{-1/2}(A+I)D̃^{-1/2} entries, so sharded
   /// message passing reproduces the unsharded computation bit-exactly.

@@ -34,6 +34,16 @@ bool Graph::add_edge(std::uint32_t a, std::uint32_t b) {
   return true;
 }
 
+bool Graph::remove_edge(std::uint32_t a, std::uint32_t b) {
+  if (a == b || a >= num_nodes_ || b >= num_nodes_) return false;
+  const Edge e{std::min(a, b), std::max(a, b)};
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), e);
+  if (it == edges_.end() || !(*it == e)) return false;
+  edges_.erase(it);
+  index_valid_ = false;
+  return true;
+}
+
 bool Graph::has_edge(std::uint32_t a, std::uint32_t b) const {
   if (a == b || a >= num_nodes_ || b >= num_nodes_) return false;
   const Edge e{std::min(a, b), std::max(a, b)};

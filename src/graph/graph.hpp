@@ -59,6 +59,13 @@ class Graph {
   /// self-loop / out of range.
   bool add_edge(std::uint32_t a, std::uint32_t b);
 
+  /// Remove an undirected edge; returns false if it does not exist.
+  bool remove_edge(std::uint32_t a, std::uint32_t b);
+
+  /// Append `count` new isolated nodes (ids n .. n+count-1); GraphDrift
+  /// attaches them through subsequent add_edge calls.
+  void add_nodes(std::uint32_t count) { num_nodes_ += count; index_valid_ = false; }
+
   bool has_edge(std::uint32_t a, std::uint32_t b) const;
 
   /// Sorted neighbor list of v.

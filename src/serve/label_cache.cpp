@@ -72,6 +72,20 @@ std::size_t LabelCache::invalidate_stale(const CsrMatrix& features) {
   return evicted;
 }
 
+std::size_t LabelCache::invalidate_nodes(std::span<const std::uint32_t> nodes) {
+  if (capacity_ == 0) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t evicted = 0;
+  for (const auto node : nodes) {
+    const auto it = index_.find(node);
+    if (it == index_.end()) continue;
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++evicted;
+  }
+  return evicted;
+}
+
 void LabelCache::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();

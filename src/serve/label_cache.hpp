@@ -12,6 +12,7 @@
 #include <list>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <unordered_map>
 
 #include "sgxsim/sha256.hpp"
@@ -41,6 +42,13 @@ class LabelCache {
   /// caller that changed many rows and wants strict freshness should
   /// clear() instead).  Returns the number of evicted entries.
   std::size_t invalidate_stale(const CsrMatrix& features);
+
+  /// Graph-update sweep: evict the entries of exactly these nodes.  A graph
+  /// mutation changes labels through the (private) neighbourhood while the
+  /// feature rows — and therefore the digests — stay put, so the digest
+  /// scheme cannot catch it; the caller passes the delta-derived affected
+  /// set instead.  Returns the number of evicted entries.
+  std::size_t invalidate_nodes(std::span<const std::uint32_t> nodes);
 
   void clear();
   std::size_t size() const;

@@ -59,6 +59,12 @@ void ServerMetrics::record_feature_update() {
   ++feature_updates_;
 }
 
+void ServerMetrics::record_graph_update(std::size_t stale) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++graph_updates_;
+  stale_label_evictions_ += stale;
+}
+
 void ServerMetrics::record_promotion_ms(double ms) {
   std::lock_guard<std::mutex> lock(mu_);
   ++promotions_;
@@ -84,6 +90,8 @@ MetricsSnapshot ServerMetrics::snapshot() const {
   s.batches = batches_;
   s.coalesced = coalesced_;
   s.feature_updates = feature_updates_;
+  s.graph_updates = graph_updates_;
+  s.stale_label_evictions = stale_label_evictions_;
   s.promotions = promotions_;
   s.mean_promotion_ms =
       promotions_ ? promotion_ms_total_ / static_cast<double>(promotions_) : 0.0;
@@ -107,6 +115,7 @@ void ServerMetrics::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   requests_ = completed_ = batches_ = cache_hits_ = cache_misses_ = 0;
   coalesced_ = feature_updates_ = promotions_ = 0;
+  graph_updates_ = stale_label_evictions_ = 0;
   promotion_ms_total_ = promotion_ms_max_ = 0.0;
   latencies_ms_.clear();
   latency_samples_ = 0;

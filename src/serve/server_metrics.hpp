@@ -31,7 +31,17 @@ struct MetricsSnapshot {
                                      // through the cold cross-shard path
                                      // (un-materialized label store)
   std::uint64_t promotions = 0;      // replicas promoted to PRIMARY
+  std::uint64_t restaffs = 0;        // gen-2 standbys auto-provisioned after
+                                     // a promotion (from the ReplicaManager)
+  std::uint64_t shard_faults = 0;    // dead shards detected from a failed
+                                     // ecall (vs an explicit kill_shard;
+                                     // spliced in from the deployment)
   std::uint64_t feature_updates = 0; // backbone snapshot refreshes
+  std::uint64_t graph_updates = 0;   // private-graph mutations applied
+                                     // (GraphDrift update_graph calls)
+  std::uint64_t stale_label_evictions = 0;  // label-store entries + cache
+                                            // entries invalidated by graph
+                                            // updates
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t ecalls = 0;          // enclave transitions (from the meter)
@@ -69,6 +79,9 @@ class ServerMetrics {
   void record_coalesced();
   /// A feature-snapshot refresh (update_features).
   void record_feature_update();
+  /// A private-graph mutation (update_graph) that invalidated `stale`
+  /// label-store/cache entries.
+  void record_graph_update(std::size_t stale);
   /// One replica promotion to PRIMARY and its kill-to-serving wall latency.
   void record_promotion_ms(double ms);
   /// Queue-to-completion latency of one request.
@@ -86,6 +99,8 @@ class ServerMetrics {
   std::uint64_t batches_ = 0;
   std::uint64_t coalesced_ = 0;
   std::uint64_t feature_updates_ = 0;
+  std::uint64_t graph_updates_ = 0;
+  std::uint64_t stale_label_evictions_ = 0;
   std::uint64_t promotions_ = 0;
   double promotion_ms_total_ = 0.0;
   double promotion_ms_max_ = 0.0;

@@ -22,6 +22,12 @@ std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t& off) {
 
 }  // namespace
 
+std::size_t AttestedChannel::pad_bucket(std::size_t n) {
+  std::size_t b = 64;
+  while (b < n) b <<= 1;
+  return b;
+}
+
 AttestedChannel::AttestedChannel(Enclave& a, Enclave& b, const Sha256Digest& key_a,
                                  const Sha256Digest& key_b)
     : a_(&a), b_(&b), key_a_(key_a), key_b_(key_b) {
@@ -93,6 +99,7 @@ void AttestedChannel::rebind(const Enclave& dead, Enclave& fresh,
     labels_to_[i].clear();
     packages_to_[i].clear();
     requests_to_[i].clear();
+    transfers_to_[i].clear();
   }
 }
 
@@ -132,6 +139,13 @@ void AttestedChannel::send_embeddings(const Enclave& from,
   const auto* fp = reinterpret_cast<const std::uint8_t*>(rows.data());
   payload.insert(payload.end(), fp, fp + rows.payload_bytes());
 
+  // Cut-cardinality hiding: the untrusted relay must not learn how many
+  // boundary rows crossed from the block size, so the sealed block is
+  // padded to a power-of-two bucket (the explicit count field keeps the
+  // receiver's parse exact).
+  const std::size_t logical = payload.size();
+  payload.resize(pad_bucket(logical), 0);
+
   const int to = 1 - endpoint_index(from);
   Sealed blob = encrypt(from, payload);
   // Leaving the sender is an OCALL-shaped transition; entering the receiver
@@ -140,7 +154,8 @@ void AttestedChannel::send_embeddings(const Enclave& from,
   (to == 0 ? a_ : b_)->copy_in(payload.size());
   std::lock_guard<std::mutex> lock(mu_);
   embeddings_to_[to].push_back(std::move(blob));
-  embedding_bytes_ += payload.size();
+  embedding_bytes_ += logical;
+  padded_bytes_ += payload.size();
   ++blocks_;
 }
 
@@ -161,7 +176,9 @@ AttestedChannel::EmbeddingBlock AttestedChannel::recv_embeddings(const Enclave& 
   out.nodes.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) out.nodes.push_back(get_u32(payload, off));
   out.rows = Matrix(count, cols);
-  GV_CHECK(off + out.rows.payload_bytes() == payload.size(),
+  // <= rather than ==: the tail beyond the logical payload is bucket
+  // padding (authenticated along with everything else by the AEAD tag).
+  GV_CHECK(off + out.rows.payload_bytes() <= payload.size(),
            "embedding block size mismatch");
   std::memcpy(out.rows.data(), payload.data() + off, out.rows.payload_bytes());
   return out;
@@ -189,6 +206,7 @@ void AttestedChannel::send_labels(const Enclave& from,
   std::lock_guard<std::mutex> lock(mu_);
   labels_to_[to].push_back(std::move(blob));
   label_bytes_ += payload.size();
+  padded_bytes_ += payload.size();  // whole-store blocks: size is public
   ++blocks_;
 }
 
@@ -224,6 +242,10 @@ void AttestedChannel::send_request(const Enclave& from,
   payload.reserve(4 + nodes.size() * 4);
   put_u32(payload, static_cast<std::uint32_t>(nodes.size()));
   for (const auto v : nodes) put_u32(payload, v);
+  // Frontier-width hiding: pad like embeddings, so a cold query's halo-pull
+  // block sizes do not reveal how wide its private frontier is.
+  const std::size_t logical = payload.size();
+  payload.resize(pad_bucket(logical), 0);
 
   const int to = 1 - endpoint_index(from);
   Sealed blob = encrypt(from, payload);
@@ -231,7 +253,8 @@ void AttestedChannel::send_request(const Enclave& from,
   (to == 0 ? a_ : b_)->copy_in(payload.size());
   std::lock_guard<std::mutex> lock(mu_);
   requests_to_[to].push_back(std::move(blob));
-  request_bytes_ += payload.size();
+  request_bytes_ += logical;
+  padded_bytes_ += payload.size();
   ++blocks_;
 }
 
@@ -250,7 +273,7 @@ std::vector<std::uint32_t> AttestedChannel::recv_request(const Enclave& to) {
   std::vector<std::uint32_t> nodes;
   nodes.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) nodes.push_back(get_u32(payload, off));
-  GV_CHECK(off == payload.size(), "halo request size mismatch");
+  GV_CHECK(off <= payload.size(), "halo request size mismatch");
   return nodes;
 }
 
@@ -268,6 +291,7 @@ void AttestedChannel::send_package(const Enclave& from,
   std::lock_guard<std::mutex> lock(mu_);
   packages_to_[to].push_back(std::move(blob));
   package_bytes_ += payload.size();
+  padded_bytes_ += payload.size();  // whole-package blocks: size is public
   ++blocks_;
 }
 
@@ -281,6 +305,50 @@ std::vector<std::uint8_t> AttestedChannel::recv_package(const Enclave& to) {
     q.pop_front();
   }
   return decrypt(to, blob);
+}
+
+void AttestedChannel::send_transfer(const Enclave& from,
+                                    std::vector<std::uint8_t> payload) {
+  // The payload is opaque to the channel, so the logical length is framed
+  // inside the sealed block before move-set-size-hiding bucket padding.
+  std::vector<std::uint8_t> framed;
+  framed.reserve(4 + payload.size());
+  put_u32(framed, static_cast<std::uint32_t>(payload.size()));
+  framed.insert(framed.end(), payload.begin(), payload.end());
+  const std::size_t logical = payload.size();
+  framed.resize(pad_bucket(framed.size()), 0);
+
+  const int to = 1 - endpoint_index(from);
+  Sealed blob = encrypt(from, framed);
+  const_cast<Enclave&>(from).charge_ocall();
+  (to == 0 ? a_ : b_)->copy_in(framed.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  transfers_to_[to].push_back(std::move(blob));
+  transfer_bytes_ += logical;
+  padded_bytes_ += framed.size();
+  ++blocks_;
+}
+
+std::vector<std::uint8_t> AttestedChannel::recv_transfer(const Enclave& to) {
+  Sealed blob;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& q = transfers_to_[endpoint_index(to)];
+    GV_CHECK(!q.empty(), "no pending node transfer on attested channel");
+    blob = std::move(q.front());
+    q.pop_front();
+  }
+  const auto framed = decrypt(to, blob);
+  std::size_t off = 0;
+  const std::uint32_t len = get_u32(framed, off);
+  GV_CHECK(off + len <= framed.size(), "node transfer size mismatch");
+  return std::vector<std::uint8_t>(framed.begin() + off,
+                                   framed.begin() + off + len);
+}
+
+bool AttestedChannel::has_transfer(const Enclave& to) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !transfers_to_[endpoint_index(to)].empty();
 }
 
 std::uint64_t AttestedChannel::embedding_bytes() const {
@@ -305,6 +373,7 @@ void AttestedChannel::drop_pending() {
     labels_to_[i].clear();
     packages_to_[i].clear();
     requests_to_[i].clear();
+    transfers_to_[i].clear();
   }
 }
 
@@ -313,9 +382,20 @@ std::uint64_t AttestedChannel::request_bytes() const {
   return request_bytes_;
 }
 
+std::uint64_t AttestedChannel::transfer_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return transfer_bytes_;
+}
+
 std::uint64_t AttestedChannel::total_payload_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return embedding_bytes_ + label_bytes_ + package_bytes_ + request_bytes_;
+  return embedding_bytes_ + label_bytes_ + package_bytes_ + request_bytes_ +
+         transfer_bytes_;
+}
+
+std::uint64_t AttestedChannel::padded_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return padded_bytes_;
 }
 
 std::uint64_t AttestedChannel::blocks_sent() const {

@@ -16,13 +16,24 @@
 //
 // The API is deliberately narrow: embeddings, labels, halo-pull requests
 // (node-id lists the cold cross-shard path uses to ask a peer for specific
-// boundary embeddings), and (for the replica channel only) whole sealed
-// shard packages.  There is no way to put raw adjacency on an inter-shard
-// channel, and per-kind byte counters let tests audit exactly that
-// invariant.  The untrusted world that relays the ciphertext learns only
-// block sizes, never edges — in particular a halo request's node ids (which
-// would reveal a query's private frontier) are only ever plaintext inside
-// the two attested enclaves.
+// boundary embeddings), node-transfer payloads (GraphDrift migration moving
+// one node's row + label between live shards — the ONLY kind that may carry
+// adjacency, and it is audited separately for exactly that reason), and
+// (for the replica channel only) whole sealed shard packages.  There is no
+// other way to put raw adjacency on an inter-shard channel, and per-kind
+// byte counters let tests audit exactly that invariant.  The untrusted
+// world that relays the ciphertext learns only block sizes, never edges —
+// in particular a halo request's node ids (which would reveal a query's
+// private frontier) are only ever plaintext inside the two attested
+// enclaves.
+//
+// Padding: embedding, request, and transfer blocks are padded to
+// power-of-two byte buckets before sealing, so even the block SIZES the
+// untrusted relay observes leak neither the cut cardinality (how many
+// boundary embeddings crossed), a cold query's frontier width, nor a
+// migration's move-set size — only a coarse bucket.  The per-kind audit
+// counters stay LOGICAL bytes (what the enclaves meant to say);
+// padded_bytes() reports what actually crossed the wire.
 #pragma once
 
 #include <atomic>
@@ -97,6 +108,14 @@ class AttestedChannel {
   void send_package(const Enclave& from, std::vector<std::uint8_t> payload);
   std::vector<std::uint8_t> recv_package(const Enclave& to);
 
+  /// Migration path (GraphDrift): ship one node's sealed transfer payload
+  /// (features digestible state: adjacency row + degrees + current label)
+  /// from the shard losing the node to the shard gaining it.  The only
+  /// inter-shard kind that may carry adjacency; transfer_bytes() audits it.
+  void send_transfer(const Enclave& from, std::vector<std::uint8_t> payload);
+  std::vector<std::uint8_t> recv_transfer(const Enclave& to);
+  bool has_transfer(const Enclave& to) const;
+
   /// Drop every queued block (all kinds, both directions).  Failure
   /// cleanup: a cold cross-shard walk aborted mid-exchange must not leave
   /// sealed blocks behind for a later exchange to pop.  Audit counters are
@@ -108,8 +127,16 @@ class AttestedChannel {
   std::uint64_t label_bytes() const;
   std::uint64_t package_bytes() const;
   std::uint64_t request_bytes() const;
+  std::uint64_t transfer_bytes() const;
   std::uint64_t total_payload_bytes() const;
+  /// Wire bytes after bucket padding (>= total_payload_bytes; the delta is
+  /// what the padding spent to hide cut/frontier/move-set cardinalities).
+  std::uint64_t padded_bytes() const;
   std::uint64_t blocks_sent() const;
+
+  /// The padding bucket a payload of `n` bytes lands in: the next power of
+  /// two >= max(n, 64).  Exposed so tests can pin the wire-size policy.
+  static std::size_t pad_bucket(std::size_t n);
 
  private:
   struct Sealed {
@@ -140,10 +167,13 @@ class AttestedChannel {
   std::deque<Sealed> labels_to_[2];
   std::deque<Sealed> packages_to_[2];
   std::deque<Sealed> requests_to_[2];
+  std::deque<Sealed> transfers_to_[2];
   std::uint64_t embedding_bytes_ = 0;
   std::uint64_t label_bytes_ = 0;
   std::uint64_t package_bytes_ = 0;
   std::uint64_t request_bytes_ = 0;
+  std::uint64_t transfer_bytes_ = 0;
+  std::uint64_t padded_bytes_ = 0;
   std::uint64_t blocks_ = 0;
 };
 

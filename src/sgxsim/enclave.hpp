@@ -35,6 +35,14 @@
 
 namespace gv {
 
+/// An ecall that never ran to completion: the enclave crashed, was torn
+/// down by the platform, or hit an injected fault.  Distinct from plain
+/// gv::Error so callers can tell "the enclave died under me" (trigger
+/// failover) from "my arguments were bad" (report to the caller).
+struct EnclaveFailure : Error {
+  using Error::Error;
+};
+
 /// Tracks live in-enclave allocations by name; reports current/peak usage.
 /// Thread-safe: untrusted senders account channel staging concurrently with
 /// ledger updates made inside ecalls.
@@ -113,6 +121,11 @@ class Enclave {
     {
       std::lock_guard<std::mutex> m(*meter_mu_);
       ++meter_.ecalls;
+      if (injected_faults_ > 0) {
+        --injected_faults_;
+        throw EnclaveFailure("ecall into enclave '" + name_ +
+                             "' failed: " + injected_fault_message_);
+      }
     }
     Stopwatch sw;
     if constexpr (std::is_void_v<decltype(body())>) {
@@ -124,6 +137,17 @@ class Enclave {
       finish_ecall(sw.seconds());
       return result;
     }
+  }
+
+  /// Test/chaos hook: make the next `count` ecalls throw EnclaveFailure
+  /// before running their body — the simulation's stand-in for an enclave
+  /// that crashed or was torn down by the platform.  Dead-shard detection
+  /// (shard/sharded_deployment.hpp) turns such a failure into the same
+  /// fence + promote path an explicit kill takes.
+  void inject_ecall_failure(std::string message, std::size_t count = 1) {
+    std::lock_guard<std::mutex> m(*meter_mu_);
+    injected_fault_message_ = std::move(message);
+    injected_faults_ = count;
   }
 
   /// Charge an OCALL (enclave -> untrusted transition), e.g. for paging.
@@ -192,6 +216,10 @@ class Enclave {
   MemoryLedger ledger_;
   CostMeter meter_;
   std::uint64_t seal_counter_ = 0;
+  // Injected-fault state (guarded by meter_mu_: it is checked inside ecall
+  // entry where that mutex is already taken).
+  std::size_t injected_faults_ = 0;
+  std::string injected_fault_message_;
   // Owned via pointers so the enclave stays movable. `entry_mu_` serializes
   // ecall entry; `meter_mu_` guards meter mutations that may come from
   // untrusted threads while another thread is inside an ecall.

@@ -1,0 +1,118 @@
+#include "shard/graph_drift.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "nn/model.hpp"
+
+namespace gv {
+
+void DriftTracker::record(const GraphUpdateStats& stats) {
+  cut_inserted_ += stats.cut_edges_inserted;
+  cut_deleted_ += stats.cut_edges_deleted;
+  for (const auto& [node, shard] : stats.added_nodes) {
+    if (shard < owned_count_.size()) ++owned_count_[shard];
+    drift_.push_back(node);
+  }
+  drift_.insert(drift_.end(), stats.changed_rows.begin(),
+                stats.changed_rows.end());
+  std::sort(drift_.begin(), drift_.end());
+  drift_.erase(std::unique(drift_.begin(), drift_.end()), drift_.end());
+}
+
+double DriftTracker::load_imbalance() const {
+  if (owned_count_.empty()) return 1.0;
+  std::size_t total = 0, mx = 0;
+  for (const auto c : owned_count_) {
+    total += c;
+    mx = std::max(mx, c);
+  }
+  if (total == 0) return 1.0;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(owned_count_.size());
+  return static_cast<double>(mx) / mean;
+}
+
+double DriftTracker::cut_growth() const {
+  if (baseline_cut_ == 0) return cut_inserted_ > 0 ? 1.0 : 0.0;
+  return static_cast<double>(cut_inserted_) /
+         static_cast<double>(baseline_cut_);
+}
+
+void DriftTracker::reset(const ShardPlan& baseline) {
+  baseline_cut_ = baseline.cut_edges;
+  cut_inserted_ = cut_deleted_ = 0;
+  owned_count_.assign(baseline.num_shards, 0);
+  for (std::uint32_t s = 0; s < baseline.num_shards; ++s) {
+    owned_count_[s] = baseline.shards[s].nodes.size();
+  }
+  drift_.clear();
+}
+
+void apply_delta(Dataset& ds, const GraphDelta& delta) {
+  const std::uint32_t n_old = ds.num_nodes();
+  // Node adds first: inserts may reference the new ids.
+  ds.graph.add_nodes(static_cast<std::uint32_t>(delta.node_adds.size()));
+  if (!delta.node_adds.empty()) {
+    auto entries = ds.features.to_coo();
+    for (std::size_t i = 0; i < delta.node_adds.size(); ++i) {
+      const std::uint32_t row = n_old + static_cast<std::uint32_t>(i);
+      for (const auto& [col, val] : delta.node_adds[i]) {
+        GV_CHECK(col < ds.features.cols(), "added-node feature column out of range");
+        entries.push_back({row, col, val});
+      }
+      ds.labels.push_back(0);
+    }
+    ds.features = CsrMatrix::from_coo(ds.graph.num_nodes(), ds.features.cols(),
+                                      std::move(entries));
+  }
+  for (const auto& [a, b] : delta.edge_deletes) ds.graph.remove_edge(a, b);
+  for (const auto& [a, b] : delta.edge_inserts) {
+    GV_CHECK(a < ds.graph.num_nodes() && b < ds.graph.num_nodes(),
+             "edge insert endpoint out of range");
+    ds.graph.add_edge(a, b);
+  }
+}
+
+void extend_backbone(TrainedVault& vault, std::size_t num_nodes) {
+  if (vault.backbone_gcn == nullptr) return;  // MLP: rows are independent
+  const std::size_t have = vault.substitute_graph.num_nodes();
+  if (num_nodes == have) return;
+  GV_CHECK(num_nodes > have, "backbone cannot shrink below its node count");
+  // Appended nodes are isolated in the substitute graph: degree 0, so their
+  // Â self-loop is exactly 1.0 and no pre-existing node's degree (or Â row)
+  // moves — old backbone embeddings stay bit-identical.
+  Graph sub = vault.substitute_graph;
+  sub.add_nodes(static_cast<std::uint32_t>(num_nodes - have));
+  auto adj = std::make_shared<const CsrMatrix>(sub.gcn_normalized());
+
+  GcnConfig gc;
+  gc.input_dim = vault.backbone_gcn->layer(0).in_dim();
+  gc.channels = vault.backbone_gcn->layer_dims();
+  gc.dropout = 0.0f;
+  Rng rng(1);
+  auto model = std::make_shared<GcnModel>(gc, adj, rng);
+  for (std::size_t k = 0; k < model->num_layers(); ++k) {
+    model->layer(k).weight().value = vault.backbone_gcn->layer(k).weight().value;
+    model->layer(k).bias().value = vault.backbone_gcn->layer(k).bias().value;
+  }
+  vault.substitute_graph = std::move(sub);
+  vault.substitute_adj = std::move(adj);
+  vault.backbone_gcn = std::move(model);
+}
+
+TrainedVault revault_on(const TrainedVault& vault, const Dataset& mutated) {
+  GV_CHECK(vault.rectifier != nullptr, "revault requires a trained rectifier");
+  TrainedVault out = vault;
+  extend_backbone(out, mutated.num_nodes());
+  out.real_adj =
+      std::make_shared<const CsrMatrix>(mutated.graph.gcn_normalized());
+  Rng rng(1);
+  out.rectifier = std::make_shared<Rectifier>(vault.rectifier->config(),
+                                              out.backbone().layer_dims(),
+                                              out.real_adj, rng);
+  out.rectifier->deserialize_weights(vault.rectifier->serialize_weights());
+  return out;
+}
+
+}  // namespace gv

@@ -1,0 +1,146 @@
+// GraphDrift: live mutation of the private graph behind a ShardVault fleet.
+//
+// The paper's threat model protects a PRIVATE graph, but a production graph
+// is not frozen at provisioning: edges appear and disappear, nodes join.
+// GraphDrift is the vendor-facing half of that story —
+//
+//   GraphDelta        one batch of mutations (edge inserts/deletes, node
+//                     adds), applied by ShardedVaultDeployment::update_graph
+//                     inside the owning enclaves (sorted-CSR maintenance of
+//                     each shard's owned x closure sub-adjacency, degree
+//                     renormalization of touched rows, digest-based
+//                     invalidation of affected label-store entries and
+//                     retained boundary activations);
+//   DriftTracker      accumulates per-shard cut-growth and load-imbalance
+//                     metrics across updates and answers "is the old LDG
+//                     plan rotten enough to rebalance?"; its drift-node set
+//                     seeds ShardPlanner::plan_diff, which emits a minimal
+//                     move-set instead of a full re-partition;
+//   apply_delta /     the vendor-side mirror: apply the same delta to a
+//   revault_on        plain Dataset and rebuild a single-enclave oracle on
+//                     the mutated graph, so tests and benches can pin the
+//                     sharded mutation path bit-exactly against ground
+//                     truth.
+//
+// The executor that turns a plan-diff move-set into live node migrations
+// (over the attested channels, with per-move router fencing) lives in
+// shard/migration.hpp.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "shard/shard_planner.hpp"
+
+namespace gv {
+
+/// One batch of private-graph mutations.  Application order is fixed and
+/// mirrored by apply_delta: node adds first (node i of `node_adds` becomes
+/// global id n+i), then edge deletes, then edge inserts.  Self-loops and
+/// duplicate/missing edges are no-ops, exactly like Graph::add_edge /
+/// Graph::remove_edge, so the sharded and oracle applications agree on
+/// every degenerate input.
+struct GraphDelta {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edge_inserts;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edge_deletes;
+  /// Sparse feature rows ((column, value) pairs) of appended nodes.  The
+  /// deployment only needs the COUNT (features arrive with each snapshot);
+  /// the rows let apply_delta extend the vendor's Dataset identically.
+  std::vector<std::vector<std::pair<std::uint32_t, float>>> node_adds;
+
+  bool empty() const {
+    return edge_inserts.empty() && edge_deletes.empty() && node_adds.empty();
+  }
+};
+
+/// Telemetry of one applied update (returned by update_graph).
+struct GraphUpdateStats {
+  std::size_t edges_inserted = 0;      // applied (duplicates skipped)
+  std::size_t edges_deleted = 0;       // applied (missing skipped)
+  std::size_t nodes_added = 0;
+  std::size_t cut_edges_inserted = 0;  // applied inserts crossing shards
+  std::size_t cut_edges_deleted = 0;
+  std::size_t shards_touched = 0;      // shards with any structural/value change
+  std::size_t rows_renormalized = 0;   // owned rows whose values were recomputed
+  std::size_t channels_created = 0;    // new attested channels (new halo pairs)
+  /// (node, shard) of every appended node, in add order.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> added_nodes;
+  /// Owned rows whose adjacency-row digest actually changed (global ids,
+  /// sorted).  Seeds both the stale-label BFS and the drift-node set.
+  std::vector<std::uint32_t> changed_rows;
+  /// Nodes whose materialized label can no longer be trusted: everything
+  /// within L-1 hops of a changed row on the mutated graph (global ids,
+  /// sorted).  These label-store entries are invalidated; the cold
+  /// cross-shard path recomputes them on demand.
+  std::vector<std::uint32_t> stale_nodes;
+  /// Label-store entries NEWLY invalidated by this update (excludes
+  /// entries that were already stale and nodes on un-materialized stores).
+  std::size_t store_entries_invalidated = 0;
+};
+
+/// Accumulates drift between (re)plans: how much has the live graph walked
+/// away from the LDG plan the fleet was provisioned with?
+class DriftTracker {
+ public:
+  struct Thresholds {
+    /// Rebalance when applied cut-edge inserts since the baseline exceed
+    /// this fraction of the baseline cut.
+    double max_cut_growth = 0.10;
+    /// Rebalance when (max owned) / (mean owned) exceeds this.
+    double max_load_imbalance = 1.25;
+  };
+
+  explicit DriftTracker(const ShardPlan& baseline) { reset(baseline); }
+
+  /// Fold one applied update into the drift metrics.
+  void record(const GraphUpdateStats& stats);
+
+  /// Sorted unique nodes whose neighbourhood changed since the baseline —
+  /// the only nodes ShardPlanner::plan_diff re-places.
+  const std::vector<std::uint32_t>& drift_nodes() const { return drift_; }
+
+  std::size_t baseline_cut() const { return baseline_cut_; }
+  std::size_t cut_inserted() const { return cut_inserted_; }
+  std::size_t cut_deleted() const { return cut_deleted_; }
+  /// (max owned) / (mean owned) over the tracked per-shard node counts.
+  double load_imbalance() const;
+  /// Cut-growth fraction vs the baseline cut (0 when the baseline had none).
+  double cut_growth() const;
+
+  bool should_rebalance(const Thresholds& t) const {
+    return cut_growth() > t.max_cut_growth ||
+           load_imbalance() > t.max_load_imbalance;
+  }
+  bool should_rebalance() const { return should_rebalance(Thresholds{}); }
+
+  /// Re-anchor on a fresh plan (after a migration or re-provision).
+  void reset(const ShardPlan& baseline);
+
+ private:
+  std::size_t baseline_cut_ = 0;
+  std::size_t cut_inserted_ = 0;
+  std::size_t cut_deleted_ = 0;
+  std::vector<std::size_t> owned_count_;
+  std::vector<std::uint32_t> drift_;  // sorted unique
+};
+
+/// Apply `delta` to a plain Dataset in place — the vendor-side mirror of
+/// ShardedVaultDeployment::update_graph (same ordering, same no-op
+/// semantics).  Appended nodes get the delta's feature rows and label 0.
+void apply_delta(Dataset& ds, const GraphDelta& delta);
+
+/// Extend a trained vault's PUBLIC backbone to `num_nodes` total nodes:
+/// appended nodes join the substitute graph isolated (self-loop weight 1 in
+/// Â), so every pre-existing node's backbone embedding is bit-identical.
+/// The private rectifier is untouched.  No-op when the node count already
+/// matches or the backbone is feature-only (MLP).
+void extend_backbone(TrainedVault& vault, std::size_t num_nodes);
+
+/// Build a single-enclave oracle deployed on the mutated dataset: same
+/// trained weights, rectifier rebuilt over `mutated.graph`, backbone
+/// extended for any appended nodes.  `vault` itself is not modified.
+TrainedVault revault_on(const TrainedVault& vault, const Dataset& mutated);
+
+}  // namespace gv

@@ -1,0 +1,33 @@
+#include "shard/migration.hpp"
+
+#include <algorithm>
+
+#include "common/stopwatch.hpp"
+
+namespace gv {
+
+MigrationStats MigrationExecutor::execute(std::span<const NodeMove> moves) {
+  MigrationStats stats;
+  const std::uint64_t transfer_before = deployment_->halo_transfer_bytes();
+  const std::uint64_t wire_before = deployment_->halo_padded_bytes();
+  Stopwatch watch;
+  double fence_sum = 0.0;
+  for (const NodeMove& m : moves) {
+    if (deployment_->owner(m.node) == m.to) {
+      ++stats.moves_skipped;
+      continue;
+    }
+    const double fence_ms = deployment_->move_node(m.node, m.to);
+    fence_sum += fence_ms;
+    stats.max_fence_ms = std::max(stats.max_fence_ms, fence_ms);
+    ++stats.moves_executed;
+  }
+  stats.total_ms = watch.seconds() * 1e3;
+  stats.mean_fence_ms =
+      stats.moves_executed > 0 ? fence_sum / stats.moves_executed : 0.0;
+  stats.transfer_bytes = deployment_->halo_transfer_bytes() - transfer_before;
+  stats.wire_bytes = deployment_->halo_padded_bytes() - wire_before;
+  return stats;
+}
+
+}  // namespace gv

@@ -1,0 +1,65 @@
+// MigrationExecutor: turn a plan-diff move-set into live node migrations.
+//
+// After the private graph drifts, ShardPlanner::plan_diff emits the minimal
+// set of nodes whose shard assignment should change.  A full re-provision
+// would re-seal, re-attest, and re-refresh every enclave — the executor
+// instead moves exactly those nodes between LIVE shards:
+//
+//   per move   the losing enclave seals the node's adjacency row, degrees,
+//              and current label into an audited node-transfer payload on
+//              the attested channel; the gaining enclave installs it; the
+//              deployment flips its copy-on-write owner map; only then is
+//              the old row retired.  The router fences just that node for
+//              the (sub-millisecond) window, so no query ever observes
+//              split ownership — every other node serves throughout.
+//
+// The bytes moved are one adjacency row + one label per node instead of K
+// full shard packages, and the fencing is per node instead of fleet-wide:
+// bench/migration.cpp records both ratios in BENCH_migration.json.
+//
+// After a migration the standby replicas hold packages for a retired
+// topology; re-replicate before the next failover (the topology stamp
+// makes a stale standby refuse promotion rather than resurrect old
+// ownership).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "shard/shard_planner.hpp"
+#include "shard/sharded_deployment.hpp"
+
+namespace gv {
+
+struct MigrationStats {
+  std::size_t moves_executed = 0;
+  /// Moves whose node already lived on the target shard (plan replayed).
+  std::size_t moves_skipped = 0;
+  /// Logical node-transfer payload bytes that crossed attested channels.
+  std::uint64_t transfer_bytes = 0;
+  /// Wire bytes (bucket-padded) added across all channels by the moves.
+  std::uint64_t wire_bytes = 0;
+  /// Per-move router-fence window (the only serving disruption).
+  double max_fence_ms = 0.0;
+  double mean_fence_ms = 0.0;
+  /// End-to-end wall time of the whole move-set.
+  double total_ms = 0.0;
+};
+
+class MigrationExecutor {
+ public:
+  explicit MigrationExecutor(ShardedVaultDeployment& deployment)
+      : deployment_(&deployment) {}
+
+  /// Execute the move-set sequentially (each move fences one node for its
+  /// sub-millisecond window; queries for everything else flow throughout).
+  /// Moves whose node already sits on the target are skipped, so replaying
+  /// a plan-diff is idempotent.  Throws on a dead shard or a move that
+  /// would empty a shard; already-executed moves stay executed.
+  MigrationStats execute(std::span<const NodeMove> moves);
+
+ private:
+  ShardedVaultDeployment* deployment_;
+};
+
+}  // namespace gv

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
 #include "common/stopwatch.hpp"
 
 namespace gv {
@@ -20,6 +21,15 @@ const char* replica_state_name(ReplicaState s) {
 Sha256Digest ReplicaConfig::standby_platform_default_key() {
   Sha256 h;
   h.update(std::string("gnnvault-simulated-standby-cpu-fuse-key-v1"));
+  return h.finish();
+}
+
+Sha256Digest ReplicaConfig::standby_generation_key(std::uint32_t shard,
+                                                   std::uint32_t generation) {
+  Sha256 h;
+  h.update(std::string("gnnvault-simulated-standby-cpu-fuse-key-v1"));
+  h.update(std::string("/shard=") + std::to_string(shard) +
+           "/gen=" + std::to_string(generation));
   return h.finish();
 }
 
@@ -58,14 +68,25 @@ void ReplicaManager::replicate_one(std::uint32_t shard) {
       rep.channel == nullptr) {
     return;
   }
+  // A primary that died mid-pass is skipped, not an error: poisoning the
+  // replication future would make the dead-shard handler's wait_ready()
+  // rethrow the very failure it is trying to recover from.  The standby
+  // keeps whatever it replicated last (and its stamps fail safe).
+  if (!primary_->shard_alive(shard)) return;
   std::lock_guard<std::mutex> slot(rep.mu);
   // Primary side: package (and labels when available) leave the primary
-  // enclave only through the attested channel.  Capture the epoch BEFORE
-  // the send: if a refresh lands mid-replication the store is stamped with
-  // the older epoch and reads fail safe (stale), never the other way.
+  // enclave only through the attested channel.  Capture the epoch and
+  // topology version BEFORE the send: if a refresh / graph update lands
+  // mid-replication the copy is stamped with the older value and reads
+  // fail safe (stale), never the other way.
   const std::uint64_t epoch = primary_->refresh_epoch();
+  const std::uint64_t topology = primary_->topology_version();
   primary_->send_payload(shard, *rep.channel);
-  const bool with_labels = primary_->refreshed();
+  // Labels whose store entries were invalidated by a graph update must not
+  // be replicated as fresh — the standby cannot see the stale bits.  Skip
+  // the label sync; the stale standby refuses reads until the store heals.
+  const bool with_labels =
+      primary_->refreshed() && primary_->stale_store_entries(shard) == 0;
   if (with_labels) primary_->send_labels(shard, *rep.channel);
 
   // Standby side: receive, RE-SEAL under the standby platform key, and keep
@@ -85,6 +106,7 @@ void ReplicaManager::replicate_one(std::uint32_t shard) {
     }
   });
   if (with_labels) rep.synced_epoch.store(epoch);
+  rep.synced_topology.store(topology);
   rep.ready.store(true);
 }
 
@@ -119,6 +141,9 @@ void ReplicaManager::sync_labels_locked() {
       continue;
     }
     if (!rep.ready.load() || !primary_->shard_alive(s)) continue;
+    // A store with graph-update-invalidated entries must not be shipped as
+    // fresh (the stale bits do not travel); skip until it heals.
+    if (primary_->stale_store_entries(s) > 0) continue;
     std::lock_guard<std::mutex> slot(rep.mu);
     const std::uint64_t epoch = primary_->refresh_epoch();
     primary_->send_labels(s, *rep.channel);
@@ -143,6 +168,9 @@ void ReplicaManager::begin_promotion(std::uint32_t shard) {
   GV_CHECK(shard < replicas_.size(), "shard index out of range");
   Replica& rep = *replicas_[shard];
   GV_CHECK(rep.ready.load(), "cannot promote an unreplicated standby");
+  GV_CHECK(rep.synced_topology.load() == primary_->topology_version(),
+           "replica package predates the live topology (graph drift or "
+           "migration since replication) — re-replicate before promoting");
   GV_CHECK(!primary_->shard_alive(shard),
            "cannot promote while the primary shard is alive");
   ReplicaState expected = ReplicaState::kStandby;
@@ -197,6 +225,7 @@ double ReplicaManager::promote(std::uint32_t shard,
       rep.labels.clear();
       rep.payload = ShardPayload{};
       rep.synced_epoch.store(0);
+      rep.synced_topology.store(0);
     }
     // Label stores (re)materialize from the CURRENT feature snapshot while
     // the router fence is still up — no query ever sees a pre-promotion
@@ -214,11 +243,13 @@ double ReplicaManager::promote(std::uint32_t shard,
     // epoch alone, so the standbys are already fresh and the fencing window
     // skips the fleet-wide label re-ship.
     if (primary_->refresh_epoch() != epoch_before) sync_labels_locked();
-  } catch (...) {
+  } catch (const std::exception& e) {
     // Failed promotion: drop back to STANDBY so fenced routers unblock
     // instead of hanging forever.  A rejected adoption left the slot a
     // warm standby (ready stays true); a slot consumed before the failure
-    // refuses lookups (ready=false) and waits for restaff().
+    // refuses lookups (ready=false) and waits for restaff().  Logged here
+    // because the caller may only join (and rethrow) much later.
+    GV_LOG_WARN << "promotion of shard " << shard << " failed: " << e.what();
     rep.ready.store(rep.enclave != nullptr);
     {
       std::lock_guard<std::mutex> state_lock(promote_mu_);
@@ -232,7 +263,27 @@ double ReplicaManager::promote(std::uint32_t shard,
     rep.state.store(ReplicaState::kPrimary);
   }
   promote_cv_.notify_all();
-  return watch.seconds() * 1e3;
+  // Serving resumed at the notify above — the promotion latency (the
+  // kill-to-serving fencing window) stops HERE; auto-restaff is background
+  // work that must not inflate it.
+  const double promotion_ms = watch.seconds() * 1e3;
+  if (cfg_.auto_restaff) {
+    // Gen-2 standby on a fresh derived platform key: the fleet survives
+    // back-to-back failovers with nobody in the loop.  Best effort — a
+    // failed restaff leaves the slot empty for an explicit retry and never
+    // fails the promotion that already landed (replicate_mu_ is still
+    // held, so nothing races the fresh slot).
+    try {
+      rep.generation += 1;
+      restaff_locked(shard,
+                     ReplicaConfig::standby_generation_key(shard, rep.generation));
+      replicate_one(shard);
+      restaffs_.fetch_add(1);
+    } catch (...) {
+      // Slot stays empty; restaff() can retry explicitly.
+    }
+  }
+  return promotion_ms;
 }
 
 bool ReplicaManager::await_promotion(std::uint32_t shard,
@@ -246,8 +297,13 @@ bool ReplicaManager::await_promotion(std::uint32_t shard,
 }
 
 void ReplicaManager::restaff(std::uint32_t shard, const Sha256Digest& platform_key) {
-  GV_CHECK(shard < replicas_.size(), "shard index out of range");
   std::lock_guard<std::mutex> lock(replicate_mu_);
+  restaff_locked(shard, platform_key);
+}
+
+void ReplicaManager::restaff_locked(std::uint32_t shard,
+                                    const Sha256Digest& platform_key) {
+  GV_CHECK(shard < replicas_.size(), "shard index out of range");
   Replica& rep = *replicas_[shard];
   // Restaffable slots: a completed promotion (PRIMARY), or a STANDBY slot
   // whose enclave was consumed by a promotion that failed after adoption.
@@ -267,6 +323,7 @@ void ReplicaManager::restaff(std::uint32_t shard, const Sha256Digest& platform_k
   rep.labels.clear();
   rep.sealed = SealedBlob{};
   rep.synced_epoch.store(0);
+  rep.synced_topology.store(0);
   rep.ready.store(false);
   {
     std::lock_guard<std::mutex> state_lock(promote_mu_);

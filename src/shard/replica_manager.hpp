@@ -60,8 +60,15 @@ const char* replica_state_name(ReplicaState s);
 struct ReplicaConfig {
   /// Platform fuse key of the standby machine hosting the replicas.
   Sha256Digest standby_platform_key = standby_platform_default_key();
+  /// After a successful promotion, automatically provision a generation-2
+  /// standby (on a fresh derived platform key) and replicate into it, so a
+  /// second failover needs no manual restaff() call.
+  bool auto_restaff = false;
 
   static Sha256Digest standby_platform_default_key();
+  /// Platform key of the `generation`-th auto-restaffed standby machine.
+  static Sha256Digest standby_generation_key(std::uint32_t shard,
+                                             std::uint32_t generation);
 };
 
 class ReplicaManager {
@@ -122,6 +129,9 @@ class ReplicaManager {
   /// replicate afterwards to warm it.
   void restaff(std::uint32_t shard, const Sha256Digest& platform_key);
 
+  /// Standbys auto-provisioned after promotions (cfg.auto_restaff).
+  std::uint64_t restaffs() const { return restaffs_.load(); }
+
   /// Label-only lookup served by the replica enclave.  Refuses to serve
   /// when the store is stale (the primary refreshed after the last label
   /// sync) or the replica was already promoted.
@@ -148,6 +158,12 @@ class ReplicaManager {
     std::atomic<ReplicaState> state{ReplicaState::kStandby};
     /// Refresh epoch of the primary when the label store was last synced.
     std::atomic<std::uint64_t> synced_epoch{0};
+    /// Topology version of the primary when the package was replicated: a
+    /// package that predates a graph update or migration describes a
+    /// retired topology and must never be promoted (re-replicate first).
+    std::atomic<std::uint64_t> synced_topology{0};
+    /// Auto-restaff generation (0 = the provisioning-time standby).
+    std::uint32_t generation = 0;
     Sha256Digest platform_key{};
     // Enclave-held state (only touched inside ecalls):
     ShardPayload payload;
@@ -158,10 +174,13 @@ class ReplicaManager {
   void replicate_one(std::uint32_t shard);
   /// sync_labels body; caller holds replicate_mu_.
   void sync_labels_locked();
+  /// restaff body; caller holds replicate_mu_.
+  void restaff_locked(std::uint32_t shard, const Sha256Digest& platform_key);
 
   ShardedVaultDeployment* primary_;
   ReplicaConfig cfg_;
   std::vector<std::unique_ptr<Replica>> replicas_;
+  std::atomic<std::uint64_t> restaffs_{0};
   std::future<void> pending_;
   std::mutex replicate_mu_;  // serializes replicate_all / sync_labels / promote
   mutable std::mutex promote_mu_;

@@ -35,6 +35,56 @@ std::size_t per_node_embedding_floats(const TrainedVault& vault) {
   return floats;
 }
 
+/// Per-node working-set weights shared by plan() and plan_diff(): the
+/// node's Â row (COO + CSR share) plus its rows of every enclave-resident
+/// embedding.
+std::vector<double> node_weights(const Graph& g, const TrainedVault& vault) {
+  const std::size_t emb_floats = per_node_embedding_floats(vault);
+  const auto deg = g.degrees();
+  std::vector<double> weights(g.num_nodes());
+  for (std::uint32_t v = 0; v < g.num_nodes(); ++v) {
+    const double nnz_v = static_cast<double>(deg[v]) + 1.0;  // + self-loop
+    weights[v] = nnz_v * (3 * sizeof(std::uint32_t) + sizeof(float)) +
+                 static_cast<double>(emb_floats) * sizeof(float);
+  }
+  return weights;
+}
+
+/// Fill shards[].{nodes,closure_nodes,adj_nnz,estimated_bytes} and
+/// cut_edges from an owner assignment already stored in `plan`.
+void fill_plan_infos(ShardPlan& plan, const Dataset& ds,
+                     const TrainedVault& vault) {
+  const Graph& g = ds.graph;
+  const std::uint32_t n = g.num_nodes();
+  const auto deg = g.degrees();
+  plan.shards.assign(plan.num_shards, ShardInfo{});
+  for (std::uint32_t v = 0; v < n; ++v) {
+    plan.shards[plan.owner[v]].nodes.push_back(v);  // ascending v => sorted
+  }
+  std::vector<std::uint32_t> mark(n, UINT32_MAX);
+  for (std::uint32_t s = 0; s < plan.num_shards; ++s) {
+    ShardInfo& info = plan.shards[s];
+    std::size_t closure = 0;
+    std::size_t nnz = 0;
+    auto touch = [&](std::uint32_t v) {
+      if (mark[v] != s) {
+        mark[v] = s;
+        ++closure;
+      }
+    };
+    for (const std::uint32_t v : info.nodes) {
+      touch(v);
+      nnz += deg[v] + 1;
+      for (const std::uint32_t u : g.neighbors(v)) touch(u);
+    }
+    info.closure_nodes = closure;
+    info.adj_nnz = nnz;
+    info.estimated_bytes = ShardPlanner::estimate_shard_bytes(
+        vault, n, info.nodes.size(), closure, nnz);
+  }
+  plan.cut_edges = count_cut_edges(g, plan.owner);
+}
+
 }  // namespace
 
 std::size_t ShardPlanner::estimate_shard_bytes(const TrainedVault& vault,
@@ -76,51 +126,100 @@ ShardPlan ShardPlanner::plan(const Dataset& ds, const TrainedVault& vault,
   const std::uint32_t n = g.num_nodes();
   GV_CHECK(num_shards <= std::max(1u, n), "more shards than nodes");
 
-  // Per-node working-set weight: the node's Â row (COO + CSR share) plus
-  // its rows of every enclave-resident embedding.
-  const std::size_t emb_floats = per_node_embedding_floats(vault);
-  const auto deg = g.degrees();
-  std::vector<double> weights(n);
-  for (std::uint32_t v = 0; v < n; ++v) {
-    const double nnz_v = static_cast<double>(deg[v]) + 1.0;  // + self-loop
-    weights[v] = nnz_v * (3 * sizeof(std::uint32_t) + sizeof(float)) +
-                 static_cast<double>(emb_floats) * sizeof(float);
-  }
-
+  const std::vector<double> weights = node_weights(g, vault);
   const PartitionResult part =
       greedy_edge_cut_partition(g, num_shards, weights, balance_slack);
 
   ShardPlan plan;
   plan.num_shards = num_shards;
   plan.owner = part.owner;
-  plan.cut_edges = part.cut_edges;
-  plan.shards.resize(num_shards);
-  for (std::uint32_t v = 0; v < n; ++v) {
-    plan.shards[plan.owner[v]].nodes.push_back(v);  // ascending v => sorted
-  }
-  // Closure/nnz per shard via a shared epoch-stamped mark.
-  std::vector<std::uint32_t> mark(n, UINT32_MAX);
-  for (std::uint32_t s = 0; s < num_shards; ++s) {
-    ShardInfo& info = plan.shards[s];
-    std::size_t closure = 0;
-    std::size_t nnz = 0;
-    auto touch = [&](std::uint32_t v) {
-      if (mark[v] != s) {
-        mark[v] = s;
-        ++closure;
-      }
-    };
-    for (const std::uint32_t v : info.nodes) {
-      touch(v);
-      nnz += deg[v] + 1;
-      for (const std::uint32_t u : g.neighbors(v)) touch(u);
-    }
-    info.closure_nodes = closure;
-    info.adj_nnz = nnz;
-    info.estimated_bytes =
-        estimate_shard_bytes(vault, n, info.nodes.size(), closure, nnz);
-  }
+  fill_plan_infos(plan, ds, vault);
   return plan;
+}
+
+PlanDiff ShardPlanner::plan_diff(const Dataset& ds, const TrainedVault& vault,
+                                 const ShardPlan& old_plan,
+                                 std::span<const std::uint32_t> drift_nodes,
+                                 double balance_slack, double min_gain,
+                                 std::size_t max_passes) {
+  const Graph& g = ds.graph;
+  const std::uint32_t n = g.num_nodes();
+  const std::uint32_t K = old_plan.num_shards;
+  GV_CHECK(K >= 1, "plan_diff needs a valid old plan");
+  GV_CHECK(old_plan.owner.size() == n,
+           "old plan covers a different node count (appended nodes must "
+           "already carry an owner — pass the deployment's live plan)");
+  GV_CHECK(balance_slack >= 1.0, "slack must be >= 1");
+
+  PlanDiff out;
+  out.plan.num_shards = K;
+  out.plan.owner = old_plan.owner;
+  if (K == 1 || n == 0) {
+    fill_plan_infos(out.plan, ds, vault);
+    return out;
+  }
+
+  const std::vector<double> weights = node_weights(g, vault);
+  std::vector<double> part_weight(K, 0.0);
+  double total = 0.0;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    part_weight[out.plan.owner[v]] += weights[v];
+    total += weights[v];
+  }
+  double cap = balance_slack * total / K;
+  for (std::uint32_t v = 0; v < n; ++v) cap = std::max(cap, weights[v]);
+
+  // Drift-only LDG: re-score ONLY the drift nodes, against the LIVE owner
+  // map, until a pass moves nothing (fixpoint) — which is exactly what
+  // makes a second plan_diff on the output a no-op.  Everything outside
+  // the drift set stays put by construction: an incremental re-plan must
+  // not shuffle healthy shards.
+  std::vector<std::uint32_t> drift(drift_nodes.begin(), drift_nodes.end());
+  std::sort(drift.begin(), drift.end());
+  drift.erase(std::unique(drift.begin(), drift.end()), drift.end());
+  std::vector<double> nbr_in_part(K, 0.0);
+  for (std::size_t pass = 0; pass < max_passes; ++pass) {
+    bool moved = false;
+    for (const std::uint32_t v : drift) {
+      GV_CHECK(v < n, "drift node out of range");
+      std::fill(nbr_in_part.begin(), nbr_in_part.end(), 0.0);
+      for (const std::uint32_t u : g.neighbors(v)) {
+        nbr_in_part[out.plan.owner[u]] += 1.0;
+      }
+      const std::uint32_t cur = out.plan.owner[v];
+      auto score = [&](std::uint32_t p) {
+        const double headroom = 1.0 - part_weight[p] / cap;
+        return (nbr_in_part[p] + 1e-3) * headroom;
+      };
+      std::uint32_t best = cur;
+      double best_score = score(cur);
+      for (std::uint32_t p = 0; p < K; ++p) {
+        if (p == cur || part_weight[p] + weights[v] > cap) continue;
+        if (score(p) > best_score) {
+          best_score = score(p);
+          best = p;
+        }
+      }
+      // Churn damping: moving a node re-seals two shards and fences the
+      // router — only do it for a clearly better placement.
+      if (best != cur && best_score > score(cur) * (1.0 + min_gain)) {
+        part_weight[cur] -= weights[v];
+        part_weight[best] += weights[v];
+        out.plan.owner[v] = best;
+        moved = true;
+      }
+    }
+    ++out.passes;
+    if (!moved) break;
+  }
+
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (out.plan.owner[v] != old_plan.owner[v]) {
+      out.moves.push_back({v, old_plan.owner[v], out.plan.owner[v]});
+    }
+  }
+  fill_plan_infos(out.plan, ds, vault);
+  return out;
 }
 
 ShardPlan ShardPlanner::plan_for_budget(const Dataset& ds, const TrainedVault& vault,
@@ -158,6 +257,7 @@ std::vector<ShardPayload> ShardPlanner::build_payloads(const Dataset& ds,
   const CsrMatrix global_adj =
       Graph::csr_from_coo_normalized(ds.graph.to_coo_normalized());
   const auto weights = vault.rectifier->serialize_weights();
+  const auto deg = ds.graph.degrees();
 
   const std::uint32_t n = ds.num_nodes();
   std::vector<ShardPayload> payloads(plan.num_shards);
@@ -193,6 +293,10 @@ std::vector<ShardPayload> ShardPlanner::build_payloads(const Dataset& ds,
     for (std::uint32_t j = 0; j < p.closure.size(); ++j) {
       local_col[p.closure[j]] = j;
     }
+    // Private-graph degree of every closure node: what GraphDrift needs to
+    // renormalize touched rows bit-exactly after an edge insert/delete.
+    p.closure_deg.reserve(p.closure.size());
+    for (const std::uint32_t u : p.closure) p.closure_deg.push_back(deg[u]);
 
     // Rows in owned order, columns remapped to closure positions; ascending
     // global column order is preserved because the remap is monotone.

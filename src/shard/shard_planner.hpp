@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/package.hpp"
@@ -47,6 +48,22 @@ struct ShardPlan {
   std::size_t total_bytes() const;
 };
 
+/// One node changing owner (GraphDrift rebalancing).
+struct NodeMove {
+  std::uint32_t node = 0;
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+};
+
+/// Result of an incremental re-plan: the refreshed plan plus the minimal
+/// move-set that turns the old owner map into the new one.
+struct PlanDiff {
+  ShardPlan plan;
+  std::vector<NodeMove> moves;
+  /// LDG passes until the drift set reached a fixpoint.
+  std::size_t passes = 0;
+};
+
 class ShardPlanner {
  public:
   /// Rows per streamed backbone chunk: untrusted code pushes the FULL public
@@ -64,6 +81,22 @@ class ShardPlanner {
   static ShardPlan plan_for_budget(const Dataset& ds, const TrainedVault& vault,
                                    std::size_t shard_budget_bytes,
                                    std::uint32_t max_shards = 16);
+
+  /// Incremental re-plan after graph drift: re-run the LDG placement score
+  /// over ONLY `drift_nodes` (the nodes whose neighbourhood changed since
+  /// `old_plan` — DriftTracker::drift_nodes), keeping every other node
+  /// where it is, and iterate to a fixpoint.  A node moves only when the
+  /// destination's score beats its current shard's by more than `min_gain`
+  /// (churn damping), so plan_diff on its own output emits no moves
+  /// (idempotence).  `old_plan.owner` must cover `ds` — for appended nodes
+  /// that means the plan the deployment maintains (update_graph assigns
+  /// them an owner), not the provisioning-time plan.  Returns the refreshed
+  /// plan and the minimal move-set; moves are emitted in ascending node id.
+  static PlanDiff plan_diff(const Dataset& ds, const TrainedVault& vault,
+                            const ShardPlan& old_plan,
+                            std::span<const std::uint32_t> drift_nodes,
+                            double balance_slack = 1.1, double min_gain = 0.05,
+                            std::size_t max_passes = 16);
 
   /// Materialize the per-shard sealed-package payloads (sub-adjacency in
   /// GLOBAL normalized values, halo routing lists, replicated weights).

@@ -14,12 +14,36 @@ ShardRouter::ShardRouter(ShardedVaultDeployment& deployment,
 
 std::vector<std::uint32_t> ShardRouter::route(
     std::span<const std::uint32_t> nodes) {
+  // Migration/update retry loop: ownership is read from one immutable
+  // snapshot per attempt; if a migration flips an owner mid-batch the
+  // lookup throws, the ownership epoch has moved, and the batch regroups
+  // against a fresh snapshot.  Bounded — each retry needs a racing move.
+  for (int attempt = 0;; ++attempt) {
+    // Per-node migration fences + the global graph-update fence: no lookup
+    // may observe split ownership or a not-yet-invalidated store entry.
+    GV_CHECK(deployment_->await_moves(nodes, fence_timeout_),
+             "migration / graph update did not complete within the fence "
+             "timeout");
+    const std::uint64_t epoch0 = deployment_->ownership_epoch();
+    try {
+      return route_once(nodes);
+    } catch (const Error&) {
+      if (attempt >= 3 || deployment_->ownership_epoch() == epoch0) throw;
+      // An ownership change landed under this batch: regroup and retry.
+    }
+  }
+}
+
+std::vector<std::uint32_t> ShardRouter::route_once(
+    std::span<const std::uint32_t> nodes) {
   const std::uint32_t num_shards = deployment_->num_shards();
+  const auto owner = deployment_->owner_snapshot();
   // Split by ownership, remembering each node's position in the request.
   std::vector<std::vector<std::uint32_t>> shard_nodes(num_shards);
   std::vector<std::vector<std::size_t>> shard_positions(num_shards);
   for (std::size_t i = 0; i < nodes.size(); ++i) {
-    const std::uint32_t s = deployment_->owner(nodes[i]);
+    GV_CHECK(nodes[i] < owner->size(), "query node out of range");
+    const std::uint32_t s = (*owner)[nodes[i]];
     shard_nodes[s].push_back(nodes[i]);
     shard_positions[s].push_back(i);
   }
@@ -63,6 +87,34 @@ std::vector<std::uint32_t> ShardRouter::route(
             used_cold = true;
             labels = cold_path_(shard_nodes[s]);
             cold_batches_.fetch_add(1);
+          } else if (cold_path_ != nullptr &&
+                     deployment_->stale_store_entries(s) > 0) {
+            // Graph drift invalidated part of this shard's store: serve
+            // the still-fresh entries from the store and only the stale
+            // ones demand-driven (the cold forward writes the recomputed
+            // labels back, healing the store as traffic touches it).
+            const auto mask = deployment_->stale_mask(s, shard_nodes[s]);
+            std::vector<std::uint32_t> fresh, stale;
+            std::vector<std::size_t> fresh_at, stale_at;
+            for (std::size_t i = 0; i < mask.size(); ++i) {
+              (mask[i] ? stale : fresh).push_back(shard_nodes[s][i]);
+              (mask[i] ? stale_at : fresh_at).push_back(i);
+            }
+            labels.assign(shard_nodes[s].size(), 0);
+            if (!fresh.empty()) {
+              const auto got = deployment_->lookup(s, fresh, &delta);
+              for (std::size_t i = 0; i < got.size(); ++i) {
+                labels[fresh_at[i]] = got[i];
+              }
+            }
+            if (!stale.empty()) {
+              used_cold = true;
+              const auto got = cold_path_(stale);
+              for (std::size_t i = 0; i < got.size(); ++i) {
+                labels[stale_at[i]] = got[i];
+              }
+              cold_batches_.fetch_add(1);
+            }
           } else {
             labels = deployment_->lookup(s, shard_nodes[s], &delta);
           }
@@ -94,8 +146,12 @@ std::vector<std::uint32_t> ShardRouter::route(
         }
         // A cold walk's failed frontier shard may have finished promoting
         // between the throw and the state scan above — a cold attempt is
-        // idempotent, so it always earns its one retry.
-        if (!frontier_fenced && !used_cold &&
+        // idempotent, so it always earns its one retry.  Likewise a shard
+        // that is ALIVE again by now: a dead-shard-detection promotion can
+        // land (and auto-restaff can flip the slot back to STANDBY) before
+        // this thread even reaches the catch, and the retry then serves
+        // from the already-promoted PRIMARY.
+        if (!frontier_fenced && !used_cold && !deployment_->shard_alive(s) &&
             replicas_->state(s) == ReplicaState::kStandby) {
           throw;
         }

@@ -43,8 +43,12 @@ class ShardRouter {
   /// Labels for `nodes` in request order.  Sub-batches for a PROMOTING
   /// shard block on the fence until the promoted PRIMARY serves them;
   /// sub-batches for a live shard with an un-materialized store go down the
-  /// cold path; sub-batches for dead shards fail over to ready (and
-  /// epoch-fresh) replicas; throws gv::Error when nobody can answer.
+  /// cold path; store entries invalidated by a graph update are split onto
+  /// the cold path (which heals them) while the fresh remainder serves
+  /// warm; nodes mid-migration wait on the per-move fence, and a batch
+  /// that raced an ownership flip regroups against a fresh owner snapshot;
+  /// sub-batches for dead shards fail over to ready (and epoch-fresh)
+  /// replicas; throws gv::Error when nobody can answer.
   std::vector<std::uint32_t> route(std::span<const std::uint32_t> nodes);
 
   /// Demand-driven fallback for un-materialized label stores (typically
@@ -71,6 +75,9 @@ class ShardRouter {
   std::vector<std::uint64_t> per_shard_batches() const;
 
  private:
+  /// One grouping + serving attempt against a single owner-map snapshot.
+  std::vector<std::uint32_t> route_once(std::span<const std::uint32_t> nodes);
+
   ShardedVaultDeployment* deployment_;
   ReplicaManager* replicas_;
   ColdPathFn cold_path_;

@@ -37,15 +37,29 @@
 // The same machinery gives promotions an incremental re-materialization
 // (rematerialize_shard): only the adopted shard's store is rebuilt, via a
 // shard-local forward with halo pulls from the survivors.
+// GRAPHDRIFT (live mutation + rebalancing).  The private graph is NOT
+// frozen at provisioning: update_graph applies edge/node deltas inside the
+// owning enclaves (sorted-row maintenance of each owned x closure
+// sub-adjacency, bit-exact degree renormalization of touched rows,
+// digest-based invalidation of the label-store entries and retained
+// boundary activations the delta can reach), and move_node migrates one
+// node between live shards over the attested channels (new audited
+// node-transfer payload kind) behind a per-node router fence, flipping a
+// copy-on-write owner map so no query ever observes split ownership.
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "shard/graph_drift.hpp"
 #include "shard/shard_planner.hpp"
 #include "sgxsim/attested_channel.hpp"
 #include "sgxsim/channel.hpp"
@@ -160,6 +174,91 @@ class ShardedVaultDeployment {
   /// matrices in host RAM; the next refresh or cold query recomputes).
   void drop_backbone_cache();
 
+  // --- GraphDrift: live private-graph mutation. --------------------------
+  /// Apply one batch of topology deltas inside the owning enclaves.  Each
+  /// touched shard's sorted adjacency rows are edited in place, rows whose
+  /// endpoints changed degree are renormalized from the integer degrees
+  /// (bit-exact vs a from-scratch normalization of the mutated graph), and
+  /// label-store entries / retained boundary activations within the
+  /// rectifier's receptive field of a changed row are invalidated — the
+  /// cold cross-shard path recomputes them on demand (and heals the store
+  /// as it does).  Appended nodes go to the least-loaded shard.  Requires
+  /// every shard alive.  `features_after`, when non-null, is the feature
+  /// snapshot queries will use AFTER this update (old rows unchanged, one
+  /// appended row per added node): it lets the unaffected shards' retained
+  /// stores keep serving; without it a node add conservatively drops the
+  /// store fingerprint.  Bumps the refresh epoch (standby label stores go
+  /// stale-refusing) and the topology version (standby packages must
+  /// re-replicate before they can promote).
+  /// `before_unfence`, when set, runs after the update is fully applied
+  /// but while the router fence is STILL UP — the hook a server uses to
+  /// swap its feature snapshot atomically with the topology, so no query
+  /// ever pairs the new node count with the old snapshot (or vice versa).
+  GraphUpdateStats update_graph(
+      const GraphDelta& delta, const CsrMatrix* features_after = nullptr,
+      const std::function<void()>& before_unfence = {});
+
+  /// Current node count (grows with node adds).
+  std::size_t num_nodes() const;
+
+  /// Immutable snapshot of the node -> shard owner map.  Copy-on-write:
+  /// migrations and node adds swap the whole vector, so a router groups an
+  /// entire batch against one consistent snapshot.
+  std::shared_ptr<const std::vector<std::uint32_t>> owner_snapshot() const;
+  /// Bumped once per committed ownership change (migration move/node add)
+  /// AND per applied graph update: a router batch that raced either
+  /// regroups against fresh state and retries instead of surfacing an
+  /// internal consistency error.
+  std::uint64_t ownership_epoch() const { return ownership_epoch_.load(); }
+  /// Monotone version of the private topology (mutations AND migrations).
+  /// Replicated packages are stamped with it: a standby whose package
+  /// predates the live topology must re-replicate before it may promote.
+  std::uint64_t topology_version() const { return topology_version_.load(); }
+
+  /// Move one node between two live shards: extract its adjacency row,
+  /// degrees, and current label inside the losing enclave, ship them over
+  /// the attested channel as a sealed node-transfer payload, install them
+  /// in the gaining enclave, flip the owner map, and only then retire the
+  /// old row.  The node is fenced for the duration (await_moves), so no
+  /// query observes split ownership; every other node serves throughout.
+  /// Returns the fence window in wall milliseconds.  Refuses to empty a
+  /// shard.  Typically driven by MigrationExecutor (shard/migration.hpp).
+  double move_node(std::uint32_t node, std::uint32_t to);
+
+  /// Block until none of `nodes` is mid-migration and no update_graph is
+  /// mid-flight; false on timeout.
+  bool await_moves(std::span<const std::uint32_t> nodes,
+                   std::chrono::milliseconds timeout) const;
+
+  /// Label-store entries of `shard` invalidated by graph updates and not
+  /// yet recomputed (cold write-back, rematerialize, or refresh heal them).
+  std::size_t stale_store_entries(std::uint32_t shard) const;
+  /// For each of `nodes` (all owned by `shard`): 1 = the stored label was
+  /// invalidated by a graph update — route it through the cold path.
+  std::vector<char> stale_mask(std::uint32_t shard,
+                               std::span<const std::uint32_t> nodes);
+
+  /// True when `shard`'s retained boundary activations match the current
+  /// stores (cold halo pulls are store-served without recompute).
+  bool retained_valid(std::uint32_t shard) const;
+
+  /// Rebuild ONLY `shard`'s retained boundary-row activations via a
+  /// boundary-restricted cold forward (halo pulls from the survivors) —
+  /// the missing piece after a warm-adopt promotion, whose installed label
+  /// store is bit-fresh but whose enclave holds no activations.  Same
+  /// snapshot requirements as rematerialize_shard; the label store is
+  /// untouched.
+  void rebuild_boundary_retained(std::uint32_t shard, const CsrMatrix& features);
+
+  // --- Dead-shard detection. ---------------------------------------------
+  /// A serving-path ecall that dies (EnclaveFailure) marks the shard dead
+  /// and invokes this handler with the shard index — the hook the server
+  /// uses to trigger the same fence + promote path an explicit kill_shard
+  /// takes, without anyone having to notice the crash first.
+  void set_shard_failure_handler(std::function<void(std::uint32_t)> handler);
+  /// Dead shards detected from a failed ecall (vs explicit kill_shard).
+  std::uint64_t shard_faults() const { return shard_faults_.load(); }
+
   /// Label-only lookup into one shard's enclave label store. `nodes` must
   /// all be owned by `shard`.  `modeled_delta`, when non-null, receives the
   /// modeled seconds this lookup added to the shard's meter (the router
@@ -216,10 +315,16 @@ class ShardedVaultDeployment {
   // --- Audit + cost accounting. ------------------------------------------
   /// Plaintext bytes that crossed INTER-SHARD channels, by payload kind.
   /// Tests assert package_bytes == 0 and label_bytes == 0 on these: halo
-  /// traffic is embeddings only, and no adjacency API even exists.
+  /// traffic is embeddings, halo-pull requests, and (during migration
+  /// only) audited node-transfer payloads — the one kind allowed to carry
+  /// adjacency rows, which is why it is counted separately.
   std::uint64_t halo_embedding_bytes() const;
   std::uint64_t halo_label_bytes() const;
   std::uint64_t halo_package_bytes() const;
+  std::uint64_t halo_transfer_bytes() const;
+  /// Wire bytes incl. the power-of-two bucket padding that hides cut /
+  /// frontier / move-set cardinalities from the untrusted relay.
+  std::uint64_t halo_padded_bytes() const;
 
   /// Modeled seconds so far: untrusted backbone + the critical path of the
   /// sharded forward (per phase, the slowest shard — shards run on separate
@@ -234,6 +339,12 @@ class ShardedVaultDeployment {
   struct Shard {
     std::unique_ptr<Enclave> enclave;
     std::unique_ptr<OneWayChannel> stream;  // untrusted -> enclave staging
+    /// Serving-vs-adoption guard: lookups hold it shared for their whole
+    /// body; adopt_shard holds it exclusive while it swaps the enclave and
+    /// every container a lookup reads.  A straggler that slipped past the
+    /// router's promotion fence therefore drains BEFORE the swap — a hard
+    /// guarantee where the pre-GraphDrift code had a timing assumption.
+    mutable std::shared_mutex access_mu;
     std::atomic<bool> alive{true};
     /// Label store materialized (refresh or rematerialize_shard) and not
     /// since invalidated by an adoption.
@@ -253,6 +364,26 @@ class ShardedVaultDeployment {
     /// Union of halo_out[*] as owned-local row indices (sorted): the rows
     /// whose activations any peer can ever pull cold.
     std::vector<std::uint32_t> boundary_rows;
+    // --- GraphDrift mutable topology (enclave-held). ----------------------
+    /// Adjacency rows keyed by owned-local index, columns as GLOBAL node
+    /// ids in ascending order with the GLOBAL Â value: the mutable source
+    /// of truth that payload.adj_* / sub_adj / the rectifier CSR are
+    /// regenerated from after a mutation.  Ascending global columns keep
+    /// the FP summation order of the unsharded forward.
+    std::vector<std::vector<std::pair<std::uint32_t, float>>> adj_rows;
+    /// 1/sqrt(closure_deg + 1) per closure node, recomputed from the
+    /// integer degree whenever it changes (bit-exact renormalization).
+    std::vector<float> closure_dinv;
+    /// Owned rows referencing each closure node (self-loops included):
+    /// a column whose count drops to zero leaves the closure.
+    std::vector<std::uint32_t> closure_refs;
+    /// FNV digest of each owned row's (cols, values): rows whose digest
+    /// survives a delta keep their labels; changed digests seed the
+    /// stale-label BFS.
+    std::vector<std::uint64_t> row_digest;
+    /// Label-store entries invalidated by a graph update (1 = stale).
+    std::vector<char> label_stale;
+    std::atomic<std::size_t> stale_count{0};
     /// Boundary-row activations per rectifier layer 0..L-2, retained at
     /// refresh so cold halo pulls need no recompute (rows ~ boundary_rows).
     std::vector<Matrix> retained;
@@ -276,7 +407,33 @@ class ShardedVaultDeployment {
   /// ledger) from `shard.payload` inside `shard.enclave` — shared by initial
   /// provisioning and replica adoption.
   void install_payload(Shard& shard);
+  /// Regenerate sub_adj / payload.adj_* / boundary_rows / the rectifier
+  /// CSR / the sealed blob from the (mutated) adj_rows + closure arrays.
+  /// Must run inside an ecall on `shard.enclave`.
+  void rebuild_topology_locked(Shard& shard);
+  /// Dead-shard bookkeeping for a serving ecall that threw EnclaveFailure:
+  /// marks the shard dead, counts the fault, and invokes the failure
+  /// handler.  Callers MUST have released the shard's access_mu first —
+  /// the handler may join a promotion that needs it exclusively.
+  void on_enclave_failure(std::uint32_t shard);
+  /// Cold-path variant of the bookkeeping: marks the shard dead and counts
+  /// the fault, but only RECORDS it (pending_fault_) — the caller holds
+  /// infer_mu_, which the handler's promotion join would need via
+  /// adopt_shard.  The serving entry points invoke notify_pending_fault()
+  /// after releasing the lock.
+  template <typename F>
+  auto cold_ecall(std::uint32_t shard, F&& body) -> decltype(body());
+  void mark_cold_fault(std::uint32_t shard);
+  void notify_pending_fault();
+  /// Swap in a fresh owner-map snapshot (caller mutated plan_.owner under
+  /// infer_mu_) and bump the ownership epoch.
+  void publish_owner_map();
   AttestedChannel* channel(std::uint32_t s, std::uint32_t t);
+  /// channel(s, t), creating (and handshaking) it when the pair had no
+  /// halo overlap at provisioning time — drift and migration can mint new
+  /// neighbor pairs.  Caller holds infer_mu_.
+  AttestedChannel& ensure_channel(std::uint32_t s, std::uint32_t t,
+                                  std::size_t* created);
   void stream_backbone_rows(const std::vector<Matrix>& outputs);
   /// The oblivious streaming protocol shared by refresh and the cold path:
   /// push the FULL matrix to `sh` in fixed-size chunks (the untrusted
@@ -285,16 +442,20 @@ class ShardedVaultDeployment {
   /// selection of which rows to keep stays inside the enclave.
   template <typename Scatter>
   void stream_full_matrix(Shard& sh, const Matrix& full, Scatter&& scatter);
+  /// What a cold forward installs into `retain_shard` on its way through.
+  enum class RetainMode {
+    kNone,      // plain query (stale store entries are still healed)
+    kFull,      // labels + boundary activations (`nodes` = full owned set)
+    kBoundary,  // boundary activations only (`nodes` = boundary rows)
+  };
   /// Shared cold forward (caller holds infer_mu_; `fingerprint` is
-  /// features_fingerprint(features), hashed once per entry point).  When
-  /// `retain_shard` is a shard index, `nodes` must be exactly that shard's
-  /// owned set and the computed stores (labels + boundary activations) are
-  /// installed there.
+  /// features_fingerprint(features), hashed once per entry point).
   std::vector<std::uint32_t> cold_forward(const CsrMatrix& features,
                                           std::uint64_t fingerprint,
                                           std::span<const std::uint32_t> nodes,
                                           ColdSubsetStats* stats,
-                                          std::uint32_t retain_shard);
+                                          std::uint32_t retain_shard,
+                                          RetainMode retain_mode);
   /// Backbone outputs for `features`, reusing the cache when the
   /// fingerprint matches the last forward (caller holds infer_mu_).
   const std::vector<Matrix>& backbone_for(const CsrMatrix& features,
@@ -310,6 +471,12 @@ class ShardedVaultDeployment {
   ShardPlan plan_;
   ShardedDeploymentOptions opts_;
   std::vector<std::size_t> required_layers_;
+  /// Untrusted degree ledger (one entry per node): mutation metadata the
+  /// coordinator needs to hand each enclave the absolute degrees its
+  /// renormalization must use.  Like the plan's owner map, it is
+  /// vendor-context serving metadata — the edges themselves never leave
+  /// the enclaves.  Guarded by infer_mu_.
+  std::vector<std::uint32_t> degrees_;
   std::vector<std::unique_ptr<Shard>> shards_;
   /// Dead enclaves replaced by promoted replicas, kept alive so stragglers
   /// mid-ecall at adoption time never dangle.
@@ -318,7 +485,31 @@ class ShardedVaultDeployment {
   std::vector<std::unique_ptr<AttestedChannel>> channels_;
   std::unique_ptr<std::mutex> infer_mu_ = std::make_unique<std::mutex>();
   std::atomic<bool> refreshed_{false};
-  std::atomic<std::uint64_t> epoch_{0};  // completed refreshes
+  /// Store epoch: completed refreshes PLUS applied graph updates and
+  /// migrations — anything after which a replica's last-synced label store
+  /// may no longer be byte-identical to the primary's.  Replicated stores
+  /// stamped with an older epoch fail safe (refuse to serve / warm-adopt).
+  std::atomic<std::uint64_t> epoch_{0};
+  // --- GraphDrift coordination state. ------------------------------------
+  /// Copy-on-write owner map (routers snapshot it per batch); swapped
+  /// under owner_mu_ by publish_owner_map.
+  std::shared_ptr<const std::vector<std::uint32_t>> owner_map_;
+  mutable std::unique_ptr<std::mutex> owner_mu_ = std::make_unique<std::mutex>();
+  std::atomic<std::uint64_t> ownership_epoch_{0};
+  std::atomic<std::uint64_t> topology_version_{0};
+  std::atomic<std::uint64_t> shard_faults_{0};
+  /// Shard whose enclave died under a cold-path ecall, awaiting handler
+  /// notification outside infer_mu_ (UINT32_MAX = none).
+  std::atomic<std::uint32_t> pending_fault_{0xffffffffu};
+  /// Per-node migration fences + the global update_graph fence.
+  mutable std::unique_ptr<std::mutex> move_mu_ = std::make_unique<std::mutex>();
+  mutable std::unique_ptr<std::condition_variable> move_cv_ =
+      std::make_unique<std::condition_variable>();
+  std::vector<std::uint32_t> moving_;  // sorted; guarded by move_mu_
+  bool update_fence_ = false;          // guarded by move_mu_
+  std::atomic<std::size_t> moving_count_{0};
+  std::function<void(std::uint32_t)> failure_handler_;  // guarded by handler_mu_
+  mutable std::unique_ptr<std::mutex> handler_mu_ = std::make_unique<std::mutex>();
   // Untrusted-world backbone output cache (the embeddings are public; only
   // the fingerprint comparison decides reuse).  Guarded by infer_mu_.
   std::vector<Matrix> bb_cache_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
 
 namespace gv {
 
@@ -25,9 +26,14 @@ ShardedVaultServer::ShardedVaultServer(const Dataset& ds, TrainedVault vault,
   if (cfg_.replicate) {
     ReplicaConfig rcfg;
     rcfg.standby_platform_key = cfg_.standby_platform_key;
+    rcfg.auto_restaff = cfg_.auto_restaff;
     replicas_ = std::make_unique<ReplicaManager>(deployment_, rcfg);
     replicas_->replicate_async();
   }
+  // Dead-shard detection: a serving ecall that dies marks the shard dead
+  // and lands here — same fence + promote path as an explicit kill_shard.
+  deployment_.set_shard_failure_handler(
+      [this](std::uint32_t shard) { handle_shard_failure(shard); });
   features_fp_ = ShardedVaultDeployment::features_fingerprint(*features_);
   router_ = std::make_unique<ShardRouter>(deployment_, replicas_.get());
   router_->set_cold_path([this](std::span<const std::uint32_t> nodes) {
@@ -75,7 +81,7 @@ std::shared_ptr<const CsrMatrix> ShardedVaultServer::features() const {
 }
 
 std::future<std::uint32_t> ShardedVaultServer::submit(std::uint32_t node) {
-  GV_CHECK(node < num_nodes_, "query node out of range");
+  GV_CHECK(node < num_nodes_.load(), "query node out of range");
   metrics_.record_request();
   Sha256Digest digest{};
   if (cache_.enabled()) {
@@ -160,6 +166,10 @@ void ShardedVaultServer::kill_shard(std::uint32_t shard) {
            "replicate first)");
   deployment_.kill_shard(shard);
   if (replicas_ == nullptr) return;
+  launch_promotion(shard);
+}
+
+void ShardedVaultServer::launch_promotion(std::uint32_t shard) {
   // Fence BEFORE returning: from this point no query can read the standby's
   // (soon to be stale) store — the router blocks on the PROMOTING state
   // until the replica has rebuilt from its re-sealed package, re-handshaked
@@ -178,7 +188,80 @@ void ShardedVaultServer::kill_shard(std::uint32_t shard) {
       }
     });
     metrics_.record_promotion_ms(ms);
+    // Warm adoption installs a bit-fresh label store but no retained
+    // boundary activations; rebuild them OUTSIDE the fence (queries are
+    // already flowing) so the shard's halo contributions to cold queries
+    // go back to store-served instead of live-computed until the next
+    // refresh.
+    if (deployment_.refreshed() && deployment_.store_materialized(shard) &&
+        !deployment_.retained_valid(shard)) {
+      deployment_.rebuild_boundary_retained(shard, *features());
+    }
   });
+}
+
+void ShardedVaultServer::handle_shard_failure(std::uint32_t shard) {
+  // Called from the worker thread whose serving ecall just died (the
+  // deployment has already marked the shard dead and counted the fault).
+  // Mirror kill_shard's fence + promote; the failed batch retries through
+  // the router's promotion fence and lands on the new PRIMARY.  Best
+  // effort by design: a control-plane problem (stale standby package, an
+  // earlier promotion's failure resurfacing from its future) must not
+  // replace the data-path error on a query's stack — the shard then simply
+  // stays dead and the router reports it honestly.
+  try {
+    std::lock_guard<std::mutex> lock(promotion_mu_);
+    if (replicas_ == nullptr) return;  // nothing to promote: queries fail
+    replicas_->wait_ready();
+    if (promotion_.valid()) promotion_.get();
+    // A concurrent failure of the same shard may have promoted it while we
+    // waited for the control plane: nothing left to do.
+    if (deployment_.shard_alive(shard)) return;
+    if (replicas_->state(shard) != ReplicaState::kStandby ||
+        !replicas_->ready(shard)) {
+      return;  // no promotable standby; the shard stays dead
+    }
+    launch_promotion(shard);
+  } catch (const std::exception& e) {
+    GV_LOG_WARN << "dead-shard promotion for shard " << shard
+                << " could not be launched: " << e.what();
+  }
+}
+
+GraphUpdateStats ShardedVaultServer::update_graph(const GraphDelta& delta,
+                                                  const CsrMatrix& new_features) {
+  // Control-plane exclusion, like update_features: promotions re-handshake
+  // enclaves the update needs alive, so they must land first.
+  std::lock_guard<std::mutex> control(promotion_mu_);
+  if (promotion_.valid()) promotion_.get();
+  GV_CHECK(new_features.rows() ==
+               deployment_.num_nodes() + delta.node_adds.size(),
+           "post-update features must cover existing plus appended nodes");
+  auto fresh = std::make_shared<const CsrMatrix>(new_features);
+  const std::uint64_t fresh_fp =
+      ShardedVaultDeployment::features_fingerprint(*fresh);
+  // The snapshot swap runs under the deployment's update fence: a batch
+  // waking from await_moves must never pair the grown node count with the
+  // old (smaller) snapshot on the cold path.
+  const GraphUpdateStats stats =
+      deployment_.update_graph(delta, &new_features, [&] {
+        std::lock_guard<std::mutex> lock(snap_mu_);
+        features_ = fresh;
+        features_fp_ = fresh_fp;
+        num_nodes_.store(fresh->rows());
+      });
+  // The label cache keys on (node, feature-row digest); a graph mutation
+  // moves labels through the private neighbourhood while the digests stay
+  // put, so the delta-derived affected set is evicted by node id.
+  const std::size_t evicted = cache_.invalidate_nodes(stats.stale_nodes);
+  metrics_.record_graph_update(stats.store_entries_invalidated + evicted);
+  if (replicas_ != nullptr) {
+    // The standby packages now describe a retired topology (they refuse to
+    // promote); re-replicate so the fleet is failover-ready again.
+    replicas_->wait_ready();
+    replicas_->replicate_async();
+  }
+  return stats;
 }
 
 void ShardedVaultServer::flush() { queue_.flush(); }
@@ -190,6 +273,8 @@ MetricsSnapshot ShardedVaultServer::stats() const {
   s.failovers = router_->failovers();
   s.fenced_batches = router_->fenced();
   s.cold_batches = router_->cold_batches();
+  s.restaffs = replicas_ != nullptr ? replicas_->restaffs() : 0;
+  s.shard_faults = deployment_.shard_faults();
   const CostMeter m = deployment_.aggregate_meter();
   s.ecalls = m.ecalls;
   s.bytes_in = m.bytes_in;
@@ -228,11 +313,19 @@ void ShardedVaultServer::execute_batch(std::vector<MicroBatchQueue::Entry> batch
       std::lock_guard<std::mutex> lock(snap_mu_);
       snap = features_;
     }
+    const std::uint64_t epoch_before = deployment_.ownership_epoch();
     const auto labels = router_->route(nodes);
+    // A graph update or migration that landed mid-batch may have
+    // invalidated what we just fetched — and unlike a feature update it
+    // does NOT change the row digests the cache keys on, so filing these
+    // labels would poison the cache permanently.  Skip the put; the next
+    // miss re-fetches through the (stale-aware) router.
+    const bool cacheable =
+        cache_.enabled() && deployment_.ownership_epoch() == epoch_before;
     const auto done = std::chrono::steady_clock::now();
     metrics_.record_batch(waiters);
     for (std::size_t i = 0; i < batch.size(); ++i) {
-      if (cache_.enabled()) {
+      if (cacheable) {
         cache_.put(batch[i].node, feature_row_digest(*snap, batch[i].node),
                    labels[i]);
       }

@@ -37,6 +37,9 @@ struct ShardedServerConfig {
   /// is LabelCache -> shard stores -> cold cross-shard forward, and the
   /// first two are caches over the third.
   bool materialize_on_start = true;
+  /// After every successful promotion, automatically provision + replicate
+  /// a gen-2 standby so back-to-back failovers need no operator.
+  bool auto_restaff = true;
 };
 
 class ShardedVaultServer {
@@ -61,6 +64,18 @@ class ShardedVaultServer {
   /// sharded forward (all shards must be alive), re-ships replica label
   /// stores, and evicts cache entries whose feature-row digest changed.
   void update_features(const CsrMatrix& new_features);
+
+  /// GraphDrift: apply private-graph mutations WITHOUT a refresh.  The
+  /// deltas land inside the owning enclaves; label-store and cache entries
+  /// within the rectifier's receptive field of a change are invalidated
+  /// and serve demand-driven (healing the store) until the next refresh.
+  /// `new_features` is the snapshot queries use from now on — identical
+  /// rows for existing nodes, one appended row per added node (pass the
+  /// current snapshot when the delta adds no nodes).  Standby replicas are
+  /// re-replicated afterwards: the old packages describe a retired
+  /// topology and may no longer promote.
+  GraphUpdateStats update_graph(const GraphDelta& delta,
+                                const CsrMatrix& new_features);
 
   /// Kill a shard's primary enclave.  With replication, the standby is
   /// fenced (PROMOTING) before this returns and promoted asynchronously:
@@ -94,6 +109,11 @@ class ShardedVaultServer {
   void execute_batch(std::vector<MicroBatchQueue::Entry> batch);
   /// Join the in-flight async promotion, if any (rethrows its failure).
   void join_promotion();
+  /// Fence the standby + launch the async promotion (caller holds
+  /// promotion_mu_; the deployment-side shard is already dead).
+  void launch_promotion(std::uint32_t shard);
+  /// Dead-shard detection callback: a serving ecall died on `shard`.
+  void handle_shard_failure(std::uint32_t shard);
 
   ShardedServerConfig cfg_;
   ShardedVaultDeployment deployment_;
@@ -101,7 +121,7 @@ class ShardedVaultServer {
   std::unique_ptr<ShardRouter> router_;
   LabelCache cache_;
   ServerMetrics metrics_;
-  const std::size_t num_nodes_;
+  std::atomic<std::size_t> num_nodes_;  // grows with update_graph node adds
 
   mutable std::mutex snap_mu_;
   std::shared_ptr<const CsrMatrix> features_;

@@ -98,6 +98,62 @@ TEST(AttestedChannel, RecvOnEmptyThrows) {
   AttestedChannel ch(a, b);
   EXPECT_THROW(ch.recv_embeddings(a), Error);
   EXPECT_THROW(ch.recv_labels(b), Error);
+  EXPECT_THROW(ch.recv_transfer(b), Error);
+}
+
+TEST(AttestedChannel, PadBucketIsNextPowerOfTwoFloor64) {
+  EXPECT_EQ(AttestedChannel::pad_bucket(0), 64u);
+  EXPECT_EQ(AttestedChannel::pad_bucket(1), 64u);
+  EXPECT_EQ(AttestedChannel::pad_bucket(64), 64u);
+  EXPECT_EQ(AttestedChannel::pad_bucket(65), 128u);
+  EXPECT_EQ(AttestedChannel::pad_bucket(1000), 1024u);
+  EXPECT_EQ(AttestedChannel::pad_bucket(4096), 4096u);
+}
+
+TEST(AttestedChannel, PaddingHidesCardinalityButCountersStayLogical) {
+  Enclave a = make_enclave("code-v1", Enclave::default_platform_key());
+  Enclave b = make_enclave("code-v1", Enclave::default_platform_key());
+  AttestedChannel ch(a, b);
+
+  // Three-node halo-pull request: logical 4 + 3*4 = 16 bytes, one 64-byte
+  // wire bucket — the relay cannot count the frontier.
+  ch.send_request(a, {1, 2, 3});
+  EXPECT_EQ(ch.request_bytes(), 16u);
+  EXPECT_EQ(ch.padded_bytes(), 64u);
+  EXPECT_EQ(ch.recv_request(b), (std::vector<std::uint32_t>{1, 2, 3}));
+
+  // A 5-node request lands in the SAME bucket: sizes are indistinguishable.
+  ch.send_request(a, {1, 2, 3, 4, 5});
+  EXPECT_EQ(ch.padded_bytes(), 128u);
+  (void)ch.recv_request(b);
+
+  // Embedding blocks pad the same way and still parse exactly.
+  ch.send_embeddings(a, {10}, Matrix{{1.0f, 2.0f}});
+  const auto got = ch.recv_embeddings(b);
+  EXPECT_EQ(got.nodes, (std::vector<std::uint32_t>{10}));
+  EXPECT_GE(ch.padded_bytes(), ch.total_payload_bytes());
+}
+
+TEST(AttestedChannel, NodeTransferRoundTripsAndIsAuditedSeparately) {
+  Enclave a = make_enclave("code-v1", Enclave::default_platform_key());
+  Enclave b = make_enclave("code-v1", Enclave::default_platform_key());
+  AttestedChannel ch(a, b);
+
+  const std::vector<std::uint8_t> payload{1, 2, 3, 4, 5, 6, 7};
+  ch.send_transfer(a, payload);
+  ASSERT_TRUE(ch.has_transfer(b));
+  EXPECT_FALSE(ch.has_transfer(a));
+  EXPECT_EQ(ch.recv_transfer(b), payload);  // padding stripped exactly
+
+  // Transfers are their own audit bucket — the "may carry adjacency" kind
+  // never hides inside embedding or package traffic.
+  EXPECT_EQ(ch.transfer_bytes(), payload.size());
+  EXPECT_EQ(ch.embedding_bytes(), 0u);
+  EXPECT_EQ(ch.package_bytes(), 0u);
+
+  ch.send_transfer(a, payload);
+  ch.drop_pending();
+  EXPECT_FALSE(ch.has_transfer(b));
 }
 
 }  // namespace

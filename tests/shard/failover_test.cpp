@@ -131,9 +131,12 @@ TEST(ShardedVaultServer, ServesThroughKillWithMetricsRecordingFailover) {
   EXPECT_GT(s.mean_promotion_ms, 0.0);
   EXPECT_EQ(s.requests, 40u);
   EXPECT_GT(s.requests_per_second, 0.0);
-  // The promoted PRIMARY is the shard enclave now.
+  // The promoted PRIMARY is the shard enclave now, and auto-restaff has
+  // already provisioned (and replicated) a gen-2 standby in the slot.
   EXPECT_TRUE(server.deployment().shard_alive(victim));
-  EXPECT_EQ(server.replicas()->state(victim), ReplicaState::kPrimary);
+  EXPECT_EQ(server.replicas()->state(victim), ReplicaState::kStandby);
+  EXPECT_TRUE(server.replicas()->ready(victim));
+  EXPECT_EQ(s.restaffs, 1u);
 }
 
 }  // namespace

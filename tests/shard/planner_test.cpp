@@ -108,6 +108,7 @@ TEST(ShardPlanner, ShardPayloadSerializationRoundTrips) {
   EXPECT_EQ(back.num_shards, payloads[1].num_shards);
   EXPECT_EQ(back.owned, payloads[1].owned);
   EXPECT_EQ(back.closure, payloads[1].closure);
+  EXPECT_EQ(back.closure_deg, payloads[1].closure_deg);
   EXPECT_EQ(back.adj_row, payloads[1].adj_row);
   EXPECT_EQ(back.adj_col, payloads[1].adj_col);
   EXPECT_EQ(back.adj_val, payloads[1].adj_val);
