@@ -81,10 +81,16 @@ inline BenchArgs parse_args(int argc, char** argv) {
 
 /// Write the bench's tables (and optional named headline scalars) as one
 /// JSON document.  No-op when `args.json_path` is empty.
+///
+/// `fragments` are pre-rendered JSON values embedded verbatim under their
+/// key — the hook that lets a bench attach structured observability state
+/// (e.g. `{"metrics", MetricsRegistry::global().to_json()}`) to the same
+/// artifact its tables land in, instead of scattering sidecar files.
 inline void write_json(
     const BenchArgs& args, const std::string& bench, const BenchSettings& s,
     const std::vector<const Table*>& tables,
-    const std::vector<std::pair<std::string, double>>& scalars = {}) {
+    const std::vector<std::pair<std::string, double>>& scalars = {},
+    const std::vector<std::pair<std::string, std::string>>& fragments = {}) {
   if (args.json_path.empty()) return;
   std::ofstream f(args.json_path, std::ios::trunc);
   GV_CHECK(f.good(), "cannot open JSON output file: " + args.json_path);
@@ -93,6 +99,9 @@ inline void write_json(
     << ", \"scale\": " << s.scale << ", \"epochs\": " << s.epochs;
   for (const auto& [name, value] : scalars) {
     f << ", \"" << name << "\": " << value;
+  }
+  for (const auto& [name, json] : fragments) {
+    f << ", \"" << name << "\": " << json;
   }
   f << ", \"tables\": [";
   for (std::size_t i = 0; i < tables.size(); ++i) {

@@ -1,0 +1,483 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string_view>
+
+#include "common/env.hpp"
+#include "common/error.hpp"
+
+namespace gv {
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {
+  enabled_.store(env_int("GNNVAULT_TRACE", 0) != 0, std::memory_order_relaxed);
+}
+
+TraceRecorder& TraceRecorder::instance() {
+  // Leaked on purpose: worker threads may emit spans during static
+  // destruction of other objects; the recorder must outlive them all.
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+TraceRecorder::ThreadBuffer& TraceRecorder::local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer;
+  if (!buffer) {
+    buffer = std::make_shared<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    buffer->tid = static_cast<std::uint32_t>(buffers_.size());
+    buffers_.push_back(buffer);
+  }
+  return *buffer;
+}
+
+void TraceRecorder::append(const TraceEvent& ev) {
+  ThreadBuffer& buf = local_buffer();
+  // The buffer's mutex is only ever contended by a snapshotting exporter;
+  // for the owning thread this is an uncontended lock (tens of ns).
+  std::lock_guard<std::mutex> lock(buf.mu);
+  if (buf.ring.size() < kRingCapacity) {
+    buf.ring.push_back(ev);
+  } else {
+    buf.ring[buf.appended % kRingCapacity] = ev;
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ++buf.appended;
+}
+
+void TraceRecorder::emit(const char* category, const char* name,
+                         std::chrono::steady_clock::time_point start,
+                         std::chrono::steady_clock::time_point end,
+                         double modeled_s,
+                         std::initializer_list<TraceEvent::Arg> args) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.category = category;
+  ev.name = name;
+  ev.start_ns = to_ns(start);
+  const std::uint64_t end_ns = to_ns(end);
+  ev.dur_ns = end_ns > ev.start_ns ? end_ns - ev.start_ns : 0;
+  ev.modeled_s = modeled_s;
+  for (const auto& a : args) ev.add_arg(a.key, a.value);
+  append(ev);
+}
+
+void TraceRecorder::emit_async(const char* category, const char* name,
+                               std::chrono::steady_clock::time_point start,
+                               std::chrono::steady_clock::time_point end,
+                               double modeled_s,
+                               std::initializer_list<TraceEvent::Arg> args) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.category = category;
+  ev.name = name;
+  ev.async = true;
+  ev.start_ns = to_ns(start);
+  const std::uint64_t end_ns = to_ns(end);
+  ev.dur_ns = end_ns > ev.start_ns ? end_ns - ev.start_ns : 0;
+  ev.modeled_s = modeled_s;
+  for (const auto& a : args) ev.add_arg(a.key, a.value);
+  append(ev);
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    buffers = buffers_;
+  }
+  std::vector<TraceEvent> out;
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    // Oldest-first: after a wrap the head of the ring is the write cursor.
+    const std::size_t n = buf->ring.size();
+    const std::size_t head = buf->appended >= kRingCapacity
+                                 ? buf->appended % kRingCapacity
+                                 : 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      TraceEvent ev = buf->ring[(head + i) % n];
+      // Thread id rides in a spare arg slot so snapshot() consumers (and
+      // the JSON exporter) know which ring each event came from.
+      ev.add_arg("tid", static_cast<double>(buf->tid));
+      out.push_back(ev);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.start_ns != b.start_ns ? a.start_ns < b.start_ns
+                                                     : a.dur_ns > b.dur_ns;
+                   });
+  return out;
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> b(buf->mu);
+    buf->ring.clear();
+    buf->appended = 0;
+  }
+  dropped_.store(0);
+}
+
+std::size_t TraceRecorder::num_threads() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  return buffers_.size();
+}
+
+const char* TraceRecorder::intern(const std::string& s) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  return interned_.insert(s).first->c_str();
+}
+
+namespace {
+
+void append_json_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string TraceRecorder::to_chrome_json() const {
+  const auto events = snapshot();
+  std::string out;
+  out.reserve(events.size() * 160 + 256);
+  out += "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  out +=
+      "{\"ph\": \"M\", \"pid\": 1, \"name\": \"process_name\", "
+      "\"args\": {\"name\": \"gnnvault\"}}";
+  std::uint64_t async_id = 0;
+  for (const auto& ev : events) {
+    // The exporter filed the source thread id in the last arg slot.
+    double tid = 0.0;
+    int nargs = ev.num_args;
+    if (nargs > 0 && ev.args[nargs - 1].key != nullptr &&
+        std::string_view(ev.args[nargs - 1].key) == "tid") {
+      tid = ev.args[nargs - 1].value;
+      --nargs;
+    }
+    char head[192];
+    if (ev.async) {
+      // Async begin: intervals like queue waits overlap the thread's slice
+      // stack, so they get a "b"/"e" pair (own Perfetto track, exempt from
+      // the slice-nesting invariant) instead of a complete "X" slice.
+      std::snprintf(head, sizeof(head),
+                    ", {\"ph\": \"b\", \"pid\": 1, \"tid\": %.0f, "
+                    "\"id\": %llu, \"ts\": %.3f, ",
+                    tid, static_cast<unsigned long long>(async_id),
+                    ev.start_ns / 1e3);
+    } else {
+      std::snprintf(head, sizeof(head),
+                    ", {\"ph\": \"X\", \"pid\": 1, \"tid\": %.0f, \"ts\": %.3f, "
+                    "\"dur\": %.3f, ",
+                    tid, ev.start_ns / 1e3, ev.dur_ns / 1e3);
+    }
+    out += head;
+    out += "\"cat\": \"";
+    append_json_escaped(out, ev.category);
+    out += "\", \"name\": \"";
+    append_json_escaped(out, ev.name);
+    out += "\", \"args\": {\"wall_ns\": ";
+    append_double(out, static_cast<double>(ev.dur_ns));
+    out += ", \"modeled_sgx_s\": ";
+    append_double(out, ev.modeled_s);
+    for (int i = 0; i < nargs; ++i) {
+      out += ", \"";
+      append_json_escaped(out, ev.args[i].key);
+      out += "\": ";
+      append_double(out, ev.args[i].value);
+    }
+    out += "}}";
+    if (ev.async) {
+      std::snprintf(head, sizeof(head),
+                    ", {\"ph\": \"e\", \"pid\": 1, \"tid\": %.0f, "
+                    "\"id\": %llu, \"ts\": %.3f, ",
+                    tid, static_cast<unsigned long long>(async_id),
+                    (ev.start_ns + ev.dur_ns) / 1e3);
+      out += head;
+      out += "\"cat\": \"";
+      append_json_escaped(out, ev.category);
+      out += "\", \"name\": \"";
+      append_json_escaped(out, ev.name);
+      out += "\", \"args\": {}}";
+      ++async_id;
+    }
+  }
+  out += "]}\n";
+  return out;
+}
+
+void TraceRecorder::write_chrome_json(const std::string& path) const {
+  std::ofstream f(path, std::ios::trunc);
+  GV_CHECK(f.good(), "cannot open trace output file: " + path);
+  f << to_chrome_json();
+  GV_CHECK(f.good(), "failed writing trace output file: " + path);
+}
+
+// --- Trace JSON validation (parser + nesting check). -------------------------
+//
+// A deliberately small recursive-descent JSON reader: the golden-file test
+// and the CI nesting check need "does this parse, and do the slices nest",
+// not a general-purpose DOM.
+
+namespace {
+
+struct JsonCursor {
+  const char* p;
+  const char* end;
+  std::string err;
+
+  bool fail(const std::string& what) {
+    if (err.empty()) {
+      err = what + " at offset " +
+            std::to_string(static_cast<std::size_t>(p - start));
+    }
+    return false;
+  }
+  const char* start = nullptr;
+
+  void skip_ws() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) ++p;
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (p < end && *p == c) {
+      ++p;
+      return true;
+    }
+    return fail(std::string("expected '") + c + "'");
+  }
+  bool peek(char c) {
+    skip_ws();
+    return p < end && *p == c;
+  }
+};
+
+struct SliceEvent {
+  double tid = 0.0;
+  double ts = 0.0;
+  double dur = 0.0;
+  std::string name;
+};
+
+struct TraceDoc {
+  std::vector<SliceEvent> slices;
+  bool saw_trace_events = false;
+};
+
+bool parse_value(JsonCursor& c, TraceDoc& doc, int depth, bool in_trace_events,
+                 SliceEvent* current);
+
+bool parse_string(JsonCursor& c, std::string* out) {
+  if (!c.consume('"')) return false;
+  std::string s;
+  while (c.p < c.end && *c.p != '"') {
+    if (*c.p == '\\') {
+      ++c.p;
+      if (c.p >= c.end) return c.fail("truncated escape");
+      switch (*c.p) {
+        case '"': s.push_back('"'); break;
+        case '\\': s.push_back('\\'); break;
+        case '/': s.push_back('/'); break;
+        case 'b': s.push_back('\b'); break;
+        case 'f': s.push_back('\f'); break;
+        case 'n': s.push_back('\n'); break;
+        case 'r': s.push_back('\r'); break;
+        case 't': s.push_back('\t'); break;
+        case 'u':
+          if (c.end - c.p < 5) return c.fail("truncated \\u escape");
+          c.p += 4;  // code point value is irrelevant for validation
+          s.push_back('?');
+          break;
+        default: return c.fail("bad escape");
+      }
+      ++c.p;
+    } else {
+      s.push_back(*c.p++);
+    }
+  }
+  if (c.p >= c.end) return c.fail("unterminated string");
+  ++c.p;  // closing quote
+  if (out != nullptr) *out = std::move(s);
+  return true;
+}
+
+bool parse_number(JsonCursor& c, double* out) {
+  c.skip_ws();
+  char* after = nullptr;
+  const double v = std::strtod(c.p, &after);
+  if (after == c.p) return c.fail("expected number");
+  c.p = after;
+  if (out != nullptr) *out = v;
+  return true;
+}
+
+bool parse_object(JsonCursor& c, TraceDoc& doc, int depth, bool in_trace_events) {
+  if (!c.consume('{')) return false;
+  SliceEvent ev;
+  std::string ph;
+  if (c.peek('}')) {
+    ++c.p;
+    return true;
+  }
+  for (;;) {
+    std::string key;
+    if (!parse_string(c, &key)) return false;
+    if (!c.consume(':')) return false;
+    c.skip_ws();
+    const bool top_level = depth == 0;
+    if (top_level && key == "traceEvents") {
+      doc.saw_trace_events = true;
+      if (!c.peek('[')) return c.fail("traceEvents must be an array");
+      if (!parse_value(c, doc, depth + 1, /*in_trace_events=*/true, nullptr)) {
+        return false;
+      }
+    } else if (in_trace_events && key == "ph") {
+      if (!parse_string(c, &ph)) return false;
+    } else if (in_trace_events && key == "name") {
+      if (!parse_string(c, &ev.name)) return false;
+    } else if (in_trace_events && key == "tid") {
+      if (!parse_number(c, &ev.tid)) return false;
+    } else if (in_trace_events && key == "ts") {
+      if (!parse_number(c, &ev.ts)) return false;
+    } else if (in_trace_events && key == "dur") {
+      if (!parse_number(c, &ev.dur)) return false;
+    } else {
+      if (!parse_value(c, doc, depth + 1, /*in_trace_events=*/false, nullptr)) {
+        return false;
+      }
+    }
+    if (c.peek(',')) {
+      ++c.p;
+      continue;
+    }
+    break;
+  }
+  if (!c.consume('}')) return false;
+  if (in_trace_events && ph == "X") doc.slices.push_back(std::move(ev));
+  return true;
+}
+
+bool parse_value(JsonCursor& c, TraceDoc& doc, int depth, bool in_trace_events,
+                 SliceEvent*) {
+  c.skip_ws();
+  if (c.p >= c.end) return c.fail("unexpected end of input");
+  switch (*c.p) {
+    case '{':
+      return parse_object(c, doc, depth, in_trace_events);
+    case '[': {
+      ++c.p;
+      if (c.peek(']')) {
+        ++c.p;
+        return true;
+      }
+      for (;;) {
+        if (!parse_value(c, doc, depth + 1, in_trace_events, nullptr)) {
+          return false;
+        }
+        if (c.peek(',')) {
+          ++c.p;
+          continue;
+        }
+        break;
+      }
+      return c.consume(']');
+    }
+    case '"':
+      return parse_string(c, nullptr);
+    case 't':
+      if (c.end - c.p >= 4 && std::string_view(c.p, 4) == "true") {
+        c.p += 4;
+        return true;
+      }
+      return c.fail("bad literal");
+    case 'f':
+      if (c.end - c.p >= 5 && std::string_view(c.p, 5) == "false") {
+        c.p += 5;
+        return true;
+      }
+      return c.fail("bad literal");
+    case 'n':
+      if (c.end - c.p >= 4 && std::string_view(c.p, 4) == "null") {
+        c.p += 4;
+        return true;
+      }
+      return c.fail("bad literal");
+    default:
+      return parse_number(c, nullptr);
+  }
+}
+
+}  // namespace
+
+bool validate_trace_json(const std::string& json, std::string* error) {
+  JsonCursor c{json.data(), json.data() + json.size(), {}};
+  c.start = json.data();
+  TraceDoc doc;
+  if (!parse_value(c, doc, 0, false, nullptr)) {
+    if (error != nullptr) *error = "JSON parse error: " + c.err;
+    return false;
+  }
+  c.skip_ws();
+  if (c.p != c.end) {
+    if (error != nullptr) *error = "trailing garbage after JSON document";
+    return false;
+  }
+  if (!doc.saw_trace_events) {
+    if (error != nullptr) *error = "no traceEvents array";
+    return false;
+  }
+  // Per-thread nesting: sorted by (ts asc, dur desc), every slice must lie
+  // entirely inside the enclosing open slice or after it — a partial
+  // overlap means a span outlived its parent, which RAII emission forbids.
+  std::map<double, std::vector<const SliceEvent*>> by_tid;
+  for (const auto& ev : doc.slices) by_tid[ev.tid].push_back(&ev);
+  for (auto& [tid, evs] : by_tid) {
+    std::sort(evs.begin(), evs.end(),
+              [](const SliceEvent* a, const SliceEvent* b) {
+                return a->ts != b->ts ? a->ts < b->ts : a->dur > b->dur;
+              });
+    std::vector<const SliceEvent*> stack;
+    for (const SliceEvent* ev : evs) {
+      while (!stack.empty() &&
+             stack.back()->ts + stack.back()->dur <= ev->ts) {
+        stack.pop_back();
+      }
+      if (!stack.empty() &&
+          ev->ts + ev->dur > stack.back()->ts + stack.back()->dur + 1e-6) {
+        if (error != nullptr) {
+          *error = "slice '" + ev->name + "' (tid " + std::to_string(tid) +
+                   ") partially overlaps enclosing slice '" +
+                   stack.back()->name + "'";
+        }
+        return false;
+      }
+      stack.push_back(ev);
+    }
+  }
+  return true;
+}
+
+}  // namespace gv

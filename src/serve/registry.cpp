@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 #include "shard/shard_planner.hpp"
 
 namespace gv {
@@ -14,6 +15,7 @@ VaultRegistry::VaultRegistry(RegistryConfig cfg) : cfg_(cfg) {
   platform_budget_bytes_ = static_cast<std::size_t>(
       static_cast<double>(cfg_.cost_model.epc_bytes) * cfg_.epc_budget_fraction);
   platform_in_use_.assign(cfg_.num_platforms, 0);
+  publish_epc_gauges();
 }
 
 Sha256Digest VaultRegistry::platform_key(std::uint32_t idx) {
@@ -55,6 +57,16 @@ std::size_t VaultRegistry::platform_free(std::uint32_t p) const {
   return platform_budget_bytes_ > platform_in_use_[p]
              ? platform_budget_bytes_ - platform_in_use_[p]
              : 0;
+}
+
+void VaultRegistry::publish_epc_gauges() const {
+  auto& reg = MetricsRegistry::global();
+  for (std::uint32_t p = 0; p < platform_in_use_.size(); ++p) {
+    reg.gauge("epc.headroom_bytes",
+              MetricLabels::of("platform", std::to_string(p)))
+        .set(double(platform_free(p)));
+  }
+  reg.gauge("epc.standby_in_use_bytes").set(double(standby_in_use_));
 }
 
 AdmissionResult VaultRegistry::admit(const std::string& tenant, const Dataset& ds,
@@ -148,6 +160,7 @@ void VaultRegistry::launch(const std::string& tenant, const Dataset& ds,
       std::make_shared<VaultServer>(ds, std::move(vault), dopts, server_cfg);
   reservations_[tenant] = {{platform, estimated_bytes}};
   platform_in_use_[platform] += estimated_bytes;
+  publish_epc_gauges();
 }
 
 bool VaultRegistry::launch_sharded(const std::string& tenant, const Dataset& ds,
@@ -222,6 +235,7 @@ bool VaultRegistry::launch_sharded(const std::string& tenant, const Dataset& ds,
     platform_in_use_[placement[s]] += shard_bytes[s];
   }
   sharded_[tenant] = std::move(server);
+  publish_epc_gauges();
   result.decision = AdmissionDecision::kAdmittedSharded;
   result.reason = "exceeds one platform's EPC budget; admitted as " +
                   std::to_string(result.num_shards) + " shards";
@@ -301,6 +315,7 @@ bool VaultRegistry::remove(const std::string& tenant) {
         }
       }
       reservations_.erase(tenant);
+      publish_epc_gauges();
       admit_from_queue();
     } else {
       const auto wit =
@@ -351,6 +366,7 @@ void VaultRegistry::fail_shard(const std::string& tenant, std::uint32_t shard) {
     platform_in_use_[platform] -= bytes;
     standby_in_use_ += bytes;
     platform = kStandbyPlatform;
+    publish_epc_gauges();
     // The dead enclave's capacity is free NOW — the promotion runs on the
     // standby platform — so queued tenants need not wait for it to land.
     admit_from_queue();

@@ -145,6 +145,9 @@ class VaultRegistry {
                       AdmissionResult& result, bool* feasible_on_empty_fleet);
   void admit_from_queue();
   std::size_t platform_free(std::uint32_t p) const;
+  /// Publish per-platform EPC headroom (budget - in-use) gauges to the
+  /// global MetricsRegistry; called wherever the books change.
+  void publish_epc_gauges() const;
 
   RegistryConfig cfg_;
   std::size_t platform_budget_bytes_ = 0;

@@ -1,5 +1,7 @@
-// Serving-side observability: request/batch/cache counters plus a latency
-// reservoir from which the snapshot computes p50/p95/p99.
+// Serving-side observability: request/batch/cache counters plus a
+// log-bucketed latency histogram from which the snapshot estimates
+// p50/p95/p99 in O(buckets) — no copy, no sort, and recording a latency
+// sample never takes the metrics mutex.
 //
 // The SGX cost model charges modeled time (ecall transitions, MEE-encrypted
 // copies, paging) rather than sleeping, so the snapshot reports both wall
@@ -10,9 +12,9 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
-#include <vector>
 
 #include "common/stopwatch.hpp"
+#include "obs/metrics.hpp"
 
 namespace gv {
 
@@ -46,13 +48,29 @@ struct MetricsSnapshot {
   std::uint64_t cache_misses = 0;
   std::uint64_t ecalls = 0;          // enclave transitions (from the meter)
   std::uint64_t bytes_in = 0;        // untrusted -> enclave copies
+
+  // Cold cross-shard path, aggregated from the per-query ColdSubsetStats
+  // the deployment reports (previously computed and discarded).
+  std::uint64_t cold_queries = 0;          // cold subset inferences served
+  std::uint64_t cold_shards_computed = 0;  // shards that ran layer compute
+  std::uint64_t cold_shards_touched = 0;   // computed + halo-pulled-from
+  std::uint64_t cold_frontier_rows = 0;    // cross-shard frontier expansions
+  std::uint64_t cold_halo_request_bytes = 0;    // frontier row-id requests
+  std::uint64_t cold_halo_embedding_bytes = 0;  // pulled halo embeddings
+  std::uint64_t cold_backbone_cache_hits = 0;   // cold queries that reused a
+                                                // materialized backbone
+
+  // GraphDrift health (latest DriftTracker readings, 0 until drift occurs).
+  double drift_cut_growth = 0.0;      // fraction of new edges crossing shards
+  double drift_load_imbalance = 0.0;  // max shard load / mean shard load
+
   double cache_hit_rate = 0.0;       // hits / (hits + misses)
   double mean_batch_size = 0.0;
   double wall_seconds = 0.0;         // since server start / metrics reset
   double modeled_seconds = 0.0;      // meter total under the cost model
   double requests_per_second = 0.0;  // completed+hits over modeled seconds
-  double p50_latency_ms = 0.0;       // queue-to-completion, wall clock, over
-                                     // the most recent kLatencyWindow samples
+  double p50_latency_ms = 0.0;       // queue-to-completion, wall clock,
+                                     // histogram-estimated (<=9% rel. error)
   double p95_latency_ms = 0.0;
   double p99_latency_ms = 0.0;
   double max_latency_ms = 0.0;
@@ -65,11 +83,6 @@ struct MetricsSnapshot {
 
 class ServerMetrics {
  public:
-  /// Latency samples kept for percentile computation: a sliding window so a
-  /// long-running server neither grows without bound nor sorts its entire
-  /// history on every stats() poll.
-  static constexpr std::size_t kLatencyWindow = 8192;
-
   void record_request();
   void record_cache_hit();
   void record_cache_miss();
@@ -84,10 +97,12 @@ class ServerMetrics {
   void record_graph_update(std::size_t stale);
   /// One replica promotion to PRIMARY and its kill-to-serving wall latency.
   void record_promotion_ms(double ms);
-  /// Queue-to-completion latency of one request.
-  void record_latency_ms(double ms);
+  /// Queue-to-completion latency of one request.  Lock-free: lands in the
+  /// log-bucketed histogram without touching the counter mutex.
+  void record_latency_ms(double ms) { latency_ms_.record(ms); }
 
   /// Counters + percentiles; the caller merges in meter-derived fields.
+  /// O(histogram buckets) — never copies or sorts a sample window.
   MetricsSnapshot snapshot() const;
   void reset();
 
@@ -106,8 +121,7 @@ class ServerMetrics {
   double promotion_ms_max_ = 0.0;
   std::uint64_t cache_hits_ = 0;
   std::uint64_t cache_misses_ = 0;
-  std::vector<double> latencies_ms_;  // ring buffer of the last kLatencyWindow
-  std::uint64_t latency_samples_ = 0;  // lifetime count; ring head = % window
+  Histogram latency_ms_;  // not guarded by mu_: internally atomic
 };
 
 }  // namespace gv

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace gv {
 
@@ -130,9 +131,24 @@ void VaultServer::execute_batch(std::vector<MicroBatchQueue::Entry> batch) {
   std::vector<std::uint32_t> nodes;
   nodes.reserve(batch.size());
   std::size_t waiters = 0;
+  auto oldest = std::chrono::steady_clock::now();
   for (const auto& e : batch) {
     nodes.push_back(e.node);
     waiters += e.waiters.size();
+    oldest = std::min(oldest, e.enqueued);
+  }
+  // The wait the batch's oldest request spent in the micro-batch queue,
+  // reconstructed from its enqueue timestamp (no-op when tracing is off).
+  TraceRecorder::instance().emit_async("serve", "queue_wait", oldest,
+                                 std::chrono::steady_clock::now(), 0.0,
+                                 {{"batch_size", double(batch.size())}});
+  TraceSpan span("serve", "batch_flush");
+  span.arg("batch_size", double(batch.size()));
+  span.arg("waiters", double(waiters));
+  double modeled_before = 0.0;
+  if (span.active()) {
+    modeled_before = deployment_.enclave().meter_snapshot().total_seconds(
+        deployment_.cost_model());
   }
   try {
     // Pin the snapshot this batch computes against; a concurrent
@@ -146,6 +162,11 @@ void VaultServer::execute_batch(std::vector<MicroBatchQueue::Entry> batch) {
     // The whole batch rides ONE ecall; only its labels come back.
     const auto labels = deployment_.infer_labels_batched(snap->outputs, nodes);
     const auto done = std::chrono::steady_clock::now();
+    if (span.active()) {
+      span.modeled_seconds(deployment_.enclave().meter_snapshot().total_seconds(
+                               deployment_.cost_model()) -
+                           modeled_before);
+    }
     // Account the batch before resolving any promise, so a caller observing
     // its future completed also observes the batch in stats().
     metrics_.record_batch(waiters);

@@ -41,7 +41,10 @@ Sha256Digest Enclave::default_platform_key() {
 }
 
 Enclave::Enclave(std::string name, SgxCostModel model, Sha256Digest platform_key)
-    : name_(std::move(name)), model_(model), platform_key_(platform_key) {
+    : name_(std::move(name)),
+      trace_category_(TraceRecorder::instance().intern(name_)),
+      model_(model),
+      platform_key_(platform_key) {
   measurement_hasher_.update(std::string("enclave:") + name_);
 }
 
@@ -66,16 +69,23 @@ const Sha256Digest& Enclave::measurement() const {
   return measurement_;
 }
 
-void Enclave::finish_ecall(double wall_seconds) {
+double Enclave::finish_ecall(double wall_seconds) {
   const std::size_t working_set = ledger_.current_bytes();
   std::lock_guard<std::mutex> m(*meter_mu_);
   meter_.enclave_compute_seconds += wall_seconds * model_.enclave_compute_slowdown;
   // EPC pressure: the portion of the working set beyond the usable EPC is
   // assumed to be swapped in and out once per ecall that touches it.
+  std::uint64_t swaps = 0;
   if (working_set > model_.epc_bytes) {
     const std::size_t overflow = working_set - model_.epc_bytes;
-    meter_.page_swaps += 2 * ((overflow + model_.page_bytes - 1) / model_.page_bytes);
+    swaps = 2 * ((overflow + model_.page_bytes - 1) / model_.page_bytes);
+    meter_.page_swaps += swaps;
   }
+  return model_.cycles_to_seconds(
+             static_cast<double>(model_.ecall_cycles) +
+             static_cast<double>(swaps) *
+                 static_cast<double>(model_.page_swap_cycles)) +
+         wall_seconds * model_.enclave_compute_slowdown;
 }
 
 AeadKey Enclave::sealing_key() const {

@@ -29,6 +29,7 @@
 
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
+#include "obs/trace.hpp"
 #include "sgxsim/chacha20poly1305.hpp"
 #include "sgxsim/cost_model.hpp"
 #include "sgxsim/sha256.hpp"
@@ -117,6 +118,12 @@ class Enclave {
   template <typename F>
   auto ecall(F&& body) -> decltype(body()) {
     GV_CHECK(initialized_, "ecall into uninitialized enclave");
+    // The span starts before TCS entry (so contention on the single logical
+    // TCS shows up as span time) and is emitted after the Stopwatch sample,
+    // so tracing never inflates the modeled clock.  The enclave name rides
+    // as the category — interned at construction, since exports routinely
+    // outlive the enclave — so every slice is still named "ecall".
+    TraceSpan span(trace_category_, "ecall");
     std::lock_guard<std::mutex> entry(*entry_mu_);
     {
       std::lock_guard<std::mutex> m(*meter_mu_);
@@ -130,11 +137,11 @@ class Enclave {
     Stopwatch sw;
     if constexpr (std::is_void_v<decltype(body())>) {
       body();
-      finish_ecall(sw.seconds());
+      span.modeled_seconds(finish_ecall(sw.seconds()));
       return;
     } else {
       auto result = body();
-      finish_ecall(sw.seconds());
+      span.modeled_seconds(finish_ecall(sw.seconds()));
       return result;
     }
   }
@@ -204,10 +211,16 @@ class Enclave {
   static Sha256Digest default_platform_key();
 
  private:
-  void finish_ecall(double wall_seconds);
+  /// Charge the ecall's compute + paging costs; returns the modeled SGX
+  /// seconds this ecall added (transition + scaled compute + paging) for
+  /// the trace span's second clock.
+  double finish_ecall(double wall_seconds);
   AeadKey sealing_key() const;
 
   std::string name_;
+  /// Recorder-interned copy of name_, safe to reference from trace events
+  /// after this enclave is destroyed (set once in the constructor).
+  const char* trace_category_ = "enclave";
   SgxCostModel model_;
   Sha256Digest platform_key_;
   Sha256 measurement_hasher_;

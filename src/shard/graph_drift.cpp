@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "nn/model.hpp"
+#include "obs/metrics.hpp"
 
 namespace gv {
 
@@ -18,6 +19,11 @@ void DriftTracker::record(const GraphUpdateStats& stats) {
                 stats.changed_rows.end());
   std::sort(drift_.begin(), drift_.end());
   drift_.erase(std::unique(drift_.begin(), drift_.end()), drift_.end());
+  // Publish the current health readings so a registry export (or an
+  // Autopilot-style control loop) sees drift without holding the tracker.
+  auto& reg = MetricsRegistry::global();
+  reg.gauge("drift.cut_growth").set(cut_growth());
+  reg.gauge("drift.load_imbalance").set(load_imbalance());
 }
 
 double DriftTracker::load_imbalance() const {

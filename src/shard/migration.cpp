@@ -3,11 +3,15 @@
 #include <algorithm>
 
 #include "common/stopwatch.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace gv {
 
 MigrationStats MigrationExecutor::execute(std::span<const NodeMove> moves) {
   MigrationStats stats;
+  TraceSpan span("drift", "migration");
+  span.arg("moves", double(moves.size()));
   const std::uint64_t transfer_before = deployment_->halo_transfer_bytes();
   const std::uint64_t wire_before = deployment_->halo_padded_bytes();
   Stopwatch watch;
@@ -27,6 +31,12 @@ MigrationStats MigrationExecutor::execute(std::span<const NodeMove> moves) {
       stats.moves_executed > 0 ? fence_sum / stats.moves_executed : 0.0;
   stats.transfer_bytes = deployment_->halo_transfer_bytes() - transfer_before;
   stats.wire_bytes = deployment_->halo_padded_bytes() - wire_before;
+  span.arg("moves_executed", double(stats.moves_executed));
+  span.arg("wire_bytes", double(stats.wire_bytes));
+  auto& reg = MetricsRegistry::global();
+  reg.counter("migration.moves").add(stats.moves_executed);
+  reg.counter("migration.wire_bytes").add(stats.wire_bytes);
+  reg.histogram("migration.fence_ms").record(stats.max_fence_ms);
   return stats;
 }
 

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "common/stopwatch.hpp"
+#include "obs/trace.hpp"
 
 namespace gv {
 
@@ -185,6 +186,11 @@ double ReplicaManager::promote(std::uint32_t shard,
   Replica& rep = *replicas_[shard];
   if (rep.state.load() != ReplicaState::kPromoting) begin_promotion(shard);
   Stopwatch watch;
+  // Promotion phases are emitted with explicit timestamps (not one RAII
+  // span) because the "promotion" slice must stop where the latency metric
+  // stops — when serving resumes — while this function continues into the
+  // background restaff.
+  const auto promo_start = std::chrono::steady_clock::now();
   // Promotion must not race replication traffic into the same enclave.
   std::lock_guard<std::mutex> lock(replicate_mu_);
   try {
@@ -207,14 +213,22 @@ double ReplicaManager::promote(std::uint32_t shard,
       // path a real standby machine would take — no vendor, no dead
       // platform in the loop.
       ShardPayload payload;
-      rep.enclave->ecall([&] {
-        payload = deserialize_shard_payload(rep.enclave->unseal(rep.sealed));
-      });
+      {
+        TraceSpan unseal_span("promotion", "unseal");
+        unseal_span.arg("shard", double(shard));
+        rep.enclave->ecall([&] {
+          payload = deserialize_shard_payload(rep.enclave->unseal(rep.sealed));
+        });
+      }
       // adopt_shard consumes the slot only once every precondition passed;
       // a rejected adoption (throw) leaves a fully functional warm standby —
       // which is why the warm labels are taken only AFTER it succeeds.
-      primary_->adopt_shard(shard, rep.enclave, payload, rep.sealed,
-                            rep.platform_key);
+      {
+        TraceSpan adopt_span("promotion", "adopt");
+        adopt_span.arg("shard", double(shard));
+        primary_->adopt_shard(shard, rep.enclave, payload, rep.sealed,
+                              rep.platform_key);
+      }
       // Now the donation is committed: take the warm store (it stays inside
       // the same, now-adopted enclave; install_labels re-registers it there)
       // and drop the replication channel (its dead-primary endpoint is
@@ -232,8 +246,12 @@ double ReplicaManager::promote(std::uint32_t shard,
     // (or empty) store.
     const std::uint64_t epoch_before = primary_->refresh_epoch();
     if (warm) {
+      TraceSpan install_span("promotion", "install_labels");
+      install_span.arg("shard", double(shard));
       primary_->install_labels(shard, std::move(warm_labels));
     } else {
+      TraceSpan remat_span("promotion", "rematerialize");
+      remat_span.arg("shard", double(shard));
       rematerialize();
     }
     // A full-refresh re-materialization bumps the refresh epoch without
@@ -242,7 +260,11 @@ double ReplicaManager::promote(std::uint32_t shard,
     // The warm-adopt and shard-local (rematerialize_shard) paths leave the
     // epoch alone, so the standbys are already fresh and the fencing window
     // skips the fleet-wide label re-ship.
-    if (primary_->refresh_epoch() != epoch_before) sync_labels_locked();
+    if (primary_->refresh_epoch() != epoch_before) {
+      TraceSpan sync_span("promotion", "sync_labels");
+      sync_span.arg("shard", double(shard));
+      sync_labels_locked();
+    }
   } catch (const std::exception& e) {
     // Failed promotion: drop back to STANDBY so fenced routers unblock
     // instead of hanging forever.  A rejected adoption left the slot a
@@ -267,6 +289,9 @@ double ReplicaManager::promote(std::uint32_t shard,
   // kill-to-serving fencing window) stops HERE; auto-restaff is background
   // work that must not inflate it.
   const double promotion_ms = watch.seconds() * 1e3;
+  TraceRecorder::instance().emit("promotion", "promotion", promo_start,
+                                 std::chrono::steady_clock::now(), 0.0,
+                                 {{"shard", double(shard)}});
   if (cfg_.auto_restaff) {
     // Gen-2 standby on a fresh derived platform key: the fleet survives
     // back-to-back failovers with nobody in the loop.  Best effort — a
@@ -274,6 +299,8 @@ double ReplicaManager::promote(std::uint32_t shard,
     // fails the promotion that already landed (replicate_mu_ is still
     // held, so nothing races the fresh slot).
     try {
+      TraceSpan restaff_span("promotion", "restaff");
+      restaff_span.arg("shard", double(shard));
       rep.generation += 1;
       restaff_locked(shard,
                      ReplicaConfig::standby_generation_key(shard, rep.generation));

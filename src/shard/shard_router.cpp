@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace gv {
 
@@ -36,6 +37,8 @@ std::vector<std::uint32_t> ShardRouter::route(
 
 std::vector<std::uint32_t> ShardRouter::route_once(
     std::span<const std::uint32_t> nodes) {
+  TraceSpan route_span("route", "route_batch");
+  route_span.arg("nodes", double(nodes.size()));
   const std::uint32_t num_shards = deployment_->num_shards();
   const auto owner = deployment_->owner_snapshot();
   // Split by ownership, remembering each node's position in the request.
@@ -56,6 +59,9 @@ std::vector<std::uint32_t> ShardRouter::route_once(
     touched.push_back(s);
     double delta = 0.0;
     std::vector<std::uint32_t> labels;
+    TraceSpan shard_span("route", "shard_lookup");
+    shard_span.arg("shard", double(s));
+    shard_span.arg("nodes", double(shard_nodes[s].size()));
     // The kill -> fence transition is not atomic (kill_shard kills the
     // primary, THEN flips the replica to PROMOTING), so a state observed
     // here can be fenced by the time the lookup runs; one retry through the
@@ -69,8 +75,12 @@ std::vector<std::uint32_t> ShardRouter::route_once(
         // the promotion to land rather than EVER returning a pre-promotion
         // label, then serve through the normal path below (so a cold walk
         // after the fence still enjoys the frontier-fence retry).
-        GV_CHECK(replicas_->await_promotion(s, fence_timeout_),
-                 "shard promotion did not complete within the fence timeout");
+        {
+          TraceSpan fence_span("route", "promotion_fence_wait");
+          fence_span.arg("shard", double(s));
+          GV_CHECK(replicas_->await_promotion(s, fence_timeout_),
+                   "shard promotion did not complete within the fence timeout");
+        }
         fenced_.fetch_add(1);
         GV_CHECK(deployment_->shard_alive(s), "shard promotion failed");
         after_fence = true;
@@ -138,9 +148,13 @@ std::vector<std::uint32_t> ShardRouter::route_once(
         bool frontier_fenced = false;
         for (std::uint32_t t = 0; t < num_shards; ++t) {
           if (t == s || replicas_->state(t) != ReplicaState::kPromoting) continue;
-          GV_CHECK(replicas_->await_promotion(t, fence_timeout_),
-                   "frontier shard promotion did not complete within the "
-                   "fence timeout");
+          {
+            TraceSpan fence_span("route", "promotion_fence_wait");
+            fence_span.arg("shard", double(t));
+            GV_CHECK(replicas_->await_promotion(t, fence_timeout_),
+                     "frontier shard promotion did not complete within the "
+                     "fence timeout");
+          }
           fenced_.fetch_add(1);
           frontier_fenced = true;
         }
@@ -157,11 +171,13 @@ std::vector<std::uint32_t> ShardRouter::route_once(
         }
       }
     }
+    shard_span.modeled_seconds(delta);
     slowest = std::max(slowest, delta);
     for (std::size_t i = 0; i < labels.size(); ++i) {
       out[shard_positions[s][i]] = labels[i];
     }
   }
+  route_span.modeled_seconds(slowest);
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     modeled_seconds_ += slowest;

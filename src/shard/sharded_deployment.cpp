@@ -5,9 +5,12 @@
 #include <cstring>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
 namespace gv {
@@ -469,10 +472,13 @@ double ShardedVaultDeployment::meter_seconds(const Shard& s) const {
 }
 
 template <typename F>
-void ShardedVaultDeployment::parallel_phase(F&& body) {
+void ShardedVaultDeployment::parallel_phase(const char* phase, std::int64_t layer,
+                                            F&& body) {
   // Shards are independent enclaves (typically on independent platforms);
   // between the layer barriers they run concurrently, so the modeled time
   // of a phase is the SLOWEST shard's meter delta, not the sum.
+  TraceSpan span("fleet", phase);
+  if (layer >= 0) span.arg("layer", double(layer));
   std::vector<double> before(shards_.size());
   for (std::size_t s = 0; s < shards_.size(); ++s) before[s] = meter_seconds(*shards_[s]);
   for (std::uint32_t s = 0; s < shards_.size(); ++s) body(s);
@@ -480,7 +486,13 @@ void ShardedVaultDeployment::parallel_phase(F&& body) {
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     slowest = std::max(slowest, meter_seconds(*shards_[s]) - before[s]);
   }
+  span.modeled_seconds(slowest);
   parallel_seconds_.fetch_add(slowest);
+}
+
+template <typename F>
+void ShardedVaultDeployment::parallel_phase(const char* phase, F&& body) {
+  parallel_phase(phase, -1, std::forward<F>(body));
 }
 
 template <typename Scatter>
@@ -506,7 +518,7 @@ void ShardedVaultDeployment::stream_full_matrix(Shard& sh, const Matrix& full,
 
 void ShardedVaultDeployment::stream_backbone_rows(const std::vector<Matrix>& outputs) {
   const std::size_t n = plan_.owner.size();
-  parallel_phase([&](std::uint32_t s) {
+  parallel_phase("backbone_stream", [&](std::uint32_t s) {
     Shard& sh = *shards_[s];
     for (const std::size_t idx : required_layers_) {
       GV_CHECK(idx < outputs.size() && !outputs[idx].empty(),
@@ -535,6 +547,8 @@ void ShardedVaultDeployment::stream_backbone_rows(const std::vector<Matrix>& out
 
 void ShardedVaultDeployment::refresh(const CsrMatrix& features) {
   std::lock_guard<std::mutex> lock(*infer_mu_);
+  TraceSpan refresh_span("fleet", "refresh");
+  const double refresh_parallel_before = parallel_seconds_.load();
   for (const auto& sh : shards_) {
     GV_CHECK(sh->alive, "refresh requires every shard enclave alive");
   }
@@ -559,7 +573,7 @@ void ShardedVaultDeployment::refresh(const CsrMatrix& features) {
   for (std::size_t k = 0; k < L; ++k) {
     const bool last = (k + 1 == L);
     // --- Compute: every shard advances its owned rows one layer. ---------
-    parallel_phase([&](std::uint32_t s) {
+    parallel_phase("layer_compute", std::int64_t(k), [&](std::uint32_t s) {
       Shard& sh = *shards_[s];
       sh.enclave->ecall([&] {
         Matrix input;
@@ -606,7 +620,7 @@ void ShardedVaultDeployment::refresh(const CsrMatrix& features) {
     if (last) break;
 
     // --- Halo exchange: boundary embeddings cross attested channels. ------
-    parallel_phase([&](std::uint32_t s) {
+    parallel_phase("halo_send", std::int64_t(k), [&](std::uint32_t s) {
       Shard& sh = *shards_[s];
       sh.enclave->ecall([&] {
         for (std::uint32_t t = 0; t < plan_.num_shards; ++t) {
@@ -624,7 +638,7 @@ void ShardedVaultDeployment::refresh(const CsrMatrix& features) {
       });
     });
     // --- Assemble the next layer's closure input (own + received rows). ---
-    parallel_phase([&](std::uint32_t s) {
+    parallel_phase("halo_assemble", std::int64_t(k), [&](std::uint32_t s) {
       Shard& sh = *shards_[s];
       sh.enclave->ecall([&] {
         const auto& closure = sh.payload.closure;
@@ -666,7 +680,7 @@ void ShardedVaultDeployment::refresh(const CsrMatrix& features) {
   // steady-state shard residency is weights + adjacency + label store and
   // lookup ecalls never feel EPC pressure (the refresh peak is what the
   // planner budgeted for).
-  parallel_phase([&](std::uint32_t s) {
+  parallel_phase("release_transients", [&](std::uint32_t s) {
     Shard& sh = *shards_[s];
     sh.enclave->ecall([&] {
       auto& mem = sh.enclave->memory();
@@ -692,6 +706,7 @@ void ShardedVaultDeployment::refresh(const CsrMatrix& features) {
   have_store_fingerprint_ = true;
   refreshed_ = true;
   epoch_.fetch_add(1);
+  refresh_span.modeled_seconds(parallel_seconds_.load() - refresh_parallel_before);
 }
 
 std::vector<std::uint32_t> ShardedVaultDeployment::infer_labels(
@@ -909,6 +924,10 @@ GraphUpdateStats ShardedVaultDeployment::update_graph(
   std::lock_guard<std::mutex> lock(*infer_mu_);
   GraphUpdateStats stats;
   if (delta.empty()) return stats;
+  TraceSpan update_span("drift", "graph_update");
+  update_span.arg("edge_inserts", double(delta.edge_inserts.size()));
+  update_span.arg("edge_deletes", double(delta.edge_deletes.size()));
+  update_span.arg("node_adds", double(delta.node_adds.size()));
   for (const auto& sh : shards_) {
     GV_CHECK(sh->alive, "graph update requires every shard enclave alive");
   }
@@ -926,6 +945,7 @@ GraphUpdateStats ShardedVaultDeployment::update_graph(
   moving_count_.fetch_add(1);
   struct FenceGuard {
     ShardedVaultDeployment* d;
+    std::chrono::steady_clock::time_point raised;
     ~FenceGuard() {
       {
         std::lock_guard<std::mutex> mlock(*d->move_mu_);
@@ -933,8 +953,10 @@ GraphUpdateStats ShardedVaultDeployment::update_graph(
       }
       d->moving_count_.fetch_sub(1);
       d->move_cv_->notify_all();
+      TraceRecorder::instance().emit("drift", "update_fence", raised,
+                                     std::chrono::steady_clock::now());
     }
-  } fence_guard{this};
+  } fence_guard{this, std::chrono::steady_clock::now()};
 
   // ---- 0. Validate BEFORE mutating any coordinator state: a rejected
   // delta must leave the deployment exactly as it found it.
@@ -1370,6 +1392,11 @@ double ShardedVaultDeployment::move_node(std::uint32_t node, std::uint32_t to) {
            "refusing to empty a shard by migration");
   const std::uint32_t K = plan_.num_shards;
 
+  TraceSpan move_span("drift", "move_node");
+  move_span.arg("node", double(node));
+  move_span.arg("from", double(from));
+  move_span.arg("to", double(to));
+
   // Per-move fence: routers park lookups for THIS node until ownership has
   // flipped and both stores are consistent; every other node serves
   // throughout the move.
@@ -1379,6 +1406,7 @@ double ShardedVaultDeployment::move_node(std::uint32_t node, std::uint32_t to) {
   }
   moving_count_.fetch_add(1);
   Stopwatch fence_watch;
+  const auto fence_raised = std::chrono::steady_clock::now();
   double fence_ms = 0.0;
   bool fenced = true;
   auto unfence = [&] {
@@ -1391,6 +1419,9 @@ double ShardedVaultDeployment::move_node(std::uint32_t node, std::uint32_t to) {
     moving_count_.fetch_sub(1);
     move_cv_->notify_all();
     fenced = false;
+    TraceRecorder::instance().emit("drift", "migration_fence", fence_raised,
+                                   std::chrono::steady_clock::now(), 0.0,
+                                   {{"node", double(node)}});
   };
 
   try {
@@ -1597,6 +1628,9 @@ std::vector<std::uint32_t> ShardedVaultDeployment::cold_forward(
   if (nodes.empty()) return {};
   for (const auto v : nodes) GV_CHECK(v < n, "query node out of range");
 
+  TraceSpan cold_span("fleet", "cold_forward");
+  cold_span.arg("nodes", double(nodes.size()));
+
   const auto& cfg = vault_.rectifier->config();
   const std::size_t L = cfg.channels.size();
   const auto dims = vault_.backbone().layer_dims();
@@ -1756,7 +1790,7 @@ std::vector<std::uint32_t> ShardedVaultDeployment::cold_forward(
     const auto& outputs = backbone_for(features, fingerprint, &bb_cache_hit);
     stats->backbone_cache_hit = bb_cache_hit;
 
-    parallel_phase([&](std::uint32_t s) {
+    parallel_phase("cold_backbone_stage", [&](std::uint32_t s) {
       if (!involved[s] || !computes[0][s]) return;
       Shard& sh = *shards_[s];
       try {
@@ -1825,7 +1859,7 @@ std::vector<std::uint32_t> ShardedVaultDeployment::cold_forward(
     for (std::size_t k = 0; k < L; ++k) {
       const bool last = (k + 1 == L);
       if (k >= 1) {
-        parallel_phase([&](std::uint32_t t) {
+        parallel_phase("cold_halo_serve", std::int64_t(k), [&](std::uint32_t t) {
           if (!involved[t]) return;
           Shard& sh = *shards_[t];
           cold_ecall(t, [&] {
@@ -1871,7 +1905,7 @@ std::vector<std::uint32_t> ShardedVaultDeployment::cold_forward(
         });
       }
 
-      parallel_phase([&](std::uint32_t s) {
+      parallel_phase("cold_layer_compute", std::int64_t(k), [&](std::uint32_t s) {
         if (!computes[k][s]) return;
         Shard& sh = *shards_[s];
         cold_ecall(s, [&] {
@@ -2036,7 +2070,7 @@ std::vector<std::uint32_t> ShardedVaultDeployment::cold_forward(
     }
 
     // --- Release transients + telemetry. -----------------------------------
-    parallel_phase([&](std::uint32_t s) {
+    parallel_phase("cold_release", [&](std::uint32_t s) {
       if (!involved[s]) return;
       Shard& sh = *shards_[s];
       cold_ecall(s, [&] {
@@ -2065,6 +2099,8 @@ std::vector<std::uint32_t> ShardedVaultDeployment::cold_forward(
     stats->halo_embedding_bytes = emb_after - emb_bytes_before;
     stats->modeled_seconds = (parallel_seconds_.load() - parallel_before) +
                              (untrusted_seconds_.load() - untrusted_before);
+    cold_span.arg("shards_touched", double(touched));
+    cold_span.modeled_seconds(stats->modeled_seconds);
     return out;
   } catch (...) {
     // A walk aborted mid-exchange (dead frontier shard, malformed query)
@@ -2174,6 +2210,14 @@ std::uint64_t ShardedVaultDeployment::halo_package_bytes() const {
   return sum;
 }
 
+std::uint64_t ShardedVaultDeployment::halo_request_bytes() const {
+  std::uint64_t sum = 0;
+  for (const auto& ch : channels_) {
+    if (ch) sum += ch->request_bytes();
+  }
+  return sum;
+}
+
 std::uint64_t ShardedVaultDeployment::halo_transfer_bytes() const {
   std::uint64_t sum = 0;
   for (const auto& ch : channels_) {
@@ -2188,6 +2232,21 @@ std::uint64_t ShardedVaultDeployment::halo_padded_bytes() const {
     if (ch) sum += ch->padded_bytes();
   }
   return sum;
+}
+
+void ShardedVaultDeployment::publish_channel_audit() const {
+  auto& reg = MetricsRegistry::global();
+  reg.gauge("halo.payload_bytes", MetricLabels::of("channel_kind", "embedding"))
+      .set(double(halo_embedding_bytes()));
+  reg.gauge("halo.payload_bytes", MetricLabels::of("channel_kind", "label"))
+      .set(double(halo_label_bytes()));
+  reg.gauge("halo.payload_bytes", MetricLabels::of("channel_kind", "package"))
+      .set(double(halo_package_bytes()));
+  reg.gauge("halo.payload_bytes", MetricLabels::of("channel_kind", "request"))
+      .set(double(halo_request_bytes()));
+  reg.gauge("halo.payload_bytes", MetricLabels::of("channel_kind", "transfer"))
+      .set(double(halo_transfer_bytes()));
+  reg.gauge("halo.padded_bytes").set(double(halo_padded_bytes()));
 }
 
 double ShardedVaultDeployment::modeled_seconds() const {

@@ -321,10 +321,15 @@ class ShardedVaultDeployment {
   std::uint64_t halo_embedding_bytes() const;
   std::uint64_t halo_label_bytes() const;
   std::uint64_t halo_package_bytes() const;
+  std::uint64_t halo_request_bytes() const;
   std::uint64_t halo_transfer_bytes() const;
   /// Wire bytes incl. the power-of-two bucket padding that hides cut /
   /// frontier / move-set cardinalities from the untrusted relay.
   std::uint64_t halo_padded_bytes() const;
+  /// Publish the per-kind channel byte audit (and the padded wire total,
+  /// whose delta over the payload sum is what the padding spent) as
+  /// `channel_kind`-labeled gauges in the global MetricsRegistry.
+  void publish_channel_audit() const;
 
   /// Modeled seconds so far: untrusted backbone + the critical path of the
   /// sharded forward (per phase, the slowest shard — shards run on separate
@@ -462,9 +467,15 @@ class ShardedVaultDeployment {
                                           std::uint64_t fingerprint,
                                           bool* cache_hit);
   /// Run `body(s)` for every shard; adds the slowest shard's meter delta to
-  /// the parallel-time accumulator (one synchronized phase).
+  /// the parallel-time accumulator (one synchronized phase).  `phase` names
+  /// the interval in the VaultScope trace ("fleet" category); when `layer`
+  /// is >= 0 it is attached as a span arg so per-layer halo exchange is
+  /// visible in the exported timeline.  The span's modeled clock is the
+  /// same slowest-shard delta the accumulator absorbs.
   template <typename F>
-  void parallel_phase(F&& body);
+  void parallel_phase(const char* phase, std::int64_t layer, F&& body);
+  template <typename F>
+  void parallel_phase(const char* phase, F&& body);
   double meter_seconds(const Shard& s) const;
 
   TrainedVault vault_;

@@ -4,6 +4,8 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace gv {
 
@@ -14,6 +16,7 @@ ShardedVaultServer::ShardedVaultServer(const Dataset& ds, TrainedVault vault,
     : cfg_(cfg),
       deployment_(ds, std::move(vault), std::move(plan), std::move(dopts)),
       cache_(cfg.server.cache_capacity),
+      drift_(deployment_.plan()),
       num_nodes_(ds.features.rows()),
       features_(std::make_shared<const CsrMatrix>(ds.features)),
       queue_(cfg.server.max_batch, cfg.server.max_wait),
@@ -44,7 +47,15 @@ ShardedVaultServer::ShardedVaultServer(const Dataset& ds, TrainedVault vault,
       snap = features_;
       fp = features_fp_;
     }
-    return deployment_.infer_labels_subset_cold(*snap, fp, nodes);
+    TraceSpan span("shard", "cold_subset");
+    span.arg("nodes", double(nodes.size()));
+    ColdSubsetStats stats;
+    auto labels = deployment_.infer_labels_subset_cold(*snap, fp, nodes, &stats);
+    span.arg("shards_touched", double(stats.shards_touched));
+    span.arg("frontier_rows", double(stats.frontier_rows));
+    span.modeled_seconds(stats.modeled_seconds);
+    record_cold_stats(stats);
+    return labels;
   });
   workers_.reserve(pool_.size());
   for (std::size_t i = 0; i < pool_.size(); ++i) {
@@ -228,6 +239,31 @@ void ShardedVaultServer::handle_shard_failure(std::uint32_t shard) {
   }
 }
 
+void ShardedVaultServer::record_cold_stats(const ColdSubsetStats& stats) {
+  cold_queries_.fetch_add(1, std::memory_order_relaxed);
+  cold_shards_computed_.fetch_add(stats.shards_computed,
+                                  std::memory_order_relaxed);
+  cold_shards_touched_.fetch_add(stats.shards_touched,
+                                 std::memory_order_relaxed);
+  cold_frontier_rows_.fetch_add(stats.frontier_rows, std::memory_order_relaxed);
+  cold_halo_request_bytes_.fetch_add(stats.halo_request_bytes,
+                                     std::memory_order_relaxed);
+  cold_halo_embedding_bytes_.fetch_add(stats.halo_embedding_bytes,
+                                       std::memory_order_relaxed);
+  if (stats.backbone_cache_hit) {
+    cold_backbone_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  auto& reg = MetricsRegistry::global();
+  reg.counter("cold.queries").add(1);
+  reg.counter("cold.shards_touched").add(stats.shards_touched);
+  reg.counter("cold.frontier_rows").add(stats.frontier_rows);
+  reg.counter("cold.halo_bytes", MetricLabels::of("channel_kind", "request"))
+      .add(stats.halo_request_bytes);
+  reg.counter("cold.halo_bytes", MetricLabels::of("channel_kind", "embedding"))
+      .add(stats.halo_embedding_bytes);
+  reg.histogram("cold.modeled_seconds").record(stats.modeled_seconds);
+}
+
 GraphUpdateStats ShardedVaultServer::update_graph(const GraphDelta& delta,
                                                   const CsrMatrix& new_features) {
   // Control-plane exclusion, like update_features: promotions re-handshake
@@ -255,6 +291,12 @@ GraphUpdateStats ShardedVaultServer::update_graph(const GraphDelta& delta,
   // put, so the delta-derived affected set is evicted by node id.
   const std::size_t evicted = cache_.invalidate_nodes(stats.stale_nodes);
   metrics_.record_graph_update(stats.store_entries_invalidated + evicted);
+  {
+    // Fold the update into the drift health readings (DriftTracker also
+    // publishes them as gauges to the global registry).
+    std::lock_guard<std::mutex> lock(drift_mu_);
+    drift_.record(stats);
+  }
   if (replicas_ != nullptr) {
     // The standby packages now describe a retired topology (they refuse to
     // promote); re-replicate so the fleet is failover-ready again.
@@ -275,6 +317,21 @@ MetricsSnapshot ShardedVaultServer::stats() const {
   s.cold_batches = router_->cold_batches();
   s.restaffs = replicas_ != nullptr ? replicas_->restaffs() : 0;
   s.shard_faults = deployment_.shard_faults();
+  s.cold_queries = cold_queries_.load(std::memory_order_relaxed);
+  s.cold_shards_computed = cold_shards_computed_.load(std::memory_order_relaxed);
+  s.cold_shards_touched = cold_shards_touched_.load(std::memory_order_relaxed);
+  s.cold_frontier_rows = cold_frontier_rows_.load(std::memory_order_relaxed);
+  s.cold_halo_request_bytes =
+      cold_halo_request_bytes_.load(std::memory_order_relaxed);
+  s.cold_halo_embedding_bytes =
+      cold_halo_embedding_bytes_.load(std::memory_order_relaxed);
+  s.cold_backbone_cache_hits =
+      cold_backbone_cache_hits_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(drift_mu_);
+    s.drift_cut_growth = drift_.cut_growth();
+    s.drift_load_imbalance = drift_.load_imbalance();
+  }
   const CostMeter m = deployment_.aggregate_meter();
   s.ecalls = m.ecalls;
   s.bytes_in = m.bytes_in;
@@ -284,6 +341,9 @@ MetricsSnapshot ShardedVaultServer::stats() const {
   const auto served = s.completed + s.cache_hits;
   s.requests_per_second =
       s.modeled_seconds > 0.0 ? static_cast<double>(served) / s.modeled_seconds : 0.0;
+  // Refresh the channel-kind byte-audit gauges alongside the poll, so a
+  // registry snapshot taken next to stats() is internally consistent.
+  deployment_.publish_channel_audit();
   return s;
 }
 
@@ -299,9 +359,23 @@ void ShardedVaultServer::execute_batch(std::vector<MicroBatchQueue::Entry> batch
   std::vector<std::uint32_t> nodes;
   nodes.reserve(batch.size());
   std::size_t waiters = 0;
+  auto oldest = std::chrono::steady_clock::now();
   for (const auto& e : batch) {
     nodes.push_back(e.node);
     waiters += e.waiters.size();
+    oldest = std::min(oldest, e.enqueued);
+  }
+  // The wait the batch's oldest request spent in the micro-batch queue,
+  // reconstructed from its enqueue timestamp (no-op when tracing is off).
+  TraceRecorder::instance().emit_async("serve", "queue_wait", oldest,
+                                 std::chrono::steady_clock::now(), 0.0,
+                                 {{"batch_size", double(batch.size())}});
+  TraceSpan span("serve", "batch_flush");
+  span.arg("batch_size", double(batch.size()));
+  span.arg("waiters", double(waiters));
+  double modeled_before = 0.0;
+  if (span.active()) {
+    modeled_before = deployment_.modeled_seconds() + router_->modeled_seconds();
   }
   try {
     // Pin the snapshot BEFORE the lookups: if update_features lands while
@@ -323,6 +397,10 @@ void ShardedVaultServer::execute_batch(std::vector<MicroBatchQueue::Entry> batch
     const bool cacheable =
         cache_.enabled() && deployment_.ownership_epoch() == epoch_before;
     const auto done = std::chrono::steady_clock::now();
+    if (span.active()) {
+      span.modeled_seconds(deployment_.modeled_seconds() +
+                           router_->modeled_seconds() - modeled_before);
+    }
     metrics_.record_batch(waiters);
     for (std::size_t i = 0; i < batch.size(); ++i) {
       if (cacheable) {

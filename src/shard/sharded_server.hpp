@@ -19,6 +19,7 @@
 #include "serve/label_cache.hpp"
 #include "serve/server_metrics.hpp"
 #include "serve/vault_server.hpp"
+#include "shard/graph_drift.hpp"
 #include "shard/replica_manager.hpp"
 #include "shard/shard_router.hpp"
 #include "shard/sharded_deployment.hpp"
@@ -114,6 +115,9 @@ class ShardedVaultServer {
   void launch_promotion(std::uint32_t shard);
   /// Dead-shard detection callback: a serving ecall died on `shard`.
   void handle_shard_failure(std::uint32_t shard);
+  /// Fold one cold query's telemetry into the aggregate counters and the
+  /// global MetricsRegistry (previously computed and discarded).
+  void record_cold_stats(const ColdSubsetStats& stats);
 
   ShardedServerConfig cfg_;
   ShardedVaultDeployment deployment_;
@@ -121,6 +125,18 @@ class ShardedVaultServer {
   std::unique_ptr<ShardRouter> router_;
   LabelCache cache_;
   ServerMetrics metrics_;
+  /// GraphDrift health since construction: update_graph folds each applied
+  /// update in and stats() surfaces the current cut-growth / imbalance.
+  mutable std::mutex drift_mu_;
+  DriftTracker drift_;
+  /// Cold cross-shard path telemetry, aggregated per query.
+  std::atomic<std::uint64_t> cold_queries_{0};
+  std::atomic<std::uint64_t> cold_shards_computed_{0};
+  std::atomic<std::uint64_t> cold_shards_touched_{0};
+  std::atomic<std::uint64_t> cold_frontier_rows_{0};
+  std::atomic<std::uint64_t> cold_halo_request_bytes_{0};
+  std::atomic<std::uint64_t> cold_halo_embedding_bytes_{0};
+  std::atomic<std::uint64_t> cold_backbone_cache_hits_{0};
   std::atomic<std::size_t> num_nodes_;  // grows with update_graph node adds
 
   mutable std::mutex snap_mu_;

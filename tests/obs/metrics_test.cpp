@@ -1,0 +1,130 @@
+// MetricsRegistry contract tests: label canonicalization, instrument
+// identity, the log-bucketed histogram's percentile accuracy bounds, and
+// the JSON exporter.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace gv {
+namespace {
+
+TEST(MetricLabels, CanonicalFormIsOrderIndependent) {
+  const MetricLabels a{{"shard", "3"}, {"tenant", "acme"}};
+  const MetricLabels b{{"tenant", "acme"}, {"shard", "3"}};
+  EXPECT_EQ(a.canonical(), b.canonical());
+  EXPECT_EQ(a.canonical(), "shard=3,tenant=acme");
+  EXPECT_TRUE(MetricLabels{}.empty());
+}
+
+TEST(MetricsRegistry, SameNameAndLabelsResolveTheSameInstrument) {
+  MetricsRegistry reg;
+  Counter& c1 = reg.counter("requests", MetricLabels::of("tenant", "a"));
+  Counter& c2 = reg.counter("requests", {{"tenant", "a"}});
+  Counter& other = reg.counter("requests", MetricLabels::of("tenant", "b"));
+  c1.add(2);
+  c2.add(3);
+  other.add(7);
+  EXPECT_EQ(c1.value(), 5u);
+  EXPECT_EQ(&c1, &c2);
+  EXPECT_NE(&c1, &other);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(MetricsRegistry, GaugeSetAndAdd) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("imbalance");
+  g.set(1.5);
+  g.add(0.25);
+  EXPECT_DOUBLE_EQ(g.value(), 1.75);
+  reg.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Histogram, BucketIndexMonotoneAndUnderflowIsZero) {
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0);
+  EXPECT_EQ(Histogram::bucket_index(-1.0), 0);
+  EXPECT_EQ(Histogram::bucket_index(Histogram::kMinValue), 0);
+  int prev = 0;
+  for (double v = 1e-8; v < 1e12; v *= 3.7) {
+    const int i = Histogram::bucket_index(v);
+    EXPECT_GE(i, prev);
+    EXPECT_LE(i, Histogram::kNumBuckets);
+    prev = i;
+    // The bucket's bounds actually bracket the value (until saturation).
+    if (i >= 1 && i < Histogram::kNumBuckets) {
+      EXPECT_LE(v, Histogram::bucket_upper(i) * (1.0 + 1e-12));
+      EXPECT_GT(v, Histogram::bucket_upper(i - 1) * (1.0 - 1e-12));
+    }
+  }
+}
+
+TEST(Histogram, PercentileWithinRelativeErrorBound) {
+  Histogram h;
+  // Uniform 1..10000 ms: every percentile is known exactly.
+  for (int i = 1; i <= 10000; ++i) h.record(double(i));
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 10000u);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 10000.0);
+  for (const double p : {0.50, 0.95, 0.99}) {
+    const double exact = p * 10000.0;
+    const double est = snap.percentile(p);
+    // 2^(1/4) buckets: the geometric-mean estimate is within ~9.1% of any
+    // value in the bucket.
+    EXPECT_NEAR(est, exact, exact * 0.095)
+        << "p=" << p << " est=" << est << " exact=" << exact;
+  }
+}
+
+TEST(Histogram, ZeroLatenciesReportZeroPercentiles) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(0.0);  // cache hits
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_DOUBLE_EQ(snap.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(snap.percentile(0.99), 0.0);
+}
+
+TEST(Histogram, MixedZeroAndNonZero) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.record(0.0);
+  for (int i = 0; i < 10; ++i) h.record(100.0);
+  const auto snap = h.snapshot();
+  EXPECT_DOUBLE_EQ(snap.percentile(0.5), 0.0);  // median is a cache hit
+  EXPECT_NEAR(snap.percentile(0.99), 100.0, 100.0 * 0.095);
+  // Percentiles never exceed the observed max.
+  EXPECT_LE(snap.percentile(0.999), snap.max);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.record(5.0);
+  h.reset();
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.percentile(0.5), 0.0);
+}
+
+TEST(MetricsRegistry, ToJsonContainsInstrumentsAndEscapes) {
+  MetricsRegistry reg;
+  reg.counter("cold.queries", MetricLabels::of("tenant", "a\"b")).add(4);
+  reg.gauge("drift.cut_growth").set(0.125);
+  reg.histogram("latency_ms").record(2.0);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"cold.queries\""), std::string::npos);
+  EXPECT_NE(json.find("a\\\"b"), std::string::npos);  // quote escaped
+  EXPECT_NE(json.find("\"drift.cut_growth\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);  // one line, newline-free
+}
+
+TEST(MetricsRegistry, GlobalIsAProcessSingleton) {
+  EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
+}
+
+}  // namespace
+}  // namespace gv

@@ -1,0 +1,166 @@
+// TraceRecorder contract tests: the disabled no-op guarantee, span
+// arguments and dual clocks, explicit-timestamp and async emission, ring
+// wrap-around accounting, and the Chrome-trace exporter + validator
+// (including its rejection of overlapping non-nested slices).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "obs/trace.hpp"
+
+namespace gv {
+namespace {
+
+/// Every test starts from a clean, disabled recorder (tests in this binary
+/// share the process-wide singleton).
+struct TraceTest : ::testing::Test {
+  void SetUp() override {
+    TraceRecorder::instance().set_enabled(false);
+    TraceRecorder::instance().clear();
+  }
+  void TearDown() override {
+    TraceRecorder::instance().set_enabled(false);
+    TraceRecorder::instance().clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledSpansEmitNothing) {
+  {
+    TraceSpan span("test", "quiet");
+    span.arg("x", 1.0);
+    span.modeled_seconds(0.5);
+    EXPECT_FALSE(span.active());
+  }
+  TraceRecorder::instance().emit(
+      "test", "quiet2", std::chrono::steady_clock::now(),
+      std::chrono::steady_clock::now());
+  EXPECT_TRUE(TraceRecorder::instance().snapshot().empty());
+}
+
+TEST_F(TraceTest, SpanRecordsArgsAndBothClocks) {
+  auto& rec = TraceRecorder::instance();
+  rec.set_enabled(true);
+  {
+    TraceSpan span("cat", "work");
+    span.arg("shard", 3.0);
+    span.arg("layer", 1.0);
+    span.modeled_seconds(0.125);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  const TraceEvent& ev = events[0];
+  EXPECT_STREQ(ev.category, "cat");
+  EXPECT_STREQ(ev.name, "work");
+  EXPECT_GE(ev.dur_ns, 1'000'000u);  // slept >= 2 ms; allow timer slop
+  EXPECT_DOUBLE_EQ(ev.modeled_s, 0.125);
+  ASSERT_GE(ev.num_args, 2);
+  EXPECT_STREQ(ev.args[0].key, "shard");
+  EXPECT_DOUBLE_EQ(ev.args[0].value, 3.0);
+}
+
+TEST_F(TraceTest, CancelSuppressesEmission) {
+  auto& rec = TraceRecorder::instance();
+  rec.set_enabled(true);
+  {
+    TraceSpan span("cat", "probe");
+    span.cancel();
+  }
+  EXPECT_TRUE(rec.snapshot().empty());
+}
+
+TEST_F(TraceTest, NestedSpansExportWellNestedAndValidate) {
+  auto& rec = TraceRecorder::instance();
+  rec.set_enabled(true);
+  {
+    TraceSpan outer("cat", "outer");
+    {
+      TraceSpan inner("cat", "inner");
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    {
+      TraceSpan inner2("cat", "inner2");
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  // snapshot() sorts by start (ties: longest first): outer leads.
+  EXPECT_STREQ(events[0].name, "outer");
+  const std::string json = rec.to_chrome_json();
+  std::string why;
+  EXPECT_TRUE(validate_trace_json(json, &why)) << why;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+}
+
+TEST_F(TraceTest, ValidatorRejectsOverlappingSlices) {
+  auto& rec = TraceRecorder::instance();
+  rec.set_enabled(true);
+  // Two hand-emitted sync slices that overlap without nesting: [0, 10ms)
+  // and [5ms, 15ms) on the same thread.
+  const auto t0 = std::chrono::steady_clock::now();
+  rec.emit("bad", "a", t0, t0 + std::chrono::milliseconds(10));
+  rec.emit("bad", "b", t0 + std::chrono::milliseconds(5),
+           t0 + std::chrono::milliseconds(15));
+  std::string why;
+  EXPECT_FALSE(validate_trace_json(rec.to_chrome_json(), &why));
+  EXPECT_NE(why.find("overlap"), std::string::npos) << why;
+}
+
+TEST_F(TraceTest, AsyncEventsAreExemptFromNesting) {
+  auto& rec = TraceRecorder::instance();
+  rec.set_enabled(true);
+  // The same overlapping pair, emitted async (queue waits legitimately
+  // overlap the worker's slice stack): exported as "b"/"e" pairs, which the
+  // slice validator ignores.
+  const auto t0 = std::chrono::steady_clock::now();
+  rec.emit_async("serve", "queue_wait", t0, t0 + std::chrono::milliseconds(10));
+  rec.emit_async("serve", "queue_wait", t0 + std::chrono::milliseconds(5),
+                 t0 + std::chrono::milliseconds(15));
+  const std::string json = rec.to_chrome_json();
+  std::string why;
+  EXPECT_TRUE(validate_trace_json(json, &why)) << why;
+  EXPECT_NE(json.find("\"ph\": \"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"e\""), std::string::npos);
+}
+
+TEST_F(TraceTest, RingWrapCountsDrops) {
+  auto& rec = TraceRecorder::instance();
+  rec.set_enabled(true);
+  const std::size_t total = TraceRecorder::kRingCapacity + 7;
+  const auto now = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < total; ++i) {
+    rec.emit("wrap", "e", now, now);
+  }
+  EXPECT_EQ(rec.dropped(), 7u);
+  EXPECT_EQ(rec.snapshot().size(), TraceRecorder::kRingCapacity);
+  rec.clear();
+  EXPECT_EQ(rec.dropped(), 0u);
+  EXPECT_TRUE(rec.snapshot().empty());
+}
+
+TEST_F(TraceTest, SnapshotMergesThreads) {
+  auto& rec = TraceRecorder::instance();
+  rec.set_enabled(true);
+  std::thread other([&] { TraceSpan span("cat", "other_thread"); });
+  other.join();
+  { TraceSpan span("cat", "this_thread"); }
+  EXPECT_EQ(rec.snapshot().size(), 2u);
+  EXPECT_GE(rec.num_threads(), 2u);
+  std::string why;
+  EXPECT_TRUE(validate_trace_json(rec.to_chrome_json(), &why)) << why;
+}
+
+TEST_F(TraceTest, ValidatorRejectsGarbage) {
+  EXPECT_FALSE(validate_trace_json("not json", nullptr));
+  EXPECT_FALSE(validate_trace_json("{\"traceEvents\": 3}", nullptr));
+  std::string why;
+  EXPECT_FALSE(validate_trace_json("{}", &why));
+  EXPECT_FALSE(why.empty());
+}
+
+}  // namespace
+}  // namespace gv
