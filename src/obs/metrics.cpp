@@ -152,6 +152,24 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   return *slot;
 }
 
+RegistrySample MetricsRegistry::sample() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistrySample s;
+  s.counters.reserve(counters_.size());
+  for (const auto& [key, c] : counters_) {
+    s.counters.push_back({key.name, key.labels, c->value()});
+  }
+  s.gauges.reserve(gauges_.size());
+  for (const auto& [key, g] : gauges_) {
+    s.gauges.push_back({key.name, key.labels, g->value()});
+  }
+  s.histograms.reserve(histograms_.size());
+  for (const auto& [key, h] : histograms_) {
+    s.histograms.push_back({key.name, key.labels, h->snapshot()});
+  }
+  return s;
+}
+
 std::size_t MetricsRegistry::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return counters_.size() + gauges_.size() + histograms_.size();

@@ -117,6 +117,30 @@ class Histogram {
   std::atomic<bool> has_min_{false};
 };
 
+/// Point-in-time copy of every instrument in a registry, with canonical
+/// label strings — the enumeration surface TimeSeriesRing aggregates over
+/// (instrument references alone cannot be enumerated without the lock).
+struct RegistrySample {
+  struct CounterSample {
+    std::string name;
+    std::string labels;  // MetricLabels::canonical()
+    std::uint64_t value = 0;
+  };
+  struct GaugeSample {
+    std::string name;
+    std::string labels;
+    double value = 0.0;
+  };
+  struct HistogramSample {
+    std::string name;
+    std::string labels;
+    Histogram::Snapshot snap;
+  };
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+};
+
 class MetricsRegistry {
  public:
   /// Process-wide default registry (DriftTracker gauges, EPC headroom...).
@@ -130,6 +154,10 @@ class MetricsRegistry {
   Counter& counter(const std::string& name, const MetricLabels& labels = {});
   Gauge& gauge(const std::string& name, const MetricLabels& labels = {});
   Histogram& histogram(const std::string& name, const MetricLabels& labels = {});
+
+  /// Copy out every instrument's current value (names sorted by
+  /// (name, labels) — the map order).  One lock acquisition, no sorting.
+  RegistrySample sample() const;
 
   /// Number of registered instruments (all kinds).
   std::size_t size() const;

@@ -1,0 +1,67 @@
+#include "obs/query_trace.hpp"
+
+#include <atomic>
+
+#include "obs/metrics.hpp"
+
+namespace gv {
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_query_id{1};
+thread_local std::uint64_t t_current_query_id = 0;
+
+}  // namespace
+
+std::uint64_t next_query_id() {
+  return g_next_query_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t current_query_id() { return t_current_query_id; }
+
+QueryScope::QueryScope(std::uint64_t id) : prev_(t_current_query_id) {
+  t_current_query_id = id;
+}
+
+QueryScope::~QueryScope() { t_current_query_id = prev_; }
+
+const char* query_stage_name(QueryStage stage) {
+  switch (stage) {
+    case QueryStage::kQueue:
+      return "queue";
+    case QueryStage::kFlush:
+      return "flush";
+    case QueryStage::kEcall:
+      return "ecall";
+    case QueryStage::kHalo:
+      return "halo";
+    case QueryStage::kCold:
+      return "cold";
+    case QueryStage::kFence:
+      return "fence";
+  }
+  return "unknown";
+}
+
+void record_query_stage(QueryStage stage, double wall_seconds) {
+  // Resolved once per process: the registry guarantees reference stability
+  // for its lifetime, and reset() zeroes instruments without invalidating
+  // them — the hot path never re-takes the registry mutex.
+  static Histogram* stages[] = {
+      &MetricsRegistry::global().histogram(
+          "query.stage_seconds", MetricLabels::of("stage", "queue")),
+      &MetricsRegistry::global().histogram(
+          "query.stage_seconds", MetricLabels::of("stage", "flush")),
+      &MetricsRegistry::global().histogram(
+          "query.stage_seconds", MetricLabels::of("stage", "ecall")),
+      &MetricsRegistry::global().histogram(
+          "query.stage_seconds", MetricLabels::of("stage", "halo")),
+      &MetricsRegistry::global().histogram(
+          "query.stage_seconds", MetricLabels::of("stage", "cold")),
+      &MetricsRegistry::global().histogram(
+          "query.stage_seconds", MetricLabels::of("stage", "fence")),
+  };
+  stages[static_cast<int>(stage)]->record(wall_seconds);
+}
+
+}  // namespace gv

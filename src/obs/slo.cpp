@@ -1,0 +1,93 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "obs/flight_recorder.hpp"
+
+namespace gv {
+
+SloMonitor::SloMonitor(const TimeSeriesRing& ring, MetricsRegistry& registry)
+    : ring_(&ring), registry_(&registry) {}
+
+void SloMonitor::add(SloObjective objective) {
+  GV_CHECK(!objective.name.empty(), "SLO objective needs a name");
+  GV_CHECK(objective.target < 1.0, "SLO target must leave an error budget");
+  GV_CHECK(objective.short_windows >= 1 && objective.long_windows >= 1,
+           "SLO window spans must cover at least one window");
+  objectives_.push_back(std::move(objective));
+}
+
+void SloMonitor::set_alert_handler(AlertHandler handler) {
+  handler_ = std::move(handler);
+}
+
+double SloMonitor::burn_over(const SloObjective& o, std::size_t n) const {
+  const std::size_t have = ring_->windows();
+  const std::size_t take = std::min(n, have);
+  std::uint64_t bad = 0, total = 0;
+  for (std::size_t age = 0; age < take; ++age) {
+    const TimeSeriesRing::Window w = ring_->window(age);
+    switch (o.kind) {
+      case SloObjective::Kind::kCounterRatio: {
+        const auto bit = w.counters.find(o.bad_series);
+        if (bit != w.counters.end()) bad += bit->second.delta;
+        const auto tit = w.counters.find(o.total_series);
+        if (tit != w.counters.end()) total += tit->second.delta;
+        break;
+      }
+      case SloObjective::Kind::kHistogramThreshold: {
+        const auto hit = w.histograms.find(o.histogram_series);
+        if (hit == w.histograms.end()) break;
+        total += hit->second.count_delta;
+        for (const auto& [upper, c] : hit->second.bucket_deltas) {
+          if (upper > o.threshold) bad += c;
+        }
+        break;
+      }
+    }
+  }
+  // An empty span (no traffic, or an empty ring) burns nothing: absence of
+  // evidence never pages.
+  if (total == 0) return 0.0;
+  const double bad_fraction =
+      static_cast<double>(bad) / static_cast<double>(total);
+  return bad_fraction / (1.0 - o.target);
+}
+
+std::vector<SloEvaluation> SloMonitor::evaluate() {
+  std::vector<SloEvaluation> out;
+  out.reserve(objectives_.size());
+  for (const auto& o : objectives_) {
+    SloEvaluation ev;
+    ev.name = o.name;
+    ev.long_burn = burn_over(o, o.long_windows);
+    ev.short_burn = burn_over(o, o.short_windows);
+    ev.alert = ev.long_burn >= o.burn_threshold &&
+               ev.short_burn >= o.burn_threshold;
+    ++evaluations_;
+    registry_->counter("slo.evaluations").add(1);
+    registry_->gauge("slo.burn_rate", {{"slo", o.name}, {"span", "long"}})
+        .set(ev.long_burn);
+    registry_->gauge("slo.burn_rate", {{"slo", o.name}, {"span", "short"}})
+        .set(ev.short_burn);
+    if (ev.alert) {
+      ++alerts_;
+      registry_->counter("slo.alerts", MetricLabels::of("slo", o.name)).add(1);
+      if (handler_) {
+        handler_(o, ev);
+      } else {
+        // A paging objective with no custom handler leaves a postmortem
+        // bundle (no-op when the recorder is not armed).
+        FlightRecorder::instance().trip(
+            FaultKind::kSloPage, -1,
+            "SLO '" + o.name + "' burn long=" + std::to_string(ev.long_burn) +
+                " short=" + std::to_string(ev.short_burn));
+      }
+    }
+    out.push_back(std::move(ev));
+  }
+  return out;
+}
+
+}  // namespace gv

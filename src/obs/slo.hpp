@@ -1,0 +1,99 @@
+// QueryLens SloMonitor: declarative service-level objectives evaluated as
+// multi-window burn rates over a TimeSeriesRing.
+//
+// An objective is either a counter ratio (bad events / total events: failed
+// batches per batch, stale-label serves per query) or a histogram threshold
+// (fraction of a latency histogram's window recordings above a bound: p99
+// warm-lookup modeled seconds).  Each evaluation computes the bad fraction
+// over a LONG and a SHORT trailing window span and divides by the error
+// budget (1 - target) — the classic SRE burn rate, where burn 1.0 spends
+// the budget exactly at the objective's horizon.  An alert fires only when
+// BOTH windows burn at or above the threshold (>=, inclusive — pinned by
+// tests): the long window proves the problem is real, the short window
+// proves it is still happening.
+//
+// Every evaluation increments `slo.evaluations` and publishes
+// `slo.burn_rate{slo=,span=long|short}` gauges; an alert increments
+// `slo.alerts{slo=}` and invokes the registered handler — or, when none is
+// set, trips the FlightRecorder (kSloPage) so a paging objective leaves a
+// postmortem bundle with no extra wiring.  Empty windows (no total events,
+// or an empty ring) burn 0 and never alert.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
+
+namespace gv {
+
+struct SloObjective {
+  std::string name;
+
+  enum class Kind {
+    /// bad_series / total_series counter deltas.
+    kCounterRatio,
+    /// Fraction of histogram_series window recordings above `threshold`.
+    kHistogramThreshold,
+  };
+  Kind kind = Kind::kCounterRatio;
+
+  /// TimeSeriesRing::series_key(...) of the counters (kCounterRatio).
+  std::string bad_series;
+  std::string total_series;
+
+  /// series_key of the histogram + the "bad above this" bound
+  /// (kHistogramThreshold).
+  std::string histogram_series;
+  double threshold = 0.0;
+
+  /// Success-ratio objective; the error budget is 1 - target.
+  double target = 0.999;
+  /// Alert when both window spans burn at or above this (inclusive).
+  double burn_threshold = 1.0;
+  /// Trailing closed-window counts of the two spans.
+  std::size_t short_windows = 1;
+  std::size_t long_windows = 6;
+};
+
+struct SloEvaluation {
+  std::string name;
+  double long_burn = 0.0;
+  double short_burn = 0.0;
+  bool alert = false;
+};
+
+class SloMonitor {
+ public:
+  using AlertHandler =
+      std::function<void(const SloObjective&, const SloEvaluation&)>;
+
+  SloMonitor(const TimeSeriesRing& ring, MetricsRegistry& registry);
+
+  void add(SloObjective objective);
+  std::size_t objectives() const { return objectives_.size(); }
+
+  /// Replaces the default alert action (FlightRecorder kSloPage trip).
+  void set_alert_handler(AlertHandler handler);
+
+  /// Evaluate every objective against the ring's current closed windows.
+  std::vector<SloEvaluation> evaluate();
+
+  std::uint64_t evaluations() const { return evaluations_; }
+  std::uint64_t alerts() const { return alerts_; }
+
+ private:
+  double burn_over(const SloObjective& o, std::size_t n) const;
+
+  const TimeSeriesRing* ring_;
+  MetricsRegistry* registry_;
+  std::vector<SloObjective> objectives_;
+  AlertHandler handler_;
+  std::uint64_t evaluations_ = 0;
+  std::uint64_t alerts_ = 0;
+};
+
+}  // namespace gv

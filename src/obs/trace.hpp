@@ -33,12 +33,15 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstring>
 #include <initializer_list>
 #include <memory>
 #include <mutex>
 #include <set>
 #include <string>
 #include <vector>
+
+#include "obs/query_trace.hpp"
 
 namespace gv {
 
@@ -48,7 +51,13 @@ namespace gv {
 /// destroyed before the trace is written) — the ring stores the pointer,
 /// not a copy, to keep emission allocation-free.
 struct TraceEvent {
-  static constexpr int kMaxArgs = 4;
+  // Must leave headroom past a span's explicit args for the two slots the
+  // pipeline appends implicitly: the QueryScope-attached "query_id" (span
+  // destructor) and the per-ring "tid" (snapshot()).  If a full event drops
+  // the tid slot, the exporter collapses that event onto tid 0 and
+  // concurrent threads' slices appear to partially overlap, which the
+  // nesting validator rejects.
+  static constexpr int kMaxArgs = 6;
   struct Arg {
     const char* key = nullptr;
     double value = 0.0;
@@ -195,6 +204,15 @@ class TraceSpan {
 
   ~TraceSpan() {
     if (!active_) return;
+    // QueryLens: any span closing under a query scope is part of that
+    // query's causal chain — attach the id unless the caller already did.
+    if (const std::uint64_t qid = current_query_id(); qid != 0) {
+      bool tagged = false;
+      for (int i = 0; i < ev_.num_args; ++i) {
+        if (std::strcmp(ev_.args[i].key, "query_id") == 0) tagged = true;
+      }
+      if (!tagged) ev_.add_arg("query_id", static_cast<double>(qid));
+    }
     auto& rec = TraceRecorder::instance();
     ev_.start_ns = rec.to_ns(start_);
     const std::uint64_t end_ns = rec.now_ns();

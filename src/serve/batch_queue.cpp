@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/query_trace.hpp"
 
 namespace gv {
 
@@ -27,6 +28,7 @@ bool MicroBatchQueue::submit(std::uint32_t node, const Sha256Digest& digest,
       e.digest = digest;
       e.waiters.push_back(std::move(waiter));
       e.enqueued = std::chrono::steady_clock::now();
+      e.query_id = next_query_id();
       queue_.push_back(std::move(e));
       // Point the index at the newest entry for this node (a digest
       // mismatch means the features changed between the two submissions;

@@ -31,6 +31,9 @@ class MicroBatchQueue {
     /// All futures waiting on this node (>= 1; > 1 when coalesced).
     std::vector<std::promise<std::uint32_t>> waiters;
     std::chrono::steady_clock::time_point enqueued;
+    /// QueryLens causal-trace id, allocated at enqueue; coalesced waiters
+    /// ride the slot's id (one ecall share, one causal chain).
+    std::uint64_t query_id = 0;
   };
 
   MicroBatchQueue(std::size_t max_batch, std::chrono::microseconds max_wait);

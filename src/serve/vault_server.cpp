@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/query_trace.hpp"
 #include "obs/trace.hpp"
 
 namespace gv {
@@ -137,11 +138,26 @@ void VaultServer::execute_batch(std::vector<MicroBatchQueue::Entry> batch) {
     waiters += e.waiters.size();
     oldest = std::min(oldest, e.enqueued);
   }
+  const auto flush_start = std::chrono::steady_clock::now();
+  // Queue stage, per entry: enqueue -> flush start.  The oldest entry also
+  // labels the async queue_wait slice with its query id.
+  std::uint64_t oldest_qid = 0;
+  for (const auto& e : batch) {
+    if (e.enqueued == oldest) oldest_qid = e.query_id;
+    record_query_stage(
+        QueryStage::kQueue,
+        std::chrono::duration<double>(flush_start - e.enqueued).count());
+  }
   // The wait the batch's oldest request spent in the micro-batch queue,
   // reconstructed from its enqueue timestamp (no-op when tracing is off).
   TraceRecorder::instance().emit_async("serve", "queue_wait", oldest,
-                                 std::chrono::steady_clock::now(), 0.0,
-                                 {{"batch_size", double(batch.size())}});
+                                 flush_start, 0.0,
+                                 {{"batch_size", double(batch.size())},
+                                  {"query_id", double(oldest_qid)}});
+  // The flush runs in the scope of the batch's first entry — a multi-query
+  // batch attributes its shared spans to that representative query (the
+  // batch is one causal unit: one route, one set of ecalls).
+  QueryScope qscope(batch.front().query_id);
   TraceSpan span("serve", "batch_flush");
   span.arg("batch_size", double(batch.size()));
   span.arg("waiters", double(waiters));
@@ -160,8 +176,13 @@ void VaultServer::execute_batch(std::vector<MicroBatchQueue::Entry> batch) {
       snap->outputs = deployment_.run_backbone(snap->features);
     });
     // The whole batch rides ONE ecall; only its labels come back.
+    const auto ecall_start = std::chrono::steady_clock::now();
     const auto labels = deployment_.infer_labels_batched(snap->outputs, nodes);
     const auto done = std::chrono::steady_clock::now();
+    record_query_stage(QueryStage::kEcall,
+                       std::chrono::duration<double>(done - ecall_start).count());
+    record_query_stage(QueryStage::kFlush,
+                       std::chrono::duration<double>(done - flush_start).count());
     if (span.active()) {
       span.modeled_seconds(deployment_.enclave().meter_snapshot().total_seconds(
                                deployment_.cost_model()) -

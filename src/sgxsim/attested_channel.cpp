@@ -20,6 +20,18 @@ std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t& off) {
   return v;
 }
 
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint64_t get_u64(std::span<const std::uint8_t> in, std::size_t& off) {
+  GV_CHECK(off + 8 <= in.size(), "truncated attested-channel payload");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t(in[off + i]) << (8 * i);
+  off += 8;
+  return v;
+}
+
 }  // namespace
 
 std::size_t AttestedChannel::pad_bucket(std::size_t n) {
@@ -237,15 +249,19 @@ bool AttestedChannel::has_labels(const Enclave& to) const {
 }
 
 void AttestedChannel::send_request(const Enclave& from,
-                                   std::vector<std::uint32_t> nodes) {
+                                   std::vector<std::uint32_t> nodes,
+                                   std::uint64_t query_id) {
   std::vector<std::uint8_t> payload;
-  payload.reserve(4 + nodes.size() * 4);
+  payload.reserve(4 + nodes.size() * 4 + 8);
   put_u32(payload, static_cast<std::uint32_t>(nodes.size()));
   for (const auto v : nodes) put_u32(payload, v);
+  // The logical audit counts the frontier itself; the QueryLens trace-id
+  // trailer is sealed alongside it but is telemetry, not frontier bytes.
+  const std::size_t logical = payload.size();
+  put_u64(payload, query_id);
   // Frontier-width hiding: pad like embeddings, so a cold query's halo-pull
   // block sizes do not reveal how wide its private frontier is.
-  const std::size_t logical = payload.size();
-  payload.resize(pad_bucket(logical), 0);
+  payload.resize(pad_bucket(payload.size()), 0);
 
   const int to = 1 - endpoint_index(from);
   Sealed blob = encrypt(from, payload);
@@ -258,7 +274,8 @@ void AttestedChannel::send_request(const Enclave& from,
   ++blocks_;
 }
 
-std::vector<std::uint32_t> AttestedChannel::recv_request(const Enclave& to) {
+std::vector<std::uint32_t> AttestedChannel::recv_request(const Enclave& to,
+                                                         std::uint64_t* query_id) {
   Sealed blob;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -273,6 +290,8 @@ std::vector<std::uint32_t> AttestedChannel::recv_request(const Enclave& to) {
   std::vector<std::uint32_t> nodes;
   nodes.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) nodes.push_back(get_u32(payload, off));
+  const std::uint64_t qid = get_u64(payload, off);
+  if (query_id != nullptr) *query_id = qid;
   GV_CHECK(off <= payload.size(), "halo request size mismatch");
   return nodes;
 }

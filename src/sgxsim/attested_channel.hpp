@@ -98,8 +98,15 @@ class AttestedChannel {
   /// answers with send_embeddings).  The request is a bare node-id list —
   /// frontier metadata, never adjacency — and is sealed like every other
   /// payload, so the relaying untrusted world learns only its size.
-  void send_request(const Enclave& from, std::vector<std::uint32_t> nodes);
-  std::vector<std::uint32_t> recv_request(const Enclave& to);
+  /// `query_id` is the QueryLens causal-trace id riding inside the sealed
+  /// payload (a trailer after the node list), so the peer can attribute its
+  /// halo-serve work to the originating query; it is telemetry, excluded
+  /// from the logical request_bytes() audit, and never visible to the
+  /// untrusted relay.  0 means "untraced".
+  void send_request(const Enclave& from, std::vector<std::uint32_t> nodes,
+                    std::uint64_t query_id = 0);
+  std::vector<std::uint32_t> recv_request(const Enclave& to,
+                                          std::uint64_t* query_id = nullptr);
   bool has_request(const Enclave& to) const;
 
   /// Replication path: ship an opaque package payload (e.g. a serialized

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "common/stopwatch.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/trace.hpp"
 
 namespace gv {
@@ -272,6 +273,10 @@ double ReplicaManager::promote(std::uint32_t shard,
     // refuses lookups (ready=false) and waits for restaff().  Logged here
     // because the caller may only join (and rethrow) much later.
     GV_LOG_WARN << "promotion of shard " << shard << " failed: " << e.what();
+    // Postmortem bundle while the failure is still on the stack (trip only
+    // takes leaf locks, so calling under replicate_mu_ is safe).
+    FlightRecorder::instance().trip(FaultKind::kPromotionFailure,
+                                    static_cast<int>(shard), e.what());
     rep.ready.store(rep.enclave != nullptr);
     {
       std::lock_guard<std::mutex> state_lock(promote_mu_);

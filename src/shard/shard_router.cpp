@@ -1,9 +1,21 @@
 #include "shard/shard_router.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/error.hpp"
+#include "obs/query_trace.hpp"
 #include "obs/trace.hpp"
+
+namespace {
+
+/// Seconds elapsed since `start` — the router's stage-timing helper.
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
 
 namespace gv {
 
@@ -22,9 +34,11 @@ std::vector<std::uint32_t> ShardRouter::route(
   for (int attempt = 0;; ++attempt) {
     // Per-node migration fences + the global graph-update fence: no lookup
     // may observe split ownership or a not-yet-invalidated store entry.
+    const auto fence_start = std::chrono::steady_clock::now();
     GV_CHECK(deployment_->await_moves(nodes, fence_timeout_),
              "migration / graph update did not complete within the fence "
              "timeout");
+    record_query_stage(QueryStage::kFence, seconds_since(fence_start));
     const std::uint64_t epoch0 = deployment_->ownership_epoch();
     try {
       return route_once(nodes);
@@ -78,8 +92,10 @@ std::vector<std::uint32_t> ShardRouter::route_once(
         {
           TraceSpan fence_span("route", "promotion_fence_wait");
           fence_span.arg("shard", double(s));
+          const auto fence_start = std::chrono::steady_clock::now();
           GV_CHECK(replicas_->await_promotion(s, fence_timeout_),
                    "shard promotion did not complete within the fence timeout");
+          record_query_stage(QueryStage::kFence, seconds_since(fence_start));
         }
         fenced_.fetch_add(1);
         GV_CHECK(deployment_->shard_alive(s), "shard promotion failed");
@@ -112,7 +128,9 @@ std::vector<std::uint32_t> ShardRouter::route_once(
             }
             labels.assign(shard_nodes[s].size(), 0);
             if (!fresh.empty()) {
+              const auto ecall_start = std::chrono::steady_clock::now();
               const auto got = deployment_->lookup(s, fresh, &delta);
+              record_query_stage(QueryStage::kEcall, seconds_since(ecall_start));
               for (std::size_t i = 0; i < got.size(); ++i) {
                 labels[fresh_at[i]] = got[i];
               }
@@ -126,7 +144,9 @@ std::vector<std::uint32_t> ShardRouter::route_once(
               cold_batches_.fetch_add(1);
             }
           } else {
+            const auto ecall_start = std::chrono::steady_clock::now();
             labels = deployment_->lookup(s, shard_nodes[s], &delta);
+            record_query_stage(QueryStage::kEcall, seconds_since(ecall_start));
           }
           // Served by a freshly promoted PRIMARY: a failover from the
           // router's point of view.
@@ -135,7 +155,9 @@ std::vector<std::uint32_t> ShardRouter::route_once(
         }
         GV_CHECK(replicas_ != nullptr,
                  "shard enclave is down and no replica is ready");
+        const auto ecall_start = std::chrono::steady_clock::now();
         labels = replicas_->lookup(s, shard_nodes[s], &delta);
+        record_query_stage(QueryStage::kEcall, seconds_since(ecall_start));
         failovers_.fetch_add(1);
         break;
       } catch (const Error&) {
@@ -151,9 +173,11 @@ std::vector<std::uint32_t> ShardRouter::route_once(
           {
             TraceSpan fence_span("route", "promotion_fence_wait");
             fence_span.arg("shard", double(t));
+            const auto fence_start = std::chrono::steady_clock::now();
             GV_CHECK(replicas_->await_promotion(t, fence_timeout_),
                      "frontier shard promotion did not complete within the "
                      "fence timeout");
+            record_query_stage(QueryStage::kFence, seconds_since(fence_start));
           }
           fenced_.fetch_add(1);
           frontier_fenced = true;

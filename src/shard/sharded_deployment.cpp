@@ -1,6 +1,7 @@
 #include "shard/sharded_deployment.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <unordered_map>
@@ -9,6 +10,7 @@
 
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "tensor/ops.hpp"
@@ -325,6 +327,9 @@ void ShardedVaultDeployment::adopt_shard(std::uint32_t shard,
   opts_.platform_keys[shard] = platform_key;
   install_payload(sh);
   sh.alive.store(true);
+  // Adoption swaps an enclave and rebuilds its ledger — push the new EPC
+  // picture immediately rather than waiting for the next stats() pull.
+  publish_epc_gauges();
 }
 
 AttestedChannel* ShardedVaultDeployment::channel(std::uint32_t s, std::uint32_t t) {
@@ -707,6 +712,10 @@ void ShardedVaultDeployment::refresh(const CsrMatrix& features) {
   refreshed_ = true;
   epoch_.fetch_add(1);
   refresh_span.modeled_seconds(parallel_seconds_.load() - refresh_parallel_before);
+  // Push telemetry at the state change, not only when stats() is pulled:
+  // a refresh is exactly when EPC occupancy and channel traffic move.
+  publish_epc_gauges();
+  publish_channel_audit();
 }
 
 std::vector<std::uint32_t> ShardedVaultDeployment::infer_labels(
@@ -1681,6 +1690,7 @@ std::vector<std::uint32_t> ShardedVaultDeployment::cold_forward(
       cq.bb.assign(dims.size(), Matrix());
       cq.bb_need.assign(dims.size(), {});
       cq.h = Matrix();
+      cq.query_id = 0;
       auto& mem = sh.enclave->memory();
       mem.set("cold.bb", 0);
       mem.set("cold.h", 0);
@@ -1742,7 +1752,8 @@ std::vector<std::uint32_t> ShardedVaultDeployment::cold_forward(
               if (want[t].empty()) continue;
               AttestedChannel* ch = channel(s, t);
               GV_CHECK(ch != nullptr, "halo pull without an attested channel");
-              ch->send_request(*sh.enclave, std::move(want[t]));
+              ch->send_request(*sh.enclave, std::move(want[t]),
+                               current_query_id());
               peers.push_back(t);
             }
           }
@@ -1762,7 +1773,9 @@ std::vector<std::uint32_t> ShardedVaultDeployment::cold_forward(
         cold_ecall(t, [&] {
           auto& cq = sh.cold;
           for (const auto s : requesters[t]) {
-            auto want = channel(s, t)->recv_request(*sh.enclave);
+            std::uint64_t qid = 0;
+            auto want = channel(s, t)->recv_request(*sh.enclave, &qid);
+            if (qid != 0) cq.query_id = qid;
             std::vector<std::uint32_t> rows;
             rows.reserve(want.size());
             for (const auto g : want) {
@@ -1862,6 +1875,15 @@ std::vector<std::uint32_t> ShardedVaultDeployment::cold_forward(
         parallel_phase("cold_halo_serve", std::int64_t(k), [&](std::uint32_t t) {
           if (!involved[t]) return;
           Shard& sh = *shards_[t];
+          // QueryLens: this shard's serving work belongs to the query whose
+          // sealed halo-request trailer delivered the id — channel-carried
+          // attribution, not coordinator bookkeeping.
+          QueryScope qscope(sh.cold.query_id);
+          TraceSpan serve_span("cold", "halo_serve");
+          serve_span.arg("shard", double(t));
+          serve_span.arg("layer", double(k));
+          const auto halo_start = std::chrono::steady_clock::now();
+          bool served = false;
           cold_ecall(t, [&] {
             auto& cq = sh.cold;
             for (std::uint32_t s2 = 0; s2 < K; ++s2) {
@@ -1882,6 +1904,7 @@ std::vector<std::uint32_t> ShardedVaultDeployment::cold_forward(
                 channel(t, s2)->send_embeddings(
                     *sh.enclave, std::move(globals),
                     sh.retained[k - 1].gather_rows(pos));
+                served = true;
               }
               const auto& live_rows = cq.serve_live[k - 1][s2];
               if (!live_rows.empty()) {
@@ -1899,9 +1922,21 @@ std::vector<std::uint32_t> ShardedVaultDeployment::cold_forward(
                 }
                 channel(t, s2)->send_embeddings(*sh.enclave, std::move(globals),
                                                 cq.h.gather_rows(pos));
+                served = true;
               }
             }
           });
+          if (served) {
+            record_query_stage(
+                QueryStage::kHalo,
+                std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              halo_start)
+                    .count());
+          } else {
+            // Involved but served nothing this layer (e.g. compute-only):
+            // an empty halo_serve span would just be noise.
+            serve_span.cancel();
+          }
         });
       }
 
@@ -2247,6 +2282,35 @@ void ShardedVaultDeployment::publish_channel_audit() const {
   reg.gauge("halo.payload_bytes", MetricLabels::of("channel_kind", "transfer"))
       .set(double(halo_transfer_bytes()));
   reg.gauge("halo.padded_bytes").set(double(halo_padded_bytes()));
+  // Padding invariant: per channel, wire bytes can never undercut logical
+  // payload bytes — if they do, some block skipped its bucket and its size
+  // is leaking cardinality to the untrusted relay.  Worth a postmortem.
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    const auto& ch = channels_[i];
+    if (!ch) continue;
+    if (ch->padded_bytes() < ch->total_payload_bytes()) {
+      reg.counter("halo.audit_anomalies").add(1);
+      FlightRecorder::instance().trip(
+          FaultKind::kChannelAnomaly, -1,
+          "channel " + std::to_string(i) + " padded bytes " +
+              std::to_string(ch->padded_bytes()) + " < logical payload " +
+              std::to_string(ch->total_payload_bytes()));
+    }
+  }
+}
+
+void ShardedVaultDeployment::publish_epc_gauges() const {
+  auto& reg = MetricsRegistry::global();
+  const double budget = double(opts_.cost_model.epc_bytes);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const double used = double(shards_[s]->enclave->memory().current_bytes());
+    reg.gauge("epc.shard_headroom_bytes",
+              MetricLabels::of("shard", std::to_string(s)))
+        .set(budget - used);
+    reg.gauge("epc.shard_used_bytes",
+              MetricLabels::of("shard", std::to_string(s)))
+        .set(used);
+  }
 }
 
 double ShardedVaultDeployment::modeled_seconds() const {

@@ -328,8 +328,16 @@ class ShardedVaultDeployment {
   std::uint64_t halo_padded_bytes() const;
   /// Publish the per-kind channel byte audit (and the padded wire total,
   /// whose delta over the payload sum is what the padding spent) as
-  /// `channel_kind`-labeled gauges in the global MetricsRegistry.
+  /// `channel_kind`-labeled gauges in the global MetricsRegistry.  Also
+  /// audits the padding invariant per channel (padded >= logical payload);
+  /// a violation would mean block sizes started leaking cardinalities and
+  /// trips the FlightRecorder with a channel_anomaly fault.
   void publish_channel_audit() const;
+  /// Publish per-shard EPC headroom (modeled EPC budget minus the shard
+  /// enclave's current ledger bytes) as `epc.shard_headroom_bytes{shard=}`
+  /// gauges — pushed on every state change (refresh, drift update,
+  /// adoption), not only when stats() is pulled.
+  void publish_epc_gauges() const;
 
   /// Modeled seconds so far: untrusted backbone + the critical path of the
   /// sharded forward (per phase, the slowest shard — shards run on separate
@@ -404,6 +412,11 @@ class ShardedVaultDeployment {
       std::vector<Matrix> bb;                            // staged rows per backbone idx
       std::vector<std::vector<std::uint32_t>> bb_need;   // closure-local per backbone idx
       Matrix h;  // latest computed layer output (rows ~ out_rows[k])
+      /// QueryLens id of the query this shard is serving halo pulls for —
+      /// set ONLY from a received halo request's sealed trailer (never by
+      /// the local coordinator), so peer-side halo-serve spans are
+      /// genuinely channel-attributed.  0 = untraced.
+      std::uint64_t query_id = 0;
     } cold;
   };
 

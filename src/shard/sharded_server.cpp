@@ -1,10 +1,13 @@
 #include "shard/sharded_server.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/query_trace.hpp"
 #include "obs/trace.hpp"
 
 namespace gv {
@@ -49,13 +52,43 @@ ShardedVaultServer::ShardedVaultServer(const Dataset& ds, TrainedVault vault,
     }
     TraceSpan span("shard", "cold_subset");
     span.arg("nodes", double(nodes.size()));
+    const auto cold_start = std::chrono::steady_clock::now();
     ColdSubsetStats stats;
     auto labels = deployment_.infer_labels_subset_cold(*snap, fp, nodes, &stats);
+    record_query_stage(
+        QueryStage::kCold,
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      cold_start)
+            .count());
     span.arg("shards_touched", double(stats.shards_touched));
     span.arg("frontier_rows", double(stats.frontier_rows));
     span.modeled_seconds(stats.modeled_seconds);
     record_cold_stats(stats);
     return labels;
+  });
+  // Flight-recorder fleet topology: every read below is an atomic or a
+  // lock-free accessor, so the provider is safe from fault paths that hold
+  // the control-plane locks (see FlightRecorder's lock discipline).
+  FlightRecorder::instance().set_topology_provider(this, [this] {
+    std::ostringstream out;
+    const std::uint32_t K = deployment_.num_shards();
+    out << "{\"num_shards\":" << K
+        << ",\"ownership_epoch\":" << deployment_.ownership_epoch()
+        << ",\"shards\":[";
+    for (std::uint32_t s = 0; s < K; ++s) {
+      if (s != 0) out << ',';
+      out << "{\"shard\":" << s << ",\"alive\":"
+          << (deployment_.shard_alive(s) ? "true" : "false")
+          << ",\"store_materialized\":"
+          << (deployment_.store_materialized(s) ? "true" : "false")
+          << ",\"stale_store_entries\":" << deployment_.stale_store_entries(s)
+          << ",\"replica_state\":\""
+          << (replicas_ != nullptr ? replica_state_name(replicas_->state(s))
+                                   : "none")
+          << "\"}";
+    }
+    out << "]}";
+    return out.str();
   });
   workers_.reserve(pool_.size());
   for (std::size_t i = 0; i < pool_.size(); ++i) {
@@ -64,6 +97,9 @@ ShardedVaultServer::ShardedVaultServer(const Dataset& ds, TrainedVault vault,
 }
 
 ShardedVaultServer::~ShardedVaultServer() {
+  // First thing: a bundle tripped during teardown must not call back into a
+  // half-destroyed server (owner-scoped, so a successor's provider survives).
+  FlightRecorder::instance().clear_topology_provider(this);
   try {
     join_promotion();
   } catch (...) {
@@ -176,6 +212,9 @@ void ShardedVaultServer::kill_shard(std::uint32_t shard) {
            "shard has no promotable standby (already promoted? restaff and "
            "replicate first)");
   deployment_.kill_shard(shard);
+  FlightRecorder::instance().trip(FaultKind::kDeadShard,
+                                  static_cast<int>(shard),
+                                  "kill_shard: operator-initiated failover");
   if (replicas_ == nullptr) return;
   launch_promotion(shard);
 }
@@ -220,6 +259,9 @@ void ShardedVaultServer::handle_shard_failure(std::uint32_t shard) {
   // earlier promotion's failure resurfacing from its future) must not
   // replace the data-path error on a query's stack — the shard then simply
   // stays dead and the router reports it honestly.
+  FlightRecorder::instance().trip(FaultKind::kDeadShard,
+                                  static_cast<int>(shard),
+                                  "serving ecall died; attempting promotion");
   try {
     std::lock_guard<std::mutex> lock(promotion_mu_);
     if (replicas_ == nullptr) return;  // nothing to promote: queries fail
@@ -297,6 +339,10 @@ GraphUpdateStats ShardedVaultServer::update_graph(const GraphDelta& delta,
     std::lock_guard<std::mutex> lock(drift_mu_);
     drift_.record(stats);
   }
+  // Telemetry push at the state change: a drift update is exactly when EPC
+  // occupancy and channel traffic move, so don't wait for a stats() pull.
+  deployment_.publish_epc_gauges();
+  deployment_.publish_channel_audit();
   if (replicas_ != nullptr) {
     // The standby packages now describe a retired topology (they refuse to
     // promote); re-replicate so the fleet is failover-ready again.
@@ -365,11 +411,26 @@ void ShardedVaultServer::execute_batch(std::vector<MicroBatchQueue::Entry> batch
     waiters += e.waiters.size();
     oldest = std::min(oldest, e.enqueued);
   }
+  const auto flush_start = std::chrono::steady_clock::now();
+  // Queue stage, per entry: enqueue -> flush start.  The oldest entry also
+  // labels the async queue_wait slice with its query id.
+  std::uint64_t oldest_qid = 0;
+  for (const auto& e : batch) {
+    if (e.enqueued == oldest) oldest_qid = e.query_id;
+    record_query_stage(
+        QueryStage::kQueue,
+        std::chrono::duration<double>(flush_start - e.enqueued).count());
+  }
   // The wait the batch's oldest request spent in the micro-batch queue,
   // reconstructed from its enqueue timestamp (no-op when tracing is off).
   TraceRecorder::instance().emit_async("serve", "queue_wait", oldest,
-                                 std::chrono::steady_clock::now(), 0.0,
-                                 {{"batch_size", double(batch.size())}});
+                                 flush_start, 0.0,
+                                 {{"batch_size", double(batch.size())},
+                                  {"query_id", double(oldest_qid)}});
+  // The flush runs in the scope of the batch's first entry — a multi-query
+  // batch attributes its shared spans (routing, ecalls, any cold walk the
+  // router falls back to, halo pulls on peers) to that representative query.
+  QueryScope qscope(batch.front().query_id);
   TraceSpan span("serve", "batch_flush");
   span.arg("batch_size", double(batch.size()));
   span.arg("waiters", double(waiters));
@@ -397,6 +458,8 @@ void ShardedVaultServer::execute_batch(std::vector<MicroBatchQueue::Entry> batch
     const bool cacheable =
         cache_.enabled() && deployment_.ownership_epoch() == epoch_before;
     const auto done = std::chrono::steady_clock::now();
+    record_query_stage(QueryStage::kFlush,
+                       std::chrono::duration<double>(done - flush_start).count());
     if (span.active()) {
       span.modeled_seconds(deployment_.modeled_seconds() +
                            router_->modeled_seconds() - modeled_before);

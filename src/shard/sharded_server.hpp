@@ -94,6 +94,14 @@ class ShardedVaultServer {
   void flush();
   std::size_t pending() const;
 
+  /// Control-plane quiesce: join the in-flight async promotion, if any
+  /// (rethrows its failure).  After it returns, the promoted shard's
+  /// re-materialization and boundary rebuild have fully landed in the
+  /// deployment's cost meters — benches call this before stats() so the
+  /// modeled total does not depend on where the snapshot races the
+  /// promotion pipeline.
+  void join_promotion();
+
   MetricsSnapshot stats() const;
 
   ShardedVaultDeployment& deployment() { return deployment_; }
@@ -108,8 +116,6 @@ class ShardedVaultServer {
  private:
   void worker_loop();
   void execute_batch(std::vector<MicroBatchQueue::Entry> batch);
-  /// Join the in-flight async promotion, if any (rethrows its failure).
-  void join_promotion();
   /// Fence the standby + launch the async promotion (caller holds
   /// promotion_mu_; the deployment-side shard is already dead).
   void launch_promotion(std::uint32_t shard);

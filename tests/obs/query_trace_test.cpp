@@ -1,0 +1,148 @@
+// QueryLens core contract: id allocation, QueryScope nesting, TraceSpan
+// auto-attachment of the current query id, and the per-stage histograms.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/query_trace.hpp"
+#include "obs/trace.hpp"
+
+namespace gv {
+namespace {
+
+TEST(QueryId, NeverZeroAndMonotonePerThread) {
+  std::uint64_t prev = next_query_id();
+  EXPECT_NE(prev, 0u);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t id = next_query_id();
+    EXPECT_GT(id, prev);
+    prev = id;
+  }
+  // Stays exactly representable as a double (the span-arg type).
+  EXPECT_LT(prev, std::uint64_t{1} << 53);
+}
+
+TEST(QueryId, UniqueAcrossThreads) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::vector<std::uint64_t>> got(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      got[t].reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) got[t].push_back(next_query_id());
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::set<std::uint64_t> all;
+  for (const auto& v : got) all.insert(v.begin(), v.end());
+  EXPECT_EQ(all.size(), std::size_t(kThreads) * kPerThread);
+}
+
+TEST(QueryScope, NestsAndRestores) {
+  EXPECT_EQ(current_query_id(), 0u);
+  {
+    QueryScope outer(41);
+    EXPECT_EQ(current_query_id(), 41u);
+    {
+      QueryScope inner(42);
+      EXPECT_EQ(current_query_id(), 42u);
+      {
+        // Entering 0 deliberately clears the context (a peer shard that
+        // received no halo request must not inherit the previous query).
+        QueryScope cleared(0);
+        EXPECT_EQ(current_query_id(), 0u);
+      }
+      EXPECT_EQ(current_query_id(), 42u);
+    }
+    EXPECT_EQ(current_query_id(), 41u);
+  }
+  EXPECT_EQ(current_query_id(), 0u);
+}
+
+TEST(QueryScope, SpanClosedUnderScopeCarriesTheId) {
+  auto& rec = TraceRecorder::instance();
+  rec.clear();
+  rec.set_enabled(true);
+  {
+    QueryScope scope(777);
+    TraceSpan span("test", "tagged_span");
+    span.arg("shard", 3.0);
+  }
+  {
+    TraceSpan span("test", "untagged_span");
+  }
+  rec.set_enabled(false);
+  bool saw_tagged = false, saw_untagged = false;
+  for (const auto& ev : rec.snapshot()) {
+    double qid = -1.0;
+    for (int i = 0; i < ev.num_args; ++i) {
+      if (std::string(ev.args[i].key) == "query_id") qid = ev.args[i].value;
+    }
+    if (std::string(ev.name) == "tagged_span") {
+      saw_tagged = true;
+      EXPECT_DOUBLE_EQ(qid, 777.0);
+    }
+    if (std::string(ev.name) == "untagged_span") {
+      saw_untagged = true;
+      EXPECT_DOUBLE_EQ(qid, -1.0);  // no scope -> no arg
+    }
+  }
+  EXPECT_TRUE(saw_tagged);
+  EXPECT_TRUE(saw_untagged);
+  rec.clear();
+}
+
+TEST(QueryScope, ExplicitQueryIdArgIsNotDuplicated) {
+  auto& rec = TraceRecorder::instance();
+  rec.clear();
+  rec.set_enabled(true);
+  {
+    QueryScope scope(99);
+    TraceSpan span("test", "explicit_arg");
+    span.arg("query_id", 55.0);  // caller-attributed wins
+  }
+  rec.set_enabled(false);
+  for (const auto& ev : rec.snapshot()) {
+    if (std::string(ev.name) != "explicit_arg") continue;
+    int hits = 0;
+    double val = 0.0;
+    for (int i = 0; i < ev.num_args; ++i) {
+      if (std::string(ev.args[i].key) == "query_id") {
+        ++hits;
+        val = ev.args[i].value;
+      }
+    }
+    EXPECT_EQ(hits, 1);
+    EXPECT_DOUBLE_EQ(val, 55.0);
+  }
+  rec.clear();
+}
+
+TEST(QueryStage, NamesAreStable) {
+  EXPECT_STREQ(query_stage_name(QueryStage::kQueue), "queue");
+  EXPECT_STREQ(query_stage_name(QueryStage::kFlush), "flush");
+  EXPECT_STREQ(query_stage_name(QueryStage::kEcall), "ecall");
+  EXPECT_STREQ(query_stage_name(QueryStage::kHalo), "halo");
+  EXPECT_STREQ(query_stage_name(QueryStage::kCold), "cold");
+  EXPECT_STREQ(query_stage_name(QueryStage::kFence), "fence");
+}
+
+TEST(QueryStage, RecordingLandsInTheLabeledHistogram) {
+  auto& reg = MetricsRegistry::global();
+  auto& h = reg.histogram("query.stage_seconds",
+                          MetricLabels::of("stage", "fence"));
+  const auto before = h.snapshot();
+  record_query_stage(QueryStage::kFence, 0.25);
+  record_query_stage(QueryStage::kFence, 0.50);
+  const auto after = h.snapshot();
+  EXPECT_EQ(after.count - before.count, 2u);
+  EXPECT_NEAR(after.sum - before.sum, 0.75, 1e-12);
+}
+
+}  // namespace
+}  // namespace gv

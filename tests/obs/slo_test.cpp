@@ -1,0 +1,189 @@
+// SloMonitor contract tests, pinning the edge cases the burn-rate math has
+// to get right: empty windows, counter resets, and burn exactly at the
+// alert threshold (inclusive).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
+
+namespace gv {
+namespace {
+
+SloObjective ratio_objective(double target = 0.9, double burn_threshold = 1.0) {
+  SloObjective o;
+  o.name = "serve-availability";
+  o.kind = SloObjective::Kind::kCounterRatio;
+  o.bad_series = TimeSeriesRing::series_key("bad");
+  o.total_series = TimeSeriesRing::series_key("total");
+  o.target = target;
+  o.burn_threshold = burn_threshold;
+  o.short_windows = 1;
+  o.long_windows = 3;
+  return o;
+}
+
+TEST(SloMonitor, RejectsDegenerateObjectives) {
+  MetricsRegistry reg;
+  TimeSeriesRing ring(reg, {1.0, 8});
+  SloMonitor slo(ring, reg);
+  SloObjective unnamed = ratio_objective();
+  unnamed.name.clear();
+  EXPECT_THROW(slo.add(unnamed), Error);
+  SloObjective no_budget = ratio_objective();
+  no_budget.target = 1.0;
+  EXPECT_THROW(slo.add(no_budget), Error);
+  SloObjective no_span = ratio_objective();
+  no_span.long_windows = 0;
+  EXPECT_THROW(slo.add(no_span), Error);
+}
+
+TEST(SloMonitor, EmptyRingBurnsZeroAndNeverAlerts) {
+  MetricsRegistry reg;
+  TimeSeriesRing ring(reg, {1.0, 8});
+  SloMonitor slo(ring, reg);
+  slo.add(ratio_objective());
+  const auto evals = slo.evaluate();
+  ASSERT_EQ(evals.size(), 1u);
+  EXPECT_DOUBLE_EQ(evals[0].long_burn, 0.0);
+  EXPECT_DOUBLE_EQ(evals[0].short_burn, 0.0);
+  EXPECT_FALSE(evals[0].alert);
+  EXPECT_EQ(slo.evaluations(), 1u);
+  EXPECT_EQ(slo.alerts(), 0u);
+  // The bookkeeping instruments exist even without traffic.
+  EXPECT_EQ(reg.counter("slo.evaluations").value(), 1u);
+}
+
+TEST(SloMonitor, WindowsWithNoTrafficBurnZero) {
+  MetricsRegistry reg;
+  auto& total = reg.counter("total");
+  TimeSeriesRing ring(reg, {1.0, 8});
+  ring.sample(0.0);
+  total.add(0);      // series exists, no events
+  ring.sample(1.0);  // one closed, fully idle window
+  SloMonitor slo(ring, reg);
+  slo.add(ratio_objective());
+  const auto evals = slo.evaluate();
+  EXPECT_DOUBLE_EQ(evals[0].short_burn, 0.0);
+  EXPECT_FALSE(evals[0].alert);
+}
+
+TEST(SloMonitor, BurnExactlyAtThresholdAlerts) {
+  MetricsRegistry reg;
+  auto& bad = reg.counter("bad");
+  auto& total = reg.counter("total");
+  TimeSeriesRing ring(reg, {1.0, 8});
+  ring.sample(0.0);
+  // target 0.9 -> budget 0.1; bad fraction 10/100 = 0.1 -> burn exactly 1.0.
+  bad.add(10);
+  total.add(100);
+  ring.sample(1.0);
+  SloMonitor slo(ring, reg);
+  slo.add(ratio_objective(0.9, 1.0));
+  bool fired = false;
+  slo.set_alert_handler(
+      [&](const SloObjective&, const SloEvaluation& ev) { fired = ev.alert; });
+  const auto evals = slo.evaluate();
+  ASSERT_EQ(evals.size(), 1u);
+  EXPECT_DOUBLE_EQ(evals[0].long_burn, 1.0);
+  EXPECT_DOUBLE_EQ(evals[0].short_burn, 1.0);
+  EXPECT_TRUE(evals[0].alert);  // >= is inclusive — exactly-at-threshold pages
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(slo.alerts(), 1u);
+  EXPECT_EQ(reg.counter("slo.alerts", MetricLabels::of("slo", "serve-availability"))
+                .value(),
+            1u);
+}
+
+TEST(SloMonitor, AlertNeedsBothWindowsBurning) {
+  MetricsRegistry reg;
+  auto& bad = reg.counter("bad");
+  auto& total = reg.counter("total");
+  TimeSeriesRing ring(reg, {1.0, 8});
+  ring.sample(0.0);
+  // Window 1: everything on fire.
+  bad.add(50);
+  total.add(50);
+  ring.sample(1.0);
+  // Window 2 (the short window): fully recovered — enough good traffic to
+  // clear the short span, not so much that it dilutes the long span's
+  // aggregate bad fraction below budget.
+  total.add(100);
+  ring.sample(2.0);
+  SloMonitor slo(ring, reg);
+  slo.add(ratio_objective(0.9, 1.0));
+  const auto evals = slo.evaluate();
+  EXPECT_GE(evals[0].long_burn, 1.0);   // long span still remembers the burn
+  EXPECT_LT(evals[0].short_burn, 1.0);  // short span shows the recovery
+  EXPECT_FALSE(evals[0].alert);         // no page during recovery
+}
+
+TEST(SloMonitor, CounterResetAfterRegistryResetDoesNotPage) {
+  MetricsRegistry reg;
+  auto& bad = reg.counter("bad");
+  auto& total = reg.counter("total");
+  TimeSeriesRing ring(reg, {1.0, 8});
+  bad.add(500);
+  total.add(500);
+  ring.sample(0.0);  // baseline includes the pre-reset totals
+  reg.reset();       // instruments restart from zero mid-window
+  total.add(100);
+  ring.sample(1.0);
+  SloMonitor slo(ring, reg);
+  slo.add(ratio_objective(0.9, 1.0));
+  const auto evals = slo.evaluate();
+  // Reset-aware deltas: bad 0, total 100 -> burn 0, no phantom page from
+  // the pre-reset backlog reappearing as a huge wrapped delta.
+  EXPECT_DOUBLE_EQ(evals[0].short_burn, 0.0);
+  EXPECT_FALSE(evals[0].alert);
+}
+
+TEST(SloMonitor, HistogramThresholdObjective) {
+  MetricsRegistry reg;
+  auto& lat = reg.histogram("lat");
+  TimeSeriesRing ring(reg, {1.0, 8});
+  ring.sample(0.0);
+  for (int i = 0; i < 80; ++i) lat.record(0.001);
+  for (int i = 0; i < 20; ++i) lat.record(10.0);
+  ring.sample(1.0);
+  SloObjective o;
+  o.name = "warm-latency";
+  o.kind = SloObjective::Kind::kHistogramThreshold;
+  o.histogram_series = TimeSeriesRing::series_key("lat");
+  o.threshold = 1.0;  // recordings above 1s are bad
+  o.target = 0.9;     // budget 0.1; bad fraction 0.2 -> burn 2.0
+  o.burn_threshold = 1.5;
+  SloMonitor slo(ring, reg);
+  slo.add(o);
+  const auto evals = slo.evaluate();
+  ASSERT_EQ(evals.size(), 1u);
+  EXPECT_NEAR(evals[0].short_burn, 2.0, 1e-9);
+  EXPECT_TRUE(evals[0].alert);
+}
+
+TEST(SloMonitor, DefaultAlertActionTripsTheFlightRecorder) {
+  auto& fr = FlightRecorder::instance();
+  fr.disarm();  // counting only: no bundle files from a unit test
+  const std::uint64_t trips_before = fr.trips();
+  MetricsRegistry reg;
+  auto& bad = reg.counter("bad");
+  auto& total = reg.counter("total");
+  TimeSeriesRing ring(reg, {1.0, 8});
+  ring.sample(0.0);
+  bad.add(100);
+  total.add(100);
+  ring.sample(1.0);
+  SloMonitor slo(ring, reg);
+  slo.add(ratio_objective(0.9, 1.0));
+  const auto evals = slo.evaluate();  // no handler set -> kSloPage trip
+  ASSERT_TRUE(evals[0].alert);
+  EXPECT_EQ(fr.trips(), trips_before + 1);
+}
+
+}  // namespace
+}  // namespace gv

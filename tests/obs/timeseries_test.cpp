@@ -1,0 +1,159 @@
+// TimeSeriesRing contract tests: window closing against an injected clock,
+// counter rates/deltas (reset-aware), gauge folding, histogram window
+// percentiles, ring eviction, and the JSON export.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
+
+namespace gv {
+namespace {
+
+TEST(TimeSeriesRing, FirstSampleIsBaselineOnly) {
+  MetricsRegistry reg;
+  reg.counter("req").add(10);
+  TimeSeriesRing ring(reg, {1.0, 8});
+  ring.sample(0.0);
+  EXPECT_EQ(ring.windows(), 0u);  // nothing closed yet
+  EXPECT_THROW(ring.window(0), Error);
+}
+
+TEST(TimeSeriesRing, CounterDeltaAndRatePerWindow) {
+  MetricsRegistry reg;
+  auto& c = reg.counter("req");
+  TimeSeriesRing ring(reg, {2.0, 8});
+  ring.sample(0.0);  // baseline at t=0
+  c.add(6);
+  ring.sample(2.0);  // closes [0,2)
+  ASSERT_EQ(ring.windows(), 1u);
+  EXPECT_EQ(ring.delta("req"), 6u);
+  EXPECT_DOUBLE_EQ(ring.rate("req"), 3.0);  // 6 / 2s
+  c.add(4);
+  ring.sample(4.0);  // closes [2,4)
+  ASSERT_EQ(ring.windows(), 2u);
+  EXPECT_EQ(ring.delta("req", {}, 0), 4u);
+  EXPECT_EQ(ring.delta("req", {}, 1), 6u);
+  EXPECT_EQ(ring.delta_over("req", {}, 2), 10u);
+  // Unknown series / out-of-range ages read as zero, not errors.
+  EXPECT_EQ(ring.delta("nope"), 0u);
+  EXPECT_DOUBLE_EQ(ring.rate("req", {}, 99), 0.0);
+}
+
+TEST(TimeSeriesRing, SkippedIntervalsCloseEmptyWindows) {
+  MetricsRegistry reg;
+  auto& c = reg.counter("req");
+  TimeSeriesRing ring(reg, {1.0, 8});
+  ring.sample(0.0);
+  c.add(5);
+  // The clock jumps 3 windows: the first closed window absorbs the whole
+  // delta (we cannot know when within the gap it accrued), the rest close
+  // empty.
+  ring.sample(3.0);
+  ASSERT_EQ(ring.windows(), 3u);
+  EXPECT_EQ(ring.delta("req", {}, 2), 5u);
+  EXPECT_EQ(ring.delta("req", {}, 1), 0u);
+  EXPECT_EQ(ring.delta("req", {}, 0), 0u);
+}
+
+TEST(TimeSeriesRing, CounterResetReadsAsRestartNotUnderflow) {
+  MetricsRegistry reg;
+  auto& c = reg.counter("req");
+  TimeSeriesRing ring(reg, {1.0, 8});
+  c.add(100);
+  ring.sample(0.0);
+  reg.reset();  // counter back to 0 mid-window
+  c.add(3);
+  ring.sample(1.0);
+  ASSERT_EQ(ring.windows(), 1u);
+  // value(3) < baseline(100): the delta is the post-reset value, never a
+  // wrapped-around huge number.
+  EXPECT_EQ(ring.delta("req"), 3u);
+}
+
+TEST(TimeSeriesRing, GaugeLastMinMaxOverWindowSamples) {
+  MetricsRegistry reg;
+  auto& g = reg.gauge("headroom");
+  TimeSeriesRing ring(reg, {10.0, 8});
+  ring.sample(0.0);
+  g.set(5.0);
+  ring.sample(2.0);  // mid-window observation
+  g.set(1.0);
+  ring.sample(4.0);
+  g.set(3.0);
+  ring.sample(10.0);  // closes [0,10)
+  ASSERT_EQ(ring.windows(), 1u);
+  const auto w = ring.window(0);
+  const auto it = w.gauges.find(TimeSeriesRing::series_key("headroom"));
+  ASSERT_NE(it, w.gauges.end());
+  // Window observations: 5 (t=2), 1 (t=4), 3 (folded by the closing sample
+  // at t=10 — that reading describes the window it closes).  The baseline
+  // sample at t=0 observed the default 0 but folds nothing.
+  EXPECT_DOUBLE_EQ(it->second.last, 3.0);
+  EXPECT_DOUBLE_EQ(it->second.min, 1.0);
+  EXPECT_DOUBLE_EQ(it->second.max, 5.0);
+  EXPECT_GE(it->second.samples, 2u);
+}
+
+TEST(TimeSeriesRing, HistogramWindowCountsAndPercentile) {
+  MetricsRegistry reg;
+  auto& h = reg.histogram("lat", MetricLabels::of("stage", "flush"));
+  TimeSeriesRing ring(reg, {1.0, 8});
+  ring.sample(0.0);
+  for (int i = 0; i < 90; ++i) h.record(0.010);
+  for (int i = 0; i < 10; ++i) h.record(1.000);
+  ring.sample(1.0);
+  ASSERT_EQ(ring.windows(), 1u);
+  const auto w = ring.window(0);
+  const auto key =
+      TimeSeriesRing::series_key("lat", MetricLabels::of("stage", "flush"));
+  const auto it = w.histograms.find(key);
+  ASSERT_NE(it, w.histograms.end());
+  EXPECT_EQ(it->second.count_delta, 100u);
+  EXPECT_NEAR(it->second.sum_delta, 90 * 0.010 + 10 * 1.0, 1e-9);
+  // p50 lands in the 10ms bucket, p99 in the 1s bucket (log-bucketed upper
+  // bounds bracket the recorded value within one 2^(1/4) step).
+  EXPECT_LT(it->second.percentile(0.50), 0.02);
+  EXPECT_GT(it->second.percentile(0.99), 0.5);
+  // Empty window -> percentile 0.
+  ring.sample(2.0);
+  const auto w2 = ring.window(0);
+  const auto it2 = w2.histograms.find(key);
+  if (it2 != w2.histograms.end()) {
+    EXPECT_DOUBLE_EQ(it2->second.percentile(0.99), 0.0);
+  }
+}
+
+TEST(TimeSeriesRing, RingEvictsOldestBeyondCapacity) {
+  MetricsRegistry reg;
+  auto& c = reg.counter("req");
+  TimeSeriesRing ring(reg, {1.0, 3});
+  ring.sample(0.0);
+  for (int i = 1; i <= 5; ++i) {
+    c.add(static_cast<std::uint64_t>(i));
+    ring.sample(double(i));
+  }
+  EXPECT_EQ(ring.windows(), 3u);
+  // Newest-first ages: deltas 5, 4, 3 (windows 1 and 2 were evicted).
+  EXPECT_EQ(ring.delta("req", {}, 0), 5u);
+  EXPECT_EQ(ring.delta("req", {}, 1), 4u);
+  EXPECT_EQ(ring.delta("req", {}, 2), 3u);
+}
+
+TEST(TimeSeriesRing, ToJsonMentionsWindowsAndSeries) {
+  MetricsRegistry reg;
+  reg.counter("req", MetricLabels::of("kind", "cold")).add(2);
+  TimeSeriesRing ring(reg, {1.0, 4});
+  ring.sample(0.0);
+  reg.counter("req", MetricLabels::of("kind", "cold")).add(3);
+  ring.sample(1.0);
+  const std::string json = ring.to_json();
+  EXPECT_NE(json.find("\"interval_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"windows\""), std::string::npos);
+  EXPECT_NE(json.find("req|kind=cold"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gv

@@ -134,6 +134,32 @@ TEST(AttestedChannel, PaddingHidesCardinalityButCountersStayLogical) {
   EXPECT_GE(ch.padded_bytes(), ch.total_payload_bytes());
 }
 
+TEST(AttestedChannel, QueryIdTrailerRoundTripsWithoutTouchingTheAudit) {
+  Enclave a = make_enclave("code-v1", Enclave::default_platform_key());
+  Enclave b = make_enclave("code-v1", Enclave::default_platform_key());
+  AttestedChannel ch(a, b);
+
+  // The QueryLens trace id rides as a sealed trailer: it round-trips...
+  ch.send_request(a, {1, 2, 3}, /*query_id=*/0x1234567890abcdULL);
+  std::uint64_t qid = 0;
+  EXPECT_EQ(ch.recv_request(b, &qid), (std::vector<std::uint32_t>{1, 2, 3}));
+  EXPECT_EQ(qid, 0x1234567890abcdULL);
+  // ...but the LOGICAL audit still counts only the frontier bytes (16 for
+  // three nodes), and the 24-byte sealed payload stays in the same 64-byte
+  // wire bucket — telemetry costs neither audit truth nor size hiding.
+  EXPECT_EQ(ch.request_bytes(), 16u);
+  EXPECT_EQ(ch.padded_bytes(), 64u);
+
+  // Untraced requests (default id 0) read back as 0; a caller that does
+  // not care may pass no out-param at all.
+  ch.send_request(a, {9});
+  qid = 77;
+  (void)ch.recv_request(b, &qid);
+  EXPECT_EQ(qid, 0u);
+  ch.send_request(a, {8}, 42);
+  EXPECT_EQ(ch.recv_request(b), (std::vector<std::uint32_t>{8}));
+}
+
 TEST(AttestedChannel, NodeTransferRoundTripsAndIsAuditedSeparately) {
   Enclave a = make_enclave("code-v1", Enclave::default_platform_key());
   Enclave b = make_enclave("code-v1", Enclave::default_platform_key());

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Compare bench JSON artifacts against checked-in baselines.
+
+CI's bench-smoke step writes one BENCH_<name>.json per bench (see
+.github/workflows/ci.yml).  Each baseline file under bench/baselines/
+declares which scalars in that artifact are stable enough to gate on, the
+direction a regression moves them, and how much slack fast-mode noise is
+allowed before the smoke job fails:
+
+    {
+      "artifact": "BENCH_obs_overhead.json",
+      "bench": "obs_overhead",
+      "note": "how these numbers were produced",
+      "checks": [
+        {"path": ["modeled_rps_on"], "op": "min", "value": 1234.5,
+         "rel_slack": 0.5},
+        {"path": ["tables", 0, "rows", 1, "modeled req/s"], ...}
+      ]
+    }
+
+`path` is a list of keys/indices resolved against the artifact document, so
+both top-level scalars and individual table cells can be pinned.  Ops:
+
+    min   regression = value dropping:  actual >= value * (1 - rel_slack)
+    max   regression = value rising:    actual <= value * (1 + rel_slack)
+    eq    bit-deterministic quantities: actual == value exactly
+
+Only MODELED quantities (cost-model seconds, counters, exactness flags)
+belong here; wall-clock milliseconds vary by runner and would flake.  Wide
+rel_slack is deliberate: this gate exists to catch gross regressions (a 2x
+throughput drop, a broken exactness invariant), not 5% drift.
+
+Usage:
+    tools/bench_diff.py --results build [--baselines bench/baselines]
+    tools/bench_diff.py --results build --update   # rebake baseline values
+
+--update resolves every check's path against the fresh artifact and
+rewrites its "value" in place (ops and slack are kept), so regenerating
+baselines after an intentional perf change is one local fast-mode bench
+run plus this command.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def resolve(doc, path):
+    """Walk a ["tables", 0, "rows", 1, "cell name"] path through the doc."""
+    cur = doc
+    for seg in path:
+        if isinstance(seg, int):
+            if not isinstance(cur, list) or seg >= len(cur):
+                raise KeyError(f"index {seg} out of range")
+            cur = cur[seg]
+        else:
+            if not isinstance(cur, dict) or seg not in cur:
+                raise KeyError(f"key {seg!r} missing")
+            cur = cur[seg]
+    return cur
+
+
+def check_one(doc, check):
+    path, op = check["path"], check["op"]
+    base = check["value"]
+    slack = check.get("rel_slack", 0.0)
+    actual = resolve(doc, path)
+    if not isinstance(actual, (int, float)) or isinstance(actual, bool):
+        return f"{path}: not numeric (got {actual!r})"
+    if op == "min":
+        bound = base * (1.0 - slack)
+        if actual < bound:
+            return (f"{path}: {actual} fell below {bound:.6g} "
+                    f"(baseline {base}, slack {slack:.0%})")
+    elif op == "max":
+        bound = base * (1.0 + slack)
+        if actual > bound:
+            return (f"{path}: {actual} rose above {bound:.6g} "
+                    f"(baseline {base}, slack {slack:.0%})")
+    elif op == "eq":
+        if actual != base:
+            return f"{path}: {actual} != baseline {base} (deterministic)"
+    else:
+        return f"{path}: unknown op {op!r}"
+    return None
+
+
+def run(baselines_dir, results_dir, update):
+    baseline_files = sorted(
+        f for f in os.listdir(baselines_dir) if f.endswith(".json"))
+    if not baseline_files:
+        print(f"error: no baselines under {baselines_dir}", file=sys.stderr)
+        return 1
+    failures = []
+    for fname in baseline_files:
+        bpath = os.path.join(baselines_dir, fname)
+        with open(bpath) as f:
+            baseline = json.load(f)
+        artifact = os.path.join(results_dir, baseline["artifact"])
+        if not os.path.exists(artifact):
+            failures.append(f"{fname}: artifact {artifact} missing")
+            continue
+        with open(artifact) as f:
+            doc = json.load(f)
+        if doc.get("bench") != baseline["bench"]:
+            failures.append(f"{fname}: artifact bench {doc.get('bench')!r} "
+                            f"!= baseline bench {baseline['bench']!r}")
+            continue
+        if update:
+            for check in baseline["checks"]:
+                check["value"] = resolve(doc, check["path"])
+            with open(bpath, "w") as f:
+                json.dump(baseline, f, indent=2)
+                f.write("\n")
+            print(f"{fname}: rebaked {len(baseline['checks'])} values")
+            continue
+        bad = [msg for msg in (check_one(doc, c) for c in baseline["checks"])
+               if msg]
+        status = "FAIL" if bad else "ok"
+        print(f"{fname}: {len(baseline['checks'])} checks {status}")
+        for msg in bad:
+            failures.append(f"{fname}: {msg}")
+    for msg in failures:
+        print(f"::error::bench regression: {msg}")
+    return 1 if failures else 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baselines", default="bench/baselines")
+    ap.add_argument("--results", required=True,
+                    help="directory holding BENCH_*.json artifacts")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite baseline values from the fresh artifacts")
+    args = ap.parse_args()
+    return run(args.baselines, args.results, args.update)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
