@@ -1,0 +1,43 @@
+#include "common/annotations.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace gv::lint {
+namespace {
+
+void default_handler(int held, int acquiring, const char* what) {
+  std::fprintf(stderr,
+               "gv::lint: lock-rank inversion: acquiring rank %d (%s) while "
+               "holding rank %d\n",
+               acquiring, what, held);
+  std::abort();
+}
+
+std::atomic<RankViolationHandler> g_handler{&default_handler};
+
+// One stack per thread; RankScope is strictly RAII so LIFO order holds.
+thread_local std::vector<int> t_held;
+
+}  // namespace
+
+RankViolationHandler set_rank_violation_handler(RankViolationHandler h) {
+  return g_handler.exchange(h != nullptr ? h : &default_handler);
+}
+
+RankScope::RankScope(int rank, const char* what) : rank_(rank) {
+  if (!t_held.empty() && rank < t_held.back()) {
+    g_handler.load()(t_held.back(), rank, what);
+  }
+  t_held.push_back(rank);
+}
+
+RankScope::~RankScope() { t_held.pop_back(); }
+
+std::size_t RankScope::held_depth() { return t_held.size(); }
+
+int RankScope::top_rank() { return t_held.empty() ? -1 : t_held.back(); }
+
+}  // namespace gv::lint

@@ -18,6 +18,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    GV_RANK_SCOPE(lockrank::kQueue);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -29,6 +30,7 @@ void ThreadPool::worker_loop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
+      GV_RANK_SCOPE(lockrank::kQueue);
       cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
       if (stopping_ && tasks_.empty()) return;
       task = std::move(tasks_.front());

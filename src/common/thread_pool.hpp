@@ -13,6 +13,7 @@
 #include <queue>
 #include <thread>
 #include <vector>
+#include "common/annotations.hpp"
 
 namespace gv {
 
@@ -35,6 +36,7 @@ class ThreadPool {
     std::future<R> fut = task->get_future();
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      GV_RANK_SCOPE(lockrank::kQueue);
       if (stopping_) throw std::runtime_error("ThreadPool is shutting down");
       tasks_.emplace([task] { (*task)(); });
     }
@@ -50,7 +52,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
+  std::mutex mutex_ GV_LOCK_RANK(gv::lockrank::kQueue);
   std::condition_variable cv_;
   bool stopping_ = false;
 };

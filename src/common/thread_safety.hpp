@@ -1,0 +1,122 @@
+// Clang Thread Safety Analysis capability macros + annotated mutex wrappers.
+//
+// libstdc++'s std::mutex carries no capability attribute, so clang's
+// -Wthread-safety cannot reason about it directly.  gv::Mutex wraps it with
+// the capability annotations, gv::MutexLock is the annotated scoped guard,
+// and gv::CondVar is a condition_variable_any that waits directly on a
+// gv::Mutex.  On GCC (and on clang with the analysis off) everything
+// compiles to exactly the std:: equivalents — the wrappers are header-only
+// forwarding shims.
+//
+// Usage:
+//   gv::Mutex mu_;
+//   std::vector<T> items_ GV_GUARDED_BY(mu_);
+//   void drain_locked() GV_REQUIRES(mu_);
+//
+// CI builds the tree with clang and -Werror=thread-safety; see
+// docs/static_analysis.md.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define GV_TSA(x) __attribute__((x))
+#else
+#define GV_TSA(x)
+#endif
+
+#define GV_CAPABILITY(x) GV_TSA(capability(x))
+#define GV_SCOPED_CAPABILITY GV_TSA(scoped_lockable)
+#define GV_GUARDED_BY(x) GV_TSA(guarded_by(x))
+#define GV_PT_GUARDED_BY(x) GV_TSA(pt_guarded_by(x))
+#define GV_REQUIRES(...) GV_TSA(requires_capability(__VA_ARGS__))
+#define GV_REQUIRES_SHARED(...) GV_TSA(requires_shared_capability(__VA_ARGS__))
+#define GV_ACQUIRE(...) GV_TSA(acquire_capability(__VA_ARGS__))
+#define GV_RELEASE(...) GV_TSA(release_capability(__VA_ARGS__))
+#define GV_TRY_ACQUIRE(...) GV_TSA(try_acquire_capability(__VA_ARGS__))
+#define GV_EXCLUDES(...) GV_TSA(locks_excluded(__VA_ARGS__))
+#define GV_RETURN_CAPABILITY(x) GV_TSA(lock_returned(x))
+#define GV_NO_THREAD_SAFETY_ANALYSIS GV_TSA(no_thread_safety_analysis)
+
+namespace gv {
+
+/// std::mutex with clang capability annotations.  Also a BasicLockable, so
+/// std::unique_lock<gv::Mutex> and gv::CondVar::wait work unchanged.
+class GV_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() GV_ACQUIRE() { mu_.lock(); }
+  void unlock() GV_RELEASE() { mu_.unlock(); }
+  bool try_lock() GV_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Escape hatch for APIs that need the raw handle; using it bypasses the
+  /// analysis, so prefer MutexLock / CondVar.
+  std::mutex& native() GV_RETURN_CAPABILITY(this) { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Annotated scoped guard (std::lock_guard shape, TSA-visible release).
+class GV_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) GV_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() GV_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable waiting directly on a gv::Mutex.  Built on
+/// condition_variable_any (which takes any BasicLockable); the wait methods
+/// require the capability, matching how callers already hold the lock.
+/// The bodies carry GV_NO_THREAD_SAFETY_ANALYSIS because the analysis
+/// cannot see through condition_variable_any's internal unlock/relock.
+class CondVar {
+ public:
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  void wait(Mutex& mu) GV_REQUIRES(mu) GV_NO_THREAD_SAFETY_ANALYSIS {
+    cv_.wait(mu);
+  }
+
+  template <typename Pred>
+  void wait(Mutex& mu, Pred pred) GV_REQUIRES(mu) GV_NO_THREAD_SAFETY_ANALYSIS {
+    cv_.wait(mu, std::move(pred));
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(Mutex& mu,
+                            const std::chrono::time_point<Clock, Duration>&
+                                deadline) GV_REQUIRES(mu)
+      GV_NO_THREAD_SAFETY_ANALYSIS {
+    return cv_.wait_until(mu, deadline);
+  }
+
+  template <typename Clock, typename Duration, typename Pred>
+  bool wait_until(Mutex& mu,
+                  const std::chrono::time_point<Clock, Duration>& deadline,
+                  Pred pred) GV_REQUIRES(mu) GV_NO_THREAD_SAFETY_ANALYSIS {
+    return cv_.wait_until(mu, deadline, std::move(pred));
+  }
+
+  template <typename Rep, typename Period, typename Pred>
+  bool wait_for(Mutex& mu, const std::chrono::duration<Rep, Period>& dur,
+                Pred pred) GV_REQUIRES(mu) GV_NO_THREAD_SAFETY_ANALYSIS {
+    return cv_.wait_for(mu, dur, std::move(pred));
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace gv

@@ -79,6 +79,7 @@ std::vector<std::uint32_t> VaultDeployment::secure_infer(
     const std::vector<Matrix>& outputs, const std::span<const std::uint32_t>* nodes) {
   if (nodes != nullptr && nodes->empty()) return {};
   std::lock_guard<std::mutex> infer_lock(*infer_mu_);
+  GV_RANK_SCOPE(lockrank::kDeployment);
 
   // --- 2. Only the required embeddings cross the one-way channel. The FULL
   // matrices cross even for subset queries: restricting the transfer to the

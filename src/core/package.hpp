@@ -15,6 +15,7 @@
 #include <span>
 #include <string>
 
+#include "common/annotations.hpp"
 #include "core/pipeline.hpp"
 #include "data/dataset.hpp"
 
@@ -48,7 +49,10 @@ LoadedVault load_vault_package(const std::string& path);
 // inside an enclave; serialization lives here so the sealed blob layout is
 // versioned alongside the vendor package format.
 
-struct ShardPayload {
+// GV_SECRET: adjacency-derived through and through — a payload may exist
+// only sealed at rest or in the clear inside an enclave, never in a log,
+// trace, metric, or raw channel push.
+struct GV_SECRET ShardPayload {
   std::uint32_t shard_index = 0;
   std::uint32_t num_shards = 0;
   /// Global ids of the nodes this shard owns (sorted).

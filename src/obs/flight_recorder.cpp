@@ -41,6 +41,7 @@ void FlightRecorder::configure(const std::string& dir, std::size_t max_spans) {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   std::lock_guard<std::mutex> lock(mu_);
+  GV_RANK_SCOPE(lockrank::kTelemetry);
   armed_ = true;
   dir_ = dir;
   max_spans_ = max_spans;
@@ -48,28 +49,33 @@ void FlightRecorder::configure(const std::string& dir, std::size_t max_spans) {
 
 void FlightRecorder::disarm() {
   std::lock_guard<std::mutex> lock(mu_);
+  GV_RANK_SCOPE(lockrank::kTelemetry);
   armed_ = false;
 }
 
 bool FlightRecorder::armed() const {
   std::lock_guard<std::mutex> lock(mu_);
+  GV_RANK_SCOPE(lockrank::kTelemetry);
   return armed_;
 }
 
 void FlightRecorder::attach_timeseries(const TimeSeriesRing* ring) {
   std::lock_guard<std::mutex> lock(mu_);
+  GV_RANK_SCOPE(lockrank::kTelemetry);
   ring_ = ring;
 }
 
 void FlightRecorder::set_topology_provider(
     const void* owner, std::function<std::string()> provider) {
   std::lock_guard<std::mutex> lock(mu_);
+  GV_RANK_SCOPE(lockrank::kTelemetry);
   topology_owner_ = owner;
   topology_ = std::move(provider);
 }
 
 void FlightRecorder::clear_topology_provider(const void* owner) {
   std::lock_guard<std::mutex> lock(mu_);
+  GV_RANK_SCOPE(lockrank::kTelemetry);
   if (topology_owner_ != owner) return;
   topology_owner_ = nullptr;
   topology_ = nullptr;
@@ -77,6 +83,7 @@ void FlightRecorder::clear_topology_provider(const void* owner) {
 
 std::uint64_t FlightRecorder::trips() const {
   std::lock_guard<std::mutex> lock(mu_);
+  GV_RANK_SCOPE(lockrank::kTelemetry);
   return trips_;
 }
 
@@ -109,6 +116,7 @@ void append_number(std::string& out, double v) {
 std::string FlightRecorder::trip(FaultKind kind, int shard,
                                  const std::string& detail) {
   std::lock_guard<std::mutex> lock(mu_);
+  GV_RANK_SCOPE(lockrank::kTelemetry);
   ++trips_;
   MetricsRegistry::global()
       .counter("flight.trips", MetricLabels::of("kind", fault_kind_name(kind)))

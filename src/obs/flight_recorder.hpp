@@ -34,6 +34,7 @@
 #include <string>
 
 #include "obs/timeseries.hpp"
+#include "common/annotations.hpp"
 
 namespace gv {
 
@@ -85,7 +86,7 @@ class FlightRecorder {
  private:
   FlightRecorder() = default;
 
-  mutable std::mutex mu_;
+  mutable std::mutex mu_ GV_LOCK_RANK(gv::lockrank::kTelemetry);
   bool armed_ = false;
   std::string dir_;
   std::size_t max_spans_ = 512;

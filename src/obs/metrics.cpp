@@ -124,7 +124,8 @@ MetricsRegistry& MetricsRegistry::global() {
 
 Counter& MetricsRegistry::counter(const std::string& name,
                                   const MetricLabels& labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
+  GV_RANK_SCOPE(lockrank::kTelemetry);
   const Key key{name, labels.canonical()};
   auto& slot = counters_[key];
   if (!slot) slot = std::make_unique<Counter>();
@@ -134,7 +135,8 @@ Counter& MetricsRegistry::counter(const std::string& name,
 
 Gauge& MetricsRegistry::gauge(const std::string& name,
                               const MetricLabels& labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
+  GV_RANK_SCOPE(lockrank::kTelemetry);
   const Key key{name, labels.canonical()};
   auto& slot = gauges_[key];
   if (!slot) slot = std::make_unique<Gauge>();
@@ -144,7 +146,8 @@ Gauge& MetricsRegistry::gauge(const std::string& name,
 
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       const MetricLabels& labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
+  GV_RANK_SCOPE(lockrank::kTelemetry);
   const Key key{name, labels.canonical()};
   auto& slot = histograms_[key];
   if (!slot) slot = std::make_unique<Histogram>();
@@ -153,7 +156,8 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 }
 
 RegistrySample MetricsRegistry::sample() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
+  GV_RANK_SCOPE(lockrank::kTelemetry);
   RegistrySample s;
   s.counters.reserve(counters_.size());
   for (const auto& [key, c] : counters_) {
@@ -171,12 +175,14 @@ RegistrySample MetricsRegistry::sample() const {
 }
 
 std::size_t MetricsRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
+  GV_RANK_SCOPE(lockrank::kTelemetry);
   return counters_.size() + gauges_.size() + histograms_.size();
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
+  GV_RANK_SCOPE(lockrank::kTelemetry);
   for (auto& [k, c] : counters_) c->reset();
   for (auto& [k, g] : gauges_) g->reset();
   for (auto& [k, h] : histograms_) h->reset();
@@ -220,7 +226,8 @@ void append_number(std::string& out, double v) {
 }  // namespace
 
 std::string MetricsRegistry::to_json() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
+  GV_RANK_SCOPE(lockrank::kTelemetry);
   std::string out = "{\"counters\": [";
   bool first = true;
   for (const auto& [key, c] : counters_) {

@@ -31,6 +31,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/annotations.hpp"
+#include "common/thread_safety.hpp"
+
 namespace gv {
 
 /// Sorted (key, value) label set; canonicalized so {a=1,b=2} and {b=2,a=1}
@@ -183,12 +186,12 @@ class MetricsRegistry {
   template <typename T>
   using InstrumentMap = std::map<Key, std::unique_ptr<T>>;
 
-  mutable std::mutex mu_;
-  InstrumentMap<Counter> counters_;
-  InstrumentMap<Gauge> gauges_;
-  InstrumentMap<Histogram> histograms_;
+  mutable Mutex mu_ GV_LOCK_RANK(gv::lockrank::kTelemetry);
+  InstrumentMap<Counter> counters_ GV_GUARDED_BY(mu_);
+  InstrumentMap<Gauge> gauges_ GV_GUARDED_BY(mu_);
+  InstrumentMap<Histogram> histograms_ GV_GUARDED_BY(mu_);
   /// Original label sets per key (for the exporter).
-  std::map<std::string, MetricLabels> label_sets_;
+  std::map<std::string, MetricLabels> label_sets_ GV_GUARDED_BY(mu_);
 };
 
 }  // namespace gv

@@ -52,6 +52,7 @@ double TimeSeriesRing::HistogramWindow::percentile(double p) const {
 void TimeSeriesRing::sample(double now_seconds) {
   const RegistrySample cur = registry_->sample();
   std::lock_guard<std::mutex> lock(mu_);
+  GV_RANK_SCOPE(lockrank::kTelemetry);
   if (!started_) {
     // Baseline only: counters/histograms diff against this snapshot, and
     // gauge observation starts with the NEXT sample — folding the opening
@@ -162,11 +163,13 @@ void TimeSeriesRing::close_window_locked(double end_seconds,
 
 std::size_t TimeSeriesRing::windows() const {
   std::lock_guard<std::mutex> lock(mu_);
+  GV_RANK_SCOPE(lockrank::kTelemetry);
   return ring_.size();
 }
 
 TimeSeriesRing::Window TimeSeriesRing::window(std::size_t age) const {
   std::lock_guard<std::mutex> lock(mu_);
+  GV_RANK_SCOPE(lockrank::kTelemetry);
   GV_CHECK(age < ring_.size(), "time-series window age out of range");
   return ring_[ring_.size() - 1 - age];
 }
@@ -174,6 +177,7 @@ TimeSeriesRing::Window TimeSeriesRing::window(std::size_t age) const {
 double TimeSeriesRing::rate(const std::string& name, const MetricLabels& labels,
                             std::size_t age) const {
   std::lock_guard<std::mutex> lock(mu_);
+  GV_RANK_SCOPE(lockrank::kTelemetry);
   if (age >= ring_.size()) return 0.0;
   const auto& w = ring_[ring_.size() - 1 - age];
   const auto it = w.counters.find(series_key(name, labels));
@@ -184,6 +188,7 @@ std::uint64_t TimeSeriesRing::delta(const std::string& name,
                                     const MetricLabels& labels,
                                     std::size_t age) const {
   std::lock_guard<std::mutex> lock(mu_);
+  GV_RANK_SCOPE(lockrank::kTelemetry);
   if (age >= ring_.size()) return 0;
   const auto& w = ring_[ring_.size() - 1 - age];
   const auto it = w.counters.find(series_key(name, labels));
@@ -194,6 +199,7 @@ std::uint64_t TimeSeriesRing::delta_over(const std::string& name,
                                          const MetricLabels& labels,
                                          std::size_t n) const {
   std::lock_guard<std::mutex> lock(mu_);
+  GV_RANK_SCOPE(lockrank::kTelemetry);
   const std::string key = series_key(name, labels);
   std::uint64_t sum = 0;
   const std::size_t take = std::min(n, ring_.size());
@@ -207,6 +213,7 @@ std::uint64_t TimeSeriesRing::delta_over(const std::string& name,
 
 std::string TimeSeriesRing::to_json(std::size_t max_windows) const {
   std::lock_guard<std::mutex> lock(mu_);
+  GV_RANK_SCOPE(lockrank::kTelemetry);
   std::string out = "{\"interval_seconds\": ";
   append_number(out, cfg_.interval_seconds);
   out += ", \"windows\": [";

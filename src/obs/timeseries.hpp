@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "common/annotations.hpp"
 
 namespace gv {
 
@@ -121,7 +122,7 @@ class TimeSeriesRing {
   MetricsRegistry* registry_;
   TimeSeriesConfig cfg_;
 
-  mutable std::mutex mu_;
+  mutable std::mutex mu_ GV_LOCK_RANK(gv::lockrank::kTelemetry);
   bool started_ = false;
   double cur_start_ = 0.0;
   RegistrySample baseline_;

@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "obs/query_trace.hpp"
+#include "common/annotations.hpp"
 
 namespace gv {
 
@@ -154,7 +155,7 @@ class TraceRecorder {
 
  private:
   struct ThreadBuffer {
-    mutable std::mutex mu;
+    mutable std::mutex mu GV_LOCK_RANK(gv::lockrank::kTelemetry);
     std::vector<TraceEvent> ring;  // grows to kRingCapacity, then wraps
     std::uint64_t appended = 0;    // lifetime count; write head = % capacity
     std::uint32_t tid = 0;
@@ -165,7 +166,7 @@ class TraceRecorder {
 
   std::atomic<bool> enabled_{false};
   std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex registry_mu_;
+  mutable std::mutex registry_mu_ GV_LOCK_RANK(gv::lockrank::kTelemetry);
   std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
   std::atomic<std::uint64_t> dropped_{0};
   /// Interned names: node-based so c_str() pointers stay stable, and never

@@ -15,7 +15,8 @@ bool MicroBatchQueue::submit(std::uint32_t node, const Sha256Digest& digest,
                              std::promise<std::uint32_t> waiter) {
   bool coalesced = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
+    GV_RANK_SCOPE(lockrank::kQueue);
     GV_CHECK(!stopping_, "queue is shutting down");
     const auto it = index_.find(node);
     if (it != index_.end() && it->second->digest == digest) {
@@ -41,9 +42,12 @@ bool MicroBatchQueue::submit(std::uint32_t node, const Sha256Digest& digest,
 }
 
 std::vector<MicroBatchQueue::Entry> MicroBatchQueue::next_batch() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
+  GV_RANK_SCOPE(lockrank::kQueue);
   for (;;) {
-    cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    // Explicit wait loop (not the predicate overload) so every access to
+    // the guarded queue state stays inside this REQUIRES-checked body.
+    while (!stopping_ && queue_.empty()) cv_.wait(mu_);
     if (queue_.empty()) {
       if (stopping_) return {};
       continue;
@@ -57,7 +61,7 @@ std::vector<MicroBatchQueue::Entry> MicroBatchQueue::next_batch() {
     while (queue_.size() < max_batch_ && !stopping_ && !flush_requested_) {
       const auto deadline = queue_.front().enqueued + max_wait_;
       if (std::chrono::steady_clock::now() >= deadline) break;
-      cv_.wait_until(lock, deadline);
+      cv_.wait_until(mu_, deadline);
       if (queue_.empty()) break;  // another worker drained it
     }
     if (queue_.empty()) {
@@ -81,7 +85,8 @@ std::vector<MicroBatchQueue::Entry> MicroBatchQueue::next_batch() {
 
 void MicroBatchQueue::flush() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
+    GV_RANK_SCOPE(lockrank::kQueue);
     if (queue_.empty()) return;
     flush_requested_ = true;
   }
@@ -91,7 +96,8 @@ void MicroBatchQueue::flush() {
 void MicroBatchQueue::stop() {
   std::list<Entry> orphans;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
+    GV_RANK_SCOPE(lockrank::kQueue);
     stopping_ = true;
     orphans.swap(queue_);
     index_.clear();
@@ -107,7 +113,8 @@ void MicroBatchQueue::stop() {
 }
 
 std::size_t MicroBatchQueue::pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
+  GV_RANK_SCOPE(lockrank::kQueue);
   return queue_.size();
 }
 

@@ -11,14 +11,14 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.hpp"
+#include "common/thread_safety.hpp"
 #include "sgxsim/sha256.hpp"
 
 namespace gv {
@@ -63,13 +63,14 @@ class MicroBatchQueue {
   const std::size_t max_batch_;
   const std::chrono::microseconds max_wait_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::list<Entry> queue_;
+  mutable Mutex mu_ GV_LOCK_RANK(gv::lockrank::kQueue);
+  CondVar cv_;
+  std::list<Entry> queue_ GV_GUARDED_BY(mu_);
   /// node -> its newest queued entry (coalescing index).
-  std::unordered_map<std::uint32_t, std::list<Entry>::iterator> index_;
-  bool stopping_ = false;
-  bool flush_requested_ = false;
+  std::unordered_map<std::uint32_t, std::list<Entry>::iterator> index_
+      GV_GUARDED_BY(mu_);
+  bool stopping_ GV_GUARDED_BY(mu_) = false;
+  bool flush_requested_ GV_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace gv

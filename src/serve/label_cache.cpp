@@ -23,6 +23,7 @@ std::optional<std::uint32_t> LabelCache::get(std::uint32_t node,
                                              const Sha256Digest& digest) {
   if (capacity_ == 0) return std::nullopt;
   std::lock_guard<std::mutex> lock(mu_);
+  GV_RANK_SCOPE(lockrank::kQueue);
   const auto it = index_.find(node);
   if (it == index_.end()) return std::nullopt;
   if (it->second->digest != digest) {
@@ -39,6 +40,7 @@ void LabelCache::put(std::uint32_t node, const Sha256Digest& digest,
                      std::uint32_t label) {
   if (capacity_ == 0) return;
   std::lock_guard<std::mutex> lock(mu_);
+  GV_RANK_SCOPE(lockrank::kQueue);
   const auto it = index_.find(node);
   if (it != index_.end()) {
     it->second->digest = digest;
@@ -57,6 +59,7 @@ void LabelCache::put(std::uint32_t node, const Sha256Digest& digest,
 std::size_t LabelCache::invalidate_stale(const CsrMatrix& features) {
   if (capacity_ == 0) return 0;
   std::lock_guard<std::mutex> lock(mu_);
+  GV_RANK_SCOPE(lockrank::kQueue);
   std::size_t evicted = 0;
   for (auto it = lru_.begin(); it != lru_.end();) {
     const bool gone = it->node >= features.rows() ||
@@ -75,6 +78,7 @@ std::size_t LabelCache::invalidate_stale(const CsrMatrix& features) {
 std::size_t LabelCache::invalidate_nodes(std::span<const std::uint32_t> nodes) {
   if (capacity_ == 0) return 0;
   std::lock_guard<std::mutex> lock(mu_);
+  GV_RANK_SCOPE(lockrank::kQueue);
   std::size_t evicted = 0;
   for (const auto node : nodes) {
     const auto it = index_.find(node);
@@ -88,12 +92,14 @@ std::size_t LabelCache::invalidate_nodes(std::span<const std::uint32_t> nodes) {
 
 void LabelCache::clear() {
   std::lock_guard<std::mutex> lock(mu_);
+  GV_RANK_SCOPE(lockrank::kQueue);
   lru_.clear();
   index_.clear();
 }
 
 std::size_t LabelCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
+  GV_RANK_SCOPE(lockrank::kQueue);
   return lru_.size();
 }
 

@@ -17,6 +17,7 @@
 
 #include "sgxsim/sha256.hpp"
 #include "tensor/csr.hpp"
+#include "common/annotations.hpp"
 
 namespace gv {
 
@@ -63,7 +64,7 @@ class LabelCache {
   };
 
   std::size_t capacity_;
-  mutable std::mutex mu_;
+  mutable std::mutex mu_ GV_LOCK_RANK(gv::lockrank::kQueue);
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<std::uint32_t, std::list<Entry>::iterator> index_;
 };

@@ -74,6 +74,7 @@ AdmissionResult VaultRegistry::admit(const std::string& tenant, const Dataset& d
   GV_CHECK(!tenant.empty(), "tenant name must not be empty");
   GV_CHECK(vault.rectifier != nullptr, "admission requires a trained rectifier");
   std::lock_guard<std::mutex> lock(mu_);
+  GV_RANK_SCOPE(lockrank::kRegistry);
   const bool name_taken =
       servers_.count(tenant) > 0 || sharded_.count(tenant) > 0 ||
       std::any_of(waiting_.begin(), waiting_.end(),
@@ -265,16 +266,19 @@ void VaultRegistry::admit_from_queue() {
 
 bool VaultRegistry::has(const std::string& tenant) const {
   std::lock_guard<std::mutex> lock(mu_);
+  GV_RANK_SCOPE(lockrank::kRegistry);
   return servers_.count(tenant) > 0 || sharded_.count(tenant) > 0;
 }
 
 bool VaultRegistry::is_sharded(const std::string& tenant) const {
   std::lock_guard<std::mutex> lock(mu_);
+  GV_RANK_SCOPE(lockrank::kRegistry);
   return sharded_.count(tenant) > 0;
 }
 
 std::shared_ptr<VaultServer> VaultRegistry::server(const std::string& tenant) {
   std::lock_guard<std::mutex> lock(mu_);
+  GV_RANK_SCOPE(lockrank::kRegistry);
   const auto it = servers_.find(tenant);
   GV_CHECK(it != servers_.end(), "unknown or not-yet-admitted tenant: " + tenant);
   return it->second;
@@ -283,6 +287,7 @@ std::shared_ptr<VaultServer> VaultRegistry::server(const std::string& tenant) {
 std::shared_ptr<ShardedVaultServer> VaultRegistry::sharded_server(
     const std::string& tenant) {
   std::lock_guard<std::mutex> lock(mu_);
+  GV_RANK_SCOPE(lockrank::kRegistry);
   const auto it = sharded_.find(tenant);
   GV_CHECK(it != sharded_.end(),
            "unknown or not-sharded tenant: " + tenant);
@@ -297,6 +302,7 @@ bool VaultRegistry::remove(const std::string& tenant) {
   std::shared_ptr<ShardedVaultServer> sharded_victim;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    GV_RANK_SCOPE(lockrank::kRegistry);
     const auto it = servers_.find(tenant);
     const auto sit = sharded_.find(tenant);
     if (it != servers_.end() || sit != sharded_.end()) {
@@ -335,6 +341,7 @@ void VaultRegistry::fail_shard(const std::string& tenant, std::uint32_t shard) {
   std::shared_ptr<ShardedVaultServer> server;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    GV_RANK_SCOPE(lockrank::kRegistry);
     const auto it = sharded_.find(tenant);
     GV_CHECK(it != sharded_.end(), "unknown or not-sharded tenant: " + tenant);
     server = it->second;
@@ -353,6 +360,7 @@ void VaultRegistry::fail_shard(const std::string& tenant, std::uint32_t shard) {
   server->kill_shard(shard);
   {
     std::lock_guard<std::mutex> lock(mu_);
+    GV_RANK_SCOPE(lockrank::kRegistry);
     // The tenant may have been removed (and even re-admitted under the same
     // name), or another fail_shard may have won the race, while the kill
     // ran.  Commit the accounting only against the SAME server we killed —
@@ -375,11 +383,13 @@ void VaultRegistry::fail_shard(const std::string& tenant, std::uint32_t shard) {
 
 std::size_t VaultRegistry::standby_in_use() const {
   std::lock_guard<std::mutex> lock(mu_);
+  GV_RANK_SCOPE(lockrank::kRegistry);
   return standby_in_use_;
 }
 
 std::vector<std::string> VaultRegistry::tenants() const {
   std::lock_guard<std::mutex> lock(mu_);
+  GV_RANK_SCOPE(lockrank::kRegistry);
   std::vector<std::string> names;
   names.reserve(servers_.size() + sharded_.size());
   for (const auto& [name, server] : servers_) names.push_back(name);
@@ -390,6 +400,7 @@ std::vector<std::string> VaultRegistry::tenants() const {
 
 std::vector<std::string> VaultRegistry::queued() const {
   std::lock_guard<std::mutex> lock(mu_);
+  GV_RANK_SCOPE(lockrank::kRegistry);
   std::vector<std::string> names;
   names.reserve(waiting_.size());
   for (const auto& w : waiting_) names.push_back(w.tenant);
@@ -398,6 +409,7 @@ std::vector<std::string> VaultRegistry::queued() const {
 
 std::size_t VaultRegistry::epc_in_use() const {
   std::lock_guard<std::mutex> lock(mu_);
+  GV_RANK_SCOPE(lockrank::kRegistry);
   std::size_t sum = 0;
   for (const auto b : platform_in_use_) sum += b;
   return sum;
@@ -409,6 +421,7 @@ std::size_t VaultRegistry::epc_budget() const {
 
 std::vector<std::size_t> VaultRegistry::platform_in_use() const {
   std::lock_guard<std::mutex> lock(mu_);
+  GV_RANK_SCOPE(lockrank::kRegistry);
   return platform_in_use_;
 }
 

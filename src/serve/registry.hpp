@@ -28,6 +28,7 @@
 
 #include "serve/vault_server.hpp"
 #include "shard/sharded_server.hpp"
+#include "common/annotations.hpp"
 
 namespace gv {
 
@@ -151,7 +152,7 @@ class VaultRegistry {
 
   RegistryConfig cfg_;
   std::size_t platform_budget_bytes_ = 0;
-  mutable std::mutex mu_;
+  mutable std::mutex mu_ GV_LOCK_RANK(gv::lockrank::kRegistry);
   std::vector<std::size_t> platform_in_use_;
   std::size_t standby_in_use_ = 0;
   std::map<std::string, std::shared_ptr<VaultServer>> servers_;

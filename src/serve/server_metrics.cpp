@@ -72,43 +72,51 @@ std::string MetricsSnapshot::summary() const {
 
 void ServerMetrics::record_request() {
   std::lock_guard<std::mutex> lock(mu_);
+  GV_RANK_SCOPE(lockrank::kTelemetry);
   ++requests_;
 }
 
 void ServerMetrics::record_cache_hit() {
   std::lock_guard<std::mutex> lock(mu_);
+  GV_RANK_SCOPE(lockrank::kTelemetry);
   ++cache_hits_;
 }
 
 void ServerMetrics::record_cache_miss() {
   std::lock_guard<std::mutex> lock(mu_);
+  GV_RANK_SCOPE(lockrank::kTelemetry);
   ++cache_misses_;
 }
 
 void ServerMetrics::record_batch(std::size_t size) {
   std::lock_guard<std::mutex> lock(mu_);
+  GV_RANK_SCOPE(lockrank::kTelemetry);
   ++batches_;
   completed_ += size;
 }
 
 void ServerMetrics::record_coalesced() {
   std::lock_guard<std::mutex> lock(mu_);
+  GV_RANK_SCOPE(lockrank::kTelemetry);
   ++coalesced_;
 }
 
 void ServerMetrics::record_feature_update() {
   std::lock_guard<std::mutex> lock(mu_);
+  GV_RANK_SCOPE(lockrank::kTelemetry);
   ++feature_updates_;
 }
 
 void ServerMetrics::record_graph_update(std::size_t stale) {
   std::lock_guard<std::mutex> lock(mu_);
+  GV_RANK_SCOPE(lockrank::kTelemetry);
   ++graph_updates_;
   stale_label_evictions_ += stale;
 }
 
 void ServerMetrics::record_promotion_ms(double ms) {
   std::lock_guard<std::mutex> lock(mu_);
+  GV_RANK_SCOPE(lockrank::kTelemetry);
   ++promotions_;
   promotion_ms_total_ += ms;
   promotion_ms_max_ = std::max(promotion_ms_max_, ms);
@@ -125,6 +133,7 @@ MetricsSnapshot ServerMetrics::snapshot() const {
   s.p99_latency_ms = lat.percentile(0.99);
   s.max_latency_ms = lat.max;
   std::lock_guard<std::mutex> lock(mu_);
+  GV_RANK_SCOPE(lockrank::kTelemetry);
   s.requests = requests_;
   s.completed = completed_;
   s.batches = batches_;
@@ -147,6 +156,7 @@ MetricsSnapshot ServerMetrics::snapshot() const {
 
 void ServerMetrics::reset() {
   std::lock_guard<std::mutex> lock(mu_);
+  GV_RANK_SCOPE(lockrank::kTelemetry);
   requests_ = completed_ = batches_ = cache_hits_ = cache_misses_ = 0;
   coalesced_ = feature_updates_ = promotions_ = 0;
   graph_updates_ = stale_label_evictions_ = 0;

@@ -15,6 +15,7 @@
 
 #include "common/stopwatch.hpp"
 #include "obs/metrics.hpp"
+#include "common/annotations.hpp"
 
 namespace gv {
 
@@ -107,7 +108,7 @@ class ServerMetrics {
   void reset();
 
  private:
-  mutable std::mutex mu_;
+  mutable std::mutex mu_ GV_LOCK_RANK(gv::lockrank::kTelemetry);
   Stopwatch since_;
   std::uint64_t requests_ = 0;
   std::uint64_t completed_ = 0;

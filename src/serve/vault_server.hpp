@@ -38,6 +38,7 @@
 #include "serve/batch_queue.hpp"
 #include "serve/label_cache.hpp"
 #include "serve/server_metrics.hpp"
+#include "common/annotations.hpp"
 
 namespace gv {
 
@@ -115,7 +116,7 @@ class VaultServer {
   ServerMetrics metrics_;
   const std::size_t num_nodes_;
 
-  mutable std::mutex snap_mu_;
+  mutable std::mutex snap_mu_ GV_LOCK_RANK(gv::lockrank::kServerSnap);
   std::shared_ptr<Snapshot> snap_;
 
   MicroBatchQueue queue_;

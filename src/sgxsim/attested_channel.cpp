@@ -32,7 +32,36 @@ std::uint64_t get_u64(std::span<const std::uint8_t> in, std::size_t& off) {
   return v;
 }
 
+// The policy table is indexed by enumerator value; a reordered row would
+// silently swap two kinds' padding and audit streams.
+constexpr bool policies_match_enumerators() {
+  for (std::size_t i = 0; i < AttestedChannel::kNumPayloadKinds; ++i) {
+    if (static_cast<std::size_t>(AttestedChannel::kKindPolicies[i].kind) != i) {
+      return false;
+    }
+  }
+  return true;
+}
+static_assert(policies_match_enumerators(),
+              "kKindPolicies rows must be ordered by enumerator value");
+
 }  // namespace
+
+const char* AttestedChannel::kind_name(PayloadKind k) {
+  switch (k) {
+    case PayloadKind::kEmbeddings:
+      return "embeddings";
+    case PayloadKind::kLabels:
+      return "labels";
+    case PayloadKind::kRequest:
+      return "request";
+    case PayloadKind::kPackage:
+      return "package";
+    case PayloadKind::kTransfer:
+      return "transfer";
+  }
+  return "?";
+}
 
 std::size_t AttestedChannel::pad_bucket(std::size_t n) {
   std::size_t b = 64;
@@ -106,12 +135,9 @@ void AttestedChannel::rebind(const Enclave& dead, Enclave& fresh,
   ++handshake_generation_;  // genuinely retires the old session key
   handshake();
   std::lock_guard<std::mutex> lock(mu_);
-  for (int i = 0; i < 2; ++i) {
-    embeddings_to_[i].clear();
-    labels_to_[i].clear();
-    packages_to_[i].clear();
-    requests_to_[i].clear();
-    transfers_to_[i].clear();
+  GV_RANK_SCOPE(lockrank::kChannel);
+  for (auto& per_kind : queue_to_) {
+    for (auto& q : per_kind) q.clear();
   }
 }
 
@@ -139,6 +165,52 @@ std::vector<std::uint8_t> AttestedChannel::decrypt(const Enclave& to,
   return aead_decrypt(session_key_, blob.nonce, blob.ciphertext, {}, blob.tag);
 }
 
+void AttestedChannel::send_block(const Enclave& from, PayloadKind kind,
+                                 std::vector<std::uint8_t> payload,
+                                 std::size_t logical) {
+  if (policy(kind).pad == PadPolicy::kBucket) {
+    // Cardinality hiding: the untrusted relay must not learn how many
+    // boundary rows / frontier ids / moved nodes a block carries from its
+    // size, so bucket-padded kinds seal a power-of-two-sized plaintext
+    // (explicit count fields keep the receiver's parse exact).
+    payload.resize(pad_bucket(payload.size()), 0);
+  }
+
+  const int to = 1 - endpoint_index(from);
+  Sealed blob = encrypt(from, payload);
+  // Leaving the sender is an OCALL-shaped transition; entering the receiver
+  // is an MEE-encrypted copy (charged now; the recv pop is in-enclave work).
+  const_cast<Enclave&>(from).charge_ocall();
+  (to == 0 ? a_ : b_)->copy_in(payload.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  GV_RANK_SCOPE(lockrank::kChannel);
+  queue_to_[static_cast<std::size_t>(kind)][to].push_back(std::move(blob));
+  kind_bytes_[static_cast<std::size_t>(kind)] += logical;
+  padded_bytes_ += payload.size();
+  ++blocks_;
+}
+
+std::vector<std::uint8_t> AttestedChannel::pop_block(const Enclave& to,
+                                                     PayloadKind kind,
+                                                     const char* what) {
+  Sealed blob;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    GV_RANK_SCOPE(lockrank::kChannel);
+    auto& q = queue_to_[static_cast<std::size_t>(kind)][endpoint_index(to)];
+    GV_CHECK(!q.empty(), what);
+    blob = std::move(q.front());
+    q.pop_front();
+  }
+  return decrypt(to, blob);
+}
+
+bool AttestedChannel::has_block(const Enclave& to, PayloadKind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  GV_RANK_SCOPE(lockrank::kChannel);
+  return !queue_to_[static_cast<std::size_t>(kind)][endpoint_index(to)].empty();
+}
+
 void AttestedChannel::send_embeddings(const Enclave& from,
                                       std::vector<std::uint32_t> nodes,
                                       Matrix rows) {
@@ -151,36 +223,13 @@ void AttestedChannel::send_embeddings(const Enclave& from,
   const auto* fp = reinterpret_cast<const std::uint8_t*>(rows.data());
   payload.insert(payload.end(), fp, fp + rows.payload_bytes());
 
-  // Cut-cardinality hiding: the untrusted relay must not learn how many
-  // boundary rows crossed from the block size, so the sealed block is
-  // padded to a power-of-two bucket (the explicit count field keeps the
-  // receiver's parse exact).
   const std::size_t logical = payload.size();
-  payload.resize(pad_bucket(logical), 0);
-
-  const int to = 1 - endpoint_index(from);
-  Sealed blob = encrypt(from, payload);
-  // Leaving the sender is an OCALL-shaped transition; entering the receiver
-  // is an MEE-encrypted copy (charged now; the recv pop is in-enclave work).
-  const_cast<Enclave&>(from).charge_ocall();
-  (to == 0 ? a_ : b_)->copy_in(payload.size());
-  std::lock_guard<std::mutex> lock(mu_);
-  embeddings_to_[to].push_back(std::move(blob));
-  embedding_bytes_ += logical;
-  padded_bytes_ += payload.size();
-  ++blocks_;
+  send_block(from, PayloadKind::kEmbeddings, std::move(payload), logical);
 }
 
 AttestedChannel::EmbeddingBlock AttestedChannel::recv_embeddings(const Enclave& to) {
-  Sealed blob;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto& q = embeddings_to_[endpoint_index(to)];
-    GV_CHECK(!q.empty(), "no pending embedding block on attested channel");
-    blob = std::move(q.front());
-    q.pop_front();
-  }
-  const auto payload = decrypt(to, blob);
+  const auto payload = pop_block(to, PayloadKind::kEmbeddings,
+                                 "no pending embedding block on attested channel");
   std::size_t off = 0;
   EmbeddingBlock out;
   const std::uint32_t count = get_u32(payload, off);
@@ -197,8 +246,7 @@ AttestedChannel::EmbeddingBlock AttestedChannel::recv_embeddings(const Enclave& 
 }
 
 bool AttestedChannel::has_embeddings(const Enclave& to) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return !embeddings_to_[endpoint_index(to)].empty();
+  return has_block(to, PayloadKind::kEmbeddings);
 }
 
 void AttestedChannel::send_labels(const Enclave& from,
@@ -211,27 +259,13 @@ void AttestedChannel::send_labels(const Enclave& from,
   for (const auto v : nodes) put_u32(payload, v);
   for (const auto l : labels) put_u32(payload, l);
 
-  const int to = 1 - endpoint_index(from);
-  Sealed blob = encrypt(from, payload);
-  const_cast<Enclave&>(from).charge_ocall();
-  (to == 0 ? a_ : b_)->copy_in(payload.size());
-  std::lock_guard<std::mutex> lock(mu_);
-  labels_to_[to].push_back(std::move(blob));
-  label_bytes_ += payload.size();
-  padded_bytes_ += payload.size();  // whole-store blocks: size is public
-  ++blocks_;
+  const std::size_t logical = payload.size();
+  send_block(from, PayloadKind::kLabels, std::move(payload), logical);
 }
 
 AttestedChannel::LabelBlock AttestedChannel::recv_labels(const Enclave& to) {
-  Sealed blob;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto& q = labels_to_[endpoint_index(to)];
-    GV_CHECK(!q.empty(), "no pending label block on attested channel");
-    blob = std::move(q.front());
-    q.pop_front();
-  }
-  const auto payload = decrypt(to, blob);
+  const auto payload = pop_block(to, PayloadKind::kLabels,
+                                 "no pending label block on attested channel");
   std::size_t off = 0;
   LabelBlock out;
   const std::uint32_t count = get_u32(payload, off);
@@ -244,8 +278,7 @@ AttestedChannel::LabelBlock AttestedChannel::recv_labels(const Enclave& to) {
 }
 
 bool AttestedChannel::has_labels(const Enclave& to) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return !labels_to_[endpoint_index(to)].empty();
+  return has_block(to, PayloadKind::kLabels);
 }
 
 void AttestedChannel::send_request(const Enclave& from,
@@ -259,32 +292,14 @@ void AttestedChannel::send_request(const Enclave& from,
   // trailer is sealed alongside it but is telemetry, not frontier bytes.
   const std::size_t logical = payload.size();
   put_u64(payload, query_id);
-  // Frontier-width hiding: pad like embeddings, so a cold query's halo-pull
-  // block sizes do not reveal how wide its private frontier is.
-  payload.resize(pad_bucket(payload.size()), 0);
 
-  const int to = 1 - endpoint_index(from);
-  Sealed blob = encrypt(from, payload);
-  const_cast<Enclave&>(from).charge_ocall();
-  (to == 0 ? a_ : b_)->copy_in(payload.size());
-  std::lock_guard<std::mutex> lock(mu_);
-  requests_to_[to].push_back(std::move(blob));
-  request_bytes_ += logical;
-  padded_bytes_ += payload.size();
-  ++blocks_;
+  send_block(from, PayloadKind::kRequest, std::move(payload), logical);
 }
 
 std::vector<std::uint32_t> AttestedChannel::recv_request(const Enclave& to,
                                                          std::uint64_t* query_id) {
-  Sealed blob;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto& q = requests_to_[endpoint_index(to)];
-    GV_CHECK(!q.empty(), "no pending halo request on attested channel");
-    blob = std::move(q.front());
-    q.pop_front();
-  }
-  const auto payload = decrypt(to, blob);
+  const auto payload = pop_block(to, PayloadKind::kRequest,
+                                 "no pending halo request on attested channel");
   std::size_t off = 0;
   const std::uint32_t count = get_u32(payload, off);
   std::vector<std::uint32_t> nodes;
@@ -297,67 +312,36 @@ std::vector<std::uint32_t> AttestedChannel::recv_request(const Enclave& to,
 }
 
 bool AttestedChannel::has_request(const Enclave& to) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return !requests_to_[endpoint_index(to)].empty();
+  return has_block(to, PayloadKind::kRequest);
 }
 
 void AttestedChannel::send_package(const Enclave& from,
                                    std::vector<std::uint8_t> payload) {
-  const int to = 1 - endpoint_index(from);
-  Sealed blob = encrypt(from, payload);
-  const_cast<Enclave&>(from).charge_ocall();
-  (to == 0 ? a_ : b_)->copy_in(payload.size());
-  std::lock_guard<std::mutex> lock(mu_);
-  packages_to_[to].push_back(std::move(blob));
-  package_bytes_ += payload.size();
-  padded_bytes_ += payload.size();  // whole-package blocks: size is public
-  ++blocks_;
+  const std::size_t logical = payload.size();
+  send_block(from, PayloadKind::kPackage, std::move(payload), logical);
 }
 
 std::vector<std::uint8_t> AttestedChannel::recv_package(const Enclave& to) {
-  Sealed blob;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto& q = packages_to_[endpoint_index(to)];
-    GV_CHECK(!q.empty(), "no pending package on attested channel");
-    blob = std::move(q.front());
-    q.pop_front();
-  }
-  return decrypt(to, blob);
+  return pop_block(to, PayloadKind::kPackage,
+                   "no pending package on attested channel");
 }
 
 void AttestedChannel::send_transfer(const Enclave& from,
                                     std::vector<std::uint8_t> payload) {
   // The payload is opaque to the channel, so the logical length is framed
-  // inside the sealed block before move-set-size-hiding bucket padding.
+  // inside the sealed block ahead of the bucket padding send_block applies.
   std::vector<std::uint8_t> framed;
   framed.reserve(4 + payload.size());
   put_u32(framed, static_cast<std::uint32_t>(payload.size()));
   framed.insert(framed.end(), payload.begin(), payload.end());
   const std::size_t logical = payload.size();
-  framed.resize(pad_bucket(framed.size()), 0);
 
-  const int to = 1 - endpoint_index(from);
-  Sealed blob = encrypt(from, framed);
-  const_cast<Enclave&>(from).charge_ocall();
-  (to == 0 ? a_ : b_)->copy_in(framed.size());
-  std::lock_guard<std::mutex> lock(mu_);
-  transfers_to_[to].push_back(std::move(blob));
-  transfer_bytes_ += logical;
-  padded_bytes_ += framed.size();
-  ++blocks_;
+  send_block(from, PayloadKind::kTransfer, std::move(framed), logical);
 }
 
 std::vector<std::uint8_t> AttestedChannel::recv_transfer(const Enclave& to) {
-  Sealed blob;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto& q = transfers_to_[endpoint_index(to)];
-    GV_CHECK(!q.empty(), "no pending node transfer on attested channel");
-    blob = std::move(q.front());
-    q.pop_front();
-  }
-  const auto framed = decrypt(to, blob);
+  const auto framed = pop_block(to, PayloadKind::kTransfer,
+                                "no pending node transfer on attested channel");
   std::size_t off = 0;
   const std::uint32_t len = get_u32(framed, off);
   GV_CHECK(off + len <= framed.size(), "node transfer size mismatch");
@@ -366,59 +350,50 @@ std::vector<std::uint8_t> AttestedChannel::recv_transfer(const Enclave& to) {
 }
 
 bool AttestedChannel::has_transfer(const Enclave& to) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return !transfers_to_[endpoint_index(to)].empty();
-}
-
-std::uint64_t AttestedChannel::embedding_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return embedding_bytes_;
-}
-
-std::uint64_t AttestedChannel::label_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return label_bytes_;
-}
-
-std::uint64_t AttestedChannel::package_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return package_bytes_;
+  return has_block(to, PayloadKind::kTransfer);
 }
 
 void AttestedChannel::drop_pending() {
   std::lock_guard<std::mutex> lock(mu_);
-  for (int i = 0; i < 2; ++i) {
-    embeddings_to_[i].clear();
-    labels_to_[i].clear();
-    packages_to_[i].clear();
-    requests_to_[i].clear();
-    transfers_to_[i].clear();
+  GV_RANK_SCOPE(lockrank::kChannel);
+  for (auto& per_kind : queue_to_) {
+    for (auto& q : per_kind) q.clear();
   }
 }
 
-std::uint64_t AttestedChannel::request_bytes() const {
+std::uint64_t AttestedChannel::kind_bytes(PayloadKind k) const {
   std::lock_guard<std::mutex> lock(mu_);
-  return request_bytes_;
-}
-
-std::uint64_t AttestedChannel::transfer_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return transfer_bytes_;
+  GV_RANK_SCOPE(lockrank::kChannel);
+  // Per-kind audit cases (paired with kind_name(); vault_lint's
+  // channel-kind check keys on these).
+  switch (k) {
+    case PayloadKind::kEmbeddings:
+    case PayloadKind::kLabels:
+    case PayloadKind::kRequest:
+    case PayloadKind::kPackage:
+    case PayloadKind::kTransfer:
+      return kind_bytes_[static_cast<std::size_t>(k)];
+  }
+  throw Error("unknown attested-channel payload kind");
 }
 
 std::uint64_t AttestedChannel::total_payload_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return embedding_bytes_ + label_bytes_ + package_bytes_ + request_bytes_ +
-         transfer_bytes_;
+  GV_RANK_SCOPE(lockrank::kChannel);
+  std::uint64_t total = 0;
+  for (const auto b : kind_bytes_) total += b;
+  return total;
 }
 
 std::uint64_t AttestedChannel::padded_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
+  GV_RANK_SCOPE(lockrank::kChannel);
   return padded_bytes_;
 }
 
 std::uint64_t AttestedChannel::blocks_sent() const {
   std::lock_guard<std::mutex> lock(mu_);
+  GV_RANK_SCOPE(lockrank::kChannel);
   return blocks_;
 }
 

@@ -10,9 +10,14 @@
 #include <span>
 #include <vector>
 
+#include "common/annotations.hpp"
+
 namespace gv {
 
-using AeadKey = std::array<std::uint8_t, 32>;
+/// AEAD keys are secrets wherever they appear in src/ (sealing keys,
+/// attested-channel session keys); the annotation makes every local or
+/// member of this type secret by construction.
+using AeadKey GV_SECRET = std::array<std::uint8_t, 32>;
 using AeadNonce = std::array<std::uint8_t, 12>;
 using AeadTag = std::array<std::uint8_t, 16>;
 

@@ -13,6 +13,7 @@
 #include <memory>
 #include <mutex>
 
+#include "common/annotations.hpp"
 #include "common/error.hpp"
 #include "sgxsim/enclave.hpp"
 #include "tensor/matrix.hpp"
@@ -59,10 +60,12 @@ class OneWayChannel {
 
   std::uint64_t total_blocks_pushed() const {
     std::lock_guard<std::mutex> lock(mu_);
+    GV_RANK_SCOPE(lockrank::kChannel);
     return pushed_;
   }
   std::uint64_t total_bytes_pushed() const {
     std::lock_guard<std::mutex> lock(mu_);
+    GV_RANK_SCOPE(lockrank::kChannel);
     return bytes_;
   }
 
@@ -71,7 +74,8 @@ class OneWayChannel {
   friend class TrustedReceiver;
 
   Enclave* enclave_;
-  mutable std::mutex mu_;  // guards queue_, staged_bytes_, and the counters
+  // Guards queue_, staged_bytes_, and the counters.
+  mutable std::mutex mu_ GV_LOCK_RANK(gv::lockrank::kChannel);
   std::deque<Matrix> queue_;
   std::size_t staged_bytes_ = 0;
   std::uint64_t pushed_ = 0;

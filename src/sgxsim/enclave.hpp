@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
 #include "obs/trace.hpp"
@@ -58,21 +59,24 @@ class MemoryLedger {
 
   std::size_t current_bytes() const {
     std::lock_guard<std::mutex> lock(*mu_);
+    GV_RANK_SCOPE(lockrank::kChannel);
     return current_;
   }
   std::size_t peak_bytes() const {
     std::lock_guard<std::mutex> lock(*mu_);
+    GV_RANK_SCOPE(lockrank::kChannel);
     return peak_;
   }
   std::size_t live_allocations() const {
     std::lock_guard<std::mutex> lock(*mu_);
+    GV_RANK_SCOPE(lockrank::kChannel);
     return live_.size();
   }
 
  private:
   // Owned via pointer so the ledger (and the enclave holding it) stays
   // movable.
-  mutable std::unique_ptr<std::mutex> mu_;
+  mutable std::unique_ptr<std::mutex> mu_ GV_LOCK_RANK(gv::lockrank::kChannel);
   std::unordered_map<std::string, std::size_t> live_;
   std::size_t current_ = 0;
   std::size_t peak_ = 0;
@@ -87,7 +91,7 @@ struct SealedBlob {
   std::size_t size_bytes() const { return ciphertext.size() + nonce.size() + tag.size(); }
 };
 
-class Enclave {
+class GV_ENCLAVE Enclave {
  public:
   /// `platform_key` models the CPU's fused sealing key: blobs sealed on one
   /// platform cannot be unsealed on another.
@@ -125,8 +129,10 @@ class Enclave {
     // outlive the enclave — so every slice is still named "ecall".
     TraceSpan span(trace_category_, "ecall");
     std::lock_guard<std::mutex> entry(*entry_mu_);
+    GV_RANK_SCOPE(lockrank::kEnclaveEntry);
     {
       std::lock_guard<std::mutex> m(*meter_mu_);
+      GV_RANK_SCOPE(lockrank::kEnclaveMeter);
       ++meter_.ecalls;
       if (injected_faults_ > 0) {
         --injected_faults_;
@@ -153,6 +159,7 @@ class Enclave {
   /// fence + promote path an explicit kill takes.
   void inject_ecall_failure(std::string message, std::size_t count = 1) {
     std::lock_guard<std::mutex> m(*meter_mu_);
+    GV_RANK_SCOPE(lockrank::kEnclaveMeter);
     injected_fault_message_ = std::move(message);
     injected_faults_ = count;
   }
@@ -160,12 +167,14 @@ class Enclave {
   /// Charge an OCALL (enclave -> untrusted transition), e.g. for paging.
   void charge_ocall() {
     std::lock_guard<std::mutex> m(*meter_mu_);
+    GV_RANK_SCOPE(lockrank::kEnclaveMeter);
     ++meter_.ocalls;
   }
 
   /// Account a copy of `bytes` from untrusted memory into the enclave.
   void copy_in(std::size_t bytes) {
     std::lock_guard<std::mutex> m(*meter_mu_);
+    GV_RANK_SCOPE(lockrank::kEnclaveMeter);
     meter_.bytes_in += bytes;
   }
 
@@ -173,6 +182,7 @@ class Enclave {
   /// any untrusted thread.
   void add_untrusted_seconds(double seconds) {
     std::lock_guard<std::mutex> m(*meter_mu_);
+    GV_RANK_SCOPE(lockrank::kEnclaveMeter);
     meter_.untrusted_compute_seconds += seconds;
   }
 
@@ -184,6 +194,7 @@ class Enclave {
   /// threads are mid-ecall (the raw meter() references are unsynchronized).
   CostMeter meter_snapshot() const {
     std::lock_guard<std::mutex> m(*meter_mu_);
+    GV_RANK_SCOPE(lockrank::kEnclaveMeter);
     return meter_;
   }
 
@@ -193,13 +204,15 @@ class Enclave {
   // --- Sealing. ----------------------------------------------------------
   /// Seal data under key = HMAC(platform_key, measurement). Deterministic
   /// nonce derivation from a per-enclave counter.
-  SealedBlob seal(std::span<const std::uint8_t> plaintext);
+  SealedBlob seal(std::span<const std::uint8_t> plaintext) GV_BOUNDARY_OK;
   /// Unseal; throws gv::Error if the blob was sealed by a different
   /// enclave identity or platform, or was tampered with.
   std::vector<std::uint8_t> unseal(const SealedBlob& blob);
 
   /// A local-attestation style report: MAC over (measurement || user_data).
-  struct Report {
+  /// Crosses the enclave boundary by value — GV_ECALL_ABI keeps it free of
+  /// host pointers so a real SGX port could marshal it through an EDL.
+  struct GV_ECALL_ABI Report {
     Sha256Digest measurement;
     Sha256Digest user_data_hash;
     Sha256Digest mac;
@@ -215,14 +228,14 @@ class Enclave {
   /// seconds this ecall added (transition + scaled compute + paging) for
   /// the trace span's second clock.
   double finish_ecall(double wall_seconds);
-  AeadKey sealing_key() const;
+  AeadKey sealing_key() const GV_SECRET;
 
   std::string name_;
   /// Recorder-interned copy of name_, safe to reference from trace events
   /// after this enclave is destroyed (set once in the constructor).
   const char* trace_category_ = "enclave";
   SgxCostModel model_;
-  Sha256Digest platform_key_;
+  GV_SECRET Sha256Digest platform_key_;
   Sha256 measurement_hasher_;
   Sha256Digest measurement_{};
   bool initialized_ = false;
@@ -236,8 +249,10 @@ class Enclave {
   // Owned via pointers so the enclave stays movable. `entry_mu_` serializes
   // ecall entry; `meter_mu_` guards meter mutations that may come from
   // untrusted threads while another thread is inside an ecall.
-  std::unique_ptr<std::mutex> entry_mu_ = std::make_unique<std::mutex>();
-  std::unique_ptr<std::mutex> meter_mu_ = std::make_unique<std::mutex>();
+  std::unique_ptr<std::mutex> entry_mu_ GV_LOCK_RANK(gv::lockrank::kEnclaveEntry) =
+      std::make_unique<std::mutex>();
+  std::unique_ptr<std::mutex> meter_mu_ GV_LOCK_RANK(gv::lockrank::kEnclaveMeter) =
+      std::make_unique<std::mutex>();
 };
 
 }  // namespace gv

@@ -76,6 +76,7 @@ void ReplicaManager::replicate_one(std::uint32_t shard) {
   // keeps whatever it replicated last (and its stamps fail safe).
   if (!primary_->shard_alive(shard)) return;
   std::lock_guard<std::mutex> slot(rep.mu);
+  GV_RANK_SCOPE(lockrank::kReplicaSlot);
   // Primary side: package (and labels when available) leave the primary
   // enclave only through the attested channel.  Capture the epoch and
   // topology version BEFORE the send: if a refresh / graph update lands
@@ -113,7 +114,8 @@ void ReplicaManager::replicate_one(std::uint32_t shard) {
 }
 
 void ReplicaManager::replicate_all() {
-  std::lock_guard<std::mutex> lock(replicate_mu_);
+  MutexLock lock(replicate_mu_);
+  GV_RANK_SCOPE(lockrank::kReplicate);
   for (std::uint32_t s = 0; s < replicas_.size(); ++s) replicate_one(s);
 }
 
@@ -132,7 +134,8 @@ bool ReplicaManager::ready(std::uint32_t shard) const {
 }
 
 void ReplicaManager::sync_labels() {
-  std::lock_guard<std::mutex> lock(replicate_mu_);
+  MutexLock lock(replicate_mu_);
+  GV_RANK_SCOPE(lockrank::kReplicate);
   sync_labels_locked();
 }
 
@@ -147,6 +150,7 @@ void ReplicaManager::sync_labels_locked() {
     // fresh (the stale bits do not travel); skip until it heals.
     if (primary_->stale_store_entries(s) > 0) continue;
     std::lock_guard<std::mutex> slot(rep.mu);
+    GV_RANK_SCOPE(lockrank::kReplicaSlot);
     const std::uint64_t epoch = primary_->refresh_epoch();
     primary_->send_labels(s, *rep.channel);
     rep.enclave->ecall([&] {
@@ -193,7 +197,8 @@ double ReplicaManager::promote(std::uint32_t shard,
   // background restaff.
   const auto promo_start = std::chrono::steady_clock::now();
   // Promotion must not race replication traffic into the same enclave.
-  std::lock_guard<std::mutex> lock(replicate_mu_);
+  MutexLock lock(replicate_mu_);
+  GV_RANK_SCOPE(lockrank::kReplicate);
   try {
     // Warm-adoption fast path: when the standby's replicated label store
     // was synced at the CURRENT refresh epoch, it is bit-identical to what
@@ -208,6 +213,7 @@ double ReplicaManager::promote(std::uint32_t shard,
       // went up: the slot's enclave/labels must not be consumed under a
       // reader.  Released before the (possibly long) re-materialization.
       std::lock_guard<std::mutex> slot(rep.mu);
+      GV_RANK_SCOPE(lockrank::kReplicaSlot);
       // Relaunch from the RE-SEALED package: the blob opens only inside
       // this standby enclave (sealing binds to the standby platform fuse
       // key), so this is exactly the restart-from-local-sealed-storage
@@ -280,6 +286,7 @@ double ReplicaManager::promote(std::uint32_t shard,
     rep.ready.store(rep.enclave != nullptr);
     {
       std::lock_guard<std::mutex> state_lock(promote_mu_);
+      GV_RANK_SCOPE(lockrank::kReplicaSlot);
       rep.state.store(ReplicaState::kStandby);
     }
     promote_cv_.notify_all();
@@ -287,6 +294,7 @@ double ReplicaManager::promote(std::uint32_t shard,
   }
   {
     std::lock_guard<std::mutex> state_lock(promote_mu_);
+    GV_RANK_SCOPE(lockrank::kReplicaSlot);
     rep.state.store(ReplicaState::kPrimary);
   }
   promote_cv_.notify_all();
@@ -323,13 +331,15 @@ bool ReplicaManager::await_promotion(std::uint32_t shard,
   GV_CHECK(shard < replicas_.size(), "shard index out of range");
   const Replica& rep = *replicas_[shard];
   std::unique_lock<std::mutex> lock(promote_mu_);
+  GV_RANK_SCOPE(lockrank::kReplicaSlot);
   return promote_cv_.wait_for(lock, timeout, [&] {
     return rep.state.load() != ReplicaState::kPromoting;
   });
 }
 
 void ReplicaManager::restaff(std::uint32_t shard, const Sha256Digest& platform_key) {
-  std::lock_guard<std::mutex> lock(replicate_mu_);
+  MutexLock lock(replicate_mu_);
+  GV_RANK_SCOPE(lockrank::kReplicate);
   restaff_locked(shard, platform_key);
 }
 
@@ -346,6 +356,7 @@ void ReplicaManager::restaff_locked(std::uint32_t shard,
   GV_CHECK(primary_->shard_alive(shard),
            "restaff requires the shard's primary to be alive");
   std::lock_guard<std::mutex> slot(rep.mu);
+  GV_RANK_SCOPE(lockrank::kReplicaSlot);
   rep.platform_key = platform_key;
   rep.enclave = primary_->make_peer_enclave(shard, platform_key);
   rep.channel = std::make_unique<AttestedChannel>(
@@ -359,6 +370,7 @@ void ReplicaManager::restaff_locked(std::uint32_t shard,
   rep.ready.store(false);
   {
     std::lock_guard<std::mutex> state_lock(promote_mu_);
+    GV_RANK_SCOPE(lockrank::kReplicaSlot);
     rep.state.store(ReplicaState::kStandby);
   }
 }
@@ -371,6 +383,7 @@ std::vector<std::uint32_t> ReplicaManager::lookup(std::uint32_t shard,
   // Slot lock: a promotion that won the race must not consume the enclave
   // or label store from under this reader.
   std::lock_guard<std::mutex> slot(rep.mu);
+  GV_RANK_SCOPE(lockrank::kReplicaSlot);
   GV_CHECK(rep.state.load() == ReplicaState::kStandby,
            std::string("replica is ") + replica_state_name(rep.state.load()) +
                "; lookups are served by the shard enclave");

@@ -48,6 +48,7 @@
 #include <span>
 #include <vector>
 
+#include "common/thread_safety.hpp"
 #include "shard/sharded_deployment.hpp"
 
 namespace gv {
@@ -151,7 +152,7 @@ class ReplicaManager {
     /// Guards the slot's non-atomic state (enclave, channel, payload,
     /// labels, sealed) against a lookup racing the promotion that consumes
     /// them; never held across rematerialize.
-    std::mutex mu;
+    std::mutex mu GV_LOCK_RANK(gv::lockrank::kReplicaSlot);
     std::unique_ptr<Enclave> enclave;
     std::unique_ptr<AttestedChannel> channel;  // primary <-> standby
     std::atomic<bool> ready{false};
@@ -167,23 +168,27 @@ class ReplicaManager {
     Sha256Digest platform_key{};
     // Enclave-held state (only touched inside ecalls):
     ShardPayload payload;
-    std::vector<std::uint32_t> labels;
+    GV_SECRET std::vector<std::uint32_t> labels;
     SealedBlob sealed;
   };
 
-  void replicate_one(std::uint32_t shard);
+  /// Replicates one shard; caller holds replicate_mu_ (promotion and the
+  /// replication pass must not interleave traffic into the same enclave).
+  void replicate_one(std::uint32_t shard) GV_REQUIRES(replicate_mu_);
   /// sync_labels body; caller holds replicate_mu_.
-  void sync_labels_locked();
+  void sync_labels_locked() GV_REQUIRES(replicate_mu_);
   /// restaff body; caller holds replicate_mu_.
-  void restaff_locked(std::uint32_t shard, const Sha256Digest& platform_key);
+  void restaff_locked(std::uint32_t shard, const Sha256Digest& platform_key)
+      GV_REQUIRES(replicate_mu_);
 
   ShardedVaultDeployment* primary_;
   ReplicaConfig cfg_;
   std::vector<std::unique_ptr<Replica>> replicas_;
   std::atomic<std::uint64_t> restaffs_{0};
   std::future<void> pending_;
-  std::mutex replicate_mu_;  // serializes replicate_all / sync_labels / promote
-  mutable std::mutex promote_mu_;
+  // Serializes replicate_all / sync_labels / promote.
+  Mutex replicate_mu_ GV_LOCK_RANK(gv::lockrank::kReplicate);
+  mutable std::mutex promote_mu_ GV_LOCK_RANK(gv::lockrank::kReplicaSlot);
   mutable std::condition_variable promote_cv_;
 };
 

@@ -279,6 +279,7 @@ void ShardedVaultDeployment::adopt_shard(std::uint32_t shard,
            "adoption requires a live, initialized enclave");
   GV_CHECK(payload.shard_index == shard, "payload belongs to a different shard");
   std::lock_guard<std::mutex> lock(*infer_mu_);  // exclude a concurrent refresh
+  GV_RANK_SCOPE(lockrank::kDeployment);
   Shard& sh = *shards_[shard];
   GV_CHECK(!sh.alive.load(), "only a dead shard can adopt a promoted replica");
   // A package replicated before a graph update or migration describes a
@@ -314,6 +315,7 @@ void ShardedVaultDeployment::adopt_shard(std::uint32_t shard,
   // a hard handoff, not a timing assumption.  The dead enclave object is
   // still retired (never destroyed) out of an abundance of caution.
   std::unique_lock<std::shared_mutex> access(sh.access_mu);
+  GV_RANK_SCOPE(lockrank::kShardAccess);
   retired_enclaves_.push_back(std::move(sh.enclave));
   sh.enclave = std::move(enclave);
   sh.stream = std::make_unique<OneWayChannel>(*sh.enclave);
@@ -379,6 +381,7 @@ void ShardedVaultDeployment::notify_pending_fault() {
   std::function<void(std::uint32_t)> handler;
   {
     std::lock_guard<std::mutex> lock(*handler_mu_);
+    GV_RANK_SCOPE(lockrank::kMoveFence);
     handler = failure_handler_;
   }
   if (handler) handler(shard);
@@ -395,6 +398,7 @@ void ShardedVaultDeployment::on_enclave_failure(std::uint32_t shard) {
   std::function<void(std::uint32_t)> handler;
   {
     std::lock_guard<std::mutex> lock(*handler_mu_);
+    GV_RANK_SCOPE(lockrank::kMoveFence);
     handler = failure_handler_;
   }
   if (handler) handler(shard);
@@ -403,17 +407,20 @@ void ShardedVaultDeployment::on_enclave_failure(std::uint32_t shard) {
 void ShardedVaultDeployment::set_shard_failure_handler(
     std::function<void(std::uint32_t)> handler) {
   std::lock_guard<std::mutex> lock(*handler_mu_);
+  GV_RANK_SCOPE(lockrank::kMoveFence);
   failure_handler_ = std::move(handler);
 }
 
 std::size_t ShardedVaultDeployment::num_nodes() const {
   std::lock_guard<std::mutex> lock(*owner_mu_);
+  GV_RANK_SCOPE(lockrank::kMoveFence);
   return owner_map_->size();
 }
 
 std::shared_ptr<const std::vector<std::uint32_t>>
 ShardedVaultDeployment::owner_snapshot() const {
   std::lock_guard<std::mutex> lock(*owner_mu_);
+  GV_RANK_SCOPE(lockrank::kMoveFence);
   return owner_map_;
 }
 
@@ -421,6 +428,7 @@ void ShardedVaultDeployment::publish_owner_map() {
   auto fresh = std::make_shared<const std::vector<std::uint32_t>>(plan_.owner);
   {
     std::lock_guard<std::mutex> lock(*owner_mu_);
+    GV_RANK_SCOPE(lockrank::kMoveFence);
     owner_map_ = std::move(fresh);
   }
   ownership_epoch_.fetch_add(1);
@@ -431,6 +439,7 @@ bool ShardedVaultDeployment::await_moves(
     std::chrono::milliseconds timeout) const {
   if (moving_count_.load() == 0) return true;  // fast path: nothing in flight
   std::unique_lock<std::mutex> lock(*move_mu_);
+  GV_RANK_SCOPE(lockrank::kMoveFence);
   return move_cv_->wait_for(lock, timeout, [&] {
     if (update_fence_) return false;
     for (const auto v : nodes) {
@@ -451,6 +460,7 @@ std::vector<char> ShardedVaultDeployment::stale_mask(
   Shard& sh = *shards_[shard];
   try {
     std::shared_lock<std::shared_mutex> access(sh.access_mu);
+    GV_RANK_SCOPE(lockrank::kShardAccess);
     GV_CHECK(sh.alive, "shard enclave is down");
     return sh.enclave->ecall([&] {
       std::vector<char> mask(nodes.size(), 0);
@@ -552,6 +562,7 @@ void ShardedVaultDeployment::stream_backbone_rows(const std::vector<Matrix>& out
 
 void ShardedVaultDeployment::refresh(const CsrMatrix& features) {
   std::lock_guard<std::mutex> lock(*infer_mu_);
+  GV_RANK_SCOPE(lockrank::kDeployment);
   TraceSpan refresh_span("fleet", "refresh");
   const double refresh_parallel_before = parallel_seconds_.load();
   for (const auto& sh : shards_) {
@@ -743,6 +754,7 @@ std::vector<std::uint32_t> ShardedVaultDeployment::lookup(
   // Shared with other lookups, exclusive against adopt_shard's swap of the
   // enclave + stores this function reads.
   std::shared_lock<std::shared_mutex> access(sh.access_mu);
+  GV_RANK_SCOPE(lockrank::kShardAccess);
   GV_CHECK(sh.alive, "shard enclave is down");
   GV_CHECK(refreshed_, "lookup before the first refresh");
   const double before = meter_seconds(sh);
@@ -839,6 +851,7 @@ void ShardedVaultDeployment::install_labels(std::uint32_t shard,
                                             std::vector<std::uint32_t> labels) {
   GV_CHECK(shard < plan_.num_shards, "shard index out of range");
   std::lock_guard<std::mutex> lock(*infer_mu_);
+  GV_RANK_SCOPE(lockrank::kDeployment);
   Shard& sh = *shards_[shard];
   GV_CHECK(sh.alive.load(), "cannot install labels into a dead shard");
   sh.enclave->ecall([&] {
@@ -853,6 +866,7 @@ void ShardedVaultDeployment::install_labels(std::uint32_t shard,
 
 void ShardedVaultDeployment::drop_backbone_cache() {
   std::lock_guard<std::mutex> lock(*infer_mu_);
+  GV_RANK_SCOPE(lockrank::kDeployment);
   bb_cache_.clear();
   have_bb_cache_ = false;
 }
@@ -869,6 +883,7 @@ std::vector<std::uint32_t> ShardedVaultDeployment::infer_labels_subset_cold(
     std::span<const std::uint32_t> nodes, ColdSubsetStats* stats) {
   try {
     std::lock_guard<std::mutex> lock(*infer_mu_);
+    GV_RANK_SCOPE(lockrank::kDeployment);
     ColdSubsetStats local;
     return cold_forward(features, fingerprint, nodes,
                         stats != nullptr ? stats : &local, kNoRetain,
@@ -886,6 +901,7 @@ void ShardedVaultDeployment::rematerialize_shard(std::uint32_t shard,
                                                  const CsrMatrix& features) {
   GV_CHECK(shard < plan_.num_shards, "shard index out of range");
   std::lock_guard<std::mutex> lock(*infer_mu_);
+  GV_RANK_SCOPE(lockrank::kDeployment);
   Shard& sh = *shards_[shard];
   GV_CHECK(sh.alive.load(), "cannot re-materialize a dead shard");
   GV_CHECK(refreshed_.load(),
@@ -906,6 +922,7 @@ void ShardedVaultDeployment::rebuild_boundary_retained(std::uint32_t shard,
                                                        const CsrMatrix& features) {
   GV_CHECK(shard < plan_.num_shards, "shard index out of range");
   std::lock_guard<std::mutex> lock(*infer_mu_);
+  GV_RANK_SCOPE(lockrank::kDeployment);
   Shard& sh = *shards_[shard];
   GV_CHECK(sh.alive.load(), "cannot rebuild retained stores of a dead shard");
   GV_CHECK(refreshed_.load(),
@@ -931,6 +948,7 @@ GraphUpdateStats ShardedVaultDeployment::update_graph(
     const GraphDelta& delta, const CsrMatrix* features_after,
     const std::function<void()>& before_unfence) {
   std::lock_guard<std::mutex> lock(*infer_mu_);
+  GV_RANK_SCOPE(lockrank::kDeployment);
   GraphUpdateStats stats;
   if (delta.empty()) return stats;
   TraceSpan update_span("drift", "graph_update");
@@ -949,6 +967,7 @@ GraphUpdateStats ShardedVaultDeployment::update_graph(
   // it (await_moves).
   {
     std::lock_guard<std::mutex> mlock(*move_mu_);
+    GV_RANK_SCOPE(lockrank::kMoveFence);
     update_fence_ = true;
   }
   moving_count_.fetch_add(1);
@@ -958,6 +977,7 @@ GraphUpdateStats ShardedVaultDeployment::update_graph(
     ~FenceGuard() {
       {
         std::lock_guard<std::mutex> mlock(*d->move_mu_);
+        GV_RANK_SCOPE(lockrank::kMoveFence);
         d->update_fence_ = false;
       }
       d->moving_count_.fetch_sub(1);
@@ -1389,6 +1409,7 @@ GraphUpdateStats ShardedVaultDeployment::update_graph(
 
 double ShardedVaultDeployment::move_node(std::uint32_t node, std::uint32_t to) {
   std::lock_guard<std::mutex> lock(*infer_mu_);
+  GV_RANK_SCOPE(lockrank::kDeployment);
   GV_CHECK(node < plan_.owner.size(), "node out of range");
   GV_CHECK(to < plan_.num_shards, "destination shard out of range");
   const std::uint32_t from = plan_.owner[node];
@@ -1411,6 +1432,7 @@ double ShardedVaultDeployment::move_node(std::uint32_t node, std::uint32_t to) {
   // throughout the move.
   {
     std::lock_guard<std::mutex> mlock(*move_mu_);
+    GV_RANK_SCOPE(lockrank::kMoveFence);
     GV_CHECK(sorted_insert(moving_, node), "node is already mid-migration");
   }
   moving_count_.fetch_add(1);
@@ -1423,6 +1445,7 @@ double ShardedVaultDeployment::move_node(std::uint32_t node, std::uint32_t to) {
     fence_ms = fence_watch.seconds() * 1e3;
     {
       std::lock_guard<std::mutex> mlock(*move_mu_);
+      GV_RANK_SCOPE(lockrank::kMoveFence);
       sorted_erase(moving_, node);
     }
     moving_count_.fetch_sub(1);
@@ -2205,6 +2228,7 @@ void ShardedVaultDeployment::send_payload(std::uint32_t shard, AttestedChannel& 
   // across several ecalls, and a replication racing it must never serialize
   // a half-updated topology.
   std::lock_guard<std::mutex> lock(*infer_mu_);
+  GV_RANK_SCOPE(lockrank::kDeployment);
   Shard& sh = *shards_[shard];
   GV_CHECK(sh.alive, "shard enclave is down");
   sh.enclave->ecall(
@@ -2214,6 +2238,7 @@ void ShardedVaultDeployment::send_payload(std::uint32_t shard, AttestedChannel& 
 void ShardedVaultDeployment::send_labels(std::uint32_t shard, AttestedChannel& ch) {
   GV_CHECK(shard < plan_.num_shards, "shard index out of range");
   std::lock_guard<std::mutex> lock(*infer_mu_);
+  GV_RANK_SCOPE(lockrank::kDeployment);
   Shard& sh = *shards_[shard];
   GV_CHECK(sh.alive, "shard enclave is down");
   GV_CHECK(refreshed_, "no label store to replicate before the first refresh");
@@ -2221,44 +2246,33 @@ void ShardedVaultDeployment::send_labels(std::uint32_t shard, AttestedChannel& c
       [&] { ch.send_labels(*sh.enclave, sh.payload.owned, sh.labels); });
 }
 
-std::uint64_t ShardedVaultDeployment::halo_embedding_bytes() const {
+std::uint64_t ShardedVaultDeployment::halo_kind_bytes(
+    AttestedChannel::PayloadKind kind) const {
   std::uint64_t sum = 0;
   for (const auto& ch : channels_) {
-    if (ch) sum += ch->embedding_bytes();
+    if (ch) sum += ch->kind_bytes(kind);
   }
   return sum;
+}
+
+std::uint64_t ShardedVaultDeployment::halo_embedding_bytes() const {
+  return halo_kind_bytes(AttestedChannel::PayloadKind::kEmbeddings);
 }
 
 std::uint64_t ShardedVaultDeployment::halo_label_bytes() const {
-  std::uint64_t sum = 0;
-  for (const auto& ch : channels_) {
-    if (ch) sum += ch->label_bytes();
-  }
-  return sum;
+  return halo_kind_bytes(AttestedChannel::PayloadKind::kLabels);
 }
 
 std::uint64_t ShardedVaultDeployment::halo_package_bytes() const {
-  std::uint64_t sum = 0;
-  for (const auto& ch : channels_) {
-    if (ch) sum += ch->package_bytes();
-  }
-  return sum;
+  return halo_kind_bytes(AttestedChannel::PayloadKind::kPackage);
 }
 
 std::uint64_t ShardedVaultDeployment::halo_request_bytes() const {
-  std::uint64_t sum = 0;
-  for (const auto& ch : channels_) {
-    if (ch) sum += ch->request_bytes();
-  }
-  return sum;
+  return halo_kind_bytes(AttestedChannel::PayloadKind::kRequest);
 }
 
 std::uint64_t ShardedVaultDeployment::halo_transfer_bytes() const {
-  std::uint64_t sum = 0;
-  for (const auto& ch : channels_) {
-    if (ch) sum += ch->transfer_bytes();
-  }
-  return sum;
+  return halo_kind_bytes(AttestedChannel::PayloadKind::kTransfer);
 }
 
 std::uint64_t ShardedVaultDeployment::halo_padded_bytes() const {
@@ -2271,16 +2285,13 @@ std::uint64_t ShardedVaultDeployment::halo_padded_bytes() const {
 
 void ShardedVaultDeployment::publish_channel_audit() const {
   auto& reg = MetricsRegistry::global();
-  reg.gauge("halo.payload_bytes", MetricLabels::of("channel_kind", "embedding"))
-      .set(double(halo_embedding_bytes()));
-  reg.gauge("halo.payload_bytes", MetricLabels::of("channel_kind", "label"))
-      .set(double(halo_label_bytes()));
-  reg.gauge("halo.payload_bytes", MetricLabels::of("channel_kind", "package"))
-      .set(double(halo_package_bytes()));
-  reg.gauge("halo.payload_bytes", MetricLabels::of("channel_kind", "request"))
-      .set(double(halo_request_bytes()));
-  reg.gauge("halo.payload_bytes", MetricLabels::of("channel_kind", "transfer"))
-      .set(double(halo_transfer_bytes()));
+  // One gauge per PayloadKind, driven by the channel's own policy table so
+  // a kind added there is automatically audited here (vault_lint enforces
+  // the table side).
+  for (const auto& kp : AttestedChannel::kKindPolicies) {
+    reg.gauge("halo.payload_bytes", MetricLabels::of("channel_kind", kp.name))
+        .set(double(halo_kind_bytes(kp.kind)));
+  }
   reg.gauge("halo.padded_bytes").set(double(halo_padded_bytes()));
   // Padding invariant: per channel, wire bytes can never undercut logical
   // payload bytes — if they do, some block skipped its bucket and its size

@@ -58,6 +58,7 @@
 #include <span>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "core/pipeline.hpp"
 #include "shard/graph_drift.hpp"
 #include "shard/shard_planner.hpp"
@@ -318,6 +319,7 @@ class ShardedVaultDeployment {
   /// traffic is embeddings, halo-pull requests, and (during migration
   /// only) audited node-transfer payloads — the one kind allowed to carry
   /// adjacency rows, which is why it is counted separately.
+  std::uint64_t halo_kind_bytes(AttestedChannel::PayloadKind kind) const;
   std::uint64_t halo_embedding_bytes() const;
   std::uint64_t halo_label_bytes() const;
   std::uint64_t halo_package_bytes() const;
@@ -357,7 +359,7 @@ class ShardedVaultDeployment {
     /// every container a lookup reads.  A straggler that slipped past the
     /// router's promotion fence therefore drains BEFORE the swap — a hard
     /// guarantee where the pre-GraphDrift code had a timing assumption.
-    mutable std::shared_mutex access_mu;
+    mutable std::shared_mutex access_mu GV_LOCK_RANK(gv::lockrank::kShardAccess);
     std::atomic<bool> alive{true};
     /// Label store materialized (refresh or rematerialize_shard) and not
     /// since invalidated by an adoption.
@@ -365,14 +367,16 @@ class ShardedVaultDeployment {
     /// Retained boundary activations correspond to the last refresh
     /// snapshot (cleared by adoption; restored by rematerialize_shard).
     std::atomic<bool> retained_valid{false};
-    // Enclave-held state (only touched inside ecalls):
+    // Enclave-held state (only touched inside ecalls).  GV_SECRET marks
+    // everything adjacency- or label-derived; bb_rows stays unmarked — the
+    // backbone embeddings are public by the paper's threat model.
     ShardPayload payload;
-    std::shared_ptr<const CsrMatrix> sub_adj;  // owned x closure
+    GV_SECRET std::shared_ptr<const CsrMatrix> sub_adj;  // owned x closure
     std::unique_ptr<Rectifier> rectifier;
     std::vector<Matrix> bb_rows;    // closure rows per backbone layer index
-    Matrix h_owned;                 // current layer output (owned rows)
-    Matrix h_closure;               // assembled next-layer input (closure rows)
-    std::vector<std::uint32_t> labels;  // label store
+    GV_SECRET Matrix h_owned;   // current layer output (owned rows)
+    GV_SECRET Matrix h_closure; // assembled next-layer input (closure rows)
+    GV_SECRET std::vector<std::uint32_t> labels;  // label store
     SealedBlob sealed;
     /// Union of halo_out[*] as owned-local row indices (sorted): the rows
     /// whose activations any peer can ever pull cold.
@@ -383,23 +387,23 @@ class ShardedVaultDeployment {
     /// of truth that payload.adj_* / sub_adj / the rectifier CSR are
     /// regenerated from after a mutation.  Ascending global columns keep
     /// the FP summation order of the unsharded forward.
-    std::vector<std::vector<std::pair<std::uint32_t, float>>> adj_rows;
+    GV_SECRET std::vector<std::vector<std::pair<std::uint32_t, float>>> adj_rows;
     /// 1/sqrt(closure_deg + 1) per closure node, recomputed from the
     /// integer degree whenever it changes (bit-exact renormalization).
-    std::vector<float> closure_dinv;
+    GV_SECRET std::vector<float> closure_dinv;
     /// Owned rows referencing each closure node (self-loops included):
     /// a column whose count drops to zero leaves the closure.
     std::vector<std::uint32_t> closure_refs;
     /// FNV digest of each owned row's (cols, values): rows whose digest
     /// survives a delta keep their labels; changed digests seed the
     /// stale-label BFS.
-    std::vector<std::uint64_t> row_digest;
+    GV_SECRET std::vector<std::uint64_t> row_digest;
     /// Label-store entries invalidated by a graph update (1 = stale).
     std::vector<char> label_stale;
     std::atomic<std::size_t> stale_count{0};
     /// Boundary-row activations per rectifier layer 0..L-2, retained at
     /// refresh so cold halo pulls need no recompute (rows ~ boundary_rows).
-    std::vector<Matrix> retained;
+    GV_SECRET std::vector<Matrix> retained;
     /// Transient cold-query state (reset per query, inside ecalls).
     struct Cold {
       std::vector<std::vector<std::uint32_t>> out_rows;  // [layer] owned-local
@@ -507,7 +511,8 @@ class ShardedVaultDeployment {
   std::vector<std::unique_ptr<Enclave>> retired_enclaves_;
   /// channels_[s * K + t] for s < t; null when no halo overlap either way.
   std::vector<std::unique_ptr<AttestedChannel>> channels_;
-  std::unique_ptr<std::mutex> infer_mu_ = std::make_unique<std::mutex>();
+  std::unique_ptr<std::mutex> infer_mu_ GV_LOCK_RANK(gv::lockrank::kDeployment) =
+      std::make_unique<std::mutex>();
   std::atomic<bool> refreshed_{false};
   /// Store epoch: completed refreshes PLUS applied graph updates and
   /// migrations — anything after which a replica's last-synced label store
@@ -518,7 +523,8 @@ class ShardedVaultDeployment {
   /// Copy-on-write owner map (routers snapshot it per batch); swapped
   /// under owner_mu_ by publish_owner_map.
   std::shared_ptr<const std::vector<std::uint32_t>> owner_map_;
-  mutable std::unique_ptr<std::mutex> owner_mu_ = std::make_unique<std::mutex>();
+  mutable std::unique_ptr<std::mutex> owner_mu_ GV_LOCK_RANK(gv::lockrank::kMoveFence) =
+      std::make_unique<std::mutex>();
   std::atomic<std::uint64_t> ownership_epoch_{0};
   std::atomic<std::uint64_t> topology_version_{0};
   std::atomic<std::uint64_t> shard_faults_{0};
@@ -526,14 +532,16 @@ class ShardedVaultDeployment {
   /// notification outside infer_mu_ (UINT32_MAX = none).
   std::atomic<std::uint32_t> pending_fault_{0xffffffffu};
   /// Per-node migration fences + the global update_graph fence.
-  mutable std::unique_ptr<std::mutex> move_mu_ = std::make_unique<std::mutex>();
+  mutable std::unique_ptr<std::mutex> move_mu_ GV_LOCK_RANK(gv::lockrank::kMoveFence) =
+      std::make_unique<std::mutex>();
   mutable std::unique_ptr<std::condition_variable> move_cv_ =
       std::make_unique<std::condition_variable>();
   std::vector<std::uint32_t> moving_;  // sorted; guarded by move_mu_
   bool update_fence_ = false;          // guarded by move_mu_
   std::atomic<std::size_t> moving_count_{0};
   std::function<void(std::uint32_t)> failure_handler_;  // guarded by handler_mu_
-  mutable std::unique_ptr<std::mutex> handler_mu_ = std::make_unique<std::mutex>();
+  mutable std::unique_ptr<std::mutex> handler_mu_ GV_LOCK_RANK(gv::lockrank::kMoveFence) =
+      std::make_unique<std::mutex>();
   // Untrusted-world backbone output cache (the embeddings are public; only
   // the fingerprint comparison decides reuse).  Guarded by infer_mu_.
   std::vector<Matrix> bb_cache_;

@@ -47,6 +47,7 @@ ShardedVaultServer::ShardedVaultServer(const Dataset& ds, TrainedVault vault,
     std::uint64_t fp;
     {
       std::lock_guard<std::mutex> lock(snap_mu_);
+      GV_RANK_SCOPE(lockrank::kServerSnap);
       snap = features_;
       fp = features_fp_;
     }
@@ -119,11 +120,13 @@ void ShardedVaultServer::join_promotion() {
   // Held across the get(): concurrent joiners must all observe the
   // promotion retired, not race valid()/get() on one shared state.
   std::lock_guard<std::mutex> lock(promotion_mu_);
+  GV_RANK_SCOPE(lockrank::kServerControl);
   if (promotion_.valid()) promotion_.get();
 }
 
 std::shared_ptr<const CsrMatrix> ShardedVaultServer::features() const {
   std::lock_guard<std::mutex> lock(snap_mu_);
+  GV_RANK_SCOPE(lockrank::kServerSnap);
   return features_;
 }
 
@@ -135,6 +138,7 @@ std::future<std::uint32_t> ShardedVaultServer::submit(std::uint32_t node) {
     std::shared_ptr<const CsrMatrix> snap;
     {
       std::lock_guard<std::mutex> lock(snap_mu_);
+      GV_RANK_SCOPE(lockrank::kServerSnap);
       snap = features_;
     }
     digest = feature_row_digest(*snap, node);
@@ -175,6 +179,7 @@ void ShardedVaultServer::update_features(const CsrMatrix& new_features) {
   // first — and no NEW kill/promotion may start under our refresh (it
   // would see the shard dead and throw).
   std::lock_guard<std::mutex> control(promotion_mu_);
+  GV_RANK_SCOPE(lockrank::kServerControl);
   if (promotion_.valid()) promotion_.get();
   auto fresh = std::make_shared<const CsrMatrix>(new_features);
   const std::uint64_t fresh_fp =
@@ -186,6 +191,7 @@ void ShardedVaultServer::update_features(const CsrMatrix& new_features) {
   deployment_.refresh(*fresh);
   {
     std::lock_guard<std::mutex> lock(snap_mu_);
+    GV_RANK_SCOPE(lockrank::kServerSnap);
     features_ = std::move(fresh);
     features_fp_ = fresh_fp;
   }
@@ -199,6 +205,7 @@ void ShardedVaultServer::update_features(const CsrMatrix& new_features) {
 
 void ShardedVaultServer::kill_shard(std::uint32_t shard) {
   std::lock_guard<std::mutex> lock(promotion_mu_);
+  GV_RANK_SCOPE(lockrank::kServerControl);
   // Under the control-plane lock: wait_ready() joins ReplicaManager's
   // replication future, which is not safe to get() from two threads.
   if (replicas_ != nullptr) replicas_->wait_ready();
@@ -264,6 +271,7 @@ void ShardedVaultServer::handle_shard_failure(std::uint32_t shard) {
                                   "serving ecall died; attempting promotion");
   try {
     std::lock_guard<std::mutex> lock(promotion_mu_);
+    GV_RANK_SCOPE(lockrank::kServerControl);
     if (replicas_ == nullptr) return;  // nothing to promote: queries fail
     replicas_->wait_ready();
     if (promotion_.valid()) promotion_.get();
@@ -311,6 +319,7 @@ GraphUpdateStats ShardedVaultServer::update_graph(const GraphDelta& delta,
   // Control-plane exclusion, like update_features: promotions re-handshake
   // enclaves the update needs alive, so they must land first.
   std::lock_guard<std::mutex> control(promotion_mu_);
+  GV_RANK_SCOPE(lockrank::kServerControl);
   if (promotion_.valid()) promotion_.get();
   GV_CHECK(new_features.rows() ==
                deployment_.num_nodes() + delta.node_adds.size(),
@@ -324,6 +333,7 @@ GraphUpdateStats ShardedVaultServer::update_graph(const GraphDelta& delta,
   const GraphUpdateStats stats =
       deployment_.update_graph(delta, &new_features, [&] {
         std::lock_guard<std::mutex> lock(snap_mu_);
+        GV_RANK_SCOPE(lockrank::kServerSnap);
         features_ = fresh;
         features_fp_ = fresh_fp;
         num_nodes_.store(fresh->rows());
@@ -337,6 +347,7 @@ GraphUpdateStats ShardedVaultServer::update_graph(const GraphDelta& delta,
     // Fold the update into the drift health readings (DriftTracker also
     // publishes them as gauges to the global registry).
     std::lock_guard<std::mutex> lock(drift_mu_);
+    GV_RANK_SCOPE(lockrank::kServerState);
     drift_.record(stats);
   }
   // Telemetry push at the state change: a drift update is exactly when EPC
@@ -375,6 +386,7 @@ MetricsSnapshot ShardedVaultServer::stats() const {
       cold_backbone_cache_hits_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(drift_mu_);
+    GV_RANK_SCOPE(lockrank::kServerState);
     s.drift_cut_growth = drift_.cut_growth();
     s.drift_load_imbalance = drift_.load_imbalance();
   }
@@ -446,6 +458,7 @@ void ShardedVaultServer::execute_batch(std::vector<MicroBatchQueue::Entry> batch
     std::shared_ptr<const CsrMatrix> snap;
     if (cache_.enabled()) {
       std::lock_guard<std::mutex> lock(snap_mu_);
+      GV_RANK_SCOPE(lockrank::kServerSnap);
       snap = features_;
     }
     const std::uint64_t epoch_before = deployment_.ownership_epoch();

@@ -133,7 +133,7 @@ class ShardedVaultServer {
   ServerMetrics metrics_;
   /// GraphDrift health since construction: update_graph folds each applied
   /// update in and stats() surfaces the current cut-growth / imbalance.
-  mutable std::mutex drift_mu_;
+  mutable std::mutex drift_mu_ GV_LOCK_RANK(gv::lockrank::kServerState);
   DriftTracker drift_;
   /// Cold cross-shard path telemetry, aggregated per query.
   std::atomic<std::uint64_t> cold_queries_{0};
@@ -145,7 +145,7 @@ class ShardedVaultServer {
   std::atomic<std::uint64_t> cold_backbone_cache_hits_{0};
   std::atomic<std::size_t> num_nodes_;  // grows with update_graph node adds
 
-  mutable std::mutex snap_mu_;
+  mutable std::mutex snap_mu_ GV_LOCK_RANK(gv::lockrank::kServerSnap);
   std::shared_ptr<const CsrMatrix> features_;
   /// features_fingerprint(*features_), hashed once per snapshot so cold
   /// batches do not pay an O(nnz) scan per query.  Guarded by snap_mu_.
@@ -158,7 +158,7 @@ class ShardedVaultServer {
   /// shutdown against each other and guards promotion_ (std::future is not
   /// thread-safe for concurrent get/assign).  Never taken by the data
   /// plane (workers, router) or the promotion thread itself.
-  std::mutex promotion_mu_;
+  std::mutex promotion_mu_ GV_LOCK_RANK(gv::lockrank::kServerControl);
   std::future<void> promotion_;  // in-flight replica promotion
 };
 

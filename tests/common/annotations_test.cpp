@@ -1,0 +1,120 @@
+// Runtime lock-rank validator (gv::lint::RankScope) + annotation layer.
+//
+// The RankScope class is compiled unconditionally (the GV_RANK_SCOPE macro
+// only instantiates it under GV_LOCK_RANK_VALIDATE), so these tests drive
+// it directly and hold in every build flavor — including the sanitizer CI
+// jobs that build with -DGV_VALIDATE_LOCK_RANKS=ON, where every annotated
+// lock site in the tree runs through the same code path.
+
+#include "common/annotations.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace gv::lint {
+namespace {
+
+std::atomic<int> g_violations{0};
+std::atomic<int> g_last_held{-1};
+std::atomic<int> g_last_acquiring{-1};
+
+void count_violation(int held, int acquiring, const char* /*what*/) {
+  g_violations.fetch_add(1);
+  g_last_held.store(held);
+  g_last_acquiring.store(acquiring);
+}
+
+class RankScopeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_violations.store(0);
+    prev_ = set_rank_violation_handler(&count_violation);
+  }
+  void TearDown() override { set_rank_violation_handler(prev_); }
+  RankViolationHandler prev_ = nullptr;
+};
+
+TEST_F(RankScopeTest, MonotoneAcquisitionIsClean) {
+  EXPECT_EQ(RankScope::held_depth(), 0u);
+  {
+    RankScope control(lockrank::kServerControl, "control");
+    RankScope deployment(lockrank::kDeployment, "deployment");
+    RankScope channel(lockrank::kChannel, "channel");
+    EXPECT_EQ(RankScope::held_depth(), 3u);
+    EXPECT_EQ(RankScope::top_rank(), lockrank::kChannel);
+  }
+  EXPECT_EQ(RankScope::held_depth(), 0u);
+  EXPECT_EQ(g_violations.load(), 0);
+}
+
+TEST_F(RankScopeTest, EqualRanksMayNest) {
+  // Distinct instances of a per-shard / per-replica mutex share a rank and
+  // are allowed to nest (the ordering is non-strict).
+  RankScope a(lockrank::kShardAccess, "shard A");
+  RankScope b(lockrank::kShardAccess, "shard B");
+  EXPECT_EQ(g_violations.load(), 0);
+}
+
+TEST_F(RankScopeTest, InversionFiresHandlerWithBothRanks) {
+  RankScope channel(lockrank::kChannel, "channel");
+  {
+    RankScope registry(lockrank::kRegistry, "registry under channel");
+    EXPECT_EQ(g_violations.load(), 1);
+    EXPECT_EQ(g_last_held.load(), lockrank::kChannel);
+    EXPECT_EQ(g_last_acquiring.load(), lockrank::kRegistry);
+  }
+  // The violating scope still participates in the stack and pops cleanly.
+  EXPECT_EQ(RankScope::top_rank(), lockrank::kChannel);
+}
+
+TEST_F(RankScopeTest, RecoveryAfterPop) {
+  {
+    RankScope channel(lockrank::kChannel, "channel");
+  }
+  // Once the high rank is released, a low rank is fine again.
+  RankScope registry(lockrank::kRegistry, "registry");
+  EXPECT_EQ(g_violations.load(), 0);
+}
+
+TEST_F(RankScopeTest, HeldStackIsThreadLocal) {
+  RankScope channel(lockrank::kChannel, "channel on main");
+  std::atomic<int> other_thread_depth{-1};
+  std::thread t([&] {
+    // A fresh thread starts with an empty stack: acquiring a LOW rank here
+    // must not be judged against main's held kChannel.
+    RankScope registry(lockrank::kRegistry, "registry on worker");
+    other_thread_depth.store(static_cast<int>(RankScope::held_depth()));
+  });
+  t.join();
+  EXPECT_EQ(other_thread_depth.load(), 1);
+  EXPECT_EQ(g_violations.load(), 0);
+  EXPECT_EQ(RankScope::held_depth(), 1u);
+}
+
+TEST_F(RankScopeTest, RankTableIsMonotoneOuterToInner) {
+  // The documented outer->inner order must stay strictly increasing; a new
+  // subsystem squeezed in at the wrong spot breaks this at compile review
+  // time AND here.
+  const int order[] = {
+      lockrank::kRegistry,    lockrank::kServerControl, lockrank::kReplicate,
+      lockrank::kServerState, lockrank::kReplicaSlot,   lockrank::kDeployment,
+      lockrank::kShardAccess, lockrank::kMoveFence,     lockrank::kServerSnap,
+      lockrank::kEnclaveEntry, lockrank::kEnclaveMeter, lockrank::kChannel,
+      lockrank::kQueue,       lockrank::kTelemetry};
+  for (std::size_t i = 1; i < std::size(order); ++i) {
+    EXPECT_LT(order[i - 1], order[i]) << "rank table out of order at " << i;
+  }
+}
+
+// GV_LINT_ALLOW must compile away cleanly in any scope.
+GV_LINT_ALLOW("lock-rank", "fixture: proves the macro is scope-agnostic");
+
+TEST_F(RankScopeTest, SuppressionMacroCompilesInFunctionScope) {
+  GV_LINT_ALLOW("secret-egress", "fixture: function-scope expansion");
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace gv::lint

@@ -1,0 +1,50 @@
+// VaultLint fixture: a PayloadKind enumerator missing its pad-policy row
+// and its byte-audit case.  NOT compiled — linted by run_fixture_test.py.
+#include "common/annotations.hpp"
+
+namespace gv {
+
+class MiniChannel {
+ public:
+  enum class PayloadKind : unsigned char {
+    kEmbeddings = 0,
+    kLabels = 1,
+    kRogue = 2,  // added without updating the policy table or byte audit
+  };
+
+  struct KindPolicy {
+    PayloadKind kind;
+    const char* name;
+  };
+
+  // kRogue has no row here: one channel-kind finding.
+  static constexpr KindPolicy kKindPolicies[] = {
+      {PayloadKind::kEmbeddings, "embeddings"},
+      {PayloadKind::kLabels, "labels"},
+  };
+
+  const char* kind_name(PayloadKind k) const {
+    switch (k) {
+      case PayloadKind::kEmbeddings:
+        return "embeddings";
+      case PayloadKind::kLabels:
+        return "labels";
+      case PayloadKind::kRogue:
+        return "rogue";
+    }
+    return "?";
+  }
+
+  unsigned long kind_bytes(PayloadKind k) const {
+    // kRogue bytes are never audited: one channel-kind finding.
+    switch (k) {
+      case PayloadKind::kEmbeddings:
+        return 1;
+      case PayloadKind::kLabels:
+        return 2;
+    }
+    return 0;
+  }
+};
+
+}  // namespace gv

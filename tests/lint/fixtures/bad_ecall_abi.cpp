@@ -1,0 +1,17 @@
+// VaultLint fixture: an ecall-ABI struct with host indirection.
+// NOT compiled — linted by run_fixture_test.py.
+#include "common/annotations.hpp"
+
+#include <string>
+
+namespace gv {
+
+// Crosses the (simulated) enclave boundary by value, so every member must
+// be trivially copyable with no host addresses.
+struct GV_ECALL_ABI LeakyReport {
+  unsigned long long ecalls = 0;
+  const char* last_error;  // finding: host pointer crosses the ABI
+  std::string detail;      // finding: not trivially copyable
+};
+
+}  // namespace gv

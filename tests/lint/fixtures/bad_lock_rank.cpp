@@ -1,0 +1,25 @@
+// VaultLint fixture: a lexically nested lock-order inversion against the
+// gv::lockrank table.  NOT compiled — linted by run_fixture_test.py.
+#include "common/annotations.hpp"
+
+#include <mutex>
+
+namespace gv {
+
+class BackwardsLocker {
+ public:
+  void telemetry_then_control() {
+    std::lock_guard<std::mutex> stats(stats_mu_);
+    GV_RANK_SCOPE(lockrank::kTelemetry);
+    // Control-plane rank 20 acquired under telemetry rank 90: both the
+    // guard and its rank scope are inversions (two lock-rank findings).
+    std::lock_guard<std::mutex> ctl(control_mu_);
+    GV_RANK_SCOPE(lockrank::kServerControl);
+  }
+
+ private:
+  std::mutex control_mu_ GV_LOCK_RANK(gv::lockrank::kServerControl);
+  std::mutex stats_mu_ GV_LOCK_RANK(gv::lockrank::kTelemetry);
+};
+
+}  // namespace gv

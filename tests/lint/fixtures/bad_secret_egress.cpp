@@ -1,0 +1,22 @@
+// VaultLint fixture: GV_SECRET values flowing into untrusted sinks.
+// NOT compiled — linted by tests/lint/run_fixture_test.py; golden findings
+// in tests/lint/golden_findings.json.
+#include "common/annotations.hpp"
+
+namespace gv {
+
+class SessionState {
+ public:
+  void debug_dump() {
+    // Both lines leak confidential enclave state into telemetry the host
+    // can read; each is one secret-egress finding.
+    GV_LOG_INFO << "session key " << session_key_;
+    span_.arg("key_word0", session_key_);
+  }
+
+ private:
+  GV_SECRET unsigned long long session_key_ = 0;
+  TraceSpan span_{"fixture", "leak"};
+};
+
+}  // namespace gv

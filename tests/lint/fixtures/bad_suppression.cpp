@@ -1,0 +1,13 @@
+// VaultLint fixture: malformed suppressions.  NOT compiled — linted by
+// run_fixture_test.py.
+#include "common/annotations.hpp"
+
+namespace gv {
+
+// Unknown check name (typo): one suppression finding.
+GV_LINT_ALLOW("spectre-egress", "typo in the check name");
+
+// Known check, empty reason: one suppression finding.
+GV_LINT_ALLOW("secret-egress", "");
+
+}  // namespace gv

@@ -1,0 +1,13 @@
+"""VaultLint: enclave-boundary confidentiality + lock-discipline linter.
+
+Reads the GV_* annotation vocabulary (src/common/annotations.hpp) off the
+GNNVault sources and enforces five checks; see docs/static_analysis.md.
+"""
+
+CHECKS = (
+    "secret-egress",
+    "channel-kind",
+    "ecall-abi",
+    "lock-rank",
+    "suppression",
+)

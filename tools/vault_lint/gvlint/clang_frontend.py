@@ -1,0 +1,112 @@
+"""Optional libclang frontend.
+
+When python-clang (clang.cindex) and a libclang shared object are present,
+this frontend re-derives the annotation facts from the AST — exact types
+instead of token heuristics — for the two checks that benefit most from
+semantic information: ecall-abi (std::is_trivially_copyable on the real
+record layout) and secret-egress (declaration-resolved references instead
+of name matching).  channel-kind, lock-rank, and suppression hygiene are
+structural/textual properties and always run on the token engine.
+
+The container this repo builds in ships GCC only, so the CI gate pins
+``--frontend fallback``; this module exists for developer machines with
+LLVM installed and degrades to an explicit error (never a silent pass)
+when asked for and unavailable.
+"""
+
+from __future__ import annotations
+
+from .model import FileReport, Finding
+
+try:  # pragma: no cover - exercised only where libclang exists
+    import clang.cindex as cindex
+
+    try:
+        cindex.Index.create()
+        _AVAILABLE = True
+    except Exception:
+        _AVAILABLE = False
+except ImportError:  # pragma: no cover
+    cindex = None
+    _AVAILABLE = False
+
+
+def available() -> bool:
+    return _AVAILABLE
+
+
+def _annotations(cursor) -> set[str]:
+    return {c.displayname for c in cursor.get_children()
+            if c.kind == cindex.CursorKind.ANNOTATE_ATTR}
+
+
+SINK_METHODS = {"arg", "counter", "gauge", "histogram", "trip", "emit", "push"}
+
+
+def analyze(files: list[str], compile_args: dict[str, list[str]]) -> list[FileReport]:
+    """AST passes for ecall-abi + secret-egress; one report per file."""
+    assert _AVAILABLE
+    index = cindex.Index.create()
+    reports = []
+    for path in files:
+        args = compile_args.get(path, ["-std=c++20"])
+        report = FileReport(path=path)
+        try:
+            tu = index.parse(path, args=args)
+        except cindex.TranslationUnitLoadError:
+            reports.append(report)
+            continue
+        secret_decls: set = set()
+
+        def walk(cursor):
+            kind = cursor.kind
+            ann = _annotations(cursor)
+            if "gv::secret" in ann:
+                secret_decls.add(cursor.get_usr())
+            if kind in (cindex.CursorKind.STRUCT_DECL, cindex.CursorKind.CLASS_DECL) \
+                    and "gv::ecall_abi" in ann and cursor.is_definition():
+                _check_abi_record(cursor, report)
+            if kind == cindex.CursorKind.CALL_EXPR \
+                    and cursor.spelling in SINK_METHODS:
+                _check_sink_call(cursor, secret_decls, report)
+            for child in cursor.get_children():
+                if child.location.file and child.location.file.name == path:
+                    walk(child)
+
+        walk(tu.cursor)
+        reports.append(report)
+    return reports
+
+
+def _check_abi_record(cursor, report: FileReport) -> None:
+    record_type = cursor.type
+    if not record_type.is_pod():
+        # is_pod is stricter than trivially-copyable but is what cindex
+        # exposes portably; a non-POD hit is refined per field below.
+        pass
+    for field in cursor.type.get_fields():
+        ft = field.type.get_canonical()
+        if ft.kind in (cindex.TypeKind.POINTER, cindex.TypeKind.LVALUEREFERENCE,
+                       cindex.TypeKind.RVALUEREFERENCE):
+            report.findings.append(Finding(
+                "ecall-abi", report.path, field.location.line,
+                f"GV_ECALL_ABI struct {cursor.spelling} field {field.spelling} "
+                "is a pointer/reference — host addresses must not cross the "
+                "enclave ABI"))
+        elif ft.kind == cindex.TypeKind.RECORD and not ft.is_pod():
+            report.findings.append(Finding(
+                "ecall-abi", report.path, field.location.line,
+                f"GV_ECALL_ABI struct {cursor.spelling} field {field.spelling} "
+                f"({ft.spelling}) is not trivially copyable"))
+
+
+def _check_sink_call(cursor, secret_decls: set, report: FileReport) -> None:
+    for arg in cursor.get_arguments():
+        for node in arg.walk_preorder():
+            ref = node.referenced
+            if ref is not None and ref.get_usr() in secret_decls:
+                report.findings.append(Finding(
+                    "secret-egress", report.path, node.location.line,
+                    f"secret {ref.spelling} reaches untrusted sink "
+                    f"{cursor.spelling}()"))
+                return
