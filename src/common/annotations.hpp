@@ -108,8 +108,18 @@ inline constexpr int kEnclaveEntry = 60;   // Enclave::entry_mu_ (TCS)
 inline constexpr int kEnclaveMeter = 64;   // Enclave::meter_mu_
 inline constexpr int kChannel = 70;        // AttestedChannel / OneWayChannel /
                                            // MemoryLedger mutexes
-inline constexpr int kQueue = 80;          // MicroBatchQueue::mu_, ThreadPool,
-                                           // LabelCache (serving-path leaves)
+inline constexpr int kQueue = 80;          // MicroBatchQueue::mu_, LabelCache
+                                           // (serving-path leaves)
+inline constexpr int kJobQueue = 82;       // JobSystem per-worker deques + idle
+                                           // signal; ServeFrontEnd batch pool
+                                           // (posted to while kQueue-held code
+                                           // has already released, but ABOVE
+                                           // kQueue so a post under a serving
+                                           // leaf would still be legal)
+inline constexpr int kTokenState = 84;     // SubmitToken shared state + pool
+                                           // (resolved from job workers after
+                                           // every other serving lock is
+                                           // dropped)
 inline constexpr int kTelemetry = 90;      // metrics / trace / flight recorder /
                                            // router + server stats mutexes
 }  // namespace gv::lockrank

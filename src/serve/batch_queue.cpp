@@ -9,47 +9,111 @@ namespace gv {
 
 MicroBatchQueue::MicroBatchQueue(std::size_t max_batch,
                                  std::chrono::microseconds max_wait)
-    : max_batch_(std::max<std::size_t>(1, max_batch)), max_wait_(max_wait) {}
+    : max_batch_(std::max<std::size_t>(1, max_batch)), max_wait_(max_wait) {
+  index_.reserve(64);
+}
+
+std::uint32_t MicroBatchQueue::acquire_slot_locked() {
+  if (free_head_ == kNone) {
+    // Warm-up growth; recycled slots keep the slab stable afterwards.
+    slots_.emplace_back();
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+  const std::uint32_t idx = free_head_;
+  free_head_ = slots_[idx].next;
+  return idx;
+}
+
+void MicroBatchQueue::release_slot_locked(std::uint32_t idx) {
+  Slot& s = slots_[idx];
+  s.entry.waiters.clear();  // capacity retained for the next occupant
+  s.prev = kNone;
+  s.next = free_head_;
+  free_head_ = idx;
+}
+
+bool MicroBatchQueue::submit_locked(std::uint32_t node,
+                                    const Sha256Digest& digest,
+                                    TokenState* waiter) {
+  const auto it = index_.find(node);
+  if (it != index_.end() && slots_[it->second].entry.digest == digest) {
+    // Same node, same feature snapshot: ride the existing slot.
+    slots_[it->second].entry.waiters.push_back(waiter);
+    return true;
+  }
+  const std::uint32_t idx = acquire_slot_locked();
+  Slot& s = slots_[idx];
+  s.entry.node = node;
+  s.entry.digest = digest;
+  s.entry.waiters.push_back(waiter);
+  s.entry.enqueued = std::chrono::steady_clock::now();
+  s.entry.query_id = next_query_id();
+  // Append to the FIFO tail.
+  s.next = kNone;
+  s.prev = tail_;
+  if (tail_ != kNone) {
+    slots_[tail_].next = idx;
+  } else {
+    head_ = idx;
+  }
+  tail_ = idx;
+  ++size_;
+  // Point the index at the newest entry for this node (a digest mismatch
+  // means the features changed between the two submissions; the stale
+  // entry simply stops coalescing).
+  if (it != index_.end()) {
+    it->second = idx;
+  } else {
+    index_.emplace(node, idx);
+  }
+  return false;
+}
 
 bool MicroBatchQueue::submit(std::uint32_t node, const Sha256Digest& digest,
-                             std::promise<std::uint32_t> waiter) {
+                             TokenState* waiter) {
   bool coalesced = false;
   {
     MutexLock lock(mu_);
     GV_RANK_SCOPE(lockrank::kQueue);
     GV_CHECK(!stopping_, "queue is shutting down");
-    const auto it = index_.find(node);
-    if (it != index_.end() && it->second->digest == digest) {
-      // Same node, same feature snapshot: ride the existing slot.
-      it->second->waiters.push_back(std::move(waiter));
-      coalesced = true;
-    } else {
-      Entry e;
-      e.node = node;
-      e.digest = digest;
-      e.waiters.push_back(std::move(waiter));
-      e.enqueued = std::chrono::steady_clock::now();
-      e.query_id = next_query_id();
-      queue_.push_back(std::move(e));
-      // Point the index at the newest entry for this node (a digest
-      // mismatch means the features changed between the two submissions;
-      // the stale entry simply stops coalescing).
-      index_[node] = std::prev(queue_.end());
-    }
+    coalesced = submit_locked(node, digest, waiter);
   }
   cv_.notify_one();
   return coalesced;
 }
 
-std::vector<MicroBatchQueue::Entry> MicroBatchQueue::next_batch() {
+std::size_t MicroBatchQueue::submit_many(
+    std::span<const std::uint32_t> nodes,
+    std::span<const Sha256Digest> digests,
+    std::span<TokenState* const> waiters) {
+  GV_CHECK(nodes.size() == digests.size() && nodes.size() == waiters.size(),
+           "submit_many spans must be parallel");
+  std::size_t coalesced = 0;
+  {
+    // The whole client batch rides ONE lock acquisition — the old front
+    // ends paid one lock round-trip (and one wake) per node.
+    MutexLock lock(mu_);
+    GV_RANK_SCOPE(lockrank::kQueue);
+    GV_CHECK(!stopping_, "queue is shutting down");
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (submit_locked(nodes[i], digests[i], waiters[i])) ++coalesced;
+    }
+  }
+  cv_.notify_all();
+  return coalesced;
+}
+
+bool MicroBatchQueue::next_batch(Batch* out) {
+  out->count = 0;
+  if (out->entries.size() < max_batch_) out->entries.resize(max_batch_);
   MutexLock lock(mu_);
   GV_RANK_SCOPE(lockrank::kQueue);
   for (;;) {
     // Explicit wait loop (not the predicate overload) so every access to
     // the guarded queue state stays inside this REQUIRES-checked body.
-    while (!stopping_ && queue_.empty()) cv_.wait(mu_);
-    if (queue_.empty()) {
-      if (stopping_) return {};
+    while (!stopping_ && size_ == 0) cv_.wait(mu_);
+    if (size_ == 0) {
+      if (stopping_) return false;
       continue;
     }
     // Dynamic micro-batching: grow the batch until it is full, the OLDEST
@@ -58,28 +122,43 @@ std::vector<MicroBatchQueue::Entry> MicroBatchQueue::next_batch() {
     // another worker may have drained the queue while we waited, and the
     // fresh entries that arrived since deserve their own full wait — a
     // batch must never flush early on a drained batch's leftover deadline.
-    while (queue_.size() < max_batch_ && !stopping_ && !flush_requested_) {
-      const auto deadline = queue_.front().enqueued + max_wait_;
+    while (size_ < max_batch_ && !stopping_ && !flush_requested_) {
+      const auto deadline = slots_[head_].entry.enqueued + max_wait_;
       if (std::chrono::steady_clock::now() >= deadline) break;
       cv_.wait_until(mu_, deadline);
-      if (queue_.empty()) break;  // another worker drained it
+      if (size_ == 0) break;  // another worker drained it
     }
-    if (queue_.empty()) {
-      if (stopping_) return {};
+    if (size_ == 0) {
+      if (stopping_) return false;
       continue;
     }
-    const std::size_t take = std::min(queue_.size(), max_batch_);
-    std::vector<Entry> batch;
-    batch.reserve(take);
+    const std::size_t take = std::min(size_, max_batch_);
     for (std::size_t i = 0; i < take; ++i) {
-      const auto it = queue_.begin();
-      const auto idx = index_.find(it->node);
-      if (idx != index_.end() && idx->second == it) index_.erase(idx);
-      batch.push_back(std::move(*it));
-      queue_.erase(it);
+      const std::uint32_t idx = head_;
+      Slot& s = slots_[idx];
+      const auto it = index_.find(s.entry.node);
+      if (it != index_.end() && it->second == idx) index_.erase(it);
+      Entry& dst = out->entries[i];
+      dst.node = s.entry.node;
+      dst.digest = s.entry.digest;
+      dst.enqueued = s.entry.enqueued;
+      dst.query_id = s.entry.query_id;
+      // Swap waiter vectors: the slot inherits the batch entry's retained
+      // capacity, the batch entry takes the waiters — capacities circulate
+      // between slab and batch pool without ever hitting the heap.
+      dst.waiters.swap(s.entry.waiters);
+      head_ = s.next;
+      if (head_ != kNone) {
+        slots_[head_].prev = kNone;
+      } else {
+        tail_ = kNone;
+      }
+      release_slot_locked(idx);
+      --size_;
     }
-    if (queue_.empty()) flush_requested_ = false;
-    return batch;
+    out->count = take;
+    if (size_ == 0) flush_requested_ = false;
+    return true;
   }
 }
 
@@ -87,35 +166,42 @@ void MicroBatchQueue::flush() {
   {
     MutexLock lock(mu_);
     GV_RANK_SCOPE(lockrank::kQueue);
-    if (queue_.empty()) return;
+    if (size_ == 0) return;
     flush_requested_ = true;
   }
   cv_.notify_all();
 }
 
 void MicroBatchQueue::stop() {
-  std::list<Entry> orphans;
+  std::vector<TokenState*> orphans;
   {
     MutexLock lock(mu_);
     GV_RANK_SCOPE(lockrank::kQueue);
+    if (stopping_) return;
     stopping_ = true;
-    orphans.swap(queue_);
+    for (std::uint32_t idx = head_; idx != kNone;) {
+      Slot& s = slots_[idx];
+      for (TokenState* w : s.entry.waiters) orphans.push_back(w);
+      const std::uint32_t next = s.next;
+      release_slot_locked(idx);
+      idx = next;
+    }
+    head_ = tail_ = kNone;
+    size_ = 0;
     index_.clear();
   }
   cv_.notify_all();
-  // Entries that never made it into a batch must not die as broken_promise
-  // when the queue is destroyed: fail their waiters with an explicit
-  // shutdown error they can report.
+  // Entries that never made it into a batch must not die silently when the
+  // queue is destroyed: fail their waiters with an explicit shutdown error
+  // they can report.
   const auto err = std::make_exception_ptr(Error("server shutting down"));
-  for (auto& e : orphans) {
-    for (auto& waiter : e.waiters) waiter.set_exception(err);
-  }
+  for (TokenState* w : orphans) w->fail(err);
 }
 
 std::size_t MicroBatchQueue::pending() const {
   MutexLock lock(mu_);
   GV_RANK_SCOPE(lockrank::kQueue);
-  return queue_.size();
+  return size_;
 }
 
 }  // namespace gv

@@ -1,0 +1,153 @@
+// JobSystem: the work-stealing execution core of JobServe.
+//
+// Replaces the FIFO ThreadPool on the serving path.  N workers each own a
+// three-lane deque (one ring per priority class); posts from a worker land
+// on its own deque, posts from outside round-robin across workers.  A
+// worker drains its own lanes INTERACTIVE-first, and when empty steals from
+// a uniformly random victim (scanning the rest in order as fallback) —
+// again highest class first, from the BACK of the victim's lane while the
+// owner pops the FRONT, so steals and local pops rarely collide on the same
+// job.
+//
+// Priority classes (tenant QoS):
+//   kInteractive   batch flushes for live queries.  Always runnable.
+//   kCold          cold-path recomputes: post-promotion boundary rebuilds,
+//                  forced re-materializations.  Runs when no interactive
+//                  work is runnable on that worker.
+//   kMaintenance   migrations / replication / re-materialization sweeps.
+//                  Additionally capped: at most `max_maintenance_in_flight`
+//                  maintenance jobs execute at once (default workers-1,
+//                  min 1), so a maintenance storm can never occupy every
+//                  worker and starve interactive latency.
+//
+// Shutdown (stop(drain)): new posts are rejected (their cancel handler runs
+// immediately), queued INTERACTIVE and COLD jobs are cancelled — for batch
+// flushes the cancel handler fails every waiter with the existing "server
+// shutting down" Error — while queued MAINTENANCE jobs keep draining until
+// the deadline, after which the stragglers are cancelled too.  Jobs already
+// executing always run to completion (workers are joined).
+//
+// Lock ranks: every deque mutex and the idle-signal mutex rank kJobQueue
+// (82) — above the serving-path leaves (kQueue=80), below kTokenState (84),
+// so a flush job may resolve tokens after dropping all queue locks and any
+// code holding a serving leaf may still legally post.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/annotations.hpp"
+#include "common/thread_safety.hpp"
+
+namespace gv {
+
+enum class JobClass : std::uint8_t {
+  kInteractive = 0,
+  kCold = 1,
+  kMaintenance = 2,
+};
+inline constexpr std::size_t kNumJobClasses = 3;
+
+struct JobSystemStats {
+  std::uint64_t executed[kNumJobClasses] = {0, 0, 0};
+  std::uint64_t cancelled[kNumJobClasses] = {0, 0, 0};
+  std::uint64_t stolen = 0;
+};
+
+class JobSystem {
+ public:
+  struct Job {
+    std::function<void()> run;
+    /// Invoked (instead of run) when the job is cancelled at shutdown or
+    /// rejected after stop().  May be empty.
+    std::function<void()> cancel;
+    JobClass cls = JobClass::kInteractive;
+  };
+
+  /// `max_maintenance_in_flight == 0` means max(1, workers - 1).
+  explicit JobSystem(std::size_t workers,
+                     std::size_t max_maintenance_in_flight = 0);
+  ~JobSystem();
+
+  JobSystem(const JobSystem&) = delete;
+  JobSystem& operator=(const JobSystem&) = delete;
+
+  /// Enqueue a job.  After stop() the cancel handler (if any) runs inline
+  /// and the job is counted cancelled.
+  void post(JobClass cls, std::function<void()> run,
+            std::function<void()> cancel = nullptr);
+
+  /// Shut down: cancel queued interactive/cold work, drain queued
+  /// maintenance until `drain` elapses, cancel the rest, join all workers.
+  /// Idempotent.
+  void stop(std::chrono::milliseconds drain = std::chrono::milliseconds(0));
+
+  /// Block until every queued job has been executed (test/bench quiesce;
+  /// does not prevent concurrent posts from re-filling the queues).
+  void drain_idle();
+
+  std::size_t num_workers() const { return workers_.size(); }
+  std::size_t max_maintenance_in_flight() const { return maintenance_cap_; }
+  JobSystemStats stats() const;
+
+ private:
+  /// Fixed-capacity-after-warm-up ring buffer of jobs.  Owner pops the
+  /// front (FIFO fairness for latency), thieves pop the back.
+  class JobRing {
+   public:
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+    void push_back(Job j);
+    Job pop_front();
+    Job pop_back();
+
+   private:
+    void grow();
+    std::vector<Job> buf_;
+    std::size_t head_ = 0;  // index of front
+    std::size_t size_ = 0;
+  };
+
+  struct Worker {
+    mutable Mutex mu GV_LOCK_RANK(gv::lockrank::kJobQueue);
+    JobRing lanes[kNumJobClasses] GV_GUARDED_BY(mu);
+    std::thread thread;
+    // xorshift steal-victim state, touched only by the owning thread.
+    std::uint64_t rng = 0;
+  };
+
+  void worker_loop(std::size_t self);
+  /// Try to pop one runnable job anywhere (own lanes first, then steal).
+  /// Returns false when nothing runnable exists right now.
+  bool try_run_one(std::size_t self);
+  bool pop_runnable(Worker& w, bool steal, Job* out, bool* reserved_maint)
+      GV_REQUIRES(w.mu);
+  void execute(Job job, bool reserved_maint);
+  void signal_work();
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::size_t maintenance_cap_ = 1;
+  std::atomic<std::size_t> maintenance_running_{0};
+  std::atomic<std::size_t> next_post_{0};
+  std::atomic<std::size_t> queued_total_{0};
+  std::atomic<std::size_t> running_total_{0};
+  std::atomic<bool> accepting_{true};
+
+  mutable Mutex idle_mu_ GV_LOCK_RANK(gv::lockrank::kJobQueue);
+  CondVar idle_cv_;
+  std::uint64_t work_signal_ GV_GUARDED_BY(idle_mu_) = 0;
+  bool stopping_ GV_GUARDED_BY(idle_mu_) = false;
+
+  mutable Mutex stats_mu_ GV_LOCK_RANK(gv::lockrank::kTelemetry);
+  JobSystemStats stats_ GV_GUARDED_BY(stats_mu_);
+
+  // Completion signal for drain_idle(): bumps when queued_total_ hits 0.
+  CondVar drained_cv_;
+};
+
+}  // namespace gv

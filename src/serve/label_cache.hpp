@@ -15,9 +15,10 @@
 #include <span>
 #include <unordered_map>
 
+#include "common/annotations.hpp"
+#include "common/arena.hpp"
 #include "sgxsim/sha256.hpp"
 #include "tensor/csr.hpp"
-#include "common/annotations.hpp"
 
 namespace gv {
 
@@ -27,7 +28,11 @@ Sha256Digest feature_row_digest(const CsrMatrix& features, std::uint32_t row);
 class LabelCache {
  public:
   /// `capacity` = maximum resident entries; 0 disables the cache entirely.
-  explicit LabelCache(std::size_t capacity) : capacity_(capacity) {}
+  explicit LabelCache(std::size_t capacity) : capacity_(capacity) {
+    // Bucket growth is a warm-up event, not a steady-state one: the map
+    // never holds more than `capacity` keys.
+    if (capacity_ > 0) index_.reserve(capacity_);
+  }
 
   /// Look up a node's label; moves the entry to the front on a hit.
   /// A digest mismatch (stale features) evicts the entry and misses.
@@ -63,10 +68,20 @@ class LabelCache {
     std::uint32_t label;
   };
 
+  // Node-recycling allocators (common/arena.hpp): the evict-one/insert-one
+  // churn of a full cache — and the erase/insert traffic of the stale-digest
+  // sweeps — round-trips through a free list instead of the heap, keeping
+  // the serving path allocation-free after warm-up.
+  using Lru = std::list<Entry, RecyclingAllocator<Entry>>;
+  using Index = std::unordered_map<
+      std::uint32_t, Lru::iterator, std::hash<std::uint32_t>,
+      std::equal_to<std::uint32_t>,
+      RecyclingAllocator<std::pair<const std::uint32_t, Lru::iterator>>>;
+
   std::size_t capacity_;
   mutable std::mutex mu_ GV_LOCK_RANK(gv::lockrank::kQueue);
-  std::list<Entry> lru_;  // front = most recently used
-  std::unordered_map<std::uint32_t, std::list<Entry>::iterator> index_;
+  Lru lru_;  // front = most recently used
+  Index index_;
 };
 
 }  // namespace gv

@@ -69,113 +69,9 @@ void VaultRegistry::publish_epc_gauges() const {
   reg.gauge("epc.standby_in_use_bytes").set(double(standby_in_use_));
 }
 
-AdmissionResult VaultRegistry::admit(const std::string& tenant, const Dataset& ds,
-                                     TrainedVault vault, ServerConfig server_cfg) {
-  GV_CHECK(!tenant.empty(), "tenant name must not be empty");
-  GV_CHECK(vault.rectifier != nullptr, "admission requires a trained rectifier");
-  std::lock_guard<std::mutex> lock(mu_);
-  GV_RANK_SCOPE(lockrank::kRegistry);
-  const bool name_taken =
-      servers_.count(tenant) > 0 || sharded_.count(tenant) > 0 ||
-      std::any_of(waiting_.begin(), waiting_.end(),
-                  [&](const Waiting& w) { return w.tenant == tenant; });
-  if (name_taken) {
-    AdmissionResult result;
-    result.estimated_bytes = estimate_enclave_bytes(vault, ds);
-    result.decision = AdmissionDecision::kRejected;
-    result.reason = "tenant name already registered";
-    return result;
-  }
-  return try_admit(tenant, ds, std::move(vault), server_cfg,
-                   cfg_.queue_when_full);
-}
-
-AdmissionResult VaultRegistry::try_admit(const std::string& tenant,
-                                         const Dataset& ds, TrainedVault&& vault,
-                                         const ServerConfig& server_cfg,
-                                         bool allow_queue) {
-  AdmissionResult result;
-  result.estimated_bytes = estimate_enclave_bytes(vault, ds);
-
-  if (result.estimated_bytes <= platform_budget_bytes_) {
-    // Fits one platform: place on the least-loaded platform with room.
-    std::uint32_t best = cfg_.num_platforms;
-    for (std::uint32_t p = 0; p < cfg_.num_platforms; ++p) {
-      if (platform_free(p) < result.estimated_bytes) continue;
-      if (best == cfg_.num_platforms ||
-          platform_in_use_[p] < platform_in_use_[best]) {
-        best = p;
-      }
-    }
-    if (best < cfg_.num_platforms) {
-      launch(tenant, ds, std::move(vault), server_cfg, best,
-             result.estimated_bytes);
-      result.decision = AdmissionDecision::kAdmitted;
-      result.reason = "fits the EPC budget of platform " + std::to_string(best);
-      return result;
-    }
-  } else {
-    // Bigger than any single platform: the pre-ShardVault registry rejected
-    // this outright.  Try to admit as K shard enclaves across the fleet.
-    bool feasible_on_empty_fleet = false;
-    if (cfg_.shard_oversized &&
-        launch_sharded(tenant, ds, std::move(vault), server_cfg, result,
-                       &feasible_on_empty_fleet)) {
-      return result;
-    }
-    // launch_sharded left `vault` intact when it could not place the tenant.
-    if (!feasible_on_empty_fleet) {
-      // No shard plan fits a platform budget at max_shards, or the plan's
-      // shards would not fit even an EMPTY fleet (or sharding is disabled):
-      // capacity freeing up can never help, so queueing would only
-      // head-of-line-block every later tenant.
-      result.decision = AdmissionDecision::kRejected;
-      result.reason = "working set exceeds the platform EPC budget outright";
-      return result;
-    }
-  }
-
-  if (!allow_queue) {
-    result.decision = AdmissionDecision::kRejected;
-    result.reason = result.estimated_bytes > platform_budget_bytes_
-                        ? "fleet lacks capacity for the tenant's shards"
-                        : "EPC budget exhausted";
-    return result;
-  }
-  waiting_.push_back(
-      Waiting{tenant, ds, std::move(vault), server_cfg, result.estimated_bytes});
-  result.decision = AdmissionDecision::kQueued;
-  result.reason = "EPC budget exhausted; queued until capacity frees";
-  return result;
-}
-
-void VaultRegistry::launch(const std::string& tenant, const Dataset& ds,
-                           TrainedVault vault, const ServerConfig& server_cfg,
-                           std::uint32_t platform, std::size_t estimated_bytes) {
-  DeploymentOptions dopts;
-  dopts.cost_model = cfg_.cost_model;
-  // Distinct enclave identity per tenant, even when tenants share a dataset:
-  // the name seeds the measurement, so sealing keys never collide.
-  dopts.enclave_name = "gnnvault.tenant." + tenant;
-  servers_[tenant] =
-      std::make_shared<VaultServer>(ds, std::move(vault), dopts, server_cfg);
-  reservations_[tenant] = {{platform, estimated_bytes}};
-  platform_in_use_[platform] += estimated_bytes;
-  publish_epc_gauges();
-}
-
-bool VaultRegistry::launch_sharded(const std::string& tenant, const Dataset& ds,
-                                   TrainedVault&& vault,
-                                   const ServerConfig& server_cfg,
-                                   AdmissionResult& result,
-                                   bool* feasible_on_empty_fleet) {
-  ShardPlan plan;
-  try {
-    plan = ShardPlanner::plan_for_budget(ds, vault, platform_budget_bytes_,
-                                         cfg_.max_shards);
-  } catch (const Error&) {
-    return false;  // no plan fits even at max_shards
-  }
+bool VaultRegistry::place_shards(const ShardPlan& plan,
+                                 std::vector<std::size_t> free,
+                                 std::vector<std::uint32_t>* placement) const {
   // Worst-fit-decreasing placement of shards onto platforms.
   std::vector<std::uint32_t> by_size(plan.num_shards);
   for (std::uint32_t s = 0; s < plan.num_shards; ++s) by_size[s] = s;
@@ -183,85 +79,249 @@ bool VaultRegistry::launch_sharded(const std::string& tenant, const Dataset& ds,
                                                        std::uint32_t b) {
     return plan.shards[a].estimated_bytes > plan.shards[b].estimated_bytes;
   });
-  const auto place = [&](std::vector<std::size_t> free,
-                         std::vector<std::uint32_t>* placement) {
-    for (const std::uint32_t s : by_size) {
-      std::uint32_t best = cfg_.num_platforms;
-      for (std::uint32_t p = 0; p < cfg_.num_platforms; ++p) {
-        if (free[p] < plan.shards[s].estimated_bytes) continue;
-        if (best == cfg_.num_platforms || free[p] > free[best]) best = p;
-      }
-      if (best == cfg_.num_platforms) return false;
-      if (placement != nullptr) (*placement)[s] = best;
-      free[best] -= plan.shards[s].estimated_bytes;
+  for (const std::uint32_t s : by_size) {
+    std::uint32_t best = cfg_.num_platforms;
+    for (std::uint32_t p = 0; p < cfg_.num_platforms; ++p) {
+      if (free[p] < plan.shards[s].estimated_bytes) continue;
+      if (best == cfg_.num_platforms || free[p] > free[best]) best = p;
     }
-    return true;
-  };
-  // Feasibility against an EMPTY fleet decides queue vs reject: a tenant
-  // whose shards cannot fit even with everyone else gone must be rejected,
-  // not parked at the head of the queue forever.
-  *feasible_on_empty_fleet =
-      place(std::vector<std::size_t>(cfg_.num_platforms, platform_budget_bytes_),
-            nullptr);
-  if (!*feasible_on_empty_fleet) return false;
-
-  std::vector<std::size_t> free(cfg_.num_platforms);
-  for (std::uint32_t p = 0; p < cfg_.num_platforms; ++p) free[p] = platform_free(p);
-  std::vector<std::uint32_t> placement(plan.num_shards, cfg_.num_platforms);
-  if (!place(std::move(free), &placement)) return false;  // no room right now
-
-  ShardedDeploymentOptions dopts;
-  dopts.cost_model = cfg_.cost_model;
-  dopts.enclave_name = "gnnvault.tenant." + tenant;
-  dopts.platform_keys.reserve(plan.num_shards);
-  for (std::uint32_t s = 0; s < plan.num_shards; ++s) {
-    dopts.platform_keys.push_back(platform_key(placement[s]));
+    if (best == cfg_.num_platforms) return false;
+    if (placement != nullptr) (*placement)[s] = best;
+    free[best] -= plan.shards[s].estimated_bytes;
   }
-  ShardedServerConfig scfg;
-  scfg.server = server_cfg;
-  scfg.replicate = cfg_.replicate_shards;
-
-  result.estimated_bytes = plan.total_bytes();
-  result.num_shards = plan.num_shards;
-  std::vector<std::size_t> shard_bytes;
-  shard_bytes.reserve(plan.num_shards);
-  for (const auto& s : plan.shards) shard_bytes.push_back(s.estimated_bytes);
-  // Build the server before committing reservations, so a provisioning
-  // failure leaves the registry's accounting untouched.
-  auto server = std::make_shared<ShardedVaultServer>(
-      ds, std::move(vault), std::move(plan), std::move(dopts), scfg);
-  auto& reservation = reservations_[tenant];
-  for (std::uint32_t s = 0; s < shard_bytes.size(); ++s) {
-    reservation.push_back({placement[s], shard_bytes[s]});
-    platform_in_use_[placement[s]] += shard_bytes[s];
-  }
-  sharded_[tenant] = std::move(server);
-  publish_epc_gauges();
-  result.decision = AdmissionDecision::kAdmittedSharded;
-  result.reason = "exceeds one platform's EPC budget; admitted as " +
-                  std::to_string(result.num_shards) + " shards";
   return true;
 }
 
-void VaultRegistry::admit_from_queue() {
+bool VaultRegistry::reserve_locked(const std::string& tenant,
+                                   std::size_t estimated_bytes, bool sharded,
+                                   const ShardPlan& plan,
+                                   std::vector<std::uint32_t>* placement,
+                                   std::vector<std::size_t>* shard_bytes) {
+  if (!sharded) {
+    // Fits one platform: place on the least-loaded platform with room.
+    std::uint32_t best = cfg_.num_platforms;
+    for (std::uint32_t p = 0; p < cfg_.num_platforms; ++p) {
+      if (platform_free(p) < estimated_bytes) continue;
+      if (best == cfg_.num_platforms ||
+          platform_in_use_[p] < platform_in_use_[best]) {
+        best = p;
+      }
+    }
+    if (best == cfg_.num_platforms) return false;
+    placement->assign(1, best);
+    shard_bytes->assign(1, estimated_bytes);
+  } else {
+    std::vector<std::size_t> free(cfg_.num_platforms);
+    for (std::uint32_t p = 0; p < cfg_.num_platforms; ++p) {
+      free[p] = platform_free(p);
+    }
+    placement->assign(plan.num_shards, cfg_.num_platforms);
+    if (!place_shards(plan, std::move(free), placement)) {
+      return false;  // no room right now
+    }
+    shard_bytes->clear();
+    shard_bytes->reserve(plan.num_shards);
+    for (const auto& s : plan.shards) shard_bytes->push_back(s.estimated_bytes);
+  }
+  // Book the bytes and take the name NOW, under the lock; the enclaves are
+  // provisioned after it is released.
+  auto& reservation = reservations_[tenant];
+  for (std::size_t s = 0; s < placement->size(); ++s) {
+    reservation.push_back({(*placement)[s], (*shard_bytes)[s]});
+    platform_in_use_[(*placement)[s]] += (*shard_bytes)[s];
+  }
+  provisioning_.insert(tenant);
+  publish_epc_gauges();
+  return true;
+}
+
+void VaultRegistry::release_reservation_locked(const std::string& tenant) {
+  const auto rit = reservations_.find(tenant);
+  if (rit != reservations_.end()) {
+    for (const auto& [platform, bytes] : rit->second) {
+      if (platform == kStandbyPlatform) {
+        standby_in_use_ -= bytes;
+      } else {
+        platform_in_use_[platform] -= bytes;
+      }
+    }
+    reservations_.erase(rit);
+  }
+  provisioning_.erase(tenant);
+  publish_epc_gauges();
+}
+
+std::vector<VaultRegistry::PendingLaunch>
+VaultRegistry::reserve_from_queue_locked() {
   // FIFO without skipping: a large tenant at the head is not starved by
   // smaller tenants jumping the queue behind it.
+  std::vector<PendingLaunch> jobs;
   while (!waiting_.empty()) {
     Waiting& head = waiting_.front();
-    // Probe without dequeuing: re-run admission with queueing disabled.
-    Waiting w = std::move(head);
-    waiting_.pop_front();
-    AdmissionResult r =
-        try_admit(w.tenant, w.ds, std::move(w.vault), w.server_cfg,
-                  /*allow_queue=*/false);
-    if (r.decision == AdmissionDecision::kAdmitted ||
-        r.decision == AdmissionDecision::kAdmittedSharded) {
-      continue;  // promoted; try the next waiter
+    PendingLaunch job;
+    if (!reserve_locked(head.tenant, head.estimated_bytes, head.sharded,
+                        head.plan, &job.placement, &job.shard_bytes)) {
+      break;  // still no room: the head keeps its place
     }
-    // Still no room: put it back at the head and stop.
-    waiting_.push_front(std::move(w));
-    break;
+    job.tenant = std::move(head.tenant);
+    job.ds = std::move(head.ds);
+    job.vault = std::move(head.vault);
+    job.server_cfg = head.server_cfg;
+    job.sharded = head.sharded;
+    job.plan = std::move(head.plan);
+    waiting_.pop_front();
+    jobs.push_back(std::move(job));
   }
+  return jobs;
+}
+
+void VaultRegistry::provision_and_commit(PendingLaunch&& job) {
+  std::shared_ptr<VaultServer> server;
+  std::shared_ptr<ShardedVaultServer> sharded;
+  try {
+    // The expensive part — enclave provisioning, sealing, the initial
+    // sharded refresh — runs with NO registry lock held.
+    if (job.sharded) {
+      ShardedDeploymentOptions dopts;
+      dopts.cost_model = cfg_.cost_model;
+      dopts.enclave_name = "gnnvault.tenant." + job.tenant;
+      dopts.platform_keys.reserve(job.plan.num_shards);
+      for (std::uint32_t s = 0; s < job.plan.num_shards; ++s) {
+        dopts.platform_keys.push_back(platform_key(job.placement[s]));
+      }
+      ShardedServerConfig scfg;
+      scfg.server = job.server_cfg;
+      scfg.replicate = cfg_.replicate_shards;
+      sharded = std::make_shared<ShardedVaultServer>(
+          job.ds, std::move(job.vault), std::move(job.plan), std::move(dopts),
+          scfg);
+    } else {
+      DeploymentOptions dopts;
+      dopts.cost_model = cfg_.cost_model;
+      // Distinct enclave identity per tenant, even when tenants share a
+      // dataset: the name seeds the measurement, so sealing keys never
+      // collide.
+      dopts.enclave_name = "gnnvault.tenant." + job.tenant;
+      server = std::make_shared<VaultServer>(job.ds, std::move(job.vault),
+                                             dopts, job.server_cfg);
+    }
+  } catch (...) {
+    // ROLLBACK: release the reservation; the freed bytes may admit queued
+    // tenants, so re-drain the queue before rethrowing.
+    std::vector<PendingLaunch> next;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      GV_RANK_SCOPE(lockrank::kRegistry);
+      release_reservation_locked(job.tenant);
+      next = reserve_from_queue_locked();
+    }
+    provision_all(std::move(next));
+    throw;
+  }
+  // COMMIT: publish the live server.
+  std::lock_guard<std::mutex> lock(mu_);
+  GV_RANK_SCOPE(lockrank::kRegistry);
+  provisioning_.erase(job.tenant);
+  if (job.sharded) {
+    sharded_[job.tenant] = std::move(sharded);
+  } else {
+    servers_[job.tenant] = std::move(server);
+  }
+}
+
+void VaultRegistry::provision_all(std::vector<PendingLaunch>&& jobs) {
+  for (auto& job : jobs) provision_and_commit(std::move(job));
+}
+
+AdmissionResult VaultRegistry::admit(const std::string& tenant, const Dataset& ds,
+                                     TrainedVault vault, ServerConfig server_cfg) {
+  GV_CHECK(!tenant.empty(), "tenant name must not be empty");
+  GV_CHECK(vault.rectifier != nullptr, "admission requires a trained rectifier");
+  AdmissionResult result;
+  result.estimated_bytes = estimate_enclave_bytes(vault, ds);
+
+  // Plan an oversized tenant's shards OUTSIDE the lock: planning walks the
+  // whole graph, and it depends only on the tenant's own inputs and the
+  // (immutable) per-platform budget.
+  const bool sharded = result.estimated_bytes > platform_budget_bytes_;
+  ShardPlan plan;
+  if (sharded) {
+    bool planned = false;
+    if (cfg_.shard_oversized) {
+      try {
+        plan = ShardPlanner::plan_for_budget(ds, vault, platform_budget_bytes_,
+                                             cfg_.max_shards);
+        planned = true;
+      } catch (const Error&) {
+        // no plan fits a platform budget even at max_shards
+      }
+    }
+    // Feasibility against an EMPTY fleet decides queue vs reject: a tenant
+    // whose shards cannot fit even with everyone else gone must be
+    // rejected, not parked at the head of the queue forever.
+    if (!planned ||
+        !place_shards(plan,
+                      std::vector<std::size_t>(cfg_.num_platforms,
+                                               platform_budget_bytes_),
+                      nullptr)) {
+      result.decision = AdmissionDecision::kRejected;
+      result.reason = "working set exceeds the platform EPC budget outright";
+      return result;
+    }
+    result.estimated_bytes = plan.total_bytes();
+    result.num_shards = plan.num_shards;
+  }
+
+  // RESERVE under the lock: name + bytes.
+  PendingLaunch job;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    GV_RANK_SCOPE(lockrank::kRegistry);
+    const bool name_taken =
+        servers_.count(tenant) > 0 || sharded_.count(tenant) > 0 ||
+        provisioning_.count(tenant) > 0 ||
+        std::any_of(waiting_.begin(), waiting_.end(),
+                    [&](const Waiting& w) { return w.tenant == tenant; });
+    if (name_taken) {
+      result.decision = AdmissionDecision::kRejected;
+      result.reason = "tenant name already registered";
+      return result;
+    }
+    if (!reserve_locked(tenant, result.estimated_bytes, sharded, plan,
+                        &job.placement, &job.shard_bytes)) {
+      if (!cfg_.queue_when_full) {
+        result.decision = AdmissionDecision::kRejected;
+        result.reason = sharded ? "fleet lacks capacity for the tenant's shards"
+                                : "EPC budget exhausted";
+        return result;
+      }
+      waiting_.push_back(Waiting{tenant, ds, std::move(vault), server_cfg,
+                                 result.estimated_bytes, sharded,
+                                 std::move(plan)});
+      result.decision = AdmissionDecision::kQueued;
+      result.reason = "EPC budget exhausted; queued until capacity frees";
+      return result;
+    }
+  }
+
+  // PROVISION + COMMIT outside the lock.
+  job.tenant = tenant;
+  job.ds = ds;
+  job.vault = std::move(vault);
+  job.server_cfg = server_cfg;
+  job.sharded = sharded;
+  job.plan = std::move(plan);
+  if (sharded) {
+    result.decision = AdmissionDecision::kAdmittedSharded;
+    result.reason = "exceeds one platform's EPC budget; admitted as " +
+                    std::to_string(result.num_shards) + " shards";
+  } else {
+    result.decision = AdmissionDecision::kAdmitted;
+    result.reason =
+        "fits the EPC budget of platform " + std::to_string(job.placement[0]);
+  }
+  provision_and_commit(std::move(job));
+  return result;
 }
 
 bool VaultRegistry::has(const std::string& tenant) const {
@@ -300,6 +360,7 @@ bool VaultRegistry::remove(const std::string& tenant) {
   // tenant's server() lookups.
   std::shared_ptr<VaultServer> victim;
   std::shared_ptr<ShardedVaultServer> sharded_victim;
+  std::vector<PendingLaunch> promoted;
   {
     std::lock_guard<std::mutex> lock(mu_);
     GV_RANK_SCOPE(lockrank::kRegistry);
@@ -322,7 +383,7 @@ bool VaultRegistry::remove(const std::string& tenant) {
       }
       reservations_.erase(tenant);
       publish_epc_gauges();
-      admit_from_queue();
+      promoted = reserve_from_queue_locked();
     } else {
       const auto wit =
           std::find_if(waiting_.begin(), waiting_.end(),
@@ -332,6 +393,8 @@ bool VaultRegistry::remove(const std::string& tenant) {
       return true;
     }
   }
+  // Promoted waiters provision OUTSIDE the lock, like direct admission.
+  provision_all(std::move(promoted));
   victim.reset();  // may outlive this call if other threads hold the handle
   sharded_victim.reset();
   return true;
@@ -358,6 +421,7 @@ void VaultRegistry::fail_shard(const std::string& tenant, std::uint32_t shard) {
   // accounting moves only after the kill actually fenced the shard, so a
   // failed kill leaves the registry's books untouched.
   server->kill_shard(shard);
+  std::vector<PendingLaunch> promoted;
   {
     std::lock_guard<std::mutex> lock(mu_);
     GV_RANK_SCOPE(lockrank::kRegistry);
@@ -377,8 +441,9 @@ void VaultRegistry::fail_shard(const std::string& tenant, std::uint32_t shard) {
     publish_epc_gauges();
     // The dead enclave's capacity is free NOW — the promotion runs on the
     // standby platform — so queued tenants need not wait for it to land.
-    admit_from_queue();
+    promoted = reserve_from_queue_locked();
   }
+  provision_all(std::move(promoted));
 }
 
 std::size_t VaultRegistry::standby_in_use() const {

@@ -16,6 +16,15 @@
 // whose largest shard fits a platform budget and the fleet has room for
 // all K.  Each platform has its own fuse key, so shard packages seal
 // per-platform and halo traffic runs over attested channels.
+//
+// JobServe admission redesign: admission is now RESERVE -> PROVISION ->
+// COMMIT.  The registry lock is held only to check the name, pick a
+// placement, and reserve the EPC bytes; the expensive part — provisioning
+// the enclave(s), sealing the graph, running the initial sharded refresh —
+// happens OUTSIDE the lock, and the reservation is committed (server handle
+// published) or rolled back (bytes released, queue re-drained) afterwards.
+// A whale tenant's minutes-long provisioning no longer stalls every other
+// tenant's server() lookup on mu_.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +32,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -126,25 +136,59 @@ class VaultRegistry {
                                             const Dataset& ds);
 
  private:
+  /// A queued tenant.  The shard plan of an oversized tenant is computed
+  /// once, outside the lock, when the tenant first arrives — a queue drain
+  /// under the lock then only needs the (cheap) placement pass.
   struct Waiting {
     std::string tenant;
     Dataset ds;
     TrainedVault vault;
     ServerConfig server_cfg;
     std::size_t estimated_bytes = 0;
+    bool sharded = false;
+    ShardPlan plan;  // sharded only
   };
 
-  /// Registry lock held for all of these.
-  AdmissionResult try_admit(const std::string& tenant, const Dataset& ds,
-                            TrainedVault&& vault, const ServerConfig& server_cfg,
-                            bool allow_queue);
-  void launch(const std::string& tenant, const Dataset& ds, TrainedVault vault,
-              const ServerConfig& server_cfg, std::uint32_t platform,
-              std::size_t estimated_bytes);
-  bool launch_sharded(const std::string& tenant, const Dataset& ds,
-                      TrainedVault&& vault, const ServerConfig& server_cfg,
-                      AdmissionResult& result, bool* feasible_on_empty_fleet);
-  void admit_from_queue();
+  /// A reservation that has been booked under the lock and now needs its
+  /// enclave(s) provisioned outside it.
+  struct PendingLaunch {
+    std::string tenant;
+    Dataset ds;
+    TrainedVault vault;
+    ServerConfig server_cfg;
+    bool sharded = false;
+    ShardPlan plan;                        // sharded only
+    std::vector<std::uint32_t> placement;  // platform per shard; [0] unsharded
+    std::vector<std::size_t> shard_bytes;  // bytes per shard; [0] unsharded
+  };
+
+  /// Worst-fit-decreasing placement of the plan's shards onto `free`
+  /// per-platform headroom.  Fills `placement` (and debits `free`) on
+  /// success; pure — no registry state is touched.
+  bool place_shards(const ShardPlan& plan, std::vector<std::size_t> free,
+                    std::vector<std::uint32_t>* placement) const;
+
+  /// RESERVE phase (lock held): pick a placement against the current books
+  /// and reserve the bytes + the tenant name.  Returns false when the fleet
+  /// has no room right now.
+  bool reserve_locked(const std::string& tenant, std::size_t estimated_bytes,
+                      bool sharded, const ShardPlan& plan,
+                      std::vector<std::uint32_t>* placement,
+                      std::vector<std::size_t>* shard_bytes) GV_REQUIRES(mu_);
+  /// Drop a reserved-but-not-committed tenant's bytes (provisioning failed).
+  void release_reservation_locked(const std::string& tenant) GV_REQUIRES(mu_);
+  /// Reserve as many queued tenants as now fit (FIFO, no skipping); the
+  /// caller provisions the returned launches after releasing the lock.
+  std::vector<PendingLaunch> reserve_from_queue_locked() GV_REQUIRES(mu_);
+
+  /// PROVISION + COMMIT phase (lock NOT held): build the server(s), then
+  /// publish the handle under the lock.  On a provisioning failure the
+  /// reservation is rolled back, the queue re-drained, and the error
+  /// rethrown.
+  void provision_and_commit(PendingLaunch&& job);
+  /// provision_and_commit for every launch, in order.
+  void provision_all(std::vector<PendingLaunch>&& jobs);
+
   std::size_t platform_free(std::uint32_t p) const;
   /// Publish per-platform EPC headroom (budget - in-use) gauges to the
   /// global MetricsRegistry; called wherever the books change.
@@ -157,6 +201,10 @@ class VaultRegistry {
   std::size_t standby_in_use_ = 0;
   std::map<std::string, std::shared_ptr<VaultServer>> servers_;
   std::map<std::string, std::shared_ptr<ShardedVaultServer>> sharded_;
+  /// Tenants reserved and provisioning right now (outside the lock); their
+  /// names are taken and their bytes are booked, but server()/has() do not
+  /// see them until the commit.
+  std::set<std::string> provisioning_;
   /// tenant -> per-(platform, bytes) reservations (one entry per shard).
   std::map<std::string, std::vector<std::pair<std::uint32_t, std::size_t>>>
       reservations_;

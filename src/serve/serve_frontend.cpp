@@ -1,0 +1,263 @@
+#include "serve/serve_frontend.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "obs/query_trace.hpp"
+#include "obs/trace.hpp"
+
+namespace gv {
+
+ServeFrontEnd::ServeFrontEnd(ServeBackend& backend, const ServerConfig& cfg,
+                             std::size_t num_nodes)
+    : backend_(backend),
+      cfg_(cfg),
+      cache_(cfg.cache_capacity),
+      num_nodes_(num_nodes),
+      queue_(cfg.max_batch, cfg.max_wait),
+      jobs_(std::max<std::size_t>(1, cfg.worker_threads),
+            cfg.max_maintenance_in_flight) {
+  cfg_.max_batch = std::max<std::size_t>(1, cfg_.max_batch);
+  cfg_.worker_threads = jobs_.num_workers();
+  cfg_.max_maintenance_in_flight = jobs_.max_maintenance_in_flight();
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+ServeFrontEnd::~ServeFrontEnd() { stop(); }
+
+void ServeFrontEnd::stop() {
+  bool expected = false;
+  if (!stopped_.compare_exchange_strong(expected, true)) return;
+  // 1. Queue first: new submits throw, queued-but-unflushed INTERACTIVE
+  //    waiters fail with the "server shutting down" Error.
+  queue_.stop();
+  // 2. The dispatcher sees next_batch() return false and exits (batches it
+  //    already posted are owned by their jobs).
+  if (dispatcher_.joinable()) dispatcher_.join();
+  // 3. Job system: queued interactive/cold jobs are cancelled — a flush
+  //    job's cancel handler fails its batch's waiters with the same
+  //    shutdown error — while queued MAINTENANCE drains bounded by the
+  //    configured deadline.  In-flight jobs of every class complete.
+  jobs_.stop(cfg_.shutdown_drain);
+}
+
+SubmitToken ServeFrontEnd::submit(std::uint32_t node) {
+  GV_CHECK(node < num_nodes_.load(), "query node out of range");
+  metrics_.record_request();
+  Sha256Digest digest{};  // only computed (and consulted) when caching is on
+  if (cache_.enabled()) {
+    digest = backend_.row_digest(node);
+    if (const auto hit = cache_.get(node, digest)) {
+      metrics_.record_cache_hit();
+      metrics_.record_latency_ms(0.0);
+      return SubmitToken::ready_value(*hit);
+    }
+    metrics_.record_cache_miss();
+  }
+  TokenState* state = tokens_.acquire();
+  bool coalesced = false;
+  try {
+    coalesced = queue_.submit(node, digest, state);
+  } catch (...) {
+    state->abandon();  // the queue never owned the producer reference
+    throw;
+  }
+  if (coalesced) metrics_.record_coalesced();
+  return SubmitToken(state);
+}
+
+SubmitBatch ServeFrontEnd::submit_many(std::span<const std::uint32_t> nodes) {
+  SubmitBatch out;
+  out.reserve(nodes.size());
+  // Resolve cache hits up front, then enqueue every miss under ONE
+  // queue-lock acquisition (the old front ends paid N submit round-trips).
+  std::vector<std::uint32_t> miss_nodes;
+  std::vector<Sha256Digest> miss_digests;
+  std::vector<TokenState*> miss_states;
+  miss_nodes.reserve(nodes.size());
+  miss_digests.reserve(nodes.size());
+  miss_states.reserve(nodes.size());
+  for (const auto node : nodes) {
+    GV_CHECK(node < num_nodes_.load(), "query node out of range");
+    metrics_.record_request();
+    Sha256Digest digest{};
+    if (cache_.enabled()) {
+      digest = backend_.row_digest(node);
+      if (const auto hit = cache_.get(node, digest)) {
+        metrics_.record_cache_hit();
+        metrics_.record_latency_ms(0.0);
+        out.push_back(SubmitToken::ready_value(*hit));
+        continue;
+      }
+      metrics_.record_cache_miss();
+    }
+    TokenState* state = tokens_.acquire();
+    miss_nodes.push_back(node);
+    miss_digests.push_back(digest);
+    miss_states.push_back(state);
+    out.push_back(SubmitToken(state));
+  }
+  if (!miss_nodes.empty()) {
+    std::size_t coalesced = 0;
+    try {
+      coalesced = queue_.submit_many(miss_nodes, miss_digests, miss_states);
+    } catch (...) {
+      // The queue consumed nothing: fail the pending tokens so callers see
+      // the shutdown error instead of hanging, then rethrow.
+      const auto err = std::current_exception();
+      for (TokenState* s : miss_states) s->fail(err);
+      throw;
+    }
+    for (std::size_t i = 0; i < coalesced; ++i) metrics_.record_coalesced();
+  }
+  return out;
+}
+
+std::uint32_t ServeFrontEnd::query(std::uint32_t node) {
+  return submit(node).get();
+}
+
+void ServeFrontEnd::post_background(JobClass cls, std::function<void()> fn,
+                                    std::function<void()> on_cancel) {
+  jobs_.post(cls, std::move(fn), std::move(on_cancel));
+}
+
+void ServeFrontEnd::flush() { queue_.flush(); }
+
+std::size_t ServeFrontEnd::pending() const { return queue_.pending(); }
+
+ServeFrontEnd::Batch* ServeFrontEnd::acquire_batch() {
+  {
+    MutexLock lock(pool_mu_);
+    GV_RANK_SCOPE(lockrank::kJobQueue);
+    if (!free_batches_.empty()) {
+      Batch* b = free_batches_.back();
+      free_batches_.pop_back();
+      return b;
+    }
+  }
+  // Warm-up: the pool grows to (dispatched-ahead depth) batches and then
+  // cycles forever.
+  auto owned = std::make_unique<Batch>();
+  Batch* b = owned.get();
+  MutexLock lock(pool_mu_);
+  GV_RANK_SCOPE(lockrank::kJobQueue);
+  all_batches_.push_back(std::move(owned));
+  return b;
+}
+
+void ServeFrontEnd::release_batch(Batch* b) {
+  b->count = 0;
+  MutexLock lock(pool_mu_);
+  GV_RANK_SCOPE(lockrank::kJobQueue);
+  free_batches_.push_back(b);
+}
+
+void ServeFrontEnd::dispatcher_loop() {
+  for (;;) {
+    Batch* b = acquire_batch();
+    if (!queue_.next_batch(b)) {
+      release_batch(b);
+      return;  // stopped and drained
+    }
+    // The flush itself is an INTERACTIVE job: it competes with (and beats)
+    // cold/maintenance work on the same workers.
+    jobs_.post(
+        JobClass::kInteractive,
+        [this, b] {
+          execute_batch(*b);
+          release_batch(b);
+        },
+        [this, b] {
+          fail_batch_shutdown(*b);
+          release_batch(b);
+        });
+  }
+}
+
+void ServeFrontEnd::fail_batch_shutdown(Batch& b) {
+  const auto err = std::make_exception_ptr(Error("server shutting down"));
+  for (std::size_t i = 0; i < b.count; ++i) {
+    for (TokenState* w : b.entries[i].waiters) w->fail(err);
+    b.entries[i].waiters.clear();
+  }
+}
+
+void ServeFrontEnd::execute_batch(Batch& b) {
+  const std::size_t n = b.count;
+  b.arena.reset();
+  auto nodes = b.arena.alloc_array<std::uint32_t>(n);
+  std::size_t waiters = 0;
+  auto oldest = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& e = b.entries[i];
+    nodes[i] = e.node;
+    waiters += e.waiters.size();
+    oldest = std::min(oldest, e.enqueued);
+  }
+  const auto flush_start = std::chrono::steady_clock::now();
+  // Queue stage, per entry: enqueue -> flush start.  The oldest entry also
+  // labels the async queue_wait slice with its query id.
+  std::uint64_t oldest_qid = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& e = b.entries[i];
+    if (e.enqueued == oldest) oldest_qid = e.query_id;
+    record_query_stage(
+        QueryStage::kQueue,
+        std::chrono::duration<double>(flush_start - e.enqueued).count());
+  }
+  // The wait the batch's oldest request spent in the micro-batch queue,
+  // reconstructed from its enqueue timestamp (no-op when tracing is off).
+  TraceRecorder::instance().emit_async("serve", "queue_wait", oldest,
+                                       flush_start, 0.0,
+                                       {{"batch_size", double(n)},
+                                        {"query_id", double(oldest_qid)}});
+  // The flush runs in the scope of the batch's first entry — a multi-query
+  // batch attributes its shared spans (routing, ecalls, any cold walk the
+  // backend falls back to, halo pulls on peers) to that representative
+  // query (the batch is one causal unit).
+  QueryScope qscope(b.entries[0].query_id);
+  TraceSpan span("serve", "batch_flush");
+  span.arg("batch_size", double(n));
+  span.arg("waiters", double(waiters));
+  double modeled_before = 0.0;
+  if (span.active()) modeled_before = backend_.modeled_seconds_total();
+  try {
+    auto labels = b.arena.alloc_array<std::uint32_t>(n);
+    std::span<Sha256Digest> digests{};
+    if (cache_.enabled()) digests = b.arena.alloc_array<Sha256Digest>(n);
+    const auto result = backend_.execute(nodes, labels, digests);
+    const auto done = std::chrono::steady_clock::now();
+    record_query_stage(
+        QueryStage::kFlush,
+        std::chrono::duration<double>(done - flush_start).count());
+    if (span.active()) {
+      span.modeled_seconds(backend_.modeled_seconds_total() - modeled_before);
+    }
+    // Account the batch before resolving any token, so a caller observing
+    // its token completed also observes the batch in stats().
+    metrics_.record_batch(waiters);
+    const bool cacheable = cache_.enabled() && result.cacheable;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (cacheable) cache_.put(b.entries[i].node, digests[i], labels[i]);
+      const double ms = std::chrono::duration<double, std::milli>(
+                            done - b.entries[i].enqueued)
+                            .count();
+      for (std::size_t w = 0; w < b.entries[i].waiters.size(); ++w) {
+        metrics_.record_latency_ms(ms);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      for (TokenState* w : b.entries[i].waiters) w->resolve(labels[i]);
+      b.entries[i].waiters.clear();
+    }
+  } catch (...) {
+    const auto err = std::current_exception();
+    for (std::size_t i = 0; i < n; ++i) {
+      for (TokenState* w : b.entries[i].waiters) w->fail(err);
+      b.entries[i].waiters.clear();
+    }
+  }
+}
+
+}  // namespace gv

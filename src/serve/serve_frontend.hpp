@@ -1,0 +1,187 @@
+// ServeFrontEnd: the unified JobServe serving front end.
+//
+// Before this redesign, VaultServer and ShardedVaultServer each hand-rolled
+// the same submit / submit_many / query / worker-loop / execute-batch
+// machinery around a MicroBatchQueue and a FIFO ThreadPool.  ServeFrontEnd
+// owns that machinery ONCE — both servers now compose it and plug in a
+// ServeBackend that answers "what are the labels of these nodes":
+//
+//   callers ── submit(node) ─▶ LabelCache probe ─ hit ─▶ inline-ready token
+//                   │ miss                                  (zero alloc)
+//                   ▼
+//            MicroBatchQueue  (coalescing, deadline micro-batching,
+//                   │          pooled slots — zero alloc after warm-up)
+//                   ▼
+//            dispatcher thread ── pops batches, posts INTERACTIVE flush
+//                   │             jobs (pooled Batch + arena)
+//                   ▼
+//            JobSystem workers ── work-stealing, 3 priority classes;
+//                   │             maintenance/cold work (migrations,
+//                   │             recomputes) rides the SAME workers at
+//                   ▼             lower priority, capped in flight
+//            ServeBackend::execute  (one ecall / one routed fan-out)
+//                   │
+//            tokens resolve; labels cached; QueryLens stages recorded
+//
+// The observability contract of the old worker loops survives verbatim:
+// the per-entry `queue` stage, the async "serve/queue_wait" slice labeled
+// with the oldest entry's query id, the QueryScope of the representative
+// (first) entry, the "serve/batch_flush" span with batch_size/waiters args
+// and the modeled-seconds delta, the `flush` stage, and record_batch
+// landing BEFORE any token resolves.
+//
+// Shutdown ordering (stop()): the queue rejects new work and fails queued
+// INTERACTIVE waiters with the existing "server shutting down" Error; the
+// dispatcher exits; the job system cancels queued interactive/cold jobs
+// (their cancel handlers fail the batch's waiters the same way) while
+// queued MAINTENANCE drains bounded by cfg.shutdown_drain; in-flight jobs
+// always complete.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/annotations.hpp"
+#include "common/thread_safety.hpp"
+#include "serve/batch_queue.hpp"
+#include "serve/job_system.hpp"
+#include "serve/label_cache.hpp"
+#include "serve/server_metrics.hpp"
+#include "serve/submit_token.hpp"
+
+namespace gv {
+
+struct ServerConfig {
+  /// Flush a batch as soon as this many requests are pending.
+  std::size_t max_batch = 32;
+  /// ... or when the oldest pending request has waited this long.
+  std::chrono::microseconds max_wait{2000};
+  /// JobSystem workers executing batch flushes and background jobs (each
+  /// batch is one serialized ecall; extra workers overlap untrusted-side
+  /// work with enclave execution).
+  std::size_t worker_threads = 1;
+  /// LRU label-cache entries; 0 disables caching.
+  std::size_t cache_capacity = 1024;
+  /// Maintenance jobs allowed in flight at once (tenant QoS: interactive
+  /// work can never be starved of workers).  0 = max(1, worker_threads-1).
+  std::size_t max_maintenance_in_flight = 0;
+  /// Shutdown: how long queued MAINTENANCE jobs may keep draining after
+  /// stop() before being cancelled.
+  std::chrono::milliseconds shutdown_drain{200};
+};
+
+/// What a server plugs into the front end: the label computation (and the
+/// cache-key digests that go with it).
+class ServeBackend {
+ public:
+  struct BatchResult {
+    /// False when the labels must not be cached (e.g. the ownership epoch
+    /// moved mid-batch and digests can no longer vouch for them).
+    bool cacheable = true;
+  };
+
+  virtual ~ServeBackend() = default;
+
+  /// Cache-key digest of the node's current feature row (submit path).
+  virtual Sha256Digest row_digest(std::uint32_t node) const = 0;
+
+  /// Compute labels[i] for nodes[i] (one batch = one ecall / one routed
+  /// fan-out).  When `digests` is non-empty (caching on), also fill
+  /// digests[i] with the digest of the snapshot the label was computed
+  /// against.  Runs on a JobSystem worker under the batch's QueryScope.
+  virtual BatchResult execute(std::span<const std::uint32_t> nodes,
+                              std::span<std::uint32_t> labels,
+                              std::span<Sha256Digest> digests) = 0;
+
+  /// Total modeled SGX seconds accumulated so far (batch_flush span delta).
+  virtual double modeled_seconds_total() const = 0;
+};
+
+class ServeFrontEnd {
+ public:
+  /// `num_nodes` bounds submit()'s node ids (grows via set_num_nodes).
+  /// The backend must outlive the front end.
+  ServeFrontEnd(ServeBackend& backend, const ServerConfig& cfg,
+                std::size_t num_nodes);
+  ~ServeFrontEnd();
+
+  ServeFrontEnd(const ServeFrontEnd&) = delete;
+  ServeFrontEnd& operator=(const ServeFrontEnd&) = delete;
+
+  /// Asynchronous per-node label query.  Cache hits return an inline-ready
+  /// token; misses enqueue a pooled token — zero heap either way after
+  /// warm-up.  Throws gv::Error after stop().
+  SubmitToken submit(std::uint32_t node);
+
+  /// Node-subset query: one token per node, preserving order.  All cache
+  /// misses enqueue under ONE queue-lock acquisition.
+  SubmitBatch submit_many(std::span<const std::uint32_t> nodes);
+
+  /// Convenience blocking query.
+  std::uint32_t query(std::uint32_t node);
+
+  /// Background (non-interactive) work sharing the serving workers:
+  /// kCold for demand recomputes, kMaintenance for migrations /
+  /// replication / re-materialization sweeps.  `on_cancel` runs instead of
+  /// `fn` if the job is shed at shutdown.
+  void post_background(JobClass cls, std::function<void()> fn,
+                       std::function<void()> on_cancel = nullptr);
+
+  /// Force-flush pending requests without waiting for the deadline.
+  void flush();
+  /// Pending (queued, unflushed) requests; coalesced duplicates count once.
+  std::size_t pending() const;
+
+  /// Shutdown (idempotent; also run by the destructor): fail queued
+  /// interactive work, drain maintenance bounded by cfg.shutdown_drain,
+  /// join dispatcher + workers.
+  void stop();
+
+  /// Grow the valid node-id range (update_graph node adds).
+  void set_num_nodes(std::size_t n) { num_nodes_.store(n); }
+  std::size_t num_nodes() const { return num_nodes_.load(); }
+
+  LabelCache& cache() { return cache_; }
+  const LabelCache& cache() const { return cache_; }
+  ServerMetrics& metrics() { return metrics_; }
+  const ServerMetrics& metrics() const { return metrics_; }
+  JobSystem& jobs() { return jobs_; }
+  const ServerConfig& config() const { return cfg_; }
+
+ private:
+  using Batch = MicroBatchQueue::Batch;
+
+  void dispatcher_loop();
+  void execute_batch(Batch& b);
+  /// Fail every waiter of an undispatched batch with the shutdown error.
+  void fail_batch_shutdown(Batch& b);
+
+  Batch* acquire_batch();
+  void release_batch(Batch* b);
+
+  ServeBackend& backend_;
+  ServerConfig cfg_;
+  LabelCache cache_;
+  ServerMetrics metrics_;
+  std::atomic<std::size_t> num_nodes_;
+
+  MicroBatchQueue queue_;
+  TokenPool tokens_;
+  JobSystem jobs_;
+
+  /// Pooled batches cycling between the dispatcher and flush jobs; their
+  /// entry/waiter capacities and arena blocks are retained across reuse.
+  mutable Mutex pool_mu_ GV_LOCK_RANK(gv::lockrank::kJobQueue);
+  std::vector<std::unique_ptr<Batch>> all_batches_ GV_GUARDED_BY(pool_mu_);
+  std::vector<Batch*> free_batches_ GV_GUARDED_BY(pool_mu_);
+
+  std::thread dispatcher_;
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace gv

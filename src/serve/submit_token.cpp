@@ -1,0 +1,204 @@
+#include "serve/submit_token.hpp"
+
+#include "common/error.hpp"
+
+namespace gv {
+
+// --- TokenState --------------------------------------------------------------
+
+void TokenState::resolve(std::uint32_t value) {
+  Callback cb;
+  {
+    MutexLock lock(mu_);
+    GV_RANK_SCOPE(lockrank::kTokenState);
+    GV_CHECK(!resolved_, "token resolved twice");
+    resolved_ = true;
+    value_ = value;
+    cb = std::move(callback_);
+    callback_ = nullptr;
+  }
+  cv_.notify_all();
+  // Run the callback outside every lock: it may submit follow-up queries.
+  if (cb) cb(value, nullptr);
+  unref();
+}
+
+void TokenState::fail(std::exception_ptr error) {
+  Callback cb;
+  {
+    MutexLock lock(mu_);
+    GV_RANK_SCOPE(lockrank::kTokenState);
+    GV_CHECK(!resolved_, "token resolved twice");
+    resolved_ = true;
+    error_ = error;
+    cb = std::move(callback_);
+    callback_ = nullptr;
+  }
+  cv_.notify_all();
+  if (cb) cb(0, error);
+  unref();
+}
+
+std::uint32_t TokenState::get() {
+  MutexLock lock(mu_);
+  GV_RANK_SCOPE(lockrank::kTokenState);
+  while (!resolved_) cv_.wait(mu_);
+  if (error_) std::rethrow_exception(error_);
+  return value_;
+}
+
+bool TokenState::wait_for(std::chrono::microseconds dur) {
+  const auto deadline = std::chrono::steady_clock::now() + dur;
+  MutexLock lock(mu_);
+  GV_RANK_SCOPE(lockrank::kTokenState);
+  while (!resolved_) {
+    if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout) {
+      return resolved_;
+    }
+  }
+  return true;
+}
+
+void TokenState::wait() {
+  MutexLock lock(mu_);
+  GV_RANK_SCOPE(lockrank::kTokenState);
+  while (!resolved_) cv_.wait(mu_);
+}
+
+bool TokenState::ready() const {
+  MutexLock lock(mu_);
+  GV_RANK_SCOPE(lockrank::kTokenState);
+  return resolved_;
+}
+
+void TokenState::install_callback(Callback cb) {
+  bool run_now = false;
+  std::uint32_t value = 0;
+  std::exception_ptr error;
+  {
+    MutexLock lock(mu_);
+    GV_RANK_SCOPE(lockrank::kTokenState);
+    GV_CHECK(!callback_, "token already has a callback");
+    if (resolved_) {
+      run_now = true;
+      value = value_;
+      error = error_;
+    } else {
+      callback_ = std::move(cb);
+    }
+  }
+  if (run_now) cb(value, error);
+}
+
+void TokenState::unref() {
+  if (refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    pool_->recycle(this);
+  }
+}
+
+void TokenState::abandon() {
+  // The producer never took ownership; drop both references at once.
+  refs_.store(0, std::memory_order_release);
+  pool_->recycle(this);
+}
+
+// --- TokenPool ---------------------------------------------------------------
+
+TokenPool::TokenPool() : core_(new detail::TokenPoolCore()) {}
+
+TokenPool::~TokenPool() {
+  // With tokens still alive out there (a caller kept one past server
+  // shutdown), the core lingers until the last of them recycles.
+  if (core_->detach()) delete core_;
+}
+
+namespace detail {
+
+TokenState* TokenPoolCore::acquire() {
+  TokenState* s = nullptr;
+  {
+    MutexLock lock(mu_);
+    GV_RANK_SCOPE(lockrank::kTokenState);
+    if (free_head_ == nullptr) {
+      // Warm-up: grow by a chunk; steady state never reaches this.
+      auto chunk = std::make_unique<TokenState[]>(kChunk);
+      for (std::size_t i = 0; i < kChunk; ++i) {
+        chunk[i].pool_ = this;
+        chunk[i].next_free_ = free_head_;
+        free_head_ = &chunk[i];
+      }
+      chunks_.push_back(std::move(chunk));
+      capacity_ += kChunk;
+      free_count_ += kChunk;
+    }
+    s = free_head_;
+    free_head_ = s->next_free_;
+    --free_count_;
+    ++outstanding_;
+  }
+  s->next_free_ = nullptr;
+  s->refs_.store(2, std::memory_order_release);
+  return s;
+}
+
+void TokenPoolCore::recycle(TokenState* s) {
+  // Clear resolution state OUTSIDE the pool lock (destroying a stored
+  // exception_ptr may free).
+  {
+    MutexLock lock(s->mu_);
+    GV_RANK_SCOPE(lockrank::kTokenState);
+    s->resolved_ = false;
+    s->value_ = 0;
+    s->error_ = nullptr;
+    s->callback_ = nullptr;
+  }
+  bool last_out = false;
+  {
+    MutexLock lock(mu_);
+    GV_RANK_SCOPE(lockrank::kTokenState);
+    s->next_free_ = free_head_;
+    free_head_ = s;
+    ++free_count_;
+    --outstanding_;
+    last_out = detached_ && outstanding_ == 0;
+  }
+  if (last_out) delete this;  // the owning TokenPool is long gone
+}
+
+bool TokenPoolCore::detach() {
+  MutexLock lock(mu_);
+  GV_RANK_SCOPE(lockrank::kTokenState);
+  detached_ = true;
+  return outstanding_ == 0;
+}
+
+std::size_t TokenPoolCore::free_count() const {
+  MutexLock lock(mu_);
+  GV_RANK_SCOPE(lockrank::kTokenState);
+  return free_count_;
+}
+
+std::size_t TokenPoolCore::capacity() const {
+  MutexLock lock(mu_);
+  GV_RANK_SCOPE(lockrank::kTokenState);
+  return capacity_;
+}
+
+}  // namespace detail
+
+// --- SubmitBatch -------------------------------------------------------------
+
+void SubmitBatch::wait_all() {
+  for (auto& t : tokens_) {
+    if (t.valid()) t.wait();
+  }
+}
+
+std::vector<std::uint32_t> SubmitBatch::get_all() {
+  std::vector<std::uint32_t> out;
+  out.reserve(tokens_.size());
+  for (auto& t : tokens_) out.push_back(t.get());
+  return out;
+}
+
+}  // namespace gv

@@ -4,38 +4,20 @@
 
 #include "common/error.hpp"
 #include "obs/query_trace.hpp"
-#include "obs/trace.hpp"
 
 namespace gv {
 
 VaultServer::VaultServer(const Dataset& ds, TrainedVault vault,
                          DeploymentOptions dopts, ServerConfig cfg)
-    : cfg_(cfg),
-      deployment_(ds, std::move(vault), dopts),
-      cache_(cfg.cache_capacity),
-      num_nodes_(ds.features.rows()),
-      queue_(cfg.max_batch, cfg.max_wait),
-      pool_(std::max<std::size_t>(1, cfg.worker_threads)) {
-  cfg_.max_batch = std::max<std::size_t>(1, cfg_.max_batch);
-  cfg_.worker_threads = pool_.size();
-  snap_ = std::make_shared<Snapshot>();
+    : deployment_(ds, std::move(vault), dopts),
+      snap_(std::make_shared<Snapshot>()),
+      frontend_(*this, cfg, ds.features.rows()) {
+  // The front end's threads are already up, but no query can reach the
+  // backend until this constructor returns the server to a caller.
   snap_->features = ds.features;
-  workers_.reserve(pool_.size());
-  for (std::size_t i = 0; i < pool_.size(); ++i) {
-    workers_.push_back(pool_.submit([this] { worker_loop(); }));
-  }
 }
 
-VaultServer::~VaultServer() {
-  queue_.stop();
-  for (auto& w : workers_) {
-    try {
-      w.get();
-    } catch (...) {
-      // Worker loops only throw on catastrophic failure; shutdown proceeds.
-    }
-  }
-}
+VaultServer::~VaultServer() { frontend_.stop(); }
 
 std::shared_ptr<VaultServer::Snapshot> VaultServer::current_snapshot() const {
   std::lock_guard<std::mutex> lock(snap_mu_);
@@ -49,42 +31,45 @@ const CsrMatrix& VaultServer::features() const {
   return snap_->features;
 }
 
-std::future<std::uint32_t> VaultServer::submit(std::uint32_t node) {
-  GV_CHECK(node < num_nodes_, "query node out of range");
-  metrics_.record_request();
-  Sha256Digest digest{};  // only computed (and consulted) when caching is on
-  if (cache_.enabled()) {
-    const auto snap = current_snapshot();
-    digest = feature_row_digest(snap->features, node);
-    if (const auto hit = cache_.get(node, digest)) {
-      metrics_.record_cache_hit();
-      metrics_.record_latency_ms(0.0);
-      std::promise<std::uint32_t> ready;
-      ready.set_value(*hit);
-      return ready.get_future();
-    }
-    metrics_.record_cache_miss();
-  }
-  std::promise<std::uint32_t> promise;
-  std::future<std::uint32_t> fut = promise.get_future();
-  if (queue_.submit(node, digest, std::move(promise))) {
-    metrics_.record_coalesced();
-  }
-  return fut;
+Sha256Digest VaultServer::row_digest(std::uint32_t node) const {
+  const auto snap = current_snapshot();
+  return feature_row_digest(snap->features, node);
 }
 
-std::vector<std::future<std::uint32_t>> VaultServer::submit_many(
-    std::span<const std::uint32_t> nodes) {
-  std::vector<std::future<std::uint32_t>> futs;
-  futs.reserve(nodes.size());
-  for (const auto node : nodes) futs.push_back(submit(node));
-  return futs;
+double VaultServer::modeled_seconds_total() const {
+  return deployment_.enclave().meter_snapshot().total_seconds(
+      deployment_.cost_model());
 }
 
-std::uint32_t VaultServer::query(std::uint32_t node) { return submit(node).get(); }
+ServeBackend::BatchResult VaultServer::execute(
+    std::span<const std::uint32_t> nodes, std::span<std::uint32_t> labels,
+    std::span<Sha256Digest> digests) {
+  // Pin the snapshot this batch computes against; a concurrent
+  // update_features swaps the server's pointer but cannot mutate ours.
+  const auto snap = current_snapshot();
+  std::call_once(snap->backbone_once, [&] {
+    // The backbone is untrusted-world state over a fixed feature snapshot:
+    // run it once and serve every batch from the embeddings.
+    snap->outputs = deployment_.run_backbone(snap->features);
+  });
+  // The whole batch rides ONE ecall; only its labels come back.
+  const auto ecall_start = std::chrono::steady_clock::now();
+  const auto out = deployment_.infer_labels_batched(snap->outputs, nodes);
+  record_query_stage(QueryStage::kEcall,
+                     std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - ecall_start)
+                         .count());
+  std::copy(out.begin(), out.end(), labels.begin());
+  // Re-derive cache digests from the snapshot the labels were computed
+  // against (the submit-time digest may predate a feature update).
+  for (std::size_t i = 0; i < digests.size(); ++i) {
+    digests[i] = feature_row_digest(snap->features, nodes[i]);
+  }
+  return BatchResult{true};
+}
 
 void VaultServer::update_features(const CsrMatrix& new_features) {
-  GV_CHECK(new_features.rows() == num_nodes_,
+  GV_CHECK(new_features.rows() == frontend_.num_nodes(),
            "feature update must keep the node set");
   auto fresh = std::make_shared<Snapshot>();
   fresh->features = new_features;
@@ -98,16 +83,12 @@ void VaultServer::update_features(const CsrMatrix& new_features) {
   // Digest-based invalidation: entries for rows that actually changed are
   // evicted; untouched rows keep their labels (see LabelCache docs for the
   // locality approximation this accepts).
-  cache_.invalidate_stale(new_features);
-  metrics_.record_feature_update();
+  frontend_.cache().invalidate_stale(new_features);
+  frontend_.metrics().record_feature_update();
 }
 
-void VaultServer::flush() { queue_.flush(); }
-
-std::size_t VaultServer::pending() const { return queue_.pending(); }
-
 MetricsSnapshot VaultServer::stats() const {
-  MetricsSnapshot s = metrics_.snapshot();
+  MetricsSnapshot s = frontend_.metrics().snapshot();
   const CostMeter m = deployment_.enclave().meter_snapshot();
   s.ecalls = m.ecalls;
   s.bytes_in = m.bytes_in;
@@ -119,104 +100,8 @@ MetricsSnapshot VaultServer::stats() const {
 }
 
 void VaultServer::reset_stats() {
-  metrics_.reset();
+  frontend_.metrics().reset();
   deployment_.reset_meter();
-}
-
-void VaultServer::worker_loop() {
-  for (;;) {
-    auto batch = queue_.next_batch();
-    if (batch.empty()) return;  // stopped and drained
-    execute_batch(std::move(batch));
-  }
-}
-
-void VaultServer::execute_batch(std::vector<MicroBatchQueue::Entry> batch) {
-  std::vector<std::uint32_t> nodes;
-  nodes.reserve(batch.size());
-  std::size_t waiters = 0;
-  auto oldest = std::chrono::steady_clock::now();
-  for (const auto& e : batch) {
-    nodes.push_back(e.node);
-    waiters += e.waiters.size();
-    oldest = std::min(oldest, e.enqueued);
-  }
-  const auto flush_start = std::chrono::steady_clock::now();
-  // Queue stage, per entry: enqueue -> flush start.  The oldest entry also
-  // labels the async queue_wait slice with its query id.
-  std::uint64_t oldest_qid = 0;
-  for (const auto& e : batch) {
-    if (e.enqueued == oldest) oldest_qid = e.query_id;
-    record_query_stage(
-        QueryStage::kQueue,
-        std::chrono::duration<double>(flush_start - e.enqueued).count());
-  }
-  // The wait the batch's oldest request spent in the micro-batch queue,
-  // reconstructed from its enqueue timestamp (no-op when tracing is off).
-  TraceRecorder::instance().emit_async("serve", "queue_wait", oldest,
-                                 flush_start, 0.0,
-                                 {{"batch_size", double(batch.size())},
-                                  {"query_id", double(oldest_qid)}});
-  // The flush runs in the scope of the batch's first entry — a multi-query
-  // batch attributes its shared spans to that representative query (the
-  // batch is one causal unit: one route, one set of ecalls).
-  QueryScope qscope(batch.front().query_id);
-  TraceSpan span("serve", "batch_flush");
-  span.arg("batch_size", double(batch.size()));
-  span.arg("waiters", double(waiters));
-  double modeled_before = 0.0;
-  if (span.active()) {
-    modeled_before = deployment_.enclave().meter_snapshot().total_seconds(
-        deployment_.cost_model());
-  }
-  try {
-    // Pin the snapshot this batch computes against; a concurrent
-    // update_features swaps the server's pointer but cannot mutate ours.
-    const auto snap = current_snapshot();
-    std::call_once(snap->backbone_once, [&] {
-      // The backbone is untrusted-world state over a fixed feature
-      // snapshot: run it once and serve every batch from the embeddings.
-      snap->outputs = deployment_.run_backbone(snap->features);
-    });
-    // The whole batch rides ONE ecall; only its labels come back.
-    const auto ecall_start = std::chrono::steady_clock::now();
-    const auto labels = deployment_.infer_labels_batched(snap->outputs, nodes);
-    const auto done = std::chrono::steady_clock::now();
-    record_query_stage(QueryStage::kEcall,
-                       std::chrono::duration<double>(done - ecall_start).count());
-    record_query_stage(QueryStage::kFlush,
-                       std::chrono::duration<double>(done - flush_start).count());
-    if (span.active()) {
-      span.modeled_seconds(deployment_.enclave().meter_snapshot().total_seconds(
-                               deployment_.cost_model()) -
-                           modeled_before);
-    }
-    // Account the batch before resolving any promise, so a caller observing
-    // its future completed also observes the batch in stats().
-    metrics_.record_batch(waiters);
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      if (cache_.enabled()) {
-        // Re-derive the digest from the snapshot the label was computed
-        // against (the submit-time digest may predate a feature update).
-        cache_.put(batch[i].node, feature_row_digest(snap->features, batch[i].node),
-                   labels[i]);
-      }
-      const double ms =
-          std::chrono::duration<double, std::milli>(done - batch[i].enqueued)
-              .count();
-      for (std::size_t w = 0; w < batch[i].waiters.size(); ++w) {
-        metrics_.record_latency_ms(ms);
-      }
-    }
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      for (auto& waiter : batch[i].waiters) waiter.set_value(labels[i]);
-    }
-  } catch (...) {
-    const auto err = std::current_exception();
-    for (auto& e : batch) {
-      for (auto& waiter : e.waiters) waiter.set_exception(err);
-    }
-  }
 }
 
 }  // namespace gv

@@ -5,15 +5,15 @@
 // node labels) each request would pay the full ECALL transition plus a full
 // embedding transfer.  The server coalesces requests instead:
 //
-//   caller threads --> submit(node) --> [dynamic micro-batch queue]
+//   caller threads --> submit(node) --> [ServeFrontEnd: cache, dynamic
+//                                        micro-batch queue, JobSystem]
 //                                             |  duplicate nodes coalesce
 //                                             |  flush on max_batch
 //                                             |  or max-wait deadline
-//                                     ThreadPool worker loop
 //                                             |  ONE ecall per batch
 //                                     VaultDeployment::infer_labels_batched
 //                                             |
-//                       futures resolve with label-only results
+//                     SubmitTokens resolve with label-only results
 //
 // The public backbone runs ONCE per feature snapshot (untrusted-side cache
 // of its embeddings); each flushed batch then costs one embedding push plus
@@ -21,59 +21,51 @@
 // Sec. III-C overhead analysis is exactly the cost this removes).  A small
 // LRU label cache short-circuits repeat queries before they ever enqueue;
 // duplicate queries already in flight share one batch slot and fan the
-// result out to every waiting future.  update_features() swaps in a new
+// result out to every waiting token.  update_features() swaps in a new
 // snapshot for a live graph: the backbone recomputes lazily and cached
 // labels are invalidated by feature-row digest.
+//
+// Since the JobServe redesign, every piece of the serving front — the
+// submit/cache/coalesce path, micro-batching, dispatch, priority classes,
+// completion tokens — lives in serve/serve_frontend.hpp, shared with
+// ShardedVaultServer.  VaultServer is the ServeBackend: it pins feature
+// snapshots and turns a node batch into one enclave ecall.
 #pragma once
 
-#include <chrono>
 #include <cstdint>
-#include <future>
 #include <memory>
 #include <mutex>
 #include <vector>
 
-#include "common/thread_pool.hpp"
-#include "core/deployment.hpp"
-#include "serve/batch_queue.hpp"
-#include "serve/label_cache.hpp"
-#include "serve/server_metrics.hpp"
 #include "common/annotations.hpp"
+#include "core/deployment.hpp"
+#include "serve/serve_frontend.hpp"
 
 namespace gv {
 
-struct ServerConfig {
-  /// Flush a batch as soon as this many requests are pending.
-  std::size_t max_batch = 32;
-  /// ... or when the oldest pending request has waited this long.
-  std::chrono::microseconds max_wait{2000};
-  /// Worker threads draining the queue (each batch is one serialized ecall;
-  /// extra workers overlap untrusted-side work with enclave execution).
-  std::size_t worker_threads = 1;
-  /// LRU label-cache entries; 0 disables caching.
-  std::size_t cache_capacity = 1024;
-};
-
-class VaultServer {
+class VaultServer : private ServeBackend {
  public:
-  /// Deploys `vault` into its own enclave and starts the worker loop.
+  /// Deploys `vault` into its own enclave and starts the serving front end.
   /// `ds` provides the private graph (sealed into the enclave) and the
   /// initial feature snapshot.
   VaultServer(const Dataset& ds, TrainedVault vault, DeploymentOptions dopts = {},
               ServerConfig cfg = {});
-  /// Drains pending requests, then stops the workers.
+  /// Fails pending requests with "server shutting down", then stops the
+  /// workers (in-flight batches complete).
   ~VaultServer();
 
   VaultServer(const VaultServer&) = delete;
   VaultServer& operator=(const VaultServer&) = delete;
 
   /// Asynchronous per-node label query.
-  std::future<std::uint32_t> submit(std::uint32_t node);
-  /// Node-subset query: one future per node, preserving order.
-  std::vector<std::future<std::uint32_t>> submit_many(
-      std::span<const std::uint32_t> nodes);
+  SubmitToken submit(std::uint32_t node) { return frontend_.submit(node); }
+  /// Node-subset query: one token per node, preserving order; the whole
+  /// miss set enqueues under one queue-lock acquisition.
+  SubmitBatch submit_many(std::span<const std::uint32_t> nodes) {
+    return frontend_.submit_many(nodes);
+  }
   /// Convenience blocking query.
-  std::uint32_t query(std::uint32_t node);
+  std::uint32_t query(std::uint32_t node) { return frontend_.query(node); }
 
   /// Swap in a new feature snapshot (same node set and feature dim): the
   /// backbone embeddings recompute lazily on the next batch, and cached
@@ -82,9 +74,9 @@ class VaultServer {
   void update_features(const CsrMatrix& new_features);
 
   /// Force-flush pending requests without waiting for the deadline.
-  void flush();
+  void flush() { frontend_.flush(); }
   /// Pending (queued, unflushed) requests; coalesced duplicates count once.
-  std::size_t pending() const;
+  std::size_t pending() const { return frontend_.pending(); }
 
   /// Counters, percentiles, and meter-derived fields, merged.
   MetricsSnapshot stats() const;
@@ -92,7 +84,9 @@ class VaultServer {
 
   VaultDeployment& deployment() { return deployment_; }
   const VaultDeployment& deployment() const { return deployment_; }
-  const ServerConfig& config() const { return cfg_; }
+  const ServerConfig& config() const { return frontend_.config(); }
+  /// The shared serving front end (priority-class job posting, QoS knobs).
+  ServeFrontEnd& front_end() { return frontend_; }
   /// Current feature snapshot (stable reference only between updates).
   const CsrMatrix& features() const;
 
@@ -107,21 +101,22 @@ class VaultServer {
   };
 
   std::shared_ptr<Snapshot> current_snapshot() const;
-  void worker_loop();
-  void execute_batch(std::vector<MicroBatchQueue::Entry> batch);
 
-  ServerConfig cfg_;
+  // ServeBackend: one batch = one ecall against the pinned snapshot.
+  Sha256Digest row_digest(std::uint32_t node) const override;
+  BatchResult execute(std::span<const std::uint32_t> nodes,
+                      std::span<std::uint32_t> labels,
+                      std::span<Sha256Digest> digests) override;
+  double modeled_seconds_total() const override;
+
   VaultDeployment deployment_;
-  LabelCache cache_;
-  ServerMetrics metrics_;
-  const std::size_t num_nodes_;
 
   mutable std::mutex snap_mu_ GV_LOCK_RANK(gv::lockrank::kServerSnap);
   std::shared_ptr<Snapshot> snap_;
 
-  MicroBatchQueue queue_;
-  ThreadPool pool_;
-  std::vector<std::future<void>> workers_;
+  /// Last member: its destructor stops the serving threads before anything
+  /// they touch is torn down.
+  ServeFrontEnd frontend_;
 };
 
 }  // namespace gv

@@ -18,12 +18,13 @@ ShardedVaultServer::ShardedVaultServer(const Dataset& ds, TrainedVault vault,
                                        ShardedServerConfig cfg)
     : cfg_(cfg),
       deployment_(ds, std::move(vault), std::move(plan), std::move(dopts)),
-      cache_(cfg.server.cache_capacity),
       drift_(deployment_.plan()),
-      num_nodes_(ds.features.rows()),
       features_(std::make_shared<const CsrMatrix>(ds.features)),
-      queue_(cfg.server.max_batch, cfg.server.max_wait),
-      pool_(std::max<std::size_t>(1, cfg.server.worker_threads)) {
+      frontend_(*this, cfg.server, ds.features.rows()) {
+  // The front end's threads are already up, but no query can reach the
+  // backend until this constructor returns the server to a caller — the
+  // fleet bring-up below runs single-threaded on the constructing thread.
+  //
   // Labels are usually materialized up front: the sharded forward is the
   // expensive, EPC-bounded part, and it amortizes over every query until
   // the next feature update.  A cold start skips it — the router serves
@@ -91,10 +92,6 @@ ShardedVaultServer::ShardedVaultServer(const Dataset& ds, TrainedVault vault,
     out << "]}";
     return out.str();
   });
-  workers_.reserve(pool_.size());
-  for (std::size_t i = 0; i < pool_.size(); ++i) {
-    workers_.push_back(pool_.submit([this] { worker_loop(); }));
-  }
 }
 
 ShardedVaultServer::~ShardedVaultServer() {
@@ -102,18 +99,13 @@ ShardedVaultServer::~ShardedVaultServer() {
   // half-destroyed server (owner-scoped, so a successor's provider survives).
   FlightRecorder::instance().clear_topology_provider(this);
   try {
+    // Before stopping the front end: the promotion tail may be waiting on a
+    // COLD boundary-rebuild job, which needs the workers alive to run.
     join_promotion();
   } catch (...) {
     // A promotion that failed at teardown has nobody left to report to.
   }
-  queue_.stop();
-  for (auto& w : workers_) {
-    try {
-      w.get();
-    } catch (...) {
-      // Shutdown proceeds regardless.
-    }
-  }
+  frontend_.stop();
 }
 
 void ShardedVaultServer::join_promotion() {
@@ -130,49 +122,51 @@ std::shared_ptr<const CsrMatrix> ShardedVaultServer::features() const {
   return features_;
 }
 
-std::future<std::uint32_t> ShardedVaultServer::submit(std::uint32_t node) {
-  GV_CHECK(node < num_nodes_.load(), "query node out of range");
-  metrics_.record_request();
-  Sha256Digest digest{};
-  if (cache_.enabled()) {
-    std::shared_ptr<const CsrMatrix> snap;
-    {
-      std::lock_guard<std::mutex> lock(snap_mu_);
-      GV_RANK_SCOPE(lockrank::kServerSnap);
-      snap = features_;
-    }
-    digest = feature_row_digest(*snap, node);
-    if (const auto hit = cache_.get(node, digest)) {
-      metrics_.record_cache_hit();
-      metrics_.record_latency_ms(0.0);
-      std::promise<std::uint32_t> ready;
-      ready.set_value(*hit);
-      return ready.get_future();
-    }
-    metrics_.record_cache_miss();
+Sha256Digest ShardedVaultServer::row_digest(std::uint32_t node) const {
+  std::shared_ptr<const CsrMatrix> snap;
+  {
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    GV_RANK_SCOPE(lockrank::kServerSnap);
+    snap = features_;
   }
-  std::promise<std::uint32_t> promise;
-  std::future<std::uint32_t> fut = promise.get_future();
-  if (queue_.submit(node, digest, std::move(promise))) {
-    metrics_.record_coalesced();
-  }
-  return fut;
+  return feature_row_digest(*snap, node);
 }
 
-std::vector<std::future<std::uint32_t>> ShardedVaultServer::submit_many(
-    std::span<const std::uint32_t> nodes) {
-  std::vector<std::future<std::uint32_t>> futs;
-  futs.reserve(nodes.size());
-  for (const auto node : nodes) futs.push_back(submit(node));
-  return futs;
+double ShardedVaultServer::modeled_seconds_total() const {
+  // Critical-path time: refresh phases + the slowest shard of every routed
+  // batch (distinct shard enclaves answer in parallel).
+  return deployment_.modeled_seconds() + router_->modeled_seconds();
 }
 
-std::uint32_t ShardedVaultServer::query(std::uint32_t node) {
-  return submit(node).get();
+ServeBackend::BatchResult ShardedVaultServer::execute(
+    std::span<const std::uint32_t> nodes, std::span<std::uint32_t> labels,
+    std::span<Sha256Digest> digests) {
+  // Pin the snapshot BEFORE the lookups: if update_features lands while
+  // this batch is in flight, the labels we fetched pair with the OLD
+  // digest and the cache entries self-evict on their next probe, instead
+  // of stale labels being filed under the new digest.
+  std::shared_ptr<const CsrMatrix> snap;
+  if (!digests.empty()) {
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    GV_RANK_SCOPE(lockrank::kServerSnap);
+    snap = features_;
+  }
+  const std::uint64_t epoch_before = deployment_.ownership_epoch();
+  const auto out = router_->route(nodes);
+  std::copy(out.begin(), out.end(), labels.begin());
+  for (std::size_t i = 0; i < digests.size(); ++i) {
+    digests[i] = feature_row_digest(*snap, nodes[i]);
+  }
+  // A graph update or migration that landed mid-batch may have invalidated
+  // what we just fetched — and unlike a feature update it does NOT change
+  // the row digests the cache keys on, so filing these labels would poison
+  // the cache permanently.  Report the batch uncacheable; the next miss
+  // re-fetches through the (stale-aware) router.
+  return BatchResult{deployment_.ownership_epoch() == epoch_before};
 }
 
 void ShardedVaultServer::update_features(const CsrMatrix& new_features) {
-  GV_CHECK(new_features.rows() == num_nodes_,
+  GV_CHECK(new_features.rows() == frontend_.num_nodes(),
            "feature update must keep the node set");
   // Control-plane exclusion, held for the whole update: a mid-flight
   // promotion refreshes against the snapshot it pinned, so it must land
@@ -199,8 +193,8 @@ void ShardedVaultServer::update_features(const CsrMatrix& new_features) {
     replicas_->wait_ready();
     replicas_->sync_labels();
   }
-  cache_.invalidate_stale(new_features);
-  metrics_.record_feature_update();
+  frontend_.cache().invalidate_stale(new_features);
+  frontend_.metrics().record_feature_update();
 }
 
 void ShardedVaultServer::kill_shard(std::uint32_t shard) {
@@ -244,21 +238,43 @@ void ShardedVaultServer::launch_promotion(std::uint32_t shard) {
         deployment_.rematerialize_shard(shard, *features());
       }
     });
-    metrics_.record_promotion_ms(ms);
+    frontend_.metrics().record_promotion_ms(ms);
     // Warm adoption installs a bit-fresh label store but no retained
     // boundary activations; rebuild them OUTSIDE the fence (queries are
     // already flowing) so the shard's halo contributions to cold queries
     // go back to store-served instead of live-computed until the next
-    // refresh.
+    // refresh.  The rebuild is exactly the demand-recompute class, so it
+    // runs as a COLD job on the shared workers — interactive flushes
+    // preempt it instead of queueing behind it — and this promotion thread
+    // waits for it, keeping join_promotion()'s "fully landed" contract.
     if (deployment_.refreshed() && deployment_.store_materialized(shard) &&
         !deployment_.retained_valid(shard)) {
-      deployment_.rebuild_boundary_retained(shard, *features());
+      auto done = std::make_shared<std::promise<void>>();
+      auto landed = done->get_future();
+      frontend_.post_background(
+          JobClass::kCold,
+          [this, shard, done] {
+            try {
+              deployment_.rebuild_boundary_retained(shard, *features());
+              done->set_value();
+            } catch (...) {
+              done->set_exception(std::current_exception());
+            }
+          },
+          [done] {
+            // Shed at shutdown: the retained stores simply stay invalid
+            // (the next refresh rebuilds them); surface the usual error to
+            // whoever still joins this promotion.
+            done->set_exception(
+                std::make_exception_ptr(Error("server shutting down")));
+          });
+      landed.get();
     }
   });
 }
 
 void ShardedVaultServer::handle_shard_failure(std::uint32_t shard) {
-  // Called from the worker thread whose serving ecall just died (the
+  // Called from the job-system worker whose serving ecall just died (the
   // deployment has already marked the shard dead and counted the fault).
   // Mirror kill_shard's fence + promote; the failed batch retries through
   // the router's promotion fence and lands on the new PRIMARY.  Best
@@ -332,17 +348,21 @@ GraphUpdateStats ShardedVaultServer::update_graph(const GraphDelta& delta,
   // old (smaller) snapshot on the cold path.
   const GraphUpdateStats stats =
       deployment_.update_graph(delta, &new_features, [&] {
-        std::lock_guard<std::mutex> lock(snap_mu_);
-        GV_RANK_SCOPE(lockrank::kServerSnap);
-        features_ = fresh;
-        features_fp_ = fresh_fp;
-        num_nodes_.store(fresh->rows());
+        {
+          std::lock_guard<std::mutex> lock(snap_mu_);
+          GV_RANK_SCOPE(lockrank::kServerSnap);
+          features_ = fresh;
+          features_fp_ = fresh_fp;
+        }
+        frontend_.set_num_nodes(fresh->rows());
       });
   // The label cache keys on (node, feature-row digest); a graph mutation
   // moves labels through the private neighbourhood while the digests stay
   // put, so the delta-derived affected set is evicted by node id.
-  const std::size_t evicted = cache_.invalidate_nodes(stats.stale_nodes);
-  metrics_.record_graph_update(stats.store_entries_invalidated + evicted);
+  const std::size_t evicted =
+      frontend_.cache().invalidate_nodes(stats.stale_nodes);
+  frontend_.metrics().record_graph_update(stats.store_entries_invalidated +
+                                          evicted);
   {
     // Fold the update into the drift health readings (DriftTracker also
     // publishes them as gauges to the global registry).
@@ -363,12 +383,8 @@ GraphUpdateStats ShardedVaultServer::update_graph(const GraphDelta& delta,
   return stats;
 }
 
-void ShardedVaultServer::flush() { queue_.flush(); }
-
-std::size_t ShardedVaultServer::pending() const { return queue_.pending(); }
-
 MetricsSnapshot ShardedVaultServer::stats() const {
-  MetricsSnapshot s = metrics_.snapshot();
+  MetricsSnapshot s = frontend_.metrics().snapshot();
   s.failovers = router_->failovers();
   s.fenced_batches = router_->fenced();
   s.cold_batches = router_->cold_batches();
@@ -393,9 +409,7 @@ MetricsSnapshot ShardedVaultServer::stats() const {
   const CostMeter m = deployment_.aggregate_meter();
   s.ecalls = m.ecalls;
   s.bytes_in = m.bytes_in;
-  // Critical-path time: refresh phases + the slowest shard of every routed
-  // batch (distinct shard enclaves answer in parallel).
-  s.modeled_seconds = deployment_.modeled_seconds() + router_->modeled_seconds();
+  s.modeled_seconds = modeled_seconds_total();
   const auto served = s.completed + s.cache_hits;
   s.requests_per_second =
       s.modeled_seconds > 0.0 ? static_cast<double>(served) / s.modeled_seconds : 0.0;
@@ -403,102 +417,6 @@ MetricsSnapshot ShardedVaultServer::stats() const {
   // registry snapshot taken next to stats() is internally consistent.
   deployment_.publish_channel_audit();
   return s;
-}
-
-void ShardedVaultServer::worker_loop() {
-  for (;;) {
-    auto batch = queue_.next_batch();
-    if (batch.empty()) return;  // stopped and drained
-    execute_batch(std::move(batch));
-  }
-}
-
-void ShardedVaultServer::execute_batch(std::vector<MicroBatchQueue::Entry> batch) {
-  std::vector<std::uint32_t> nodes;
-  nodes.reserve(batch.size());
-  std::size_t waiters = 0;
-  auto oldest = std::chrono::steady_clock::now();
-  for (const auto& e : batch) {
-    nodes.push_back(e.node);
-    waiters += e.waiters.size();
-    oldest = std::min(oldest, e.enqueued);
-  }
-  const auto flush_start = std::chrono::steady_clock::now();
-  // Queue stage, per entry: enqueue -> flush start.  The oldest entry also
-  // labels the async queue_wait slice with its query id.
-  std::uint64_t oldest_qid = 0;
-  for (const auto& e : batch) {
-    if (e.enqueued == oldest) oldest_qid = e.query_id;
-    record_query_stage(
-        QueryStage::kQueue,
-        std::chrono::duration<double>(flush_start - e.enqueued).count());
-  }
-  // The wait the batch's oldest request spent in the micro-batch queue,
-  // reconstructed from its enqueue timestamp (no-op when tracing is off).
-  TraceRecorder::instance().emit_async("serve", "queue_wait", oldest,
-                                 flush_start, 0.0,
-                                 {{"batch_size", double(batch.size())},
-                                  {"query_id", double(oldest_qid)}});
-  // The flush runs in the scope of the batch's first entry — a multi-query
-  // batch attributes its shared spans (routing, ecalls, any cold walk the
-  // router falls back to, halo pulls on peers) to that representative query.
-  QueryScope qscope(batch.front().query_id);
-  TraceSpan span("serve", "batch_flush");
-  span.arg("batch_size", double(batch.size()));
-  span.arg("waiters", double(waiters));
-  double modeled_before = 0.0;
-  if (span.active()) {
-    modeled_before = deployment_.modeled_seconds() + router_->modeled_seconds();
-  }
-  try {
-    // Pin the snapshot BEFORE the lookups: if update_features lands while
-    // this batch is in flight, the labels we fetched pair with the OLD
-    // digest and the cache entries self-evict on their next probe, instead
-    // of stale labels being filed under the new digest.
-    std::shared_ptr<const CsrMatrix> snap;
-    if (cache_.enabled()) {
-      std::lock_guard<std::mutex> lock(snap_mu_);
-      GV_RANK_SCOPE(lockrank::kServerSnap);
-      snap = features_;
-    }
-    const std::uint64_t epoch_before = deployment_.ownership_epoch();
-    const auto labels = router_->route(nodes);
-    // A graph update or migration that landed mid-batch may have
-    // invalidated what we just fetched — and unlike a feature update it
-    // does NOT change the row digests the cache keys on, so filing these
-    // labels would poison the cache permanently.  Skip the put; the next
-    // miss re-fetches through the (stale-aware) router.
-    const bool cacheable =
-        cache_.enabled() && deployment_.ownership_epoch() == epoch_before;
-    const auto done = std::chrono::steady_clock::now();
-    record_query_stage(QueryStage::kFlush,
-                       std::chrono::duration<double>(done - flush_start).count());
-    if (span.active()) {
-      span.modeled_seconds(deployment_.modeled_seconds() +
-                           router_->modeled_seconds() - modeled_before);
-    }
-    metrics_.record_batch(waiters);
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      if (cacheable) {
-        cache_.put(batch[i].node, feature_row_digest(*snap, batch[i].node),
-                   labels[i]);
-      }
-      const double ms =
-          std::chrono::duration<double, std::milli>(done - batch[i].enqueued)
-              .count();
-      for (std::size_t w = 0; w < batch[i].waiters.size(); ++w) {
-        metrics_.record_latency_ms(ms);
-      }
-    }
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      for (auto& waiter : batch[i].waiters) waiter.set_value(labels[i]);
-    }
-  } catch (...) {
-    const auto err = std::current_exception();
-    for (auto& e : batch) {
-      for (auto& waiter : e.waiters) waiter.set_exception(err);
-    }
-  }
 }
 
 }  // namespace gv

@@ -1,23 +1,33 @@
 // ShardedVaultServer: VaultServer semantics for a tenant that spans N
 // shard enclaves.
 //
-// The serving front is the same dynamic micro-batch queue VaultServer uses
-// (serve/batch_queue.hpp), including duplicate-query coalescing and the LRU
-// label cache.  The back end differs: a refresh materializes every node's
-// label via the layer-synchronous sharded forward (halo exchange over
-// attested channels), and each flushed batch then becomes one label-only
-// lookup ecall per touched shard, merged by the ShardRouter.  With
-// replication enabled, a killed shard's queries transparently fail over to
-// its warm replica and the failover is recorded in the metrics.
+// The serving front is the same JobServe ServeFrontEnd VaultServer uses
+// (serve/serve_frontend.hpp), including duplicate-query coalescing, the LRU
+// label cache, pooled batches/tokens, and the work-stealing priority job
+// system.  The back end differs: a refresh materializes every node's label
+// via the layer-synchronous sharded forward (halo exchange over attested
+// channels), and each flushed batch then becomes one label-only lookup
+// ecall per touched shard, merged by the ShardRouter.  With replication
+// enabled, a killed shard's queries transparently fail over to its warm
+// replica and the failover is recorded in the metrics.
+//
+// Tenant QoS on the shared workers: batch flushes run INTERACTIVE; the
+// post-promotion boundary rebuild runs as a COLD job (it is exactly the
+// demand recompute class — queries are already flowing when it starts);
+// callers can post migration / re-materialization sweeps as MAINTENANCE
+// through front_end().post_background(), capped in flight so they never
+// starve interactive latency.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <future>
 #include <memory>
+#include <mutex>
+#include <span>
 #include <vector>
 
-#include "common/thread_pool.hpp"
-#include "serve/batch_queue.hpp"
-#include "serve/label_cache.hpp"
-#include "serve/server_metrics.hpp"
+#include "serve/serve_frontend.hpp"
 #include "serve/vault_server.hpp"
 #include "shard/graph_drift.hpp"
 #include "shard/replica_manager.hpp"
@@ -43,11 +53,11 @@ struct ShardedServerConfig {
   bool auto_restaff = true;
 };
 
-class ShardedVaultServer {
+class ShardedVaultServer : private ServeBackend {
  public:
   /// Provisions one enclave per plan shard, runs the initial refresh over
   /// `ds.features`, kicks off async replication (when configured), and
-  /// starts the worker loop.
+  /// starts the serving front end.
   ShardedVaultServer(const Dataset& ds, TrainedVault vault, ShardPlan plan,
                      ShardedDeploymentOptions dopts = {},
                      ShardedServerConfig cfg = {});
@@ -56,10 +66,11 @@ class ShardedVaultServer {
   ShardedVaultServer(const ShardedVaultServer&) = delete;
   ShardedVaultServer& operator=(const ShardedVaultServer&) = delete;
 
-  std::future<std::uint32_t> submit(std::uint32_t node);
-  std::vector<std::future<std::uint32_t>> submit_many(
-      std::span<const std::uint32_t> nodes);
-  std::uint32_t query(std::uint32_t node);
+  SubmitToken submit(std::uint32_t node) { return frontend_.submit(node); }
+  SubmitBatch submit_many(std::span<const std::uint32_t> nodes) {
+    return frontend_.submit_many(nodes);
+  }
+  std::uint32_t query(std::uint32_t node) { return frontend_.query(node); }
 
   /// New feature snapshot: joins any in-flight promotion, re-runs the
   /// sharded forward (all shards must be alive), re-ships replica label
@@ -91,8 +102,8 @@ class ShardedVaultServer {
   /// re-provisioned.
   void kill_shard(std::uint32_t shard);
 
-  void flush();
-  std::size_t pending() const;
+  void flush() { frontend_.flush(); }
+  std::size_t pending() const { return frontend_.pending(); }
 
   /// Control-plane quiesce: join the in-flight async promotion, if any
   /// (rethrows its failure).  After it returns, the promoted shard's
@@ -109,13 +120,20 @@ class ShardedVaultServer {
   ShardRouter& router() { return *router_; }
   ReplicaManager* replicas() { return replicas_.get(); }
   const ShardedServerConfig& config() const { return cfg_; }
+  /// The shared serving front end (priority-class job posting, QoS knobs).
+  ServeFrontEnd& front_end() { return frontend_; }
   /// Current feature snapshot (shared handle: stays valid across a
   /// concurrent update_features).
   std::shared_ptr<const CsrMatrix> features() const;
 
  private:
-  void worker_loop();
-  void execute_batch(std::vector<MicroBatchQueue::Entry> batch);
+  // ServeBackend: one batch = one routed fan-out over the shard fleet.
+  Sha256Digest row_digest(std::uint32_t node) const override;
+  BatchResult execute(std::span<const std::uint32_t> nodes,
+                      std::span<std::uint32_t> labels,
+                      std::span<Sha256Digest> digests) override;
+  double modeled_seconds_total() const override;
+
   /// Fence the standby + launch the async promotion (caller holds
   /// promotion_mu_; the deployment-side shard is already dead).
   void launch_promotion(std::uint32_t shard);
@@ -129,8 +147,6 @@ class ShardedVaultServer {
   ShardedVaultDeployment deployment_;
   std::unique_ptr<ReplicaManager> replicas_;
   std::unique_ptr<ShardRouter> router_;
-  LabelCache cache_;
-  ServerMetrics metrics_;
   /// GraphDrift health since construction: update_graph folds each applied
   /// update in and stats() surfaces the current cut-growth / imbalance.
   mutable std::mutex drift_mu_ GV_LOCK_RANK(gv::lockrank::kServerState);
@@ -143,7 +159,6 @@ class ShardedVaultServer {
   std::atomic<std::uint64_t> cold_halo_request_bytes_{0};
   std::atomic<std::uint64_t> cold_halo_embedding_bytes_{0};
   std::atomic<std::uint64_t> cold_backbone_cache_hits_{0};
-  std::atomic<std::size_t> num_nodes_;  // grows with update_graph node adds
 
   mutable std::mutex snap_mu_ GV_LOCK_RANK(gv::lockrank::kServerSnap);
   std::shared_ptr<const CsrMatrix> features_;
@@ -151,15 +166,17 @@ class ShardedVaultServer {
   /// batches do not pay an O(nnz) scan per query.  Guarded by snap_mu_.
   std::uint64_t features_fp_ = 0;
 
-  MicroBatchQueue queue_;
-  ThreadPool pool_;
-  std::vector<std::future<void>> workers_;
   /// Control-plane mutex: serializes kill_shard / update_features /
   /// shutdown against each other and guards promotion_ (std::future is not
   /// thread-safe for concurrent get/assign).  Never taken by the data
-  /// plane (workers, router) or the promotion thread itself.
+  /// plane (job workers, router) or the promotion thread itself.
   std::mutex promotion_mu_ GV_LOCK_RANK(gv::lockrank::kServerControl);
   std::future<void> promotion_;  // in-flight replica promotion
+
+  /// Last member: its destructor stops the serving threads before anything
+  /// they touch is torn down (the explicit ~ShardedVaultServer still joins
+  /// the promotion first — it may be waiting on a COLD job).
+  ServeFrontEnd frontend_;
 };
 
 }  // namespace gv

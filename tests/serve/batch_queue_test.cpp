@@ -10,34 +10,46 @@
 
 #include "common/error.hpp"
 #include "serve/batch_queue.hpp"
+#include "serve/submit_token.hpp"
 
 namespace gv {
 namespace {
 
 TEST(MicroBatchQueue, StopFailsPendingWaitersWithShutdownError) {
   MicroBatchQueue q(8, std::chrono::seconds(30));
-  std::promise<std::uint32_t> p;
-  auto fut = p.get_future();
-  q.submit(1, Sha256Digest{}, std::move(p));
+  TokenPool pool;
+  SubmitToken tok;
+  {
+    TokenState* s = pool.acquire();
+    tok = SubmitToken(s);
+    q.submit(1, Sha256Digest{}, s);
+  }
   q.stop();
-  // The waiter sees an explicit shutdown error, never a broken_promise.
+  // The waiter sees an explicit shutdown error, never a silent hang.
   try {
-    fut.get();
+    tok.get();
     FAIL() << "expected a shutdown error";
   } catch (const Error& e) {
     EXPECT_NE(std::string(e.what()).find("shutting down"), std::string::npos)
         << e.what();
   }
   // New submissions are refused, and workers wake up and exit.
-  std::promise<std::uint32_t> p2;
-  EXPECT_THROW(q.submit(2, Sha256Digest{}, std::move(p2)), Error);
-  EXPECT_TRUE(q.next_batch().empty());
+  TokenState* s2 = pool.acquire();
+  EXPECT_THROW(q.submit(2, Sha256Digest{}, s2), Error);
+  s2->abandon();  // the queue never owned the producer reference
+  MicroBatchQueue::Batch b;
+  EXPECT_FALSE(q.next_batch(&b));
   EXPECT_EQ(q.pending(), 0u);
+  // Both states returned to the pool.
+  EXPECT_EQ(pool.free_count() + 1, pool.capacity());  // tok still holds one
 }
 
 TEST(MicroBatchQueue, StopWakesBlockedWorkers) {
   MicroBatchQueue q(8, std::chrono::seconds(30));
-  std::thread worker([&] { EXPECT_TRUE(q.next_batch().empty()); });
+  std::thread worker([&] {
+    MicroBatchQueue::Batch b;
+    EXPECT_FALSE(q.next_batch(&b));
+  });
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
   q.stop();
   worker.join();
@@ -51,31 +63,37 @@ TEST(MicroBatchQueue, FreshBatchGetsItsOwnDeadlineAfterAnotherWorkerDrains) {
   constexpr auto kWait = std::chrono::milliseconds(200);
   constexpr std::size_t kMaxBatch = 4;
   MicroBatchQueue q(kMaxBatch, kWait);
+  TokenPool pool;
 
   std::atomic<bool> stopping{false};
   std::atomic<int> early{0};
   std::atomic<int> popped{0};
   auto worker = [&] {
+    MicroBatchQueue::Batch b;
     for (;;) {
-      auto batch = q.next_batch();
-      if (batch.empty()) return;
+      if (!q.next_batch(&b)) return;
       const auto now = std::chrono::steady_clock::now();
       // A batch below max_batch may flush only once its OLDEST entry has
       // waited out max_wait (stop() short-circuits are exempt).
-      if (!stopping.load() && batch.size() < kMaxBatch &&
-          now - batch.front().enqueued < kWait / 2) {
+      if (!stopping.load() && b.count < kMaxBatch &&
+          now - b.entries[0].enqueued < kWait / 2) {
         ++early;
       }
-      popped.fetch_add(static_cast<int>(batch.size()));
+      for (std::size_t i = 0; i < b.count; ++i) {
+        for (TokenState* w : b.entries[i].waiters) w->resolve(0);
+        b.entries[i].waiters.clear();
+      }
+      popped.fetch_add(static_cast<int>(b.count));
     }
   };
   std::thread w1(worker), w2(worker);
 
   int submitted = 0;
+  std::vector<SubmitToken> tokens;
   const auto submit = [&](std::uint32_t node) {
-    std::promise<std::uint32_t> p;
-    p.get_future();  // waiter outcome is irrelevant here
-    q.submit(node, Sha256Digest{}, std::move(p));
+    TokenState* s = pool.acquire();
+    tokens.emplace_back(s);
+    q.submit(node, Sha256Digest{}, s);
     ++submitted;
   };
   for (int round = 0; round < 8; ++round) {

@@ -1,48 +1,72 @@
 // Duplicate in-flight queries coalesce onto one micro-batch slot: one
-// share of one ecall, result fanned out to every waiting future.
+// share of one ecall, result fanned out to every waiting token.
 #include <gtest/gtest.h>
 
 #include <thread>
+#include <vector>
 
 #include "serve/batch_queue.hpp"
+#include "serve/submit_token.hpp"
 #include "serve/vault_server.hpp"
 #include "serve_test_util.hpp"
 
 namespace gv {
 namespace {
 
+// One pooled state per submission, tokens kept alive for the test's scope.
+struct TokenSource {
+  TokenPool pool;
+  std::vector<SubmitToken> tokens;
+  TokenState* next() {
+    TokenState* s = pool.acquire();
+    tokens.emplace_back(s);
+    return s;
+  }
+};
+
 TEST(MicroBatchQueue, CoalescesSameNodeSameDigest) {
   MicroBatchQueue q(64, std::chrono::seconds(30));
+  TokenSource src;
   Sha256Digest d{};
-  EXPECT_FALSE(q.submit(5, d, {}));
-  EXPECT_TRUE(q.submit(5, d, {}));
-  EXPECT_FALSE(q.submit(6, d, {}));
+  EXPECT_FALSE(q.submit(5, d, src.next()));
+  EXPECT_TRUE(q.submit(5, d, src.next()));
+  EXPECT_FALSE(q.submit(6, d, src.next()));
   EXPECT_EQ(q.pending(), 2u);
   q.flush();
-  const auto batch = q.next_batch();
-  ASSERT_EQ(batch.size(), 2u);
-  EXPECT_EQ(batch[0].node, 5u);
-  EXPECT_EQ(batch[0].waiters.size(), 2u);
-  EXPECT_EQ(batch[1].waiters.size(), 1u);
+  MicroBatchQueue::Batch batch;
+  ASSERT_TRUE(q.next_batch(&batch));
+  ASSERT_EQ(batch.count, 2u);
+  EXPECT_EQ(batch.entries[0].node, 5u);
+  EXPECT_EQ(batch.entries[0].waiters.size(), 2u);
+  EXPECT_EQ(batch.entries[1].waiters.size(), 1u);
+  for (std::size_t i = 0; i < batch.count; ++i) {
+    for (TokenState* w : batch.entries[i].waiters) w->resolve(0);
+  }
 }
 
 TEST(MicroBatchQueue, DigestMismatchDoesNotCoalesce) {
   MicroBatchQueue q(64, std::chrono::seconds(30));
+  TokenSource src;
   Sha256Digest old_digest{};
   Sha256Digest new_digest{};
   new_digest[0] = 1;  // features changed between the two submissions
-  EXPECT_FALSE(q.submit(5, old_digest, {}));
-  EXPECT_FALSE(q.submit(5, new_digest, {}));
+  EXPECT_FALSE(q.submit(5, old_digest, src.next()));
+  EXPECT_FALSE(q.submit(5, new_digest, src.next()));
   // The newest entry owns the coalescing slot.
-  EXPECT_TRUE(q.submit(5, new_digest, {}));
+  EXPECT_TRUE(q.submit(5, new_digest, src.next()));
   EXPECT_EQ(q.pending(), 2u);
+  q.stop();  // fail the queued waiters so their states recycle
 }
 
 TEST(MicroBatchQueue, SubmitAfterStopThrows) {
   MicroBatchQueue q(4, std::chrono::microseconds(100));
+  TokenPool pool;
   q.stop();
-  EXPECT_THROW(q.submit(1, Sha256Digest{}, {}), Error);
-  EXPECT_TRUE(q.next_batch().empty());
+  TokenState* s = pool.acquire();
+  EXPECT_THROW(q.submit(1, Sha256Digest{}, s), Error);
+  s->abandon();
+  MicroBatchQueue::Batch b;
+  EXPECT_FALSE(q.next_batch(&b));
 }
 
 TEST(VaultServer, DuplicateInFlightQueriesShareOneBatchSlot) {
@@ -87,7 +111,7 @@ TEST(VaultServer, CoalescedStormCostsOneSlotPerFlush) {
   // batch is open.
   constexpr int kThreads = 4;
   constexpr int kPerThread = 25;
-  std::vector<std::future<std::uint32_t>> futs[kThreads];
+  std::vector<SubmitToken> futs[kThreads];
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
