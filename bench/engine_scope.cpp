@@ -1,0 +1,279 @@
+// EngineScope: serving-engine profiler artifacts + per-tenant attribution.
+//
+// Four pieces, all over deterministic synthetic fleets:
+//
+//   1. Work-stealing visibility.  A root job self-posts a burst of children
+//      onto its OWN worker's deque (posts from a worker thread stay local),
+//      so the other workers can only make progress by stealing — the
+//      engine probe's jobs.steals{result=hit} fold is then PROVABLY
+//      non-zero, and the baseline gates the steal-success ratio > 0.
+//
+//   2. Folded-stack profile.  The kill -> promote -> cold-query scenario
+//      runs traced; the retained spans fold into
+//      bench_out/profile_serve.folded (flamegraph.pl / speedscope format),
+//      validated here and re-validated by CI with stock Python.
+//
+//   3. Tenant ledger conservation.  Two registry-admitted tenants plus the
+//      sharded fleet feed TenantLedger; the bench checks the conservation
+//      invariant (sum over tenant rows == fleet totals, EPC column == the
+//      registry's books) before exporting.
+//
+//   4. Ops report.  ops_report() — registry dump + ledger + every live
+//      engine probe — lands in bench_out/ops_report.json, schema-validated
+//      here and again by CI's independent Python check.
+//
+// Honors GNNVAULT_BENCH_FAST, GNNVAULT_SEED, GNNVAULT_SCALE; `--json
+// <path>` writes the machine-readable artifact CI gates via
+// bench/baselines/engine.json.
+#include "bench_common.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/synthetic.hpp"
+#include "obs/engine_probe.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile_export.hpp"
+#include "obs/tenant_ledger.hpp"
+#include "obs/trace.hpp"
+#include "serve/job_system.hpp"
+#include "serve/registry.hpp"
+#include "shard/shard_planner.hpp"
+#include "shard/sharded_server.hpp"
+
+using namespace gv;
+using namespace gv::bench;
+
+namespace {
+
+Dataset engine_dataset(std::uint64_t seed, std::uint32_t nodes) {
+  SyntheticSpec spec;
+  spec.num_nodes = nodes;
+  spec.num_classes = 3;
+  spec.num_undirected_edges = nodes * 3;
+  spec.feature_dim = 100;
+  spec.homophily = 0.85;
+  spec.feature_signal = 0.45;
+  return generate_synthetic(spec, seed);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_args(argc, argv);
+  const BenchSettings s = settings();
+  MetricsRegistry& greg = MetricsRegistry::global();
+  auto& rec = TraceRecorder::instance();
+
+  // --- 1. Deterministic steal scenario. --------------------------------------
+  // The root job posts every child onto its own deque; with 4 workers and
+  // ~50 us of spin per child, the three peers drain it by stealing.
+  std::uint64_t steal_hits = 0, steal_misses = 0, stress_executed = 0;
+  {
+    JobSystem jobs(4);
+    constexpr int kChildren = 512;
+    std::atomic<int> done{0};
+    jobs.post(JobClass::kInteractive, [&] {
+      for (int i = 0; i < kChildren; ++i) {
+        jobs.post(JobClass::kInteractive, [&] {
+          const auto until =
+              std::chrono::steady_clock::now() + std::chrono::microseconds(50);
+          while (std::chrono::steady_clock::now() < until) {
+          }
+          done.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    });
+    while (done.load(std::memory_order_relaxed) < kChildren) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EngineProbe stress_probe(greg, "steal-stress");
+    stress_probe.attach(&jobs, nullptr, nullptr);
+    stress_probe.pull();
+    for (const auto& w : jobs.worker_snapshots()) {
+      steal_hits += w.steal_hits;
+      steal_misses += w.steal_misses;
+      for (std::size_t c = 0; c < kNumJobClasses; ++c) {
+        stress_executed += w.executed[c];
+      }
+    }
+    stress_probe.attach(nullptr, nullptr, nullptr);
+  }
+  GV_CHECK(steal_hits > 0,
+           "self-posted burst produced no successful steals — the "
+           "work-stealing path is dead");
+  const double steal_ratio =
+      double(steal_hits) / double(std::max<std::uint64_t>(
+                               steal_hits + steal_misses, 1));
+
+  // --- 2. Traced kill -> promote -> cold-query scenario. ---------------------
+  const std::uint32_t nodes = bench_fast_mode() ? 320 : 640;
+  const Dataset ds = engine_dataset(s.seed, nodes);
+  VaultTrainConfig cfg;
+  cfg.spec = ModelSpec{"E", {24, 12}, {24, 12}, 0.4f};
+  cfg.backbone_train.epochs = std::min(s.epochs, 50);
+  cfg.rectifier_train.epochs = std::min(s.epochs, 50);
+  cfg.seed = s.seed;
+  const TrainedVault vault = train_vault(ds, cfg);
+  const auto truth = vault.predict_rectified(ds.features);
+
+  rec.clear();
+  rec.set_enabled(true);
+  bool exact = true;
+  double fleet_modeled_seconds = 0.0;
+  std::uint64_t fleet_ecalls = 0;
+  {
+    ShardedServerConfig scfg;
+    scfg.server.max_batch = 16;
+    scfg.server.max_wait = std::chrono::milliseconds(10);
+    scfg.server.worker_threads = 2;
+    scfg.server.tenant = "fleet";
+    scfg.replicate = true;
+    scfg.materialize_on_start = false;  // cold cross-shard path first
+    ShardedVaultServer srv(ds, vault, ShardPlanner::plan(ds, vault, 3), {},
+                           scfg);
+    Rng rng(s.seed ^ 0xe9c1e5c07eull);
+    const auto wave = [&](std::size_t n) {
+      std::vector<std::uint32_t> q(n);
+      for (auto& v : q) {
+        v = static_cast<std::uint32_t>(rng.uniform_index(ds.num_nodes()));
+      }
+      auto futs = srv.submit_many(q);
+      for (std::size_t i = 0; i < q.size(); ++i) {
+        exact = exact && futs[i].get() == truth[q[i]];
+      }
+    };
+    wave(48);                           // cold walks
+    srv.update_features(ds.features);   // materialize stores
+    wave(96);                           // warm lookups
+    const std::uint32_t victim =
+        srv.deployment().plan().owner[rng.uniform_index(ds.num_nodes())];
+    if (srv.replicas() != nullptr) srv.replicas()->wait_ready();
+    srv.kill_shard(victim);
+    wave(96);  // fenced, then served by the promoted PRIMARY
+    srv.flush();
+    srv.join_promotion();
+
+    const MetricsSnapshot stats = srv.stats();
+    fleet_modeled_seconds = stats.modeled_seconds;
+    fleet_ecalls = stats.ecalls;
+    rec.set_enabled(false);
+
+    // --- 3. Registry tenants + ledger conservation (fleet still live, so
+    // its provider row participates). ----------------------------------------
+    VaultRegistry registry;
+    ServerConfig tcfg;
+    tcfg.max_batch = 8;
+    tcfg.max_wait = std::chrono::microseconds(500);
+    GV_CHECK(registry.admit("acme", ds, vault, tcfg).decision ==
+                 AdmissionDecision::kAdmitted,
+             "tenant acme not admitted");
+    GV_CHECK(registry.admit("zeta", ds, vault, tcfg).decision ==
+                 AdmissionDecision::kAdmitted,
+             "tenant zeta not admitted");
+    for (std::uint32_t n = 0; n < 32; ++n) {
+      GV_CHECK(registry.server("acme")->query(n) == truth[n],
+               "tenant acme answered inexactly");
+      GV_CHECK(registry.server("zeta")->query(n) == truth[n],
+               "tenant zeta answered inexactly");
+    }
+
+    auto& ledger = TenantLedger::global();
+    std::map<std::string, TenantUsage> rows;
+    TenantUsage column_sum;
+    for (const auto& [tenant, u] : ledger.snapshot()) {
+      rows[tenant] = u;
+      column_sum += u;
+    }
+    const TenantUsage fleet = ledger.fleet_totals();
+    GV_CHECK(rows.count("acme") == 1 && rows.count("zeta") == 1 &&
+                 rows.count("fleet") == 1,
+             "expected ledger rows for acme, zeta and the sharded fleet");
+    GV_CHECK(fleet.ecalls == column_sum.ecalls &&
+                 fleet.batches == column_sum.batches &&
+                 fleet.epc_resident_bytes == column_sum.epc_resident_bytes &&
+                 fleet.modeled_seconds == column_sum.modeled_seconds,
+             "ledger fleet totals must equal the column-wise tenant sum");
+    GV_CHECK(rows["acme"].epc_resident_bytes +
+                     rows["zeta"].epc_resident_bytes ==
+                 registry.epc_in_use(),
+             "ledger EPC column disagrees with the registry books");
+    GV_CHECK(rows["acme"].ecalls == registry.server("acme")->stats().ecalls,
+             "ledger ecall attribution disagrees with the server meter");
+    ledger.publish(greg);
+
+    // --- 4. Artifacts: folded profile + unified ops report. ------------------
+    const std::string folded = folded_profile_snapshot();
+    std::string why;
+    GV_CHECK(validate_folded(folded, &why), "folded profile invalid: " + why);
+    for (const char* frame :
+         {"serve/batch_flush", "promotion/promotion", "fleet/cold_forward"}) {
+      GV_CHECK(folded.find(frame) != std::string::npos,
+               std::string("folded profile is missing frame: ") + frame);
+    }
+    write_folded(out_dir() + "/profile_serve.folded");
+
+    // Probe fold cost, amortized: pull_all() walks every live engine (the
+    // fleet's K+1 front ends plus both tenants').
+    constexpr int kPulls = 200;
+    Stopwatch pull_watch;
+    for (int i = 0; i < kPulls; ++i) EngineProbe::pull_all();
+    const double pull_us = pull_watch.seconds() / double(kPulls) * 1e6;
+
+    const std::string report = ops_report();
+    GV_CHECK(validate_ops_report(report, &why), "ops report invalid: " + why);
+    GV_CHECK(report.find("\"engine\":\"acme\"") != std::string::npos &&
+                 report.find("\"engine\":\"fleet\"") != std::string::npos,
+             "ops report engines array is missing admitted engines");
+    write_ops_report(out_dir() + "/ops_report.json");
+
+    std::size_t folded_lines = 0;
+    for (char c : folded) folded_lines += c == '\n';
+    std::size_t engines_live = 0;
+    const std::string engines = EngineProbe::engines_json(false);
+    for (std::size_t p = engines.find("\"engine\":"); p != std::string::npos;
+         p = engines.find("\"engine\":", p + 1)) {
+      ++engines_live;
+    }
+
+    Table table("EngineScope: steals, profile, ledger, ops report");
+    table.set_header({"quantity", "value"});
+    table.add_row({"steal hits", std::to_string(steal_hits)});
+    table.add_row({"steal success ratio", Table::fmt(steal_ratio, 3)});
+    table.add_row({"folded stacks", std::to_string(folded_lines)});
+    table.add_row({"live engines", std::to_string(engines_live)});
+    table.add_row({"ledger tenants", std::to_string(rows.size())});
+    table.add_row({"fleet modeled s", Table::fmt(fleet_modeled_seconds, 4)});
+    table.add_row({"pull_all us", Table::fmt(pull_us, 1)});
+    table.print();
+    GV_LOG_INFO << "engine_scope: steal ratio " << Table::fmt(steal_ratio, 3)
+                << " (" << steal_hits << " hits / " << steal_misses
+                << " misses), " << folded_lines << " folded stacks, "
+                << engines_live << " live engines, " << rows.size()
+                << " ledger tenants, pull_all " << Table::fmt(pull_us, 1)
+                << " us";
+
+    table.write_csv(out_dir() + "/engine_scope.csv");
+    write_json(args, "engine_scope", s, {&table},
+               {{"steal_hits", double(steal_hits)},
+                {"steal_misses", double(steal_misses)},
+                {"steal_success_ratio", steal_ratio},
+                {"stress_executed", double(stress_executed)},
+                {"exact", exact ? 1.0 : 0.0},
+                {"folded_lines", double(folded_lines)},
+                {"engines_live", double(engines_live)},
+                {"ledger_tenants", double(rows.size())},
+                {"fleet_ecalls", double(fleet_ecalls)},
+                {"pull_all_us", pull_us}},
+               {{"tenants", ledger.cached_json()}});
+  }
+  GV_CHECK(exact, "serving scenario answered inexactly");
+  rec.clear();
+  return 0;
+}

@@ -42,13 +42,17 @@
 #include <mutex>
 #include <set>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "common/rng.hpp"
+#include "common/thread_safety.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/slo.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
+#include "serve/registry.hpp"
 #include "shard/shard_planner.hpp"
 #include "shard/sharded_server.hpp"
 
@@ -385,6 +389,77 @@ int main(int argc, char** argv) {
   const double overhead_pin_pct = per_span_s * spans_per_rep /
                                   std::max(on.modeled_seconds, 1e-12) * 100.0;
 
+  // --- EngineScope lock-contention profiler arms. ----------------------------
+  // Same pin construction as tracing: measure the per-acquisition cost of
+  // the probe's uncontended try_lock fast path (off vs on), then charge it
+  // against the acquisition count of one profiled scenario rep.  The
+  // end-to-end off/on throughput delta would drown in scheduler noise; the
+  // (cost x volume) product is deterministic.
+  constexpr int kLockIters = 200000;
+  Mutex probe_mu{lockrank::kQueue};
+  lockprof::set_enabled(false);
+  Stopwatch lock_off_watch;
+  for (int i = 0; i < kLockIters; ++i) {
+    MutexLock hold(probe_mu);
+  }
+  const double lock_off_s = lock_off_watch.seconds();
+  lockprof::set_enabled(true);
+  Stopwatch lock_on_watch;
+  for (int i = 0; i < kLockIters; ++i) {
+    MutexLock hold(probe_mu);
+  }
+  const double lock_on_s = lock_on_watch.seconds();
+  // Clamped: on a noisy shared CPU the on-arm can win the wall-clock coin
+  // flip, and a negative per-lock cost would hide real emission overhead.
+  const double per_lock_s =
+      std::max(0.0, (lock_on_s - lock_off_s) / double(kLockIters));
+
+  const std::uint64_t acq_before = lockprof::profiled_acquisitions();
+  const std::uint64_t contended_before = lockprof::contended_acquisitions();
+  const ServeRun prof_run = run_scenario(ds, vault, K, s.seed + 17, truth);
+  GV_CHECK(prof_run.exact, "serving run (lockprof on) answered inexactly");
+  const std::uint64_t lock_acquisitions =
+      lockprof::profiled_acquisitions() - acq_before;
+  const std::uint64_t lock_contended =
+      lockprof::contended_acquisitions() - contended_before;
+  GV_CHECK(lock_acquisitions > 0,
+           "profiled scenario rep acquired no gv::Mutex at all");
+  const double lockprof_pin_pct = per_lock_s * double(lock_acquisitions) /
+                                  std::max(prof_run.modeled_seconds, 1e-12) *
+                                  100.0;
+
+  // Contended-registry scenario: four threads tight-loop the admission
+  // lock's read side until the per-rank histogram provably records a wait
+  // (bounded retries — a miss here means rank attribution is broken).
+  const auto registry_waits = [&greg] {
+    return greg
+        .histogram("lock.wait_seconds", MetricLabels::of("rank", "kRegistry"))
+        .snapshot()
+        .count;
+  };
+  const std::uint64_t reg_waits_before = registry_waits();
+  VaultRegistry contended_registry;
+  for (int attempt = 0; attempt < 50 && registry_waits() == reg_waits_before;
+       ++attempt) {
+    std::vector<std::thread> hammer;
+    for (int t = 0; t < 4; ++t) {
+      hammer.emplace_back([&contended_registry] {
+        for (int i = 0; i < 20000; ++i) {
+          (void)contended_registry.has("nobody");
+        }
+      });
+    }
+    for (auto& th : hammer) th.join();
+  }
+  lockprof::set_enabled(false);
+  const std::uint64_t registry_contended_waits =
+      registry_waits() - reg_waits_before;
+  GV_CHECK(registry_contended_waits > 0,
+           "lock.wait_seconds{rank=kRegistry} stayed empty under a "
+           "4-thread admission-lock hammer");
+
+  const double probes_pin_pct = overhead_pin_pct + lockprof_pin_pct;
+
   Table table("VaultScope: tracing overhead + snapshot cost");
   table.set_header({"config", "modeled req/s", "modeled s", "trace events",
                     "snapshot ms (500x)"});
@@ -405,8 +480,19 @@ int main(int argc, char** argv) {
               << "x; " << by_query.size() << " traced queries, " << cascades
               << " full cross-shard cascades, " << flight_bundles
               << " flight bundles";
+  GV_LOG_INFO << "lockprof pin: " << Table::fmt(lockprof_pin_pct, 3)
+              << "% of modeled serving time (" << Table::fmt(per_lock_s * 1e9, 1)
+              << " ns/acquisition x " << lock_acquisitions
+              << " acquisitions, " << lock_contended
+              << " contended); registry hammer recorded "
+              << registry_contended_waits
+              << " waits in lock.wait_seconds{rank=kRegistry}; all probes on: "
+              << Table::fmt(probes_pin_pct, 3) << "%";
   GV_CHECK(overhead_pin_pct < 3.0,
            "tracing emission cost exceeded 3% of modeled serving time");
+  GV_CHECK(probes_pin_pct < 3.0,
+           "tracing + lock-profiler cost exceeded 3% of modeled serving time "
+           "with every probe enabled");
 
   table.write_csv(out_dir() + "/obs_overhead.csv");
   write_json(args, "obs_overhead", s, {&table},
@@ -424,7 +510,13 @@ int main(int argc, char** argv) {
               {"ring_cold_queries", double(ring_cold)},
               {"slo_evaluations", double(slo.evaluations())},
               {"slo_alerts", double(slo.alerts())},
-              {"flight_bundles", double(flight_bundles)}},
+              {"flight_bundles", double(flight_bundles)},
+              {"lock_probe_ns", per_lock_s * 1e9},
+              {"lockprof_acquisitions", double(lock_acquisitions)},
+              {"lockprof_contended", double(lock_contended)},
+              {"lockprof_pin_pct", lockprof_pin_pct},
+              {"registry_contended_waits", double(registry_contended_waits)},
+              {"probes_pin_pct", probes_pin_pct}},
              {{"metrics", MetricsRegistry::global().to_json()},
               {"timeseries", ring.to_json()}});
   return 0;

@@ -5,6 +5,32 @@
 #include <cstdlib>
 #include <vector>
 
+namespace gv::lockrank {
+
+const char* lock_rank_name(int rank) {
+  switch (rank) {
+    case kRegistry: return "kRegistry";
+    case kServerControl: return "kServerControl";
+    case kReplicate: return "kReplicate";
+    case kServerState: return "kServerState";
+    case kReplicaSlot: return "kReplicaSlot";
+    case kDeployment: return "kDeployment";
+    case kShardAccess: return "kShardAccess";
+    case kMoveFence: return "kMoveFence";
+    case kServerSnap: return "kServerSnap";
+    case kEnclaveEntry: return "kEnclaveEntry";
+    case kEnclaveMeter: return "kEnclaveMeter";
+    case kChannel: return "kChannel";
+    case kQueue: return "kQueue";
+    case kJobQueue: return "kJobQueue";
+    case kTokenState: return "kTokenState";
+    case kTelemetry: return "kTelemetry";
+    default: return "unranked";
+  }
+}
+
+}  // namespace gv::lockrank
+
 namespace gv::lint {
 namespace {
 

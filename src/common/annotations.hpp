@@ -122,6 +122,12 @@ inline constexpr int kTokenState = 84;     // SubmitToken shared state + pool
                                            // dropped)
 inline constexpr int kTelemetry = 90;      // metrics / trace / flight recorder /
                                            // router + server stats mutexes
+
+/// Stable name of a rank constant ("kRegistry", ...), or "unranked" for any
+/// value not in the table.  EngineScope's lock-contention profiler labels
+/// its `lock.wait_seconds{rank}` histograms with these, so the dynamic
+/// contention picture lines up with the static rank table above.
+const char* lock_rank_name(int rank);
 }  // namespace gv::lockrank
 
 // --- Runtime lock-rank validator -------------------------------------------

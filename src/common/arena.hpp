@@ -91,9 +91,17 @@ class Arena {
     return {p, n};
   }
 
-  /// Rewind to empty, retaining every block for reuse.
+  /// Rewind to empty, retaining every block for reuse.  Also folds the
+  /// rewound usage into the high-water mark (EngineScope occupancy gauge):
+  /// the loop already walks every block, so tracking costs one add/compare
+  /// per block on a cool path.
   void reset() {
-    for (auto& b : blocks_) b.used = 0;
+    std::size_t used = 0;
+    for (auto& b : blocks_) {
+      used += b.used;
+      b.used = 0;
+    }
+    if (used > bytes_high_water_) bytes_high_water_ = used;
     cur_ = 0;
   }
 
@@ -110,6 +118,12 @@ class Arena {
     return sum;
   }
   std::size_t num_blocks() const { return blocks_.size(); }
+  /// Largest bytes_used() observed at a reset() (live usage between resets
+  /// is not folded in until the next reset).
+  std::size_t bytes_high_water() const {
+    const std::size_t used = bytes_used();
+    return used > bytes_high_water_ ? used : bytes_high_water_;
+  }
 
  private:
   static constexpr std::size_t kMaxBlockBytes = std::size_t{1} << 20;
@@ -140,6 +154,7 @@ class Arena {
   std::vector<Block> blocks_;
   std::size_t cur_ = 0;
   std::size_t next_block_bytes_;
+  std::size_t bytes_high_water_ = 0;
 };
 
 /// std-allocator adapter over an Arena (per-batch container lifetime).

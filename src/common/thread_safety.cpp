@@ -1,0 +1,107 @@
+#include "common/thread_safety.hpp"
+
+#include <chrono>
+#include <cstdlib>
+
+#include "common/annotations.hpp"
+#include "obs/metrics.hpp"
+
+namespace gv {
+namespace lockprof {
+
+std::atomic<int> g_state{-1};
+
+namespace {
+
+// One slot per rank in the gv::lockrank table, plus a trailing slot for
+// unranked mutexes.  Instrument pointers are resolved once at enable time
+// (resolution takes the registry's own kTelemetry gv::Mutex — which is
+// itself profiled — so record() below must never resolve) and published
+// with release semantics; record() null-checks under an acquire load, so a
+// contended wait racing the enable sees either nothing or a fully-resolved
+// slot.
+constexpr int kRanks[] = {
+    lockrank::kRegistry,     lockrank::kServerControl, lockrank::kReplicate,
+    lockrank::kServerState,  lockrank::kReplicaSlot,   lockrank::kDeployment,
+    lockrank::kShardAccess,  lockrank::kMoveFence,     lockrank::kServerSnap,
+    lockrank::kEnclaveEntry, lockrank::kEnclaveMeter,  lockrank::kChannel,
+    lockrank::kQueue,        lockrank::kJobQueue,      lockrank::kTokenState,
+    lockrank::kTelemetry,
+};
+constexpr int kNumRanks = static_cast<int>(sizeof(kRanks) / sizeof(kRanks[0]));
+constexpr int kUnrankedSlot = kNumRanks;
+
+struct Slot {
+  Histogram* wait_seconds = nullptr;
+  Counter* contended = nullptr;
+};
+Slot g_slots[kNumRanks + 1];
+std::atomic<bool> g_resolved{false};
+
+std::atomic<std::uint64_t> g_profiled{0};
+std::atomic<std::uint64_t> g_contended{0};
+
+int slot_index(int rank) {
+  for (int i = 0; i < kNumRanks; ++i) {
+    if (kRanks[i] == rank) return i;
+  }
+  return kUnrankedSlot;
+}
+
+void resolve_instruments() {
+  if (g_resolved.load(std::memory_order_acquire)) return;
+  auto& reg = MetricsRegistry::global();
+  for (int i = 0; i <= kNumRanks; ++i) {
+    const char* name = i == kUnrankedSlot
+                           ? "unranked"
+                           : lockrank::lock_rank_name(kRanks[i]);
+    const auto labels = MetricLabels::of("rank", name);
+    g_slots[i].wait_seconds = &reg.histogram("lock.wait_seconds", labels);
+    g_slots[i].contended = &reg.counter("lock.contended", labels);
+  }
+  g_resolved.store(true, std::memory_order_release);
+}
+
+}  // namespace
+
+bool enabled_slow() {
+  const char* v = std::getenv("GNNVAULT_LOCKPROF");
+  const bool on = v != nullptr && v[0] != '\0' && v[0] != '0';
+  if (on) resolve_instruments();
+  int expected = -1;
+  g_state.compare_exchange_strong(expected, on ? 1 : 0,
+                                  std::memory_order_relaxed);
+  return g_state.load(std::memory_order_relaxed) != 0;
+}
+
+void set_enabled(bool on) {
+  if (on) resolve_instruments();
+  g_state.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+std::uint64_t profiled_acquisitions() {
+  return g_profiled.load(std::memory_order_relaxed);
+}
+
+std::uint64_t contended_acquisitions() {
+  return g_contended.load(std::memory_order_relaxed);
+}
+
+}  // namespace lockprof
+
+void Mutex::profiled_lock() {
+  lockprof::g_profiled.fetch_add(1, std::memory_order_relaxed);
+  if (mu_.try_lock()) return;
+  const auto t0 = std::chrono::steady_clock::now();
+  mu_.lock();
+  const double wait_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  lockprof::g_contended.fetch_add(1, std::memory_order_relaxed);
+  if (!lockprof::g_resolved.load(std::memory_order_acquire)) return;
+  const auto& slot = lockprof::g_slots[lockprof::slot_index(rank_)];
+  slot.contended->add(1);
+  slot.wait_seconds->record(wait_s);
+}
+
+}  // namespace gv

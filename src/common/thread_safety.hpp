@@ -15,10 +15,25 @@
 //
 // CI builds the tree with clang and -Werror=thread-safety; see
 // docs/static_analysis.md.
+//
+// EngineScope contention profiler: a gv::Mutex optionally carries its
+// lock-rank at runtime (pass the gv::lockrank constant to the constructor,
+// next to the GV_LOCK_RANK annotation that carries it statically).  When
+// the profiler is enabled — GNNVAULT_LOCKPROF=1 at first use, or
+// lockprof::set_enabled(true) — lock() takes a try_lock fast path and, on
+// contention, times the blocking wait and records it into the global
+// MetricsRegistry as `lock.wait_seconds{rank}` plus a
+// `lock.contended{rank}` counter, keyed by gv::lockrank::lock_rank_name.
+// Disabled (the default), the probe is ONE relaxed atomic load per lock()
+// and writes nothing anywhere; bench/obs_overhead.cpp pins the enabled
+// cost.  Instruments are pre-resolved once at enable time, so recording a
+// contended wait never takes the registry's own (profiled) mutex.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 
 #if defined(__clang__) && (!defined(SWIG))
@@ -42,24 +57,70 @@
 
 namespace gv {
 
+namespace lockprof {
+
+/// Tri-state: -1 unseeded (read GNNVAULT_LOCKPROF on first probe), else
+/// 0/1.  Inline so the disabled check is one relaxed load, no call.
+extern std::atomic<int> g_state;
+
+/// Slow path of enabled(): seed g_state from the environment (and resolve
+/// the per-rank instruments if it comes up enabled).
+bool enabled_slow();
+
+inline bool enabled() {
+  const int s = g_state.load(std::memory_order_relaxed);
+  if (s >= 0) return s != 0;
+  return enabled_slow();
+}
+
+/// Runtime toggle (tests / benches).  Enabling resolves the per-rank
+/// `lock.wait_seconds{rank}` / `lock.contended{rank}` instruments in the
+/// global MetricsRegistry once; recording afterwards is atomics only.
+void set_enabled(bool on);
+
+/// Lifetime counts while the profiler was enabled (atomic reads; the
+/// overhead-pin bench models its cost per profiled acquisition).
+std::uint64_t profiled_acquisitions();
+std::uint64_t contended_acquisitions();
+
+}  // namespace lockprof
+
 /// std::mutex with clang capability annotations.  Also a BasicLockable, so
 /// std::unique_lock<gv::Mutex> and gv::CondVar::wait work unchanged.
 class GV_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  /// Rank-carrying form: pass the same gv::lockrank constant the member's
+  /// GV_LOCK_RANK annotation names, so contended waits land in the right
+  /// `lock.wait_seconds{rank}` histogram.
+  explicit Mutex(int rank) : rank_(rank) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() GV_ACQUIRE() { mu_.lock(); }
+  void lock() GV_ACQUIRE() {
+    if (lockprof::enabled()) {
+      profiled_lock();
+      return;
+    }
+    mu_.lock();
+  }
   void unlock() GV_RELEASE() { mu_.unlock(); }
   bool try_lock() GV_TRY_ACQUIRE(true) { return mu_.try_lock(); }
 
+  int rank() const { return rank_; }
+
   /// Escape hatch for APIs that need the raw handle; using it bypasses the
-  /// analysis, so prefer MutexLock / CondVar.
+  /// analysis AND the contention probe, so prefer MutexLock / CondVar.
   std::mutex& native() GV_RETURN_CAPABILITY(this) { return mu_; }
 
  private:
+  /// try_lock fast path; on contention, time the blocking wait and record
+  /// it under this mutex's rank.  Out of line: the disabled hot path stays
+  /// a load + call-free mu_.lock().
+  void profiled_lock();
+
   std::mutex mu_;
+  int rank_ = -1;
 };
 
 /// Annotated scoped guard (std::lock_guard shape, TSA-visible release).

@@ -12,6 +12,7 @@
 
 #include "common/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile_export.hpp"
 #include "obs/trace.hpp"
 
 namespace gv {
@@ -164,6 +165,9 @@ std::string FlightRecorder::trip(FaultKind kind, int shard,
   out += "]";
 
   out += ", \"metrics\": " + MetricsRegistry::global().to_json();
+  // EngineScope ops snapshot (cached ledger + last-pulled engine probes):
+  // leaf-lock-only, so it is safe under the fault-path locks trip() allows.
+  out += ", \"ops\": " + ops_report_cached();
   out += ", \"timeseries\": ";
   out += ring_ != nullptr ? ring_->to_json() : std::string("null");
   out += ", \"topology\": ";

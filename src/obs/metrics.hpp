@@ -186,7 +186,8 @@ class MetricsRegistry {
   template <typename T>
   using InstrumentMap = std::map<Key, std::unique_ptr<T>>;
 
-  mutable Mutex mu_ GV_LOCK_RANK(gv::lockrank::kTelemetry);
+  mutable Mutex mu_ GV_LOCK_RANK(gv::lockrank::kTelemetry){
+      gv::lockrank::kTelemetry};
   InstrumentMap<Counter> counters_ GV_GUARDED_BY(mu_);
   InstrumentMap<Gauge> gauges_ GV_GUARDED_BY(mu_);
   InstrumentMap<Histogram> histograms_ GV_GUARDED_BY(mu_);

@@ -21,6 +21,7 @@ std::uint32_t MicroBatchQueue::acquire_slot_locked() {
   }
   const std::uint32_t idx = free_head_;
   free_head_ = slots_[idx].next;
+  --free_slot_count_;
   return idx;
 }
 
@@ -30,6 +31,7 @@ void MicroBatchQueue::release_slot_locked(std::uint32_t idx) {
   s.prev = kNone;
   s.next = free_head_;
   free_head_ = idx;
+  ++free_slot_count_;
 }
 
 bool MicroBatchQueue::submit_locked(std::uint32_t node,
@@ -58,6 +60,7 @@ bool MicroBatchQueue::submit_locked(std::uint32_t node,
   }
   tail_ = idx;
   ++size_;
+  if (size_ > depth_hw_) depth_hw_ = size_;
   // Point the index at the newest entry for this node (a digest mismatch
   // means the features changed between the two submissions; the stale
   // entry simply stops coalescing).
@@ -202,6 +205,30 @@ std::size_t MicroBatchQueue::pending() const {
   MutexLock lock(mu_);
   GV_RANK_SCOPE(lockrank::kQueue);
   return size_;
+}
+
+std::size_t MicroBatchQueue::depth_high_water() const {
+  MutexLock lock(mu_);
+  GV_RANK_SCOPE(lockrank::kQueue);
+  return depth_hw_;
+}
+
+std::size_t MicroBatchQueue::slot_capacity() const {
+  MutexLock lock(mu_);
+  GV_RANK_SCOPE(lockrank::kQueue);
+  return slots_.size();
+}
+
+std::size_t MicroBatchQueue::free_slots() const {
+  MutexLock lock(mu_);
+  GV_RANK_SCOPE(lockrank::kQueue);
+  return free_slot_count_;
+}
+
+std::size_t MicroBatchQueue::index_size() const {
+  MutexLock lock(mu_);
+  GV_RANK_SCOPE(lockrank::kQueue);
+  return index_.size();
 }
 
 }  // namespace gv

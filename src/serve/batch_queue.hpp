@@ -60,6 +60,12 @@ class MicroBatchQueue {
     std::vector<Entry> entries;  // [0, count) valid
     std::size_t count = 0;
     Arena arena;
+    /// Arena figures last pushed to the EngineProbe gauges for this batch
+    /// (ServeFrontEnd::release_batch publishes deltas only when they moved
+    /// — which stops happening once the arena reaches steady state).
+    std::size_t published_reserved = 0;
+    std::size_t published_blocks = 0;
+    std::size_t published_high_water = 0;
   };
 
   MicroBatchQueue(std::size_t max_batch, std::chrono::microseconds max_wait);
@@ -93,6 +99,13 @@ class MicroBatchQueue {
 
   /// Queued (unflushed) entries; coalesced duplicates count once.
   std::size_t pending() const;
+  /// Most entries ever queued at once (EngineScope depth gauge).
+  std::size_t depth_high_water() const;
+  /// Slot-slab occupancy (EngineScope): total slots ever allocated, slots
+  /// on the free list, and live coalescing-index entries.
+  std::size_t slot_capacity() const;
+  std::size_t free_slots() const;
+  std::size_t index_size() const;
 
   std::size_t max_batch() const { return max_batch_; }
 
@@ -115,7 +128,7 @@ class MicroBatchQueue {
   const std::size_t max_batch_;
   const std::chrono::microseconds max_wait_;
 
-  mutable Mutex mu_ GV_LOCK_RANK(gv::lockrank::kQueue);
+  mutable Mutex mu_ GV_LOCK_RANK(gv::lockrank::kQueue){gv::lockrank::kQueue};
   CondVar cv_;
   /// Stable slot slab; grows during warm-up only (index-addressed, so
   /// vector reallocation is safe).
@@ -124,6 +137,8 @@ class MicroBatchQueue {
   std::uint32_t head_ GV_GUARDED_BY(mu_) = kNone;  // FIFO front (oldest)
   std::uint32_t tail_ GV_GUARDED_BY(mu_) = kNone;
   std::size_t size_ GV_GUARDED_BY(mu_) = 0;
+  std::size_t depth_hw_ GV_GUARDED_BY(mu_) = 0;
+  std::size_t free_slot_count_ GV_GUARDED_BY(mu_) = 0;
   /// node -> its newest queued slot (coalescing index); node-recycling
   /// allocator so erase/insert churn stays heap-free after warm-up.
   std::unordered_map<std::uint32_t, std::uint32_t, std::hash<std::uint32_t>,

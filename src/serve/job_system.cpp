@@ -86,15 +86,14 @@ void JobSystem::post(JobClass cls, std::function<void()> run,
       j.cancel = std::move(cancel);
       j.cls = cls;
       w.lanes[ci].push_back(std::move(j));
+      if (w.lanes[ci].size() > w.depth_hw[ci]) w.depth_hw[ci] = w.lanes[ci].size();
       queued_total_.fetch_add(1, std::memory_order_relaxed);
       accepted = true;
     }
   }
   if (!accepted) {
     if (cancel) cancel();
-    MutexLock lock(stats_mu_);
-    GV_RANK_SCOPE(lockrank::kTelemetry);
-    ++stats_.cancelled[ci];
+    cancelled_[ci].fetch_add(1, std::memory_order_relaxed);
     return;
   }
   signal_work();
@@ -119,6 +118,13 @@ bool JobSystem::pop_runnable(Worker& w, bool steal, Job* out,
       }
       if (!got) continue;  // cap saturated: this lane is not runnable now
       *reserved_maint = true;
+      // Cap-occupancy high-water (EngineProbe gauge); maintenance pops are
+      // rare, so the CAS loop never spins in practice.
+      std::size_t now = cur + 1;
+      std::size_t hw = maintenance_high_water_.load(std::memory_order_relaxed);
+      while (now > hw && !maintenance_high_water_.compare_exchange_weak(
+                             hw, now, std::memory_order_relaxed)) {
+      }
     }
     *out = steal ? lane.pop_back() : lane.pop_front();
     queued_total_.fetch_sub(1, std::memory_order_relaxed);
@@ -138,7 +144,7 @@ bool JobSystem::try_run_one(std::size_t self) {
     found = pop_runnable(me, /*steal=*/false, &job, &reserved);
   }
   if (found) {
-    execute(std::move(job), reserved);
+    execute(std::move(job), reserved, me);
     return true;
   }
   if (workers_.size() == 1) return false;
@@ -158,19 +164,16 @@ bool JobSystem::try_run_one(std::size_t self) {
       found = pop_runnable(victim, /*steal=*/true, &job, &reserved);
     }
     if (found) {
-      {
-        MutexLock lock(stats_mu_);
-        GV_RANK_SCOPE(lockrank::kTelemetry);
-        ++stats_.stolen;
-      }
-      execute(std::move(job), reserved);
+      me.steal_hits.fetch_add(1, std::memory_order_relaxed);
+      execute(std::move(job), reserved, me);
       return true;
     }
   }
+  me.steal_misses.fetch_add(1, std::memory_order_relaxed);
   return false;
 }
 
-void JobSystem::execute(Job job, bool reserved_maint) {
+void JobSystem::execute(Job job, bool reserved_maint, Worker& me) {
   running_total_.fetch_add(1, std::memory_order_relaxed);
   try {
     if (job.run) job.run();
@@ -182,11 +185,9 @@ void JobSystem::execute(Job job, bool reserved_maint) {
     maintenance_running_.fetch_sub(1, std::memory_order_acq_rel);
   }
   running_total_.fetch_sub(1, std::memory_order_relaxed);
-  {
-    MutexLock lock(stats_mu_);
-    GV_RANK_SCOPE(lockrank::kTelemetry);
-    ++stats_.executed[static_cast<std::size_t>(job.cls)];
-  }
+  // Worker-local count: one relaxed add, no stats mutex on the hot path.
+  me.executed[static_cast<std::size_t>(job.cls)].fetch_add(
+      1, std::memory_order_relaxed);
   // A finished maintenance job frees a cap slot; sleeping workers (and
   // drain_idle waiters) must recheck.
   signal_work();
@@ -217,7 +218,15 @@ void JobSystem::worker_loop(std::size_t self) {
     if (try_run_one(self)) continue;
     MutexLock lock(idle_mu_);
     GV_RANK_SCOPE(lockrank::kJobQueue);
-    while (work_signal_ == seen && !stopping_) idle_cv_.wait(idle_mu_);
+    bool parked = false;
+    while (work_signal_ == seen && !stopping_) {
+      if (!parked) {
+        parked = true;
+        me.parks.fetch_add(1, std::memory_order_relaxed);
+      }
+      idle_cv_.wait(idle_mu_);
+    }
+    if (parked) me.unparks.fetch_add(1, std::memory_order_relaxed);
     if (stopping_ && work_signal_ == seen) return;
     // stopping_ with a changed signal: drain whatever is still runnable
     // (the shutdown drain window) before exiting.
@@ -274,12 +283,9 @@ void JobSystem::stop(std::chrono::milliseconds drain) {
   for (auto& j : cancelled) {
     if (j.cancel) j.cancel();
   }
-  if (!cancelled.empty()) {
-    MutexLock lock(stats_mu_);
-    GV_RANK_SCOPE(lockrank::kTelemetry);
-    for (const auto& j : cancelled) {
-      ++stats_.cancelled[static_cast<std::size_t>(j.cls)];
-    }
+  for (const auto& j : cancelled) {
+    cancelled_[static_cast<std::size_t>(j.cls)].fetch_add(
+        1, std::memory_order_relaxed);
   }
 
   // Phase 4: wake everyone and join (in-flight jobs run to completion).
@@ -306,9 +312,42 @@ void JobSystem::drain_idle() {
 }
 
 JobSystemStats JobSystem::stats() const {
-  MutexLock lock(stats_mu_);
-  GV_RANK_SCOPE(lockrank::kTelemetry);
-  return stats_;
+  JobSystemStats s;
+  for (const auto& wp : workers_) {
+    for (std::size_t c = 0; c < kNumJobClasses; ++c) {
+      s.executed[c] += wp->executed[c].load(std::memory_order_relaxed);
+    }
+    s.stolen += wp->steal_hits.load(std::memory_order_relaxed);
+    s.steal_misses += wp->steal_misses.load(std::memory_order_relaxed);
+    s.parks += wp->parks.load(std::memory_order_relaxed);
+    s.unparks += wp->unparks.load(std::memory_order_relaxed);
+  }
+  for (std::size_t c = 0; c < kNumJobClasses; ++c) {
+    s.cancelled[c] = cancelled_[c].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+std::vector<JobWorkerSnapshot> JobSystem::worker_snapshots() const {
+  std::vector<JobWorkerSnapshot> out(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    const Worker& w = *workers_[i];
+    JobWorkerSnapshot& s = out[i];
+    for (std::size_t c = 0; c < kNumJobClasses; ++c) {
+      s.executed[c] = w.executed[c].load(std::memory_order_relaxed);
+    }
+    s.steal_hits = w.steal_hits.load(std::memory_order_relaxed);
+    s.steal_misses = w.steal_misses.load(std::memory_order_relaxed);
+    s.parks = w.parks.load(std::memory_order_relaxed);
+    s.unparks = w.unparks.load(std::memory_order_relaxed);
+    MutexLock lock(w.mu);
+    GV_RANK_SCOPE(lockrank::kJobQueue);
+    for (std::size_t c = 0; c < kNumJobClasses; ++c) {
+      s.depth[c] = w.lanes[c].size();
+      s.depth_high_water[c] = w.depth_hw[c];
+    }
+  }
+  return out;
 }
 
 }  // namespace gv

@@ -53,10 +53,34 @@ enum class JobClass : std::uint8_t {
 };
 inline constexpr std::size_t kNumJobClasses = 3;
 
+/// Fleet-wide fold of the per-worker counters (stats()).  EngineScope: the
+/// counters behind this struct live in worker-local relaxed atomics — a
+/// worker never touches a stats mutex on the execute/steal hot path; the
+/// fold happens on the (rare) pull.
 struct JobSystemStats {
   std::uint64_t executed[kNumJobClasses] = {0, 0, 0};
   std::uint64_t cancelled[kNumJobClasses] = {0, 0, 0};
   std::uint64_t stolen = 0;
+  /// Steal scans that found no runnable job on any victim (stolen counts
+  /// the hits; attempts = stolen + steal_misses).
+  std::uint64_t steal_misses = 0;
+  /// Park/unpark cycles: a worker parked when it found nothing runnable,
+  /// and was woken by new work (or shutdown).
+  std::uint64_t parks = 0;
+  std::uint64_t unparks = 0;
+};
+
+/// Per-worker, per-lane probe snapshot (EngineProbe folds these into
+/// labeled MetricsRegistry instruments).
+struct JobWorkerSnapshot {
+  std::uint64_t executed[kNumJobClasses] = {0, 0, 0};
+  std::uint64_t steal_hits = 0;
+  std::uint64_t steal_misses = 0;
+  std::uint64_t parks = 0;
+  std::uint64_t unparks = 0;
+  /// Current and high-water queued depth per lane of this worker's deque.
+  std::size_t depth[kNumJobClasses] = {0, 0, 0};
+  std::size_t depth_high_water[kNumJobClasses] = {0, 0, 0};
 };
 
 class JobSystem {
@@ -95,6 +119,17 @@ class JobSystem {
   std::size_t max_maintenance_in_flight() const { return maintenance_cap_; }
   JobSystemStats stats() const;
 
+  /// Per-worker probe snapshots (one deque-lock acquisition per worker for
+  /// the depth fields; counters are relaxed reads).  Pull path only.
+  std::vector<JobWorkerSnapshot> worker_snapshots() const;
+  /// Maintenance jobs executing right now / the most ever concurrent.
+  std::size_t maintenance_in_flight() const {
+    return maintenance_running_.load(std::memory_order_relaxed);
+  }
+  std::size_t maintenance_high_water() const {
+    return maintenance_high_water_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// Fixed-capacity-after-warm-up ring buffer of jobs.  Owner pops the
   /// front (FIFO fairness for latency), thieves pop the back.
@@ -114,11 +149,23 @@ class JobSystem {
   };
 
   struct Worker {
-    mutable Mutex mu GV_LOCK_RANK(gv::lockrank::kJobQueue);
+    mutable Mutex mu GV_LOCK_RANK(gv::lockrank::kJobQueue){
+        gv::lockrank::kJobQueue};
     JobRing lanes[kNumJobClasses] GV_GUARDED_BY(mu);
+    /// High-water queued depth per lane (updated under mu on push — the
+    /// lock is already held there, so this costs a compare).
+    std::size_t depth_hw[kNumJobClasses] GV_GUARDED_BY(mu) = {0, 0, 0};
     std::thread thread;
     // xorshift steal-victim state, touched only by the owning thread.
     std::uint64_t rng = 0;
+    // Worker-local telemetry: written by the owning thread only (relaxed
+    // atomics so stats()/probe pulls may read concurrently).  No mutex is
+    // ever taken to record a job execution or a steal.
+    std::atomic<std::uint64_t> executed[kNumJobClasses]{};
+    std::atomic<std::uint64_t> steal_hits{0};
+    std::atomic<std::uint64_t> steal_misses{0};
+    std::atomic<std::uint64_t> parks{0};
+    std::atomic<std::uint64_t> unparks{0};
   };
 
   void worker_loop(std::size_t self);
@@ -127,24 +174,27 @@ class JobSystem {
   bool try_run_one(std::size_t self);
   bool pop_runnable(Worker& w, bool steal, Job* out, bool* reserved_maint)
       GV_REQUIRES(w.mu);
-  void execute(Job job, bool reserved_maint);
+  void execute(Job job, bool reserved_maint, Worker& me);
   void signal_work();
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::size_t maintenance_cap_ = 1;
   std::atomic<std::size_t> maintenance_running_{0};
+  std::atomic<std::size_t> maintenance_high_water_{0};
   std::atomic<std::size_t> next_post_{0};
   std::atomic<std::size_t> queued_total_{0};
   std::atomic<std::size_t> running_total_{0};
   std::atomic<bool> accepting_{true};
 
-  mutable Mutex idle_mu_ GV_LOCK_RANK(gv::lockrank::kJobQueue);
+  mutable Mutex idle_mu_ GV_LOCK_RANK(gv::lockrank::kJobQueue){
+      gv::lockrank::kJobQueue};
   CondVar idle_cv_;
   std::uint64_t work_signal_ GV_GUARDED_BY(idle_mu_) = 0;
   bool stopping_ GV_GUARDED_BY(idle_mu_) = false;
 
-  mutable Mutex stats_mu_ GV_LOCK_RANK(gv::lockrank::kTelemetry);
-  JobSystemStats stats_ GV_GUARDED_BY(stats_mu_);
+  /// Cancellations happen off the hot path (post-after-stop, shutdown
+  /// sweeps), so plain shared atomics are fine here.
+  std::atomic<std::uint64_t> cancelled_[kNumJobClasses]{};
 
   // Completion signal for drain_idle(): bumps when queued_total_ hits 0.
   CondVar drained_cv_;

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
+#include "obs/tenant_ledger.hpp"
 #include "shard/shard_planner.hpp"
 
 namespace gv {
@@ -69,6 +70,19 @@ void VaultRegistry::publish_epc_gauges() const {
   reg.gauge("epc.standby_in_use_bytes").set(double(standby_in_use_));
 }
 
+void VaultRegistry::push_epc_ledger_locked(const std::string& tenant) const {
+  // Holding mu_ (kRegistry) while the ledger takes kTelemetry is a legal
+  // rank ascent; the ledger never calls back into the registry.
+  const auto rit = reservations_.find(tenant);
+  if (rit == reservations_.end()) {
+    TenantLedger::global().clear_epc_bytes(tenant);
+    return;
+  }
+  std::size_t sum = 0;
+  for (const auto& [platform, bytes] : rit->second) sum += bytes;
+  TenantLedger::global().set_epc_bytes(tenant, sum);
+}
+
 bool VaultRegistry::place_shards(const ShardPlan& plan,
                                  std::vector<std::size_t> free,
                                  std::vector<std::uint32_t>* placement) const {
@@ -132,6 +146,7 @@ bool VaultRegistry::reserve_locked(const std::string& tenant,
   }
   provisioning_.insert(tenant);
   publish_epc_gauges();
+  push_epc_ledger_locked(tenant);
   return true;
 }
 
@@ -149,6 +164,7 @@ void VaultRegistry::release_reservation_locked(const std::string& tenant) {
   }
   provisioning_.erase(tenant);
   publish_epc_gauges();
+  push_epc_ledger_locked(tenant);  // clears: the reservation is gone
 }
 
 std::vector<VaultRegistry::PendingLaunch>
@@ -210,7 +226,7 @@ void VaultRegistry::provision_and_commit(PendingLaunch&& job) {
     // tenants, so re-drain the queue before rethrowing.
     std::vector<PendingLaunch> next;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       GV_RANK_SCOPE(lockrank::kRegistry);
       release_reservation_locked(job.tenant);
       next = reserve_from_queue_locked();
@@ -219,7 +235,7 @@ void VaultRegistry::provision_and_commit(PendingLaunch&& job) {
     throw;
   }
   // COMMIT: publish the live server.
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   GV_RANK_SCOPE(lockrank::kRegistry);
   provisioning_.erase(job.tenant);
   if (job.sharded) {
@@ -237,6 +253,9 @@ AdmissionResult VaultRegistry::admit(const std::string& tenant, const Dataset& d
                                      TrainedVault vault, ServerConfig server_cfg) {
   GV_CHECK(!tenant.empty(), "tenant name must not be empty");
   GV_CHECK(vault.rectifier != nullptr, "admission requires a trained rectifier");
+  // EngineScope: the tenant's name becomes the server's engine label and
+  // its TenantLedger attribution key.
+  server_cfg.tenant = tenant;
   AdmissionResult result;
   result.estimated_bytes = estimate_enclave_bytes(vault, ds);
 
@@ -275,7 +294,7 @@ AdmissionResult VaultRegistry::admit(const std::string& tenant, const Dataset& d
   // RESERVE under the lock: name + bytes.
   PendingLaunch job;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     GV_RANK_SCOPE(lockrank::kRegistry);
     const bool name_taken =
         servers_.count(tenant) > 0 || sharded_.count(tenant) > 0 ||
@@ -325,19 +344,19 @@ AdmissionResult VaultRegistry::admit(const std::string& tenant, const Dataset& d
 }
 
 bool VaultRegistry::has(const std::string& tenant) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   GV_RANK_SCOPE(lockrank::kRegistry);
   return servers_.count(tenant) > 0 || sharded_.count(tenant) > 0;
 }
 
 bool VaultRegistry::is_sharded(const std::string& tenant) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   GV_RANK_SCOPE(lockrank::kRegistry);
   return sharded_.count(tenant) > 0;
 }
 
 std::shared_ptr<VaultServer> VaultRegistry::server(const std::string& tenant) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   GV_RANK_SCOPE(lockrank::kRegistry);
   const auto it = servers_.find(tenant);
   GV_CHECK(it != servers_.end(), "unknown or not-yet-admitted tenant: " + tenant);
@@ -346,7 +365,7 @@ std::shared_ptr<VaultServer> VaultRegistry::server(const std::string& tenant) {
 
 std::shared_ptr<ShardedVaultServer> VaultRegistry::sharded_server(
     const std::string& tenant) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   GV_RANK_SCOPE(lockrank::kRegistry);
   const auto it = sharded_.find(tenant);
   GV_CHECK(it != sharded_.end(),
@@ -362,7 +381,7 @@ bool VaultRegistry::remove(const std::string& tenant) {
   std::shared_ptr<ShardedVaultServer> sharded_victim;
   std::vector<PendingLaunch> promoted;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     GV_RANK_SCOPE(lockrank::kRegistry);
     const auto it = servers_.find(tenant);
     const auto sit = sharded_.find(tenant);
@@ -383,6 +402,7 @@ bool VaultRegistry::remove(const std::string& tenant) {
       }
       reservations_.erase(tenant);
       publish_epc_gauges();
+      push_epc_ledger_locked(tenant);  // clears: the tenant is gone
       promoted = reserve_from_queue_locked();
     } else {
       const auto wit =
@@ -403,7 +423,7 @@ bool VaultRegistry::remove(const std::string& tenant) {
 void VaultRegistry::fail_shard(const std::string& tenant, std::uint32_t shard) {
   std::shared_ptr<ShardedVaultServer> server;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     GV_RANK_SCOPE(lockrank::kRegistry);
     const auto it = sharded_.find(tenant);
     GV_CHECK(it != sharded_.end(), "unknown or not-sharded tenant: " + tenant);
@@ -423,7 +443,7 @@ void VaultRegistry::fail_shard(const std::string& tenant, std::uint32_t shard) {
   server->kill_shard(shard);
   std::vector<PendingLaunch> promoted;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     GV_RANK_SCOPE(lockrank::kRegistry);
     // The tenant may have been removed (and even re-admitted under the same
     // name), or another fail_shard may have won the race, while the kill
@@ -447,13 +467,13 @@ void VaultRegistry::fail_shard(const std::string& tenant, std::uint32_t shard) {
 }
 
 std::size_t VaultRegistry::standby_in_use() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   GV_RANK_SCOPE(lockrank::kRegistry);
   return standby_in_use_;
 }
 
 std::vector<std::string> VaultRegistry::tenants() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   GV_RANK_SCOPE(lockrank::kRegistry);
   std::vector<std::string> names;
   names.reserve(servers_.size() + sharded_.size());
@@ -464,7 +484,7 @@ std::vector<std::string> VaultRegistry::tenants() const {
 }
 
 std::vector<std::string> VaultRegistry::queued() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   GV_RANK_SCOPE(lockrank::kRegistry);
   std::vector<std::string> names;
   names.reserve(waiting_.size());
@@ -473,7 +493,7 @@ std::vector<std::string> VaultRegistry::queued() const {
 }
 
 std::size_t VaultRegistry::epc_in_use() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   GV_RANK_SCOPE(lockrank::kRegistry);
   std::size_t sum = 0;
   for (const auto b : platform_in_use_) sum += b;
@@ -485,7 +505,7 @@ std::size_t VaultRegistry::epc_budget() const {
 }
 
 std::vector<std::size_t> VaultRegistry::platform_in_use() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   GV_RANK_SCOPE(lockrank::kRegistry);
   return platform_in_use_;
 }

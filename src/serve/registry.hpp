@@ -39,6 +39,7 @@
 #include "serve/vault_server.hpp"
 #include "shard/sharded_server.hpp"
 #include "common/annotations.hpp"
+#include "common/thread_safety.hpp"
 
 namespace gv {
 
@@ -193,10 +194,17 @@ class VaultRegistry {
   /// Publish per-platform EPC headroom (budget - in-use) gauges to the
   /// global MetricsRegistry; called wherever the books change.
   void publish_epc_gauges() const;
+  /// Push `tenant`'s EPC-resident bytes (the sum of its reservation rows)
+  /// into the TenantLedger; called wherever a tenant's booking changes.
+  void push_epc_ledger_locked(const std::string& tenant) const
+      GV_REQUIRES(mu_);
 
   RegistryConfig cfg_;
   std::size_t platform_budget_bytes_ = 0;
-  mutable std::mutex mu_ GV_LOCK_RANK(gv::lockrank::kRegistry);
+  /// gv::Mutex (not std::mutex) so the EngineScope contention profiler can
+  /// attribute admission-path contention to rank kRegistry.
+  mutable Mutex mu_ GV_LOCK_RANK(gv::lockrank::kRegistry){
+      gv::lockrank::kRegistry};
   std::vector<std::size_t> platform_in_use_;
   std::size_t standby_in_use_ = 0;
   std::map<std::string, std::shared_ptr<VaultServer>> servers_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/engine_probe.hpp"
+#include "obs/metrics.hpp"
 #include "obs/query_trace.hpp"
 #include "obs/trace.hpp"
 
@@ -20,10 +22,27 @@ ServeFrontEnd::ServeFrontEnd(ServeBackend& backend, const ServerConfig& cfg,
   cfg_.max_batch = std::max<std::size_t>(1, cfg_.max_batch);
   cfg_.worker_threads = jobs_.num_workers();
   cfg_.max_maintenance_in_flight = jobs_.max_maintenance_in_flight();
+  probe_ =
+      std::make_unique<EngineProbe>(MetricsRegistry::global(), cfg_.tenant);
+  probe_->attach(&jobs_, &tokens_, &queue_);
+  tokens_.set_observer(
+      probe_.get(),
+      [](void* ctx, std::size_t capacity, std::size_t free_count,
+         std::size_t chunks) {
+        static_cast<EngineProbe*>(ctx)->publish_token_pool(capacity,
+                                                           free_count, chunks);
+      });
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
 }
 
-ServeFrontEnd::~ServeFrontEnd() { stop(); }
+ServeFrontEnd::~ServeFrontEnd() {
+  stop();
+  // Freeze the probe's last engine snapshot, then detach it so a concurrent
+  // ops_report() pull cannot touch queue_/tokens_/jobs_ mid-teardown (the
+  // probe itself outlives them — it is declared first).
+  probe_->pull();
+  probe_->attach(nullptr, nullptr, nullptr);
+}
 
 void ServeFrontEnd::stop() {
   bool expected = false;
@@ -148,6 +167,24 @@ ServeFrontEnd::Batch* ServeFrontEnd::acquire_batch() {
 
 void ServeFrontEnd::release_batch(Batch* b) {
   b->count = 0;
+  // Publish this batch's arena growth as gauge deltas (the gauges aggregate
+  // the whole pool).  Steady state: three reads + three compares, no probe
+  // call, no heap — the warm-path zero-alloc gate stays intact.
+  const std::size_t reserved = b->arena.bytes_reserved();
+  const std::size_t blocks = b->arena.num_blocks();
+  const std::size_t high_water = b->arena.bytes_high_water();
+  if (reserved != b->published_reserved || blocks != b->published_blocks ||
+      high_water != b->published_high_water) {
+    probe_->add_arena_delta(
+        static_cast<double>(reserved) -
+            static_cast<double>(b->published_reserved),
+        static_cast<double>(blocks) - static_cast<double>(b->published_blocks),
+        static_cast<double>(high_water) -
+            static_cast<double>(b->published_high_water));
+    b->published_reserved = reserved;
+    b->published_blocks = blocks;
+    b->published_high_water = high_water;
+  }
   MutexLock lock(pool_mu_);
   GV_RANK_SCOPE(lockrank::kJobQueue);
   free_batches_.push_back(b);

@@ -43,6 +43,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -55,6 +56,8 @@
 #include "serve/submit_token.hpp"
 
 namespace gv {
+
+class EngineProbe;
 
 struct ServerConfig {
   /// Flush a batch as soon as this many requests are pending.
@@ -73,6 +76,10 @@ struct ServerConfig {
   /// Shutdown: how long queued MAINTENANCE jobs may keep draining after
   /// stop() before being cancelled.
   std::chrono::milliseconds shutdown_drain{200};
+  /// Tenant this engine serves — the `engine` label on every EngineProbe
+  /// instrument and the TenantLedger attribution key.  VaultRegistry
+  /// admission overwrites it with the admitted tenant's name.
+  std::string tenant = "default";
 };
 
 /// What a server plugs into the front end: the label computation (and the
@@ -152,6 +159,8 @@ class ServeFrontEnd {
   const ServerMetrics& metrics() const { return metrics_; }
   JobSystem& jobs() { return jobs_; }
   const ServerConfig& config() const { return cfg_; }
+  /// EngineScope probe for this engine (labeled `engine=cfg.tenant`).
+  EngineProbe& probe() { return *probe_; }
 
  private:
   using Batch = MicroBatchQueue::Batch;
@@ -170,13 +179,19 @@ class ServeFrontEnd {
   ServerMetrics metrics_;
   std::atomic<std::size_t> num_nodes_;
 
+  /// Declared BEFORE the engine pieces it observes: the token pool's
+  /// detach-time observer callback and the dtor's final pull must find the
+  /// probe alive while queue_/tokens_/jobs_ are torn down.
+  std::unique_ptr<EngineProbe> probe_;
+
   MicroBatchQueue queue_;
   TokenPool tokens_;
   JobSystem jobs_;
 
   /// Pooled batches cycling between the dispatcher and flush jobs; their
   /// entry/waiter capacities and arena blocks are retained across reuse.
-  mutable Mutex pool_mu_ GV_LOCK_RANK(gv::lockrank::kJobQueue);
+  mutable Mutex pool_mu_ GV_LOCK_RANK(gv::lockrank::kJobQueue){
+      gv::lockrank::kJobQueue};
   std::vector<std::unique_ptr<Batch>> all_batches_ GV_GUARDED_BY(pool_mu_);
   std::vector<Batch*> free_batches_ GV_GUARDED_BY(pool_mu_);
 

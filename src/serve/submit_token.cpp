@@ -130,6 +130,11 @@ TokenState* TokenPoolCore::acquire() {
       chunks_.push_back(std::move(chunk));
       capacity_ += kChunk;
       free_count_ += kChunk;
+      // State change (a chunk grow is a warm-up-only event): push the new
+      // occupancy to the observer instead of waiting for a pull.
+      if (observer_ != nullptr) {
+        observer_(observer_ctx_, capacity_, free_count_, chunks_.size());
+      }
     }
     s = free_head_;
     free_head_ = s->next_free_;
@@ -169,7 +174,29 @@ bool TokenPoolCore::detach() {
   MutexLock lock(mu_);
   GV_RANK_SCOPE(lockrank::kTokenState);
   detached_ = true;
+  if (observer_ != nullptr) {
+    observer_(observer_ctx_, capacity_, free_count_, chunks_.size());
+  }
+  // The observer's owner (the front end's EngineProbe) dies with the
+  // TokenPool; a lingering detached core must never call it again.
+  observer_ = nullptr;
+  observer_ctx_ = nullptr;
   return outstanding_ == 0;
+}
+
+void TokenPoolCore::set_observer(void* ctx, Observer fn) {
+  std::size_t capacity = 0, free_count = 0, chunks = 0;
+  {
+    MutexLock lock(mu_);
+    GV_RANK_SCOPE(lockrank::kTokenState);
+    observer_ctx_ = ctx;
+    observer_ = fn;
+    capacity = capacity_;
+    free_count = free_count_;
+    chunks = chunks_.size();
+  }
+  // Seed the gauges with the current occupancy right away.
+  if (fn != nullptr) fn(ctx, capacity, free_count, chunks);
 }
 
 std::size_t TokenPoolCore::free_count() const {
@@ -182,6 +209,18 @@ std::size_t TokenPoolCore::capacity() const {
   MutexLock lock(mu_);
   GV_RANK_SCOPE(lockrank::kTokenState);
   return capacity_;
+}
+
+std::size_t TokenPoolCore::in_use() const {
+  MutexLock lock(mu_);
+  GV_RANK_SCOPE(lockrank::kTokenState);
+  return outstanding_;
+}
+
+std::size_t TokenPoolCore::num_chunks() const {
+  MutexLock lock(mu_);
+  GV_RANK_SCOPE(lockrank::kTokenState);
+  return chunks_.size();
 }
 
 }  // namespace detail

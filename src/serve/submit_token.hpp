@@ -77,7 +77,8 @@ class TokenState {
   friend class TokenPool;
   friend class detail::TokenPoolCore;
 
-  mutable Mutex mu_ GV_LOCK_RANK(gv::lockrank::kTokenState);
+  mutable Mutex mu_ GV_LOCK_RANK(gv::lockrank::kTokenState){
+      gv::lockrank::kTokenState};
   CondVar cv_;
   bool resolved_ GV_GUARDED_BY(mu_) = false;
   std::uint32_t value_ GV_GUARDED_BY(mu_) = 0;
@@ -99,6 +100,15 @@ class TokenPoolCore {
  public:
   static constexpr std::size_t kChunk = 64;
 
+  /// Occupancy observer, invoked on STATE CHANGE (a chunk grow, a detach)
+  /// with the post-change figures — the PR-7 push-on-state-change gauge
+  /// convention, so pool growth is visible without polling.  Called under
+  /// the pool lock (kTokenState): the callback must only touch leaf state
+  /// (EngineProbe sets pre-resolved gauges — atomic stores only).
+  using Observer = void (*)(void* ctx, std::size_t capacity,
+                            std::size_t free_count, std::size_t chunks);
+  void set_observer(void* ctx, Observer fn);
+
   TokenState* acquire();
   void recycle(TokenState* s);
   /// Owner shutdown: returns true when the caller must delete the core now
@@ -107,9 +117,13 @@ class TokenPoolCore {
 
   std::size_t free_count() const;
   std::size_t capacity() const;
+  /// States acquired and not yet recycled.
+  std::size_t in_use() const;
+  std::size_t num_chunks() const;
 
  private:
-  mutable Mutex mu_ GV_LOCK_RANK(gv::lockrank::kTokenState);
+  mutable Mutex mu_ GV_LOCK_RANK(gv::lockrank::kTokenState){
+      gv::lockrank::kTokenState};
   TokenState* free_head_ GV_GUARDED_BY(mu_) = nullptr;
   std::size_t free_count_ GV_GUARDED_BY(mu_) = 0;
   std::vector<std::unique_ptr<TokenState[]>> chunks_ GV_GUARDED_BY(mu_);
@@ -117,6 +131,8 @@ class TokenPoolCore {
   /// States acquired and not yet recycled.
   std::size_t outstanding_ GV_GUARDED_BY(mu_) = 0;
   bool detached_ GV_GUARDED_BY(mu_) = false;
+  void* observer_ctx_ GV_GUARDED_BY(mu_) = nullptr;
+  Observer observer_ GV_GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace detail
@@ -137,6 +153,13 @@ class TokenPool {
   std::size_t free_count() const { return core_->free_count(); }
   /// Total states ever chunk-allocated.
   std::size_t capacity() const { return core_->capacity(); }
+  /// States acquired and not yet recycled.
+  std::size_t in_use() const { return core_->in_use(); }
+  std::size_t num_chunks() const { return core_->num_chunks(); }
+  /// Push-on-state-change occupancy observer (see TokenPoolCore::Observer).
+  void set_observer(void* ctx, detail::TokenPoolCore::Observer fn) {
+    core_->set_observer(ctx, fn);
+  }
 
  private:
   detail::TokenPoolCore* core_;

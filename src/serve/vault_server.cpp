@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "obs/query_trace.hpp"
+#include "obs/tenant_ledger.hpp"
 
 namespace gv {
 
@@ -15,9 +16,28 @@ VaultServer::VaultServer(const Dataset& ds, TrainedVault vault,
   // The front end's threads are already up, but no query can reach the
   // backend until this constructor returns the server to a caller.
   snap_->features = ds.features;
+  // EngineScope: attribute this engine's metered usage to its tenant.  A
+  // single-enclave server has no attested channels, so the channel columns
+  // stay zero.
+  TenantLedger::global().register_provider(
+      this, frontend_.config().tenant, [this] {
+        const MetricsSnapshot s = stats();
+        TenantUsage u;
+        u.modeled_seconds = s.modeled_seconds;
+        u.ecalls = s.ecalls;
+        u.batches = s.batches;
+        u.cache_hits = s.cache_hits;
+        u.cache_misses = s.cache_misses;
+        return u;
+      });
 }
 
-VaultServer::~VaultServer() { frontend_.stop(); }
+VaultServer::~VaultServer() {
+  // Unregister FIRST (it blocks out any in-flight ledger call): the
+  // provider reads state the teardown below destroys.
+  TenantLedger::global().unregister(this);
+  frontend_.stop();
+}
 
 std::shared_ptr<VaultServer::Snapshot> VaultServer::current_snapshot() const {
   std::lock_guard<std::mutex> lock(snap_mu_);

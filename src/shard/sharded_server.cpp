@@ -8,7 +8,9 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/query_trace.hpp"
+#include "obs/tenant_ledger.hpp"
 #include "obs/trace.hpp"
+#include "sgxsim/attested_channel.hpp"
 
 namespace gv {
 
@@ -92,10 +94,37 @@ ShardedVaultServer::ShardedVaultServer(const Dataset& ds, TrainedVault vault,
     out << "]}";
     return out.str();
   });
+  // EngineScope: attribute this fleet's metered usage — modeled seconds,
+  // ecalls, batches, cache work, cold-walk rows, attested-channel bytes
+  // (padding included) — to its tenant.  stats() takes only server-state
+  // leaves, legal from the ledger's unlocked provider pass.
+  TenantLedger::global().register_provider(
+      this, frontend_.config().tenant, [this] {
+        const MetricsSnapshot s = stats();
+        TenantUsage u;
+        u.modeled_seconds = s.modeled_seconds;
+        u.ecalls = s.ecalls;
+        u.batches = s.batches;
+        u.cache_hits = s.cache_hits;
+        u.cache_misses = s.cache_misses;
+        u.cold_queries = s.cold_queries;
+        u.cold_frontier_rows = s.cold_frontier_rows;
+        std::uint64_t channel = 0;
+        for (const auto& kp : AttestedChannel::kKindPolicies) {
+          channel += deployment_.halo_kind_bytes(kp.kind);
+        }
+        u.channel_bytes = channel;
+        u.channel_padded_bytes = deployment_.halo_padded_bytes();
+        return u;
+      });
 }
 
 ShardedVaultServer::~ShardedVaultServer() {
-  // First thing: a bundle tripped during teardown must not call back into a
+  // Unregister the ledger provider before anything else: it reads router /
+  // deployment / replica state the teardown below destroys, and
+  // unregister() blocks out any in-flight ledger pass.
+  TenantLedger::global().unregister(this);
+  // A bundle tripped during teardown must not call back into a
   // half-destroyed server (owner-scoped, so a successor's provider survives).
   FlightRecorder::instance().clear_topology_provider(this);
   try {

@@ -1,0 +1,121 @@
+// EngineScope EngineProbe: delta-folding of the JobSystem's worker-local
+// counters into labeled registry instruments, push-side occupancy gauges,
+// and the process-wide engines_json() enumeration.
+#include "obs/engine_probe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "serve/job_system.hpp"
+
+namespace gv {
+namespace {
+
+std::uint64_t lane_executed(MetricsRegistry& reg, const std::string& engine,
+                            std::size_t workers, const char* lane) {
+  std::uint64_t sum = 0;
+  for (std::size_t w = 0; w < workers; ++w) {
+    sum += reg
+               .counter("jobs.executed", MetricLabels{{"engine", engine},
+                                                      {"worker", std::to_string(w)},
+                                                      {"lane", lane}})
+               .value();
+  }
+  return sum;
+}
+
+double gauge_val(MetricsRegistry& reg, const char* name,
+                 const std::string& engine) {
+  return reg.gauge(name, MetricLabels::of("engine", engine)).value();
+}
+
+TEST(EngineProbe, FoldsExecutedCountersWithoutDoubleCounting) {
+  MetricsRegistry reg;
+  JobSystem jobs(2);
+  constexpr int kJobs = 64;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < kJobs; ++i) {
+    jobs.post(JobClass::kInteractive, [&] { ran.fetch_add(1); });
+  }
+  while (ran.load() < kJobs) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  EngineProbe probe(reg, "t0");
+  probe.attach(&jobs, nullptr, nullptr);
+  probe.pull();
+  const std::size_t workers = jobs.num_workers();
+  EXPECT_EQ(lane_executed(reg, "t0", workers, "interactive"), kJobs);
+  EXPECT_EQ(lane_executed(reg, "t0", workers, "maintenance"), 0u);
+
+  // Folding is delta-based: pulling again with no new work adds nothing,
+  // so the registry counters stay monotone and exact.
+  probe.pull();
+  probe.pull();
+  EXPECT_EQ(lane_executed(reg, "t0", workers, "interactive"), kJobs);
+
+  // The maintenance cap gauge mirrors the engine's configuration.
+  EXPECT_EQ(gauge_val(reg, "jobs.maintenance_cap", "t0"),
+            double(jobs.max_maintenance_in_flight()));
+
+  const std::string snap = probe.snapshot_json();
+  EXPECT_NE(snap.find("\"engine\":\"t0\""), std::string::npos);
+  EXPECT_NE(snap.find("\"interactive\":64"), std::string::npos);
+}
+
+TEST(EngineProbe, TokenPoolPushSetsOccupancyGauges) {
+  MetricsRegistry reg;
+  EngineProbe probe(reg, "push");
+  probe.publish_token_pool(/*capacity=*/64, /*free_count=*/48, /*chunks=*/2);
+  EXPECT_EQ(gauge_val(reg, "tokens.capacity", "push"), 64.0);
+  EXPECT_EQ(gauge_val(reg, "tokens.free", "push"), 48.0);
+  EXPECT_EQ(gauge_val(reg, "tokens.in_use", "push"), 16.0);
+  EXPECT_EQ(gauge_val(reg, "tokens.chunks", "push"), 2.0);
+}
+
+TEST(EngineProbe, ArenaDeltasAggregateAcrossBatches) {
+  MetricsRegistry reg;
+  EngineProbe probe(reg, "arena");
+  // Two batches grow, one rewinds (batch destroyed): the gauges track the
+  // POOL total, which only delta publishing can maintain.
+  probe.add_arena_delta(4096.0, 2.0, 4096.0);
+  probe.add_arena_delta(2048.0, 1.0, 2048.0);
+  probe.add_arena_delta(-1024.0, -1.0, 0.0);
+  EXPECT_EQ(gauge_val(reg, "arena.retained_bytes", "arena"), 5120.0);
+  EXPECT_EQ(gauge_val(reg, "arena.blocks", "arena"), 2.0);
+  EXPECT_EQ(gauge_val(reg, "arena.high_water_bytes", "arena"), 6144.0);
+}
+
+TEST(EngineProbe, EnginesJsonEnumeratesLiveProbes) {
+  MetricsRegistry reg;
+  EngineProbe a(reg, "alpha");
+  std::string all;
+  {
+    EngineProbe b(reg, "beta");
+    EngineProbe::pull_all();
+    all = EngineProbe::engines_json(/*live=*/false);
+    EXPECT_NE(all.find("\"engine\":\"alpha\""), std::string::npos);
+    EXPECT_NE(all.find("\"engine\":\"beta\""), std::string::npos);
+  }
+  // A destroyed probe unregisters itself.
+  all = EngineProbe::engines_json();
+  EXPECT_NE(all.find("\"engine\":\"alpha\""), std::string::npos);
+  EXPECT_EQ(all.find("\"engine\":\"beta\""), std::string::npos);
+  EXPECT_EQ(all.front(), '[');
+  EXPECT_EQ(all.back(), ']');
+}
+
+TEST(EngineProbe, PullWithNothingAttachedYieldsEmptyShape) {
+  MetricsRegistry reg;
+  EngineProbe probe(reg, "bare");
+  probe.pull();
+  const std::string snap = probe.snapshot_json();
+  EXPECT_NE(snap.find("\"workers\":0"), std::string::npos);
+  EXPECT_NE(snap.find("\"engine\":\"bare\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gv

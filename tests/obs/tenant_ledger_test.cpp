@@ -1,0 +1,195 @@
+// EngineScope TenantLedger: per-tenant attribution rows, the conservation
+// invariant (sum over tenants == fleet totals == what the back ends report),
+// EPC push rows from the registry books, and the unregister/in-flight
+// provider-call protocol.
+#include "obs/tenant_ledger.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "serve/registry.hpp"
+#include "../serve/serve_test_util.hpp"
+
+namespace gv {
+namespace {
+
+TenantUsage usage(double modeled, std::uint64_t ecalls,
+                  std::uint64_t batches) {
+  TenantUsage u;
+  u.modeled_seconds = modeled;
+  u.ecalls = ecalls;
+  u.batches = batches;
+  return u;
+}
+
+TEST(TenantLedger, RowsSumProvidersSharingATenantAndConserveTotals) {
+  TenantLedger ledger;
+  int owner_a = 0, owner_b = 0, owner_c = 0;
+  // Two back ends serve "acme" (a sharded tenant is many providers), one
+  // serves "zeta".
+  ledger.register_provider(&owner_a, "acme", [] { return usage(1.5, 10, 4); });
+  ledger.register_provider(&owner_b, "acme", [] { return usage(0.5, 6, 2); });
+  ledger.register_provider(&owner_c, "zeta", [] { return usage(2.0, 3, 1); });
+  ledger.set_epc_bytes("acme", 1 << 20);
+  EXPECT_EQ(ledger.num_providers(), 3u);
+
+  const auto rows = ledger.snapshot();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].first, "acme");
+  EXPECT_DOUBLE_EQ(rows[0].second.modeled_seconds, 2.0);
+  EXPECT_EQ(rows[0].second.ecalls, 16u);
+  EXPECT_EQ(rows[0].second.batches, 6u);
+  EXPECT_EQ(rows[0].second.epc_resident_bytes, std::uint64_t(1) << 20);
+  EXPECT_EQ(rows[1].first, "zeta");
+  EXPECT_EQ(rows[1].second.ecalls, 3u);
+
+  // Conservation: the fleet total is the exact column-wise sum of the rows.
+  const TenantUsage fleet = ledger.fleet_totals();
+  TenantUsage sum;
+  for (const auto& [tenant, u] : ledger.snapshot()) sum += u;
+  EXPECT_DOUBLE_EQ(fleet.modeled_seconds, sum.modeled_seconds);
+  EXPECT_EQ(fleet.ecalls, sum.ecalls);
+  EXPECT_EQ(fleet.batches, sum.batches);
+  EXPECT_EQ(fleet.epc_resident_bytes, sum.epc_resident_bytes);
+  EXPECT_EQ(fleet.ecalls, 19u);
+
+  ledger.unregister(&owner_b);
+  EXPECT_EQ(ledger.num_providers(), 2u);
+  EXPECT_EQ(ledger.fleet_totals().ecalls, 13u);
+}
+
+TEST(TenantLedger, EpcPushAloneCreatesARow) {
+  TenantLedger ledger;
+  ledger.set_epc_bytes("queued-tenant", 4096);
+  auto rows = ledger.snapshot();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].first, "queued-tenant");
+  EXPECT_EQ(rows[0].second.epc_resident_bytes, 4096u);
+  EXPECT_EQ(rows[0].second.ecalls, 0u);
+  ledger.clear_epc_bytes("queued-tenant");
+  EXPECT_TRUE(ledger.snapshot().empty());
+}
+
+TEST(TenantLedger, UnregisterBlocksUntilInFlightProviderReturns) {
+  TenantLedger ledger;
+  int owner = 0;
+  std::atomic<bool> in_provider{false};
+  std::atomic<bool> provider_done{false};
+  std::atomic<bool> unregistered{false};
+  ledger.register_provider(&owner, "slow", [&] {
+    in_provider.store(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    provider_done.store(true);
+    return usage(1.0, 1, 1);
+  });
+
+  std::thread snapshotter([&] { ledger.snapshot(); });
+  while (!in_provider.load()) std::this_thread::yield();
+  std::thread remover([&] {
+    ledger.unregister(&owner);
+    // The provider must have fully returned before unregister() does — the
+    // owner destroys provider-visible state right after this call.
+    EXPECT_TRUE(provider_done.load());
+    unregistered.store(true);
+  });
+  snapshotter.join();
+  remover.join();
+  EXPECT_TRUE(unregistered.load());
+  EXPECT_EQ(ledger.num_providers(), 0u);
+}
+
+TEST(TenantLedger, JsonAndCachedJsonAgreeAfterSnapshot) {
+  TenantLedger ledger;
+  int owner = 0;
+  ledger.register_provider(&owner, "t", [] { return usage(0.25, 2, 1); });
+  // Before any snapshot the cached document is the empty-fleet fallback.
+  EXPECT_NE(ledger.cached_json().find("\"tenants\":[]"), std::string::npos);
+  const std::string live = ledger.to_json();
+  EXPECT_NE(live.find("\"schema\":\"gnnvault.tenant_ledger.v1\""),
+            std::string::npos);
+  EXPECT_NE(live.find("\"tenant\":\"t\""), std::string::npos);
+  EXPECT_EQ(ledger.cached_json(), live);
+}
+
+TEST(TenantLedger, PublishExportsPerTenantAndFleetGauges) {
+  TenantLedger ledger;
+  int owner = 0;
+  ledger.register_provider(&owner, "pub", [] { return usage(1.25, 8, 3); });
+  ledger.set_epc_bytes("pub", 512);
+  MetricsRegistry reg;
+  ledger.publish(reg);
+  EXPECT_DOUBLE_EQ(
+      reg.gauge("tenant.modeled_seconds", MetricLabels::of("tenant", "pub"))
+          .value(),
+      1.25);
+  EXPECT_DOUBLE_EQ(
+      reg.gauge("tenant.epc_resident_bytes", MetricLabels::of("tenant", "pub"))
+          .value(),
+      512.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("fleet.ecalls").value(), 8.0);
+}
+
+// The end-to-end conservation check: two REAL tenants admitted through the
+// registry, served, and reconciled — the ledger's rows must match what each
+// server reports directly, and the fleet EPC column must match the
+// registry's own books exactly.
+TEST(TenantLedger, RegistryTenantsReconcileExactly) {
+  const Dataset ds_a = serve_dataset(71);
+  const Dataset ds_b = serve_dataset(72, /*nodes=*/220);
+  VaultRegistry registry;
+  ServerConfig scfg;
+  scfg.max_batch = 8;
+  scfg.max_wait = std::chrono::microseconds(500);
+  ASSERT_EQ(registry
+                .admit("ledger-alice", ds_a,
+                       serve_vault(ds_a, RectifierKind::kParallel, 1), scfg)
+                .decision,
+            AdmissionDecision::kAdmitted);
+  ASSERT_EQ(registry
+                .admit("ledger-bob", ds_b,
+                       serve_vault(ds_b, RectifierKind::kSeries, 2), scfg)
+                .decision,
+            AdmissionDecision::kAdmitted);
+  for (std::uint32_t n = 0; n < 24; ++n) {
+    registry.server("ledger-alice")->query(n);
+    registry.server("ledger-bob")->query(n);
+  }
+
+  std::map<std::string, TenantUsage> rows;
+  for (auto& [tenant, u] : TenantLedger::global().snapshot()) rows[tenant] = u;
+  ASSERT_TRUE(rows.count("ledger-alice"));
+  ASSERT_TRUE(rows.count("ledger-bob"));
+
+  // Per-tenant columns equal the server's own meters (same source, one
+  // pass — nothing sampled twice from diverging clocks).
+  const auto sa = registry.server("ledger-alice")->stats();
+  const auto sb = registry.server("ledger-bob")->stats();
+  EXPECT_EQ(rows["ledger-alice"].ecalls, sa.ecalls);
+  EXPECT_EQ(rows["ledger-alice"].batches, sa.batches);
+  EXPECT_DOUBLE_EQ(rows["ledger-alice"].modeled_seconds, sa.modeled_seconds);
+  EXPECT_EQ(rows["ledger-bob"].ecalls, sb.ecalls);
+  EXPECT_GT(rows["ledger-alice"].ecalls, 0u);
+
+  // EPC conservation: the ledger's per-tenant resident bytes sum to the
+  // registry's booked total.
+  const std::uint64_t ledger_epc = rows["ledger-alice"].epc_resident_bytes +
+                                   rows["ledger-bob"].epc_resident_bytes;
+  EXPECT_EQ(ledger_epc, registry.epc_in_use());
+  EXPECT_GT(ledger_epc, 0u);
+
+  // Removal clears both the provider row and the EPC push.
+  registry.remove("ledger-alice");
+  rows.clear();
+  for (auto& [tenant, u] : TenantLedger::global().snapshot()) rows[tenant] = u;
+  EXPECT_FALSE(rows.count("ledger-alice"));
+  ASSERT_TRUE(rows.count("ledger-bob"));
+  EXPECT_EQ(rows["ledger-bob"].epc_resident_bytes, registry.epc_in_use());
+}
+
+}  // namespace
+}  // namespace gv
