@@ -37,6 +37,11 @@ struct Slot {
 };
 Slot g_slots[kNumRanks + 1];
 std::atomic<bool> g_resolved{false};
+// 0 = unresolved, 1 = resolution in progress, 2 = done.  Exactly one thread
+// wins the 0->1 CAS and resolves; losers (and reentrant callers) return
+// immediately — record() drops waits until g_resolved flips, which is the
+// documented enable-race behaviour.
+std::atomic<int> g_resolve_state{0};
 
 std::atomic<std::uint64_t> g_profiled{0};
 std::atomic<std::uint64_t> g_contended{0};
@@ -49,7 +54,11 @@ int slot_index(int rank) {
 }
 
 void resolve_instruments() {
-  if (g_resolved.load(std::memory_order_acquire)) return;
+  int expected = 0;
+  if (!g_resolve_state.compare_exchange_strong(expected, 1,
+                                               std::memory_order_acq_rel)) {
+    return;
+  }
   auto& reg = MetricsRegistry::global();
   for (int i = 0; i <= kNumRanks; ++i) {
     const char* name = i == kUnrankedSlot
@@ -60,6 +69,7 @@ void resolve_instruments() {
     g_slots[i].contended = &reg.counter("lock.contended", labels);
   }
   g_resolved.store(true, std::memory_order_release);
+  g_resolve_state.store(2, std::memory_order_release);
 }
 
 }  // namespace
@@ -67,16 +77,22 @@ void resolve_instruments() {
 bool enabled_slow() {
   const char* v = std::getenv("GNNVAULT_LOCKPROF");
   const bool on = v != nullptr && v[0] != '\0' && v[0] != '0';
-  if (on) resolve_instruments();
+  // Settle g_state BEFORE resolving: resolution takes the registry's own
+  // profiled gv::Mutex, whose nested enabled() must see a settled state or
+  // it would re-enter this slow path forever.
   int expected = -1;
   g_state.compare_exchange_strong(expected, on ? 1 : 0,
                                   std::memory_order_relaxed);
-  return g_state.load(std::memory_order_relaxed) != 0;
+  const bool now_on = g_state.load(std::memory_order_relaxed) != 0;
+  if (now_on) resolve_instruments();
+  return now_on;
 }
 
 void set_enabled(bool on) {
-  if (on) resolve_instruments();
+  // Same ordering as enabled_slow(): publish the state first so the
+  // registry mutex taken during resolution sees it settled.
   g_state.store(on ? 1 : 0, std::memory_order_relaxed);
+  if (on) resolve_instruments();
 }
 
 std::uint64_t profiled_acquisitions() {

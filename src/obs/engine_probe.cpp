@@ -66,6 +66,10 @@ EngineProbe::~EngineProbe() {
 
 void EngineProbe::attach(const JobSystem* jobs, const TokenPool* tokens,
                          const MicroBatchQueue* queue) {
+  // Taking pull_mu_ (not just mu_) makes attach a barrier against pull():
+  // once attach(nullptr, ...) returns, no pull is still reading the old
+  // engine objects, so the caller may safely destroy them.
+  std::lock_guard<std::mutex> pull_lock(pull_mu_);
   MutexLock lock(mu_);
   GV_RANK_SCOPE(lockrank::kTelemetry);
   jobs_ = jobs;
@@ -139,6 +143,12 @@ void EngineProbe::add_arena_delta(double retained_bytes, double blocks,
 }
 
 void EngineProbe::pull() {
+  // One pull at a time, gather THROUGH fold: interleaved pulls could fold
+  // an older worker snapshot after a newer one already advanced prev_*,
+  // underflowing the unsigned deltas fed to the monotone counters.
+  // Holding pull_mu_ across the engine-state reads also lets attach()
+  // synchronize teardown (see attach()).
+  std::lock_guard<std::mutex> pull_lock(pull_mu_);
   // Gather engine state BEFORE taking mu_: the accessors below acquire
   // kJobQueue/kTokenState/kQueue locks, all of which rank below the probe's
   // kTelemetry mutex.

@@ -32,6 +32,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -104,6 +105,15 @@ class EngineProbe {
 
   MetricsRegistry& reg_;
   const std::string engine_;
+
+  /// Serializes pull() end-to-end (gather + delta fold).  Two interleaved
+  /// pulls could otherwise fold an older snapshot after a newer one and
+  /// underflow the unsigned counter deltas.  attach() also takes it, so a
+  /// detach (front-end teardown) blocks until any in-flight pull has
+  /// finished reading the engine objects.  Plain std::mutex outside the
+  /// rank table, ordered before the engine locks and mu_ (and after the
+  /// process-wide probes mutex pull_all() holds).
+  std::mutex pull_mu_;
 
   mutable Mutex mu_ GV_LOCK_RANK(gv::lockrank::kTelemetry){
       gv::lockrank::kTelemetry};

@@ -249,6 +249,13 @@ struct JsonParser {
     return true;
   }
 
+  static int hex_digit(char c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  }
+
   bool parse_string(std::string* out) {
     if (!consume('"')) return false;
     while (pos < s.size() && s[pos] != '"') {
@@ -258,12 +265,42 @@ struct JsonParser {
         const char e = s[pos];
         if (e == 'u') {
           if (pos + 4 >= s.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int k = 1; k <= 4; ++k) {
+            const int d = hex_digit(s[pos + k]);
+            if (d < 0) return fail("bad \\u escape");
+            code = code * 16 + static_cast<unsigned>(d);
+          }
           pos += 4;
-        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
-                   e != 'n' && e != 'r' && e != 't') {
-          return fail("bad escape");
+          if (out != nullptr) {
+            // UTF-8 encode the BMP code point (the writers only emit \u for
+            // control characters, but decode the full range anyway).
+            if (code < 0x80) {
+              out->push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+          }
+        } else {
+          char decoded;
+          switch (e) {
+            case '"': decoded = '"'; break;
+            case '\\': decoded = '\\'; break;
+            case '/': decoded = '/'; break;
+            case 'b': decoded = '\b'; break;
+            case 'f': decoded = '\f'; break;
+            case 'n': decoded = '\n'; break;
+            case 'r': decoded = '\r'; break;
+            case 't': decoded = '\t'; break;
+            default: return fail("bad escape");
+          }
+          if (out != nullptr) out->push_back(decoded);
         }
-        if (out != nullptr && e != 'u') out->push_back(e);
       } else {
         if (out != nullptr) out->push_back(s[pos]);
       }

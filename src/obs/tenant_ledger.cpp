@@ -70,7 +70,7 @@ void TenantLedger::register_provider(const void* owner, std::string tenant,
   GV_RANK_SCOPE(lockrank::kTelemetry);
   for (auto& e : entries_) {
     if (e->owner == owner) {
-      while (e->in_call) call_done_cv_.wait(mu_);
+      while (e->pins > 0) call_done_cv_.wait(mu_);
       e->tenant = std::move(tenant);
       e->fn = std::move(fn);
       return;
@@ -88,10 +88,10 @@ void TenantLedger::unregister(const void* owner) {
   GV_RANK_SCOPE(lockrank::kTelemetry);
   for (auto it = entries_.begin(); it != entries_.end(); ++it) {
     if ((*it)->owner != owner) continue;
-    // A snapshot may be mid-call into this entry's provider with the lock
-    // dropped; the provider reads state the caller is about to destroy, so
-    // removal must wait it out.
-    while ((*it)->in_call) call_done_cv_.wait(mu_);
+    // Snapshots may be mid-call into this entry's provider with the lock
+    // dropped (several can pin it at once); the provider reads state the
+    // caller is about to destroy, so removal must wait out ALL of them.
+    while ((*it)->pins > 0) call_done_cv_.wait(mu_);
     entries_.erase(it);
     return;
   }
@@ -125,7 +125,7 @@ std::vector<std::pair<std::string, TenantUsage>> TenantLedger::snapshot() {
       GV_RANK_SCOPE(lockrank::kTelemetry);
       if (i < entries_.size()) {
         e = entries_[i].get();
-        e->in_call = true;  // pins the entry: unregister blocks on this
+        ++e->pins;  // pins the entry: unregister blocks until 0
         fn = e->fn;
         tenant = e->tenant;
       }
@@ -136,8 +136,7 @@ std::vector<std::pair<std::string, TenantUsage>> TenantLedger::snapshot() {
     {
       MutexLock lock(mu_);
       GV_RANK_SCOPE(lockrank::kTelemetry);
-      e->in_call = false;
-      call_done_cv_.notify_all();
+      if (--e->pins == 0) call_done_cv_.notify_all();
       // entries_ may have shifted while unlocked; continue after `e`'s
       // current slot (the pin guarantees it is still present).
       i = entries_.size();

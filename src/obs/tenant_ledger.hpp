@@ -110,7 +110,10 @@ class TenantLedger {
     const void* owner = nullptr;
     std::string tenant;
     Provider fn;
-    bool in_call = false;
+    /// Number of snapshot() calls currently mid-provider against this
+    /// entry (concurrent snapshots may pin the same entry); unregister()
+    /// and re-registration wait for it to drain to zero.
+    int pins = 0;
   };
 
   std::string render_json_locked(

@@ -38,8 +38,10 @@ ServeFrontEnd::ServeFrontEnd(ServeBackend& backend, const ServerConfig& cfg,
 ServeFrontEnd::~ServeFrontEnd() {
   stop();
   // Freeze the probe's last engine snapshot, then detach it so a concurrent
-  // ops_report() pull cannot touch queue_/tokens_/jobs_ mid-teardown (the
-  // probe itself outlives them — it is declared first).
+  // ops_report() pull cannot touch queue_/tokens_/jobs_ mid-teardown.
+  // attach() blocks on the probe's pull mutex, so a pull that already read
+  // the engine pointers finishes before detach returns and the members die
+  // (the probe itself outlives them — it is declared first).
   probe_->pull();
   probe_->attach(nullptr, nullptr, nullptr);
 }

@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <thread>
 
 #include "common/annotations.hpp"
@@ -43,6 +44,24 @@ void contend_once(Mutex& mu, std::chrono::milliseconds hold) {
     MutexLock lock(mu);  // blocks until the holder's sleep ends
   }
   holder.join();
+}
+
+// Must run FIRST (gtest declaration order): it needs instrument resolution
+// to not have happened yet.  Regression for the env-var enablement path:
+// resolve_instruments() takes the registry's own profiled gv::Mutex, and
+// with g_state unseeded that nested lock's enabled() check used to re-enter
+// the slow path and recurse until stack overflow.  Re-create the
+// first-ever-lock conditions — state unseeded, env var set — and lock.
+TEST(LockProf, EnvSeededEnableDoesNotRecurse) {
+  ::setenv("GNNVAULT_LOCKPROF", "1", 1);
+  lockprof::g_state.store(-1, std::memory_order_relaxed);
+  Mutex mu{lockrank::kRegistry};
+  {
+    MutexLock lock(mu);  // first probe: seeds from the env, resolves
+  }
+  EXPECT_TRUE(lockprof::enabled());
+  lockprof::set_enabled(false);
+  ::unsetenv("GNNVAULT_LOCKPROF");
 }
 
 TEST(LockProf, DisabledWritesNothing) {

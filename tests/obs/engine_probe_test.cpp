@@ -8,6 +8,7 @@
 #include <atomic>
 #include <chrono>
 #include <thread>
+#include <vector>
 
 #include "serve/job_system.hpp"
 
@@ -64,6 +65,41 @@ TEST(EngineProbe, FoldsExecutedCountersWithoutDoubleCounting) {
   const std::string snap = probe.snapshot_json();
   EXPECT_NE(snap.find("\"engine\":\"t0\""), std::string::npos);
   EXPECT_NE(snap.find("\"interactive\":64"), std::string::npos);
+}
+
+// Regression: pull() must be serialized end-to-end.  Unserialized, two
+// pulls could gather snapshots S_old and S_new but fold them in the wrong
+// order, underflowing the unsigned delta (prev already advanced past S_old)
+// and adding ~2^64 to the monotone executed counters.  Hammer pulls while
+// jobs run, then check the quiesced fold is EXACT.
+TEST(EngineProbe, ConcurrentPullsFoldExactly) {
+  MetricsRegistry reg;
+  JobSystem jobs(2);
+  EngineProbe probe(reg, "race");
+  probe.attach(&jobs, nullptr, nullptr);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> pullers;
+  for (int t = 0; t < 4; ++t) {
+    pullers.emplace_back([&] {
+      while (!stop.load()) probe.pull();
+    });
+  }
+
+  constexpr int kJobs = 512;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < kJobs; ++i) {
+    jobs.post(JobClass::kInteractive, [&] { ran.fetch_add(1); });
+  }
+  while (ran.load() < kJobs) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true);
+  for (auto& t : pullers) t.join();
+
+  probe.pull();  // quiesced: folds whatever tail the racers left
+  EXPECT_EQ(lane_executed(reg, "race", jobs.num_workers(), "interactive"),
+            kJobs);
 }
 
 TEST(EngineProbe, TokenPoolPushSetsOccupancyGauges) {

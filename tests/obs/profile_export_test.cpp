@@ -12,6 +12,7 @@
 
 #include "obs/engine_probe.hpp"
 #include "obs/metrics.hpp"
+#include "obs/tenant_ledger.hpp"
 #include "obs/trace.hpp"
 
 namespace gv {
@@ -149,6 +150,38 @@ TEST(OpsReport, ValidatorIsIndependentOfTheWriter) {
   ASSERT_NE(pos, std::string::npos);
   wrong.replace(pos, 22, "gnnvault.ops_report.v9");
   EXPECT_FALSE(validate_ops_report(wrong, &err));
+}
+
+TEST(OpsReport, ValidatorDecodesStringEscapes) {
+  // Regression: the independent reader used to push the escape LETTER
+  // ("\n" decoded to 'n') and drop \u payloads entirely, so an escaped
+  // string compared wrong against schema/name checks.  The schema tag
+  // spelled with escapes must still validate...
+  std::string doc = ops_report();
+  const std::string plain = "\"gnnvault.ops_report.v1\"";
+  const auto pos = doc.find(plain);
+  ASSERT_NE(pos, std::string::npos);
+  std::string escaped = "\"\\u0067nnvault.ops_report.v1\"";  // \u0067 == 'g'
+  doc.replace(pos, plain.size(), escaped);
+  std::string err;
+  EXPECT_TRUE(validate_ops_report(doc, &err)) << err;
+  // ...an invalid escape must not...
+  std::string bad = doc;
+  bad.replace(bad.find(escaped), escaped.size(),
+              "\"\\qnnvault.ops_report.v1\"");
+  EXPECT_FALSE(validate_ops_report(bad, &err));
+  // ...and a tenant name exercising every escape class (quote, backslash,
+  // newline, control char) survives writer-escape + reader-decode intact.
+  auto& ledger = TenantLedger::global();
+  int owner = 0;
+  ledger.register_provider(&owner, "quo\"te\\back\nline\x01ctl", [] {
+    TenantUsage u;
+    u.ecalls = 1;
+    return u;
+  });
+  const std::string report = ops_report();
+  EXPECT_TRUE(validate_ops_report(report, &err)) << err;
+  ledger.unregister(&owner);
 }
 
 TEST(OpsReport, FilesRoundTripThroughDisk) {

@@ -103,6 +103,36 @@ TEST(TenantLedger, UnregisterBlocksUntilInFlightProviderReturns) {
   EXPECT_EQ(ledger.num_providers(), 0u);
 }
 
+// Regression: the pin is a COUNT, not a flag.  Two concurrent snapshots pin
+// the same entry; when the first provider call returns it must not release
+// the second's pin, or unregister() would come back while the second call
+// is still reading provider-visible state the owner destroys next.
+TEST(TenantLedger, UnregisterWaitsOutEveryConcurrentSnapshot) {
+  TenantLedger ledger;
+  int owner = 0;
+  std::atomic<int> entered{0};
+  std::atomic<int> returned{0};
+  ledger.register_provider(&owner, "pinned", [&] {
+    const int me = entered.fetch_add(1) + 1;
+    // Both snapshots must be mid-provider (both pins held) before either
+    // returns; then the first returns promptly and the second lingers.
+    while (entered.load() < 2) std::this_thread::yield();
+    if (me == 2) std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    returned.fetch_add(1);
+    return usage(1.0, 1, 1);
+  });
+
+  std::thread s1([&] { ledger.snapshot(); });
+  std::thread s2([&] { ledger.snapshot(); });
+  while (entered.load() < 2) std::this_thread::yield();
+  ledger.unregister(&owner);
+  // Both in-flight calls — not just the first — returned before unregister.
+  EXPECT_EQ(returned.load(), 2);
+  s1.join();
+  s2.join();
+  EXPECT_EQ(ledger.num_providers(), 0u);
+}
+
 TEST(TenantLedger, JsonAndCachedJsonAgreeAfterSnapshot) {
   TenantLedger ledger;
   int owner = 0;
